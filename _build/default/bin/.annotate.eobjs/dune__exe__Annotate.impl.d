@@ -1,0 +1,1 @@
+bin/annotate.ml: Annot Arg Array Cmd Cmdliner Common Display Printf String Term Video

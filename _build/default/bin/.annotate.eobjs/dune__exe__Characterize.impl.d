@@ -1,0 +1,1 @@
+bin/characterize.ml: Arg Array Camera Cmd Cmdliner Common Display Printf Term

@@ -1,0 +1,1 @@
+bin/common.ml: Arg Cmdliner Display List Printf String Video

@@ -1,0 +1,1 @@
+bin/plan.ml: Annot Arg Cmd Cmdliner Common Format List Power Printf Streaming Term

@@ -1,0 +1,1 @@
+bin/playback.ml: Annot Arg Array Camera Cmd Cmdliner Common Format Image List Power Printf Streaming Term Video

@@ -1,0 +1,68 @@
+(* annotate: profile a clip and emit its backlight annotation track —
+   what the paper's server runs offline. *)
+
+open Cmdliner
+
+let per_frame_arg =
+  Arg.(
+    value & flag
+    & info [ "per-frame" ]
+        ~doc:"Annotate every frame instead of detected scenes (more savings, more flicker).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the binary annotation track to $(docv).")
+
+let run clip_name device_name device_file quality_percent per_frame output width height fps =
+  let clip =
+    Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps)
+  in
+  let device =
+    Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
+  in
+  let quality = Annot.Quality_level.of_percent quality_percent in
+  let scene_params =
+    if per_frame then Annot.Scene_detect.per_frame_params
+    else Annot.Scene_detect.default_params
+  in
+  let track = Annot.Annotator.annotate ~scene_params ~device ~quality clip in
+  let encoded = Annot.Encoding.encode track in
+  Printf.printf "clip      : %s (%d frames, %.1f s at %.1f fps, %dx%d)\n"
+    clip.Video.Clip.name clip.Video.Clip.frame_count
+    (Video.Clip.duration_seconds clip) fps width height;
+  Printf.printf "device    : %s\n" device.Display.Device.name;
+  Printf.printf "quality   : %s clipped-pixel budget\n" (Annot.Quality_level.label quality);
+  Printf.printf "scenes    : %d entries, %d backlight switches\n"
+    (Annot.Track.entry_count track)
+    (Annot.Track.switch_count track);
+  Printf.printf "wire size : %d bytes (RLE varint encoding)\n" (String.length encoded);
+  Printf.printf "\n%-8s %-8s %-10s %-10s %s\n" "first" "frames" "register" "eff.max"
+    "compensation";
+  print_endline (String.make 50 '-');
+  Array.iter
+    (fun (e : Annot.Track.entry) ->
+      Printf.printf "%-8d %-8d %-10d %-10d x%.2f\n" e.Annot.Track.first_frame
+        e.Annot.Track.frame_count e.Annot.Track.register e.Annot.Track.effective_max
+        e.Annot.Track.compensation)
+    (Annot.Track.merge_runs track).Annot.Track.entries;
+  match output with
+  | None -> ()
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc encoded;
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path
+
+let cmd =
+  let doc = "profile a video clip and compute its backlight annotations" in
+  Cmd.v
+    (Cmd.info "annotate" ~doc)
+    Term.(
+      const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
+      $ Common.quality_arg $ per_frame_arg $ output_arg $ Common.width_arg
+      $ Common.height_arg $ Common.fps_arg)
+
+let () = exit (Cmd.eval cmd)

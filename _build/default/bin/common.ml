@@ -1,0 +1,73 @@
+(* Shared cmdliner terms for the command-line tools. *)
+
+open Cmdliner
+
+let clip_arg =
+  let doc =
+    "Workload clip name. One of: " ^ String.concat ", " Video.Workloads.names ^ "."
+  in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "c"; "clip" ] ~docv:"CLIP" ~doc)
+
+let device_arg =
+  let doc =
+    "Target device. One of: "
+    ^ String.concat ", " (List.map (fun d -> d.Display.Device.name) Display.Device.all)
+    ^ "."
+  in
+  Arg.(
+    value
+    & opt string "ipaq_h5555"
+    & info [ "d"; "device" ] ~docv:"DEVICE" ~doc)
+
+let device_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "device-file" ] ~docv:"FILE"
+        ~doc:
+          "Load the target device from a key = value profile (see \
+           Display.Device_config); overrides $(b,--device).")
+
+let quality_arg =
+  let doc = "Quality level: allowed percentage of clipped bright pixels (0-100)." in
+  Arg.(value & opt float 10. & info [ "q"; "quality" ] ~docv:"PERCENT" ~doc)
+
+let width_arg =
+  Arg.(value & opt int 160 & info [ "width" ] ~docv:"PX" ~doc:"Frame width.")
+
+let height_arg =
+  Arg.(value & opt int 120 & info [ "height" ] ~docv:"PX" ~doc:"Frame height.")
+
+let fps_arg =
+  Arg.(value & opt float 12. & info [ "fps" ] ~docv:"FPS" ~doc:"Frame rate.")
+
+let resolve_clip name ~width ~height ~fps =
+  match Video.Workloads.find name with
+  | Some profile -> Ok (Video.Clip_gen.render ~width ~height ~fps profile)
+  | None ->
+    Error
+      (Printf.sprintf "unknown clip %S (try one of: %s)" name
+         (String.concat ", " Video.Workloads.names))
+
+let resolve_device name =
+  match Display.Device.find name with
+  | Some d -> Ok d
+  | None ->
+    Error
+      (Printf.sprintf "unknown device %S (try one of: %s)" name
+         (String.concat ", "
+            (List.map (fun d -> d.Display.Device.name) Display.Device.all)))
+
+let resolve_device_with_file ~file name =
+  match file with
+  | Some path -> Display.Device_config.load ~path
+  | None -> resolve_device name
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    exit 1

@@ -1,0 +1,50 @@
+(* plan: pick the least lossy quality level that reaches a target
+   battery runtime for a given clip and device. *)
+
+open Cmdliner
+
+let target_arg =
+  Arg.(
+    value & opt float 4.
+    & info [ "t"; "target-hours" ] ~docv:"HOURS" ~doc:"Target playback runtime.")
+
+let capacity_arg =
+  Arg.(
+    value & opt float 4600.
+    & info [ "capacity" ] ~docv:"MWH" ~doc:"Battery capacity in milliwatt-hours.")
+
+let run clip_name device_name device_file target_hours capacity_mwh width height fps =
+  let clip = Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps) in
+  let device =
+    Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
+  in
+  let battery = Power.Battery.make ~capacity_mwh in
+  let profiled = Annot.Annotator.profile clip in
+  Printf.printf "clip %s on %s, battery %.0f mWh, target %.1f h\n\n" clip_name
+    device_name capacity_mwh target_hours;
+  (* Show the whole menu, then the decision. *)
+  List.iter
+    (fun quality ->
+      let power = Streaming.Planner.project ~device ~quality profiled in
+      Printf.printf "  %-4s -> %6.0f mW, %5.1f h\n"
+        (Annot.Quality_level.label quality)
+        power
+        (Power.Battery.runtime_hours battery ~average_power_mw:power))
+    Annot.Quality_level.standard_grid;
+  print_newline ();
+  match Streaming.Planner.plan ~battery ~target_hours ~device profiled with
+  | Ok plan -> Format.printf "selected: %a@." Streaming.Planner.pp_plan plan
+  | Error best ->
+    Format.printf "target unreachable; best effort: %a@." Streaming.Planner.pp_plan best;
+    exit 2
+
+let cmd =
+  let doc = "select the quality level meeting a battery-runtime target" in
+  Cmd.v
+    (Cmd.info "plan" ~doc)
+    Term.(
+      const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
+      $ target_arg $ capacity_arg $ Common.width_arg $ Common.height_arg
+      $ Common.fps_arg)
+
+let () = exit (Cmd.eval cmd)

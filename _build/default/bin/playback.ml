@@ -1,0 +1,127 @@
+(* playback: simulate annotated playback on a device and report the
+   power savings and quality verdicts — the client side of the paper's
+   measurements. *)
+
+open Cmdliner
+
+let camera_arg =
+  Arg.(
+    value & flag
+    & info [ "camera" ]
+        ~doc:"Also validate quality with camera snapshots on sampled frames (Fig 2).")
+
+let dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump" ] ~docv:"PREFIX"
+        ~doc:
+          "Write the Fig-4 artefact pair for the dimmest contentful scene: \
+           $(docv)-reference.ppm (original frame photographed at full \
+           backlight) and $(docv)-compensated.ppm (compensated frame at the \
+           annotated register).")
+
+let ramp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ramp" ] ~docv:"STEP"
+        ~doc:
+          "Slew-limit backlight dimming to $(docv) register counts per frame \
+           (brightening stays immediate).")
+
+let dump_snapshots ~device ~clip ~track prefix =
+  (* The dimmest scene that still shows content, as in the bench's
+     Fig 4 selection. *)
+  let frame_index =
+    let best = ref 0 and best_reg = ref 256 in
+    Array.iter
+      (fun (e : Annot.Track.entry) ->
+        if e.Annot.Track.register < !best_reg && e.Annot.Track.effective_max >= 80
+        then begin
+          best_reg := e.Annot.Track.register;
+          best := e.Annot.Track.first_frame + (e.Annot.Track.frame_count / 2)
+        end)
+      track.Annot.Track.entries;
+    !best
+  in
+  let original = clip.Video.Clip.render frame_index in
+  let entry = Annot.Track.lookup track frame_index in
+  let compensated = Annot.Compensate.frame track frame_index original in
+  let rig = Camera.Snapshot.default_rig device in
+  let reference_snap =
+    Camera.Snapshot.capture rig device ~backlight_register:255 original
+  in
+  let compensated_snap =
+    Camera.Snapshot.capture rig device
+      ~backlight_register:entry.Annot.Track.register compensated
+  in
+  let ref_path = prefix ^ "-reference.ppm" in
+  let cmp_path = prefix ^ "-compensated.ppm" in
+  Image.Ppm.write ~path:ref_path reference_snap;
+  Image.Ppm.write ~path:cmp_path compensated_snap;
+  Printf.printf "\nwrote %s and %s (frame %d, register %d)\n" ref_path cmp_path
+    frame_index entry.Annot.Track.register
+
+let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps =
+  let clip = Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps) in
+  let device =
+    Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
+  in
+  let quality = Annot.Quality_level.of_percent quality_percent in
+  let profiled = Annot.Annotator.profile clip in
+  let track = Annot.Annotator.annotate_profiled ~device ~quality profiled in
+  let report =
+    match ramp with
+    | None -> Streaming.Playback.run_profiled ~device ~quality profiled
+    | Some max_dim_step ->
+      let registers =
+        Streaming.Ramp.slew_limit ~max_dim_step (Annot.Track.register_track track)
+      in
+      Streaming.Playback.run_with_registers ~device ~quality
+        ~clip_name:clip.Video.Clip.name ~fps
+        ~annotation_bytes:(Annot.Encoding.encoded_size track)
+        registers
+  in
+  Format.printf "%a@." Streaming.Playback.pp_report report;
+  Printf.printf "\nbacklight energy : %8.1f mJ (baseline %8.1f mJ) -> %.1f%% saved\n"
+    report.Streaming.Playback.backlight_energy_mj
+    report.Streaming.Playback.backlight_baseline_mj
+    (100. *. report.Streaming.Playback.backlight_savings);
+  Printf.printf "device energy    : %8.1f mJ (baseline %8.1f mJ) -> %.1f%% saved\n"
+    report.Streaming.Playback.total_energy_mj
+    report.Streaming.Playback.total_baseline_mj
+    (100. *. report.Streaming.Playback.total_savings);
+  let baseline_power =
+    report.Streaming.Playback.total_baseline_mj /. report.Streaming.Playback.duration_s
+  in
+  let optimised_power =
+    report.Streaming.Playback.total_energy_mj /. report.Streaming.Playback.duration_s
+  in
+  Printf.printf "battery runtime  : %+.1f%% playback time on a standard pack\n"
+    (100.
+     *. Power.Battery.extension_ratio ~baseline_power_mw:baseline_power
+          ~optimized_power_mw:optimised_power);
+  (match dump with
+  | None -> ()
+  | Some prefix -> dump_snapshots ~device ~clip ~track prefix);
+  if with_camera then begin
+    Printf.printf "\ncamera validation (every 24th frame):\n";
+    let rig = Camera.Snapshot.default_rig device in
+    List.iter
+      (fun (i, verdict) ->
+        Format.printf "  frame %4d: %a — %s@." i Camera.Quality.pp_verdict verdict
+          (if Camera.Quality.acceptable verdict then "ok" else "DEGRADED"))
+      (Streaming.Playback.evaluate_quality ~rig ~device ~clip ~track ~sample_every:24)
+  end
+
+let cmd =
+  let doc = "simulate annotated playback and report power savings" in
+  Cmd.v
+    (Cmd.info "playback" ~doc)
+    Term.(
+      const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
+      $ Common.quality_arg $ camera_arg $ dump_arg $ ramp_arg $ Common.width_arg
+      $ Common.height_arg $ Common.fps_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/custom_device.ml: Annot Array Camera Display Float Format Printf Streaming Video

@@ -1,0 +1,1 @@
+examples/device_comparison.ml: Annot Display Format List Power Printf Streaming String Video

@@ -1,0 +1,1 @@
+examples/live_conference.ml: Annot Array Codec Display Printf Streaming String Video

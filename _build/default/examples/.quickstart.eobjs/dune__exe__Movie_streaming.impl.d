@@ -1,0 +1,1 @@
+examples/movie_streaming.ml: Annot Codec Display List Printf Streaming String Video

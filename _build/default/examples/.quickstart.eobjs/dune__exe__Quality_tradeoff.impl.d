@@ -1,0 +1,1 @@
+examples/quality_tradeoff.ml: Annot Camera Display List Printf Streaming String Video

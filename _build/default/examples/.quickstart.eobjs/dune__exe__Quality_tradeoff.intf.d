@@ -1,0 +1,1 @@
+examples/quality_tradeoff.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Annot Display Format Streaming Video

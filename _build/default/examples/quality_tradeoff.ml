@@ -1,0 +1,40 @@
+(* Quality/power trade-off: sweep the clipping budget on one clip and
+   validate each point with the camera rig, reproducing the user-facing
+   decision of §4.2 ("The user decides if some quality can be traded
+   for more power savings").
+
+   Run with:  dune exec examples/quality_tradeoff.exe *)
+
+let () =
+  let device = Display.Device.ipaq_h5555 in
+  let clip =
+    Video.Clip_gen.render ~width:96 ~height:72 ~fps:10. Video.Workloads.spiderman2
+  in
+  let profiled = Annot.Annotator.profile clip in
+  let rig = Camera.Snapshot.default_rig device in
+  Printf.printf "%-8s %-12s %-12s %-14s %-12s %s\n" "quality" "backlight"
+    "device" "mean shift" "EMD" "verdict";
+  print_endline (String.make 72 '-');
+  List.iter
+    (fun quality ->
+      let track = Annot.Annotator.annotate_profiled ~device ~quality profiled in
+      let report = Streaming.Playback.run_profiled ~device ~quality profiled in
+      (* Validate the middle of the dimmest contentful scene. *)
+      let verdicts =
+        Streaming.Playback.evaluate_quality ~rig ~device ~clip ~track
+          ~sample_every:(max 1 (clip.Video.Clip.frame_count / 6))
+      in
+      let worst =
+        List.fold_left
+          (fun acc (_, v) -> if v.Camera.Quality.emd > acc.Camera.Quality.emd then v else acc)
+          (snd (List.hd verdicts))
+          verdicts
+      in
+      Printf.printf "%-8s %-12s %-12s %+-14.1f %-12.1f %s\n"
+        (Annot.Quality_level.label quality)
+        (Printf.sprintf "%.1f%%" (100. *. report.Streaming.Playback.backlight_savings))
+        (Printf.sprintf "%.1f%%" (100. *. report.Streaming.Playback.total_savings))
+        worst.Camera.Quality.mean_shift worst.Camera.Quality.emd
+        (if Camera.Quality.acceptable worst then "hardly noticeable" else "visible loss"))
+    (Annot.Quality_level.standard_grid
+    @ [ Annot.Quality_level.Custom 0.3; Annot.Quality_level.Custom 0.5 ])

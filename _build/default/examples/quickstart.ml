@@ -1,0 +1,26 @@
+(* Quickstart: annotate a clip and play it back, in about twenty lines.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A clip. Workloads ship with the library; your own clips can be
+     wrapped with Video.Clip.of_frames or Video.Clip.make. *)
+  let clip = Video.Clip_gen.render Video.Workloads.themovie in
+
+  (* 2. A target device and a quality level: allow 10 % of the very
+     bright pixels to clip. *)
+  let device = Display.Device.ipaq_h5555 in
+  let quality = Annot.Quality_level.Loss_10 in
+
+  (* 3. Annotate: one pixel pass over the clip, scene detection, one
+     backlight solution per scene. *)
+  let track = Annot.Annotator.annotate ~device ~quality clip in
+  Format.printf "annotation track: %a@." Annot.Track.pp track;
+  Format.printf "wire size: %d bytes@." (Annot.Encoding.encoded_size track);
+
+  (* 4. Play back and compare against full backlight. *)
+  let report = Streaming.Playback.run ~device ~quality clip in
+  Format.printf "%a@." Streaming.Playback.pp_report report;
+  Format.printf "backlight power saved: %.1f%%, whole device: %.1f%%@."
+    (100. *. report.Streaming.Playback.backlight_savings)
+    (100. *. report.Streaming.Playback.total_savings)

@@ -1,0 +1,1 @@
+lib/annot/annotator.ml: Array Backlight_solver Display Image List Scene_detect Track Video

@@ -1,0 +1,1 @@
+lib/annot/annotator.mli: Display Image Quality_level Scene_detect Track Video

@@ -1,0 +1,1 @@
+lib/annot/backlight_solver.ml: Display Float Format Image Quality_level

@@ -1,0 +1,1 @@
+lib/annot/backlight_solver.mli: Display Format Image Quality_level

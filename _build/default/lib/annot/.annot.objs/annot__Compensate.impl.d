@@ -1,0 +1,1 @@
+lib/annot/compensate.ml: Array Display Image Track Video

@@ -1,0 +1,1 @@
+lib/annot/compensate.mli: Display Image Track Video

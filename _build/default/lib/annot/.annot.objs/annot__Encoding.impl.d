@@ -1,0 +1,1 @@
+lib/annot/encoding.ml: Array Buffer Char Printf Quality_level String Track

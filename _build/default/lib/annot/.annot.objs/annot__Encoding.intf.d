@@ -1,0 +1,1 @@
+lib/annot/encoding.mli: Track

@@ -1,0 +1,1 @@
+lib/annot/live.ml: Annotator Array Backlight_solver Display Image List Scene_detect Track

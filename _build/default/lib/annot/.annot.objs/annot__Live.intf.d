@@ -1,0 +1,1 @@
+lib/annot/live.mli: Annotator Display Quality_level Scene_detect Track

@@ -1,0 +1,1 @@
+lib/annot/neutral.ml: Annotator Array Display Float Image List Quality_level Scene_detect Track

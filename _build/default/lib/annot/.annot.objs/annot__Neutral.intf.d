@@ -1,0 +1,1 @@
+lib/annot/neutral.mli: Annotator Display Quality_level Scene_detect Track

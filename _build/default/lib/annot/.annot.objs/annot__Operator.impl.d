@@ -1,0 +1,1 @@
+lib/annot/operator.ml: Backlight_solver Display Float Format Image Quality_level

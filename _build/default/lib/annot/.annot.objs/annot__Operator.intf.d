@@ -1,0 +1,1 @@
+lib/annot/operator.mli: Display Format Image Quality_level

@@ -1,0 +1,1 @@
+lib/annot/protected.ml: Array Backlight_solver Display Image List Quality_level Scene_detect Track Video

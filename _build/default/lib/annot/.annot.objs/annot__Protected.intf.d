@@ -1,0 +1,1 @@
+lib/annot/protected.mli: Backlight_solver Display Image Quality_level Scene_detect Track Video

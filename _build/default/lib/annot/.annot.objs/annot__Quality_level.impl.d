@@ -1,0 +1,1 @@
+lib/annot/quality_level.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/annot/quality_level.mli: Format

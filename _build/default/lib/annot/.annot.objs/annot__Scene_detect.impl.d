@@ -1,0 +1,1 @@
+lib/annot/scene_detect.ml: Array Float Format List

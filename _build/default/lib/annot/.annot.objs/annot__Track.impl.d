@@ -1,0 +1,1 @@
+lib/annot/track.ml: Array Float Format List Quality_level

@@ -1,0 +1,1 @@
+lib/annot/track.mli: Format Quality_level

@@ -1,0 +1,63 @@
+type profiled = {
+  clip_name : string;
+  fps : float;
+  total_frames : int;
+  histograms : Image.Histogram.t array;
+  max_track : int array;
+  mean_track : float array;
+}
+
+let profile ?plane clip =
+  let histograms = Video.Clip.histogram_track ?plane clip in
+  let max_track =
+    Array.map
+      (fun h -> if Image.Histogram.total h = 0 then 0 else Image.Histogram.max_level h)
+      histograms
+  in
+  let mean_track =
+    Array.map
+      (fun h -> if Image.Histogram.total h = 0 then 0. else Image.Histogram.mean h)
+      histograms
+  in
+  {
+    clip_name = clip.Video.Clip.name;
+    fps = clip.Video.Clip.fps;
+    total_frames = clip.Video.Clip.frame_count;
+    histograms;
+    max_track;
+    mean_track;
+  }
+
+let scene_histogram profiled (scene : Scene_detect.scene) =
+  let merged = Image.Histogram.create () in
+  for i = scene.Scene_detect.first to scene.Scene_detect.last do
+    Image.Histogram.merge_into ~dst:merged profiled.histograms.(i)
+  done;
+  merged
+
+let annotate_profiled ?(scene_params = Scene_detect.default_params) ~device
+    ~quality profiled =
+  let scenes =
+    Scene_detect.segment_with_means scene_params ~max_track:profiled.max_track
+      ~mean_track:profiled.mean_track
+  in
+  let entries =
+    List.map
+      (fun (scene : Scene_detect.scene) ->
+        let hist = scene_histogram profiled scene in
+        let sol = Backlight_solver.solve ~device ~quality hist in
+        {
+          Track.first_frame = scene.Scene_detect.first;
+          frame_count = scene.Scene_detect.last - scene.Scene_detect.first + 1;
+          register = sol.Backlight_solver.register;
+          compensation = sol.Backlight_solver.compensation;
+          effective_max = sol.Backlight_solver.effective_max;
+        })
+      scenes
+  in
+  Track.make ~clip_name:profiled.clip_name
+    ~device_name:device.Display.Device.name ~quality ~fps:profiled.fps
+    ~total_frames:profiled.total_frames (Array.of_list entries)
+
+let annotate ?scene_params ~device ~quality clip =
+  annotate_profiled ?scene_params ~device ~quality (profile clip)

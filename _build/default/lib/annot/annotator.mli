@@ -1,0 +1,45 @@
+(** The offline annotation pipeline.
+
+    "The video clips available for streaming at the servers are first
+    profiled, processed and annotated with data characterizing the
+    luminance levels during various scenes" (§4). The pipeline makes a
+    single pixel pass over the clip (collecting per-frame histograms),
+    detects scenes, solves each scene's backlight, and assembles the
+    annotation track. Profiling is separated from solving so a
+    multi-quality, multi-device sweep (Fig 9/10) profiles each clip
+    once. *)
+
+type profiled = {
+  clip_name : string;
+  fps : float;
+  total_frames : int;
+  histograms : Image.Histogram.t array;  (** one per frame *)
+  max_track : int array;  (** per-frame maximum luminance *)
+  mean_track : float array;  (** per-frame mean luminance *)
+}
+
+val profile : ?plane:[ `Luma | `Channel_max ] -> Video.Clip.t -> profiled
+(** Single-pass profiling of a clip. The default [`Luma] plane is the
+    paper's metric; [`Channel_max] makes the clipping budget exact on
+    saturated-colour content at the cost of slightly conservative
+    registers (channel max is at least luma, never below). *)
+
+val annotate_profiled :
+  ?scene_params:Scene_detect.params ->
+  device:Display.Device.t ->
+  quality:Quality_level.t ->
+  profiled ->
+  Track.t
+(** Scene detection + per-scene solving on a cached profile. Default
+    scene parameters are {!Scene_detect.default_params}. *)
+
+val annotate :
+  ?scene_params:Scene_detect.params ->
+  device:Display.Device.t ->
+  quality:Quality_level.t ->
+  Video.Clip.t ->
+  Track.t
+(** [annotate ~device ~quality clip] = profile then annotate. *)
+
+val scene_histogram : profiled -> Scene_detect.scene -> Image.Histogram.t
+(** Merged histogram of all frames in a scene. *)

@@ -1,0 +1,38 @@
+let frame track i raster =
+  let entry = Track.lookup track i in
+  Image.Ops.contrast_enhance ~k:entry.Track.compensation raster
+
+let clip c track =
+  if c.Video.Clip.frame_count <> track.Track.total_frames then
+    invalid_arg "Compensate.clip: track does not match clip";
+  Video.Clip.map_frames ~name:(c.Video.Clip.name ^ "+compensated")
+    (fun i raster -> frame track i raster)
+    c
+
+let perceived_error ~device ~original ~compensated ~register =
+  let panel = device.Display.Device.panel in
+  let full = 255 in
+  let white =
+    Display.Panel.emitted_luminance panel ~backlight_register:full ~image_level:255
+  in
+  (* Per-luma emitted light, tabulated for both backlight settings. *)
+  let table_ref =
+    Array.init 256 (fun l ->
+        Display.Panel.emitted_luminance panel ~backlight_register:full ~image_level:l)
+  and table_cmp =
+    Array.init 256 (fun l ->
+        Display.Panel.emitted_luminance panel ~backlight_register:register
+          ~image_level:l)
+  in
+  let w = Image.Raster.width original and h = Image.Raster.height original in
+  if w <> Image.Raster.width compensated || h <> Image.Raster.height compensated then
+    invalid_arg "Compensate.perceived_error: dimension mismatch";
+  let sum = ref 0. in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let lo = Image.Pixel.luminance (Image.Raster.get original ~x ~y)
+      and lc = Image.Pixel.luminance (Image.Raster.get compensated ~x ~y) in
+      sum := !sum +. abs_float (table_ref.(lo) -. table_cmp.(lc))
+    done
+  done;
+  !sum /. (float_of_int (w * h) *. white)

@@ -1,0 +1,32 @@
+(** Applying annotation tracks to frames.
+
+    The compensation itself runs at the server or proxy ("To reduce the
+    load on the client device at runtime, the compensation of the
+    frames in the video stream is performed at either the server or the
+    intermediary proxy node", §4.3); these helpers are what that node
+    executes, plus an end-to-end perceived-intensity check used by the
+    validation tests. *)
+
+val frame : Track.t -> int -> Image.Raster.t -> Image.Raster.t
+(** [frame track i raster] is frame [i] brightened by its entry's
+    compensation gain (contrast enhancement, §4.1). The gain-1.0 case
+    returns a copy. *)
+
+val clip : Video.Clip.t -> Track.t -> Video.Clip.t
+(** [clip c track] is the compensated stream the client receives: each
+    frame pre-brightened according to the track. Frame counts must
+    match. *)
+
+val perceived_error :
+  device:Display.Device.t ->
+  original:Image.Raster.t ->
+  compensated:Image.Raster.t ->
+  register:int ->
+  float
+(** [perceived_error ~device ~original ~compensated ~register] compares
+    the perceived intensity ([rho * L * Y], through the device panel)
+    of the original at full backlight against the compensated frame at
+    the reduced [register], returning the mean absolute error in
+    intensity units normalised to the full-backlight white level
+    (0 = identical appearance). This is the analytic counterpart of
+    the camera check. *)

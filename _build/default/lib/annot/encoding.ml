@@ -1,0 +1,120 @@
+let version = 1
+
+let magic = "ANPW"
+
+let gain_fixed_point = 4096.
+
+(* --- writing ---------------------------------------------------------- *)
+
+let put_varint buf n =
+  if n < 0 then invalid_arg "Encoding: negative varint";
+  let rec loop n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      loop (n lsr 7)
+    end
+  in
+  loop n
+
+let put_string buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let quality_permille q =
+  int_of_float ((Quality_level.allowed_loss q *. 1000.) +. 0.5)
+
+let encode track =
+  let track = Track.merge_runs track in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  put_varint buf (quality_permille track.Track.quality);
+  put_varint buf (int_of_float ((track.Track.fps *. 1000.) +. 0.5));
+  put_varint buf track.Track.total_frames;
+  put_string buf track.Track.clip_name;
+  put_string buf track.Track.device_name;
+  put_varint buf (Array.length track.Track.entries);
+  Array.iter
+    (fun (e : Track.entry) ->
+      put_varint buf e.frame_count;
+      Buffer.add_char buf (Char.chr e.register);
+      put_varint buf (int_of_float ((e.compensation *. gain_fixed_point) +. 0.5));
+      Buffer.add_char buf (Char.chr e.effective_max))
+    track.Track.entries;
+  Buffer.contents buf
+
+let encoded_size track = String.length (encode track)
+
+(* --- reading ---------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.data then raise (Parse_error "truncated input")
+
+let get_byte c =
+  need c 1;
+  let b = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  b
+
+let get_varint c =
+  let rec loop shift acc =
+    if shift > 56 then raise (Parse_error "varint too long");
+    let b = get_byte c in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let get_string c =
+  let n = get_varint c in
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let quality_of_permille p =
+  match p with
+  | 0 -> Quality_level.Lossless
+  | 50 -> Quality_level.Loss_5
+  | 100 -> Quality_level.Loss_10
+  | 150 -> Quality_level.Loss_15
+  | 200 -> Quality_level.Loss_20
+  | p -> Quality_level.Custom (float_of_int p /. 1000.)
+
+let decode data =
+  let c = { data; pos = 0 } in
+  try
+    need c 4;
+    if String.sub data 0 4 <> magic then raise (Parse_error "bad magic");
+    c.pos <- 4;
+    let v = get_byte c in
+    if v <> version then raise (Parse_error (Printf.sprintf "unsupported version %d" v));
+    let quality = quality_of_permille (get_varint c) in
+    let fps = float_of_int (get_varint c) /. 1000. in
+    let total_frames = get_varint c in
+    let clip_name = get_string c in
+    let device_name = get_string c in
+    let count = get_varint c in
+    let entries = Array.make count
+        { Track.first_frame = 0; frame_count = 1; register = 0;
+          compensation = 1.; effective_max = 0 } in
+    let next = ref 0 in
+    for i = 0 to count - 1 do
+      let frame_count = get_varint c in
+      let register = get_byte c in
+      let compensation = float_of_int (get_varint c) /. gain_fixed_point in
+      let effective_max = get_byte c in
+      entries.(i) <-
+        { Track.first_frame = !next; frame_count; register; compensation; effective_max };
+      next := !next + frame_count
+    done;
+    if c.pos <> String.length data then raise (Parse_error "trailing bytes");
+    (try
+       Ok (Track.make ~clip_name ~device_name ~quality ~fps ~total_frames entries)
+     with Invalid_argument msg -> Error msg)
+  with Parse_error msg -> Error msg

@@ -1,0 +1,32 @@
+(** Binary wire format for annotation tracks.
+
+    §4.3: "The annotations are RLE compressed, so the overhead is
+    minimal, in the order of hundreds of bytes for our video clips
+    which are on the order of a few megabytes."
+
+    Layout (all multi-byte integers are LEB128 varints):
+
+    {v
+    magic   "ANPW"            4 bytes
+    version u8                currently 1
+    quality varint            allowed loss in permille
+    fps     varint            fps * 1000
+    frames  varint            total frame count
+    names   2 x (len varint, bytes)   clip name, device name
+    count   varint            entry count (after run merging)
+    entries count x (frame_count varint, register u8,
+                     compensation varint (gain * 4096), effective u8)
+    v} *)
+
+val encode : Track.t -> string
+(** [encode track] serialises after {!Track.merge_runs}. *)
+
+val decode : string -> (Track.t, string) result
+(** [decode bytes] parses and re-validates; any corruption yields
+    [Error] with a human-readable reason, never an exception. *)
+
+val encoded_size : Track.t -> int
+(** [encoded_size track] is [String.length (encode track)] — the
+    overhead the bench reports against the encoded video size. *)
+
+val version : int

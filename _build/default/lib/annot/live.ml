@@ -1,0 +1,45 @@
+let added_latency_s ~lookahead ~fps =
+  if lookahead < 1 then invalid_arg "Live: lookahead must be positive";
+  if fps <= 0. then invalid_arg "Live: fps must be positive";
+  float_of_int lookahead /. fps
+
+let annotate ?(scene_params = Scene_detect.default_params) ~lookahead ~device
+    ~quality (profiled : Annotator.profiled) =
+  if lookahead < 1 then invalid_arg "Live.annotate: lookahead must be positive";
+  let n = profiled.Annotator.total_frames in
+  let entries = ref [] in
+  let window_start = ref 0 in
+  while !window_start < n do
+    let first = !window_start in
+    let count = min lookahead (n - first) in
+    let max_window = Array.sub profiled.Annotator.max_track first count in
+    let mean_window = Array.sub profiled.Annotator.mean_track first count in
+    let scenes =
+      Scene_detect.segment_with_means scene_params ~max_track:max_window
+        ~mean_track:mean_window
+    in
+    List.iter
+      (fun (scene : Scene_detect.scene) ->
+        let abs_first = first + scene.Scene_detect.first in
+        let abs_last = first + scene.Scene_detect.last in
+        let hist = Image.Histogram.create () in
+        for i = abs_first to abs_last do
+          Image.Histogram.merge_into ~dst:hist profiled.Annotator.histograms.(i)
+        done;
+        let sol = Backlight_solver.solve ~device ~quality hist in
+        entries :=
+          {
+            Track.first_frame = abs_first;
+            frame_count = abs_last - abs_first + 1;
+            register = sol.Backlight_solver.register;
+            compensation = sol.Backlight_solver.compensation;
+            effective_max = sol.Backlight_solver.effective_max;
+          }
+          :: !entries)
+      scenes;
+    window_start := first + count
+  done;
+  Track.make ~clip_name:profiled.Annotator.clip_name
+    ~device_name:device.Display.Device.name ~quality ~fps:profiled.Annotator.fps
+    ~total_frames:n
+    (Array.of_list (List.rev !entries))

@@ -1,0 +1,27 @@
+(** On-the-fly annotation at a proxy — the videoconferencing case.
+
+    §3: the stream "can be routed through a proxy node — a high-end
+    machine with the ability to process the video stream in real-time,
+    on-the-fly (example in videoconferencing)". A live proxy cannot
+    profile the whole clip; it buffers a [lookahead] window, annotates
+    the window it has seen, forwards it, and repeats. The cost of
+    liveness is the buffering latency and scene fragmentation at
+    window boundaries — not quality: every decision is still made on
+    actual histograms, never predictions. *)
+
+val added_latency_s : lookahead:int -> fps:float -> float
+(** The buffering delay the proxy adds to the stream. *)
+
+val annotate :
+  ?scene_params:Scene_detect.params ->
+  lookahead:int ->
+  device:Display.Device.t ->
+  quality:Quality_level.t ->
+  Annotator.profiled ->
+  Track.t
+(** [annotate ~lookahead ~device ~quality profiled] annotates in
+    windows of [lookahead] frames: scene detection and solving run
+    independently per window, so no annotation depends on frames more
+    than [lookahead] ahead. With a window at least the clip length the
+    result equals offline annotation. Raises [Invalid_argument] on a
+    non-positive lookahead. *)

@@ -1,0 +1,49 @@
+let generic_device_name = "generic"
+
+let annotate ?(scene_params = Scene_detect.default_params) ~quality
+    (profiled : Annotator.profiled) =
+  let scenes =
+    Scene_detect.segment_with_means scene_params
+      ~max_track:profiled.Annotator.max_track
+      ~mean_track:profiled.Annotator.mean_track
+  in
+  let entries =
+    List.map
+      (fun (scene : Scene_detect.scene) ->
+        let hist = Annotator.scene_histogram profiled scene in
+        let allowed = Quality_level.allowed_loss quality in
+        let effective_max = Image.Histogram.clip_level hist ~allowed_loss:allowed in
+        (* The desired gain is effective_max / 255, so on the 0-255
+           wire scale the neutral "register" is effective_max itself. *)
+        let gain_wire = effective_max in
+        let compensation =
+          if effective_max = 0 then 1. else 255. /. float_of_int effective_max
+        in
+        {
+          Track.first_frame = scene.Scene_detect.first;
+          frame_count = scene.Scene_detect.last - scene.Scene_detect.first + 1;
+          register = gain_wire;
+          compensation = Float.max 1. compensation;
+          effective_max;
+        })
+      scenes
+  in
+  Track.make ~clip_name:profiled.Annotator.clip_name
+    ~device_name:generic_device_name ~quality ~fps:profiled.Annotator.fps
+    ~total_frames:profiled.Annotator.total_frames (Array.of_list entries)
+
+let map_to_device device track =
+  let entries =
+    Array.map
+      (fun (e : Track.entry) ->
+        (* The multiplication: effective_max / 255 is the desired
+           relative luminance; the look-up: the device transfer
+           inverse. *)
+        let desired = float_of_int e.Track.effective_max /. 255. in
+        let register = Display.Device.register_for_gain device desired in
+        { e with Track.register })
+      track.Track.entries
+  in
+  Track.make ~clip_name:track.Track.clip_name
+    ~device_name:device.Display.Device.name ~quality:track.Track.quality
+    ~fps:track.Track.fps ~total_frames:track.Track.total_frames entries

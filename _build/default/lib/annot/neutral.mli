@@ -1,0 +1,30 @@
+(** Device-neutral annotations and client-side mapping.
+
+    §4.3 offers two deployments: the server computes final backlight
+    registers from the client's device profile (server-side mapping,
+    {!Annotator}), or it ships *device-neutral* luminance factors —
+    "same for all types of PDA clients" — and each client turns them
+    into registers itself: "a simple multiplication, followed by a
+    table look-up". Neutral tracks let one annotation pass serve a
+    heterogeneous fleet; the cost is that compensation must also be
+    device-neutral ([k = 255 / effective_max]), so the realised
+    backlight may sit one register step above the ideal. *)
+
+val generic_device_name : string
+(** The [device_name] marking a neutral track (["generic"]). *)
+
+val annotate :
+  ?scene_params:Scene_detect.params ->
+  quality:Quality_level.t ->
+  Annotator.profiled ->
+  Track.t
+(** [annotate ~quality profiled] produces a neutral track: each entry's
+    [register] field carries the *desired relative luminance* quantised
+    to 0–255 (the "multiplication" input), and [compensation] is the
+    device-independent [255 / effective_max]. *)
+
+val map_to_device : Display.Device.t -> Track.t -> Track.t
+(** [map_to_device device track] is the client-side table look-up:
+    every neutral gain becomes the device's smallest register achieving
+    it. Tracks already mapped to a device pass through by recomputing
+    from their [effective_max], so mapping is idempotent. *)

@@ -1,0 +1,97 @@
+type t = Contrast_enhancement | Brightness_compensation
+
+let name = function
+  | Contrast_enhancement -> "contrast-enhancement"
+  | Brightness_compensation -> "brightness-compensation"
+
+type solution = {
+  operator : t;
+  register : int;
+  realised_gain : float;
+  parameter : float;
+  clipped_fraction : float;
+  mean_error : float;
+}
+
+(* Mean |displayed - original| over the histogram, normalised to full
+   scale, where [displayed y] is the perceived level of a pixel of
+   original luma [y] after compensation and dimming. *)
+let histogram_error hist displayed =
+  let total = float_of_int (Image.Histogram.total hist) in
+  let err = ref 0. in
+  for y = 0 to 255 do
+    let count = Image.Histogram.count hist y in
+    if count > 0 then
+      err := !err +. (float_of_int count *. abs_float (displayed y -. float_of_int y))
+  done;
+  !err /. (total *. 255.)
+
+let solve_contrast ~device ~quality hist =
+  let sol = Backlight_solver.solve ~device ~quality hist in
+  let gain = sol.Backlight_solver.realised_gain in
+  let k = sol.Backlight_solver.compensation in
+  let displayed y = gain *. Float.min 255. (k *. float_of_int y) in
+  {
+    operator = Contrast_enhancement;
+    register = sol.Backlight_solver.register;
+    realised_gain = gain;
+    parameter = k;
+    clipped_fraction = sol.Backlight_solver.clipped_fraction;
+    mean_error = histogram_error hist displayed;
+  }
+
+let solve_brightness ~device ~quality hist =
+  let allowed = Quality_level.allowed_loss quality in
+  let effective_max = Image.Histogram.clip_level hist ~allowed_loss:allowed in
+  (* The offset is capped by the clipping budget: pixels above
+     [255 - delta] saturate. *)
+  let delta = float_of_int (255 - effective_max) in
+  let compensated y = Float.min 255. (float_of_int y +. delta) in
+  (* Least-squares gain over the compensated histogram: the dimming
+     level that best restores original levels. An additive offset
+     cannot be exact for more than one level, so there is a residual. *)
+  let num = ref 0. and den = ref 0. in
+  for y = 0 to 255 do
+    let count = float_of_int (Image.Histogram.count hist y) in
+    if count > 0. then begin
+      let d = compensated y in
+      num := !num +. (count *. float_of_int y *. d);
+      den := !den +. (count *. d *. d)
+    end
+  done;
+  let ideal_gain = if !den > 0. then !num /. !den else 1. in
+  let ideal_gain = Float.max 0. (Float.min 1. ideal_gain) in
+  let register = Display.Device.register_for_gain device ideal_gain in
+  let realised_gain = Display.Device.backlight_gain device register in
+  let displayed y = realised_gain *. compensated y in
+  let total = Image.Histogram.total hist in
+  let clipped_fraction =
+    float_of_int (Image.Histogram.samples_above hist effective_max)
+    /. float_of_int total
+  in
+  {
+    operator = Brightness_compensation;
+    register;
+    realised_gain;
+    parameter = delta;
+    clipped_fraction;
+    mean_error = histogram_error hist displayed;
+  }
+
+let solve ~device ~quality operator hist =
+  match operator with
+  | Contrast_enhancement -> solve_contrast ~device ~quality hist
+  | Brightness_compensation -> solve_brightness ~device ~quality hist
+
+let apply solution frame =
+  match solution.operator with
+  | Contrast_enhancement -> Image.Ops.contrast_enhance ~k:solution.parameter frame
+  | Brightness_compensation ->
+    Image.Ops.brightness_compensate
+      ~delta:(int_of_float (solution.parameter +. 0.5))
+      frame
+
+let pp ppf s =
+  Format.fprintf ppf "<%s reg %d gain %.3f param %.2f clip %.2f%% err %.4f>"
+    (name s.operator) s.register s.realised_gain s.parameter
+    (100. *. s.clipped_fraction) s.mean_error

@@ -1,0 +1,48 @@
+(** The two compensation operators of §4.1, solved and compared.
+
+    The paper lists brightness compensation ([C' = min(1, C + dC)]) and
+    contrast enhancement ([C' = min(1, C*k)]) and selects the latter.
+    This module makes the choice measurable: it solves a scene under
+    either operator and reports the *analytic distortion* — the mean
+    absolute error between the perceived intensity of the compensated
+    frame on the dimmed backlight and the original at full backlight,
+    normalised to full scale. Contrast enhancement with [k = 1/gain] is
+    exact for every non-clipped pixel; an additive offset can be exact
+    for at most one luminance level, which is why the paper prefers the
+    multiplicative form. *)
+
+type t =
+  | Contrast_enhancement  (** the paper's choice *)
+  | Brightness_compensation  (** the §4.1 alternative *)
+
+val name : t -> string
+
+type solution = {
+  operator : t;
+  register : int;  (** backlight register for the device *)
+  realised_gain : float;  (** transfer(register) *)
+  parameter : float;
+      (** the operator parameter: the gain [k] for contrast
+          enhancement, the offset [delta] (in levels) for brightness
+          compensation *)
+  clipped_fraction : float;  (** histogram-predicted clipping *)
+  mean_error : float;
+      (** mean absolute perceived-intensity error over the scene
+          histogram, normalised to full scale (0 = exact) *)
+}
+
+val solve :
+  device:Display.Device.t ->
+  quality:Quality_level.t ->
+  t ->
+  Image.Histogram.t ->
+  solution
+(** [solve ~device ~quality operator hist] dims as far as the clipping
+    budget allows under the given operator and computes the residual
+    distortion. Raises [Invalid_argument] on an empty histogram. *)
+
+val apply : solution -> Image.Raster.t -> Image.Raster.t
+(** [apply solution frame] performs the server-side compensation the
+    solution prescribes. *)
+
+val pp : Format.formatter -> solution -> unit

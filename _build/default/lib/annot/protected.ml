@@ -1,0 +1,105 @@
+type profiled = {
+  clip_name : string;
+  fps : float;
+  total_frames : int;
+  inside : Image.Histogram.t array;
+  outside : Image.Histogram.t array;
+  max_track : int array;
+  mean_track : float array;
+}
+
+let profile ~roi clip =
+  let n = clip.Video.Clip.frame_count in
+  let inside = Array.init n (fun _ -> Image.Histogram.create ()) in
+  let outside = Array.init n (fun _ -> Image.Histogram.create ()) in
+  Video.Clip.iter_frames
+    (fun i frame ->
+      Image.Roi.split_histograms roi frame ~inside:inside.(i) ~outside:outside.(i))
+    clip;
+  let whole i = Image.Histogram.merge inside.(i) outside.(i) in
+  let max_track =
+    Array.init n (fun i ->
+        let h = whole i in
+        if Image.Histogram.total h = 0 then 0 else Image.Histogram.max_level h)
+  in
+  let mean_track =
+    Array.init n (fun i ->
+        let h = whole i in
+        if Image.Histogram.total h = 0 then 0. else Image.Histogram.mean h)
+  in
+  {
+    clip_name = clip.Video.Clip.name;
+    fps = clip.Video.Clip.fps;
+    total_frames = n;
+    inside;
+    outside;
+    max_track;
+    mean_track;
+  }
+
+let solve_scene ~device ~quality ~inside ~outside =
+  let inside_total = Image.Histogram.total inside in
+  let outside_total = Image.Histogram.total outside in
+  if inside_total = 0 && outside_total = 0 then
+    invalid_arg "Protected.solve_scene: empty scene";
+  let allowed = Quality_level.allowed_loss quality in
+  let outside_level =
+    if outside_total = 0 then 0
+    else Image.Histogram.clip_level outside ~allowed_loss:allowed
+  in
+  let inside_level =
+    if inside_total = 0 then 0 else Image.Histogram.max_level inside
+  in
+  let effective_max = max outside_level inside_level in
+  let clipped =
+    Image.Histogram.samples_above outside effective_max
+    + Image.Histogram.samples_above inside effective_max
+  in
+  let clipped_fraction =
+    float_of_int clipped /. float_of_int (inside_total + outside_total)
+  in
+  Backlight_solver.of_effective_max ~device ~effective_max ~clipped_fraction
+
+let annotate ?(scene_params = Scene_detect.default_params) ~device ~quality
+    profiled =
+  let scenes =
+    Scene_detect.segment_with_means scene_params ~max_track:profiled.max_track
+      ~mean_track:profiled.mean_track
+  in
+  let merged histograms (scene : Scene_detect.scene) =
+    let acc = Image.Histogram.create () in
+    for i = scene.Scene_detect.first to scene.Scene_detect.last do
+      Image.Histogram.merge_into ~dst:acc histograms.(i)
+    done;
+    acc
+  in
+  let entries =
+    List.map
+      (fun (scene : Scene_detect.scene) ->
+        let sol =
+          solve_scene ~device ~quality ~inside:(merged profiled.inside scene)
+            ~outside:(merged profiled.outside scene)
+        in
+        {
+          Track.first_frame = scene.Scene_detect.first;
+          frame_count = scene.Scene_detect.last - scene.Scene_detect.first + 1;
+          register = sol.Backlight_solver.register;
+          compensation = sol.Backlight_solver.compensation;
+          effective_max = sol.Backlight_solver.effective_max;
+        })
+      scenes
+  in
+  Track.make ~clip_name:profiled.clip_name ~device_name:device.Display.Device.name
+    ~quality ~fps:profiled.fps ~total_frames:profiled.total_frames
+    (Array.of_list entries)
+
+let roi_clipped_fraction ~device profiled track =
+  let clipped = ref 0 and total = ref 0 in
+  for i = 0 to profiled.total_frames - 1 do
+    let entry = Track.lookup track i in
+    let gain = Display.Device.backlight_gain device entry.Track.register in
+    let threshold = int_of_float (255. *. gain) in
+    clipped := !clipped + Image.Histogram.samples_above profiled.inside.(i) threshold;
+    total := !total + Image.Histogram.total profiled.inside.(i)
+  done;
+  if !total = 0 then 0. else float_of_int !clipped /. float_of_int !total

@@ -1,0 +1,50 @@
+(** Region-of-interest-protected annotation — the user-supervised mode
+    of §3.
+
+    The clipping budget applies only to pixels *outside* the protected
+    region; pixels inside must never clip, so a scene's effective
+    maximum is at least the region's own maximum luminance. Protecting
+    the credit-text band removes the paper's noted end-credit
+    distortion at the cost of whatever dimming the text's brightness
+    forbids. *)
+
+type profiled = {
+  clip_name : string;
+  fps : float;
+  total_frames : int;
+  inside : Image.Histogram.t array;  (** per-frame, protected pixels *)
+  outside : Image.Histogram.t array;  (** per-frame, expendable pixels *)
+  max_track : int array;  (** per-frame maximum over the whole frame *)
+  mean_track : float array;
+}
+
+val profile : roi:Image.Roi.t -> Video.Clip.t -> profiled
+(** Single-pass split profiling. An empty region puts every pixel in
+    [outside]. *)
+
+val solve_scene :
+  device:Display.Device.t ->
+  quality:Quality_level.t ->
+  inside:Image.Histogram.t ->
+  outside:Image.Histogram.t ->
+  Backlight_solver.solution
+(** [solve_scene ~device ~quality ~inside ~outside] clips only outside
+    pixels, then raises the effective maximum to cover the protected
+    region's brightest pixel. Raises [Invalid_argument] if both
+    histograms are empty. *)
+
+val annotate :
+  ?scene_params:Scene_detect.params ->
+  device:Display.Device.t ->
+  quality:Quality_level.t ->
+  profiled ->
+  Track.t
+(** Scene detection and per-scene protected solving, mirroring
+    {!Annotator.annotate_profiled}. *)
+
+val roi_clipped_fraction :
+  device:Display.Device.t -> profiled -> Track.t -> float
+(** Fraction of *protected* pixels across the whole clip that would
+    clip under the track's registers — 0 for tracks produced by
+    {!annotate}, positive when an unprotected track damages the
+    region. *)

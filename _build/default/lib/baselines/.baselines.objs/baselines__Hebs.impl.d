@@ -1,0 +1,1 @@
+lib/baselines/hebs.ml: Array Display Float Image

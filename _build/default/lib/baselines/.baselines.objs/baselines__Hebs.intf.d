@@ -1,0 +1,1 @@
+lib/baselines/hebs.mli: Display Image

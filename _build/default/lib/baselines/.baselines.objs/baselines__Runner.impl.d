@@ -1,0 +1,1 @@
+lib/baselines/runner.ml: Annot Array Display Float Format Image List Strategy Streaming

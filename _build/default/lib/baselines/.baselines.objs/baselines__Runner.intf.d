@@ -1,0 +1,1 @@
+lib/baselines/runner.mli: Annot Display Format Strategy Streaming

@@ -1,0 +1,1 @@
+lib/baselines/strategy.ml: Annot Format Printf

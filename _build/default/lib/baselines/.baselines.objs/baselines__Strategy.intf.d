@@ -1,0 +1,1 @@
+lib/baselines/strategy.mli: Annot Format

@@ -1,0 +1,58 @@
+type solution = {
+  register : int;
+  realised_gain : float;
+  map : int array;
+  mean_error : float;
+}
+
+let equalisation_map hist ~lambda =
+  if lambda < 0. || lambda > 1. then invalid_arg "Hebs: lambda out of [0, 1]";
+  let total = Image.Histogram.total hist in
+  if total = 0 then invalid_arg "Hebs: empty histogram";
+  let map = Array.make 256 0 in
+  let cumulative = ref 0 in
+  for y = 0 to 255 do
+    cumulative := !cumulative + Image.Histogram.count hist y;
+    let equalised = 255. *. float_of_int !cumulative /. float_of_int total in
+    let blended = ((1. -. lambda) *. float_of_int y) +. (lambda *. equalised) in
+    map.(y) <- Image.Pixel.clamp_channel (int_of_float (blended +. 0.5))
+  done;
+  (* The blend of two non-decreasing curves is non-decreasing, but
+     rounding could wobble by one; rectify. *)
+  for y = 1 to 255 do
+    if map.(y) < map.(y - 1) then map.(y) <- map.(y - 1)
+  done;
+  map
+
+let solve ~device ~lambda hist =
+  let map = equalisation_map hist ~lambda in
+  (* Preserve the mean perceived brightness: gain * mean(mapped) =
+     mean(original). *)
+  let total = float_of_int (Image.Histogram.total hist) in
+  let weighted f =
+    let acc = ref 0. in
+    for y = 0 to 255 do
+      acc := !acc +. (float_of_int (Image.Histogram.count hist y) *. f y)
+    done;
+    !acc /. total
+  in
+  let mean_original = weighted float_of_int in
+  let mean_mapped = weighted (fun y -> float_of_int map.(y)) in
+  let ideal_gain =
+    if mean_mapped <= 0. then 1. else Float.max 0. (Float.min 1. (mean_original /. mean_mapped))
+  in
+  let register = Display.Device.register_for_gain device ideal_gain in
+  let realised_gain = Display.Device.backlight_gain device register in
+  let mean_error =
+    weighted (fun y ->
+        abs_float ((realised_gain *. float_of_int map.(y)) -. float_of_int y))
+    /. 255.
+  in
+  { register; realised_gain; map; mean_error }
+
+let apply_map map frame =
+  if Array.length map <> 256 then invalid_arg "Hebs.apply_map: need 256 entries";
+  Image.Raster.map
+    (fun { Image.Pixel.r; g; b } ->
+      { Image.Pixel.r = map.(r); g = map.(g); b = map.(b) })
+    frame

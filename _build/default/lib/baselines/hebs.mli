@@ -1,0 +1,36 @@
+(** Histogram-equalisation backlight scaling — the HEBS/DTM family of
+    related work (§2 cites Iranli & Pedram's dynamic tone mapping).
+
+    Instead of clipping a fixed percentage of bright pixels, this
+    family *remaps* the tone curve towards the histogram's
+    equalisation transform: highlights are compressed rather than
+    discarded, freeing backlight headroom on content whose histogram
+    is too top-heavy for the clipping budget. The price is a
+    non-linear tone change across the whole image, where the paper's
+    contrast enhancement is exact for all non-clipped pixels. *)
+
+type solution = {
+  register : int;  (** backlight register *)
+  realised_gain : float;
+  map : int array;  (** 256-entry monotone tone map applied per channel *)
+  mean_error : float;
+      (** mean perceived-intensity deviation over the histogram,
+          normalised to full scale — comparable with
+          {!Annot.Operator.solution.mean_error} *)
+}
+
+val equalisation_map : Image.Histogram.t -> lambda:float -> int array
+(** [equalisation_map hist ~lambda] blends the identity tone curve with
+    full histogram equalisation ([lambda] in [0, 1]; 0 = identity,
+    1 = classic equalisation). The result is monotone non-decreasing.
+    Raises [Invalid_argument] on an empty histogram or out-of-range
+    lambda. *)
+
+val solve : device:Display.Device.t -> lambda:float -> Image.Histogram.t -> solution
+(** [solve ~device ~lambda hist] chooses the backlight that preserves
+    the scene's mean perceived brightness under the remap, and scores
+    the residual distortion. *)
+
+val apply_map : int array -> Image.Raster.t -> Image.Raster.t
+(** [apply_map map frame] applies the tone map to every channel of
+    every pixel. The map must have 256 entries in [0, 255]. *)

@@ -1,0 +1,1 @@
+lib/camera/quality.ml: Format Image Snapshot

@@ -1,0 +1,1 @@
+lib/camera/quality.mli: Display Format Image Snapshot

@@ -1,0 +1,1 @@
+lib/camera/response.ml: Array Float

@@ -1,0 +1,1 @@
+lib/camera/snapshot.ml: Array Bytes Char Display Image Response

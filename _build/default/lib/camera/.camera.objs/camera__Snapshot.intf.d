@@ -1,0 +1,1 @@
+lib/camera/snapshot.mli: Display Image Response

@@ -1,0 +1,47 @@
+type verdict = {
+  reference_mean : float;
+  compensated_mean : float;
+  mean_shift : float;
+  reference_range : int;
+  compensated_range : int;
+  range_change : int;
+  l1_distance : float;
+  emd : float;
+  intersection : float;
+}
+
+let compare_histograms ~reference ~compensated =
+  let reference_mean = Image.Histogram.mean reference
+  and compensated_mean = Image.Histogram.mean compensated in
+  let reference_range = Image.Histogram.dynamic_range reference
+  and compensated_range = Image.Histogram.dynamic_range compensated in
+  {
+    reference_mean;
+    compensated_mean;
+    mean_shift = compensated_mean -. reference_mean;
+    reference_range;
+    compensated_range;
+    range_change = compensated_range - reference_range;
+    l1_distance = Image.Histogram.l1_distance reference compensated;
+    emd = Image.Histogram.earth_movers_distance reference compensated;
+    intersection = Image.Histogram.intersection reference compensated;
+  }
+
+let evaluate ~rig ~device ~original ~compensated ~reduced_register =
+  let reference =
+    Snapshot.capture_histogram rig device ~backlight_register:255 original
+  in
+  let compensated =
+    Snapshot.capture_histogram rig device ~backlight_register:reduced_register
+      compensated
+  in
+  compare_histograms ~reference ~compensated
+
+let acceptable ?(mean_tolerance = 12.) ?(emd_tolerance = 20.) v =
+  abs_float v.mean_shift <= mean_tolerance && v.emd <= emd_tolerance
+
+let pp_verdict ppf v =
+  Format.fprintf ppf
+    "mean %.1f -> %.1f (shift %+.1f), range %d -> %d, EMD %.1f, L1 %.3f, inters %.3f"
+    v.reference_mean v.compensated_mean v.mean_shift v.reference_range
+    v.compensated_range v.emd v.l1_distance v.intersection

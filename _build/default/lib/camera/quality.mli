@@ -1,0 +1,46 @@
+(** Histogram-based quality evaluation (Fig 2, Fig 4).
+
+    The paper validates compensation by photographing the PDA showing
+    the original frame at full backlight (reference snapshot) and the
+    compensated frame at the reduced backlight (compensated snapshot),
+    then comparing the two histograms: a good compensation leaves the
+    average brightness and dynamic range nearly unchanged. *)
+
+type verdict = {
+  reference_mean : float;
+  compensated_mean : float;
+  mean_shift : float;  (** compensated - reference average brightness *)
+  reference_range : int;
+  compensated_range : int;
+  range_change : int;
+  l1_distance : float;  (** normalised histogram L1 distance, [0, 2] *)
+  emd : float;
+      (** earth-mover's distance in luminance levels: the average
+          number of levels each pixel's brightness moved — the robust
+          histogram comparison *)
+  intersection : float;  (** histogram intersection similarity, [0, 1] *)
+}
+
+val compare_histograms :
+  reference:Image.Histogram.t -> compensated:Image.Histogram.t -> verdict
+(** Raw comparison of two snapshot histograms. *)
+
+val evaluate :
+  rig:Snapshot.rig ->
+  device:Display.Device.t ->
+  original:Image.Raster.t ->
+  compensated:Image.Raster.t ->
+  reduced_register:int ->
+  verdict
+(** [evaluate ~rig ~device ~original ~compensated ~reduced_register]
+    performs the full Fig 2 flow: photograph [original] at register
+    255 and [compensated] at [reduced_register], and compare. *)
+
+val acceptable : ?mean_tolerance:float -> ?emd_tolerance:float -> verdict -> bool
+(** [acceptable v] decides whether the degradation is within tolerance
+    (defaults: mean shift at most 12 levels, earth-mover's distance at
+    most 20 levels — enough headroom for a sanctioned 20 % clipping
+    budget) — the "minimal or no visible quality degradation"
+    judgement. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,39 @@
+(* Responses are tabulated over 4096 radiance steps in [0, 1]; the
+   resolution is invisible at 8-bit output but keeps [apply] cheap. *)
+type t = { table : int array }
+
+let resolution = 4096
+
+let of_function f =
+  let table = Array.make resolution 0 in
+  let running = ref 0 in
+  for i = 0 to resolution - 1 do
+    let x = float_of_int i /. float_of_int (resolution - 1) in
+    let v = f x in
+    let v = int_of_float ((Float.max 0. (Float.min 1. v) *. 255.) +. 0.5) in
+    running := max !running v;
+    table.(i) <- !running
+  done;
+  { table }
+
+let apply r radiance =
+  if radiance <= 0. then r.table.(0)
+  else if radiance >= 1. then r.table.(resolution - 1)
+  else r.table.(int_of_float (radiance *. float_of_int (resolution - 1)))
+
+let srgb_like = of_function (fun x -> x ** (1. /. 2.2))
+
+let linear = of_function (fun x -> x)
+
+let s_curve =
+  (* Toe, near-linear midsection, soft shoulder: a logistic remapped to
+     hit 0 at 0 and 1 at 1. *)
+  of_function (fun x ->
+      let sigm v = 1. /. (1. +. exp (-.v)) in
+      let k = 7. in
+      let lo = sigm (-.k /. 2.) and hi = sigm (k /. 2.) in
+      (sigm (k *. (x -. 0.5)) -. lo) /. (hi -. lo))
+
+let is_monotone r =
+  let rec check i = i >= resolution || (r.table.(i) >= r.table.(i - 1) && check (i + 1)) in
+  check 1

@@ -1,0 +1,34 @@
+(** Digital-camera response curves.
+
+    §4.2: "A digital camera has a monotonic nonlinear transfer
+    function [Debevec–Malik] and allows us to objectively estimate the
+    similarity between two images." A response maps scene radiance
+    (relative, non-negative) to an 8-bit pixel value. All curves here
+    are strictly monotone over the exposure range and saturate at
+    255. *)
+
+type t
+
+val apply : t -> float -> int
+(** [apply r radiance] is the 8-bit sensor output for a relative
+    radiance (1.0 = the radiance that just saturates the sensor).
+    Negative radiance reads as 0. *)
+
+val srgb_like : t
+(** A gamma-2.2-style curve, typical of consumer cameras. *)
+
+val linear : t
+(** An idealised linear sensor (useful in tests: it makes snapshot
+    arithmetic exactly invertible). *)
+
+val s_curve : t
+(** A filmic S-shaped curve with toe and shoulder, the closest to the
+    Debevec–Malik recovered responses. *)
+
+val of_function : (float -> float) -> t
+(** [of_function f] wraps [f : radiance -> [0,1]]; the result is
+    clamped, quantised and forced monotone by tabulation. *)
+
+val is_monotone : t -> bool
+(** Always [true] for curves built by this module; exposed so property
+    tests can assert the invariant. *)

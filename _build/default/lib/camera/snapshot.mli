@@ -1,0 +1,45 @@
+(** Photographing a device screen — the validation rig of Fig 2.
+
+    A snapshot composes the device's forward display model (panel
+    transmittance, backlight transfer, white-level response) with the
+    camera response, pixel by pixel: exactly what a photograph of the
+    PDA captures, including "the actual characteristics of the handheld
+    display, which are not otherwise captured by a simulation"
+    (§4.2). *)
+
+type rig = {
+  response : Response.t;
+  exposure : float;
+      (** scales scene radiance before the sensor; calibrated so a
+          white frame at full backlight sits just below saturation *)
+  noise_sigma : float;  (** sensor noise in output levels; 0 = none *)
+  seed : int;  (** sensor-noise seed; snapshots are deterministic *)
+}
+
+val default_rig : Display.Device.t -> rig
+(** A rig with the S-curve response, exposure calibrated against the
+    given device's white point, and mild sensor noise. *)
+
+val noiseless_rig : Display.Device.t -> rig
+(** Same calibration, linear response, no noise — for exact tests. *)
+
+val capture :
+  rig -> Display.Device.t -> backlight_register:int -> Image.Raster.t ->
+  Image.Raster.t
+(** [capture rig device ~backlight_register frame] photographs [frame]
+    as shown on [device] with the given backlight register. The result
+    has the frame's dimensions; it is grayscale (the luminance image
+    the paper's histograms are computed from), stored with equal RGB
+    channels. *)
+
+val capture_histogram :
+  rig -> Display.Device.t -> backlight_register:int -> Image.Raster.t ->
+  Image.Histogram.t
+(** Histogram of the snapshot without materialising it — the common
+    fast path for quality evaluation. *)
+
+val measure_patch :
+  rig -> Display.Device.t -> backlight:int -> white:int -> float
+(** [measure_patch rig device ~backlight ~white] photographs a solid
+    gray patch and returns its mean snapshot level — the measurement
+    function driving {!Display.Characterize} sweeps (Figs 7, 8). *)

@@ -1,0 +1,1 @@
+lib/codec/bitio.ml: Buffer Char String

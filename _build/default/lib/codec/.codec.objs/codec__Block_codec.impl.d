@@ -1,0 +1,1 @@
+lib/codec/block_codec.ml: Array Dct Quant

@@ -1,0 +1,1 @@
+lib/codec/block_codec.mli: Quant

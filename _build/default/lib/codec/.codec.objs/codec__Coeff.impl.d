@@ -1,0 +1,1 @@
+lib/codec/coeff.ml: Array Golomb List Zigzag

@@ -1,0 +1,1 @@
+lib/codec/dct.ml: Array Float

@@ -1,0 +1,1 @@
+lib/codec/deblock.ml: Bytes Char Float Image List Plane

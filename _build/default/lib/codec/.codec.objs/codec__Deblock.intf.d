@@ -1,0 +1,1 @@
+lib/codec/deblock.mli: Image Plane

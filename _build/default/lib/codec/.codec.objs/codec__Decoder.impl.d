@@ -1,0 +1,1 @@
+lib/codec/decoder.ml: Array Bitio Block_codec Char Coeff Golomb Image Motion Option Plane Printf Quant Stream String

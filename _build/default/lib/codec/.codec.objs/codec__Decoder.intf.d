@@ -1,0 +1,1 @@
+lib/codec/decoder.mli: Image Stream

@@ -1,0 +1,1 @@
+lib/codec/encoder.ml: Array Bitio Block_codec Char Coeff Format Golomb List Motion Plane Quant Stream String Video

@@ -1,0 +1,1 @@
+lib/codec/encoder.mli: Format Stream Video

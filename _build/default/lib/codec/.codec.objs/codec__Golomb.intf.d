@@ -1,0 +1,1 @@
+lib/codec/golomb.mli: Bitio

@@ -1,0 +1,1 @@
+lib/codec/gop_planner.mli:

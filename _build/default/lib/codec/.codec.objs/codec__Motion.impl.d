@@ -1,0 +1,1 @@
+lib/codec/motion.ml: Array Float Plane

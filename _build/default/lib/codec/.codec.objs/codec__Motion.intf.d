@@ -1,0 +1,1 @@
+lib/codec/motion.mli: Plane

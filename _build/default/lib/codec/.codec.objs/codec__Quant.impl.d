@@ -1,0 +1,1 @@
+lib/codec/quant.ml: Array Float

@@ -1,0 +1,1 @@
+lib/codec/rate_control.ml: Encoder Stream Video

@@ -1,0 +1,1 @@
+lib/codec/rate_control.mli: Encoder Stream Video

@@ -1,0 +1,1 @@
+lib/codec/zigzag.ml: Array List

@@ -1,0 +1,82 @@
+module Writer = struct
+  type t = {
+    buf : Buffer.t;
+    mutable acc : int;  (* bits accumulated, left-aligned in low bits *)
+    mutable used : int;  (* number of valid bits in acc, 0-7 *)
+    mutable written_bits : int;
+  }
+
+  let create () = { buf = Buffer.create 1024; acc = 0; used = 0; written_bits = 0 }
+
+  let put_bit w bit =
+    w.acc <- (w.acc lsl 1) lor (if bit then 1 else 0);
+    w.used <- w.used + 1;
+    w.written_bits <- w.written_bits + 1;
+    if w.used = 8 then begin
+      Buffer.add_char w.buf (Char.unsafe_chr (w.acc land 0xff));
+      w.acc <- 0;
+      w.used <- 0
+    end
+
+  let put_bits w ~value ~bits =
+    if bits < 0 || bits > 62 then invalid_arg "Bitio.put_bits: bits out of [0, 62]";
+    if value < 0 then invalid_arg "Bitio.put_bits: negative value";
+    if bits < 62 && value lsr bits <> 0 then
+      invalid_arg "Bitio.put_bits: value does not fit";
+    for i = bits - 1 downto 0 do
+      put_bit w ((value lsr i) land 1 = 1)
+    done
+
+  let align w = while w.used <> 0 do put_bit w false done
+
+  let put_byte_aligned w b =
+    align w;
+    put_bits w ~value:(b land 0xff) ~bits:8
+
+  let bit_length w = w.written_bits
+
+  let contents w =
+    align w;
+    Buffer.contents w.buf
+end
+
+module Reader = struct
+  type t = { data : string; mutable bit_pos : int }
+
+  exception Out_of_bits
+
+  let of_string data = { data; bit_pos = 0 }
+
+  let total_bits r = String.length r.data * 8
+
+  let get_bit r =
+    if r.bit_pos >= total_bits r then raise Out_of_bits;
+    let byte = Char.code r.data.[r.bit_pos lsr 3] in
+    let bit = (byte lsr (7 - (r.bit_pos land 7))) land 1 = 1 in
+    r.bit_pos <- r.bit_pos + 1;
+    bit
+
+  let get_bits r n =
+    if n < 0 || n > 62 then invalid_arg "Bitio.get_bits: bits out of [0, 62]";
+    let acc = ref 0 in
+    for _ = 1 to n do
+      acc := (!acc lsl 1) lor (if get_bit r then 1 else 0)
+    done;
+    !acc
+
+  let align r =
+    let rem = r.bit_pos land 7 in
+    if rem <> 0 then begin
+      let skip = 8 - rem in
+      if r.bit_pos + skip > total_bits r then raise Out_of_bits;
+      r.bit_pos <- r.bit_pos + skip
+    end
+
+  let get_byte_aligned r =
+    align r;
+    get_bits r 8
+
+  let bits_remaining r = total_bits r - r.bit_pos
+
+  let position_bits r = r.bit_pos
+end

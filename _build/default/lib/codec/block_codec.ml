@@ -1,0 +1,15 @@
+let code_intra q kind samples =
+  let centred = Array.map (fun s -> s -. 128.) samples in
+  Quant.quantise q kind (Dct.forward centred)
+
+let reconstruct_intra q kind levels =
+  let spatial = Dct.inverse (Quant.dequantise q kind levels) in
+  Array.map (fun s -> s +. 128.) spatial
+
+let code_inter q kind ~samples ~prediction =
+  let residual = Array.init 64 (fun i -> samples.(i) -. prediction.(i)) in
+  Quant.quantise q kind (Dct.forward residual)
+
+let reconstruct_inter q kind ~prediction levels =
+  let residual = Dct.inverse (Quant.dequantise q kind levels) in
+  Array.init 64 (fun i -> prediction.(i) +. residual.(i))

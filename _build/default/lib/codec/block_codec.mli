@@ -1,0 +1,22 @@
+(** Transform coding of a single 8x8 block — the kernel shared by the
+    encoder (which also reconstructs, to keep its reference frames in
+    lock-step with the decoder) and the decoder. *)
+
+val code_intra : Quant.t -> Quant.plane_kind -> float array -> int array
+(** [code_intra q kind samples] centres the 64 samples at 0, applies
+    the DCT and quantises. *)
+
+val reconstruct_intra : Quant.t -> Quant.plane_kind -> int array -> float array
+(** Inverse of {!code_intra} up to quantisation loss: dequantise,
+    inverse-DCT, un-centre. *)
+
+val code_inter :
+  Quant.t -> Quant.plane_kind -> samples:float array -> prediction:float array ->
+  int array
+(** [code_inter q kind ~samples ~prediction] codes the residual
+    [samples - prediction]. *)
+
+val reconstruct_inter :
+  Quant.t -> Quant.plane_kind -> prediction:float array -> int array ->
+  float array
+(** Adds the decoded residual back onto the prediction. *)

@@ -1,0 +1,48 @@
+let nonzero_pairs zz =
+  (* (run-of-zeros-before, level) for each non-zero coefficient. *)
+  let pairs = ref [] in
+  let run = ref 0 in
+  for k = 0 to 63 do
+    if zz.(k) = 0 then incr run
+    else begin
+      pairs := (!run, zz.(k)) :: !pairs;
+      run := 0
+    end
+  done;
+  List.rev !pairs
+
+let write_block w levels =
+  let zz = Zigzag.forward levels in
+  let pairs = nonzero_pairs zz in
+  Golomb.write_ue w (List.length pairs);
+  List.iter
+    (fun (run, level) ->
+      Golomb.write_ue w run;
+      Golomb.write_se w level)
+    pairs
+
+let read_block r =
+  let nnz = Golomb.read_ue r in
+  if nnz > 64 then invalid_arg "Coeff.read_block: too many coefficients";
+  let zz = Array.make 64 0 in
+  let pos = ref 0 in
+  for _ = 1 to nnz do
+    let run = Golomb.read_ue r in
+    let level = Golomb.read_se r in
+    let k = !pos + run in
+    if k > 63 then invalid_arg "Coeff.read_block: run past end of block";
+    if level = 0 then invalid_arg "Coeff.read_block: zero level";
+    zz.(k) <- level;
+    pos := k + 1
+  done;
+  Zigzag.inverse zz
+
+let bit_cost levels =
+  let zz = Zigzag.forward levels in
+  let pairs = nonzero_pairs zz in
+  List.fold_left
+    (fun acc (run, level) ->
+      let z = if level > 0 then (2 * level) - 1 else -2 * level in
+      acc + Golomb.ue_bit_length run + Golomb.ue_bit_length z)
+    (Golomb.ue_bit_length (List.length pairs))
+    pairs

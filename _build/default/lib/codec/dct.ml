@@ -1,0 +1,47 @@
+let block_size = 8
+
+let n = block_size
+
+(* cosine.(u).(x) = alpha(u) * cos((2x+1) u pi / 16); rows of the 1-D
+   orthonormal DCT matrix. *)
+let cosine =
+  Array.init n (fun u ->
+      let alpha = if u = 0 then sqrt (1. /. float_of_int n) else sqrt (2. /. float_of_int n) in
+      Array.init n (fun x ->
+          alpha
+          *. cos (((2. *. float_of_int x) +. 1.) *. float_of_int u *. Float.pi
+                  /. (2. *. float_of_int n))))
+
+let check block =
+  if Array.length block <> n * n then invalid_arg "Dct: block must have 64 samples"
+
+(* Separable transform: rows then columns. *)
+let transform matrix_row block =
+  check block;
+  let tmp = Array.make (n * n) 0. in
+  (* Rows. *)
+  for y = 0 to n - 1 do
+    for u = 0 to n - 1 do
+      let acc = ref 0. in
+      for x = 0 to n - 1 do
+        acc := !acc +. (matrix_row u x *. block.((y * n) + x))
+      done;
+      tmp.((y * n) + u) <- !acc
+    done
+  done;
+  (* Columns. *)
+  let out = Array.make (n * n) 0. in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let acc = ref 0. in
+      for y = 0 to n - 1 do
+        acc := !acc +. (matrix_row v y *. tmp.((y * n) + u))
+      done;
+      out.((v * n) + u) <- !acc
+    done
+  done;
+  out
+
+let forward block = transform (fun u x -> cosine.(u).(x)) block
+
+let inverse block = transform (fun u x -> cosine.(x).(u)) block

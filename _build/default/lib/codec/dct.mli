@@ -1,0 +1,16 @@
+(** 8x8 type-II DCT and its inverse, the transform of MPEG/JPEG.
+
+    Blocks are 64-element float arrays in row-major order. The pair is
+    orthonormal: [idct (dct b) = b] up to floating-point rounding, so
+    the quantiser is the codec's only source of loss. *)
+
+val block_size : int
+(** 8. *)
+
+val forward : float array -> float array
+(** [forward block] transforms a 64-sample spatial block into 64
+    coefficients, DC first. Raises [Invalid_argument] unless the input
+    has 64 elements. *)
+
+val inverse : float array -> float array
+(** [inverse coeffs] reconstructs the spatial block. *)

@@ -1,0 +1,80 @@
+let blockiness img =
+  let w = Image.Raster.width img and h = Image.Raster.height img in
+  let plane = Image.Raster.luminance_plane img in
+  let sample x y = Char.code (Bytes.get plane ((y * w) + x)) in
+  (* Mean |step| across vertical boundaries at x = 8,16,... and the
+     mean |step| at off-grid columns, and likewise for rows. *)
+  let col_step x =
+    let acc = ref 0 in
+    for y = 0 to h - 1 do
+      acc := !acc + abs (sample x y - sample (x - 1) y)
+    done;
+    float_of_int !acc /. float_of_int h
+  in
+  let row_step y =
+    let acc = ref 0 in
+    for x = 0 to w - 1 do
+      acc := !acc + abs (sample x y - sample x (y - 1))
+    done;
+    float_of_int !acc /. float_of_int w
+  in
+  let mean steps = function
+    | [] -> 0.
+    | positions ->
+      List.fold_left (fun acc p -> acc +. steps p) 0. positions
+      /. float_of_int (List.length positions)
+  in
+  let grid_cols = List.init (w / 8) (fun i -> (i + 1) * 8) |> List.filter (fun x -> x < w) in
+  let off_cols =
+    List.init (w - 1) (fun i -> i + 1) |> List.filter (fun x -> x mod 8 <> 0)
+  in
+  let grid_rows = List.init (h / 8) (fun i -> (i + 1) * 8) |> List.filter (fun y -> y < h) in
+  let off_rows =
+    List.init (h - 1) (fun i -> i + 1) |> List.filter (fun y -> y mod 8 <> 0)
+  in
+  let vertical = mean col_step grid_cols -. mean col_step off_cols in
+  let horizontal = mean row_step grid_rows -. mean row_step off_rows in
+  Float.max 0. ((vertical +. horizontal) /. 2.)
+
+(* Soften one boundary pair (a | b): the two samples move a quarter of
+   the way towards each other, but only for small steps (large steps
+   are image content). *)
+let soften strength a b =
+  let step = b - a in
+  if abs step > strength then (a, b)
+  else begin
+    let d = step / 4 in
+    (a + d, b - d)
+  end
+
+let filter_plane ?(strength = 24) (plane : Plane.t) =
+  let w = plane.Plane.width and h = plane.Plane.height in
+  (* Vertical boundaries. *)
+  let x = ref 8 in
+  while !x < w do
+    for y = 0 to h - 1 do
+      let a = Plane.get plane ~x:(!x - 1) ~y and b = Plane.get plane ~x:!x ~y in
+      let a', b' = soften strength a b in
+      if a' <> a then Plane.set plane ~x:(!x - 1) ~y a';
+      if b' <> b then Plane.set plane ~x:!x ~y b'
+    done;
+    x := !x + 8
+  done;
+  (* Horizontal boundaries. *)
+  let y = ref 8 in
+  while !y < h do
+    for x = 0 to w - 1 do
+      let a = Plane.get plane ~x ~y:(!y - 1) and b = Plane.get plane ~x ~y:!y in
+      let a', b' = soften strength a b in
+      if a' <> a then Plane.set plane ~x ~y:(!y - 1) a';
+      if b' <> b then Plane.set plane ~x ~y:!y b'
+    done;
+    y := !y + 8
+  done
+
+let filter ?strength img =
+  let planes = Plane.of_raster img in
+  filter_plane ?strength planes.Plane.y;
+  filter_plane ?strength planes.Plane.cb;
+  filter_plane ?strength planes.Plane.cr;
+  Plane.to_raster planes

@@ -1,0 +1,24 @@
+(** Deblocking post-filter.
+
+    At coarse quantisers the 8x8 transform grid becomes visible as
+    discontinuities along block edges. The post-filter smooths each
+    block boundary with a short kernel, but only where the edge step is
+    small enough to be ringing rather than real detail (an
+    H.263-Annex-J-style smoothness test). It runs after decoding and
+    changes no bitstream syntax. *)
+
+val blockiness : Image.Raster.t -> float
+(** [blockiness img] measures grid artefacts on the luminance plane:
+    the mean absolute luma step across 8x8 block boundaries, minus the
+    mean step at off-grid columns/rows (natural image gradient). Near 0
+    for clean images; grows with quantisation. *)
+
+val filter_plane : ?strength:int -> Plane.t -> unit
+(** [filter_plane plane] smooths samples adjacent to each 8-aligned
+    boundary in place. An edge is filtered only when its step is at
+    most [strength] (default 24) — larger steps are treated as real
+    edges and left alone. *)
+
+val filter : ?strength:int -> Image.Raster.t -> Image.Raster.t
+(** Whole-picture filtering through YCbCr (luma filtered, chroma
+    filtered at its own grid). *)

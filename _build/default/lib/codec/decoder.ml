@@ -1,0 +1,227 @@
+type decoded = {
+  width : int;
+  height : int;
+  fps : float;
+  params : Stream.params;
+  frames : Image.Raster.t array;
+}
+
+type stream_info = {
+  info_width : int;
+  info_height : int;
+  info_fps : float;
+  info_frame_count : int;
+  info_params : Stream.params;
+  header_bytes : int;
+}
+
+type reference = Plane.ycbcr
+
+type luma_mode = Intra | Inter of Motion.vector
+
+exception Corrupt of string
+
+let fail msg = raise (Corrupt msg)
+
+let read_header r =
+  String.iter
+    (fun c ->
+      if Bitio.Reader.get_byte_aligned r <> Char.code c then fail "bad magic")
+    Stream.magic;
+  if Bitio.Reader.get_byte_aligned r <> Stream.version then fail "bad version";
+  let width = Golomb.read_ue r in
+  let height = Golomb.read_ue r in
+  let fps = float_of_int (Golomb.read_ue r) /. 1000. in
+  let frame_count = Golomb.read_ue r in
+  let gop = Golomb.read_ue r in
+  let qp = Golomb.read_ue r in
+  let search_range = Golomb.read_ue r in
+  if width <= 0 || height <= 0 then fail "bad dimensions";
+  if width > 8192 || height > 8192 then fail "implausible dimensions";
+  if fps <= 0. then fail "bad fps";
+  if qp < 1 || qp > 31 then fail "bad qp";
+  if gop < 1 then fail "bad gop";
+  Bitio.Reader.align r;
+  {
+    info_width = width;
+    info_height = height;
+    info_fps = fps;
+    info_frame_count = frame_count;
+    info_params = { Stream.qp; gop; search_range };
+    header_bytes = Bitio.Reader.position_bits r / 8;
+  }
+
+let parse_header data =
+  match read_header (Bitio.Reader.of_string data) with
+  | info -> Ok info
+  | exception Corrupt msg -> Error msg
+  | exception Bitio.Reader.Out_of_bits -> Error "truncated header"
+
+let decode_plane_intra r q kind (plane : Plane.t) =
+  let bw = plane.Plane.width / 8 and bh = plane.Plane.height / 8 in
+  for by = 0 to bh - 1 do
+    for bx = 0 to bw - 1 do
+      let levels = Coeff.read_block r in
+      Motion.store_block plane ~x:(bx * 8) ~y:(by * 8)
+        (Block_codec.reconstruct_intra q kind levels)
+    done
+  done
+
+let decode_luma_p r q ~(reference : Plane.t) (plane : Plane.t) =
+  let bw = plane.Plane.width / 8 and bh = plane.Plane.height / 8 in
+  let modes = Array.make (bw * bh) Intra in
+  for by = 0 to bh - 1 do
+    for bx = 0 to bw - 1 do
+      let x = bx * 8 and y = by * 8 in
+      match Golomb.read_ue r with
+      | 0 ->
+        let dx = Golomb.read_se r in
+        let dy = Golomb.read_se r in
+        (* Vectors are coded in half-pel units. *)
+        let vec = { Motion.dx; dy } in
+        let levels = Coeff.read_block r in
+        let prediction = Motion.extract_predicted_halfpel reference ~x ~y vec in
+        modes.((by * bw) + bx) <- Inter vec;
+        Motion.store_block plane ~x ~y
+          (Block_codec.reconstruct_inter q Quant.Luma ~prediction levels)
+      | 1 ->
+        let levels = Coeff.read_block r in
+        Motion.store_block plane ~x ~y
+          (Block_codec.reconstruct_intra q Quant.Luma levels)
+      | m -> fail (Printf.sprintf "bad block mode %d" m)
+    done
+  done;
+  modes
+
+let decode_chroma_p r q ~luma_modes ~luma_bw ~luma_bh ~(reference : Plane.t)
+    (plane : Plane.t) =
+  let bw = plane.Plane.width / 8 and bh = plane.Plane.height / 8 in
+  for by = 0 to bh - 1 do
+    for bx = 0 to bw - 1 do
+      let x = bx * 8 and y = by * 8 in
+      let lx = min (2 * bx) (luma_bw - 1) and ly = min (2 * by) (luma_bh - 1) in
+      let levels = Coeff.read_block r in
+      match luma_modes.((ly * luma_bw) + lx) with
+      | Inter vec ->
+        let prediction =
+          Motion.extract_predicted reference ~x ~y (Motion.chroma_vector vec)
+        in
+        Motion.store_block plane ~x ~y
+          (Block_codec.reconstruct_inter q Quant.Chroma ~prediction levels)
+      | Intra ->
+        Motion.store_block plane ~x ~y
+          (Block_codec.reconstruct_intra q Quant.Chroma levels)
+    done
+  done
+
+let padded d = (d + 7) / 8 * 8
+
+let fresh_planes info =
+  let cw = (info.info_width + 1) / 2 and ch = (info.info_height + 1) / 2 in
+  {
+    Plane.y = Plane.create ~width:(padded info.info_width) ~height:(padded info.info_height);
+    cb = Plane.create ~width:(padded cw) ~height:(padded ch);
+    cr = Plane.create ~width:(padded cw) ~height:(padded ch);
+  }
+
+let raster_of_planes info planes =
+  let cw = (info.info_width + 1) / 2 and ch = (info.info_height + 1) / 2 in
+  Plane.to_raster
+    {
+      Plane.y = Plane.crop planes.Plane.y ~width:info.info_width ~height:info.info_height;
+      cb = Plane.crop planes.Plane.cb ~width:cw ~height:ch;
+      cr = Plane.crop planes.Plane.cr ~width:cw ~height:ch;
+    }
+
+(* Decodes one frame from the reader's current (aligned) position. *)
+let decode_frame_body r info ~reference =
+  Bitio.Reader.align r;
+  let marker = Bitio.Reader.get_byte_aligned r in
+  let qp = Bitio.Reader.get_byte_aligned r in
+  if qp < 1 || qp > 31 then fail "bad frame qp";
+  let q = Quant.make ~qp in
+  let planes = fresh_planes info in
+  (match (Char.chr marker, reference) with
+  | 'I', _ ->
+    decode_plane_intra r q Quant.Luma planes.Plane.y;
+    decode_plane_intra r q Quant.Chroma planes.Plane.cb;
+    decode_plane_intra r q Quant.Chroma planes.Plane.cr
+  | 'P', Some prev ->
+    let luma_bw = planes.Plane.y.Plane.width / 8
+    and luma_bh = planes.Plane.y.Plane.height / 8 in
+    let modes = decode_luma_p r q ~reference:prev.Plane.y planes.Plane.y in
+    decode_chroma_p r q ~luma_modes:modes ~luma_bw ~luma_bh
+      ~reference:prev.Plane.cb planes.Plane.cb;
+    decode_chroma_p r q ~luma_modes:modes ~luma_bw ~luma_bh
+      ~reference:prev.Plane.cr planes.Plane.cr
+  | 'P', None -> fail "P frame without reference"
+  | _ -> fail "bad frame marker"
+  | exception Invalid_argument _ -> fail "bad frame marker");
+  Plane.clamp planes.Plane.y;
+  Plane.clamp planes.Plane.cb;
+  Plane.clamp planes.Plane.cr;
+  planes
+
+let reference_of_raster raster = Plane.of_raster raster
+
+let raster_of_reference ~width ~height planes =
+  raster_of_planes
+    {
+      info_width = width;
+      info_height = height;
+      info_fps = 1.;
+      info_frame_count = 0;
+      info_params = Stream.default_params;
+      header_bytes = 0;
+    }
+    planes
+
+let decode_frame ~info ~reference payload =
+  let r = Bitio.Reader.of_string payload in
+  (* The reference picture may come from concealment at display size;
+     re-pad it to the codec's working geometry. *)
+  let reference =
+    Option.map
+      (fun (planes : Plane.ycbcr) ->
+        {
+          Plane.y = Plane.pad_to_multiple planes.Plane.y 8;
+          cb = Plane.pad_to_multiple planes.Plane.cb 8;
+          cr = Plane.pad_to_multiple planes.Plane.cr 8;
+        })
+      reference
+  in
+  match decode_frame_body r info ~reference with
+  | planes -> Ok (raster_of_planes info planes, planes)
+  | exception Corrupt msg -> Error msg
+  | exception Bitio.Reader.Out_of_bits -> Error "truncated frame"
+  | exception Invalid_argument msg -> Error msg
+
+let decode_body r =
+  let info = read_header r in
+  let frames =
+    Array.make info.info_frame_count (Image.Raster.create ~width:1 ~height:1)
+  in
+  let reference = ref None in
+  for i = 0 to info.info_frame_count - 1 do
+    let planes = decode_frame_body r info ~reference:!reference in
+    reference := Some planes;
+    frames.(i) <- raster_of_planes info planes
+  done;
+  {
+    width = info.info_width;
+    height = info.info_height;
+    fps = info.info_fps;
+    params = info.info_params;
+    frames;
+  }
+
+let decode data =
+  let r = Bitio.Reader.of_string data in
+  match decode_body r with
+  | d -> Ok d
+  | exception Corrupt msg -> Error msg
+  | exception Bitio.Reader.Out_of_bits -> Error "truncated stream"
+  | exception Invalid_argument msg -> Error msg
+
+let decode_exn data =
+  match decode data with Ok d -> d | Error msg -> failwith ("Decoder: " ^ msg)

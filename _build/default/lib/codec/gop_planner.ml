@@ -1,0 +1,41 @@
+module Int_set = Set.Make (Int)
+
+type t = { marks : Int_set.t; frame_count : int }
+
+let plan ~max_interval ~scene_starts ~frame_count =
+  if max_interval < 1 then invalid_arg "Gop_planner.plan: interval must be positive";
+  if frame_count < 1 then invalid_arg "Gop_planner.plan: empty clip";
+  List.iter
+    (fun s ->
+      if s < 0 || s >= frame_count then
+        invalid_arg "Gop_planner.plan: scene start out of range")
+    scene_starts;
+  let anchors = Int_set.add 0 (Int_set.of_list scene_starts) in
+  (* Refresh inside any stretch that would otherwise exceed the
+     interval: walk anchor to anchor. *)
+  let marks = ref anchors in
+  let rec refresh from until =
+    if until - from > max_interval then begin
+      let mid = from + max_interval in
+      marks := Int_set.add mid !marks;
+      refresh mid until
+    end
+  in
+  let sorted = Int_set.elements anchors @ [ frame_count ] in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+      refresh a b;
+      walk rest
+    | [ _ ] | [] -> ()
+  in
+  walk sorted;
+  { marks = !marks; frame_count }
+
+let of_scene_intervals ~max_interval ~frame_count intervals =
+  plan ~max_interval ~frame_count ~scene_starts:(List.map fst intervals)
+
+let i_frame_at t i = Int_set.mem i t.marks
+
+let positions t = Int_set.elements t.marks
+
+let count t = Int_set.cardinal t.marks

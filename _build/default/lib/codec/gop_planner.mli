@@ -1,0 +1,33 @@
+(** Content-aware GOP planning from profiling annotations.
+
+    A fourth use of the offline profile: the scene boundaries the
+    annotator already detects are exactly where P-frames are expensive
+    (prediction across a cut fails block by block) and where loss
+    recovery matters most (a fresh scene deserves a fresh prediction
+    chain). The planner turns a scene segmentation into the encoder's
+    [i_frame_at] predicate: an I-frame at every scene start, plus
+    periodic refreshes inside scenes longer than [max_interval]. *)
+
+type t
+(** A planned set of I-frame positions. *)
+
+val plan : max_interval:int -> scene_starts:int list -> frame_count:int -> t
+(** [plan ~max_interval ~scene_starts ~frame_count] places I-frames at
+    frame 0, every listed scene start, and at most [max_interval]
+    frames apart within scenes. Raises [Invalid_argument] on a
+    non-positive interval, a non-positive frame count, or out-of-range
+    scene starts. *)
+
+val of_scene_intervals :
+  max_interval:int -> frame_count:int -> (int * int) list -> t
+(** Convenience over [plan] taking [(first, last)] scene intervals (as
+    produced by scene detection or by the clip generator's ground
+    truth). *)
+
+val i_frame_at : t -> int -> bool
+(** The predicate to pass to {!Encoder.encode_clip}. *)
+
+val positions : t -> int list
+(** All planned I-frame positions, ascending. *)
+
+val count : t -> int

@@ -1,0 +1,107 @@
+type vector = { dx : int; dy : int }
+
+let zero = { dx = 0; dy = 0 }
+
+let block = 8
+
+let sad current reference ~x ~y v =
+  let acc = ref 0 in
+  for by = 0 to block - 1 do
+    for bx = 0 to block - 1 do
+      let c = Plane.get current ~x:(x + bx) ~y:(y + by) in
+      let r = Plane.get reference ~x:(x + bx + v.dx) ~y:(y + by + v.dy) in
+      acc := !acc + abs (c - r)
+    done
+  done;
+  !acc
+
+let vector_norm v = abs v.dx + abs v.dy
+
+let search ?(range = 7) ~current ~reference ~x ~y () =
+  let best = ref zero and best_sad = ref (sad current reference ~x ~y zero) in
+  for dy = -range to range do
+    for dx = -range to range do
+      let v = { dx; dy } in
+      let s = sad current reference ~x ~y v in
+      if s < !best_sad || (s = !best_sad && vector_norm v < vector_norm !best)
+      then begin
+        best := v;
+        best_sad := s
+      end
+    done
+  done;
+  (!best, !best_sad)
+
+let extract_block p ~x ~y =
+  Array.init (block * block) (fun i ->
+      let bx = i mod block and by = i / block in
+      float_of_int (Plane.get p ~x:(x + bx) ~y:(y + by)))
+
+let extract_predicted p ~x ~y v =
+  Array.init (block * block) (fun i ->
+      let bx = i mod block and by = i / block in
+      float_of_int (Plane.get p ~x:(x + bx + v.dx) ~y:(y + by + v.dy)))
+
+let store_block p ~x ~y samples =
+  for i = 0 to (block * block) - 1 do
+    let bx = i mod block and by = i / block in
+    let px = x + bx and py = y + by in
+    if px >= 0 && px < p.Plane.width && py >= 0 && py < p.Plane.height then
+      Plane.set p ~x:px ~y:py (int_of_float (Float.round samples.(i)))
+  done
+
+let halve v = { dx = v.dx / 2; dy = v.dy / 2 }
+
+let to_halfpel v = { dx = 2 * v.dx; dy = 2 * v.dy }
+
+(* Bilinear sample at half-pel position (2*px + fx, 2*py + fy)/2 where
+   fx, fy are the fractional half-pel bits. Integer parts use
+   arithmetic shifts so negative vectors floor correctly. *)
+let halfpel_sample p ~hx ~hy =
+  let ix = hx asr 1 and iy = hy asr 1 in
+  let fx = hx land 1 and fy = hy land 1 in
+  let s dx dy = Plane.get p ~x:(ix + dx) ~y:(iy + dy) in
+  match (fx, fy) with
+  | 0, 0 -> s 0 0
+  | 1, 0 -> (s 0 0 + s 1 0 + 1) / 2
+  | 0, 1 -> (s 0 0 + s 0 1 + 1) / 2
+  | _ -> (s 0 0 + s 1 0 + s 0 1 + s 1 1 + 2) / 4
+
+let extract_predicted_halfpel p ~x ~y v =
+  Array.init (block * block) (fun i ->
+      let bx = i mod block and by = i / block in
+      float_of_int
+        (halfpel_sample p ~hx:((2 * (x + bx)) + v.dx) ~hy:((2 * (y + by)) + v.dy)))
+
+let sad_halfpel current reference ~x ~y v =
+  let acc = ref 0 in
+  for by = 0 to block - 1 do
+    for bx = 0 to block - 1 do
+      let c = Plane.get current ~x:(x + bx) ~y:(y + by) in
+      let r =
+        halfpel_sample reference ~hx:((2 * (x + bx)) + v.dx)
+          ~hy:((2 * (y + by)) + v.dy)
+      in
+      acc := !acc + abs (c - r)
+    done
+  done;
+  !acc
+
+let refine_halfpel ~current ~reference ~x ~y best_integer =
+  let centre = to_halfpel best_integer in
+  let best = ref centre and best_sad = ref (sad_halfpel current reference ~x ~y centre) in
+  for dy = -1 to 1 do
+    for dx = -1 to 1 do
+      if dx <> 0 || dy <> 0 then begin
+        let v = { dx = centre.dx + dx; dy = centre.dy + dy } in
+        let s = sad_halfpel current reference ~x ~y v in
+        if s < !best_sad then begin
+          best := v;
+          best_sad := s
+        end
+      end
+    done
+  done;
+  (!best, !best_sad)
+
+let chroma_vector v = { dx = v.dx asr 2; dy = v.dy asr 2 }

@@ -1,0 +1,120 @@
+type t = { width : int; height : int; samples : int array }
+
+let create ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Plane.create: bad dimensions";
+  { width; height; samples = Array.make (width * height) 0 }
+
+let clamp_coord v limit = if v < 0 then 0 else if v >= limit then limit - 1 else v
+
+let get p ~x ~y =
+  let x = clamp_coord x p.width and y = clamp_coord y p.height in
+  p.samples.((y * p.width) + x)
+
+let set p ~x ~y v =
+  if x < 0 || x >= p.width || y < 0 || y >= p.height then
+    invalid_arg "Plane.set: out of bounds";
+  p.samples.((y * p.width) + x) <- v
+
+let clamp p =
+  for i = 0 to Array.length p.samples - 1 do
+    let v = p.samples.(i) in
+    p.samples.(i) <- (if v < 0 then 0 else if v > 255 then 255 else v)
+  done
+
+let copy p = { p with samples = Array.copy p.samples }
+
+let pad_to_multiple p m =
+  if m <= 0 then invalid_arg "Plane.pad_to_multiple: bad multiple";
+  let round v = (v + m - 1) / m * m in
+  let w = round p.width and h = round p.height in
+  if w = p.width && h = p.height then p
+  else begin
+    let out = create ~width:w ~height:h in
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        out.samples.((y * w) + x) <- get p ~x ~y
+      done
+    done;
+    out
+  end
+
+let crop p ~width ~height =
+  if width > p.width || height > p.height || width <= 0 || height <= 0 then
+    invalid_arg "Plane.crop: bad dimensions";
+  if width = p.width && height = p.height then p
+  else begin
+    let out = create ~width ~height in
+    for y = 0 to height - 1 do
+      for x = 0 to width - 1 do
+        out.samples.((y * width) + x) <- p.samples.((y * p.width) + x)
+      done
+    done;
+    out
+  end
+
+let equal a b = a.width = b.width && a.height = b.height && a.samples = b.samples
+
+type ycbcr = { y : t; cb : t; cr : t }
+
+let chroma_dim d = (d + 1) / 2
+
+(* Integer BT.601 full-range conversion. *)
+let rgb_to_ycbcr r g b =
+  let y = ((19595 * r) + (38470 * g) + (7471 * b) + 32768) lsr 16 in
+  let cb = 128 + (((-11056 * r) - (21712 * g) + (32768 * b)) asr 16) in
+  let cr = 128 + (((32768 * r) - (27440 * g) - (5328 * b)) asr 16) in
+  (y, cb, cr)
+
+let clamp255 v = if v < 0 then 0 else if v > 255 then 255 else v
+
+let ycbcr_to_rgb y cb cr =
+  let cb = cb - 128 and cr = cr - 128 in
+  let r = y + ((91881 * cr) asr 16) in
+  let g = y - ((22554 * cb) asr 16) - ((46802 * cr) asr 16) in
+  let b = y + ((116130 * cb) asr 16) in
+  (clamp255 r, clamp255 g, clamp255 b)
+
+let of_raster img =
+  let w = Image.Raster.width img and h = Image.Raster.height img in
+  let cw = chroma_dim w and ch = chroma_dim h in
+  let yp = create ~width:w ~height:h in
+  let cbp = create ~width:cw ~height:ch in
+  let crp = create ~width:cw ~height:ch in
+  (* Accumulate chroma over 2x2 sites. *)
+  let cb_acc = Array.make (cw * ch) 0
+  and cr_acc = Array.make (cw * ch) 0
+  and cnt = Array.make (cw * ch) 0 in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let { Image.Pixel.r; g; b } = Image.Raster.get img ~x ~y in
+      let ly, cb, cr = rgb_to_ycbcr r g b in
+      yp.samples.((y * w) + x) <- ly;
+      let ci = ((y / 2) * cw) + (x / 2) in
+      cb_acc.(ci) <- cb_acc.(ci) + cb;
+      cr_acc.(ci) <- cr_acc.(ci) + cr;
+      cnt.(ci) <- cnt.(ci) + 1
+    done
+  done;
+  for i = 0 to (cw * ch) - 1 do
+    cbp.samples.(i) <- cb_acc.(i) / max 1 cnt.(i);
+    crp.samples.(i) <- cr_acc.(i) / max 1 cnt.(i)
+  done;
+  { y = yp; cb = cbp; cr = crp }
+
+let to_raster { y = yp; cb = cbp; cr = crp } =
+  let w = yp.width and h = yp.height in
+  Image.Raster.init ~width:w ~height:h (fun ~x ~y ->
+      let ly = get yp ~x ~y in
+      let cb = get cbp ~x:(x / 2) ~y:(y / 2) in
+      let cr = get crp ~x:(x / 2) ~y:(y / 2) in
+      let r, g, b = ycbcr_to_rgb ly cb cr in
+      { Image.Pixel.r; g; b })
+
+let mean_absolute_difference a b =
+  if a.width <> b.width || a.height <> b.height then
+    invalid_arg "Plane.mean_absolute_difference: dimension mismatch";
+  let sum = ref 0 in
+  for i = 0 to Array.length a.samples - 1 do
+    sum := !sum + abs (a.samples.(i) - b.samples.(i))
+  done;
+  float_of_int !sum /. float_of_int (Array.length a.samples)

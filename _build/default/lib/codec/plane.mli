@@ -1,0 +1,46 @@
+(** Sample planes and RGB <-> YCbCr conversion.
+
+    The codec works on three planes in BT.601 YCbCr with 4:2:0 chroma
+    subsampling, like MPEG-1. Samples are ints; Y is in [0, 255],
+    chroma is stored offset by +128 so it also occupies [0, 255]. *)
+
+type t = { width : int; height : int; samples : int array }
+(** Row-major plane. Samples may temporarily leave [0, 255] inside the
+    codec (residuals); [clamp] restores range. *)
+
+val create : width:int -> height:int -> t
+
+val get : t -> x:int -> y:int -> int
+(** Edge-clamped access: coordinates outside the plane read the nearest
+    edge sample (used by motion compensation at borders). *)
+
+val set : t -> x:int -> y:int -> int -> unit
+(** Raises [Invalid_argument] out of bounds. *)
+
+val clamp : t -> unit
+(** Clamps every sample to [0, 255]. *)
+
+val copy : t -> t
+
+val pad_to_multiple : t -> int -> t
+(** [pad_to_multiple p m] extends the plane to dimensions that are
+    multiples of [m] by edge replication; returns [p] itself if it is
+    already aligned. *)
+
+val crop : t -> width:int -> height:int -> t
+(** [crop p ~width ~height] keeps the top-left region. *)
+
+val equal : t -> t -> bool
+
+type ycbcr = { y : t; cb : t; cr : t }
+(** 4:2:0 frame: chroma planes have half resolution in each dimension
+    (rounded up). *)
+
+val of_raster : Image.Raster.t -> ycbcr
+(** BT.601 conversion with 2x2 chroma averaging. *)
+
+val to_raster : ycbcr -> Image.Raster.t
+(** Inverse conversion with chroma upsampling (nearest-neighbour). *)
+
+val mean_absolute_difference : t -> t -> float
+(** Over the common dimensions, which must match. *)

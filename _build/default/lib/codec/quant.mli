@@ -1,0 +1,22 @@
+(** Coefficient quantisation.
+
+    JPEG-style base matrices (a flatter one for luma, a steeper one for
+    chroma) scaled by a quantiser parameter [qp] in [1, 31], MPEG-1
+    style: higher [qp] means coarser steps and a smaller stream. *)
+
+type t
+(** A quantiser: a pair of effective step matrices. *)
+
+val make : qp:int -> t
+(** Raises [Invalid_argument] for [qp] outside [1, 31]. *)
+
+val qp : t -> int
+
+type plane_kind = Luma | Chroma
+
+val quantise : t -> plane_kind -> float array -> int array
+(** [quantise q kind coeffs] divides 64 DCT coefficients by the step
+    matrix and rounds to nearest. *)
+
+val dequantise : t -> plane_kind -> int array -> float array
+(** Multiplies back by the step matrix. *)

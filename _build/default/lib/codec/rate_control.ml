@@ -1,0 +1,79 @@
+type outcome = {
+  encoded : Encoder.encoded;
+  fits : bool;
+  encodes_tried : int;
+}
+
+let qp_min = 1
+let qp_max = 31
+
+let for_target_bytes ?(params = Stream.default_params) ?(min_qp = qp_min)
+    ~target_bytes clip =
+  if target_bytes <= 0 then
+    invalid_arg "Rate_control.for_target_bytes: target must be positive";
+  if min_qp < qp_min || min_qp > qp_max then
+    invalid_arg "Rate_control.for_target_bytes: min_qp out of [1, 31]";
+  let tried = ref 0 in
+  let encode qp =
+    incr tried;
+    Encoder.encode_clip ~params:{ params with Stream.qp } clip
+  in
+  (* Binary search for the smallest qp that fits: stream size is
+     non-increasing in qp. *)
+  let rec search lo hi best =
+    if lo > hi then best
+    else begin
+      let qp = (lo + hi) / 2 in
+      let encoded = encode qp in
+      if Encoder.total_bytes encoded <= target_bytes then
+        search lo (qp - 1) (Some encoded)
+      else search (qp + 1) hi best
+    end
+  in
+  match search min_qp qp_max None with
+  | Some encoded -> { encoded; fits = true; encodes_tried = !tried }
+  | None ->
+    (* Even the coarsest quantiser overshoots; deliver it anyway. The
+       search always visits an endpoint neighbourhood, so re-encoding
+       qp 31 at most adds one pass. *)
+    let encoded = encode qp_max in
+    { encoded; fits = false; encodes_tried = !tried }
+
+(* Leaky-bucket single-pass control: frame k should have spent
+   [k * budget / frames] bits; the deviation steers qp around the
+   running operating point. I-frames cost several times a P-frame, so
+   the controller reacts to the *cumulative* debt rather than per-frame
+   spikes. *)
+let single_pass ?(params = Stream.default_params) ~target_bytes clip =
+  if target_bytes <= 0 then
+    invalid_arg "Rate_control.single_pass: target must be positive";
+  let frames = clip.Video.Clip.frame_count in
+  if frames = 0 then invalid_arg "Rate_control.single_pass: empty clip";
+  let budget_bits = float_of_int (target_bytes * 8) in
+  let per_frame = budget_bits /. float_of_int frames in
+  let qp_for ~index ~total_bits =
+    if index = 0 then params.Stream.qp
+    else begin
+      let expected = per_frame *. float_of_int index in
+      (* Proportional control on the cumulative debt, measured in
+         per-frame budgets: one frame of debt is worth one qp step. *)
+      let debt = (float_of_int total_bits -. expected) /. per_frame in
+      max qp_min (min qp_max (params.Stream.qp + int_of_float debt))
+    end
+  in
+  let encoded = Encoder.encode_clip ~params ~qp_for clip in
+  {
+    encoded;
+    fits = Encoder.total_bytes encoded <= target_bytes;
+    encodes_tried = 1;
+  }
+
+let for_link ?params ?min_qp ?(utilisation = 0.8) ~link_bps clip =
+  if link_bps <= 0. then invalid_arg "Rate_control.for_link: bad link rate";
+  if utilisation <= 0. || utilisation > 1. then
+    invalid_arg "Rate_control.for_link: utilisation out of (0, 1]";
+  let duration = Video.Clip.duration_seconds clip in
+  let target_bytes =
+    max 1 (int_of_float (utilisation *. link_bps *. duration /. 8.))
+  in
+  for_target_bytes ?params ?min_qp ~target_bytes clip

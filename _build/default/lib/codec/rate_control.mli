@@ -1,0 +1,49 @@
+(** Rate control: fitting a stream to a byte budget.
+
+    The proxy of Fig 1 transcodes for the wireless hop; the natural
+    contract is a byte (or bitrate) budget derived from the link. The
+    bitstream carries a single quantiser, so control is two-pass: a
+    monotone search over [qp] for the finest quantiser whose encode
+    fits the budget (sizes decrease monotonically in [qp], which the
+    codec test suite asserts). *)
+
+type outcome = {
+  encoded : Encoder.encoded;
+  fits : bool;  (** whether the budget was met (false only at qp 31) *)
+  encodes_tried : int;  (** encoder passes the search spent *)
+}
+
+val for_target_bytes :
+  ?params:Stream.params -> ?min_qp:int -> target_bytes:int -> Video.Clip.t ->
+  outcome
+(** [for_target_bytes ~target_bytes clip] is the finest-quantiser
+    encode of [clip] no larger than [target_bytes]; when even the
+    coarsest quantiser overshoots, returns that encode with
+    [fits = false]. The [qp] of [params] is ignored (it is the search
+    variable); [gop] and [search_range] are honoured. [min_qp]
+    (default 1) floors the search — a transcoder passes its source's
+    quantiser, since re-encoding cannot add quality. Raises
+    [Invalid_argument] on a non-positive target or a [min_qp] outside
+    [1, 31]. *)
+
+val for_link :
+  ?params:Stream.params ->
+  ?min_qp:int ->
+  ?utilisation:float ->
+  link_bps:float ->
+  Video.Clip.t ->
+  outcome
+(** [for_link ~link_bps clip] budgets the stream at
+    [utilisation * link_bps * duration] (default utilisation 0.8,
+    leaving headroom for packet overhead and retransmissions). *)
+
+val single_pass :
+  ?params:Stream.params -> target_bytes:int -> Video.Clip.t -> outcome
+(** [single_pass ~target_bytes clip] encodes exactly once, steering the
+    per-frame quantiser with a leaky-bucket controller: each frame
+    compares the bits actually spent against the pro-rated budget and
+    nudges [qp] to drain or fill the debt. Landing is looser than the
+    two-pass search (typically within ~15 % of the budget) but costs a
+    single encoder pass — the live-proxy regime, where the clip cannot
+    be encoded twice. [fits] reports whether the final stream met the
+    budget. Raises [Invalid_argument] on a non-positive target. *)

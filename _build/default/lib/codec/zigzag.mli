@@ -1,0 +1,14 @@
+(** The 8x8 zig-zag scan that orders coefficients from low to high
+    spatial frequency, concentrating the trailing zeros the run-length
+    coder exploits. *)
+
+val scan_order : int array
+(** [scan_order.(k)] is the row-major index of the [k]-th coefficient
+    in zig-zag order; a permutation of [0..63] starting at the DC
+    term. *)
+
+val forward : int array -> int array
+(** Reorders 64 row-major levels into zig-zag order. *)
+
+val inverse : int array -> int array
+(** Restores row-major order; [inverse (forward a) = a]. *)

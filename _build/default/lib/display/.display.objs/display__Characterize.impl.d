@@ -1,0 +1,1 @@
+lib/display/characterize.ml: Array Panel Transfer

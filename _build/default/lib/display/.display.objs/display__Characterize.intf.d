@@ -1,0 +1,1 @@
+lib/display/characterize.mli: Panel Transfer

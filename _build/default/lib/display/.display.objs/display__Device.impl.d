@@ -1,0 +1,1 @@
+lib/display/device.ml: Format List Panel Printf String Transfer

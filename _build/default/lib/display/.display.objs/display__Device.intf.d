@@ -1,0 +1,1 @@
+lib/display/device.mli: Format Panel

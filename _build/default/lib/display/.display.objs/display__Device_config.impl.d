@@ -1,0 +1,1 @@
+lib/display/device_config.ml: Device Fun Panel Printf Result String Transfer

@@ -1,0 +1,1 @@
+lib/display/device_config.mli: Device

@@ -1,0 +1,1 @@
+lib/display/panel.ml: Format Image Transfer

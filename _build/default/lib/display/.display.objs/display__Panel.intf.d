@@ -1,0 +1,1 @@
+lib/display/panel.mli: Format Transfer

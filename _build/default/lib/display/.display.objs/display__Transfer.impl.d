@@ -1,0 +1,1 @@
+lib/display/transfer.ml: Array Float Format

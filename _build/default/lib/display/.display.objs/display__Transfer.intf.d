@@ -1,0 +1,1 @@
+lib/display/transfer.mli: Format

@@ -1,0 +1,47 @@
+type measurement = backlight:int -> white:int -> float
+
+type sweep = { levels : int array; readings : float array }
+
+let spaced_levels steps =
+  if steps < 2 then invalid_arg "Characterize: need at least 2 steps";
+  Array.init steps (fun i -> i * 255 / (steps - 1))
+
+let backlight_sweep ?(steps = 18) measure =
+  let levels = spaced_levels steps in
+  let readings = Array.map (fun b -> measure ~backlight:b ~white:255) levels in
+  { levels; readings }
+
+let white_sweep ?(steps = 18) ~backlight measure =
+  let levels = spaced_levels steps in
+  let readings = Array.map (fun w -> measure ~backlight ~white:w) levels in
+  { levels; readings }
+
+(* Piecewise-linear interpolation of a sweep onto the full 0-255 grid. *)
+let interpolate sweep =
+  let n = Array.length sweep.levels in
+  let full = Array.make 256 0. in
+  for r = 0 to 255 do
+    (* Find the bracketing samples. *)
+    let rec seg i = if i >= n - 1 || sweep.levels.(i + 1) >= r then i else seg (i + 1) in
+    let i = seg 0 in
+    let x0 = sweep.levels.(i) and x1 = sweep.levels.(min (n - 1) (i + 1)) in
+    let y0 = sweep.readings.(i) and y1 = sweep.readings.(min (n - 1) (i + 1)) in
+    full.(r) <-
+      (if x1 = x0 then y0
+       else y0 +. ((y1 -. y0) *. float_of_int (r - x0) /. float_of_int (x1 - x0)))
+  done;
+  full
+
+let recover_transfer ?(steps = 18) measure =
+  Transfer.of_table (interpolate (backlight_sweep ~steps measure))
+
+let max_relative_error a b =
+  let worst = ref 0. in
+  for r = 0 to 255 do
+    let d = abs_float (Transfer.apply a r -. Transfer.apply b r) in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+let analytic_measurement panel ~backlight ~white =
+  Panel.emitted_luminance panel ~backlight_register:backlight ~image_level:white

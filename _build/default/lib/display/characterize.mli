@@ -1,0 +1,48 @@
+(** Display characterisation — the gray-patch procedure of §5.
+
+    "We start by first characterizing the display and backlight of our
+    PDAs. This is performed by displaying images of different solid
+    gray levels on the handhelds and capturing snapshots of the screen
+    with a digital camera."
+
+    The procedure is parameterised by a measurement function (the
+    camera library provides a realistic one; tests can pass the panel's
+    own analytic response) and produces the data behind Fig 7
+    (brightness vs backlight at white 255) and Fig 8 (brightness vs
+    white level at fixed backlight), plus a {!Transfer.t} recovered
+    from the measurements that the annotation pipeline can use in place
+    of the factory curve. *)
+
+type measurement = backlight:int -> white:int -> float
+(** [measure ~backlight ~white] is the observed screen brightness for a
+    solid patch of gray level [white] under the given backlight
+    register; non-negative, arbitrary units. *)
+
+type sweep = { levels : int array; readings : float array }
+(** Paired samples: [readings.(i)] was observed at [levels.(i)]. *)
+
+val backlight_sweep : ?steps:int -> measurement -> sweep
+(** [backlight_sweep ?steps measure] holds white at 255 and sweeps the
+    backlight register over [steps] evenly spaced values (default 18,
+    a realistic manual-measurement count) — Fig 7. *)
+
+val white_sweep : ?steps:int -> backlight:int -> measurement -> sweep
+(** [white_sweep ?steps ~backlight measure] holds the backlight and
+    sweeps the displayed gray level — Fig 8 plots this at backlight
+    255 and 128. *)
+
+val recover_transfer : ?steps:int -> measurement -> Transfer.t
+(** [recover_transfer ?steps measure] runs a backlight sweep and
+    interpolates it into a full 256-entry transfer function. The
+    recovered transfer lets the scheme "tailor the technique to each
+    PDA" (§2) without trusting a datasheet curve. *)
+
+val max_relative_error : Transfer.t -> Transfer.t -> float
+(** [max_relative_error a b] is the largest absolute difference between
+    two transfers over all registers — used to check recovery
+    fidelity. *)
+
+val analytic_measurement : Panel.t -> measurement
+(** [analytic_measurement panel] is a noise-free measurement straight
+    from the panel model, for tests and for quick characterisation
+    without the camera in the loop. *)

@@ -1,0 +1,65 @@
+(** Device profiles for the paper's three experimental handhelds.
+
+    §5: "Three devices with different LCD technology were used in our
+    experiments: iPAQ 3650 and Zaurus SL-5600 (reflective display, CCFL
+    backlight) and iPAQ 5555 (transflective display, LED backlight)."
+    Power figures follow the paper's statements that backlight
+    dominates at roughly 25–30 % of total device power and that LCD
+    power is "almost proportional to backlight level, but little
+    dependent of pixel values". Absolute milliwatt numbers are
+    representative of the device class, not measured; the benches only
+    rely on the proportions. *)
+
+type t = {
+  name : string;
+  panel : Panel.t;
+  screen_width : int;
+  screen_height : int;
+  backlight_levels : int;  (** number of register steps, usually 256 *)
+  backlight_power_full_mw : float;
+      (** backlight power at register 255 *)
+  backlight_power_floor_mw : float;
+      (** fixed driver/inverter power whenever the backlight is on *)
+  lcd_logic_power_mw : float;  (** panel controller, independent of level *)
+  cpu_busy_power_mw : float;  (** XScale-class core, decoding *)
+  cpu_idle_power_mw : float;
+  network_rx_power_mw : float;  (** WLAN receiving *)
+  network_idle_power_mw : float;
+  base_power_mw : float;  (** RAM, audio, regulators *)
+}
+
+val ipaq_h5555 : t
+(** LED transflective device: the implementation/measurement platform
+    of §5 (400 MHz XScale, 64K-colour transflective LCD). *)
+
+val ipaq_h3650 : t
+(** CCFL reflective device. *)
+
+val zaurus_sl5600 : t
+(** CCFL reflective device. *)
+
+val all : t list
+
+val find : string -> t option
+(** Lookup by name, e.g. ["ipaq_h5555"]. *)
+
+val backlight_gain : t -> int -> float
+(** [backlight_gain d register] is the relative backlight luminance for
+    a register, through the device's transfer function. *)
+
+val register_for_gain : t -> float -> int
+(** [register_for_gain d f] is the smallest register achieving relative
+    luminance [f] — the table lookup the client performs at playback
+    (§4.3: "a simple multiplication, followed by a table look-up"). *)
+
+val with_aged_backlight : hours:float -> t -> t
+(** [with_aged_backlight ~hours d] is [d] with the backlight worn by
+    the given operating hours: the drive threshold creeps upward
+    (strongly for CCFL tubes, mildly for LED PWM stages) and the
+    response sags, changing the transfer curve's *shape* — which is
+    what invalidates a stale factory table and motivates periodic
+    re-characterisation through the camera rig (§2: the scheme tailors
+    the technique "to each PDA ... by including the display properties
+    in the loop"). Raises [Invalid_argument] on negative hours. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Text-format device profiles.
+
+    §4.3's negotiation ships "client characteristics" to the server;
+    for a real deployment those characteristics must be definable
+    without recompiling. The format is one `key = value` per line with
+    `#` comments; any omitted key inherits the iPAQ h5555 default, so a
+    minimal file can be just a name and a transfer curve.
+
+    {v
+    name = my_pda
+    panel = transflective        # reflective | transmissive | transflective
+    technology = led             # led | ccfl
+    transfer = gamma:0.8         # led | ccfl | linear | gamma:<g>
+    white_gamma = 1.05
+    screen = 320x240
+    backlight_full_mw = 450
+    backlight_floor_mw = 15
+    lcd_mw = 130
+    cpu_busy_mw = 600
+    cpu_idle_mw = 160
+    net_rx_mw = 300
+    net_idle_mw = 60
+    base_mw = 220
+    v} *)
+
+val of_string : string -> (Device.t, string) result
+(** [of_string text] parses a profile. Unknown keys, malformed values
+    and out-of-range numbers are reported with the offending line. *)
+
+val to_string : Device.t -> string
+(** [to_string device] renders a profile. Power figures, geometry and
+    panel parameters round-trip exactly; the transfer curve is emitted
+    as the technology's named curve ([led] or [ccfl]), so devices with
+    hand-built or recovered curves serialise to their technology
+    default (noted in a comment). *)
+
+val load : path:string -> (Device.t, string) result
+(** [load ~path] reads and parses a profile file. *)

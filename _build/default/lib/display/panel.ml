@@ -1,0 +1,51 @@
+type panel_type = Reflective | Transmissive | Transflective
+
+type backlight_technology = Ccfl | Led
+
+type t = {
+  panel_type : panel_type;
+  technology : backlight_technology;
+  transmittance : float;
+  white_gamma : float;
+  transfer : Transfer.t;
+  ambient_reflection : float;
+}
+
+let make ?(transmittance = 0.06) ?(white_gamma = 1.0) ?ambient_reflection
+    ~panel_type ~technology transfer =
+  if transmittance <= 0. || transmittance > 1. then
+    invalid_arg "Panel.make: transmittance out of (0, 1]";
+  if white_gamma <= 0. then invalid_arg "Panel.make: white gamma must be positive";
+  let ambient_reflection =
+    match ambient_reflection with
+    | Some r -> r
+    | None -> (
+      match panel_type with
+      | Transmissive -> 0.
+      | Reflective -> 0.05
+      | Transflective -> 0.02)
+  in
+  { panel_type; technology; transmittance; white_gamma; transfer; ambient_reflection }
+
+let image_response t image_level =
+  let w = float_of_int (Image.Pixel.clamp_channel image_level) /. 255. in
+  w ** t.white_gamma
+
+let emitted_luminance t ~backlight_register ~image_level =
+  t.transmittance
+  *. Transfer.apply t.transfer backlight_register
+  *. image_response t image_level
+
+let perceived_intensity t ~backlight_gain ~image_level =
+  if backlight_gain < 0. || backlight_gain > 1. then
+    invalid_arg "Panel.perceived_intensity: gain out of [0, 1]";
+  t.transmittance *. backlight_gain *. image_response t image_level
+
+let pp_panel_type ppf = function
+  | Reflective -> Format.pp_print_string ppf "reflective"
+  | Transmissive -> Format.pp_print_string ppf "transmissive"
+  | Transflective -> Format.pp_print_string ppf "transflective"
+
+let pp_technology ppf = function
+  | Ccfl -> Format.pp_print_string ppf "CCFL"
+  | Led -> Format.pp_print_string ppf "LED"

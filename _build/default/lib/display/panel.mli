@@ -1,0 +1,56 @@
+(** LCD panel models.
+
+    The perceived intensity of a pixel is [I = rho * L * Y] (§4.1):
+    panel transmittance times backlight luminance times image
+    luminance. Panels differ in type (the paper's three devices span
+    reflective and transflective) and in how image luminance maps to
+    emitted light (the white-level response of Fig 8, near-linear on
+    the h5555). *)
+
+type panel_type = Reflective | Transmissive | Transflective
+
+type backlight_technology = Ccfl | Led
+
+type t = {
+  panel_type : panel_type;
+  technology : backlight_technology;
+  transmittance : float;  (** [rho] in [0, 1] *)
+  white_gamma : float;
+      (** exponent of the image-luminance response; 1.0 = linear
+          (Fig 8 shows the h5555 close to linear) *)
+  transfer : Transfer.t;  (** backlight register -> relative luminance *)
+  ambient_reflection : float;
+      (** fraction of ambient light reflected back to the viewer;
+          nonzero for reflective/transflective panels *)
+}
+
+val make :
+  ?transmittance:float ->
+  ?white_gamma:float ->
+  ?ambient_reflection:float ->
+  panel_type:panel_type ->
+  technology:backlight_technology ->
+  Transfer.t ->
+  t
+(** Constructor with physically sensible defaults (transmittance 0.06,
+    linear white response, reflection 0.02 for transflective panels and
+    0 for transmissive). *)
+
+val emitted_luminance :
+  t -> backlight_register:int -> image_level:int -> float
+(** [emitted_luminance panel ~backlight_register ~image_level] is the
+    light reaching the viewer for a pixel of luma [image_level]
+    (0–255) with the given backlight register, in arbitrary units
+    normalised so that full backlight and white image give
+    [transmittance]. Ambient contribution is excluded (dark-room
+    viewing, like the paper's camera rig). *)
+
+val perceived_intensity :
+  t -> backlight_gain:float -> image_level:int -> float
+(** [perceived_intensity panel ~backlight_gain ~image_level] is
+    [rho * L * Y] with an explicit relative backlight luminance
+    [backlight_gain] in [0, 1] — the analytic form used by the
+    compensation equations. *)
+
+val pp_panel_type : Format.formatter -> panel_type -> unit
+val pp_technology : Format.formatter -> backlight_technology -> unit

@@ -1,0 +1,56 @@
+type t = { table : float array (* 256 entries, monotone, table.(255) = 1. *) }
+
+let normalise raw =
+  let table = Array.make 256 0. in
+  let running = ref 0. in
+  for i = 0 to 255 do
+    let v = Float.max 0. raw.(i) in
+    running := Float.max !running v;
+    table.(i) <- !running
+  done;
+  let top = table.(255) in
+  if top <= 0. then invalid_arg "Transfer: zero luminance at full register";
+  for i = 0 to 255 do
+    table.(i) <- Float.min 1. (table.(i) /. top)
+  done;
+  { table }
+
+let of_function f = normalise (Array.init 256 f)
+
+let of_table samples =
+  if Array.length samples <> 256 then invalid_arg "Transfer.of_table: need 256 samples";
+  normalise (Array.copy samples)
+
+let clamp_register r = if r < 0 then 0 else if r > 255 then 255 else r
+
+let apply t register = t.table.(clamp_register register)
+
+let inverse t f =
+  let f = Float.max 0. (Float.min 1. f) in
+  (* Monotone table: binary search for the first index >= f. *)
+  let rec bisect lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.table.(mid) >= f then bisect lo mid else bisect (mid + 1) hi
+  in
+  bisect 0 255
+
+let gamma g = of_function (fun r -> (float_of_int r /. 255.) ** g)
+
+let led_typical =
+  of_function (fun r ->
+      (* PWM dead zone below register 8, then concave response. *)
+      if r < 8 then 0. else ((float_of_int r -. 8.) /. 247.) ** 0.75)
+
+let ccfl_typical =
+  of_function (fun r ->
+      (* The inverter cannot strike the lamp below ~40/255; past the
+         threshold the tube brightens nearly linearly with drive. *)
+      if r < 40 then 0. else (float_of_int r -. 40.) /. 215.)
+
+let equal a b = a.table = b.table
+
+let pp ppf t =
+  Format.fprintf ppf "<transfer 0->%.3f 64->%.3f 128->%.3f 192->%.3f 255->%.3f>"
+    t.table.(0) t.table.(64) t.table.(128) t.table.(192) t.table.(255)

@@ -1,0 +1,57 @@
+(** Backlight-to-luminance transfer functions.
+
+    The paper measured that on the iPAQ h5555 the screen luminance is
+    "almost linear with the luminance of the image (Fig 7), but not
+    linear with the backlight level (Fig 8)", and that "each display
+    technology showed a different transfer characteristic". A transfer
+    function captures exactly that: the relative luminance emitted by
+    the panel as a function of the 0–255 backlight register, normalised
+    so that register 255 maps to 1.0.
+
+    The inverse lookup is the annotation pipeline's key primitive: the
+    server computes a *desired* relative luminance per scene, and the
+    device-specific transfer inverse turns it into the smallest
+    backlight register that achieves it ("The resulted value is later
+    plugged into the backlight-luminance function for computing the
+    required backlight level", §4.3). *)
+
+type t
+(** A monotone non-decreasing map from register 0–255 to relative
+    luminance in [0, 1], with [apply t 255 = 1.0]. *)
+
+val of_function : (int -> float) -> t
+(** [of_function f] tabulates [f] over 0–255, clamps to [0, 1], forces
+    monotonicity (running maximum) and normalises so register 255 maps
+    to 1. [f] must be non-negative at 255. *)
+
+val of_table : float array -> t
+(** [of_table samples] builds a transfer from 256 measured samples
+    (the output of display characterisation). Same normalisation as
+    {!of_function}. Raises [Invalid_argument] unless length is 256. *)
+
+val apply : t -> int -> float
+(** [apply t register] is the relative luminance for a register value,
+    clamped to 0–255. *)
+
+val inverse : t -> float -> int
+(** [inverse t f] is the smallest register whose relative luminance is
+    at least [f] (with [f] clamped to [0, 1]). [inverse t 1. = ]
+    smallest register reaching full luminance; [inverse t 0.] is the
+    smallest register (usually 0). *)
+
+val gamma : float -> t
+(** [gamma g] is the idealised transfer [register -> (register/255)^g].
+    [g = 1.] is perfectly linear. *)
+
+val led_typical : t
+(** Transfer shaped like the paper's h5555 LED measurement: concave
+    (fast luminance rise at low registers, saturating towards 255) —
+    modelled as a gamma of 0.75 with a small PWM dead zone at the very
+    bottom. *)
+
+val ccfl_typical : t
+(** CCFL transfer: the lamp does not ignite below a threshold register,
+    then brightens almost linearly. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

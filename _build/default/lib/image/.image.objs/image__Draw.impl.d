@@ -1,0 +1,1 @@
+lib/image/draw.ml: List Pixel Prng Raster

@@ -1,0 +1,1 @@
+lib/image/draw.mli: Pixel Prng Raster

@@ -1,0 +1,1 @@
+lib/image/histogram.ml: Array Bytes Char Format Raster

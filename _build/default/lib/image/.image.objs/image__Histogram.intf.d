@@ -1,0 +1,1 @@
+lib/image/histogram.mli: Bytes Format Raster

@@ -1,0 +1,1 @@
+lib/image/metrics.ml: Bytes Char Pixel Raster

@@ -1,0 +1,1 @@
+lib/image/metrics.mli: Raster

@@ -1,0 +1,1 @@
+lib/image/pixel.mli: Format

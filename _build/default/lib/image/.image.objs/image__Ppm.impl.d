@@ -1,0 +1,1 @@
+lib/image/ppm.ml: Buffer Char Fun List Pixel Printf Raster String

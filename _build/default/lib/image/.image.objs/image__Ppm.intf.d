@@ -1,0 +1,1 @@
+lib/image/ppm.mli: Raster

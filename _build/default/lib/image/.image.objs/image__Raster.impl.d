@@ -1,0 +1,1 @@
+lib/image/raster.ml: Bytes Char Format Pixel

@@ -1,0 +1,1 @@
+lib/image/raster.mli: Bytes Format Pixel

@@ -1,0 +1,1 @@
+lib/image/roi.ml: Histogram List Pixel Raster

@@ -1,0 +1,1 @@
+lib/image/roi.mli: Histogram Raster

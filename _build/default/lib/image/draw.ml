@@ -1,0 +1,135 @@
+let lerp_pixel a b t =
+  let mix ca cb = int_of_float (((1. -. t) *. float_of_int ca) +. (t *. float_of_int cb) +. 0.5) in
+  Pixel.v (mix a.Pixel.r b.Pixel.r) (mix a.Pixel.g b.Pixel.g) (mix a.Pixel.b b.Pixel.b)
+
+let fill_vertical_gradient img ~top ~bottom =
+  let h = Raster.height img and w = Raster.width img in
+  for y = 0 to h - 1 do
+    let t = if h = 1 then 0. else float_of_int y /. float_of_int (h - 1) in
+    let p = lerp_pixel top bottom t in
+    for x = 0 to w - 1 do
+      Raster.set img ~x ~y p
+    done
+  done
+
+let fill_radial_gradient img ~center ~edge ~cx ~cy =
+  let w = Raster.width img and h = Raster.height img in
+  let fx = cx *. float_of_int (w - 1) and fy = cy *. float_of_int (h - 1) in
+  (* Distance to the farthest corner normalises the blend parameter. *)
+  let corner_dist x y = sqrt (((fx -. x) ** 2.) +. ((fy -. y) ** 2.)) in
+  let dmax =
+    List.fold_left max 0.
+      [
+        corner_dist 0. 0.;
+        corner_dist (float_of_int (w - 1)) 0.;
+        corner_dist 0. (float_of_int (h - 1));
+        corner_dist (float_of_int (w - 1)) (float_of_int (h - 1));
+      ]
+  in
+  let dmax = if dmax <= 0. then 1. else dmax in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let d = corner_dist (float_of_int x) (float_of_int y) /. dmax in
+      Raster.set img ~x ~y (lerp_pixel center edge d)
+    done
+  done
+
+let rect img ~x ~y ~w ~h p =
+  let x0 = max 0 x and y0 = max 0 y in
+  let x1 = min (Raster.width img) (x + w) and y1 = min (Raster.height img) (y + h) in
+  for yy = y0 to y1 - 1 do
+    for xx = x0 to x1 - 1 do
+      Raster.set img ~x:xx ~y:yy p
+    done
+  done
+
+let disc img ~cx ~cy ~radius p =
+  let r2 = radius * radius in
+  let x0 = max 0 (cx - radius) and y0 = max 0 (cy - radius) in
+  let x1 = min (Raster.width img - 1) (cx + radius)
+  and y1 = min (Raster.height img - 1) (cy + radius) in
+  for y = y0 to y1 do
+    for x = x0 to x1 do
+      let dx = x - cx and dy = y - cy in
+      if (dx * dx) + (dy * dy) <= r2 then Raster.set img ~x ~y p
+    done
+  done
+
+let shaded_disc img ~cx ~cy ~radius ~falloff p =
+  if falloff < 0. || falloff > 1. then invalid_arg "Draw.shaded_disc: falloff out of [0, 1]";
+  let r2 = radius * radius in
+  let x0 = max 0 (cx - radius) and y0 = max 0 (cy - radius) in
+  let x1 = min (Raster.width img - 1) (cx + radius)
+  and y1 = min (Raster.height img - 1) (cy + radius) in
+  for y = y0 to y1 do
+    for x = x0 to x1 do
+      let dx = x - cx and dy = y - cy in
+      let d2 = (dx * dx) + (dy * dy) in
+      if d2 <= r2 then begin
+        let k = 1. -. (falloff *. float_of_int d2 /. float_of_int (max 1 r2)) in
+        Raster.set img ~x ~y (Pixel.scale k p)
+      end
+    done
+  done
+
+let glow img ~cx ~cy ~radius ~intensity =
+  if radius > 0 then begin
+    let r2 = float_of_int (radius * radius) in
+    let x0 = max 0 (cx - radius) and y0 = max 0 (cy - radius) in
+    let x1 = min (Raster.width img - 1) (cx + radius)
+    and y1 = min (Raster.height img - 1) (cy + radius) in
+    for y = y0 to y1 do
+      for x = x0 to x1 do
+        let dx = x - cx and dy = y - cy in
+        let d2 = float_of_int ((dx * dx) + (dy * dy)) in
+        if d2 <= r2 then begin
+          let falloff = 1. -. (d2 /. r2) in
+          let boost = int_of_float (float_of_int intensity *. falloff *. falloff) in
+          if boost > 0 then Raster.set img ~x ~y (Pixel.add boost (Raster.get img ~x ~y))
+        end
+      done
+    done
+  end
+
+let add_noise img ~rng ~sigma =
+  Raster.map_inplace
+    (fun p ->
+      let d = int_of_float (Prng.gaussian rng ~mu:0. ~sigma) in
+      Pixel.add d p)
+    img
+
+let vignette img ~strength =
+  if strength < 0. || strength > 1. then invalid_arg "Draw.vignette: strength out of [0, 1]";
+  let w = Raster.width img and h = Raster.height img in
+  let fx = float_of_int (w - 1) /. 2. and fy = float_of_int (h - 1) /. 2. in
+  let dmax = sqrt ((fx *. fx) +. (fy *. fy)) in
+  let dmax = if dmax <= 0. then 1. else dmax in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let dx = float_of_int x -. fx and dy = float_of_int y -. fy in
+      let d = sqrt ((dx *. dx) +. (dy *. dy)) /. dmax in
+      let k = 1. -. (strength *. d *. d) in
+      Raster.set img ~x ~y (Pixel.scale k (Raster.get img ~x ~y))
+    done
+  done
+
+let credit_lines img ~rng ~lines ~ink =
+  let w = Raster.width img and h = Raster.height img in
+  if lines > 0 && h >= 4 then begin
+    let spacing = max 4 (h / (lines + 1)) in
+    let line_height = max 1 (spacing / 3) in
+    for i = 1 to lines do
+      let y = i * spacing in
+      if y + line_height < h then begin
+        (* A line is a run of dashes of random width, roughly centred. *)
+        let dashes = 2 + Prng.int rng 4 in
+        let x = ref (w / 8) in
+        for _ = 1 to dashes do
+          let dash_w = (w / 16) + Prng.int rng (max 1 (w / 10)) in
+          if !x + dash_w < w * 7 / 8 then
+            rect img ~x:!x ~y ~w:dash_w ~h:line_height ink;
+          x := !x + dash_w + (w / 20) + Prng.int rng (max 1 (w / 20))
+        done
+      end
+    done
+  end

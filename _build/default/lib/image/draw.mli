@@ -1,0 +1,49 @@
+(** Drawing primitives for synthetic frame content.
+
+    The synthetic clip generator composes frames from these primitives:
+    gradients for backgrounds, discs and rectangles for moving subjects
+    and highlights, film-grain noise, vignettes for dark cinematic
+    scenes, and text-like blocks for end credits (the paper singles out
+    end credits as a hard case for clipping heuristics). All functions
+    mutate the target raster in place. *)
+
+val fill_vertical_gradient : Raster.t -> top:Pixel.t -> bottom:Pixel.t -> unit
+(** Linear vertical blend from [top] (row 0) to [bottom] (last row). *)
+
+val fill_radial_gradient :
+  Raster.t -> center:Pixel.t -> edge:Pixel.t -> cx:float -> cy:float -> unit
+(** Radial blend from [center] at normalised position [(cx, cy)] (in
+    [0, 1] per axis) to [edge] at the farthest corner. *)
+
+val rect :
+  Raster.t -> x:int -> y:int -> w:int -> h:int -> Pixel.t -> unit
+(** Filled axis-aligned rectangle, silently cropped to the image. *)
+
+val disc : Raster.t -> cx:int -> cy:int -> radius:int -> Pixel.t -> unit
+(** Filled disc, silently cropped to the image. *)
+
+val shaded_disc :
+  Raster.t -> cx:int -> cy:int -> radius:int -> falloff:float -> Pixel.t -> unit
+(** Disc with radial shading: the centre keeps the full pixel value
+    and the rim is darkened by the [falloff] fraction (in [0, 1]).
+    Shaded subjects give frames the smooth luminance distributions of
+    real footage, instead of a single dense histogram spike. *)
+
+val glow : Raster.t -> cx:int -> cy:int -> radius:int -> intensity:int -> unit
+(** Additive highlight: brightens pixels within [radius] of the centre
+    with a quadratic falloff of peak [intensity]. This is how sparse
+    bright spots ("highlights concentrated in a few points") are
+    injected into dark scenes. *)
+
+val add_noise : Raster.t -> rng:Prng.t -> sigma:float -> unit
+(** Per-pixel additive Gaussian film-grain noise of the given standard
+    deviation, identical across the three channels of a pixel. *)
+
+val vignette : Raster.t -> strength:float -> unit
+(** Darkens pixels towards the corners; [strength] in [0, 1] is the
+    fraction of luminance removed at the farthest corner. *)
+
+val credit_lines :
+  Raster.t -> rng:Prng.t -> lines:int -> ink:Pixel.t -> unit
+(** Rows of short bright dashes approximating rolling end-credit text
+    on the current background. *)

@@ -1,0 +1,109 @@
+(** 256-bin luminance histograms.
+
+    The paper evaluates quality through histograms because they "better
+    capture the overall change without comparing individual pixels"
+    (§2) and because a histogram exposes both the average luminance and
+    the dynamic range of an image (Fig 3). The annotation pipeline also
+    works on histograms: per-scene backlight levels are derived from
+    the merged histogram of the scene's frames, so a clip is profiled
+    in a single pixel pass. *)
+
+type t
+(** A luminance histogram with 256 bins (luma 0 to 255). Bin counts are
+    non-negative. *)
+
+val create : unit -> t
+(** An empty histogram (all bins zero). *)
+
+val of_raster : Raster.t -> t
+(** [of_raster img] counts the BT.601 luma of every pixel of [img]. *)
+
+val of_luminance_plane : Bytes.t -> t
+(** [of_luminance_plane plane] counts bytes of a luma plane (as produced
+    by {!Raster.luminance_plane}). *)
+
+val of_counts : int array -> t
+(** [of_counts bins] builds a histogram from 256 explicit bin counts.
+    Raises [Invalid_argument] if the array is not of length 256 or any
+    count is negative. *)
+
+val add_sample : t -> int -> unit
+(** [add_sample h y] increments bin [y]. Raises [Invalid_argument] if
+    [y] is outside [0, 255]. *)
+
+val merge : t -> t -> t
+(** [merge a b] is the bin-wise sum; the histogram of a scene is the
+    merge of the histograms of its frames. *)
+
+val merge_into : dst:t -> t -> unit
+(** [merge_into ~dst h] adds [h]'s bins into [dst] in place. *)
+
+val copy : t -> t
+
+val count : t -> int -> int
+(** [count h y] is the number of samples in bin [y]. *)
+
+val total : t -> int
+(** [total h] is the number of samples (sum of all bins). *)
+
+val mean : t -> float
+(** [mean h] is the average luminance, the "average point" of Fig 3.
+    Raises [Invalid_argument] on an empty histogram. *)
+
+val max_level : t -> int
+(** [max_level h] is the highest non-empty bin (the frame's maximum
+    luminance). Raises [Invalid_argument] on an empty histogram. *)
+
+val min_level : t -> int
+(** [min_level h] is the lowest non-empty bin. Raises
+    [Invalid_argument] on an empty histogram. *)
+
+val dynamic_range : t -> int
+(** [dynamic_range h] is [max_level h - min_level h] (Fig 3). *)
+
+val percentile_level : t -> float -> int
+(** [percentile_level h p] (with [0. <= p <= 1.]) is the smallest
+    luminance level [y] such that at least [p * total h] samples are at
+    or below [y]. [percentile_level h 1.] equals [max_level h]. *)
+
+val clip_level : t -> allowed_loss:float -> int
+(** [clip_level h ~allowed_loss] is the smallest level [y] such that
+    the fraction of samples strictly above [y] is at most
+    [allowed_loss]. This is the paper's clipping heuristic: "we allow a
+    fixed percent of the very bright pixels to be clipped" (Fig 5).
+    With [allowed_loss = 0.] this is exactly [max_level h]. Raises
+    [Invalid_argument] on an empty histogram or a loss outside
+    [0, 1]. *)
+
+val samples_above : t -> int -> int
+(** [samples_above h y] is the number of samples with level strictly
+    greater than [y]. *)
+
+val l1_distance : t -> t -> float
+(** [l1_distance a b] is the normalised L1 distance between the two
+    distributions, in [0, 2]. Both histograms must be non-empty. Note
+    that bin-wise L1 is brittle: shifting a narrow distribution by one
+    level maximises it. Prefer {!earth_movers_distance} when comparing
+    snapshots. *)
+
+val earth_movers_distance : t -> t -> float
+(** [earth_movers_distance a b] is the 1-D Wasserstein-1 distance
+    between the normalised distributions, in luminance-level units
+    (equal to the L1 distance between the two CDFs). It reads as "the
+    average number of levels each pixel's luminance moved" and is the
+    robust metric behind the snapshot comparison of Fig 2/Fig 4. Both
+    histograms must be non-empty. *)
+
+val chi_square : t -> t -> float
+(** [chi_square a b] is the symmetric chi-square distance between the
+    normalised distributions. Both histograms must be non-empty. *)
+
+val intersection : t -> t -> float
+(** [intersection a b] is the histogram-intersection similarity of the
+    normalised distributions, in [0, 1]; 1 means identical. *)
+
+val to_array : t -> int array
+(** [to_array h] is a fresh copy of the 256 bin counts. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Whole-image operations: the two compensation operators of §4.1 and
+    supporting transforms. *)
+
+val contrast_enhance : k:float -> Raster.t -> Raster.t
+(** [contrast_enhance ~k img] multiplies every channel of every pixel
+    by [k] and clamps ([C' = min(1, C*k)]); this is the compensation
+    the paper selects, with [k = L / L'] so that the perceived
+    intensity [I = rho * L * Y] is preserved after the backlight is
+    dimmed from [L] to [L']. [k] must be non-negative. *)
+
+val contrast_enhance_inplace : k:float -> Raster.t -> unit
+(** In-place variant of {!contrast_enhance}. *)
+
+val brightness_compensate : delta:int -> Raster.t -> Raster.t
+(** [brightness_compensate ~delta img] adds [delta] to every channel
+    and clamps ([C' = min(1, C + dC)]); the alternative operator of
+    §4.1. Unlike contrast enhancement it shifts colours towards white
+    for already-bright pixels, which is why the paper prefers
+    contrast enhancement. *)
+
+val clipped_fraction : k:float -> Raster.t -> float
+(** [clipped_fraction ~k img] is the fraction of pixels in [0, 1] that
+    lose information when scaled by [k] (at least one channel
+    saturates). This measures the quality degradation of Fig 5 on
+    actual pixels (as opposed to the histogram estimate). *)
+
+val simulate_display : backlight_gain:float -> Raster.t -> Raster.t
+(** [simulate_display ~backlight_gain img] is the image as emitted by
+    an idealised panel whose backlight produces [backlight_gain] of
+    full luminance: every channel is scaled by [backlight_gain]
+    (no clamping issues since the gain is in [0, 1]). Device-accurate
+    simulation lives in the [display] library; this helper is used by
+    image-level tests. *)
+
+val downsample : factor:int -> Raster.t -> Raster.t
+(** [downsample ~factor img] averages [factor x factor] blocks. The
+    dimensions must be divisible by [factor]. *)
+
+val absolute_difference : Raster.t -> Raster.t -> Raster.t
+(** [absolute_difference a b] is the per-channel absolute difference;
+    dimensions must match. *)

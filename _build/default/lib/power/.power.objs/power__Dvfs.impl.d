@@ -1,0 +1,1 @@
+lib/power/dvfs.ml: Float Format List

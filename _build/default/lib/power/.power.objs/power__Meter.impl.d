@@ -1,0 +1,1 @@
+lib/power/meter.ml: Array Format

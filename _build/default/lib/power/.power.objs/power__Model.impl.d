@@ -1,0 +1,1 @@
+lib/power/model.ml: Display Format State

@@ -1,0 +1,1 @@
+lib/power/model.mli: Display Format State

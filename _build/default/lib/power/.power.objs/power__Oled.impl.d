@@ -1,0 +1,1 @@
+lib/power/oled.ml: Image Video

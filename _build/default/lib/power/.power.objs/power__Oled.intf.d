@@ -1,0 +1,1 @@
+lib/power/oled.mli: Image Video

@@ -1,0 +1,1 @@
+lib/power/state.ml: Format

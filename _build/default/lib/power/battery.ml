@@ -1,0 +1,20 @@
+type t = { capacity_mwh : float }
+
+let make ~capacity_mwh =
+  if capacity_mwh <= 0. then invalid_arg "Battery.make: capacity must be positive";
+  { capacity_mwh }
+
+let ipaq_standard = make ~capacity_mwh:4600.
+
+let runtime_hours b ~average_power_mw =
+  if average_power_mw <= 0. then invalid_arg "Battery.runtime_hours: power must be positive";
+  b.capacity_mwh /. average_power_mw
+
+let runtime_extension b ~baseline_power_mw ~optimized_power_mw =
+  runtime_hours b ~average_power_mw:optimized_power_mw
+  -. runtime_hours b ~average_power_mw:baseline_power_mw
+
+let extension_ratio ~baseline_power_mw ~optimized_power_mw =
+  if optimized_power_mw <= 0. then
+    invalid_arg "Battery.extension_ratio: power must be positive";
+  (baseline_power_mw /. optimized_power_mw) -. 1.

@@ -1,0 +1,28 @@
+(** Battery and runtime accounting.
+
+    The paper motivates the whole technique by battery life ("battery
+    life still remains a major limitation of portable devices"); this
+    module converts power savings to runtime extensions, the number a
+    user actually experiences. *)
+
+type t = { capacity_mwh : float }
+(** An ideal battery of the given capacity (the h5555 shipped with a
+    ~1250 mAh, 3.7 V pack, about 4600 mWh). *)
+
+val ipaq_standard : t
+
+val make : capacity_mwh:float -> t
+(** Raises [Invalid_argument] on non-positive capacity. *)
+
+val runtime_hours : t -> average_power_mw:float -> float
+(** Ideal runtime at a constant average power. *)
+
+val runtime_extension :
+  t -> baseline_power_mw:float -> optimized_power_mw:float -> float
+(** [runtime_extension b ~baseline_power_mw ~optimized_power_mw] is the
+    additional runtime in hours gained by the optimisation. *)
+
+val extension_ratio :
+  baseline_power_mw:float -> optimized_power_mw:float -> float
+(** Relative runtime gain, e.g. [0.25] for 25 % longer playback;
+    capacity-independent. *)

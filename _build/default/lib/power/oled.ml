@@ -1,0 +1,39 @@
+type t = {
+  base_mw : float;
+  full_white_mw : float;
+  red_weight : float;
+  green_weight : float;
+  blue_weight : float;
+}
+
+let typical_amoled =
+  {
+    base_mw = 40.;
+    full_white_mw = 900.;
+    red_weight = 0.28;
+    green_weight = 0.30;
+    blue_weight = 0.42;
+  }
+
+let frame_power_mw panel frame =
+  let r = ref 0 and g = ref 0 and b = ref 0 in
+  Image.Raster.iter
+    (fun ~x:_ ~y:_ p ->
+      r := !r + p.Image.Pixel.r;
+      g := !g + p.Image.Pixel.g;
+      b := !b + p.Image.Pixel.b)
+    frame;
+  let n = float_of_int (Image.Raster.pixel_count frame) in
+  let drive =
+    ((panel.red_weight *. float_of_int !r)
+    +. (panel.green_weight *. float_of_int !g)
+    +. (panel.blue_weight *. float_of_int !b))
+    /. (n *. 255.)
+  in
+  panel.base_mw +. (panel.full_white_mw *. drive)
+
+let clip_energy_mj panel ~fps clip =
+  let dt = 1. /. fps in
+  Video.Clip.fold_frames
+    (fun acc _ frame -> acc +. (frame_power_mw panel frame *. dt))
+    0. clip

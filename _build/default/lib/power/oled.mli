@@ -1,0 +1,33 @@
+(** Emissive (OLED/AMOLED) display power — a counter-model.
+
+    The paper's technique assumes a backlit LCD: display power depends
+    on the backlight level and is "little dependent of pixel values"
+    (§5). Emissive panels invert that: each pixel draws power in
+    proportion to its drive, there is no backlight to dim, and
+    *brightening the image* — exactly what the compensation step does —
+    *increases* display power. This module quantifies that inversion so
+    the benches can show where the technique's applicability ends. *)
+
+type t = {
+  base_mw : float;  (** panel logic, independent of content *)
+  full_white_mw : float;  (** emission power of an all-white frame *)
+  red_weight : float;
+  green_weight : float;
+  blue_weight : float;
+      (** relative per-channel emission efficiency; blue OLEDs are the
+          least efficient, so blue-heavy content costs most. Weights
+          sum to 1. *)
+}
+
+val typical_amoled : t
+(** A small AMOLED panel: 40 mW base, 900 mW full white, blue-heavy
+    weighting (0.28 / 0.30 / 0.42). *)
+
+val frame_power_mw : t -> Image.Raster.t -> float
+(** [frame_power_mw panel frame] is the panel power showing [frame]:
+    base plus emission proportional to the weighted mean channel
+    drive. Black costs [base_mw]; full white costs
+    [base_mw + full_white_mw]. *)
+
+val clip_energy_mj : t -> fps:float -> Video.Clip.t -> float
+(** Total display energy across a clip. *)

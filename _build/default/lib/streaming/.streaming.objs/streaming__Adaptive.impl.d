@@ -1,0 +1,1 @@
+lib/streaming/adaptive.ml: Annot Array Float Format List Playback

@@ -1,0 +1,1 @@
+lib/streaming/adaptive.mli: Annot Display Format Playback

@@ -1,0 +1,1 @@
+lib/streaming/dvfs_playback.ml: Array Codec Float Format List Power Printf

@@ -1,0 +1,1 @@
+lib/streaming/dvfs_playback.mli: Codec Format

@@ -1,0 +1,1 @@
+lib/streaming/fec.ml: Array Bytes Char Image List Printf String

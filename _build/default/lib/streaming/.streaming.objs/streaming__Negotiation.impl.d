@@ -1,0 +1,1 @@
+lib/streaming/negotiation.ml: Annot Display Float Format List

@@ -1,0 +1,1 @@
+lib/streaming/negotiation.mli: Annot Display Format

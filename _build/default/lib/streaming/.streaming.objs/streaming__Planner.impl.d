@@ -1,0 +1,1 @@
+lib/streaming/planner.ml: Annot Format Playback Power

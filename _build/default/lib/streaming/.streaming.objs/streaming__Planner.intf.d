@@ -1,0 +1,1 @@
+lib/streaming/planner.mli: Annot Display Format Playback Power

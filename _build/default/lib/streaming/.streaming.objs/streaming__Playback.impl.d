@@ -1,0 +1,1 @@
+lib/streaming/playback.ml: Annot Array Camera Display Format List Power Video

@@ -1,0 +1,1 @@
+lib/streaming/playback.mli: Annot Camera Display Format Power Video

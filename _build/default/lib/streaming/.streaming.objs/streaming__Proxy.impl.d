@@ -1,0 +1,1 @@
+lib/streaming/proxy.ml: Annot Codec Netsim Result Video

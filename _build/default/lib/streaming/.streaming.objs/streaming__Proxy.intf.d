@@ -1,0 +1,1 @@
+lib/streaming/proxy.mli: Annot Codec Display Netsim Video

@@ -1,0 +1,1 @@
+lib/streaming/radio.ml: Array Float Format Netsim Printf

@@ -1,0 +1,1 @@
+lib/streaming/radio.mli: Format Netsim

@@ -1,0 +1,1 @@
+lib/streaming/ramp.ml: Array Power

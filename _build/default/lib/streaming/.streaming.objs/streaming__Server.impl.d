@@ -1,0 +1,1 @@
+lib/streaming/server.ml: Annot Codec Hashtbl List Negotiation Printf Result Video

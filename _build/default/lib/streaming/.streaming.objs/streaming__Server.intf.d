@@ -1,0 +1,1 @@
+lib/streaming/server.mli: Annot Codec Negotiation Video

@@ -1,0 +1,1 @@
+lib/streaming/session.ml: Annot Array Codec Display Dvfs_playback Fec Format Negotiation Netsim Power Radio Ramp Result String Transport Video

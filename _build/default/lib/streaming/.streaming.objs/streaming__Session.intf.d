@@ -1,0 +1,1 @@
+lib/streaming/session.mli: Annot Display Format Negotiation Netsim Video

@@ -1,0 +1,1 @@
+lib/streaming/transport.ml: Array Codec Float Image Result String

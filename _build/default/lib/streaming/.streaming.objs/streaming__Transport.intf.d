@@ -1,0 +1,1 @@
+lib/streaming/transport.mli: Codec Image

@@ -1,0 +1,134 @@
+type step = {
+  first_frame : int;
+  frame_count : int;
+  quality : Annot.Quality_level.t;
+  energy_mj : float;
+}
+
+type outcome = {
+  steps : step list;
+  completed : bool;
+  battery_remaining_mwh : float;
+  frames_played : int;
+  mean_quality_loss : float;
+}
+
+(* 1 mWh = 3.6 J = 3600 mJ. *)
+let mj_of_mwh mwh = mwh *. 3600.
+let mwh_of_mj mj = mj /. 3600.
+
+let run ?(options = Playback.default_options) ~device ~battery_mwh profiled =
+  if battery_mwh <= 0. then invalid_arg "Adaptive.run: battery must be positive";
+  let fps = profiled.Annot.Annotator.fps in
+  let dt_s = 1. /. fps in
+  let total_frames = profiled.Annot.Annotator.total_frames in
+  (* Per-quality per-frame device power, annotated once per advertised
+     level. *)
+  let plans =
+    List.map
+      (fun quality ->
+        let track =
+          Annot.Annotator.annotate_profiled
+            ~scene_params:options.Playback.scene_params ~device ~quality profiled
+        in
+        let power =
+          Playback.power_trace ~device
+            ~cpu_busy_fraction:options.Playback.cpu_busy_fraction
+            ~registers:(Annot.Track.register_track track)
+        in
+        (quality, track, power))
+      Annot.Quality_level.standard_grid
+  in
+  (* Suffix energy per quality: energy to finish the clip from frame i. *)
+  let suffix_energy =
+    List.map
+      (fun (quality, _, power) ->
+        let suffix = Array.make (total_frames + 1) 0. in
+        for i = total_frames - 1 downto 0 do
+          suffix.(i) <- suffix.(i + 1) +. (power.(i) *. dt_s)
+        done;
+        (quality, suffix))
+      plans
+  in
+  (* Scene boundaries come from the least lossy plan's track (all plans
+     share the same segmentation, which depends only on the profile). *)
+  let boundaries =
+    match plans with
+    | (_, track, _) :: _ ->
+      Array.to_list track.Annot.Track.entries
+      |> List.map (fun (e : Annot.Track.entry) ->
+             (e.Annot.Track.first_frame, e.Annot.Track.frame_count))
+    | [] -> assert false
+  in
+  let energy_left = ref (mj_of_mwh battery_mwh) in
+  let steps = ref [] in
+  let died = ref false in
+  List.iter
+    (fun (first_frame, frame_count) ->
+      if not !died then begin
+        (* Least lossy level whose remaining-clip energy fits. *)
+        let quality =
+          let fits (_, suffix) = suffix.(first_frame) <= !energy_left in
+          match List.find_opt fits suffix_energy with
+          | Some (q, _) -> q
+          | None -> Annot.Quality_level.Loss_20
+        in
+        let _, _, power =
+          List.find (fun (q, _, _) -> Annot.Quality_level.compare q quality = 0) plans
+        in
+        (* Play the span frame by frame; the battery may die inside. *)
+        let spent = ref 0. in
+        let played = ref 0 in
+        (try
+           for i = first_frame to first_frame + frame_count - 1 do
+             let cost = power.(i) *. dt_s in
+             if cost > !energy_left then raise Exit;
+             energy_left := !energy_left -. cost;
+             spent := !spent +. cost;
+             incr played
+           done
+         with Exit -> died := true);
+        if !played > 0 then
+          steps :=
+            {
+              first_frame;
+              frame_count = !played;
+              quality;
+              energy_mj = !spent;
+            }
+            :: !steps
+      end)
+    boundaries;
+  let steps = List.rev !steps in
+  let frames_played = List.fold_left (fun acc s -> acc + s.frame_count) 0 steps in
+  let mean_quality_loss =
+    if frames_played = 0 then 0.
+    else
+      List.fold_left
+        (fun acc s ->
+          acc
+          +. (float_of_int s.frame_count *. Annot.Quality_level.allowed_loss s.quality))
+        0. steps
+      /. float_of_int frames_played
+  in
+  {
+    steps;
+    completed = (not !died) && frames_played = total_frames;
+    battery_remaining_mwh = Float.max 0. (mwh_of_mj !energy_left);
+    frames_played;
+    mean_quality_loss;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v>%s after %d frames, %.1f mWh left, mean loss %.1f%%@,"
+    (if o.completed then "completed" else "DIED")
+    o.frames_played o.battery_remaining_mwh
+    (100. *. o.mean_quality_loss);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  frames %d-%d at %s (%.0f mJ)@," s.first_frame
+        (s.first_frame + s.frame_count - 1)
+        (Annot.Quality_level.label s.quality)
+        s.energy_mj)
+    o.steps;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,38 @@
+(** Mid-stream battery-adaptive quality control.
+
+    §4.2 makes the quality level a per-request user choice; the server
+    advertises all five levels anyway ("same for all types of PDA
+    clients"), so nothing stops a client from *changing* level at a
+    scene boundary when its battery runs ahead of plan. The controller
+    re-plans at every annotation-track entry: it picks the least lossy
+    advertised level whose projected average power over the remaining
+    clip fits the remaining energy and time, escalating only when the
+    budget demands it. *)
+
+type step = {
+  first_frame : int;
+  frame_count : int;
+  quality : Annot.Quality_level.t;
+  energy_mj : float;  (** device energy actually spent on this span *)
+}
+
+type outcome = {
+  steps : step list;  (** contiguous, in playback order *)
+  completed : bool;  (** battery lasted to the final frame *)
+  battery_remaining_mwh : float;  (** non-negative; 0 when it died *)
+  frames_played : int;
+  mean_quality_loss : float;
+      (** frame-weighted mean of the allowed-loss fractions used *)
+}
+
+val run :
+  ?options:Playback.options ->
+  device:Display.Device.t ->
+  battery_mwh:float ->
+  Annot.Annotator.profiled ->
+  outcome
+(** [run ~device ~battery_mwh profiled] plays the clip once, re-planning
+    at every scene boundary. Raises [Invalid_argument] on a
+    non-positive battery. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

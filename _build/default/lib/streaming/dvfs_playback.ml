@@ -1,0 +1,101 @@
+type policy =
+  | Annotated_workload
+  | History_max of { window : int; margin : float }
+  | Always_full
+
+let policy_name = function
+  | Annotated_workload -> "annotated"
+  | History_max { window; margin } -> Printf.sprintf "history-%d-x%.1f" window margin
+  | Always_full -> "full-speed"
+
+type report = {
+  policy : policy;
+  frames : int;
+  deadline_misses : int;
+  cpu_energy_mj : float;
+  baseline_energy_mj : float;
+  savings : float;
+  mean_frequency_mhz : float;
+}
+
+(* Decode cost model: per-pixel reconstruction work (inverse DCT,
+   motion compensation, colour conversion) plus per-bit entropy work.
+   The constants put a QVGA-class stream near real time at 400 MHz —
+   the Berkeley-player-on-XScale regime of §5 — so I-frames demand the
+   upper operating points while small P-frames coast at the bottom. *)
+let cycles_per_pixel = 150.
+let cycles_per_bit = 700.
+
+let decode_cycles (encoded : Codec.Encoder.encoded) =
+  let pixel_work =
+    cycles_per_pixel
+    *. float_of_int (encoded.Codec.Encoder.width * encoded.Codec.Encoder.height)
+  in
+  Array.map
+    (fun bits -> pixel_work +. (cycles_per_bit *. float_of_int bits))
+    encoded.Codec.Encoder.frame_sizes_bits
+
+let choose_level policy ~cycles ~history ~deadline_s =
+  match policy with
+  | Always_full -> Power.Dvfs.full_speed
+  | Annotated_workload -> (
+    match Power.Dvfs.lowest_feasible ~cycles ~deadline_s with
+    | Some level -> level
+    | None -> Power.Dvfs.full_speed)
+  | History_max { window; margin } -> (
+    match history with
+    | [] -> Power.Dvfs.full_speed
+    | _ ->
+      let recent = List.filteri (fun i _ -> i < window) history in
+      let predicted = margin *. List.fold_left Float.max 0. recent in
+      (match Power.Dvfs.lowest_feasible ~cycles:predicted ~deadline_s with
+      | Some level -> level
+      | None -> Power.Dvfs.full_speed))
+
+let run ~fps cycles policy =
+  let frames = Array.length cycles in
+  if frames = 0 then invalid_arg "Dvfs_playback.run: empty cycle track";
+  if fps <= 0. then invalid_arg "Dvfs_playback.run: fps must be positive";
+  let deadline_s = 1. /. fps in
+  let energy = ref 0. and baseline = ref 0. in
+  let misses = ref 0 in
+  let freq_sum = ref 0. in
+  let history = ref [] in
+  Array.iter
+    (fun frame_cycles ->
+      let level = choose_level policy ~cycles:frame_cycles ~history:!history ~deadline_s in
+      if Power.Dvfs.cycles_available level ~seconds:deadline_s < frame_cycles then
+        incr misses;
+      energy := !energy +. Power.Dvfs.frame_energy_mj level ~cycles:frame_cycles ~deadline_s;
+      baseline :=
+        !baseline
+        +. Power.Dvfs.frame_energy_mj Power.Dvfs.full_speed ~cycles:frame_cycles
+             ~deadline_s;
+      freq_sum := !freq_sum +. float_of_int level.Power.Dvfs.frequency_mhz;
+      history := frame_cycles :: !history)
+    cycles;
+  {
+    policy;
+    frames;
+    deadline_misses = !misses;
+    cpu_energy_mj = !energy;
+    baseline_energy_mj = !baseline;
+    savings = (!baseline -. !energy) /. !baseline;
+    mean_frequency_mhz = !freq_sum /. float_of_int frames;
+  }
+
+let annotation_bytes cycles =
+  (* Kilocycle quantisation in LEB128 varints: 2-4 bytes per frame. *)
+  let varint_bytes n =
+    let rec loop acc n = if n < 0x80 then acc + 1 else loop (acc + 1) (n lsr 7) in
+    loop 0 (max 0 n)
+  in
+  Array.fold_left
+    (fun acc c -> acc + varint_bytes (int_of_float (c /. 1000.)))
+    0 cycles
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%-18s misses %3d/%3d  cpu %8.1f mJ (baseline %8.1f)  saved %5.1f%%  mean %3.0f MHz"
+    (policy_name r.policy) r.deadline_misses r.frames r.cpu_energy_mj
+    r.baseline_energy_mj (100. *. r.savings) r.mean_frequency_mhz

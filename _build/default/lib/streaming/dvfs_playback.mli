@@ -1,0 +1,50 @@
+(** Frequency/voltage scaling during playback — the second annotation
+    application sketched in §3.
+
+    The decode cost of a frame is dominated by its coded size (entropy
+    decoding, coefficient reconstruction), so the server can annotate
+    each frame with a cycle estimate straight from the bitstream. The
+    client then runs the *slowest* operating point that still meets the
+    frame deadline. Without annotations the client must predict from
+    history and I-frames arriving after quiet stretches blow the
+    deadline — the same stale-knowledge failure as backlight history
+    prediction. *)
+
+type policy =
+  | Annotated_workload
+      (** per-frame cycle annotations: clairvoyant, meets every
+          feasible deadline at the minimum frequency *)
+  | History_max of { window : int; margin : float }
+      (** scale for [margin] times the largest cost among the previous
+          [window] frames; the first frame runs at full speed *)
+  | Always_full  (** no scaling: the baseline *)
+
+val policy_name : policy -> string
+
+type report = {
+  policy : policy;
+  frames : int;
+  deadline_misses : int;
+  cpu_energy_mj : float;
+  baseline_energy_mj : float;  (** same workload under [Always_full] *)
+  savings : float;  (** fractional CPU energy saving vs the baseline *)
+  mean_frequency_mhz : float;
+}
+
+val decode_cycles : Codec.Encoder.encoded -> float array
+(** [decode_cycles encoded] estimates per-frame decode cycles from the
+    coded frame sizes: a fixed per-frame cost plus a per-bit cost.
+    I-frames, being several times larger, cost several times more. *)
+
+val run : fps:float -> float array -> policy -> report
+(** [run ~fps cycles policy] simulates frame-by-frame level selection
+    over the cycle track. A deadline miss is recorded whenever the
+    chosen level cannot retire the frame's actual cycles within the
+    frame interval. Raises [Invalid_argument] on an empty track or
+    non-positive fps. *)
+
+val annotation_bytes : float array -> int
+(** Size of the cycle annotations on the wire (varint-encoded kilocycle
+    quantisation) — the side-channel cost of the DVFS application. *)
+
+val pp_report : Format.formatter -> report -> unit

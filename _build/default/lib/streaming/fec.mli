@@ -1,0 +1,39 @@
+(** Forward error correction for the annotation side channel.
+
+    The video tolerates loss through concealment; the annotation track
+    does not — a missing entry leaves the client without a backlight
+    level for a whole scene. The track is tiny (tens of bytes), so
+    protecting it is nearly free: packets are grouped and each group
+    carries one XOR parity packet, recovering any single loss per
+    group (the classic RTP FEC scheme). *)
+
+type protected_payload = {
+  packets : string array;
+      (** data packets followed by one parity packet per group *)
+  data_packets : int;
+  group_size : int;
+  packet_size : int;
+  payload_length : int;
+}
+
+val protect : ?packet_size:int -> ?group_size:int -> string -> protected_payload
+(** [protect payload] splits into [packet_size]-byte packets (default
+    64 — annotation tracks rarely need more than a few) and appends one
+    parity packet per [group_size] data packets (default 4). The
+    payload may be empty. Raises [Invalid_argument] on non-positive
+    sizes. *)
+
+val overhead_ratio : protected_payload -> float
+(** Extra bytes shipped relative to the payload. *)
+
+val recover : protected_payload -> present:string option array -> (string, string) result
+(** [recover t ~present] reassembles the payload from the packets that
+    arrived ([present.(i) = None] means packet [i] was lost, data and
+    parity slots alike). Any single loss per group is repaired from the
+    parity; two or more losses in one group fail with [Error]. The
+    [present] array must match [t.packets] in length, and packets that
+    did arrive must carry their original content. *)
+
+val transmit :
+  protected_payload -> rate:float -> seed:int -> string option array
+(** Bernoulli packet loss over the packet train, for simulations. *)

@@ -1,0 +1,39 @@
+(** Wireless link model.
+
+    The system model (Fig 1) streams video from a server, optionally
+    through a proxy, over a WLAN access point to the handheld. The
+    link model captures what the evaluation needs: wire sizes with
+    per-packet overhead (to put the annotation overhead in context) and
+    transfer times (to confirm annotations arrive before the frames
+    they govern). *)
+
+type t = {
+  bandwidth_bps : float;  (** application-visible link rate *)
+  packet_payload_bytes : int;  (** MTU-sized payload per packet *)
+  per_packet_overhead_bytes : int;  (** RTP/UDP/IP/MAC headers *)
+}
+
+val wlan_80211b : t
+(** 5 Mbit/s effective rate, 1400-byte payloads, 54 bytes of
+    headers — a 2004-era PDA on 802.11b. *)
+
+val make :
+  bandwidth_bps:float ->
+  packet_payload_bytes:int ->
+  per_packet_overhead_bytes:int ->
+  t
+(** Raises [Invalid_argument] on non-positive bandwidth or payload. *)
+
+val packet_count : t -> int -> int
+(** [packet_count link bytes] is the number of packets needed for a
+    payload of [bytes] (at least 1 for a non-empty payload). *)
+
+val wire_bytes : t -> int -> int
+(** Payload plus per-packet overhead. *)
+
+val transfer_time_s : t -> int -> float
+(** Time to push the wire bytes through the link. *)
+
+val annotation_overhead_ratio : t -> video_bytes:int -> annotation_bytes:int -> float
+(** Wire-level overhead of shipping the annotations along with the
+    video: [extra wire bytes / video wire bytes]. *)

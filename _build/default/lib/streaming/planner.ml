@@ -1,0 +1,36 @@
+type plan = {
+  quality : Annot.Quality_level.t;
+  average_power_mw : float;
+  projected_runtime_hours : float;
+}
+
+let project ?options ~device ~quality profiled =
+  let report = Playback.run_profiled ?options ~device ~quality profiled in
+  report.Playback.total_energy_mj /. report.Playback.duration_s
+
+let plan ?options ~battery ~target_hours ~device profiled =
+  if target_hours <= 0. then invalid_arg "Planner.plan: target must be positive";
+  let plan_for quality =
+    let average_power_mw = project ?options ~device ~quality profiled in
+    {
+      quality;
+      average_power_mw;
+      projected_runtime_hours =
+        Power.Battery.runtime_hours battery ~average_power_mw;
+    }
+  in
+  let rec search = function
+    | [] -> assert false
+    | [ last ] ->
+      let p = plan_for last in
+      if p.projected_runtime_hours >= target_hours then Ok p else Error p
+    | quality :: rest ->
+      let p = plan_for quality in
+      if p.projected_runtime_hours >= target_hours then Ok p else search rest
+  in
+  search Annot.Quality_level.standard_grid
+
+let pp_plan ppf p =
+  Format.fprintf ppf "quality %s: %.0f mW average, %.1f h runtime"
+    (Annot.Quality_level.label p.quality)
+    p.average_power_mw p.projected_runtime_hours

@@ -1,0 +1,39 @@
+(** Energy-aware quality planning.
+
+    §4.2: "The user decides if some quality can be traded for more
+    power savings" — the planner automates that decision from a runtime
+    goal: given a battery and a target playback duration, it selects
+    the *least* lossy advertised quality level whose projected average
+    power meets the goal, projecting power from the clip's own profile
+    (the same annotations the server already computes). *)
+
+type plan = {
+  quality : Annot.Quality_level.t;
+  average_power_mw : float;
+  projected_runtime_hours : float;
+}
+
+val project :
+  ?options:Playback.options ->
+  device:Display.Device.t ->
+  quality:Annot.Quality_level.t ->
+  Annot.Annotator.profiled ->
+  float
+(** [project ~device ~quality profiled] is the average device power
+    (mW) of annotated playback of this content at the given quality. *)
+
+val plan :
+  ?options:Playback.options ->
+  battery:Power.Battery.t ->
+  target_hours:float ->
+  device:Display.Device.t ->
+  Annot.Annotator.profiled ->
+  (plan, plan) result
+(** [plan ~battery ~target_hours ~device profiled] walks the advertised
+    quality grid from lossless upward and returns [Ok] with the first
+    level meeting the target runtime. If even the most aggressive
+    level falls short, returns [Error] carrying that best-effort plan
+    so the caller can report the shortfall. Raises [Invalid_argument]
+    on a non-positive target. *)
+
+val pp_plan : Format.formatter -> plan -> unit

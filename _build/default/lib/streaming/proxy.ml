@@ -1,0 +1,39 @@
+let transcode ~params encoded =
+  Result.map
+    (fun (decoded : Codec.Decoder.decoded) ->
+      let clip =
+        Video.Clip.of_frames ~name:"transcoded" ~fps:decoded.Codec.Decoder.fps
+          decoded.Codec.Decoder.frames
+      in
+      Codec.Encoder.encode_clip ~params clip)
+    (Codec.Decoder.decode encoded.Codec.Encoder.data)
+
+let transcode_for_link ?utilisation ~link encoded =
+  Result.map
+    (fun (decoded : Codec.Decoder.decoded) ->
+      let clip =
+        Video.Clip.of_frames ~name:"transcoded" ~fps:decoded.Codec.Decoder.fps
+          decoded.Codec.Decoder.frames
+      in
+      (* Re-encoding cannot add quality: never search finer than the
+         source quantiser. *)
+      Codec.Rate_control.for_link ?utilisation
+        ~min_qp:encoded.Codec.Encoder.params.Codec.Stream.qp
+        ~link_bps:link.Netsim.bandwidth_bps clip)
+    (Codec.Decoder.decode encoded.Codec.Encoder.data)
+
+type live_session = {
+  track : Annot.Track.t;
+  annotation_bytes : string;
+  added_latency_s : float;
+}
+
+let annotate_live ?scene_params ~lookahead ~device ~quality clip =
+  let profiled = Annot.Annotator.profile clip in
+  let track = Annot.Live.annotate ?scene_params ~lookahead ~device ~quality profiled in
+  {
+    track;
+    annotation_bytes = Annot.Encoding.encode track;
+    added_latency_s =
+      Annot.Live.added_latency_s ~lookahead ~fps:clip.Video.Clip.fps;
+  }

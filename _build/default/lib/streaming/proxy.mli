@@ -1,0 +1,41 @@
+(** The proxy node of Fig 1: transcoding and live annotation.
+
+    "an (optional) proxy node that can perform various operations on
+    the stream (transcoding)" — the proxy sits between the server and
+    the wireless client, re-encoding the stream for the constrained
+    link and annotating it on the fly when the source (e.g. a live
+    conference) was never profiled offline. *)
+
+val transcode :
+  params:Codec.Stream.params -> Codec.Encoder.encoded ->
+  (Codec.Encoder.encoded, string) result
+(** [transcode ~params encoded] decodes and re-encodes the stream under
+    new codec parameters (typically a coarser quantiser for a slower
+    link). Returns [Error] if the input bitstream is corrupt. *)
+
+val transcode_for_link :
+  ?utilisation:float ->
+  link:Netsim.t ->
+  Codec.Encoder.encoded ->
+  (Codec.Rate_control.outcome, string) result
+(** [transcode_for_link ~link encoded] re-encodes so the stream fits
+    the link's bandwidth in real time (see
+    {!Codec.Rate_control.for_link}), the rate-adaptation role Fig 1
+    assigns the proxy. *)
+
+type live_session = {
+  track : Annot.Track.t;
+  annotation_bytes : string;
+  added_latency_s : float;
+}
+
+val annotate_live :
+  ?scene_params:Annot.Scene_detect.params ->
+  lookahead:int ->
+  device:Display.Device.t ->
+  quality:Annot.Quality_level.t ->
+  Video.Clip.t ->
+  live_session
+(** [annotate_live ~lookahead ~device ~quality clip] profiles and
+    annotates with a bounded lookahead window (see {!Annot.Live}),
+    reporting the buffering latency the proxy adds. *)

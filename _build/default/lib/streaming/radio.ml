@@ -1,0 +1,113 @@
+type power = {
+  rx_mw : float;
+  idle_mw : float;
+  sleep_mw : float;
+  wake_overhead_s : float;
+}
+
+let wlan_card = { rx_mw = 300.; idle_mw = 160.; sleep_mw = 12.; wake_overhead_s = 0.003 }
+
+type policy = Always_on | Annotated_bursts | History_bursts of { margin : float }
+
+let policy_name = function
+  | Always_on -> "always-on"
+  | Annotated_bursts -> "annotated"
+  | History_bursts { margin } -> Printf.sprintf "history-x%.1f" margin
+
+type report = {
+  policy : policy;
+  gops : int;
+  radio_energy_mj : float;
+  baseline_energy_mj : float;
+  savings : float;
+  late_frames : int;
+  sleep_fraction : float;
+}
+
+let gop_bytes ~gop frame_bytes =
+  if gop <= 0 then invalid_arg "Radio.gop_bytes: gop must be positive";
+  let frames = Array.length frame_bytes in
+  if frames = 0 then invalid_arg "Radio.gop_bytes: empty stream";
+  let groups = (frames + gop - 1) / gop in
+  Array.init groups (fun g ->
+      let first = g * gop in
+      let last = min (frames - 1) (first + gop - 1) in
+      let sum = ref 0 in
+      for i = first to last do
+        sum := !sum + frame_bytes.(i)
+      done;
+      !sum)
+
+(* One GOP interval: [rx_s] receiving, then either idle (always-on) or
+   dozing with wake overheads. Receive energy is common to all
+   policies; only the residue differs. *)
+let interval_energy power ~policy ~interval_s ~rx_s ~wakes =
+  let rx_s = Float.min rx_s interval_s in
+  let residue = interval_s -. rx_s in
+  let rx_energy = power.rx_mw *. rx_s in
+  match policy with
+  | `Awake -> rx_energy +. (power.idle_mw *. residue)
+  | `Doze ->
+    let overhead = Float.min residue (float_of_int wakes *. power.wake_overhead_s) in
+    rx_energy
+    +. (power.idle_mw *. overhead)
+    +. (power.sleep_mw *. (residue -. overhead))
+
+let run ?(power = wlan_card) ~link ~fps ~gop ~frame_bytes policy =
+  if fps <= 0. then invalid_arg "Radio.run: fps must be positive";
+  let bursts = gop_bytes ~gop frame_bytes in
+  let gops = Array.length bursts in
+  let interval_s = float_of_int gop /. fps in
+  let rx_times = Array.map (fun b -> Netsim.transfer_time_s link b) bursts in
+  let energy = ref 0. and baseline = ref 0. in
+  let late = ref 0 in
+  let doze_s = ref 0. in
+  Array.iteri
+    (fun g rx_s ->
+      baseline := !baseline +. interval_energy power ~policy:`Awake ~interval_s ~rx_s ~wakes:0;
+      match policy with
+      | Always_on ->
+        energy := !energy +. interval_energy power ~policy:`Awake ~interval_s ~rx_s ~wakes:0
+      | Annotated_bursts ->
+        energy := !energy +. interval_energy power ~policy:`Doze ~interval_s ~rx_s ~wakes:1;
+        doze_s := !doze_s +. Float.max 0. (interval_s -. rx_s -. power.wake_overhead_s)
+      | History_bursts { margin } ->
+        (* The wake window is sized from the previous burst; the
+           shortfall slips to an extra wake and the frames it carried
+           are late. *)
+        let window =
+          if g = 0 then interval_s else Float.min interval_s (margin *. rx_times.(g - 1))
+        in
+        let received = Float.min rx_s window in
+        let shortfall = rx_s -. received in
+        let wakes = if shortfall > 0. then 2 else 1 in
+        if shortfall > 0. then begin
+          let this_gop_frames =
+            min gop (Array.length frame_bytes - (g * gop))
+          in
+          late :=
+            !late
+            + int_of_float
+                (Float.round (float_of_int this_gop_frames *. shortfall /. rx_s))
+        end;
+        energy := !energy +. interval_energy power ~policy:`Doze ~interval_s ~rx_s ~wakes;
+        doze_s :=
+          !doze_s
+          +. Float.max 0.
+               (interval_s -. rx_s -. (float_of_int wakes *. power.wake_overhead_s)))
+    rx_times;
+  {
+    policy;
+    gops;
+    radio_energy_mj = !energy;
+    baseline_energy_mj = !baseline;
+    savings = (!baseline -. !energy) /. !baseline;
+    late_frames = !late;
+    sleep_fraction = !doze_s /. (interval_s *. float_of_int gops);
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%-14s radio %8.1f mJ (baseline %8.1f)  saved %5.1f%%  doze %4.1f%%  late %3d"
+    (policy_name r.policy) r.radio_energy_mj r.baseline_energy_mj
+    (100. *. r.savings) (100. *. r.sleep_fraction) r.late_frames

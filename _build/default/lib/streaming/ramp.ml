@@ -1,0 +1,45 @@
+let slew_limit ~max_dim_step registers =
+  if max_dim_step <= 0 then invalid_arg "Ramp.slew_limit: step must be positive";
+  let n = Array.length registers in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n registers.(0) in
+    for i = 1 to n - 1 do
+      let target = registers.(i) in
+      out.(i) <- (if target >= out.(i - 1) then target
+                  else max target (out.(i - 1) - max_dim_step))
+    done;
+    out
+  end
+
+let largest_dim_step registers =
+  let worst = ref 0 in
+  for i = 1 to Array.length registers - 1 do
+    let drop = registers.(i - 1) - registers.(i) in
+    if drop > !worst then worst := drop
+  done;
+  !worst
+
+type cost = {
+  extra_energy_fraction : float;
+  smoothed_largest_dim_step : int;
+  original_largest_dim_step : int;
+}
+
+let backlight_energy device registers =
+  Array.fold_left
+    (fun acc register ->
+      acc +. Power.Model.backlight_power_mw device ~on:true ~register)
+    0. registers
+
+let smoothing_cost ~device ~max_dim_step registers =
+  let smoothed = slew_limit ~max_dim_step registers in
+  let original_energy = backlight_energy device registers in
+  let smoothed_energy = backlight_energy device smoothed in
+  {
+    extra_energy_fraction =
+      (if original_energy > 0. then (smoothed_energy -. original_energy) /. original_energy
+       else 0.);
+    smoothed_largest_dim_step = largest_dim_step smoothed;
+    original_largest_dim_step = largest_dim_step registers;
+  }

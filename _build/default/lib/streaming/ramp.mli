@@ -1,0 +1,34 @@
+(** Backlight transition smoothing.
+
+    §4.3 tunes the scene thresholds "for minimizing visible spikes";
+    related work (QABS [4]) instead post-processes the backlight signal
+    to prevent abrupt switching. This module provides that post-pass as
+    a client-side option: *dimming* is slew-rate limited (a hard drop
+    spread over several frames), while *brightening* stays immediate —
+    the asymmetry that keeps the smoothing quality-safe, because the
+    smoothed register is never below what the compensated stream needs
+    (a brighter-than-planned backlight only overshoots brightness
+    transiently; a darker one would add clipping). *)
+
+val slew_limit : max_dim_step:int -> int array -> int array
+(** [slew_limit ~max_dim_step registers] caps every frame-to-frame
+    *decrease* at [max_dim_step] register counts; increases pass
+    through. The result is pointwise at least the input. Raises
+    [Invalid_argument] for a non-positive step. *)
+
+val largest_dim_step : int array -> int
+(** The largest one-frame register decrease in a track (the "visible
+    spike" metric); 0 when the track never dims abruptly. *)
+
+type cost = {
+  extra_energy_fraction : float;
+      (** additional backlight energy the smoothing spends, relative to
+          the unsmoothed track, on the register-proportional power law *)
+  smoothed_largest_dim_step : int;
+  original_largest_dim_step : int;
+}
+
+val smoothing_cost :
+  device:Display.Device.t -> max_dim_step:int -> int array -> cost
+(** [smoothing_cost ~device ~max_dim_step registers] quantifies the
+    smoothness/energy trade on a register track. *)

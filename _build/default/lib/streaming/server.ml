@@ -1,0 +1,64 @@
+type stored = {
+  clip : Video.Clip.t;
+  mutable profiled : Annot.Annotator.profiled option;
+}
+
+type t = { catalog : (string, stored) Hashtbl.t }
+
+type prepared = {
+  session : Negotiation.session;
+  track : Annot.Track.t;
+  annotation_bytes : string;
+  compensated : Video.Clip.t;
+}
+
+let create () = { catalog = Hashtbl.create 16 }
+
+let add_clip t clip =
+  Hashtbl.replace t.catalog clip.Video.Clip.name { clip; profiled = None }
+
+let clip_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.catalog [] |> List.sort compare
+
+let find t name =
+  match Hashtbl.find_opt t.catalog name with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "unknown clip %S" name)
+
+let profile t name =
+  Result.map
+    (fun stored ->
+      match stored.profiled with
+      | Some p -> p
+      | None ->
+        let p = Annot.Annotator.profile stored.clip in
+        stored.profiled <- Some p;
+        p)
+    (find t name)
+
+let prepare ?scene_params t ~name ~session =
+  Result.bind (find t name) (fun stored ->
+      Result.map
+        (fun profiled ->
+          let track =
+            match session.Negotiation.mapping with
+            | Negotiation.Server_side ->
+              Annot.Annotator.annotate_profiled ?scene_params
+                ~device:session.Negotiation.device
+                ~quality:session.Negotiation.quality profiled
+            | Negotiation.Client_side ->
+              (* Device-neutral: the client maps gains to registers with
+                 Annot.Neutral.map_to_device after decoding. *)
+              Annot.Neutral.annotate ?scene_params
+                ~quality:session.Negotiation.quality profiled
+          in
+          {
+            session;
+            track;
+            annotation_bytes = Annot.Encoding.encode track;
+            compensated = Annot.Compensate.clip stored.clip track;
+          })
+        (profile t name))
+
+let encode_video ?params t ~name =
+  Result.map (fun stored -> Codec.Encoder.encode_clip ?params stored.clip) (find t name)

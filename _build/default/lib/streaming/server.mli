@@ -1,0 +1,48 @@
+(** The media server / proxy node.
+
+    Stores clips, profiles them once, and serves annotated (and
+    optionally pre-compensated) streams per session. "The annotations
+    can be generated and added to the video stream at either the server
+    or proxy node, with no changes for the client" (§3) — the proxy
+    case is the same code path invoked on a live clip. *)
+
+type t
+
+type prepared = {
+  session : Negotiation.session;
+  track : Annot.Track.t;
+  annotation_bytes : string;  (** encoded annotation side-channel *)
+  compensated : Video.Clip.t;
+      (** the stream the client will display: frames pre-brightened
+          according to the track *)
+}
+
+val create : unit -> t
+
+val add_clip : t -> Video.Clip.t -> unit
+(** Registers a clip under its own name; re-adding a name replaces the
+    clip and drops its cached profile. *)
+
+val clip_names : t -> string list
+
+val profile : t -> string -> (Annot.Annotator.profiled, string) result
+(** Cached single-pass profile of a stored clip. *)
+
+val prepare :
+  ?scene_params:Annot.Scene_detect.params ->
+  t ->
+  name:string ->
+  session:Negotiation.session ->
+  (prepared, string) result
+(** [prepare server ~name ~session] profiles (cached), annotates for
+    the session's quality, encodes the annotation track and builds the
+    compensated stream. With [Server_side] mapping the track carries
+    final registers for the session's device; with [Client_side] it is
+    device-neutral (§4.3) and the client finishes it with
+    {!Annot.Neutral.map_to_device}. Unknown names yield [Error]. *)
+
+val encode_video :
+  ?params:Codec.Stream.params -> t -> name:string ->
+  (Codec.Encoder.encoded, string) result
+(** Encodes the stored clip with the codec — used to size the video
+    stream the annotations ride on. *)

@@ -1,0 +1,191 @@
+type config = {
+  device : Display.Device.t;
+  quality : Annot.Quality_level.t;
+  mapping : Negotiation.mapping_site;
+  link : Netsim.t;
+  loss_rate : float;
+  gop : int;
+  ramp_step : int option;
+  cpu_busy_fraction : float;
+  seed : int;
+}
+
+let default_config ~device =
+  {
+    device;
+    quality = Annot.Quality_level.Loss_10;
+    mapping = Negotiation.Server_side;
+    link = Netsim.wlan_80211b;
+    loss_rate = 0.;
+    gop = 12;
+    ramp_step = None;
+    cpu_busy_fraction = 0.6;
+    seed = 1;
+  }
+
+type report = {
+  config : config;
+  frames : int;
+  duration_s : float;
+  video_bytes : int;
+  annotation_bytes : int;
+  annotations_survived : bool;
+  video_mean_psnr : float;
+  concealed_frames : int;
+  backlight_savings : float;
+  cpu_savings : float;
+  radio_savings : float;
+  device_savings : float;
+  device_energy_mj : float;
+  baseline_energy_mj : float;
+}
+
+(* Whole-device energy: per-frame backlight at its register, the DVFS
+   CPU account, the radio account, and the constant components. The
+   baseline uses register 255, full CPU speed and an always-on
+   radio. *)
+let device_energy ~config ~dt_s ~registers ~cpu_energy_mj ~radio_energy_mj =
+  let d = config.device in
+  let duration = dt_s *. float_of_int (Array.length registers) in
+  let backlight =
+    Array.fold_left
+      (fun acc register ->
+        acc +. (Power.Model.backlight_power_mw d ~on:true ~register *. dt_s))
+      0. registers
+  in
+  let constant =
+    (d.Display.Device.lcd_logic_power_mw +. d.Display.Device.base_power_mw) *. duration
+  in
+  backlight +. cpu_energy_mj +. radio_energy_mj +. constant
+
+let run config clip =
+  if config.loss_rate < 0. || config.loss_rate > 1. then
+    invalid_arg "Session.run: loss rate out of [0, 1]";
+  let frames = clip.Video.Clip.frame_count in
+  if frames = 0 then invalid_arg "Session.run: empty clip";
+  let fps = clip.Video.Clip.fps in
+  let dt_s = 1. /. fps in
+  (* Server side: annotate, encode, protect. *)
+  let profiled = Annot.Annotator.profile clip in
+  let track =
+    match config.mapping with
+    | Negotiation.Server_side ->
+      Annot.Annotator.annotate_profiled ~device:config.device
+        ~quality:config.quality profiled
+    | Negotiation.Client_side ->
+      Annot.Neutral.annotate ~quality:config.quality profiled
+  in
+  let annotation_payload = Annot.Encoding.encode track in
+  let protected_annotations =
+    Fec.protect ~packet_size:24 ~group_size:3 annotation_payload
+  in
+  let encoded =
+    Codec.Encoder.encode_clip
+      ~params:{ Codec.Stream.default_params with gop = config.gop }
+      clip
+  in
+  (* The wireless hop. *)
+  let annotation_arrival =
+    Fec.transmit protected_annotations ~rate:config.loss_rate ~seed:config.seed
+  in
+  let annotations_survived, client_track =
+    match Fec.recover protected_annotations ~present:annotation_arrival with
+    | Ok payload -> (
+      match Annot.Encoding.decode payload with
+      | Ok wire_track -> (
+        ( true,
+          match config.mapping with
+          | Negotiation.Server_side -> wire_track
+          | Negotiation.Client_side ->
+            Annot.Neutral.map_to_device config.device wire_track ))
+      | Error _ -> (false, track))
+    | Error _ -> (false, track)
+  in
+  Result.bind (Transport.packetize encoded) (fun packetized ->
+      let lost =
+        Transport.bernoulli_loss ~rate:config.loss_rate ~seed:(config.seed + 1)
+          ~frames
+      in
+      lost.(0) <- false;
+      Result.bind
+        (Result.map_error
+           (fun e -> "transport: " ^ e)
+           (Transport.decode_with_concealment packetized ~lost))
+        (fun received ->
+          Result.map
+            (fun (clean : Codec.Decoder.decoded) ->
+              (* Client playback decisions. *)
+              let registers =
+                if annotations_survived then begin
+                  let base = Annot.Track.register_track client_track in
+                  match config.ramp_step with
+                  | None -> base
+                  | Some max_dim_step -> Ramp.slew_limit ~max_dim_step base
+                end
+                else
+                  (* Quality-safe fallback: no annotations, no dimming. *)
+                  Array.make frames 255
+              in
+              let cycles = Dvfs_playback.decode_cycles encoded in
+              let dvfs =
+                Dvfs_playback.run ~fps cycles Dvfs_playback.Annotated_workload
+              in
+              let frame_bytes =
+                Array.map
+                  (fun bits -> (bits + 7) / 8)
+                  encoded.Codec.Encoder.frame_sizes_bits
+              in
+              let radio =
+                Radio.run ~link:config.link ~fps ~gop:config.gop ~frame_bytes
+                  Radio.Annotated_bursts
+              in
+              let energy registers_arr cpu radio_mj =
+                device_energy ~config ~dt_s ~registers:registers_arr
+                  ~cpu_energy_mj:cpu ~radio_energy_mj:radio_mj
+              in
+              let optimised =
+                energy registers dvfs.Dvfs_playback.cpu_energy_mj
+                  radio.Radio.radio_energy_mj
+              in
+              let baseline =
+                energy (Array.make frames 255)
+                  dvfs.Dvfs_playback.baseline_energy_mj
+                  radio.Radio.baseline_energy_mj
+              in
+              let backlight_savings =
+                let p r = Power.Model.backlight_power_mw config.device ~on:true ~register:r in
+                let used = Array.fold_left (fun a r -> a +. p r) 0. registers in
+                let full = float_of_int frames *. p 255 in
+                (full -. used) /. full
+              in
+              {
+                config;
+                frames;
+                duration_s = float_of_int frames *. dt_s;
+                video_bytes = Codec.Encoder.total_bytes encoded;
+                annotation_bytes = String.length annotation_payload;
+                annotations_survived;
+                video_mean_psnr =
+                  Transport.mean_psnr ~reference:clean.Codec.Decoder.frames
+                    received.Transport.pictures;
+                concealed_frames = received.Transport.concealed;
+                backlight_savings;
+                cpu_savings = dvfs.Dvfs_playback.savings;
+                radio_savings = radio.Radio.savings;
+                device_savings = (baseline -. optimised) /. baseline;
+                device_energy_mj = optimised;
+                baseline_energy_mj = baseline;
+              })
+            (Codec.Decoder.decode encoded.Codec.Encoder.data)))
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%d frames, %.1f s, video %d B, annotations %d B (%s)@,\
+     video PSNR %.1f dB after %d concealments@,\
+     savings: backlight %.1f%%, cpu %.1f%%, radio %.1f%% -> device %.1f%%@,\
+     energy %.0f mJ vs %.0f mJ baseline@]"
+    r.frames r.duration_s r.video_bytes r.annotation_bytes
+    (if r.annotations_survived then "recovered" else "LOST - full backlight fallback")
+    r.video_mean_psnr r.concealed_frames (100. *. r.backlight_savings)
+    (100. *. r.cpu_savings) (100. *. r.radio_savings) (100. *. r.device_savings)
+    r.device_energy_mj r.baseline_energy_mj

@@ -1,0 +1,56 @@
+(** End-to-end session orchestration.
+
+    One call that runs the complete system of Fig 1 plus every §3
+    annotation application: encode, annotate (server- or client-
+    mapped), protect the annotation side channel with FEC, ship both
+    over a lossy link, conceal video losses, and play back with
+    backlight scaling, CPU frequency scaling and radio sleep
+    scheduling simultaneously — then account the whole-device energy
+    against the unoptimised baseline (full backlight, full CPU speed,
+    radio always on). This is the API a downstream integrator calls;
+    the pieces remain available individually. *)
+
+type config = {
+  device : Display.Device.t;
+  quality : Annot.Quality_level.t;
+  mapping : Negotiation.mapping_site;
+  link : Netsim.t;
+  loss_rate : float;  (** Bernoulli packet/frame loss on the wireless hop *)
+  gop : int;
+  ramp_step : int option;  (** slew-limit dimming when set *)
+  cpu_busy_fraction : float;  (** decode duty cycle for the power model *)
+  seed : int;
+}
+
+val default_config : device:Display.Device.t -> config
+(** 10 % quality, server-side mapping, 802.11b link, no loss, GOP 12,
+    no ramp, 60 % duty cycle. *)
+
+type report = {
+  config : config;
+  frames : int;
+  duration_s : float;
+  video_bytes : int;
+  annotation_bytes : int;
+  annotations_survived : bool;
+      (** whether the FEC-protected side channel was recovered; when it
+          is not, the client falls back to full backlight (quality is
+          never risked on guessed annotations) *)
+  video_mean_psnr : float;  (** after loss concealment, vs clean decode *)
+  concealed_frames : int;
+  backlight_savings : float;
+  cpu_savings : float;
+  radio_savings : float;
+  device_savings : float;
+      (** whole-device energy vs the unoptimised baseline, all three
+          optimisations combined *)
+  device_energy_mj : float;
+  baseline_energy_mj : float;
+}
+
+val run : config -> Video.Clip.t -> (report, string) result
+(** [run config clip] executes the full session. Fails only on
+    irrecoverable transport conditions (e.g. the first video frame
+    lost) or internal stream corruption. *)
+
+val pp_report : Format.formatter -> report -> unit

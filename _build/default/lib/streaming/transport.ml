@@ -1,0 +1,88 @@
+type packetized = {
+  info : Codec.Decoder.stream_info;
+  payloads : string array;
+  frame_types : Codec.Stream.frame_type array;
+}
+
+let packetize (encoded : Codec.Encoder.encoded) =
+  Result.map
+    (fun info ->
+      let data = encoded.Codec.Encoder.data in
+      let offset = ref info.Codec.Decoder.header_bytes in
+      let payloads =
+        Array.map
+          (fun bits ->
+            let bytes = (bits + 7) / 8 in
+            let payload = String.sub data !offset bytes in
+            offset := !offset + bytes;
+            payload)
+          encoded.Codec.Encoder.frame_sizes_bits
+      in
+      { info; payloads; frame_types = encoded.Codec.Encoder.frame_types })
+    (Codec.Decoder.parse_header encoded.Codec.Encoder.data)
+
+let bernoulli_loss ~rate ~seed ~frames =
+  if rate < 0. || rate > 1. then invalid_arg "Transport.bernoulli_loss: bad rate";
+  let rng = Image.Prng.create ~seed in
+  Array.init frames (fun _ -> Image.Prng.float rng 1. < rate)
+
+type received = {
+  pictures : Image.Raster.t array;
+  concealed : int;
+  drifted : int;
+}
+
+let decode_with_concealment t ~lost =
+  let n = Array.length t.payloads in
+  if Array.length lost <> n then
+    invalid_arg "Transport.decode_with_concealment: loss mask length mismatch";
+  let pictures = Array.make n (Image.Raster.create ~width:1 ~height:1) in
+  let reference = ref None in
+  let concealed = ref 0 and drifted = ref 0 in
+  (* Tracks whether the prediction chain is currently damaged. *)
+  let chain_dirty = ref false in
+  let result = ref (Ok ()) in
+  (try
+     for i = 0 to n - 1 do
+       if lost.(i) then begin
+         match !reference with
+         | None -> failwith "first frame lost: nothing to conceal with"
+         | Some prev ->
+           incr concealed;
+           chain_dirty := true;
+           pictures.(i) <-
+             Codec.Decoder.raster_of_reference
+               ~width:t.info.Codec.Decoder.info_width
+               ~height:t.info.Codec.Decoder.info_height prev
+       end
+       else begin
+         match
+           Codec.Decoder.decode_frame ~info:t.info ~reference:!reference
+             t.payloads.(i)
+         with
+         | Error msg -> failwith msg
+         | Ok (picture, new_reference) ->
+           (* An I-frame refreshes the chain; a P-frame inherits any
+              damage. *)
+           (match t.frame_types.(i) with
+           | Codec.Stream.I_frame -> chain_dirty := false
+           | Codec.Stream.P_frame -> if !chain_dirty then incr drifted);
+           pictures.(i) <- picture;
+           reference := Some new_reference
+       end
+     done
+   with Failure msg -> result := Error msg);
+  Result.map
+    (fun () -> { pictures; concealed = !concealed; drifted = !drifted })
+    !result
+
+let mean_psnr ~reference pictures =
+  if Array.length reference <> Array.length pictures || Array.length reference = 0
+  then invalid_arg "Transport.mean_psnr: sequence mismatch";
+  let total = ref 0. in
+  Array.iteri
+    (fun i picture ->
+      let psnr = Image.Metrics.psnr reference.(i) picture in
+      total := !total +. Float.min 99. psnr)
+    pictures;
+  !total /. float_of_int (Array.length reference)

@@ -1,0 +1,43 @@
+(** Frame-aligned transport with loss and concealment.
+
+    The wireless link of Fig 1 drops packets. The transport ships each
+    coded frame as its own packet train; when a frame is lost the
+    client conceals it by repeating the previous picture, and later
+    P-frames predict from the *concealed* picture — drifting until the
+    next I-frame refreshes the prediction chain. This quantifies the
+    error-resilience side of the streaming substrate (the paper's group
+    studied exactly this trade in the PBPAIR line of work) and, for the
+    annotation pipeline, shows that backlight annotations shipped
+    reliably out-of-band stay valid even when the video is damaged. *)
+
+type packetized = {
+  info : Codec.Decoder.stream_info;
+  payloads : string array;  (** one byte string per coded frame *)
+  frame_types : Codec.Stream.frame_type array;
+}
+
+val packetize : Codec.Encoder.encoded -> (packetized, string) result
+(** Splits a bitstream at its (byte-aligned) frame boundaries. *)
+
+val bernoulli_loss : rate:float -> seed:int -> frames:int -> bool array
+(** [bernoulli_loss ~rate ~seed ~frames] marks each frame lost with
+    probability [rate], deterministically from [seed]. Rate in
+    [0, 1]. *)
+
+type received = {
+  pictures : Image.Raster.t array;
+  concealed : int;  (** frames repeated because their data was lost *)
+  drifted : int;
+      (** received frames decoded against a concealed or drifted
+          reference (visually degraded until the next I-frame) *)
+}
+
+val decode_with_concealment :
+  packetized -> lost:bool array -> (received, string) result
+(** Frame-by-frame decode with previous-picture concealment. Fails only
+    when nothing displayable exists yet (the very first frame is lost
+    before any picture was decoded) or on corrupt payload data. *)
+
+val mean_psnr : reference:Image.Raster.t array -> Image.Raster.t array -> float
+(** Mean PSNR (dB) against a reference frame sequence; [infinity]-free:
+    identical frames are capped at 99 dB so the mean stays finite. *)

@@ -1,0 +1,1 @@
+lib/video/clip.ml: Array Image

@@ -1,0 +1,1 @@
+lib/video/clip.mli: Image

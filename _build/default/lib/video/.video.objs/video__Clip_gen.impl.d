@@ -1,0 +1,1 @@
+lib/video/clip_gen.ml: Array Clip Float Image List Profile

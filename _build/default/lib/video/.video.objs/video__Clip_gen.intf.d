@@ -1,0 +1,1 @@
+lib/video/clip_gen.mli: Clip Profile

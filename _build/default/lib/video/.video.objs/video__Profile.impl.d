@@ -1,0 +1,1 @@
+lib/video/profile.ml: List Printf

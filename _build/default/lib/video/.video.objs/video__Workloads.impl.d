@@ -1,0 +1,1 @@
+lib/video/workloads.ml: List Printf Profile String

@@ -1,0 +1,1 @@
+lib/video/workloads.mli: Profile

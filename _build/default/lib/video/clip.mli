@@ -1,0 +1,65 @@
+(** Video clips.
+
+    A clip is a finite sequence of frames of fixed dimensions at a fixed
+    frame rate. Frames are produced on demand ([render]) so that long
+    clips never need to be resident in memory — the same streaming
+    discipline the paper's server/proxy/client pipeline imposes. *)
+
+type t = {
+  name : string;
+  width : int;
+  height : int;
+  fps : float;  (** frames per second; positive *)
+  frame_count : int;  (** number of frames; non-negative *)
+  render : int -> Image.Raster.t;
+      (** [render i] is frame [i] (0-based). Deterministic: rendering
+          the same index twice yields equal rasters. Raises
+          [Invalid_argument] outside [0, frame_count). *)
+}
+
+val make :
+  name:string ->
+  width:int ->
+  height:int ->
+  fps:float ->
+  frame_count:int ->
+  (int -> Image.Raster.t) ->
+  t
+(** [make ~name ~width ~height ~fps ~frame_count render] wraps [render]
+    with bounds checking. Raises [Invalid_argument] on non-positive
+    dimensions or fps, or negative frame count. *)
+
+val of_frames : name:string -> fps:float -> Image.Raster.t array -> t
+(** [of_frames ~name ~fps frames] is an in-memory clip. The array must
+    be non-empty and all frames must share dimensions. *)
+
+val duration_seconds : t -> float
+(** [duration_seconds clip] is [frame_count / fps]. *)
+
+val frame_time : t -> int -> float
+(** [frame_time clip i] is the presentation time of frame [i] in
+    seconds. *)
+
+val iter_frames : (int -> Image.Raster.t -> unit) -> t -> unit
+(** [iter_frames f clip] renders every frame in order and applies
+    [f index frame]. *)
+
+val fold_frames : ('a -> int -> Image.Raster.t -> 'a) -> 'a -> t -> 'a
+(** [fold_frames f acc clip] folds over frames in presentation order. *)
+
+val map_frames : name:string -> (int -> Image.Raster.t -> Image.Raster.t) -> t -> t
+(** [map_frames ~name f clip] is a clip whose frame [i] is
+    [f i (clip.render i)]; dimensions are assumed preserved. *)
+
+val max_luminance_track : t -> int array
+(** [max_luminance_track clip] is the per-frame maximum luminance — the
+    raw signal of Fig 6 ("Max. Luminance"). *)
+
+val histogram_track :
+  ?plane:[ `Luma | `Channel_max ] -> t -> Image.Histogram.t array
+(** [histogram_track clip] is the per-frame histogram, the input to the
+    whole annotation pipeline (one pixel pass per frame). The default
+    [`Luma] plane matches the paper; [`Channel_max] histograms
+    per-pixel [max(r,g,b)] instead, which predicts compensation
+    clipping exactly on saturated-colour content (see
+    {!Image.Raster.channel_max_plane}). *)

@@ -1,0 +1,134 @@
+let default_width = 160
+let default_height = 120
+let default_fps = 12.
+
+type compiled_scene = {
+  spec : Profile.scene;
+  first_frame : int;
+  frames : int;
+  scene_index : int;
+}
+
+let compile_scenes ~fps profile =
+  let rec loop idx first acc = function
+    | [] -> List.rev acc
+    | (s : Profile.scene) :: rest ->
+      let frames = max 1 (int_of_float ((s.seconds *. fps) +. 0.5)) in
+      let c = { spec = s; first_frame = first; frames; scene_index = idx } in
+      loop (idx + 1) (first + frames) (c :: acc) rest
+  in
+  loop 0 0 [] profile.Profile.scenes
+
+let scene_boundaries ?(fps = default_fps) profile =
+  compile_scenes ~fps profile
+  |> List.map (fun c -> (c.first_frame, c.first_frame + c.frames - 1))
+
+(* Frame-local generator: seeded from the profile seed, the scene index
+   and the frame index within the scene, so frames are order-independent. *)
+let frame_rng ~seed ~scene_index ~frame_in_scene =
+  Image.Prng.create ~seed:((seed * 1_000_003) + (scene_index * 7919) + frame_in_scene)
+
+(* Scene-local generator: stable across all frames of a scene; used for
+   placement decisions that must not jitter frame to frame. *)
+let scene_rng ~seed ~scene_index =
+  Image.Prng.create ~seed:((seed * 1_000_003) + (scene_index * 7919) + 999_331)
+
+let render_background img = function
+  | Profile.Flat l -> Image.Raster.fill img (Image.Pixel.gray l)
+  | Profile.Vertical { top; bottom } ->
+    Image.Draw.fill_vertical_gradient img ~top:(Image.Pixel.gray top)
+      ~bottom:(Image.Pixel.gray bottom)
+  | Profile.Radial { center; edge } ->
+    Image.Draw.fill_radial_gradient img ~center:(Image.Pixel.gray center)
+      ~edge:(Image.Pixel.gray edge) ~cx:0.5 ~cy:0.4
+
+let render_subject img ~frame_in_scene ~scene_frames (s : Profile.subject) =
+  let w = Image.Raster.width img and h = Image.Raster.height img in
+  ignore scene_frames;
+  let radius = max 1 (s.size * w / 1000) in
+  (* The subject sweeps horizontally; [speed] crossings per 100 frames. *)
+  let travel = float_of_int frame_in_scene *. s.speed /. 100. in
+  let pos = travel -. Float.of_int (int_of_float travel) in
+  let cx = int_of_float (pos *. float_of_int (w - 1)) in
+  let cy = int_of_float (s.vertical_phase *. float_of_int (h - 1)) in
+  (* Shaded rather than flat: real subjects have smooth luminance
+     falloff, which spreads the histogram instead of spiking it. *)
+  Image.Draw.shaded_disc img ~cx ~cy ~radius ~falloff:0.35
+    (Image.Pixel.gray s.level)
+
+let render_highlights img ~rng_scene ~frame_in_scene (h : Profile.highlights) =
+  let w = Image.Raster.width img and hgt = Image.Raster.height img in
+  let radius = max 1 (h.radius * w / 1000) in
+  for _ = 1 to h.count do
+    (* Base position is stable per scene; drift moves it slowly. *)
+    let bx = Image.Prng.int rng_scene w and by = Image.Prng.int rng_scene hgt in
+    let drift_px = h.drift *. float_of_int w *. float_of_int frame_in_scene in
+    let cx = (bx + int_of_float drift_px) mod w in
+    Image.Draw.glow img ~cx ~cy:by ~radius ~intensity:h.peak
+  done
+
+let fade_gain ~fade ~frame_in_scene ~scene_frames =
+  let t =
+    if scene_frames <= 1 then 1.
+    else float_of_int frame_in_scene /. float_of_int (scene_frames - 1)
+  in
+  match (fade : Profile.fade) with
+  | No_fade -> 1.
+  | Fade_in -> t
+  | Fade_out -> 1. -. t
+
+let render_frame ~seed ~width ~height scene frame_in_scene =
+  let img = Image.Raster.create ~width ~height in
+  let spec = scene.spec in
+  render_background img spec.Profile.background;
+  List.iter
+    (render_subject img ~frame_in_scene ~scene_frames:scene.frames)
+    spec.Profile.subjects;
+  (match spec.Profile.highlights with
+  | None -> ()
+  | Some h ->
+    let rng_scene = scene_rng ~seed ~scene_index:scene.scene_index in
+    render_highlights img ~rng_scene ~frame_in_scene h);
+  if spec.Profile.vignette > 0. then Image.Draw.vignette img ~strength:spec.Profile.vignette;
+  if spec.Profile.credits then begin
+    let rng_scene = scene_rng ~seed ~scene_index:scene.scene_index in
+    Image.Draw.credit_lines img ~rng:rng_scene ~lines:(height / 12)
+      ~ink:(Image.Pixel.gray 230)
+  end;
+  let gain = fade_gain ~fade:spec.Profile.fade ~frame_in_scene ~scene_frames:scene.frames in
+  if gain < 1. then Image.Ops.contrast_enhance_inplace ~k:gain img;
+  if spec.Profile.noise_sigma > 0. then begin
+    let rng = frame_rng ~seed ~scene_index:scene.scene_index ~frame_in_scene in
+    Image.Draw.add_noise img ~rng ~sigma:spec.Profile.noise_sigma
+  end;
+  img
+
+let render ?(width = default_width) ?(height = default_height) ?(fps = default_fps)
+    profile =
+  (match Profile.validate profile with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Clip_gen.render: " ^ msg));
+  let scenes = compile_scenes ~fps profile in
+  let frame_count =
+    match List.rev scenes with
+    | [] -> 0
+    | last :: _ -> last.first_frame + last.frames
+  in
+  let scenes_arr = Array.of_list scenes in
+  let find_scene i =
+    (* Scenes are few; linear scan from a binary search would be
+       over-engineering, but the benches render thousands of frames, so
+       bisect on first_frame. *)
+    let rec bisect lo hi =
+      if lo >= hi then scenes_arr.(lo)
+      else
+        let mid = (lo + hi + 1) / 2 in
+        if scenes_arr.(mid).first_frame <= i then bisect mid hi else bisect lo (mid - 1)
+    in
+    bisect 0 (Array.length scenes_arr - 1)
+  in
+  let render_at i =
+    let scene = find_scene i in
+    render_frame ~seed:profile.Profile.seed ~width ~height scene (i - scene.first_frame)
+  in
+  Clip.make ~name:profile.Profile.name ~width ~height ~fps ~frame_count render_at

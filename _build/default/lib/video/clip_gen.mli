@@ -1,0 +1,20 @@
+(** Interpreter turning a {!Profile.t} into a renderable {!Clip.t}.
+
+    Rendering is deterministic: frame [i] of a given profile at given
+    dimensions is always the same raster, regardless of rendering
+    order, because each frame derives its random stream from
+    [(profile.seed, scene index, frame-in-scene)]. *)
+
+val render :
+  ?width:int -> ?height:int -> ?fps:float -> Profile.t -> Clip.t
+(** [render ?width ?height ?fps profile] compiles the profile into a
+    lazy clip. Defaults: 160x120 at 12 fps — small enough for the
+    benches to sweep ten clips by five quality levels, while keeping
+    the histogram shapes of larger frames. Raises [Invalid_argument]
+    if the profile fails {!Profile.validate}. *)
+
+val scene_boundaries : ?fps:float -> Profile.t -> (int * int) list
+(** [scene_boundaries ?fps profile] is the ground-truth
+    [(first_frame, last_frame)] interval of each scene — used by tests
+    to score the scene-detection heuristic against the generator's own
+    segmentation. *)

@@ -1,0 +1,69 @@
+type background =
+  | Flat of int
+  | Vertical of { top : int; bottom : int }
+  | Radial of { center : int; edge : int }
+
+type subject = {
+  level : int;
+  size : int;
+  speed : float;
+  vertical_phase : float;
+}
+
+type highlights = { count : int; peak : int; radius : int; drift : float }
+
+type fade = No_fade | Fade_in | Fade_out
+
+type scene = {
+  seconds : float;
+  background : background;
+  subjects : subject list;
+  highlights : highlights option;
+  noise_sigma : float;
+  vignette : float;
+  fade : fade;
+  credits : bool;
+}
+
+type t = { name : string; seed : int; scenes : scene list }
+
+let scene ?(subjects = []) ?highlights ?(noise_sigma = 2.0) ?(vignette = 0.)
+    ?(fade = No_fade) ?(credits = false) ~seconds background =
+  { seconds; background; subjects; highlights; noise_sigma; vignette; fade; credits }
+
+let total_seconds p = List.fold_left (fun acc s -> acc +. s.seconds) 0. p.scenes
+
+let scene_count p = List.length p.scenes
+
+let level_ok l = l >= 0 && l <= 255
+
+let validate_scene i s =
+  let err fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "scene %d: %s" i m)) fmt in
+  if s.seconds <= 0. then err "non-positive duration"
+  else if s.noise_sigma < 0. then err "negative noise sigma"
+  else if s.vignette < 0. || s.vignette > 1. then err "vignette out of [0, 1]"
+  else
+    let bg_ok =
+      match s.background with
+      | Flat l -> level_ok l
+      | Vertical { top; bottom } -> level_ok top && level_ok bottom
+      | Radial { center; edge } -> level_ok center && level_ok edge
+    in
+    if not bg_ok then err "background level out of [0, 255]"
+    else if List.exists (fun sub -> not (level_ok sub.level) || sub.size <= 0) s.subjects
+    then err "invalid subject"
+    else
+      match s.highlights with
+      | Some h when h.count < 0 || not (level_ok h.peak) || h.radius <= 0 ->
+        err "invalid highlights"
+      | Some _ | None -> Ok ()
+
+let validate p =
+  if p.scenes = [] then Error "profile has no scenes"
+  else
+    let rec check i = function
+      | [] -> Ok ()
+      | s :: rest -> (
+        match validate_scene i s with Ok () -> check (i + 1) rest | Error _ as e -> e)
+    in
+    check 0 p.scenes

@@ -1,0 +1,76 @@
+(** Declarative luminance profiles for synthetic clips.
+
+    The paper's evaluation runs on ten movie trailers that cannot be
+    redistributed; the reproduction replaces each with a profile — a
+    sequence of scene specifications that control exactly the
+    properties the technique depends on: the background luminance
+    distribution, the number and brightness of sparse highlights,
+    subject motion (which perturbs per-frame maxima), fades (which
+    stress scene detection) and rolling credits (the paper's noted
+    failure case). A profile is pure data; {!Clip_gen} interprets it. *)
+
+type background =
+  | Flat of int  (** uniform gray level *)
+  | Vertical of { top : int; bottom : int }
+      (** vertical gray gradient, e.g. sky over ground *)
+  | Radial of { center : int; edge : int }
+      (** radial gray gradient, e.g. a lamp-lit interior *)
+
+type subject = {
+  level : int;  (** gray level of the subject, 0–255 *)
+  size : int;  (** radius in thousandths of the frame width *)
+  speed : float;  (** horizontal crossings per 100 frames *)
+  vertical_phase : float;  (** vertical placement in [0, 1] *)
+}
+(** A moving disc; subjects give scenes their frame-to-frame variation
+    so per-frame maxima fluctuate realistically. *)
+
+type highlights = {
+  count : int;  (** number of bright spots *)
+  peak : int;  (** additive peak intensity, 0–255 *)
+  radius : int;  (** radius in thousandths of the frame width *)
+  drift : float;  (** positional drift per frame, as fraction of width *)
+}
+(** Sparse bright points ("highlights concentrated in a few points or
+    spots", §2) — the pixels the clipping budget may sacrifice. *)
+
+type fade = No_fade | Fade_in | Fade_out
+
+type scene = {
+  seconds : float;  (** scene duration *)
+  background : background;
+  subjects : subject list;
+  highlights : highlights option;
+  noise_sigma : float;  (** film-grain standard deviation *)
+  vignette : float;  (** corner darkening in [0, 1] *)
+  fade : fade;
+  credits : bool;  (** overlay rolling end-credit dashes *)
+}
+
+type t = {
+  name : string;
+  seed : int;  (** master seed for all stochastic content *)
+  scenes : scene list;
+}
+
+val scene :
+  ?subjects:subject list ->
+  ?highlights:highlights ->
+  ?noise_sigma:float ->
+  ?vignette:float ->
+  ?fade:fade ->
+  ?credits:bool ->
+  seconds:float ->
+  background ->
+  scene
+(** Scene constructor with neutral defaults (no subjects, no
+    highlights, sigma 2.0, no vignette, no fade, no credits). *)
+
+val total_seconds : t -> float
+(** Sum of scene durations. *)
+
+val scene_count : t -> int
+
+val validate : t -> (unit, string) result
+(** [validate p] checks ranges: positive durations, levels within
+    [0, 255], at least one scene. *)

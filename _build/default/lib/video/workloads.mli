@@ -1,0 +1,45 @@
+(** The ten evaluation workloads of the paper (Fig 9 / Fig 10).
+
+    Each synthetic profile mirrors the qualitative luminance character
+    the paper reports for the corresponding trailer: `ice_age` and
+    `hunter_subres` have bright backgrounds ("pixels are concentrated
+    in the high luminance range", so savings are limited), while the
+    rest contain frequent dark scenes with sparse highlights (where the
+    technique shines, the paper's best case being up to ~65 % backlight
+    power saved). Durations are scaled to 20–40 s so a full Fig 9 sweep
+    stays tractable; the technique is duration-insensitive because all
+    decisions are per-scene. *)
+
+val themovie : Profile.t
+val catwoman : Profile.t
+val hunter_subres : Profile.t
+val i_robot : Profile.t
+val ice_age : Profile.t
+val officexp : Profile.t
+val returnoftheking : Profile.t
+val shrek2 : Profile.t
+val spiderman2 : Profile.t
+val theincredibles_tlr2 : Profile.t
+
+val all : Profile.t list
+(** All ten, in the order of the paper's figures. *)
+
+val find : string -> Profile.t option
+(** [find name] looks a workload up by its paper name
+    (e.g. ["ice_age"], ["theincredibles-tlr2"]). *)
+
+val names : string list
+
+val parametric :
+  ?seconds:float ->
+  ?motion:float ->
+  base_level:int ->
+  highlight_peak:int ->
+  unit ->
+  Profile.t
+(** [parametric ~base_level ~highlight_peak ()] is a single-scene
+    profile whose background sits at [base_level] with sparse
+    highlights peaking [highlight_peak] above it — the knob the
+    content-sweep bench turns to trace savings as a function of
+    content brightness. [motion] is the subject speed (default 6
+    crossings per 100 frames); duration defaults to 10 s. *)

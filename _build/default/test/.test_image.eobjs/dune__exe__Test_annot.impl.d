@@ -1,0 +1,1 @@
+test/test_annot.ml: Alcotest Annot Array Bytes Char Display Float Format Image List Printf QCheck2 QCheck_alcotest Result String Video

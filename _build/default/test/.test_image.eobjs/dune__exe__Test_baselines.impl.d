@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Annot Array Baselines Display Fun Image Lazy List QCheck2 QCheck_alcotest Streaming Video

@@ -1,0 +1,1 @@
+test/test_camera.ml: Alcotest Camera Display Format Image List Printf QCheck2 QCheck_alcotest

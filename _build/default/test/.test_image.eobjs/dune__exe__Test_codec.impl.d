@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Bytes Char Codec Fun Image List Printf QCheck2 QCheck_alcotest Result String Video

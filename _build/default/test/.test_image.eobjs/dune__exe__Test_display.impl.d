@@ -1,0 +1,1 @@
+test/test_display.ml: Alcotest Array Display List Printf QCheck2 QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_image.ml: Alcotest Bytes Char Filename Float Fun Image List Printf QCheck2 QCheck_alcotest Result String Sys

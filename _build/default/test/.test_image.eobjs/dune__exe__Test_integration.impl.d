@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Annot Array Baselines Camera Codec Display Format List Power Printf Streaming String Video

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Display Image List Power Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_streaming.ml: Alcotest Annot Array Camera Char Codec Display Format Image Lazy List Option Power Printf QCheck2 QCheck_alcotest Result Streaming String Video

@@ -1,0 +1,1 @@
+test/test_video.ml: Alcotest Array Image List Printf QCheck2 QCheck_alcotest Result Video

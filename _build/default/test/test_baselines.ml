@@ -1,0 +1,247 @@
+(* Tests for the baseline strategies and the uniform evaluation
+   harness (ablations A1 and A2). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let device = Display.Device.ipaq_h5555
+let quality = Annot.Quality_level.Loss_10
+
+(* A clip with a hard scene change: dark first half, bright second —
+   the worst case for history prediction. *)
+let cut_clip () =
+  let profile =
+    {
+      Video.Profile.name = "cut";
+      seed = 17;
+      scenes =
+        [
+          Video.Profile.scene ~seconds:1.5 ~noise_sigma:0. (Video.Profile.Flat 50);
+          Video.Profile.scene ~seconds:1.5 ~noise_sigma:0. (Video.Profile.Flat 230);
+        ];
+    }
+  in
+  Video.Clip_gen.render ~width:24 ~height:18 ~fps:8. profile
+
+let profiled = lazy (Annot.Annotator.profile (cut_clip ()))
+
+let run strategy =
+  Baselines.Runner.run ~device ~quality (Lazy.force profiled) strategy
+
+(* --- Strategy metadata --------------------------------------------------- *)
+
+let test_strategy_names_unique () =
+  let names = List.map Baselines.Strategy.name Baselines.Runner.standard_lineup in
+  check int "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_strategy_overheads () =
+  check (Alcotest.float 1e-12) "annotated has no client overhead" 0.
+    (Baselines.Strategy.cpu_overhead_fraction
+       (Baselines.Strategy.Annotated Annot.Scene_detect.default_params));
+  check bool "client analysis has overhead" true
+    (Baselines.Strategy.cpu_overhead_fraction
+       (Baselines.Strategy.Client_analysis { cpu_overhead_fraction = 0.2 })
+     > 0.)
+
+let test_strategy_clairvoyance () =
+  check bool "annotated is clairvoyant" true
+    (Baselines.Strategy.is_clairvoyant
+       (Baselines.Strategy.Annotated Annot.Scene_detect.default_params));
+  check bool "history is not" false
+    (Baselines.Strategy.is_clairvoyant
+       (Baselines.Strategy.History_prediction { window = 1 }))
+
+(* --- Decide -------------------------------------------------------------- *)
+
+let test_full_backlight_registers () =
+  let o = run Baselines.Strategy.Full_backlight in
+  Array.iter (fun r -> check int "always 255" 255 r) o.Baselines.Runner.registers;
+  check (Alcotest.float 1e-9) "no savings" 0.
+    o.Baselines.Runner.report.Streaming.Playback.backlight_savings;
+  check int "no violations" 0 o.Baselines.Runner.violations
+
+let test_static_dim_registers () =
+  let o = run (Baselines.Strategy.Static_dim 100) in
+  Array.iter (fun r -> check int "always 100" 100 r) o.Baselines.Runner.registers;
+  (* A static dim on a clip with a bright scene must violate quality. *)
+  check bool "violations on bright scene" true (o.Baselines.Runner.violations > 0)
+
+let test_annotated_no_violation_on_stable_scenes () =
+  let o = run (Baselines.Strategy.Annotated Annot.Scene_detect.default_params) in
+  check int "no violations on crisp scenes" 0 o.Baselines.Runner.violations;
+  check bool "saves power" true
+    (o.Baselines.Runner.report.Streaming.Playback.backlight_savings > 0.1)
+
+let test_history_violates_at_cut () =
+  (* Frame at the cut uses stale dark-scene knowledge: the register is
+     far too low for the bright frame, so clipping exceeds budget. *)
+  let o = run (Baselines.Strategy.History_prediction { window = 6 }) in
+  check bool "at least one violation" true (o.Baselines.Runner.violations >= 1);
+  check bool "violation is severe" true (o.Baselines.Runner.worst_excess_clip > 0.3)
+
+let test_client_analysis_matches_per_frame_annotation () =
+  (* Decode-then-analyse sees the true per-frame histogram, so its
+     registers equal the per-frame annotated ones; only the power cost
+     differs. *)
+  let a = run Baselines.Strategy.Annotated_per_frame in
+  let c = run (Baselines.Strategy.Client_analysis { cpu_overhead_fraction = 0.2 }) in
+  Alcotest.(check (array int))
+    "same registers" a.Baselines.Runner.registers c.Baselines.Runner.registers;
+  check bool "client analysis total savings lower" true
+    (c.Baselines.Runner.report.Streaming.Playback.total_savings
+     < a.Baselines.Runner.report.Streaming.Playback.total_savings)
+
+let test_per_frame_beats_scene_on_power () =
+  (* Ablation A1: per-frame annotation saves at least as much backlight
+     power as scene-level, at the cost of more switches. *)
+  let scene = run (Baselines.Strategy.Annotated Annot.Scene_detect.default_params) in
+  let frame = run Baselines.Strategy.Annotated_per_frame in
+  check bool "per-frame saves at least as much" true
+    (frame.Baselines.Runner.report.Streaming.Playback.backlight_savings
+     >= scene.Baselines.Runner.report.Streaming.Playback.backlight_savings -. 1e-9)
+
+let test_qabs_limits_slew () =
+  let o = run (Baselines.Strategy.Qabs_smoothed { max_step = 4 }) in
+  let regs = o.Baselines.Runner.registers in
+  let ok = ref true in
+  for i = 1 to Array.length regs - 1 do
+    (* Dimming steps are limited; brightening may jump (quality
+       protection). *)
+    if regs.(i) < regs.(i - 1) && regs.(i - 1) - regs.(i) > 4 then ok := false
+  done;
+  check bool "dimming slew-rate limited" true !ok;
+  check int "quality protected (no violations)" 0 o.Baselines.Runner.violations
+
+let test_annotation_bytes_accounting () =
+  let annotated = run (Baselines.Strategy.Annotated Annot.Scene_detect.default_params) in
+  let client = run (Baselines.Strategy.Client_analysis { cpu_overhead_fraction = 0.2 }) in
+  check bool "annotated ships bytes" true (annotated.Baselines.Runner.annotation_bytes > 0);
+  check int "client-side ships none" 0 client.Baselines.Runner.annotation_bytes
+
+let test_clipped_fraction_trace_full_backlight_zero () =
+  let p = Lazy.force profiled in
+  let regs = Array.make p.Annot.Annotator.total_frames 255 in
+  let trace = Baselines.Runner.clipped_fraction_trace ~device p regs in
+  Array.iter (fun c -> check (Alcotest.float 1e-12) "no clipping at 255" 0. c) trace
+
+let test_runner_register_length_mismatch () =
+  let p = Lazy.force profiled in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Runner: register track does not match clip") (fun () ->
+      ignore (Baselines.Runner.clipped_fraction_trace ~device p [| 255 |]))
+
+let test_standard_lineup_runs () =
+  List.iter
+    (fun s ->
+      let o = run s in
+      check bool
+        (Baselines.Strategy.name s ^ " savings in range")
+        true
+        (o.Baselines.Runner.report.Streaming.Playback.backlight_savings >= -1e-9
+         && o.Baselines.Runner.report.Streaming.Playback.backlight_savings <= 1.))
+    Baselines.Runner.standard_lineup
+
+(* --- Hebs ------------------------------------------------------------------ *)
+
+let histogram_of_levels levels =
+  let h = Image.Histogram.create () in
+  List.iter (Image.Histogram.add_sample h) levels;
+  h
+
+let test_hebs_map_monotone_and_bounded () =
+  let hist = histogram_of_levels [ 10; 10; 40; 90; 200; 250 ] in
+  List.iter
+    (fun lambda ->
+      let map = Baselines.Hebs.equalisation_map hist ~lambda in
+      check int "256 entries" 256 (Array.length map);
+      for y = 1 to 255 do
+        check bool "monotone" true (map.(y) >= map.(y - 1));
+        check bool "in range" true (map.(y) >= 0 && map.(y) <= 255)
+      done)
+    [ 0.; 0.3; 0.7; 1. ]
+
+let test_hebs_lambda_zero_is_identity () =
+  let hist = histogram_of_levels [ 5; 100; 180 ] in
+  let map = Baselines.Hebs.equalisation_map hist ~lambda:0. in
+  Alcotest.(check (array int)) "identity" (Array.init 256 Fun.id) map;
+  let sol = Baselines.Hebs.solve ~device ~lambda:0. hist in
+  check bool "near-full backlight at identity" true
+    (sol.Baselines.Hebs.register >= 250);
+  check bool "negligible error" true (sol.Baselines.Hebs.mean_error < 0.02)
+
+let test_hebs_error_grows_with_lambda () =
+  let hist = histogram_of_levels (List.init 50 (fun i -> 30 + (i mod 80))) in
+  let err lambda = (Baselines.Hebs.solve ~device ~lambda hist).Baselines.Hebs.mean_error in
+  check bool "more equalisation, more distortion" true (err 1.0 > err 0.3)
+
+let test_hebs_dark_content_dims () =
+  let hist = histogram_of_levels (List.init 90 (fun _ -> 40) @ [ 250; 250 ]) in
+  let sol = Baselines.Hebs.solve ~device ~lambda:1.0 hist in
+  check bool "dark scene dimmed" true (sol.Baselines.Hebs.register < 200)
+
+let test_hebs_apply_map () =
+  let hist = histogram_of_levels [ 0; 128; 255 ] in
+  let map = Baselines.Hebs.equalisation_map hist ~lambda:1. in
+  let frame = Image.Raster.create ~width:2 ~height:1 in
+  Image.Raster.set frame ~x:0 ~y:0 (Image.Pixel.gray 128);
+  let mapped = Baselines.Hebs.apply_map map frame in
+  check int "pixel remapped" map.(128) (Image.Raster.get mapped ~x:0 ~y:0).Image.Pixel.r
+
+let test_hebs_validation () =
+  let hist = histogram_of_levels [ 1 ] in
+  Alcotest.check_raises "bad lambda" (Invalid_argument "Hebs: lambda out of [0, 1]")
+    (fun () -> ignore (Baselines.Hebs.equalisation_map hist ~lambda:2.));
+  Alcotest.check_raises "empty histogram" (Invalid_argument "Hebs: empty histogram")
+    (fun () ->
+      ignore
+        (Baselines.Hebs.equalisation_map (Image.Histogram.create ()) ~lambda:0.5))
+
+let prop_all_strategies_cover_clip =
+  QCheck2.Test.make ~name:"every strategy emits one register per frame"
+    (QCheck2.Gen.oneofl Baselines.Runner.standard_lineup) (fun s ->
+      let p = Lazy.force profiled in
+      Array.length (Baselines.Runner.decide ~device ~quality p s)
+      = p.Annot.Annotator.total_frames)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "strategy",
+        [
+          Alcotest.test_case "unique names" `Quick test_strategy_names_unique;
+          Alcotest.test_case "overheads" `Quick test_strategy_overheads;
+          Alcotest.test_case "clairvoyance" `Quick test_strategy_clairvoyance;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "full backlight" `Quick test_full_backlight_registers;
+          Alcotest.test_case "static dim" `Quick test_static_dim_registers;
+          Alcotest.test_case "annotated clean" `Quick
+            test_annotated_no_violation_on_stable_scenes;
+          Alcotest.test_case "history misprediction" `Quick test_history_violates_at_cut;
+          Alcotest.test_case "client analysis vs per-frame" `Quick
+            test_client_analysis_matches_per_frame_annotation;
+          Alcotest.test_case "per-frame vs scene (A1)" `Quick
+            test_per_frame_beats_scene_on_power;
+          Alcotest.test_case "qabs slew limit" `Quick test_qabs_limits_slew;
+          Alcotest.test_case "annotation bytes" `Quick test_annotation_bytes_accounting;
+          Alcotest.test_case "no clipping at 255" `Quick
+            test_clipped_fraction_trace_full_backlight_zero;
+          Alcotest.test_case "length mismatch" `Quick test_runner_register_length_mismatch;
+          Alcotest.test_case "standard lineup runs" `Quick test_standard_lineup_runs;
+        ] );
+      ( "hebs",
+        [
+          Alcotest.test_case "map monotone" `Quick test_hebs_map_monotone_and_bounded;
+          Alcotest.test_case "lambda zero identity" `Quick test_hebs_lambda_zero_is_identity;
+          Alcotest.test_case "error grows with lambda" `Quick
+            test_hebs_error_grows_with_lambda;
+          Alcotest.test_case "dark content dims" `Quick test_hebs_dark_content_dims;
+          Alcotest.test_case "apply map" `Quick test_hebs_apply_map;
+          Alcotest.test_case "validation" `Quick test_hebs_validation;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_all_strategies_cover_clip ] );
+    ]

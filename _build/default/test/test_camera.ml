@@ -1,0 +1,230 @@
+(* Tests for the camera model and histogram-based quality evaluation. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let device = Display.Device.ipaq_h5555
+
+(* --- Response --------------------------------------------------------- *)
+
+let test_response_monotone () =
+  List.iter
+    (fun (name, r) ->
+      check bool (name ^ " monotone") true (Camera.Response.is_monotone r))
+    [
+      ("linear", Camera.Response.linear);
+      ("srgb", Camera.Response.srgb_like);
+      ("s-curve", Camera.Response.s_curve);
+    ]
+
+let test_response_endpoints () =
+  List.iter
+    (fun (name, r) ->
+      check int (name ^ " at 0") 0 (Camera.Response.apply r 0.);
+      check int (name ^ " at 1") 255 (Camera.Response.apply r 1.);
+      check int (name ^ " below 0") 0 (Camera.Response.apply r (-0.5));
+      check int (name ^ " above 1") 255 (Camera.Response.apply r 2.))
+    [
+      ("linear", Camera.Response.linear);
+      ("srgb", Camera.Response.srgb_like);
+      ("s-curve", Camera.Response.s_curve);
+    ]
+
+let test_response_nonlinearity () =
+  (* The consumer curves must bend: midpoint well away from 127. *)
+  check bool "srgb midpoint lifted" true
+    (Camera.Response.apply Camera.Response.srgb_like 0.5 > 150);
+  let linear_mid = Camera.Response.apply Camera.Response.linear 0.5 in
+  check bool "linear midpoint straight" true (abs (linear_mid - 127) <= 1)
+
+(* --- Snapshot --------------------------------------------------------- *)
+
+let gray_frame level =
+  let img = Image.Raster.create ~width:24 ~height:18 in
+  Image.Raster.fill img (Image.Pixel.gray level);
+  img
+
+let test_snapshot_dimensions_and_grayscale () =
+  let rig = Camera.Snapshot.default_rig device in
+  let snap =
+    Camera.Snapshot.capture rig device ~backlight_register:255 (gray_frame 128)
+  in
+  check int "width" 24 (Image.Raster.width snap);
+  check int "height" 18 (Image.Raster.height snap);
+  Image.Raster.iter
+    (fun ~x:_ ~y:_ p ->
+      check bool "grayscale" true
+        (p.Image.Pixel.r = p.Image.Pixel.g && p.Image.Pixel.g = p.Image.Pixel.b))
+    snap
+
+let test_snapshot_dimmer_backlight_darker () =
+  let rig = Camera.Snapshot.noiseless_rig device in
+  let frame = gray_frame 180 in
+  let bright = Camera.Snapshot.capture rig device ~backlight_register:255 frame in
+  let dim = Camera.Snapshot.capture rig device ~backlight_register:80 frame in
+  check bool "dimmer backlight reads darker" true
+    (Image.Raster.mean_luminance dim < Image.Raster.mean_luminance bright -. 10.)
+
+let test_snapshot_white_nearly_saturates () =
+  (* Exposure calibration targets ~0.97 relative radiance for white at
+     full backlight. *)
+  let rig = Camera.Snapshot.noiseless_rig device in
+  let snap = Camera.Snapshot.capture rig device ~backlight_register:255 (gray_frame 255) in
+  let level = (Image.Raster.get snap ~x:0 ~y:0).Image.Pixel.r in
+  check bool "white lands just under saturation" true (level >= 240 && level <= 255)
+
+let test_snapshot_histogram_matches_capture () =
+  let rig = Camera.Snapshot.noiseless_rig device in
+  let frame = gray_frame 140 in
+  let direct =
+    Image.Histogram.of_raster
+      (Camera.Snapshot.capture rig device ~backlight_register:200 frame)
+  in
+  let fast = Camera.Snapshot.capture_histogram rig device ~backlight_register:200 frame in
+  check bool "same histogram" true (Image.Histogram.equal direct fast)
+
+let test_snapshot_deterministic_noise () =
+  let rig = Camera.Snapshot.default_rig device in
+  let frame = gray_frame 90 in
+  let a = Camera.Snapshot.capture rig device ~backlight_register:255 frame in
+  let b = Camera.Snapshot.capture rig device ~backlight_register:255 frame in
+  check bool "noise is reproducible" true (Image.Raster.equal a b)
+
+let test_measure_patch_monotone_in_white () =
+  let rig = Camera.Snapshot.noiseless_rig device in
+  let previous = ref (-1.) in
+  List.iter
+    (fun w ->
+      let m = Camera.Snapshot.measure_patch rig device ~backlight:255 ~white:w in
+      check bool (Printf.sprintf "monotone at white %d" w) true (m >= !previous);
+      previous := m)
+    [ 0; 32; 64; 96; 128; 160; 192; 224; 255 ]
+
+let test_camera_loop_characterisation () =
+  (* End-to-end §5 flow: characterise the display *through the camera*
+     and recover a usable transfer. The non-linear camera response
+     distorts the curve, but the recovered inverse must still give
+     registers that achieve the desired gain on the true panel. *)
+  let rig = Camera.Snapshot.noiseless_rig device in
+  let measure = Camera.Snapshot.measure_patch rig device in
+  let recovered = Display.Characterize.recover_transfer ~steps:18 measure in
+  List.iter
+    (fun f ->
+      let r = Display.Transfer.inverse recovered f in
+      let achieved = Display.Device.backlight_gain device r in
+      check bool (Printf.sprintf "gain %.2f achieved (got %.2f)" f achieved) true
+        (achieved >= f -. 0.05))
+    [ 0.2; 0.4; 0.6; 0.8 ]
+
+(* --- Quality ---------------------------------------------------------- *)
+
+let histogram_of_levels levels =
+  let h = Image.Histogram.create () in
+  List.iter (Image.Histogram.add_sample h) levels;
+  h
+
+let test_quality_identical_histograms () =
+  let h = histogram_of_levels [ 10; 20; 30; 200 ] in
+  let v = Camera.Quality.compare_histograms ~reference:h ~compensated:h in
+  check (Alcotest.float 1e-9) "no mean shift" 0. v.Camera.Quality.mean_shift;
+  check int "no range change" 0 v.Camera.Quality.range_change;
+  check (Alcotest.float 1e-9) "zero distance" 0. v.Camera.Quality.l1_distance;
+  check bool "acceptable" true (Camera.Quality.acceptable v)
+
+let test_quality_detects_brightness_shift () =
+  let reference = histogram_of_levels [ 100; 100; 100; 100 ] in
+  let compensated = histogram_of_levels [ 160; 160; 160; 160 ] in
+  let v = Camera.Quality.compare_histograms ~reference ~compensated in
+  check (Alcotest.float 1e-9) "shift of 60" 60. v.Camera.Quality.mean_shift;
+  check bool "unacceptable" false (Camera.Quality.acceptable v)
+
+let test_quality_good_compensation_accepted () =
+  (* Fig 4 flow: a dark frame, compensated and photographed at a dim
+     register, should look close to the original at full backlight. *)
+  let frame =
+    Image.Raster.init ~width:32 ~height:24 (fun ~x ~y ->
+        Image.Pixel.gray (20 + ((x + y) mod 60)))
+  in
+  let rig = Camera.Snapshot.noiseless_rig device in
+  (* Effective max 80-ish: dim to gain 80/255 and compensate. *)
+  let gain = 80. /. 255. in
+  let register = Display.Device.register_for_gain device gain in
+  let realised = Display.Device.backlight_gain device register in
+  let compensated = Image.Ops.contrast_enhance ~k:(1. /. realised) frame in
+  let v =
+    Camera.Quality.evaluate ~rig ~device ~original:frame ~compensated
+      ~reduced_register:register
+  in
+  check bool
+    (Format.asprintf "verdict acceptable: %a" Camera.Quality.pp_verdict v)
+    true
+    (Camera.Quality.acceptable v)
+
+let test_quality_uncompensated_dimming_rejected () =
+  (* Dimming without compensation must fail the histogram check —
+     this is what separates the technique from simply dimming. *)
+  let frame = gray_frame 150 in
+  let rig = Camera.Snapshot.noiseless_rig device in
+  let v =
+    Camera.Quality.evaluate ~rig ~device ~original:frame ~compensated:frame
+      ~reduced_register:80
+  in
+  check bool "dimming alone rejected" false (Camera.Quality.acceptable v)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make ~name:"snapshot level is monotone in backlight"
+        QCheck2.Gen.(pair (0 -- 255) (0 -- 255))
+        (fun (r1, r2) ->
+          let lo = min r1 r2 and hi = max r1 r2 in
+          let rig = Camera.Snapshot.noiseless_rig device in
+          Camera.Snapshot.measure_patch rig device ~backlight:lo ~white:200
+          <= Camera.Snapshot.measure_patch rig device ~backlight:hi ~white:200);
+      QCheck2.Test.make ~name:"quality verdict symmetric fields are consistent"
+        QCheck2.Gen.(pair (1 -- 255) (1 -- 255))
+        (fun (a, b) ->
+          let ha = histogram_of_levels [ a; a / 2 ] in
+          let hb = histogram_of_levels [ b; b / 2 ] in
+          let v = Camera.Quality.compare_histograms ~reference:ha ~compensated:hb in
+          abs_float
+            (v.Camera.Quality.mean_shift
+             -. (v.Camera.Quality.compensated_mean -. v.Camera.Quality.reference_mean))
+          < 1e-9);
+    ]
+
+let () =
+  Alcotest.run "camera"
+    [
+      ( "response",
+        [
+          Alcotest.test_case "monotone" `Quick test_response_monotone;
+          Alcotest.test_case "endpoints" `Quick test_response_endpoints;
+          Alcotest.test_case "nonlinearity" `Quick test_response_nonlinearity;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "dimensions/grayscale" `Quick
+            test_snapshot_dimensions_and_grayscale;
+          Alcotest.test_case "dimmer is darker" `Quick test_snapshot_dimmer_backlight_darker;
+          Alcotest.test_case "white exposure" `Quick test_snapshot_white_nearly_saturates;
+          Alcotest.test_case "fast histogram path" `Quick
+            test_snapshot_histogram_matches_capture;
+          Alcotest.test_case "deterministic noise" `Quick test_snapshot_deterministic_noise;
+          Alcotest.test_case "patch monotone" `Quick test_measure_patch_monotone_in_white;
+          Alcotest.test_case "camera-loop characterisation" `Quick
+            test_camera_loop_characterisation;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "identical histograms" `Quick test_quality_identical_histograms;
+          Alcotest.test_case "brightness shift detected" `Quick
+            test_quality_detects_brightness_shift;
+          Alcotest.test_case "good compensation accepted" `Quick
+            test_quality_good_compensation_accepted;
+          Alcotest.test_case "uncompensated dimming rejected" `Quick
+            test_quality_uncompensated_dimming_rejected;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,864 @@
+(* Tests for the video codec substrate: bit I/O, entropy codes, the
+   transform pipeline and full encode/decode round trips. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* --- Bitio ------------------------------------------------------------ *)
+
+let test_bitio_single_bits () =
+  let w = Codec.Bitio.Writer.create () in
+  List.iter (Codec.Bitio.Writer.put_bit w) [ true; false; true; true ];
+  check int "bit length" 4 (Codec.Bitio.Writer.bit_length w);
+  let r = Codec.Bitio.Reader.of_string (Codec.Bitio.Writer.contents w) in
+  Alcotest.(check (list bool))
+    "bits back"
+    [ true; false; true; true ]
+    (List.init 4 (fun _ -> Codec.Bitio.Reader.get_bit r))
+
+let test_bitio_multibit_values () =
+  let w = Codec.Bitio.Writer.create () in
+  Codec.Bitio.Writer.put_bits w ~value:0b101101 ~bits:6;
+  Codec.Bitio.Writer.put_bits w ~value:0 ~bits:0;
+  Codec.Bitio.Writer.put_bits w ~value:1023 ~bits:10;
+  let r = Codec.Bitio.Reader.of_string (Codec.Bitio.Writer.contents w) in
+  check int "first value" 0b101101 (Codec.Bitio.Reader.get_bits r 6);
+  check int "second value" 1023 (Codec.Bitio.Reader.get_bits r 10)
+
+let test_bitio_value_too_wide () =
+  let w = Codec.Bitio.Writer.create () in
+  Alcotest.check_raises "does not fit"
+    (Invalid_argument "Bitio.put_bits: value does not fit") (fun () ->
+      Codec.Bitio.Writer.put_bits w ~value:4 ~bits:2)
+
+let test_bitio_alignment () =
+  let w = Codec.Bitio.Writer.create () in
+  Codec.Bitio.Writer.put_bit w true;
+  Codec.Bitio.Writer.put_byte_aligned w 0xAB;
+  let s = Codec.Bitio.Writer.contents w in
+  check int "two bytes" 2 (String.length s);
+  let r = Codec.Bitio.Reader.of_string s in
+  check bool "first bit" true (Codec.Bitio.Reader.get_bit r);
+  check int "aligned byte" 0xAB (Codec.Bitio.Reader.get_byte_aligned r)
+
+let test_bitio_out_of_bits () =
+  let r = Codec.Bitio.Reader.of_string "" in
+  check bool "raises at end" true
+    (match Codec.Bitio.Reader.get_bit r with
+    | exception Codec.Bitio.Reader.Out_of_bits -> true
+    | _ -> false)
+
+let prop_bitio_roundtrip =
+  QCheck2.Test.make ~name:"bitio round-trips random bit sequences"
+    QCheck2.Gen.(small_list (pair (0 -- 1023) (0 -- 10)))
+    (fun pairs ->
+      let pairs = List.map (fun (v, b) -> (v land ((1 lsl b) - 1), b)) pairs in
+      let w = Codec.Bitio.Writer.create () in
+      List.iter (fun (v, b) -> Codec.Bitio.Writer.put_bits w ~value:v ~bits:b) pairs;
+      let r = Codec.Bitio.Reader.of_string (Codec.Bitio.Writer.contents w) in
+      List.for_all (fun (v, b) -> Codec.Bitio.Reader.get_bits r b = v) pairs)
+
+(* --- Golomb ----------------------------------------------------------- *)
+
+let roundtrip_ue n =
+  let w = Codec.Bitio.Writer.create () in
+  Codec.Golomb.write_ue w n;
+  Codec.Golomb.read_ue (Codec.Bitio.Reader.of_string (Codec.Bitio.Writer.contents w))
+
+let roundtrip_se n =
+  let w = Codec.Bitio.Writer.create () in
+  Codec.Golomb.write_se w n;
+  Codec.Golomb.read_se (Codec.Bitio.Reader.of_string (Codec.Bitio.Writer.contents w))
+
+let test_golomb_small_values () =
+  List.iter (fun n -> check int (Printf.sprintf "ue %d" n) n (roundtrip_ue n))
+    [ 0; 1; 2; 3; 7; 8; 255; 256; 65535 ];
+  List.iter (fun n -> check int (Printf.sprintf "se %d" n) n (roundtrip_se n))
+    [ 0; 1; -1; 2; -2; 100; -100; 32767; -32768 ]
+
+let test_golomb_code_lengths () =
+  (* ue(0) = "1" (1 bit), ue(1) = "010" (3 bits), ue(2) = "011". *)
+  check int "ue 0 length" 1 (Codec.Golomb.ue_bit_length 0);
+  check int "ue 1 length" 3 (Codec.Golomb.ue_bit_length 1);
+  check int "ue 6 length" 5 (Codec.Golomb.ue_bit_length 6);
+  let w = Codec.Bitio.Writer.create () in
+  Codec.Golomb.write_ue w 6;
+  check int "declared length matches written" 5 (Codec.Bitio.Writer.bit_length w)
+
+let test_golomb_negative_rejected () =
+  let w = Codec.Bitio.Writer.create () in
+  Alcotest.check_raises "negative ue" (Invalid_argument "Golomb.write_ue: negative")
+    (fun () -> Codec.Golomb.write_ue w (-1))
+
+let prop_golomb_ue_roundtrip =
+  QCheck2.Test.make ~name:"exp-golomb ue round-trip" QCheck2.Gen.(0 -- 1_000_000)
+    (fun n -> roundtrip_ue n = n)
+
+let prop_golomb_se_roundtrip =
+  QCheck2.Test.make ~name:"exp-golomb se round-trip"
+    QCheck2.Gen.(-100_000 -- 100_000) (fun n -> roundtrip_se n = n)
+
+(* --- Zigzag ----------------------------------------------------------- *)
+
+let test_zigzag_is_permutation () =
+  let sorted = Array.copy Codec.Zigzag.scan_order in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation of 0..63" (Array.init 64 Fun.id) sorted
+
+let test_zigzag_starts_at_dc () =
+  check int "first is DC" 0 Codec.Zigzag.scan_order.(0);
+  (* The second and third entries are the two neighbours of DC. *)
+  check bool "low frequencies first" true
+    (List.mem Codec.Zigzag.scan_order.(1) [ 1; 8 ]
+     && List.mem Codec.Zigzag.scan_order.(2) [ 1; 8 ])
+
+let prop_zigzag_roundtrip =
+  QCheck2.Test.make ~name:"zigzag inverse . forward = id"
+    QCheck2.Gen.(array_size (return 64) (-100 -- 100))
+    (fun a -> Codec.Zigzag.inverse (Codec.Zigzag.forward a) = a)
+
+(* --- Dct -------------------------------------------------------------- *)
+
+let random_block seed =
+  let rng = Image.Prng.create ~seed in
+  Array.init 64 (fun _ -> float_of_int (Image.Prng.int rng 256))
+
+let test_dct_roundtrip_accuracy () =
+  let block = random_block 1 in
+  let back = Codec.Dct.inverse (Codec.Dct.forward block) in
+  Array.iteri
+    (fun i v -> check bool (Printf.sprintf "sample %d" i) true (abs_float (v -. block.(i)) < 1e-9))
+    back
+
+let test_dct_dc_of_flat_block () =
+  let block = Array.make 64 100. in
+  let coeffs = Codec.Dct.forward block in
+  (* Orthonormal DCT: DC = 8 * sample value for a flat block. *)
+  check (Alcotest.float 1e-6) "dc" 800. coeffs.(0);
+  for i = 1 to 63 do
+    check (Alcotest.float 1e-9) (Printf.sprintf "ac %d" i) 0. coeffs.(i)
+  done
+
+let test_dct_parseval () =
+  (* Orthonormality: energy is preserved. *)
+  let block = random_block 2 in
+  let coeffs = Codec.Dct.forward block in
+  let energy a = Array.fold_left (fun acc v -> acc +. (v *. v)) 0. a in
+  check (Alcotest.float 1e-6) "energy preserved" (energy block) (energy coeffs)
+
+let test_dct_bad_size () =
+  Alcotest.check_raises "wrong size" (Invalid_argument "Dct: block must have 64 samples")
+    (fun () -> ignore (Codec.Dct.forward [| 1. |]))
+
+(* --- Quant ------------------------------------------------------------ *)
+
+let test_quant_zero_preserved () =
+  let q = Codec.Quant.make ~qp:8 in
+  let zeros = Array.make 64 0. in
+  Alcotest.(check (array int)) "zeros stay zero" (Array.make 64 0)
+    (Codec.Quant.quantise q Codec.Quant.Luma zeros)
+
+let test_quant_coarser_at_higher_qp () =
+  let coeffs = random_block 3 in
+  let nnz qp =
+    Codec.Quant.quantise (Codec.Quant.make ~qp) Codec.Quant.Luma coeffs
+    |> Array.to_list
+    |> List.filter (fun l -> l <> 0)
+    |> List.length
+  in
+  check bool "higher qp kills more coefficients" true (nnz 31 <= nnz 1)
+
+let test_quant_dequant_bounded_error () =
+  let q = Codec.Quant.make ~qp:8 in
+  let coeffs = random_block 4 in
+  let levels = Codec.Quant.quantise q Codec.Quant.Luma coeffs in
+  let back = Codec.Quant.dequantise q Codec.Quant.Luma levels in
+  (* Error per coefficient is at most half the quantisation step;
+     the largest step at qp 8 is 121. *)
+  Array.iteri
+    (fun i v ->
+      check bool (Printf.sprintf "coef %d" i) true (abs_float (v -. coeffs.(i)) <= 61.))
+    back
+
+let test_quant_invalid_qp () =
+  Alcotest.check_raises "qp 0" (Invalid_argument "Quant.make: qp out of [1, 31]")
+    (fun () -> ignore (Codec.Quant.make ~qp:0))
+
+(* --- Coeff ------------------------------------------------------------ *)
+
+let roundtrip_block levels =
+  let w = Codec.Bitio.Writer.create () in
+  Codec.Coeff.write_block w levels;
+  Codec.Coeff.read_block (Codec.Bitio.Reader.of_string (Codec.Bitio.Writer.contents w))
+
+let test_coeff_all_zero_block () =
+  let zeros = Array.make 64 0 in
+  Alcotest.(check (array int)) "zeros round-trip" zeros (roundtrip_block zeros);
+  check int "all-zero block costs one ue(0)" 1 (Codec.Coeff.bit_cost zeros)
+
+let test_coeff_sparse_block () =
+  let levels = Array.make 64 0 in
+  levels.(0) <- 50;
+  levels.(63) <- -3;
+  Alcotest.(check (array int)) "sparse round-trip" levels (roundtrip_block levels)
+
+let test_coeff_bit_cost_exact () =
+  let levels = Array.init 64 (fun i -> if i mod 7 = 0 then (i mod 5) - 2 else 0) in
+  let w = Codec.Bitio.Writer.create () in
+  Codec.Coeff.write_block w levels;
+  check int "bit cost matches writer" (Codec.Bitio.Writer.bit_length w)
+    (Codec.Coeff.bit_cost levels)
+
+let prop_coeff_roundtrip =
+  QCheck2.Test.make ~name:"coefficient blocks round-trip"
+    QCheck2.Gen.(array_size (return 64) (-40 -- 40))
+    (fun levels -> roundtrip_block levels = levels)
+
+(* --- Plane ------------------------------------------------------------ *)
+
+let test_plane_edge_clamped_reads () =
+  let p = Codec.Plane.create ~width:2 ~height:2 in
+  Codec.Plane.set p ~x:0 ~y:0 7;
+  Codec.Plane.set p ~x:1 ~y:1 9;
+  check int "negative x clamps" 7 (Codec.Plane.get p ~x:(-5) ~y:0);
+  check int "overflow clamps" 9 (Codec.Plane.get p ~x:10 ~y:10)
+
+let test_plane_pad_and_crop () =
+  let p = Codec.Plane.create ~width:5 ~height:3 in
+  Codec.Plane.set p ~x:4 ~y:2 42;
+  let padded = Codec.Plane.pad_to_multiple p 8 in
+  check int "padded width" 8 padded.Codec.Plane.width;
+  check int "padded height" 8 padded.Codec.Plane.height;
+  check int "edge replicated" 42 (Codec.Plane.get padded ~x:7 ~y:7);
+  let cropped = Codec.Plane.crop padded ~width:5 ~height:3 in
+  check bool "crop restores" true (Codec.Plane.equal p cropped)
+
+let test_plane_pad_identity_when_aligned () =
+  let p = Codec.Plane.create ~width:8 ~height:16 in
+  check bool "no-op pad is physical identity" true
+    (Codec.Plane.pad_to_multiple p 8 == p)
+
+let test_plane_ycbcr_gray_roundtrip () =
+  (* Grays survive the colour transform exactly. *)
+  let img = Image.Raster.init ~width:8 ~height:8 (fun ~x ~y ->
+      Image.Pixel.gray ((x + (y * 8)) * 4 mod 256))
+  in
+  let back = Codec.Plane.to_raster (Codec.Plane.of_raster img) in
+  check bool "gray image round-trips" true
+    (Image.Metrics.max_absolute_error img back <= 1)
+
+let test_plane_ycbcr_color_bounded () =
+  let rng = Image.Prng.create ~seed:77 in
+  let img = Image.Raster.init ~width:16 ~height:16 (fun ~x:_ ~y:_ ->
+      Image.Pixel.v (Image.Prng.int rng 256) (Image.Prng.int rng 256)
+        (Image.Prng.int rng 256))
+  in
+  let back = Codec.Plane.to_raster (Codec.Plane.of_raster img) in
+  (* Chroma subsampling loses high-frequency colour, so compare
+     luminance, which is carried at full resolution. *)
+  let y_err =
+    Codec.Plane.mean_absolute_difference
+      (Codec.Plane.of_raster img).Codec.Plane.y
+      (Codec.Plane.of_raster back).Codec.Plane.y
+  in
+  check bool "luma nearly preserved" true (y_err < 3.)
+
+(* --- Motion ----------------------------------------------------------- *)
+
+let shifted_plane ~dx ~dy src =
+  let out = Codec.Plane.create ~width:src.Codec.Plane.width ~height:src.Codec.Plane.height in
+  for y = 0 to out.Codec.Plane.height - 1 do
+    for x = 0 to out.Codec.Plane.width - 1 do
+      Codec.Plane.set out ~x ~y (Codec.Plane.get src ~x:(x - dx) ~y:(y - dy))
+    done
+  done;
+  out
+
+let textured_plane seed =
+  let rng = Image.Prng.create ~seed in
+  let p = Codec.Plane.create ~width:32 ~height:32 in
+  for y = 0 to 31 do
+    for x = 0 to 31 do
+      Codec.Plane.set p ~x ~y (Image.Prng.int rng 256)
+    done
+  done;
+  p
+
+let test_motion_finds_exact_shift () =
+  let reference = textured_plane 5 in
+  (* Content moves right by 3 and up by 2: current(x,y) =
+     reference(x-3, y+2). The prediction vector points back into the
+     reference, so the search must return (-3, +2). *)
+  let current = shifted_plane ~dx:3 ~dy:(-2) reference in
+  let v, sad = Codec.Motion.search ~range:4 ~current ~reference ~x:8 ~y:8 () in
+  check int "dx" (-3) v.Codec.Motion.dx;
+  check int "dy" 2 v.Codec.Motion.dy;
+  check int "sad is zero" 0 sad
+
+let test_motion_zero_preferred_on_tie () =
+  let reference = Codec.Plane.create ~width:16 ~height:16 in
+  let current = Codec.Plane.create ~width:16 ~height:16 in
+  let v, sad = Codec.Motion.search ~range:3 ~current ~reference ~x:4 ~y:4 () in
+  check int "zero dx" 0 v.Codec.Motion.dx;
+  check int "zero dy" 0 v.Codec.Motion.dy;
+  check int "flat sad" 0 sad
+
+let test_motion_halve () =
+  let h = Codec.Motion.halve { Codec.Motion.dx = 5; dy = -5 } in
+  check int "halved dx towards zero" 2 h.Codec.Motion.dx;
+  check int "halved dy towards zero" (-2) h.Codec.Motion.dy
+
+let test_motion_halfpel_integer_positions_exact () =
+  (* At even half-pel coordinates the interpolated prediction equals
+     the integer-pel one. *)
+  let p = textured_plane 11 in
+  let v_int = { Codec.Motion.dx = 2; dy = -1 } in
+  let v_half = Codec.Motion.to_halfpel v_int in
+  check bool "same block" true
+    (Codec.Motion.extract_predicted p ~x:8 ~y:8 v_int
+    = Codec.Motion.extract_predicted_halfpel p ~x:8 ~y:8 v_half)
+
+let test_motion_halfpel_interpolates () =
+  (* A horizontal ramp: the half-pel sample between columns is their
+     rounded average. *)
+  let p = Codec.Plane.create ~width:16 ~height:16 in
+  for y = 0 to 15 do
+    for x = 0 to 15 do
+      Codec.Plane.set p ~x ~y (x * 10)
+    done
+  done;
+  let block =
+    Codec.Motion.extract_predicted_halfpel p ~x:4 ~y:4 { Codec.Motion.dx = 1; dy = 0 }
+  in
+  (* Sample at (4.5, 4): average of 40 and 50. *)
+  check (Alcotest.float 1e-9) "bilinear midpoint" 45. block.(0)
+
+let test_motion_halfpel_refinement_wins_on_subpel_shift () =
+  (* Content shifted by half a pixel: the refined vector must beat the
+     integer-pel one on SAD. *)
+  let reference = Codec.Plane.create ~width:32 ~height:32 in
+  for y = 0 to 31 do
+    for x = 0 to 31 do
+      Codec.Plane.set reference ~x ~y (((x * 13) + (y * 7)) mod 256)
+    done
+  done;
+  let current = Codec.Plane.create ~width:32 ~height:32 in
+  for y = 0 to 31 do
+    for x = 0 to 31 do
+      (* current(x) = average of reference(x) and reference(x+1): a
+         half-pel shift left. *)
+      let a = Codec.Plane.get reference ~x ~y and b = Codec.Plane.get reference ~x:(x + 1) ~y in
+      Codec.Plane.set current ~x ~y ((a + b + 1) / 2)
+    done
+  done;
+  let integer_vec, integer_sad =
+    Codec.Motion.search ~range:2 ~current ~reference ~x:8 ~y:8 ()
+  in
+  let refined, refined_sad =
+    Codec.Motion.refine_halfpel ~current ~reference ~x:8 ~y:8 integer_vec
+  in
+  check bool "refinement strictly better" true (refined_sad < integer_sad);
+  check int "finds the half-pel shift" 1 refined.Codec.Motion.dx
+
+let test_motion_chroma_vector () =
+  let v = { Codec.Motion.dx = 9; dy = -9 } in
+  let c = Codec.Motion.chroma_vector v in
+  check int "dx floors" 2 c.Codec.Motion.dx;
+  check int "dy floors" (-3) c.Codec.Motion.dy
+
+let test_motion_extract_store_roundtrip () =
+  let p = textured_plane 9 in
+  let block = Codec.Motion.extract_block p ~x:8 ~y:16 in
+  let q = Codec.Plane.create ~width:32 ~height:32 in
+  Codec.Motion.store_block q ~x:8 ~y:16 block;
+  let block' = Codec.Motion.extract_block q ~x:8 ~y:16 in
+  check bool "block preserved" true (block = block')
+
+(* --- Encoder / Decoder ------------------------------------------------ *)
+
+let test_clip ?(width = 48) ?(height = 32) ?(frames = 8) ?(seed = 21) () =
+  let profile =
+    {
+      Video.Profile.name = "codec-test";
+      seed;
+      scenes =
+        [
+          Video.Profile.scene ~seconds:(float_of_int frames /. 8.)
+            ~subjects:
+              [
+                {
+                  Video.Profile.level = 220;
+                  size = 150;
+                  speed = 10.;
+                  vertical_phase = 0.5;
+                };
+              ]
+            ~noise_sigma:1.5
+            (Video.Profile.Vertical { top = 40; bottom = 90 });
+        ];
+    }
+  in
+  Video.Clip_gen.render ~width ~height ~fps:8. profile
+
+let test_codec_roundtrip_psnr () =
+  let clip = test_clip () in
+  let encoded = Codec.Encoder.encode_clip clip in
+  let decoded = Codec.Decoder.decode_exn encoded.Codec.Encoder.data in
+  check int "frame count" clip.Video.Clip.frame_count
+    (Array.length decoded.Codec.Decoder.frames);
+  check int "width" clip.Video.Clip.width decoded.Codec.Decoder.width;
+  Array.iteri
+    (fun i frame ->
+      let psnr = Image.Metrics.psnr (clip.Video.Clip.render i) frame in
+      check bool (Printf.sprintf "frame %d psnr %.1f > 27dB" i psnr) true (psnr > 27.))
+    decoded.Codec.Decoder.frames
+
+let test_codec_p_frames_smaller () =
+  let clip = test_clip ~frames:8 () in
+  let encoded = Codec.Encoder.encode_clip ~params:{ Codec.Stream.default_params with gop = 8 } clip in
+  check bool "first frame is I" true
+    (encoded.Codec.Encoder.frame_types.(0) = Codec.Stream.I_frame);
+  check bool "second frame is P" true
+    (encoded.Codec.Encoder.frame_types.(1) = Codec.Stream.P_frame);
+  (* Slow panning content: P frames should cost well under an I frame. *)
+  check bool "P smaller than I" true
+    (encoded.Codec.Encoder.frame_sizes_bits.(1)
+     < encoded.Codec.Encoder.frame_sizes_bits.(0))
+
+let test_codec_gop_structure () =
+  let clip = test_clip ~frames:8 () in
+  let encoded =
+    Codec.Encoder.encode_clip
+      ~params:{ Codec.Stream.default_params with gop = 3 } clip
+  in
+  Array.iteri
+    (fun i t ->
+      let expected = if i mod 3 = 0 then Codec.Stream.I_frame else Codec.Stream.P_frame in
+      check bool (Printf.sprintf "frame %d type" i) true (t = expected))
+    encoded.Codec.Encoder.frame_types
+
+let test_codec_higher_qp_smaller_stream () =
+  let clip = test_clip () in
+  let size qp =
+    Codec.Encoder.total_bytes
+      (Codec.Encoder.encode_clip ~params:{ Codec.Stream.default_params with qp } clip)
+  in
+  check bool "qp 20 smaller than qp 4" true (size 20 < size 4)
+
+let test_codec_higher_qp_lower_quality () =
+  let clip = test_clip () in
+  let psnr qp =
+    let e = Codec.Encoder.encode_clip ~params:{ Codec.Stream.default_params with qp } clip in
+    let d = Codec.Decoder.decode_exn e.Codec.Encoder.data in
+    Image.Metrics.psnr (clip.Video.Clip.render 0) d.Codec.Decoder.frames.(0)
+  in
+  check bool "qp 2 beats qp 25" true (psnr 2 > psnr 25)
+
+let test_codec_odd_dimensions () =
+  (* Dimensions not divisible by 8 or 16 exercise padding and chroma
+     geometry. *)
+  let clip = test_clip ~width:37 ~height:21 ~frames:4 () in
+  let encoded = Codec.Encoder.encode_clip clip in
+  let decoded = Codec.Decoder.decode_exn encoded.Codec.Encoder.data in
+  check int "width preserved" 37 decoded.Codec.Decoder.width;
+  check int "height preserved" 21 decoded.Codec.Decoder.height;
+  Array.iteri
+    (fun i frame ->
+      let psnr = Image.Metrics.psnr (clip.Video.Clip.render i) frame in
+      check bool (Printf.sprintf "frame %d decodes" i) true (psnr > 28.))
+    decoded.Codec.Decoder.frames
+
+let test_codec_single_frame () =
+  let clip = test_clip ~frames:1 () in
+  let encoded = Codec.Encoder.encode_clip clip in
+  let decoded = Codec.Decoder.decode_exn encoded.Codec.Encoder.data in
+  check int "one frame" 1 (Array.length decoded.Codec.Decoder.frames)
+
+let test_codec_rejects_bad_params () =
+  let clip = test_clip ~frames:1 () in
+  Alcotest.check_raises "bad qp" (Invalid_argument "Encoder: qp out of [1, 31]")
+    (fun () ->
+      ignore
+        (Codec.Encoder.encode_clip
+           ~params:{ Codec.Stream.default_params with qp = 0 } clip))
+
+let test_decoder_rejects_garbage () =
+  check bool "garbage rejected" true
+    (Result.is_error (Codec.Decoder.decode "not a stream at all"));
+  check bool "empty rejected" true (Result.is_error (Codec.Decoder.decode ""))
+
+let test_decoder_rejects_truncation () =
+  let clip = test_clip ~frames:4 () in
+  let encoded = Codec.Encoder.encode_clip clip in
+  let data = encoded.Codec.Encoder.data in
+  let truncated = String.sub data 0 (String.length data / 2) in
+  check bool "truncated rejected" true (Result.is_error (Codec.Decoder.decode truncated))
+
+let test_decoder_mutation_fuzz () =
+  (* Flipping arbitrary bytes in a valid stream must never escape as an
+     exception: the decoder returns Ok (the damage landed in
+     recoverable coefficient data) or Error, nothing else. *)
+  let clip = test_clip ~frames:4 () in
+  let encoded = Codec.Encoder.encode_clip clip in
+  let data = encoded.Codec.Encoder.data in
+  let rng = Image.Prng.create ~seed:2024 in
+  for _ = 1 to 200 do
+    let mutated = Bytes.of_string data in
+    (* One to three byte flips per trial. *)
+    for _ = 0 to Image.Prng.int rng 3 do
+      let pos = Image.Prng.int rng (Bytes.length mutated) in
+      Bytes.set mutated pos (Char.chr (Image.Prng.int rng 256))
+    done;
+    match Codec.Decoder.decode (Bytes.to_string mutated) with
+    | Ok _ | Error _ -> ()
+  done;
+  check bool "no escaped exceptions over 200 mutations" true true
+
+let test_decoder_rejects_bad_magic () =
+  let clip = test_clip ~frames:1 () in
+  let encoded = Codec.Encoder.encode_clip clip in
+  let data = Bytes.of_string encoded.Codec.Encoder.data in
+  Bytes.set data 0 'X';
+  (match Codec.Decoder.decode (Bytes.to_string data) with
+  | Error msg -> check bool "mentions magic" true (msg = "bad magic")
+  | Ok _ -> Alcotest.fail "bad magic accepted")
+
+let test_codec_static_clip_compresses_well () =
+  (* A fully static clip with smooth structure: the I frame carries the
+     content, every P frame should collapse to skip-like blocks because
+     prediction from the reconstructed reference is near-exact. *)
+  let frame = Image.Raster.create ~width:32 ~height:32 in
+  Image.Draw.fill_vertical_gradient frame ~top:(Image.Pixel.gray 30)
+    ~bottom:(Image.Pixel.gray 200);
+  Image.Draw.disc frame ~cx:16 ~cy:16 ~radius:7 (Image.Pixel.gray 240);
+  let clip = Video.Clip.of_frames ~name:"static" ~fps:8. (Array.make 8 frame) in
+  let encoded = Codec.Encoder.encode_clip ~params:{ Codec.Stream.default_params with gop = 8 } clip in
+  let i_size = encoded.Codec.Encoder.frame_sizes_bits.(0) in
+  for i = 1 to 7 do
+    check bool (Printf.sprintf "P frame %d tiny" i) true
+      (encoded.Codec.Encoder.frame_sizes_bits.(i) * 4 < i_size)
+  done
+
+(* --- Deblock -------------------------------------------------------------- *)
+
+let blocky_frame () =
+  (* Constant 8x8 tiles of alternating levels: maximal grid artefact. *)
+  Image.Raster.init ~width:32 ~height:32 (fun ~x ~y ->
+      Image.Pixel.gray (if ((x / 8) + (y / 8)) mod 2 = 0 then 100 else 112))
+
+let test_deblock_blockiness_metric () =
+  let blocky = blocky_frame () in
+  let smooth = Image.Raster.create ~width:32 ~height:32 in
+  Image.Draw.fill_vertical_gradient smooth ~top:(Image.Pixel.gray 60)
+    ~bottom:(Image.Pixel.gray 180);
+  check bool "tiles are blocky" true (Codec.Deblock.blockiness blocky > 5.);
+  check bool "gradient is clean" true (Codec.Deblock.blockiness smooth < 1.)
+
+let test_deblock_reduces_blockiness () =
+  let blocky = blocky_frame () in
+  let filtered = Codec.Deblock.filter blocky in
+  check bool "filter reduces the metric" true
+    (Codec.Deblock.blockiness filtered < Codec.Deblock.blockiness blocky)
+
+let test_deblock_preserves_strong_edges () =
+  (* A hard 100-level edge aligned to the grid is image content. *)
+  let img = Image.Raster.init ~width:32 ~height:32 (fun ~x ~y ->
+      ignore y;
+      Image.Pixel.gray (if x < 16 then 40 else 160))
+  in
+  let filtered = Codec.Deblock.filter img in
+  check bool "strong edge untouched" true (Image.Raster.equal img filtered)
+
+let test_deblock_on_coarse_stream () =
+  (* Decoding a coarse-quantiser stream and filtering must reduce
+     blockiness without wrecking PSNR. *)
+  let clip = test_clip ~frames:2 () in
+  let encoded =
+    Codec.Encoder.encode_clip ~params:{ Codec.Stream.default_params with qp = 28 } clip
+  in
+  let decoded = Codec.Decoder.decode_exn encoded.Codec.Encoder.data in
+  let raw = decoded.Codec.Decoder.frames.(0) in
+  let filtered = Codec.Deblock.filter raw in
+  check bool "blockiness reduced" true
+    (Codec.Deblock.blockiness filtered <= Codec.Deblock.blockiness raw);
+  let original = clip.Video.Clip.render 0 in
+  check bool "psnr within 1.5 dB" true
+    (Image.Metrics.psnr original filtered > Image.Metrics.psnr original raw -. 1.5)
+
+(* --- Gop planner --------------------------------------------------------- *)
+
+let test_gop_planner_anchors () =
+  let t = Codec.Gop_planner.plan ~max_interval:100 ~scene_starts:[ 10; 25 ] ~frame_count:40 in
+  Alcotest.(check (list int)) "anchors" [ 0; 10; 25 ] (Codec.Gop_planner.positions t);
+  check bool "predicate true at anchor" true (Codec.Gop_planner.i_frame_at t 10);
+  check bool "predicate false elsewhere" false (Codec.Gop_planner.i_frame_at t 11)
+
+let test_gop_planner_refresh_inside_long_scene () =
+  let t = Codec.Gop_planner.plan ~max_interval:10 ~scene_starts:[] ~frame_count:35 in
+  Alcotest.(check (list int)) "periodic refreshes" [ 0; 10; 20; 30 ]
+    (Codec.Gop_planner.positions t);
+  (* No gap between consecutive marks (or the end) exceeds the interval. *)
+  let rec gaps = function
+    | a :: (b :: _ as rest) ->
+      check bool "gap bounded" true (b - a <= 10);
+      gaps rest
+    | [ last ] -> check bool "tail bounded" true (35 - last <= 10)
+    | [] -> ()
+  in
+  gaps (Codec.Gop_planner.positions t)
+
+let test_gop_planner_validation () =
+  Alcotest.check_raises "bad start"
+    (Invalid_argument "Gop_planner.plan: scene start out of range") (fun () ->
+      ignore (Codec.Gop_planner.plan ~max_interval:5 ~scene_starts:[ 50 ] ~frame_count:10))
+
+let test_encoder_custom_i_frames () =
+  let clip = test_clip ~frames:8 () in
+  let encoded =
+    Codec.Encoder.encode_clip
+      ~params:{ Codec.Stream.default_params with gop = 100 }
+      ~i_frame_at:(fun i -> i = 0 || i = 5)
+      clip
+  in
+  Array.iteri
+    (fun i t ->
+      let expected = if i = 0 || i = 5 then Codec.Stream.I_frame else Codec.Stream.P_frame in
+      check bool (Printf.sprintf "frame %d type" i) true (t = expected))
+    encoded.Codec.Encoder.frame_types;
+  (* The stream still decodes losslessly at the container level. *)
+  let decoded = Codec.Decoder.decode_exn encoded.Codec.Encoder.data in
+  check int "decodes fully" 8 (Array.length decoded.Codec.Decoder.frames)
+
+(* --- Rate control ------------------------------------------------------ *)
+
+let test_rate_control_fits_budget () =
+  let clip = test_clip ~frames:6 () in
+  let generous = Codec.Encoder.total_bytes (Codec.Encoder.encode_clip clip) in
+  let target_bytes = generous * 2 / 3 in
+  let outcome = Codec.Rate_control.for_target_bytes ~target_bytes clip in
+  check bool "fits" true outcome.Codec.Rate_control.fits;
+  check bool "within budget" true
+    (Codec.Encoder.total_bytes outcome.Codec.Rate_control.encoded <= target_bytes);
+  check bool "bounded search" true (outcome.Codec.Rate_control.encodes_tried <= 6)
+
+let test_rate_control_tight_budget_reports () =
+  let clip = test_clip ~frames:4 () in
+  (* An absurd one-byte budget cannot be met. *)
+  let outcome = Codec.Rate_control.for_target_bytes ~target_bytes:1 clip in
+  check bool "does not fit" false outcome.Codec.Rate_control.fits;
+  check int "delivers the coarsest quantiser" 31
+    outcome.Codec.Rate_control.encoded.Codec.Encoder.params.Codec.Stream.qp
+
+let test_rate_control_finest_feasible () =
+  (* The chosen qp is minimal: one step finer must overshoot. *)
+  let clip = test_clip ~frames:6 () in
+  let generous = Codec.Encoder.total_bytes (Codec.Encoder.encode_clip clip) in
+  let target_bytes = generous * 3 / 4 in
+  let outcome = Codec.Rate_control.for_target_bytes ~target_bytes clip in
+  let qp = outcome.Codec.Rate_control.encoded.Codec.Encoder.params.Codec.Stream.qp in
+  if qp > 1 then begin
+    let finer =
+      Codec.Encoder.encode_clip
+        ~params:{ Codec.Stream.default_params with qp = qp - 1 }
+        clip
+    in
+    check bool "one step finer overshoots" true
+      (Codec.Encoder.total_bytes finer > target_bytes)
+  end
+
+let test_rate_control_for_link () =
+  let clip = test_clip ~frames:8 () in
+  (* A link sized to roughly half the default-quality stream. *)
+  let default_bytes = Codec.Encoder.total_bytes (Codec.Encoder.encode_clip clip) in
+  let duration = Video.Clip.duration_seconds clip in
+  let link_bps = float_of_int default_bytes *. 8. /. duration /. 2. in
+  let outcome = Codec.Rate_control.for_link ~link_bps clip in
+  if outcome.Codec.Rate_control.fits then
+    check bool "stream fits the link budget" true
+      (float_of_int (Codec.Encoder.total_bytes outcome.Codec.Rate_control.encoded)
+       <= 0.8 *. link_bps *. duration /. 8. +. 1.)
+
+let test_per_frame_qp_roundtrip () =
+  (* Alternating quantisers frame to frame: the stream must decode and
+     the finer frames must look better. *)
+  let clip = test_clip ~frames:6 () in
+  let encoded =
+    Codec.Encoder.encode_clip
+      ~qp_for:(fun ~index ~total_bits:_ -> if index mod 2 = 0 then 2 else 28)
+      clip
+  in
+  let decoded = Codec.Decoder.decode_exn encoded.Codec.Encoder.data in
+  check int "all frames decode" 6 (Array.length decoded.Codec.Decoder.frames);
+  let psnr i = Image.Metrics.psnr (clip.Video.Clip.render i) decoded.Codec.Decoder.frames.(i) in
+  (* Frame 0 (qp 2, intra) is much cleaner than a qp-28 I-frame would
+     be; compare I-frame 0 against a qp-28 constant encode. *)
+  let coarse =
+    Codec.Decoder.decode_exn
+      (Codec.Encoder.encode_clip
+         ~params:{ Codec.Stream.default_params with qp = 28 } clip)
+        .Codec.Encoder.data
+  in
+  check bool "fine I-frame beats coarse I-frame" true
+    (psnr 0 > Image.Metrics.psnr (clip.Video.Clip.render 0) coarse.Codec.Decoder.frames.(0))
+
+let test_per_frame_qp_validated () =
+  let clip = test_clip ~frames:2 () in
+  Alcotest.check_raises "controller qp out of range"
+    (Invalid_argument "Encoder: controller qp out of [1, 31]") (fun () ->
+      ignore (Codec.Encoder.encode_clip ~qp_for:(fun ~index:_ ~total_bits:_ -> 0) clip))
+
+let test_single_pass_lands_near_budget () =
+  (* A proportional controller carries steady-state error, so the
+     landing is loose; what matters is a single pass that tracks the
+     budget's ballpark instead of ignoring it. *)
+  let clip = test_clip ~frames:24 () in
+  let reference = Codec.Encoder.total_bytes (Codec.Encoder.encode_clip clip) in
+  let target_bytes = reference * 6 / 10 in
+  let outcome = Codec.Rate_control.single_pass ~target_bytes clip in
+  check int "single encode" 1 outcome.Codec.Rate_control.encodes_tried;
+  let produced = Codec.Encoder.total_bytes outcome.Codec.Rate_control.encoded in
+  check bool
+    (Printf.sprintf "landed within 35%% of budget (%d vs %d)" produced target_bytes)
+    true
+    (produced < target_bytes * 135 / 100 && produced > target_bytes / 2);
+  check bool "well below the uncontrolled size" true (produced < reference * 85 / 100)
+
+let test_rate_control_min_qp_floor () =
+  let clip = test_clip ~frames:4 () in
+  let outcome =
+    Codec.Rate_control.for_target_bytes ~min_qp:12 ~target_bytes:10_000_000 clip
+  in
+  check bool "floor respected even with a huge budget" true
+    (outcome.Codec.Rate_control.encoded.Codec.Encoder.params.Codec.Stream.qp >= 12)
+
+let test_rate_control_validation () =
+  let clip = test_clip ~frames:1 () in
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Rate_control.for_target_bytes: target must be positive")
+    (fun () -> ignore (Codec.Rate_control.for_target_bytes ~target_bytes:0 clip))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_bitio_roundtrip;
+      prop_golomb_ue_roundtrip;
+      prop_golomb_se_roundtrip;
+      prop_zigzag_roundtrip;
+      prop_coeff_roundtrip;
+    ]
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "bitio",
+        [
+          Alcotest.test_case "single bits" `Quick test_bitio_single_bits;
+          Alcotest.test_case "multibit values" `Quick test_bitio_multibit_values;
+          Alcotest.test_case "value too wide" `Quick test_bitio_value_too_wide;
+          Alcotest.test_case "alignment" `Quick test_bitio_alignment;
+          Alcotest.test_case "out of bits" `Quick test_bitio_out_of_bits;
+        ] );
+      ( "golomb",
+        [
+          Alcotest.test_case "small values" `Quick test_golomb_small_values;
+          Alcotest.test_case "code lengths" `Quick test_golomb_code_lengths;
+          Alcotest.test_case "negative rejected" `Quick test_golomb_negative_rejected;
+        ] );
+      ( "zigzag",
+        [
+          Alcotest.test_case "permutation" `Quick test_zigzag_is_permutation;
+          Alcotest.test_case "starts at DC" `Quick test_zigzag_starts_at_dc;
+        ] );
+      ( "dct",
+        [
+          Alcotest.test_case "roundtrip accuracy" `Quick test_dct_roundtrip_accuracy;
+          Alcotest.test_case "flat block DC" `Quick test_dct_dc_of_flat_block;
+          Alcotest.test_case "parseval" `Quick test_dct_parseval;
+          Alcotest.test_case "bad size" `Quick test_dct_bad_size;
+        ] );
+      ( "quant",
+        [
+          Alcotest.test_case "zero preserved" `Quick test_quant_zero_preserved;
+          Alcotest.test_case "coarser at higher qp" `Quick test_quant_coarser_at_higher_qp;
+          Alcotest.test_case "bounded error" `Quick test_quant_dequant_bounded_error;
+          Alcotest.test_case "invalid qp" `Quick test_quant_invalid_qp;
+        ] );
+      ( "coeff",
+        [
+          Alcotest.test_case "all-zero block" `Quick test_coeff_all_zero_block;
+          Alcotest.test_case "sparse block" `Quick test_coeff_sparse_block;
+          Alcotest.test_case "exact bit cost" `Quick test_coeff_bit_cost_exact;
+        ] );
+      ( "plane",
+        [
+          Alcotest.test_case "edge clamped reads" `Quick test_plane_edge_clamped_reads;
+          Alcotest.test_case "pad and crop" `Quick test_plane_pad_and_crop;
+          Alcotest.test_case "aligned pad no-op" `Quick test_plane_pad_identity_when_aligned;
+          Alcotest.test_case "ycbcr gray roundtrip" `Quick test_plane_ycbcr_gray_roundtrip;
+          Alcotest.test_case "ycbcr color bounded" `Quick test_plane_ycbcr_color_bounded;
+        ] );
+      ( "motion",
+        [
+          Alcotest.test_case "finds exact shift" `Quick test_motion_finds_exact_shift;
+          Alcotest.test_case "zero preferred on tie" `Quick test_motion_zero_preferred_on_tie;
+          Alcotest.test_case "halve" `Quick test_motion_halve;
+          Alcotest.test_case "halfpel exact at integers" `Quick
+            test_motion_halfpel_integer_positions_exact;
+          Alcotest.test_case "halfpel interpolates" `Quick test_motion_halfpel_interpolates;
+          Alcotest.test_case "halfpel refinement" `Quick
+            test_motion_halfpel_refinement_wins_on_subpel_shift;
+          Alcotest.test_case "chroma vector" `Quick test_motion_chroma_vector;
+          Alcotest.test_case "extract/store roundtrip" `Quick
+            test_motion_extract_store_roundtrip;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "roundtrip PSNR" `Quick test_codec_roundtrip_psnr;
+          Alcotest.test_case "P frames smaller" `Quick test_codec_p_frames_smaller;
+          Alcotest.test_case "gop structure" `Quick test_codec_gop_structure;
+          Alcotest.test_case "qp vs size" `Quick test_codec_higher_qp_smaller_stream;
+          Alcotest.test_case "qp vs quality" `Quick test_codec_higher_qp_lower_quality;
+          Alcotest.test_case "odd dimensions" `Quick test_codec_odd_dimensions;
+          Alcotest.test_case "single frame" `Quick test_codec_single_frame;
+          Alcotest.test_case "rejects bad params" `Quick test_codec_rejects_bad_params;
+          Alcotest.test_case "static clip compresses" `Quick
+            test_codec_static_clip_compresses_well;
+        ] );
+      ( "deblock",
+        [
+          Alcotest.test_case "blockiness metric" `Quick test_deblock_blockiness_metric;
+          Alcotest.test_case "reduces blockiness" `Quick test_deblock_reduces_blockiness;
+          Alcotest.test_case "preserves strong edges" `Quick
+            test_deblock_preserves_strong_edges;
+          Alcotest.test_case "coarse stream" `Quick test_deblock_on_coarse_stream;
+        ] );
+      ( "gop planner",
+        [
+          Alcotest.test_case "anchors" `Quick test_gop_planner_anchors;
+          Alcotest.test_case "refresh in long scenes" `Quick
+            test_gop_planner_refresh_inside_long_scene;
+          Alcotest.test_case "validation" `Quick test_gop_planner_validation;
+          Alcotest.test_case "encoder custom I frames" `Quick test_encoder_custom_i_frames;
+        ] );
+      ( "rate control",
+        [
+          Alcotest.test_case "fits budget" `Quick test_rate_control_fits_budget;
+          Alcotest.test_case "tight budget" `Quick test_rate_control_tight_budget_reports;
+          Alcotest.test_case "finest feasible" `Quick test_rate_control_finest_feasible;
+          Alcotest.test_case "for link" `Quick test_rate_control_for_link;
+          Alcotest.test_case "min qp floor" `Quick test_rate_control_min_qp_floor;
+          Alcotest.test_case "per-frame qp roundtrip" `Quick test_per_frame_qp_roundtrip;
+          Alcotest.test_case "per-frame qp validated" `Quick test_per_frame_qp_validated;
+          Alcotest.test_case "single-pass control" `Quick test_single_pass_lands_near_budget;
+          Alcotest.test_case "validation" `Quick test_rate_control_validation;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "garbage rejected" `Quick test_decoder_rejects_garbage;
+          Alcotest.test_case "truncation rejected" `Quick test_decoder_rejects_truncation;
+          Alcotest.test_case "bad magic rejected" `Quick test_decoder_rejects_bad_magic;
+          Alcotest.test_case "mutation fuzz" `Quick test_decoder_mutation_fuzz;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,437 @@
+(* Tests for the display substrate: transfer functions, panel models,
+   device profiles and the gray-patch characterisation. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* --- Transfer --------------------------------------------------------- *)
+
+let test_transfer_linear_endpoints () =
+  let t = Display.Transfer.gamma 1. in
+  check (Alcotest.float 1e-9) "zero register" 0. (Display.Transfer.apply t 0);
+  check (Alcotest.float 1e-9) "full register" 1. (Display.Transfer.apply t 255);
+  check (Alcotest.float 1e-3) "midpoint" (128. /. 255.) (Display.Transfer.apply t 128)
+
+let test_transfer_monotone_forced () =
+  (* A decreasing function is rectified to its running maximum. *)
+  let t = Display.Transfer.of_function (fun r -> float_of_int (255 - r)) in
+  let ok = ref true in
+  for r = 1 to 255 do
+    if Display.Transfer.apply t r < Display.Transfer.apply t (r - 1) then ok := false
+  done;
+  check bool "monotone after rectification" true !ok;
+  check (Alcotest.float 1e-9) "normalised top" 1. (Display.Transfer.apply t 255)
+
+let test_transfer_inverse_basics () =
+  let t = Display.Transfer.gamma 1. in
+  check int "inverse of 0" 0 (Display.Transfer.inverse t 0.);
+  check int "inverse of 1" 255 (Display.Transfer.inverse t 1.);
+  check int "inverse of half" 128 (Display.Transfer.inverse t 0.5)
+
+let test_transfer_inverse_is_smallest () =
+  List.iter
+    (fun t ->
+      List.iter
+        (fun f ->
+          let r = Display.Transfer.inverse t f in
+          check bool "achieves the gain" true (Display.Transfer.apply t r >= f -. 1e-12);
+          if r > 0 then
+            check bool "predecessor does not" true
+              (Display.Transfer.apply t (r - 1) < f))
+        [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.999 ])
+    [ Display.Transfer.gamma 1.; Display.Transfer.led_typical; Display.Transfer.ccfl_typical ]
+
+let test_transfer_inverse_clamps () =
+  let t = Display.Transfer.gamma 1. in
+  check int "above 1 clamps" 255 (Display.Transfer.inverse t 2.);
+  check int "below 0 clamps" 0 (Display.Transfer.inverse t (-1.))
+
+let test_transfer_led_concave () =
+  (* The LED curve rises faster than linear at low registers: the
+     luminance at register 64 exceeds 64/255 of full. *)
+  let t = Display.Transfer.led_typical in
+  check bool "concave" true (Display.Transfer.apply t 64 > 64. /. 255.)
+
+let test_transfer_ccfl_dead_zone () =
+  let t = Display.Transfer.ccfl_typical in
+  check (Alcotest.float 1e-9) "dark below strike threshold" 0.
+    (Display.Transfer.apply t 30);
+  check bool "lit above threshold" true (Display.Transfer.apply t 60 > 0.)
+
+let test_transfer_of_table_validation () =
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Transfer.of_table: need 256 samples") (fun () ->
+      ignore (Display.Transfer.of_table [| 1.; 2. |]));
+  Alcotest.check_raises "all dark"
+    (Invalid_argument "Transfer: zero luminance at full register") (fun () ->
+      ignore (Display.Transfer.of_table (Array.make 256 0.)))
+
+let prop_transfer_inverse_roundtrip =
+  QCheck2.Test.make ~name:"inverse(apply r) <= r for monotone transfers"
+    QCheck2.Gen.(pair (float_range 0.3 3.) (0 -- 255))
+    (fun (g, r) ->
+      let t = Display.Transfer.gamma g in
+      Display.Transfer.inverse t (Display.Transfer.apply t r) <= r)
+
+(* --- Panel ------------------------------------------------------------ *)
+
+let test_panel_perceived_intensity_formula () =
+  let panel =
+    Display.Panel.make ~transmittance:0.1 ~white_gamma:1.
+      ~panel_type:Display.Panel.Transmissive ~technology:Display.Panel.Led
+      (Display.Transfer.gamma 1.)
+  in
+  (* I = rho * L * Y with everything linear. *)
+  check (Alcotest.float 1e-9) "full" 0.1
+    (Display.Panel.perceived_intensity panel ~backlight_gain:1. ~image_level:255);
+  check (Alcotest.float 1e-4) "half backlight, half image" 0.025
+    (Display.Panel.perceived_intensity panel ~backlight_gain:0.5
+       ~image_level:128)
+
+let test_panel_compensation_invariant () =
+  (* The paper's equation: dimming to gain f while scaling the image by
+     1/f preserves I for non-clipped pixels. *)
+  let panel =
+    Display.Panel.make ~white_gamma:1. ~panel_type:Display.Panel.Transflective
+      ~technology:Display.Panel.Led (Display.Transfer.gamma 1.)
+  in
+  let f = 0.5 in
+  let original_level = 100 in
+  let compensated_level = int_of_float ((float_of_int original_level /. f) +. 0.5) in
+  let i_orig =
+    Display.Panel.perceived_intensity panel ~backlight_gain:1.
+      ~image_level:original_level
+  in
+  let i_comp =
+    Display.Panel.perceived_intensity panel ~backlight_gain:f
+      ~image_level:compensated_level
+  in
+  check bool "intensity preserved within rounding" true
+    (abs_float (i_orig -. i_comp) /. i_orig < 0.01)
+
+let test_panel_emitted_uses_transfer () =
+  let panel =
+    Display.Panel.make ~white_gamma:1. ~panel_type:Display.Panel.Transmissive
+      ~technology:Display.Panel.Ccfl Display.Transfer.ccfl_typical
+  in
+  check (Alcotest.float 1e-12) "below strike: dark" 0.
+    (Display.Panel.emitted_luminance panel ~backlight_register:20 ~image_level:255)
+
+let test_panel_validation () =
+  Alcotest.check_raises "bad transmittance"
+    (Invalid_argument "Panel.make: transmittance out of (0, 1]") (fun () ->
+      ignore
+        (Display.Panel.make ~transmittance:0. ~panel_type:Display.Panel.Transmissive
+           ~technology:Display.Panel.Led (Display.Transfer.gamma 1.)))
+
+(* --- Device ----------------------------------------------------------- *)
+
+let test_devices_present () =
+  check int "three devices" 3 (List.length Display.Device.all);
+  check bool "h5555 is LED" true
+    (Display.Device.ipaq_h5555.Display.Device.panel.Display.Panel.technology
+     = Display.Panel.Led);
+  check bool "h3650 is CCFL" true
+    (Display.Device.ipaq_h3650.Display.Device.panel.Display.Panel.technology
+     = Display.Panel.Ccfl);
+  check bool "find works" true (Display.Device.find "zaurus_sl5600" <> None);
+  check bool "unknown device" true (Display.Device.find "nokia" = None)
+
+let test_device_register_for_gain_roundtrip () =
+  List.iter
+    (fun d ->
+      List.iter
+        (fun f ->
+          let r = Display.Device.register_for_gain d f in
+          check bool
+            (Printf.sprintf "%s gain %.2f" d.Display.Device.name f)
+            true
+            (Display.Device.backlight_gain d r >= f -. 1e-12))
+        [ 0.05; 0.2; 0.5; 0.8; 1. ])
+    Display.Device.all
+
+let test_device_distinct_transfer_shapes () =
+  (* "Each display technology showed a different transfer
+     characteristic" — at the same register the LED and CCFL devices
+     must disagree noticeably. *)
+  let led = Display.Device.backlight_gain Display.Device.ipaq_h5555 100 in
+  let ccfl = Display.Device.backlight_gain Display.Device.ipaq_h3650 100 in
+  check bool "different technologies differ" true (abs_float (led -. ccfl) > 0.05)
+
+(* --- Characterize ----------------------------------------------------- *)
+
+let analytic d = Display.Characterize.analytic_measurement d.Display.Device.panel
+
+let test_backlight_sweep_shape () =
+  let d = Display.Device.ipaq_h5555 in
+  let sweep = Display.Characterize.backlight_sweep ~steps:18 (analytic d) in
+  check int "sample count" 18 (Array.length sweep.Display.Characterize.levels);
+  check int "first level" 0 sweep.Display.Characterize.levels.(0);
+  check int "last level" 255 sweep.Display.Characterize.levels.(17);
+  (* Readings grow with the register (Fig 7). *)
+  let increasing = ref true in
+  for i = 1 to 17 do
+    if sweep.Display.Characterize.readings.(i)
+       < sweep.Display.Characterize.readings.(i - 1)
+    then increasing := false
+  done;
+  check bool "monotone readings" true !increasing
+
+let test_white_sweep_near_linear_on_h5555 () =
+  (* Fig 8: on the h5555, brightness is almost linear in the white
+     level. Check correlation of reading vs level is high. *)
+  let d = Display.Device.ipaq_h5555 in
+  let sweep = Display.Characterize.white_sweep ~steps:18 ~backlight:255 (analytic d) in
+  let xs = Array.map float_of_int sweep.Display.Characterize.levels in
+  let ys = sweep.Display.Characterize.readings in
+  let n = float_of_int (Array.length xs) in
+  let mean a = Array.fold_left ( +. ) 0. a /. n in
+  let mx = mean xs and my = mean ys in
+  let cov = ref 0. and vx = ref 0. and vy = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      cov := !cov +. (dx *. dy);
+      vx := !vx +. (dx *. dx);
+      vy := !vy +. (dy *. dy))
+    xs;
+  let corr = !cov /. sqrt (!vx *. !vy) in
+  check bool "near-linear white response" true (corr > 0.995)
+
+let test_white_sweep_scales_with_backlight () =
+  (* Fig 8 plots backlight 255 vs 128: the dimmer curve must sit
+     strictly below at every white level. *)
+  let d = Display.Device.ipaq_h5555 in
+  let full = Display.Characterize.white_sweep ~steps:10 ~backlight:255 (analytic d) in
+  let half = Display.Characterize.white_sweep ~steps:10 ~backlight:128 (analytic d) in
+  Array.iteri
+    (fun i r ->
+      if full.Display.Characterize.levels.(i) > 0 then
+        check bool (Printf.sprintf "dimmer at level %d" i) true
+          (half.Display.Characterize.readings.(i) < r))
+    full.Display.Characterize.readings
+
+let test_recover_transfer_fidelity () =
+  (* Recovering the transfer from 18 analytic measurements should match
+     the true curve closely everywhere. *)
+  List.iter
+    (fun d ->
+      let recovered = Display.Characterize.recover_transfer ~steps:18 (analytic d) in
+      let err =
+        Display.Characterize.max_relative_error recovered
+          d.Display.Device.panel.Display.Panel.transfer
+      in
+      (* 18 manual samples linearly interpolated: a few percent of
+         error at the steep low end of the LED curve is expected. *)
+      check bool (Printf.sprintf "%s recovery error %.3f" d.Display.Device.name err)
+        true (err < 0.05))
+    Display.Device.all
+
+let test_recover_transfer_usable_for_inverse () =
+  let d = Display.Device.ipaq_h5555 in
+  let recovered = Display.Characterize.recover_transfer (analytic d) in
+  let true_t = d.Display.Device.panel.Display.Panel.transfer in
+  List.iter
+    (fun f ->
+      let r_rec = Display.Transfer.inverse recovered f in
+      let r_true = Display.Transfer.inverse true_t f in
+      check bool (Printf.sprintf "inverse near truth at %.2f" f) true
+        (abs (r_rec - r_true) <= 8))
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ]
+
+let test_sweep_step_validation () =
+  let d = Display.Device.ipaq_h5555 in
+  Alcotest.check_raises "one step"
+    (Invalid_argument "Characterize: need at least 2 steps") (fun () ->
+      ignore (Display.Characterize.backlight_sweep ~steps:1 (analytic d)))
+
+(* --- Device_config ----------------------------------------------------- *)
+
+let test_config_minimal_inherits_defaults () =
+  match Display.Device_config.of_string "name = custom\n" with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    check bool "name set" true (d.Display.Device.name = "custom");
+    check (Alcotest.float 1e-9) "default backlight power"
+      Display.Device.ipaq_h5555.Display.Device.backlight_power_full_mw
+      d.Display.Device.backlight_power_full_mw
+
+let test_config_full_profile () =
+  let text =
+    "# a CCFL test device\n\
+     name = testpad\n\
+     panel = reflective\n\
+     technology = ccfl\n\
+     transfer = gamma:0.9\n\
+     white_gamma = 1.2\n\
+     screen = 240x320\n\
+     backlight_full_mw = 500\n\
+     backlight_floor_mw = 70\n\
+     lcd_mw = 140  # inline comment\n\
+     cpu_busy_mw = 650\n\
+     cpu_idle_mw = 170\n\
+     net_rx_mw = 280\n\
+     net_idle_mw = 55\n\
+     base_mw = 210\n"
+  in
+  match Display.Device_config.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    check bool "panel type" true
+      (d.Display.Device.panel.Display.Panel.panel_type = Display.Panel.Reflective);
+    check int "screen width" 240 d.Display.Device.screen_width;
+    check (Alcotest.float 1e-9) "floor power" 70.
+      d.Display.Device.backlight_power_floor_mw;
+    (* gamma:0.9 transfer is honoured. *)
+    check bool "transfer is the gamma curve" true
+      (abs_float
+         (Display.Device.backlight_gain d 128
+          -. ((128. /. 255.) ** 0.9))
+       < 1e-9)
+
+let test_config_errors_carry_line_numbers () =
+  let bad_key = "name = x\nbogus_key = 3\n" in
+  (match Display.Device_config.of_string bad_key with
+  | Error msg -> check bool "line number cited" true (String.length msg > 0
+      && String.sub msg 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "unknown key accepted");
+  let bad_value = "screen = wide\n" in
+  check bool "bad screen rejected" true
+    (Result.is_error (Display.Device_config.of_string bad_value));
+  let no_equals = "just words\n" in
+  check bool "missing = rejected" true
+    (Result.is_error (Display.Device_config.of_string no_equals))
+
+let test_config_roundtrip () =
+  List.iter
+    (fun d ->
+      match Display.Device_config.of_string (Display.Device_config.to_string d) with
+      | Error e -> Alcotest.fail e
+      | Ok back ->
+        check bool (d.Display.Device.name ^ " name") true
+          (back.Display.Device.name = d.Display.Device.name);
+        check (Alcotest.float 1e-9)
+          (d.Display.Device.name ^ " base power")
+          d.Display.Device.base_power_mw back.Display.Device.base_power_mw;
+        check int (d.Display.Device.name ^ " width") d.Display.Device.screen_width
+          back.Display.Device.screen_width)
+    Display.Device.all
+
+(* --- Aging ------------------------------------------------------------ *)
+
+let test_aging_shifts_threshold () =
+  let fresh = Display.Device.ipaq_h3650 in
+  let aged = Display.Device.with_aged_backlight ~hours:3000. fresh in
+  (* At a register just above the fresh strike threshold the worn tube
+     is still dark. *)
+  let fresh_first_lit =
+    Display.Device.register_for_gain fresh 0.01
+  in
+  check bool "worn tube darker at the fresh threshold" true
+    (Display.Device.backlight_gain aged fresh_first_lit
+     < Display.Device.backlight_gain fresh fresh_first_lit);
+  check bool "name records the wear" true
+    (aged.Display.Device.name = "ipaq_h3650+3000h")
+
+let test_aging_zero_hours_identity () =
+  let fresh = Display.Device.ipaq_h5555 in
+  let aged = Display.Device.with_aged_backlight ~hours:0. fresh in
+  let same = ref true in
+  for r = 0 to 255 do
+    if abs_float
+         (Display.Device.backlight_gain aged r -. Display.Device.backlight_gain fresh r)
+       > 1e-9
+    then same := false
+  done;
+  check bool "zero wear is the factory curve" true !same
+
+let test_aging_requires_higher_registers () =
+  let fresh = Display.Device.ipaq_h3650 in
+  let aged = Display.Device.with_aged_backlight ~hours:5000. fresh in
+  List.iter
+    (fun gain ->
+      check bool
+        (Printf.sprintf "gain %.1f needs a higher register when worn" gain)
+        true
+        (Display.Device.register_for_gain aged gain
+         >= Display.Device.register_for_gain fresh gain))
+    [ 0.2; 0.5; 0.8 ]
+
+let test_aging_recalibration_restores_accuracy () =
+  (* A stale factory table on a worn panel under-lights; a camera
+     re-characterisation recovers a faithful inverse. *)
+  let fresh = Display.Device.ipaq_h3650 in
+  let aged = Display.Device.with_aged_backlight ~hours:5000. fresh in
+  let stale_register = Display.Device.register_for_gain fresh 0.5 in
+  let achieved_with_stale = Display.Device.backlight_gain aged stale_register in
+  check bool "stale table under-lights" true (achieved_with_stale < 0.45);
+  let recovered = Display.Characterize.recover_transfer ~steps:24 (analytic aged) in
+  let recalibrated = Display.Transfer.inverse recovered 0.5 in
+  check bool "recalibrated register achieves the gain" true
+    (Display.Device.backlight_gain aged recalibrated >= 0.45)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest [ prop_transfer_inverse_roundtrip ]
+
+let () =
+  Alcotest.run "display"
+    [
+      ( "transfer",
+        [
+          Alcotest.test_case "linear endpoints" `Quick test_transfer_linear_endpoints;
+          Alcotest.test_case "monotone forced" `Quick test_transfer_monotone_forced;
+          Alcotest.test_case "inverse basics" `Quick test_transfer_inverse_basics;
+          Alcotest.test_case "inverse minimality" `Quick test_transfer_inverse_is_smallest;
+          Alcotest.test_case "inverse clamps" `Quick test_transfer_inverse_clamps;
+          Alcotest.test_case "led concave" `Quick test_transfer_led_concave;
+          Alcotest.test_case "ccfl dead zone" `Quick test_transfer_ccfl_dead_zone;
+          Alcotest.test_case "of_table validation" `Quick test_transfer_of_table_validation;
+        ] );
+      ( "panel",
+        [
+          Alcotest.test_case "intensity formula" `Quick
+            test_panel_perceived_intensity_formula;
+          Alcotest.test_case "compensation invariant" `Quick
+            test_panel_compensation_invariant;
+          Alcotest.test_case "emitted uses transfer" `Quick test_panel_emitted_uses_transfer;
+          Alcotest.test_case "validation" `Quick test_panel_validation;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "profiles present" `Quick test_devices_present;
+          Alcotest.test_case "register for gain" `Quick
+            test_device_register_for_gain_roundtrip;
+          Alcotest.test_case "distinct transfer shapes" `Quick
+            test_device_distinct_transfer_shapes;
+        ] );
+      ( "characterize",
+        [
+          Alcotest.test_case "backlight sweep (fig 7)" `Quick test_backlight_sweep_shape;
+          Alcotest.test_case "white sweep near-linear (fig 8)" `Quick
+            test_white_sweep_near_linear_on_h5555;
+          Alcotest.test_case "white sweep scales (fig 8)" `Quick
+            test_white_sweep_scales_with_backlight;
+          Alcotest.test_case "transfer recovery" `Quick test_recover_transfer_fidelity;
+          Alcotest.test_case "recovered inverse" `Quick
+            test_recover_transfer_usable_for_inverse;
+          Alcotest.test_case "step validation" `Quick test_sweep_step_validation;
+        ] );
+      ( "device_config",
+        [
+          Alcotest.test_case "minimal profile" `Quick test_config_minimal_inherits_defaults;
+          Alcotest.test_case "full profile" `Quick test_config_full_profile;
+          Alcotest.test_case "error reporting" `Quick test_config_errors_carry_line_numbers;
+          Alcotest.test_case "roundtrip" `Quick test_config_roundtrip;
+        ] );
+      ( "aging",
+        [
+          Alcotest.test_case "threshold creep" `Quick test_aging_shifts_threshold;
+          Alcotest.test_case "zero hours identity" `Quick test_aging_zero_hours_identity;
+          Alcotest.test_case "higher registers when worn" `Quick
+            test_aging_requires_higher_registers;
+          Alcotest.test_case "recalibration" `Quick
+            test_aging_recalibration_restores_accuracy;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,297 @@
+(* Tests for the power models, the sampling meter and the battery
+   accounting. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let device = Display.Device.ipaq_h5555
+
+(* --- Model ------------------------------------------------------------ *)
+
+let test_backlight_power_endpoints () =
+  check (Alcotest.float 1e-9) "off is zero" 0.
+    (Power.Model.backlight_power_mw device ~on:false ~register:255);
+  check (Alcotest.float 1e-9) "full register"
+    device.Display.Device.backlight_power_full_mw
+    (Power.Model.backlight_power_mw device ~on:true ~register:255);
+  check (Alcotest.float 1e-9) "zero register is the floor"
+    device.Display.Device.backlight_power_floor_mw
+    (Power.Model.backlight_power_mw device ~on:true ~register:0)
+
+let test_backlight_power_proportional () =
+  (* §5: power is almost proportional to backlight level. Our model is
+     exactly affine in the register. *)
+  let p r = Power.Model.backlight_power_mw device ~on:true ~register:r in
+  let midpoint = (p 0 +. p 255) /. 2. in
+  check bool "register clamps below" true (p (-10) = p 0);
+  check bool "register clamps above" true (p 400 = p 255);
+  check (Alcotest.float 0.9) "affine midpoint" midpoint (p 128)
+
+let test_backlight_power_monotone () =
+  let previous = ref (-1.) in
+  for r = 0 to 255 do
+    let p = Power.Model.backlight_power_mw device ~on:true ~register:r in
+    check bool (Printf.sprintf "monotone at %d" r) true (p >= !previous);
+    previous := p
+  done
+
+let test_device_power_components () =
+  let b = Power.Model.component_breakdown device Power.State.playback_full in
+  check bool "all components positive" true
+    (b.Power.Model.backlight_mw > 0. && b.Power.Model.lcd_logic_mw > 0.
+     && b.Power.Model.cpu_mw > 0. && b.Power.Model.network_mw > 0.
+     && b.Power.Model.base_mw > 0.);
+  check (Alcotest.float 1e-9) "total is the sum"
+    (b.Power.Model.backlight_mw +. b.Power.Model.lcd_logic_mw
+     +. b.Power.Model.cpu_mw +. b.Power.Model.network_mw +. b.Power.Model.base_mw)
+    (Power.Model.total_mw b)
+
+let test_backlight_share_in_paper_band () =
+  (* §4: "the backlight dominates other components, with about 25-30% of
+     total power consumption" — check all three devices at playback. *)
+  List.iter
+    (fun d ->
+      let share = Power.Model.backlight_share d Power.State.playback_full in
+      check bool
+        (Printf.sprintf "%s share %.2f in [0.20, 0.35]" d.Display.Device.name share)
+        true
+        (share >= 0.20 && share <= 0.35))
+    Display.Device.all
+
+let test_cpu_and_network_states_matter () =
+  let base = Power.State.playback_full in
+  let idle_cpu = { base with Power.State.cpu = Power.State.Cpu_idle } in
+  let idle_net = { base with Power.State.network = Power.State.Net_idle } in
+  check bool "busy cpu costs more" true
+    (Power.Model.device_power_mw device base > Power.Model.device_power_mw device idle_cpu);
+  check bool "receiving costs more" true
+    (Power.Model.device_power_mw device base > Power.Model.device_power_mw device idle_net)
+
+(* --- Meter ------------------------------------------------------------ *)
+
+let test_meter_constant_power () =
+  let m = Power.Meter.create ~sample_rate_hz:1000. () in
+  let r = Power.Meter.measure m ~duration_s:2. (fun _ -> 100.) in
+  check (Alcotest.float 1e-6) "energy" 200. r.Power.Meter.energy_mj;
+  check (Alcotest.float 1e-6) "average" 100. r.Power.Meter.average_power_mw;
+  check (Alcotest.float 1e-6) "peak" 100. r.Power.Meter.peak_power_mw;
+  check int "samples" 2000 r.Power.Meter.samples
+
+let test_meter_step_signal () =
+  let m = Power.Meter.create ~sample_rate_hz:1000. () in
+  let r =
+    Power.Meter.measure m ~duration_s:1. (fun t -> if t < 0.5 then 100. else 300.)
+  in
+  check (Alcotest.float 0.5) "energy of step" 200. r.Power.Meter.energy_mj;
+  check (Alcotest.float 1e-6) "peak" 300. r.Power.Meter.peak_power_mw;
+  check (Alcotest.float 1e-6) "min" 100. r.Power.Meter.min_power_mw
+
+let test_meter_trace_resampling () =
+  let m = Power.Meter.create ~sample_rate_hz:2000. () in
+  (* Three frames at 10 fps: 0.3 s total. *)
+  let r = Power.Meter.measure_trace m ~dt_s:0.1 [| 100.; 200.; 300. |] in
+  check (Alcotest.float 0.5) "trace energy" 60. r.Power.Meter.energy_mj;
+  check (Alcotest.float 1e-9) "duration" 0.3 r.Power.Meter.duration_s
+
+let test_meter_default_rate_matches_paper () =
+  check (Alcotest.float 1e-9) "2 kS/s like the DAQ" 2000.
+    (Power.Meter.sample_rate_hz (Power.Meter.create ()))
+
+let test_meter_savings () =
+  let m = Power.Meter.create () in
+  let baseline = Power.Meter.measure m ~duration_s:1. (fun _ -> 200.) in
+  let optimised = Power.Meter.measure m ~duration_s:1. (fun _ -> 150.) in
+  check (Alcotest.float 1e-6) "25%% saving" 0.25
+    (Power.Meter.savings_vs ~baseline optimised)
+
+let test_meter_validation () =
+  let m = Power.Meter.create () in
+  Alcotest.check_raises "zero duration"
+    (Invalid_argument "Meter.measure: duration must be positive") (fun () ->
+      ignore (Power.Meter.measure m ~duration_s:0. (fun _ -> 1.)));
+  Alcotest.check_raises "empty trace"
+    (Invalid_argument "Meter.measure_trace: empty trace") (fun () ->
+      ignore (Power.Meter.measure_trace m ~dt_s:0.1 [||]));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Meter.create: rate must be positive") (fun () ->
+      ignore (Power.Meter.create ~sample_rate_hz:0. ()))
+
+(* --- Oled --------------------------------------------------------------- *)
+
+let oled = Power.Oled.typical_amoled
+
+let gray_frame level =
+  let img = Image.Raster.create ~width:8 ~height:8 in
+  Image.Raster.fill img (Image.Pixel.gray level);
+  img
+
+let test_oled_black_and_white () =
+  check (Alcotest.float 1e-6) "black costs base" oled.Power.Oled.base_mw
+    (Power.Oled.frame_power_mw oled (gray_frame 0));
+  check (Alcotest.float 1e-6) "white costs base + full"
+    (oled.Power.Oled.base_mw +. oled.Power.Oled.full_white_mw)
+    (Power.Oled.frame_power_mw oled (gray_frame 255))
+
+let test_oled_content_dependent () =
+  check bool "brighter content costs more" true
+    (Power.Oled.frame_power_mw oled (gray_frame 200)
+     > Power.Oled.frame_power_mw oled (gray_frame 50))
+
+let test_oled_blue_expensive () =
+  let solid c =
+    let img = Image.Raster.create ~width:8 ~height:8 in
+    Image.Raster.fill img c;
+    img
+  in
+  check bool "blue costs more than green" true
+    (Power.Oled.frame_power_mw oled (solid (Image.Pixel.v 0 0 255))
+     > Power.Oled.frame_power_mw oled (solid (Image.Pixel.v 0 255 0)))
+
+let test_oled_compensation_costs_power () =
+  (* The inversion the bench demonstrates: brightening a dark frame
+     raises OLED power. *)
+  let frame = gray_frame 60 in
+  let brightened = Image.Ops.contrast_enhance ~k:2.5 frame in
+  check bool "compensation raises emission" true
+    (Power.Oled.frame_power_mw oled brightened > Power.Oled.frame_power_mw oled frame)
+
+(* --- Battery ---------------------------------------------------------- *)
+
+let test_battery_runtime () =
+  let b = Power.Battery.make ~capacity_mwh:1000. in
+  check (Alcotest.float 1e-9) "10 hours at 100mW" 10.
+    (Power.Battery.runtime_hours b ~average_power_mw:100.)
+
+let test_battery_extension () =
+  let b = Power.Battery.make ~capacity_mwh:1000. in
+  let ext =
+    Power.Battery.runtime_extension b ~baseline_power_mw:200. ~optimized_power_mw:160.
+  in
+  check (Alcotest.float 1e-9) "extension hours" 1.25 ext;
+  check (Alcotest.float 1e-9) "ratio capacity-independent" 0.25
+    (Power.Battery.extension_ratio ~baseline_power_mw:200. ~optimized_power_mw:160.)
+
+let test_battery_validation () =
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Battery.make: capacity must be positive") (fun () ->
+      ignore (Power.Battery.make ~capacity_mwh:0.))
+
+(* --- Dvfs --------------------------------------------------------------- *)
+
+let test_dvfs_levels_ordered () =
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+      a.Power.Dvfs.frequency_mhz < b.Power.Dvfs.frequency_mhz
+      && a.Power.Dvfs.busy_power_mw < b.Power.Dvfs.busy_power_mw
+      && ordered rest
+    | _ -> true
+  in
+  check bool "levels ascend in frequency and power" true
+    (ordered Power.Dvfs.xscale_levels);
+  check int "full speed is 400MHz" 400 Power.Dvfs.full_speed.Power.Dvfs.frequency_mhz;
+  check (Alcotest.float 1e-6) "top busy power matches device profile" 600.
+    Power.Dvfs.full_speed.Power.Dvfs.busy_power_mw
+
+let test_dvfs_lowest_feasible () =
+  (* 5M cycles in 83 ms fits at 100 MHz (8.3M available). *)
+  (match Power.Dvfs.lowest_feasible ~cycles:5e6 ~deadline_s:0.083 with
+  | Some l -> check int "small frame at 100MHz" 100 l.Power.Dvfs.frequency_mhz
+  | None -> Alcotest.fail "expected a feasible level");
+  (* 30M cycles needs the 400 MHz point. *)
+  (match Power.Dvfs.lowest_feasible ~cycles:30e6 ~deadline_s:0.083 with
+  | Some l -> check int "large frame at 400MHz" 400 l.Power.Dvfs.frequency_mhz
+  | None -> Alcotest.fail "expected a feasible level");
+  (* 50M cycles in 83 ms is infeasible even at full speed. *)
+  check bool "infeasible detected" true
+    (Power.Dvfs.lowest_feasible ~cycles:5e7 ~deadline_s:0.083 = None)
+
+let test_dvfs_energy_lower_at_lower_level () =
+  let cycles = 4e6 and deadline_s = 0.083 in
+  let slow = List.hd Power.Dvfs.xscale_levels in
+  let e_slow = Power.Dvfs.frame_energy_mj slow ~cycles ~deadline_s in
+  let e_fast = Power.Dvfs.frame_energy_mj Power.Dvfs.full_speed ~cycles ~deadline_s in
+  check bool "race-to-idle loses to slow-and-steady here" true (e_slow < e_fast)
+
+let test_dvfs_validation () =
+  Alcotest.check_raises "bad deadline"
+    (Invalid_argument "Dvfs.lowest_feasible: non-positive deadline") (fun () ->
+      ignore (Power.Dvfs.lowest_feasible ~cycles:1e6 ~deadline_s:0.))
+
+(* --- Properties ------------------------------------------------------- *)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make ~name:"device power monotone in backlight register"
+        QCheck2.Gen.(pair (0 -- 255) (0 -- 255))
+        (fun (r1, r2) ->
+          let lo = min r1 r2 and hi = max r1 r2 in
+          let power r =
+            Power.Model.device_power_mw device
+              (Power.State.with_backlight r Power.State.playback_full)
+          in
+          power lo <= power hi);
+      QCheck2.Test.make ~name:"meter energy scales linearly with power"
+        QCheck2.Gen.(float_range 1. 1000.)
+        (fun p ->
+          let m = Power.Meter.create ~sample_rate_hz:100. () in
+          let e1 = (Power.Meter.measure m ~duration_s:1. (fun _ -> p)).Power.Meter.energy_mj in
+          let e2 =
+            (Power.Meter.measure m ~duration_s:1. (fun _ -> 2. *. p)).Power.Meter.energy_mj
+          in
+          abs_float (e2 -. (2. *. e1)) < 1e-6);
+      QCheck2.Test.make ~name:"savings_vs is antisymmetric around zero"
+        QCheck2.Gen.(float_range 10. 500.)
+        (fun p ->
+          let m = Power.Meter.create ~sample_rate_hz:100. () in
+          let a = Power.Meter.measure m ~duration_s:1. (fun _ -> p) in
+          abs_float (Power.Meter.savings_vs ~baseline:a a) < 1e-12);
+    ]
+
+let () =
+  Alcotest.run "power"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "backlight endpoints" `Quick test_backlight_power_endpoints;
+          Alcotest.test_case "proportionality" `Quick test_backlight_power_proportional;
+          Alcotest.test_case "monotonicity" `Quick test_backlight_power_monotone;
+          Alcotest.test_case "component breakdown" `Quick test_device_power_components;
+          Alcotest.test_case "backlight share 25-30%" `Quick
+            test_backlight_share_in_paper_band;
+          Alcotest.test_case "cpu/network states" `Quick test_cpu_and_network_states_matter;
+        ] );
+      ( "meter",
+        [
+          Alcotest.test_case "constant power" `Quick test_meter_constant_power;
+          Alcotest.test_case "step signal" `Quick test_meter_step_signal;
+          Alcotest.test_case "trace resampling" `Quick test_meter_trace_resampling;
+          Alcotest.test_case "paper sample rate" `Quick test_meter_default_rate_matches_paper;
+          Alcotest.test_case "savings" `Quick test_meter_savings;
+          Alcotest.test_case "validation" `Quick test_meter_validation;
+        ] );
+      ( "dvfs",
+        [
+          Alcotest.test_case "levels ordered" `Quick test_dvfs_levels_ordered;
+          Alcotest.test_case "lowest feasible" `Quick test_dvfs_lowest_feasible;
+          Alcotest.test_case "energy at lower level" `Quick
+            test_dvfs_energy_lower_at_lower_level;
+          Alcotest.test_case "validation" `Quick test_dvfs_validation;
+        ] );
+      ( "oled",
+        [
+          Alcotest.test_case "black and white" `Quick test_oled_black_and_white;
+          Alcotest.test_case "content dependent" `Quick test_oled_content_dependent;
+          Alcotest.test_case "blue expensive" `Quick test_oled_blue_expensive;
+          Alcotest.test_case "compensation costs power" `Quick
+            test_oled_compensation_costs_power;
+        ] );
+      ( "battery",
+        [
+          Alcotest.test_case "runtime" `Quick test_battery_runtime;
+          Alcotest.test_case "extension" `Quick test_battery_extension;
+          Alcotest.test_case "validation" `Quick test_battery_validation;
+        ] );
+      ("properties", qtests);
+    ]

@@ -1,0 +1,1075 @@
+(* Tests for the streaming system model: network, negotiation, server
+   and the playback simulator. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let device = Display.Device.ipaq_h5555
+
+let two_scene_clip () =
+  let profile =
+    {
+      Video.Profile.name = "stream-test";
+      seed = 8;
+      scenes =
+        [
+          Video.Profile.scene ~seconds:1. ~noise_sigma:0. (Video.Profile.Flat 50);
+          Video.Profile.scene ~seconds:1. ~noise_sigma:0. (Video.Profile.Flat 210);
+        ];
+    }
+  in
+  Video.Clip_gen.render ~width:24 ~height:18 ~fps:8. profile
+
+(* --- Netsim ------------------------------------------------------------- *)
+
+let test_netsim_packet_count () =
+  let link = Streaming.Netsim.wlan_80211b in
+  check int "empty payload" 0 (Streaming.Netsim.packet_count link 0);
+  check int "one byte" 1 (Streaming.Netsim.packet_count link 1);
+  check int "exactly one packet" 1 (Streaming.Netsim.packet_count link 1400);
+  check int "one byte over" 2 (Streaming.Netsim.packet_count link 1401)
+
+let test_netsim_wire_bytes () =
+  let link =
+    Streaming.Netsim.make ~bandwidth_bps:1_000_000. ~packet_payload_bytes:100
+      ~per_packet_overhead_bytes:10
+  in
+  check int "wire bytes" 330 (Streaming.Netsim.wire_bytes link 300);
+  check (Alcotest.float 1e-9) "transfer time" (330. *. 8. /. 1_000_000.)
+    (Streaming.Netsim.transfer_time_s link 300)
+
+let test_netsim_annotation_overhead_small () =
+  (* A few-hundred-byte annotation on a megabyte video: well under 1%. *)
+  let link = Streaming.Netsim.wlan_80211b in
+  let ratio =
+    Streaming.Netsim.annotation_overhead_ratio link ~video_bytes:2_000_000
+      ~annotation_bytes:300
+  in
+  check bool "overhead below 0.1%" true (ratio < 0.001)
+
+let test_netsim_validation () =
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Netsim.make: bandwidth must be positive") (fun () ->
+      ignore
+        (Streaming.Netsim.make ~bandwidth_bps:0. ~packet_payload_bytes:100
+           ~per_packet_overhead_bytes:0))
+
+(* --- Negotiation -------------------------------------------------------- *)
+
+let test_negotiation_accepts_grid_quality () =
+  let hello =
+    {
+      Streaming.Negotiation.device;
+      requested_quality = Annot.Quality_level.Loss_10;
+    }
+  in
+  match Streaming.Negotiation.negotiate hello with
+  | Error e -> Alcotest.fail e
+  | Ok session ->
+    check bool "same quality" true
+      (session.Streaming.Negotiation.quality = Annot.Quality_level.Loss_10);
+    check bool "server-side by default" true
+      (session.Streaming.Negotiation.mapping = Streaming.Negotiation.Server_side)
+
+let test_negotiation_snaps_custom_quality () =
+  let hello =
+    {
+      Streaming.Negotiation.device;
+      requested_quality = Annot.Quality_level.Custom 0.12;
+    }
+  in
+  match Streaming.Negotiation.negotiate hello with
+  | Error e -> Alcotest.fail e
+  | Ok session ->
+    (* 12% snaps to the nearest advertised level (10% or 15%). *)
+    check bool "snapped to grid" true
+      (List.exists
+         (fun q -> Annot.Quality_level.compare q session.Streaming.Negotiation.quality = 0)
+         Streaming.Negotiation.offer_qualities)
+
+let test_negotiation_client_side_mapping () =
+  let hello =
+    {
+      Streaming.Negotiation.device;
+      requested_quality = Annot.Quality_level.Lossless;
+    }
+  in
+  match
+    Streaming.Negotiation.negotiate ~prefer:Streaming.Negotiation.Client_side hello
+  with
+  | Error e -> Alcotest.fail e
+  | Ok session ->
+    check bool "client-side honoured" true
+      (session.Streaming.Negotiation.mapping = Streaming.Negotiation.Client_side)
+
+(* --- Server ------------------------------------------------------------- *)
+
+let make_session quality =
+  { Streaming.Negotiation.device; quality; mapping = Streaming.Negotiation.Server_side }
+
+let test_server_catalog () =
+  let server = Streaming.Server.create () in
+  Streaming.Server.add_clip server (two_scene_clip ());
+  Alcotest.(check (list string)) "names" [ "stream-test" ] (Streaming.Server.clip_names server);
+  check bool "unknown clip" true
+    (Result.is_error
+       (Streaming.Server.prepare server ~name:"nope"
+          ~session:(make_session Annot.Quality_level.Lossless)))
+
+let test_server_prepare () =
+  let server = Streaming.Server.create () in
+  let clip = two_scene_clip () in
+  Streaming.Server.add_clip server clip;
+  match
+    Streaming.Server.prepare server ~name:"stream-test"
+      ~session:(make_session Annot.Quality_level.Lossless)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok prepared ->
+    check bool "track covers clip" true
+      (prepared.Streaming.Server.track.Annot.Track.total_frames
+       = clip.Video.Clip.frame_count);
+    check bool "annotations non-empty" true
+      (String.length prepared.Streaming.Server.annotation_bytes > 0);
+    (* Annotation side-channel decodes back to the same registers. *)
+    (match Annot.Encoding.decode prepared.Streaming.Server.annotation_bytes with
+    | Error e -> Alcotest.fail e
+    | Ok decoded ->
+      Alcotest.(check (array int))
+        "wire track matches"
+        (Annot.Track.register_track prepared.Streaming.Server.track)
+        (Annot.Track.register_track decoded));
+    (* The compensated stream brightens the dark scene. *)
+    check bool "compensated stream brighter" true
+      (Image.Raster.mean_luminance
+         (prepared.Streaming.Server.compensated.Video.Clip.render 0)
+       > Image.Raster.mean_luminance (clip.Video.Clip.render 0))
+
+let test_server_client_side_mapping () =
+  let server = Streaming.Server.create () in
+  Streaming.Server.add_clip server (two_scene_clip ());
+  let session =
+    {
+      Streaming.Negotiation.device;
+      quality = Annot.Quality_level.Loss_10;
+      mapping = Streaming.Negotiation.Client_side;
+    }
+  in
+  match Streaming.Server.prepare server ~name:"stream-test" ~session with
+  | Error e -> Alcotest.fail e
+  | Ok prepared ->
+    check bool "track is device-neutral" true
+      (prepared.Streaming.Server.track.Annot.Track.device_name
+       = Annot.Neutral.generic_device_name);
+    (* The client finishes the mapping and lands on the same registers
+       a server-mapped session would have shipped. *)
+    let mapped =
+      Annot.Neutral.map_to_device device prepared.Streaming.Server.track
+    in
+    let server_side =
+      match
+        Streaming.Server.prepare server ~name:"stream-test"
+          ~session:(make_session Annot.Quality_level.Loss_10)
+      with
+      | Ok p -> p.Streaming.Server.track
+      | Error e -> Alcotest.fail e
+    in
+    Alcotest.(check (array int))
+      "same registers either way"
+      (Annot.Track.register_track server_side)
+      (Annot.Track.register_track mapped)
+
+let test_server_profile_cached () =
+  let server = Streaming.Server.create () in
+  Streaming.Server.add_clip server (two_scene_clip ());
+  let p1 = Streaming.Server.profile server "stream-test" in
+  let p2 = Streaming.Server.profile server "stream-test" in
+  match (p1, p2) with
+  | Ok a, Ok b -> check bool "same cached profile" true (a == b)
+  | _ -> Alcotest.fail "profiling failed"
+
+let test_server_encode_video () =
+  let server = Streaming.Server.create () in
+  Streaming.Server.add_clip server (two_scene_clip ());
+  match Streaming.Server.encode_video server ~name:"stream-test" with
+  | Error e -> Alcotest.fail e
+  | Ok encoded ->
+    check bool "stream non-trivial" true (Codec.Encoder.total_bytes encoded > 100)
+
+(* --- Playback ----------------------------------------------------------- *)
+
+let test_playback_full_backlight_baseline () =
+  (* With registers pinned at 255 there are no savings. *)
+  let registers = Array.make 16 255 in
+  let report =
+    Streaming.Playback.run_with_registers ~device
+      ~quality:Annot.Quality_level.Lossless ~clip_name:"c" ~fps:8.
+      ~annotation_bytes:0 registers
+  in
+  check (Alcotest.float 1e-9) "no backlight savings" 0.
+    report.Streaming.Playback.backlight_savings;
+  check (Alcotest.float 1e-9) "no total savings" 0.
+    report.Streaming.Playback.total_savings;
+  check int "no switches" 0 report.Streaming.Playback.switch_count
+
+let test_playback_dimmed_saves () =
+  let registers = Array.make 16 64 in
+  let report =
+    Streaming.Playback.run_with_registers ~device
+      ~quality:Annot.Quality_level.Loss_10 ~clip_name:"c" ~fps:8.
+      ~annotation_bytes:0 registers
+  in
+  check bool "backlight savings positive" true
+    (report.Streaming.Playback.backlight_savings > 0.5);
+  check bool "total savings positive but smaller" true
+    (report.Streaming.Playback.total_savings > 0.
+     && report.Streaming.Playback.total_savings
+        < report.Streaming.Playback.backlight_savings)
+
+let test_playback_total_tracks_backlight_share () =
+  (* Total savings should approximate backlight savings times the
+     backlight share of device power. *)
+  let registers = Array.make 16 0 in
+  let report =
+    Streaming.Playback.run_with_registers ~device
+      ~quality:Annot.Quality_level.Loss_20 ~clip_name:"c" ~fps:8.
+      ~annotation_bytes:0 registers
+  in
+  let share = Power.Model.backlight_share device Power.State.playback_full in
+  let expected = report.Streaming.Playback.backlight_savings *. share in
+  check bool
+    (Printf.sprintf "total %.3f tracks backlight*share %.3f"
+       report.Streaming.Playback.total_savings expected)
+    true
+    (abs_float (report.Streaming.Playback.total_savings -. expected) < 0.08)
+
+let test_playback_run_on_clip () =
+  let clip = two_scene_clip () in
+  let report =
+    Streaming.Playback.run ~device ~quality:Annot.Quality_level.Lossless clip
+  in
+  check int "frames" clip.Video.Clip.frame_count report.Streaming.Playback.frames;
+  check bool "savings positive on dark scene" true
+    (report.Streaming.Playback.backlight_savings > 0.1);
+  check bool "annotations counted" true (report.Streaming.Playback.annotation_bytes > 0);
+  check (Alcotest.float 1e-9) "duration" 2. report.Streaming.Playback.duration_s
+
+let test_playback_instantaneous_savings () =
+  let clip = two_scene_clip () in
+  let track = Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Lossless clip in
+  let series = Streaming.Playback.instantaneous_backlight_savings ~device track in
+  check int "one value per frame" clip.Video.Clip.frame_count (Array.length series);
+  (* Dark scene saves more than bright scene. *)
+  check bool "dark saves more" true (series.(0) > series.(15));
+  Array.iter (fun s -> check bool "in [0,1]" true (s >= 0. && s <= 1.)) series
+
+let test_playback_quality_evaluation () =
+  let clip = two_scene_clip () in
+  let track = Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Lossless clip in
+  let rig = Camera.Snapshot.noiseless_rig device in
+  let verdicts =
+    Streaming.Playback.evaluate_quality ~rig ~device ~clip ~track ~sample_every:4
+  in
+  check int "four samples" 4 (List.length verdicts);
+  List.iter
+    (fun (i, v) ->
+      check bool
+        (Format.asprintf "frame %d acceptable: %a" i Camera.Quality.pp_verdict v)
+        true
+        (Camera.Quality.acceptable v))
+    verdicts
+
+let test_playback_empty_rejected () =
+  Alcotest.check_raises "empty registers"
+    (Invalid_argument "Playback: empty register track") (fun () ->
+      ignore
+        (Streaming.Playback.run_with_registers ~device
+           ~quality:Annot.Quality_level.Lossless ~clip_name:"c" ~fps:8.
+           ~annotation_bytes:0 [||]))
+
+(* --- Dvfs_playback ------------------------------------------------------- *)
+
+(* A cycle track with quiet P-frame stretches and periodic I-frame
+   spikes, like a real gop structure. *)
+let spiky_cycles ~frames ~gop ~quiet ~spike =
+  Array.init frames (fun i -> if i mod gop = 0 then spike else quiet)
+
+let test_dvfs_annotated_meets_deadlines () =
+  let cycles = spiky_cycles ~frames:60 ~gop:12 ~quiet:4e6 ~spike:25e6 in
+  let r =
+    Streaming.Dvfs_playback.run ~fps:12. cycles
+      Streaming.Dvfs_playback.Annotated_workload
+  in
+  check int "no misses" 0 r.Streaming.Dvfs_playback.deadline_misses;
+  check bool "meaningful savings" true (r.Streaming.Dvfs_playback.savings > 0.3)
+
+let test_dvfs_history_misses_spikes () =
+  let cycles = spiky_cycles ~frames:60 ~gop:12 ~quiet:4e6 ~spike:25e6 in
+  let r =
+    Streaming.Dvfs_playback.run ~fps:12. cycles
+      (Streaming.Dvfs_playback.History_max { window = 6; margin = 1.1 })
+  in
+  (* Every spike follows 11 quiet frames: the 6-frame window forgets
+     the previous spike, so every gop boundary misses. *)
+  check bool "misses at spikes" true (r.Streaming.Dvfs_playback.deadline_misses >= 4)
+
+let test_dvfs_full_speed_baseline () =
+  let cycles = spiky_cycles ~frames:24 ~gop:12 ~quiet:4e6 ~spike:25e6 in
+  let r =
+    Streaming.Dvfs_playback.run ~fps:12. cycles Streaming.Dvfs_playback.Always_full
+  in
+  check int "no misses at full speed" 0 r.Streaming.Dvfs_playback.deadline_misses;
+  check (Alcotest.float 1e-9) "zero savings" 0. r.Streaming.Dvfs_playback.savings;
+  check (Alcotest.float 1e-9) "mean frequency is top" 400.
+    r.Streaming.Dvfs_playback.mean_frequency_mhz
+
+let test_dvfs_annotated_beats_history_energy () =
+  let cycles = spiky_cycles ~frames:120 ~gop:12 ~quiet:4e6 ~spike:25e6 in
+  let run p = Streaming.Dvfs_playback.run ~fps:12. cycles p in
+  let annotated = run Streaming.Dvfs_playback.Annotated_workload in
+  let history =
+    run (Streaming.Dvfs_playback.History_max { window = 6; margin = 1.1 })
+  in
+  check bool "annotated at most history energy" true
+    (annotated.Streaming.Dvfs_playback.cpu_energy_mj
+     <= history.Streaming.Dvfs_playback.cpu_energy_mj +. 1e-9)
+
+let test_dvfs_decode_cycles_reflect_frame_sizes () =
+  let profile =
+    {
+      Video.Profile.name = "dvfs-test";
+      seed = 33;
+      scenes =
+        [
+          Video.Profile.scene ~seconds:2.
+            ~subjects:
+              [
+                { Video.Profile.level = 200; size = 150; speed = 12.; vertical_phase = 0.5 };
+              ]
+            ~noise_sigma:2.
+            (Video.Profile.Vertical { top = 30; bottom = 90 });
+        ];
+    }
+  in
+  let clip = Video.Clip_gen.render ~width:48 ~height:32 ~fps:8. profile in
+  let encoded =
+    Codec.Encoder.encode_clip ~params:{ Codec.Stream.default_params with gop = 8 } clip
+  in
+  let cycles = Streaming.Dvfs_playback.decode_cycles encoded in
+  check int "one estimate per frame" clip.Video.Clip.frame_count (Array.length cycles);
+  Array.iter (fun c -> check bool "positive cost" true (c > 0.)) cycles;
+  (* The I frame must cost more than the following P frame. *)
+  check bool "I costs more than P" true (cycles.(0) > cycles.(1))
+
+let test_dvfs_annotation_bytes_small () =
+  let cycles = spiky_cycles ~frames:300 ~gop:12 ~quiet:4e6 ~spike:25e6 in
+  let bytes = Streaming.Dvfs_playback.annotation_bytes cycles in
+  check bool "couple of bytes per frame" true (bytes > 300 && bytes < 4 * 300)
+
+let test_dvfs_validation () =
+  Alcotest.check_raises "empty track"
+    (Invalid_argument "Dvfs_playback.run: empty cycle track") (fun () ->
+      ignore
+        (Streaming.Dvfs_playback.run ~fps:12. [||]
+           Streaming.Dvfs_playback.Always_full))
+
+(* --- Adaptive -------------------------------------------------------------------- *)
+
+(* A clip whose quality levels genuinely differ (bright tails to clip),
+   long enough for multiple scenes. *)
+let adaptive_profiled =
+  lazy
+    (let profile =
+       {
+         Video.Profile.name = "adaptive-test";
+         seed = 61;
+         scenes =
+           [
+             Video.Profile.scene ~seconds:2. ~noise_sigma:2.
+               ~highlights:{ Video.Profile.count = 3; peak = 200; radius = 40; drift = 0. }
+               (Video.Profile.Flat 40);
+             Video.Profile.scene ~seconds:2. ~noise_sigma:2.
+               (Video.Profile.Flat 180);
+             Video.Profile.scene ~seconds:2. ~noise_sigma:2.
+               ~highlights:{ Video.Profile.count = 3; peak = 190; radius = 40; drift = 0. }
+               (Video.Profile.Flat 30);
+           ];
+       }
+     in
+     Annot.Annotator.profile (Video.Clip_gen.render ~width:32 ~height:24 ~fps:8. profile))
+
+let test_adaptive_generous_battery_stays_lossless () =
+  let o =
+    Streaming.Adaptive.run ~device ~battery_mwh:10_000. (Lazy.force adaptive_profiled)
+  in
+  check bool "completed" true o.Streaming.Adaptive.completed;
+  check (Alcotest.float 1e-12) "no quality lost" 0.
+    o.Streaming.Adaptive.mean_quality_loss;
+  check int "every frame played"
+    (Lazy.force adaptive_profiled).Annot.Annotator.total_frames
+    o.Streaming.Adaptive.frames_played
+
+let test_adaptive_tight_battery_escalates () =
+  let profiled = Lazy.force adaptive_profiled in
+  (* Battery sized between the lossless and most-aggressive needs. *)
+  let energy quality =
+    let track = Annot.Annotator.annotate_profiled ~device ~quality profiled in
+    let power =
+      Streaming.Playback.power_trace ~device ~cpu_busy_fraction:0.6
+        ~registers:(Annot.Track.register_track track)
+    in
+    Array.fold_left ( +. ) 0. power /. 8. (* dt = 1/8 s *)
+  in
+  let lossless_mj = energy Annot.Quality_level.Lossless in
+  let aggressive_mj = energy Annot.Quality_level.Loss_20 in
+  check bool "levels differ on this content" true (aggressive_mj < lossless_mj *. 0.95);
+  let battery_mwh = (lossless_mj +. aggressive_mj) /. 2. /. 3600. in
+  let o = Streaming.Adaptive.run ~device ~battery_mwh profiled in
+  check bool "completed by escalating" true o.Streaming.Adaptive.completed;
+  check bool "some quality traded" true (o.Streaming.Adaptive.mean_quality_loss > 0.)
+
+let test_adaptive_impossible_battery_dies () =
+  let o =
+    Streaming.Adaptive.run ~device ~battery_mwh:0.05 (Lazy.force adaptive_profiled)
+  in
+  check bool "did not complete" false o.Streaming.Adaptive.completed;
+  check bool "partial playback" true
+    (o.Streaming.Adaptive.frames_played
+     < (Lazy.force adaptive_profiled).Annot.Annotator.total_frames)
+
+let test_adaptive_steps_contiguous () =
+  let o =
+    Streaming.Adaptive.run ~device ~battery_mwh:10_000. (Lazy.force adaptive_profiled)
+  in
+  let rec contiguous expected = function
+    | [] -> true
+    | s :: rest ->
+      s.Streaming.Adaptive.first_frame = expected
+      && contiguous (expected + s.Streaming.Adaptive.frame_count) rest
+  in
+  check bool "steps tile the clip" true (contiguous 0 o.Streaming.Adaptive.steps)
+
+(* --- Session -------------------------------------------------------------------- *)
+
+let moving_clip () =
+  let profile =
+    {
+      Video.Profile.name = "transport-test";
+      seed = 41;
+      scenes =
+        [
+          Video.Profile.scene ~seconds:3. ~noise_sigma:1.5
+            ~subjects:
+              [
+                { Video.Profile.level = 210; size = 160; speed = 12.; vertical_phase = 0.5 };
+              ]
+            (Video.Profile.Vertical { top = 30; bottom = 80 });
+        ];
+    }
+  in
+  Video.Clip_gen.render ~width:48 ~height:32 ~fps:8. profile
+
+
+let test_session_clean_run () =
+  let clip = moving_clip () in
+  let config = Streaming.Session.default_config ~device in
+  match Streaming.Session.run config clip with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check bool "annotations survived" true r.Streaming.Session.annotations_survived;
+    check int "nothing concealed" 0 r.Streaming.Session.concealed_frames;
+    check bool "backlight saves" true (r.Streaming.Session.backlight_savings > 0.1);
+    check bool "cpu saves" true (r.Streaming.Session.cpu_savings > 0.1);
+    check bool "radio saves" true (r.Streaming.Session.radio_savings > 0.1);
+    check bool "device savings combine" true
+      (r.Streaming.Session.device_savings > 0.15
+       && r.Streaming.Session.device_savings < 0.9);
+    check bool "energy consistent" true
+      (r.Streaming.Session.device_energy_mj < r.Streaming.Session.baseline_energy_mj)
+
+let test_session_lossy_run () =
+  let clip = moving_clip () in
+  let config =
+    { (Streaming.Session.default_config ~device) with
+      Streaming.Session.loss_rate = 0.05 }
+  in
+  match Streaming.Session.run config clip with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check bool "some frames concealed" true (r.Streaming.Session.concealed_frames > 0);
+    check bool "psnr degraded but finite" true
+      (r.Streaming.Session.video_mean_psnr > 20.
+       && r.Streaming.Session.video_mean_psnr < 99.)
+
+let test_session_annotation_loss_falls_back () =
+  let clip = moving_clip () in
+  (* A brutal side-channel loss rate: FEC cannot recover, the client
+     must fall back to full backlight rather than guess. *)
+  let rec find_failing_seed seed =
+    if seed > 200 then Alcotest.fail "no failing seed found"
+    else begin
+      let config =
+        { (Streaming.Session.default_config ~device) with
+          Streaming.Session.loss_rate = 0.6; seed }
+      in
+      match Streaming.Session.run config clip with
+      | Ok r when not r.Streaming.Session.annotations_survived -> r
+      | Ok _ | Error _ -> find_failing_seed (seed + 1)
+    end
+  in
+  let r = find_failing_seed 1 in
+  check (Alcotest.float 1e-9) "no dimming without annotations" 0.
+    r.Streaming.Session.backlight_savings
+
+let test_session_client_mapping_equivalent () =
+  let clip = moving_clip () in
+  let run mapping =
+    let config =
+      { (Streaming.Session.default_config ~device) with Streaming.Session.mapping }
+    in
+    match Streaming.Session.run config clip with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let server = run Streaming.Negotiation.Server_side in
+  let client = run Streaming.Negotiation.Client_side in
+  check (Alcotest.float 1e-9) "same backlight savings either mapping"
+    server.Streaming.Session.backlight_savings
+    client.Streaming.Session.backlight_savings
+
+let test_session_ramp_option () =
+  let clip = moving_clip () in
+  let config =
+    { (Streaming.Session.default_config ~device) with
+      Streaming.Session.ramp_step = Some 8 }
+  in
+  match Streaming.Session.run config clip with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    (* Ramping only ever raises registers: savings shrink or hold. *)
+    let plain =
+      match Streaming.Session.run (Streaming.Session.default_config ~device) clip with
+      | Ok p -> p
+      | Error e -> Alcotest.fail e
+    in
+    check bool "ramp never increases savings" true
+      (r.Streaming.Session.backlight_savings
+       <= plain.Streaming.Session.backlight_savings +. 1e-9)
+
+(* --- Fec ---------------------------------------------------------------------- *)
+
+let sample_payload n =
+  String.init n (fun i -> Char.chr ((i * 37) mod 256))
+
+let test_fec_no_loss_roundtrip () =
+  let payload = sample_payload 300 in
+  let protected_payload = Streaming.Fec.protect ~packet_size:64 ~group_size:4 payload in
+  let present = Array.map Option.some protected_payload.Streaming.Fec.packets in
+  Alcotest.(check (result string string))
+    "identity" (Ok payload)
+    (Streaming.Fec.recover protected_payload ~present)
+
+let test_fec_single_loss_per_group_recovers () =
+  let payload = sample_payload 300 in
+  let protected_payload = Streaming.Fec.protect ~packet_size:64 ~group_size:4 payload in
+  (* Lose one data packet in each group (indices 0 and 4). *)
+  let present = Array.map Option.some protected_payload.Streaming.Fec.packets in
+  present.(0) <- None;
+  present.(4) <- None;
+  Alcotest.(check (result string string))
+    "recovered" (Ok payload)
+    (Streaming.Fec.recover protected_payload ~present)
+
+let test_fec_recovers_short_tail_packet () =
+  (* 130 bytes at 64-byte packets: the last packet is 2 bytes; losing
+     it exercises the trim on reconstruction. *)
+  let payload = sample_payload 130 in
+  let protected_payload = Streaming.Fec.protect ~packet_size:64 ~group_size:4 payload in
+  let present = Array.map Option.some protected_payload.Streaming.Fec.packets in
+  present.(2) <- None;
+  Alcotest.(check (result string string))
+    "tail recovered" (Ok payload)
+    (Streaming.Fec.recover protected_payload ~present)
+
+let test_fec_double_loss_fails () =
+  let payload = sample_payload 300 in
+  let protected_payload = Streaming.Fec.protect ~packet_size:64 ~group_size:4 payload in
+  let present = Array.map Option.some protected_payload.Streaming.Fec.packets in
+  present.(0) <- None;
+  present.(1) <- None;
+  check bool "two losses in a group unrecoverable" true
+    (Result.is_error (Streaming.Fec.recover protected_payload ~present))
+
+let test_fec_parity_loss_harmless () =
+  let payload = sample_payload 300 in
+  let protected_payload = Streaming.Fec.protect ~packet_size:64 ~group_size:4 payload in
+  let present = Array.map Option.some protected_payload.Streaming.Fec.packets in
+  (* Lose only parity packets. *)
+  for i = protected_payload.Streaming.Fec.data_packets
+        to Array.length present - 1 do
+    present.(i) <- None
+  done;
+  Alcotest.(check (result string string))
+    "data alone suffices" (Ok payload)
+    (Streaming.Fec.recover protected_payload ~present)
+
+let test_fec_overhead_bounded () =
+  let payload = sample_payload 1024 in
+  let protected_payload = Streaming.Fec.protect ~packet_size:64 ~group_size:4 payload in
+  (* One 64-byte parity per 4 x 64-byte data: 25% overhead. *)
+  check bool "overhead about a quarter" true
+    (Streaming.Fec.overhead_ratio protected_payload < 0.3)
+
+let prop_fec_any_single_loss_recovers =
+  QCheck2.Test.make ~name:"fec recovers any single packet loss"
+    QCheck2.Gen.(pair (1 -- 500) (0 -- 100))
+    (fun (len, salt) ->
+      let payload = sample_payload len in
+      let protected_payload = Streaming.Fec.protect ~packet_size:32 ~group_size:3 payload in
+      let n = Array.length protected_payload.Streaming.Fec.packets in
+      let lost_index = salt mod n in
+      let present = Array.map Option.some protected_payload.Streaming.Fec.packets in
+      present.(lost_index) <- None;
+      Streaming.Fec.recover protected_payload ~present = Ok payload)
+
+(* --- Transport -------------------------------------------------------------- *)
+
+let packetized_clip ?(gop = 8) () =
+  let clip = moving_clip () in
+  let encoded =
+    Codec.Encoder.encode_clip ~params:{ Codec.Stream.default_params with gop } clip
+  in
+  let clean = Codec.Decoder.decode_exn encoded.Codec.Encoder.data in
+  match Streaming.Transport.packetize encoded with
+  | Ok p -> (p, clean)
+  | Error e -> Alcotest.fail e
+
+let test_transport_lossless_matches_plain_decode () =
+  let packetized, clean = packetized_clip () in
+  let lost = Array.make (Array.length packetized.Streaming.Transport.payloads) false in
+  match Streaming.Transport.decode_with_concealment packetized ~lost with
+  | Error e -> Alcotest.fail e
+  | Ok received ->
+    check int "nothing concealed" 0 received.Streaming.Transport.concealed;
+    check int "nothing drifted" 0 received.Streaming.Transport.drifted;
+    Array.iteri
+      (fun i picture ->
+        check bool
+          (Printf.sprintf "frame %d identical" i)
+          true
+          (Image.Raster.equal picture clean.Codec.Decoder.frames.(i)))
+      received.Streaming.Transport.pictures
+
+let test_transport_concealment_recovers_at_i_frame () =
+  let packetized, clean = packetized_clip ~gop:8 () in
+  let n = Array.length packetized.Streaming.Transport.payloads in
+  let lost = Array.make n false in
+  lost.(3) <- true;
+  match Streaming.Transport.decode_with_concealment packetized ~lost with
+  | Error e -> Alcotest.fail e
+  | Ok received ->
+    check int "one concealed" 1 received.Streaming.Transport.concealed;
+    (* Frames 4-7 drift; frame 8 is the next I-frame and recovers. *)
+    check int "drift until the next I" 4 received.Streaming.Transport.drifted;
+    let psnr i =
+      Image.Metrics.psnr clean.Codec.Decoder.frames.(i)
+        received.Streaming.Transport.pictures.(i)
+    in
+    check bool "pre-loss frame intact" true (psnr 2 = infinity);
+    check bool "drifting frame degraded" true (psnr 5 < 50.);
+    check bool "recovered at I frame" true (psnr 8 = infinity)
+
+let test_transport_first_frame_loss_fails () =
+  let packetized, _ = packetized_clip () in
+  let n = Array.length packetized.Streaming.Transport.payloads in
+  let lost = Array.make n false in
+  lost.(0) <- true;
+  check bool "unbootstrappable session rejected" true
+    (Result.is_error (Streaming.Transport.decode_with_concealment packetized ~lost))
+
+let test_transport_bernoulli_deterministic () =
+  let a = Streaming.Transport.bernoulli_loss ~rate:0.3 ~seed:5 ~frames:100 in
+  let b = Streaming.Transport.bernoulli_loss ~rate:0.3 ~seed:5 ~frames:100 in
+  check bool "same seed, same mask" true (a = b);
+  let none = Streaming.Transport.bernoulli_loss ~rate:0. ~seed:5 ~frames:50 in
+  check bool "zero rate loses nothing" true (Array.for_all not none)
+
+let test_transport_random_loss_never_crashes () =
+  let packetized, _ = packetized_clip () in
+  let n = Array.length packetized.Streaming.Transport.payloads in
+  for seed = 0 to 20 do
+    let lost = Streaming.Transport.bernoulli_loss ~rate:0.3 ~seed ~frames:n in
+    lost.(0) <- false;
+    match Streaming.Transport.decode_with_concealment packetized ~lost with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail ("unexpected decode failure: " ^ e)
+  done
+
+(* --- Planner --------------------------------------------------------------- *)
+
+(* Quality levels only differentiate when scenes have bright tails the
+   budget can clip. *)
+let dark_profiled =
+  lazy
+    (let profile =
+       {
+         Video.Profile.name = "planner-test";
+         seed = 23;
+         scenes =
+           [
+             Video.Profile.scene ~seconds:2. ~noise_sigma:2.
+               ~highlights:{ Video.Profile.count = 3; peak = 200; radius = 40; drift = 0. }
+               (Video.Profile.Flat 40);
+           ];
+       }
+     in
+     Annot.Annotator.profile (Video.Clip_gen.render ~width:32 ~height:24 ~fps:8. profile))
+
+let test_planner_lossless_when_easy () =
+  (* A huge battery or a tiny target: the least lossy level wins. *)
+  let battery = Power.Battery.make ~capacity_mwh:100_000. in
+  match
+    Streaming.Planner.plan ~battery ~target_hours:1. ~device (Lazy.force dark_profiled)
+  with
+  | Ok p ->
+    check bool "lossless suffices" true
+      (p.Streaming.Planner.quality = Annot.Quality_level.Lossless)
+  | Error _ -> Alcotest.fail "plan should succeed"
+
+let test_planner_escalates_quality () =
+  (* Pick a target between the lossless and max-loss runtimes: the
+     planner must escalate past lossless but still succeed. *)
+  let profiled = Lazy.force dark_profiled in
+  let battery = Power.Battery.ipaq_standard in
+  let runtime quality =
+    Power.Battery.runtime_hours battery
+      ~average_power_mw:(Streaming.Planner.project ~device ~quality profiled)
+  in
+  let lossless_h = runtime Annot.Quality_level.Lossless in
+  let aggressive_h = runtime Annot.Quality_level.Loss_20 in
+  check bool "losing quality buys runtime" true (aggressive_h > lossless_h);
+  let target = (lossless_h +. aggressive_h) /. 2. in
+  match Streaming.Planner.plan ~battery ~target_hours:target ~device profiled with
+  | Ok p ->
+    check bool "escalated beyond lossless" true
+      (Annot.Quality_level.compare p.Streaming.Planner.quality
+         Annot.Quality_level.Lossless
+       > 0);
+    check bool "meets target" true
+      (p.Streaming.Planner.projected_runtime_hours >= target)
+  | Error _ -> Alcotest.fail "target between endpoints must be plannable"
+
+let test_planner_reports_shortfall () =
+  let battery = Power.Battery.make ~capacity_mwh:10. in
+  match
+    Streaming.Planner.plan ~battery ~target_hours:100. ~device
+      (Lazy.force dark_profiled)
+  with
+  | Ok _ -> Alcotest.fail "impossible target must fail"
+  | Error best ->
+    check bool "best effort is the most aggressive level" true
+      (best.Streaming.Planner.quality = Annot.Quality_level.Loss_20)
+
+let test_planner_validation () =
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Planner.plan: target must be positive") (fun () ->
+      ignore
+        (Streaming.Planner.plan ~battery:Power.Battery.ipaq_standard ~target_hours:0.
+           ~device (Lazy.force dark_profiled)))
+
+(* --- Ramp ----------------------------------------------------------------- *)
+
+let test_ramp_limits_dimming () =
+  let registers = [| 200; 200; 40; 40; 40; 40; 40 |] in
+  let smoothed = Streaming.Ramp.slew_limit ~max_dim_step:50 registers in
+  Alcotest.(check (array int))
+    "ramped descent"
+    [| 200; 200; 150; 100; 50; 40; 40 |]
+    smoothed;
+  check int "largest step bounded" 50 (Streaming.Ramp.largest_dim_step smoothed);
+  check int "original step" 160 (Streaming.Ramp.largest_dim_step registers)
+
+let test_ramp_brightening_immediate () =
+  let registers = [| 40; 240; 240 |] in
+  let smoothed = Streaming.Ramp.slew_limit ~max_dim_step:10 registers in
+  Alcotest.(check (array int)) "jump up untouched" registers smoothed
+
+let test_ramp_never_below_target () =
+  let registers = [| 250; 10; 250; 10; 10 |] in
+  let smoothed = Streaming.Ramp.slew_limit ~max_dim_step:30 registers in
+  Array.iteri
+    (fun i r -> check bool "pointwise at least target" true (r >= registers.(i)))
+    smoothed
+
+let test_ramp_cost_small () =
+  (* Scene-length plateaus with moderate drops: the regime the
+     annotator produces. *)
+  let registers = Array.init 120 (fun i -> if i / 40 mod 2 = 0 then 220 else 150) in
+  let cost = Streaming.Ramp.smoothing_cost ~device ~max_dim_step:8 registers in
+  check bool "energy overhead below 5%" true
+    (cost.Streaming.Ramp.extra_energy_fraction < 0.05);
+  check bool "step reduced" true
+    (cost.Streaming.Ramp.smoothed_largest_dim_step
+     < cost.Streaming.Ramp.original_largest_dim_step)
+
+let test_ramp_validation () =
+  Alcotest.check_raises "bad step" (Invalid_argument "Ramp.slew_limit: step must be positive")
+    (fun () -> ignore (Streaming.Ramp.slew_limit ~max_dim_step:0 [| 1 |]))
+
+(* --- Proxy ---------------------------------------------------------------- *)
+
+let test_proxy_transcode_shrinks_stream () =
+  let clip = two_scene_clip () in
+  let original = Codec.Encoder.encode_clip clip in
+  match
+    Streaming.Proxy.transcode
+      ~params:{ Codec.Stream.default_params with qp = 24 } original
+  with
+  | Error e -> Alcotest.fail e
+  | Ok coarser ->
+    check bool "coarser quantiser shrinks the stream" true
+      (Codec.Encoder.total_bytes coarser < Codec.Encoder.total_bytes original);
+    check int "frame count preserved" original.Codec.Encoder.frame_count
+      coarser.Codec.Encoder.frame_count
+
+let test_proxy_transcode_rejects_garbage () =
+  let fake =
+    {
+      Codec.Encoder.data = "garbage";
+      width = 8;
+      height = 8;
+      fps = 10.;
+      frame_count = 1;
+      params = Codec.Stream.default_params;
+      frame_sizes_bits = [| 8 |];
+      frame_types = [| Codec.Stream.I_frame |];
+    }
+  in
+  check bool "corrupt input rejected" true
+    (Result.is_error
+       (Streaming.Proxy.transcode ~params:Codec.Stream.default_params fake))
+
+let test_proxy_live_session () =
+  let clip = two_scene_clip () in
+  let session =
+    Streaming.Proxy.annotate_live ~lookahead:8 ~device
+      ~quality:Annot.Quality_level.Loss_10 clip
+  in
+  check (Alcotest.float 1e-9) "latency" 1. session.Streaming.Proxy.added_latency_s;
+  check bool "annotations decode" true
+    (Result.is_ok (Annot.Encoding.decode session.Streaming.Proxy.annotation_bytes));
+  check int "track covers clip" clip.Video.Clip.frame_count
+    session.Streaming.Proxy.track.Annot.Track.total_frames
+
+(* --- Radio ---------------------------------------------------------------- *)
+
+let radio_link = Streaming.Netsim.wlan_80211b
+
+(* Streams with small P frames and a periodic large I frame. *)
+let spiky_bytes ~frames ~gop ~quiet ~spike =
+  Array.init frames (fun i -> if i mod gop = 0 then spike else quiet)
+
+let test_radio_gop_bytes () =
+  let bytes = Streaming.Radio.gop_bytes ~gop:3 [| 1; 2; 3; 4; 5; 6; 7 |] in
+  Alcotest.(check (array int)) "grouped" [| 6; 15; 7 |] bytes;
+  Alcotest.check_raises "bad gop" (Invalid_argument "Radio.gop_bytes: gop must be positive")
+    (fun () -> ignore (Streaming.Radio.gop_bytes ~gop:0 [| 1 |]))
+
+let test_radio_always_on_baseline () =
+  let frame_bytes = spiky_bytes ~frames:48 ~gop:12 ~quiet:400 ~spike:4000 in
+  let r =
+    Streaming.Radio.run ~link:radio_link ~fps:12. ~gop:12 ~frame_bytes
+      Streaming.Radio.Always_on
+  in
+  check (Alcotest.float 1e-9) "no savings" 0. r.Streaming.Radio.savings;
+  check int "never late" 0 r.Streaming.Radio.late_frames;
+  check (Alcotest.float 1e-9) "never dozes" 0. r.Streaming.Radio.sleep_fraction
+
+let test_radio_annotated_sleeps_without_lateness () =
+  let frame_bytes = spiky_bytes ~frames:48 ~gop:12 ~quiet:400 ~spike:4000 in
+  let r =
+    Streaming.Radio.run ~link:radio_link ~fps:12. ~gop:12 ~frame_bytes
+      Streaming.Radio.Annotated_bursts
+  in
+  check int "never late" 0 r.Streaming.Radio.late_frames;
+  check bool "sleeps most of the time" true (r.Streaming.Radio.sleep_fraction > 0.8);
+  check bool "large savings" true (r.Streaming.Radio.savings > 0.5)
+
+let test_radio_history_late_frames () =
+  (* Burst sizes alternate hugely between GOPs, so the previous-burst
+     window always under-provisions the big ones. *)
+  let frame_bytes =
+    Array.init 96 (fun i -> if i / 12 mod 2 = 0 then 200 else 5000)
+  in
+  let r =
+    Streaming.Radio.run ~link:radio_link ~fps:12. ~gop:12 ~frame_bytes
+      (Streaming.Radio.History_bursts { margin = 1.1 })
+  in
+  check bool "late frames at big bursts" true (r.Streaming.Radio.late_frames > 0)
+
+let test_radio_energy_ordering () =
+  let frame_bytes = spiky_bytes ~frames:96 ~gop:12 ~quiet:400 ~spike:4000 in
+  let run p = Streaming.Radio.run ~link:radio_link ~fps:12. ~gop:12 ~frame_bytes p in
+  let on = run Streaming.Radio.Always_on in
+  let annotated = run Streaming.Radio.Annotated_bursts in
+  let history = run (Streaming.Radio.History_bursts { margin = 1.2 }) in
+  check bool "annotated cheapest" true
+    (annotated.Streaming.Radio.radio_energy_mj
+     <= history.Streaming.Radio.radio_energy_mj +. 1e-9);
+  check bool "history cheaper than always-on" true
+    (history.Streaming.Radio.radio_energy_mj < on.Streaming.Radio.radio_energy_mj)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck2.Test.make ~name:"lower registers never reduce savings"
+        QCheck2.Gen.(pair (1 -- 50) (0 -- 200))
+        (fun (frames, r) ->
+          let report reg =
+            Streaming.Playback.run_with_registers ~device
+              ~quality:Annot.Quality_level.Lossless ~clip_name:"c" ~fps:8.
+              ~annotation_bytes:0
+              (Array.make frames reg)
+          in
+          (report r).Streaming.Playback.backlight_savings
+          >= (report (r + 55)).Streaming.Playback.backlight_savings -. 1e-9);
+      QCheck2.Test.make ~name:"wire bytes monotone in payload"
+        QCheck2.Gen.(pair (0 -- 100_000) (0 -- 100_000))
+        (fun (a, b) ->
+          let link = Streaming.Netsim.wlan_80211b in
+          let lo = min a b and hi = max a b in
+          Streaming.Netsim.wire_bytes link lo <= Streaming.Netsim.wire_bytes link hi);
+    ]
+
+let () =
+  Alcotest.run "streaming"
+    [
+      ( "netsim",
+        [
+          Alcotest.test_case "packet count" `Quick test_netsim_packet_count;
+          Alcotest.test_case "wire bytes" `Quick test_netsim_wire_bytes;
+          Alcotest.test_case "annotation overhead" `Quick
+            test_netsim_annotation_overhead_small;
+          Alcotest.test_case "validation" `Quick test_netsim_validation;
+        ] );
+      ( "negotiation",
+        [
+          Alcotest.test_case "accepts grid quality" `Quick
+            test_negotiation_accepts_grid_quality;
+          Alcotest.test_case "snaps custom quality" `Quick
+            test_negotiation_snaps_custom_quality;
+          Alcotest.test_case "client-side mapping" `Quick
+            test_negotiation_client_side_mapping;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "catalog" `Quick test_server_catalog;
+          Alcotest.test_case "prepare" `Quick test_server_prepare;
+          Alcotest.test_case "client-side mapping" `Quick test_server_client_side_mapping;
+          Alcotest.test_case "profile cached" `Quick test_server_profile_cached;
+          Alcotest.test_case "encode video" `Quick test_server_encode_video;
+        ] );
+      ( "playback",
+        [
+          Alcotest.test_case "full backlight baseline" `Quick
+            test_playback_full_backlight_baseline;
+          Alcotest.test_case "dimming saves" `Quick test_playback_dimmed_saves;
+          Alcotest.test_case "total tracks share" `Quick
+            test_playback_total_tracks_backlight_share;
+          Alcotest.test_case "run on clip" `Quick test_playback_run_on_clip;
+          Alcotest.test_case "instantaneous savings" `Quick
+            test_playback_instantaneous_savings;
+          Alcotest.test_case "quality evaluation" `Quick test_playback_quality_evaluation;
+          Alcotest.test_case "empty rejected" `Quick test_playback_empty_rejected;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "generous battery lossless" `Quick
+            test_adaptive_generous_battery_stays_lossless;
+          Alcotest.test_case "tight battery escalates" `Quick
+            test_adaptive_tight_battery_escalates;
+          Alcotest.test_case "impossible battery dies" `Quick
+            test_adaptive_impossible_battery_dies;
+          Alcotest.test_case "steps contiguous" `Quick test_adaptive_steps_contiguous;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "clean run" `Quick test_session_clean_run;
+          Alcotest.test_case "lossy run" `Quick test_session_lossy_run;
+          Alcotest.test_case "annotation loss fallback" `Quick
+            test_session_annotation_loss_falls_back;
+          Alcotest.test_case "client mapping equivalent" `Quick
+            test_session_client_mapping_equivalent;
+          Alcotest.test_case "ramp option" `Quick test_session_ramp_option;
+        ] );
+      ( "fec",
+        [
+          Alcotest.test_case "no loss roundtrip" `Quick test_fec_no_loss_roundtrip;
+          Alcotest.test_case "single loss per group" `Quick
+            test_fec_single_loss_per_group_recovers;
+          Alcotest.test_case "short tail packet" `Quick test_fec_recovers_short_tail_packet;
+          Alcotest.test_case "double loss fails" `Quick test_fec_double_loss_fails;
+          Alcotest.test_case "parity loss harmless" `Quick test_fec_parity_loss_harmless;
+          Alcotest.test_case "overhead bounded" `Quick test_fec_overhead_bounded;
+          QCheck_alcotest.to_alcotest prop_fec_any_single_loss_recovers;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "lossless equals plain decode" `Quick
+            test_transport_lossless_matches_plain_decode;
+          Alcotest.test_case "recovery at I frame" `Quick
+            test_transport_concealment_recovers_at_i_frame;
+          Alcotest.test_case "first-frame loss rejected" `Quick
+            test_transport_first_frame_loss_fails;
+          Alcotest.test_case "deterministic loss" `Quick
+            test_transport_bernoulli_deterministic;
+          Alcotest.test_case "random loss never crashes" `Quick
+            test_transport_random_loss_never_crashes;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "lossless when easy" `Quick test_planner_lossless_when_easy;
+          Alcotest.test_case "escalates quality" `Quick test_planner_escalates_quality;
+          Alcotest.test_case "reports shortfall" `Quick test_planner_reports_shortfall;
+          Alcotest.test_case "validation" `Quick test_planner_validation;
+        ] );
+      ( "ramp",
+        [
+          Alcotest.test_case "limits dimming" `Quick test_ramp_limits_dimming;
+          Alcotest.test_case "brightening immediate" `Quick test_ramp_brightening_immediate;
+          Alcotest.test_case "never below target" `Quick test_ramp_never_below_target;
+          Alcotest.test_case "cost small" `Quick test_ramp_cost_small;
+          Alcotest.test_case "validation" `Quick test_ramp_validation;
+        ] );
+      ( "proxy",
+        [
+          Alcotest.test_case "transcode shrinks" `Quick test_proxy_transcode_shrinks_stream;
+          Alcotest.test_case "transcode rejects garbage" `Quick
+            test_proxy_transcode_rejects_garbage;
+          Alcotest.test_case "live session" `Quick test_proxy_live_session;
+        ] );
+      ( "radio",
+        [
+          Alcotest.test_case "gop grouping" `Quick test_radio_gop_bytes;
+          Alcotest.test_case "always-on baseline" `Quick test_radio_always_on_baseline;
+          Alcotest.test_case "annotated sleeps" `Quick
+            test_radio_annotated_sleeps_without_lateness;
+          Alcotest.test_case "history lateness" `Quick test_radio_history_late_frames;
+          Alcotest.test_case "energy ordering" `Quick test_radio_energy_ordering;
+        ] );
+      ( "dvfs_playback",
+        [
+          Alcotest.test_case "annotated meets deadlines" `Quick
+            test_dvfs_annotated_meets_deadlines;
+          Alcotest.test_case "history misses spikes" `Quick test_dvfs_history_misses_spikes;
+          Alcotest.test_case "full-speed baseline" `Quick test_dvfs_full_speed_baseline;
+          Alcotest.test_case "annotated beats history" `Quick
+            test_dvfs_annotated_beats_history_energy;
+          Alcotest.test_case "decode cycle estimates" `Quick
+            test_dvfs_decode_cycles_reflect_frame_sizes;
+          Alcotest.test_case "annotation bytes" `Quick test_dvfs_annotation_bytes_small;
+          Alcotest.test_case "validation" `Quick test_dvfs_validation;
+        ] );
+      ("properties", qtests);
+    ]
