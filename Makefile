@@ -1,0 +1,27 @@
+# Convenience targets; dune does the real work.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The tier-1 gate: everything compiles and every suite is green.
+check:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean
+
+# Formatting: the tree is hand-formatted in ocamlformat's default
+# style, but `dune build @fmt` is NOT part of `check` because the
+# toolchain image ships no ocamlformat binary. If you have one
+# locally, add an .ocamlformat with a pinned version before running
+# it, so CI and local runs agree.

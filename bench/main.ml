@@ -1027,23 +1027,61 @@ let list_experiments () =
   List.iter (fun (id, descr, _) -> Printf.printf "  %-20s %s\n" id descr) experiments;
   Printf.printf "  %-20s %s\n" "micro" "Bechamel micro-benchmarks"
 
+(* Each experiment runs as a top-level span, so the harness ends with a
+   per-phase wall-clock table and a machine-readable BENCH_obs.json
+   (phase timings + full metrics snapshot). *)
+let observed id run = Obs.Trace.with_span ("bench." ^ id) run
+
+let report_obs () =
+  let roots = Obs.Trace.roots () in
+  if roots <> [] then begin
+    Printf.printf "\n=== per-phase wall clock ===\n";
+    List.iter
+      (fun (s : Obs.Trace.span) ->
+        Printf.printf "  %-24s %10.1f ms\n" s.Obs.Trace.name
+          (Obs.Clock.ns_to_s s.Obs.Trace.duration_ns *. 1e3))
+      roots;
+    let json =
+      Obs.Json.Obj
+        [
+          ( "phases",
+            Obs.Json.List
+              (List.map
+                 (fun (s : Obs.Trace.span) ->
+                   Obs.Json.Obj
+                     [
+                       ("phase", Obs.Json.String s.Obs.Trace.name);
+                       ( "wall_s",
+                         Obs.Json.Float (Obs.Clock.ns_to_s s.Obs.Trace.duration_ns)
+                       );
+                     ])
+                 roots) );
+          ("metrics", Obs.Registry.to_json (Obs.Registry.snapshot ()));
+        ]
+    in
+    Obs.write_file ~path:"BENCH_obs.json" (Obs.Json.to_string json);
+    Printf.printf "\nwrote BENCH_obs.json\n"
+  end
+
 let () =
-  match Array.to_list Sys.argv with
+  Obs.enable ();
+  (match Array.to_list Sys.argv with
   | _ :: [] ->
     (* Everything except the micro-benchmarks, which have their own id. *)
-    List.iter (fun (_, _, run) -> run ()) experiments
+    List.iter (fun (id, _, run) -> observed id run) experiments
   | _ :: args ->
     List.iter
       (fun arg ->
         match arg with
         | "--list" | "-l" -> list_experiments ()
-        | "micro" -> micro ()
+        | "micro" -> observed "micro" micro
         | id -> (
           match List.find_opt (fun (name, _, _) -> name = id) experiments with
-          | Some (_, _, run) -> run ()
+          | Some (_, _, run) -> observed id run
           | None ->
             Printf.eprintf "unknown experiment %S\n" id;
             list_experiments ();
             exit 1))
       args
-  | [] -> assert false
+  | [] -> assert false);
+  report_obs ()

@@ -16,7 +16,8 @@ let output_arg =
     & info [ "o"; "output" ] ~docv:"FILE"
         ~doc:"Write the binary annotation track to $(docv).")
 
-let run clip_name device_name device_file quality_percent per_frame output width height fps =
+let run clip_name device_name device_file quality_percent per_frame output width height fps obs trace_out =
+  Common.with_obs ~obs ~trace_out @@ fun () ->
   let clip =
     Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps)
   in
@@ -63,6 +64,7 @@ let cmd =
     Term.(
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ Common.quality_arg $ per_frame_arg $ output_arg $ Common.width_arg
-      $ Common.height_arg $ Common.fps_arg)
+      $ Common.height_arg $ Common.fps_arg $ Common.obs_arg
+      $ Common.trace_out_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -6,7 +6,8 @@ open Cmdliner
 let steps_arg =
   Arg.(value & opt int 18 & info [ "steps" ] ~docv:"N" ~doc:"Sweep sample count.")
 
-let run device_name device_file steps =
+let run device_name device_file steps obs trace_out =
+  Common.with_obs ~obs ~trace_out @@ fun () ->
   let device =
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
   in
@@ -44,6 +45,8 @@ let cmd =
   let doc = "characterise a device display with the camera rig" in
   Cmd.v
     (Cmd.info "characterize" ~doc)
-    Term.(const run $ Common.device_arg $ Common.device_file_arg $ steps_arg)
+    Term.(
+      const run $ Common.device_arg $ Common.device_file_arg $ steps_arg
+      $ Common.obs_arg $ Common.trace_out_arg)
 
 let () = exit (Cmd.eval cmd)

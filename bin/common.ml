@@ -71,3 +71,39 @@ let or_die = function
   | Error msg ->
     prerr_endline ("error: " ^ msg);
     exit 1
+
+let obs_arg =
+  Arg.(
+    value & flag
+    & info [ "obs" ]
+        ~doc:
+          "Enable the observability layer: collect pipeline metrics and spans \
+           and print a summary on exit.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's span tree as Chrome trace_event JSON to $(docv) \
+           (open with chrome://tracing). Implies $(b,--obs).")
+
+(* Run [f] with observability switched on when requested, then emit the
+   summary and optional trace file. Everything goes to stderr so the
+   tools' stdout stays script-friendly. *)
+let with_obs ~obs ~trace_out f =
+  let enabled = obs || trace_out <> None in
+  if not enabled then f ()
+  else begin
+    Obs.enable ();
+    Fun.protect f ~finally:(fun () ->
+        (match trace_out with
+        | None -> ()
+        | Some path -> (
+          try
+            Obs.write_chrome_trace ~path;
+            Printf.eprintf "obs: wrote %s\n%!" path
+          with Sys_error msg -> Printf.eprintf "obs: cannot write trace: %s\n%!" msg));
+        Format.eprintf "%a@." Obs.pp_summary ())
+  end

@@ -13,7 +13,8 @@ let capacity_arg =
     value & opt float 4600.
     & info [ "capacity" ] ~docv:"MWH" ~doc:"Battery capacity in milliwatt-hours.")
 
-let run clip_name device_name device_file target_hours capacity_mwh width height fps =
+let run clip_name device_name device_file target_hours capacity_mwh width height fps obs trace_out =
+  Common.with_obs ~obs ~trace_out @@ fun () ->
   let clip = Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps) in
   let device =
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
@@ -32,11 +33,15 @@ let run clip_name device_name device_file target_hours capacity_mwh width height
         (Power.Battery.runtime_hours battery ~average_power_mw:power))
     Annot.Quality_level.standard_grid;
   print_newline ();
+  (* Return the exit code instead of calling [exit] here, so the obs
+     summary in [with_obs]'s cleanup still runs on the failure path. *)
   match Streaming.Planner.plan ~battery ~target_hours ~device profiled with
-  | Ok plan -> Format.printf "selected: %a@." Streaming.Planner.pp_plan plan
+  | Ok plan ->
+    Format.printf "selected: %a@." Streaming.Planner.pp_plan plan;
+    0
   | Error best ->
     Format.printf "target unreachable; best effort: %a@." Streaming.Planner.pp_plan best;
-    exit 2
+    2
 
 let cmd =
   let doc = "select the quality level meeting a battery-runtime target" in
@@ -45,6 +50,6 @@ let cmd =
     Term.(
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ target_arg $ capacity_arg $ Common.width_arg $ Common.height_arg
-      $ Common.fps_arg)
+      $ Common.fps_arg $ Common.obs_arg $ Common.trace_out_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -63,7 +63,8 @@ let dump_snapshots ~device ~clip ~track prefix =
   Printf.printf "\nwrote %s and %s (frame %d, register %d)\n" ref_path cmp_path
     frame_index entry.Annot.Track.register
 
-let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps =
+let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps obs trace_out =
+  Common.with_obs ~obs ~trace_out @@ fun () ->
   let clip = Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps) in
   let device =
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
@@ -122,6 +123,7 @@ let cmd =
     Term.(
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ Common.quality_arg $ camera_arg $ dump_arg $ ramp_arg $ Common.width_arg
-      $ Common.height_arg $ Common.fps_arg)
+      $ Common.height_arg $ Common.fps_arg $ Common.obs_arg
+      $ Common.trace_out_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -7,7 +7,19 @@ type profiled = {
   mean_track : float array;
 }
 
+let obs_profiles =
+  Obs.counter ~help:"Clips profiled into luminance histograms"
+    "annot_profiles_total" []
+
+let obs_scenes =
+  Obs.counter ~help:"Scenes detected during annotation"
+    "annot_scenes_detected_total" []
+
 let profile ?plane clip =
+  Obs.Trace.with_span "annot.profile"
+    ~attrs:[ ("clip", clip.Video.Clip.name) ]
+  @@ fun () ->
+  Obs.Metrics.Counter.incr obs_profiles;
   let histograms = Video.Clip.histogram_track ?plane clip in
   let max_track =
     Array.map
@@ -37,10 +49,18 @@ let scene_histogram profiled (scene : Scene_detect.scene) =
 
 let annotate_profiled ?(scene_params = Scene_detect.default_params) ~device
     ~quality profiled =
+  Obs.Trace.with_span "annot.annotate"
+    ~attrs:
+      [
+        ("clip", profiled.clip_name);
+        ("quality", Quality_level.label quality);
+      ]
+  @@ fun () ->
   let scenes =
     Scene_detect.segment_with_means scene_params ~max_track:profiled.max_track
       ~mean_track:profiled.mean_track
   in
+  Obs.Metrics.Counter.incr obs_scenes ~by:(List.length scenes);
   let entries =
     List.map
       (fun (scene : Scene_detect.scene) ->

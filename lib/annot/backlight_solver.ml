@@ -33,6 +33,14 @@ let of_effective_max ~device ~effective_max ~clipped_fraction =
     { effective_max; desired_gain; register; realised_gain; compensation; clipped_fraction }
   end
 
+let obs_solutions =
+  Obs.counter ~help:"Backlight solver invocations" "annot_solver_solutions_total"
+    []
+
+let obs_clip_fraction =
+  Obs.histogram ~help:"Distribution of clipped-pixel fractions chosen"
+    ~buckets:Obs.Metrics.default_fraction_buckets "annot_clip_fraction" []
+
 let solve ~device ~quality hist =
   let allowed = Quality_level.allowed_loss quality in
   let effective_max = Image.Histogram.clip_level hist ~allowed_loss:allowed in
@@ -41,6 +49,8 @@ let solve ~device ~quality hist =
     float_of_int (Image.Histogram.samples_above hist effective_max)
     /. float_of_int total
   in
+  Obs.Metrics.Counter.incr obs_solutions;
+  Obs.Metrics.Histogram.observe obs_clip_fraction clipped_fraction;
   of_effective_max ~device ~effective_max ~clipped_fraction
 
 let backlight_power_fraction s = float_of_int s.register /. 255.

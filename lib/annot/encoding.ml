@@ -24,6 +24,14 @@ let put_string buf s =
 let quality_permille q =
   int_of_float ((Quality_level.allowed_loss q *. 1000.) +. 0.5)
 
+let obs_tracks =
+  Obs.counter ~help:"Annotation tracks serialised to the wire format"
+    "annot_tracks_encoded_total" []
+
+let obs_track_bytes =
+  Obs.counter ~help:"Bytes of serialised annotation tracks"
+    "annot_track_bytes_total" []
+
 let encode track =
   let track = Track.merge_runs track in
   let buf = Buffer.create 256 in
@@ -42,6 +50,8 @@ let encode track =
       put_varint buf (int_of_float ((e.compensation *. gain_fixed_point) +. 0.5));
       Buffer.add_char buf (Char.chr e.effective_max))
     track.Track.entries;
+  Obs.Metrics.Counter.incr obs_tracks;
+  Obs.Metrics.Counter.incr obs_track_bytes ~by:(Buffer.length buf);
   Buffer.contents buf
 
 let encoded_size track = String.length (encode track)

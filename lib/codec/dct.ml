@@ -42,6 +42,26 @@ let transform matrix_row block =
   done;
   out
 
-let forward block = transform (fun u x -> cosine.(u).(x)) block
+let obs_ops =
+  Obs.counter ~help:"8x8 DCT transforms performed (forward + inverse)"
+    "codec_dct_ops_total" []
 
-let inverse block = transform (fun u x -> cosine.(x).(u)) block
+let obs_seconds =
+  Obs.histogram ~help:"Wall-clock time of one 8x8 DCT transform"
+    ~buckets:[| 1e-7; 5e-7; 1e-6; 5e-6; 1e-5; 1e-4; 1e-3 |]
+    "codec_dct_seconds" []
+
+let timed block transform_f =
+  if Obs.enabled () then begin
+    let t0 = Obs.Clock.now_ns () in
+    let out = transform_f block in
+    Obs.Metrics.Counter.incr obs_ops;
+    Obs.Metrics.Histogram.observe obs_seconds
+      (Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns ~since:t0));
+    out
+  end
+  else transform_f block
+
+let forward block = timed block (transform (fun u x -> cosine.(u).(x)))
+
+let inverse block = timed block (transform (fun u x -> cosine.(x).(u)))

@@ -19,6 +19,23 @@ type reference = Plane.ycbcr
 
 type luma_mode = Intra | Inter of Motion.vector
 
+let obs_frames_decoded =
+  let family t =
+    Obs.counter ~help:"Frames reconstructed by the decoder"
+      "codec_frames_decoded_total"
+      [ ("type", t) ]
+  in
+  let i = family "I" and p = family "P" in
+  fun marker -> if marker = Char.code 'I' then i else p
+
+let obs_decoded_bytes =
+  Obs.counter ~help:"Compressed stream bytes consumed by the decoder"
+    "codec_decoded_bytes_total" []
+
+let obs_decode_frame_seconds =
+  Obs.histogram ~help:"Wall-clock time decoding one frame"
+    "codec_decode_frame_seconds" []
+
 exception Corrupt of string
 
 let fail msg = raise (Corrupt msg)
@@ -136,6 +153,8 @@ let raster_of_planes info planes =
 (* Decodes one frame from the reader's current (aligned) position. *)
 let decode_frame_body r info ~reference =
   Bitio.Reader.align r;
+  let obs_t0 = if Obs.enabled () then Obs.Clock.now_ns () else 0L in
+  let obs_start_bits = Bitio.Reader.position_bits r in
   let marker = Bitio.Reader.get_byte_aligned r in
   let qp = Bitio.Reader.get_byte_aligned r in
   if qp < 1 || qp > 31 then fail "bad frame qp";
@@ -160,6 +179,13 @@ let decode_frame_body r info ~reference =
   Plane.clamp planes.Plane.y;
   Plane.clamp planes.Plane.cb;
   Plane.clamp planes.Plane.cr;
+  if Obs.enabled () then begin
+    Obs.Metrics.Counter.incr (obs_frames_decoded marker);
+    Obs.Metrics.Counter.incr obs_decoded_bytes
+      ~by:((Bitio.Reader.position_bits r - obs_start_bits + 7) / 8);
+    Obs.Metrics.Histogram.observe obs_decode_frame_seconds
+      (Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns ~since:obs_t0))
+  end;
   planes
 
 let reference_of_raster raster = Plane.of_raster raster
@@ -216,12 +242,15 @@ let decode_body r =
   }
 
 let decode data =
-  let r = Bitio.Reader.of_string data in
-  match decode_body r with
-  | d -> Ok d
-  | exception Corrupt msg -> Error msg
-  | exception Bitio.Reader.Out_of_bits -> Error "truncated stream"
-  | exception Invalid_argument msg -> Error msg
+  Obs.Trace.with_span "codec.decode"
+    ~attrs:[ ("bytes", string_of_int (String.length data)) ]
+    (fun () ->
+      let r = Bitio.Reader.of_string data in
+      match decode_body r with
+      | d -> Ok d
+      | exception Corrupt msg -> Error msg
+      | exception Bitio.Reader.Out_of_bits -> Error "truncated stream"
+      | exception Invalid_argument msg -> Error msg)
 
 let decode_exn data =
   match decode data with Ok d -> d | Error msg -> failwith ("Decoder: " ^ msg)

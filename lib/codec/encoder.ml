@@ -9,6 +9,23 @@ type encoded = {
   frame_types : Stream.frame_type array;
 }
 
+let obs_frames_encoded =
+  let family t =
+    Obs.counter ~help:"Frames pushed through the encoder"
+      "codec_frames_encoded_total"
+      [ ("type", t) ]
+  in
+  let i = family "I" and p = family "P" in
+  function Stream.I_frame -> i | Stream.P_frame -> p
+
+let obs_encoded_bytes =
+  Obs.counter ~help:"Total compressed stream bytes produced"
+    "codec_encoded_bytes_total" []
+
+let obs_encode_frame_seconds =
+  Obs.histogram ~help:"Wall-clock time encoding one frame"
+    "codec_encode_frame_seconds" []
+
 type luma_mode = Intra | Inter of Motion.vector
 
 (* Bit cost of coding a motion vector. *)
@@ -143,7 +160,7 @@ let pad_ycbcr (f : Plane.ycbcr) =
     cr = Plane.pad_to_multiple f.Plane.cr 8;
   }
 
-let encode_clip ?(params = Stream.default_params) ?i_frame_at ?qp_for clip =
+let encode_clip_impl ~params ?i_frame_at ?qp_for clip =
   if params.Stream.qp < 1 || params.Stream.qp > 31 then
     invalid_arg "Encoder: qp out of [1, 31]";
   if params.Stream.gop < 1 then invalid_arg "Encoder: gop must be positive";
@@ -157,6 +174,7 @@ let encode_clip ?(params = Stream.default_params) ?i_frame_at ?qp_for clip =
   let frame_types = Array.make frame_count Stream.I_frame in
   let reference = ref None in
   for i = 0 to frame_count - 1 do
+    let obs_t0 = if Obs.enabled () then Obs.Clock.now_ns () else 0L in
     let frame = pad_ycbcr (Plane.of_raster (clip.Video.Clip.render i)) in
     let is_i =
       (match i_frame_at with
@@ -215,8 +233,15 @@ let encode_clip ?(params = Stream.default_params) ?i_frame_at ?qp_for clip =
     Plane.clamp recon.Plane.cb;
     Plane.clamp recon.Plane.cr;
     reference := Some recon;
-    frame_sizes_bits.(i) <- Bitio.Writer.bit_length w - start_bits
+    frame_sizes_bits.(i) <- Bitio.Writer.bit_length w - start_bits;
+    if Obs.enabled () then begin
+      Obs.Metrics.Counter.incr (obs_frames_encoded frame_types.(i));
+      Obs.Metrics.Histogram.observe obs_encode_frame_seconds
+        (Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns ~since:obs_t0))
+    end
   done;
+  Obs.Metrics.Counter.incr obs_encoded_bytes
+    ~by:((Bitio.Writer.bit_length w + 7) / 8);
   {
     data = Bitio.Writer.contents w;
     width = clip.Video.Clip.width;
@@ -227,6 +252,15 @@ let encode_clip ?(params = Stream.default_params) ?i_frame_at ?qp_for clip =
     frame_sizes_bits;
     frame_types;
   }
+
+let encode_clip ?(params = Stream.default_params) ?i_frame_at ?qp_for clip =
+  Obs.Trace.with_span "codec.encode"
+    ~attrs:
+      [
+        ("clip", clip.Video.Clip.name);
+        ("frames", string_of_int clip.Video.Clip.frame_count);
+      ]
+    (fun () -> encode_clip_impl ~params ?i_frame_at ?qp_for clip)
 
 let total_bytes e = String.length e.data
 

@@ -39,12 +39,33 @@ let qp t = t.qp
 
 let steps t = function Luma -> t.luma_steps | Chroma -> t.chroma_steps
 
+let obs_ops =
+  Obs.counter ~help:"64-coefficient quantise/dequantise passes"
+    "codec_quant_ops_total" []
+
+let obs_seconds =
+  Obs.histogram ~help:"Wall-clock time of one quantise/dequantise pass"
+    ~buckets:[| 1e-7; 5e-7; 1e-6; 5e-6; 1e-5; 1e-4; 1e-3 |]
+    "codec_quant_seconds" []
+
+let timed f =
+  if Obs.enabled () then begin
+    let t0 = Obs.Clock.now_ns () in
+    let out = f () in
+    Obs.Metrics.Counter.incr obs_ops;
+    Obs.Metrics.Histogram.observe obs_seconds
+      (Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns ~since:t0));
+    out
+  end
+  else f ()
+
 let quantise t kind coeffs =
   if Array.length coeffs <> 64 then invalid_arg "Quant.quantise: need 64 coefficients";
   let s = steps t kind in
-  Array.init 64 (fun i -> int_of_float (Float.round (coeffs.(i) /. s.(i))))
+  timed (fun () ->
+      Array.init 64 (fun i -> int_of_float (Float.round (coeffs.(i) /. s.(i)))))
 
 let dequantise t kind levels =
   if Array.length levels <> 64 then invalid_arg "Quant.dequantise: need 64 levels";
   let s = steps t kind in
-  Array.init 64 (fun i -> float_of_int levels.(i) *. s.(i))
+  timed (fun () -> Array.init 64 (fun i -> float_of_int levels.(i) *. s.(i)))

@@ -1,0 +1,19 @@
+(* The wall clock can step backwards (NTP); a CAS loop pins readings
+   to the latest value observed so far, which makes the clock monotone
+   without needing a platform monotonic-clock binding. *)
+let last = Atomic.make 0L
+
+let rec now_ns () =
+  let raw = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let prev = Atomic.get last in
+  if Int64.compare raw prev <= 0 then prev
+  else if Atomic.compare_and_set last prev raw then raw
+  else now_ns ()
+
+let elapsed_ns ~since =
+  let d = Int64.sub (now_ns ()) since in
+  if Int64.compare d 0L < 0 then 0L else d
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+let ns_to_us ns = Int64.to_float ns /. 1e3

@@ -1,0 +1,16 @@
+(** Monotone wall-clock for span timing.
+
+    Readings are non-decreasing across the process even if the
+    underlying wall clock steps backwards, so span durations and
+    nesting invariants (child intervals inside the parent interval)
+    always hold. *)
+
+val now_ns : unit -> int64
+(** Current time in nanoseconds, monotone non-decreasing. *)
+
+val elapsed_ns : since:int64 -> int64
+(** [elapsed_ns ~since] is [now_ns () - since], never negative. *)
+
+val ns_to_s : int64 -> float
+
+val ns_to_us : int64 -> float

@@ -1,0 +1,5 @@
+let enabled = Atomic.make false
+
+let set v = Atomic.set enabled v
+
+let on () = Atomic.get enabled

@@ -1,0 +1,9 @@
+(** Global observability switch.
+
+    Every recording primitive (counter increments, span timing, log
+    emission) checks this single atomic flag first, so a disabled
+    build pays one load-and-branch per instrumentation site and
+    nothing else — the "zero cost when disabled" contract. *)
+
+val set : bool -> unit
+val on : unit -> bool

@@ -1,0 +1,238 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal that parses back to the same float; JSON has no
+   infinities, so clamp the non-finite cases to null-ish strings the
+   reader understands. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else begin
+    let s = Printf.sprintf "%.15g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    (* Keep the token float-shaped: a huge integral value can render as
+       bare digits, which would read back as an Int. *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+  end
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if not (Float.is_finite f) then
+      (* NaN / infinities are not representable in JSON. *)
+      Buffer.add_string buf "null"
+    else Buffer.add_string buf (float_repr f)
+  | String s -> escape buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        render buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf key;
+        Buffer.add_char buf ':';
+        render buf value)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  render buf json;
+  Buffer.contents buf
+
+let pp ppf json = Format.pp_print_string ppf (to_string json)
+
+(* --- reader -------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type reader = { text : string; mutable pos : int }
+
+let peek r = if r.pos < String.length r.text then Some r.text.[r.pos] else None
+
+let advance r = r.pos <- r.pos + 1
+
+let skip_ws r =
+  let continue = ref true in
+  while !continue do
+    match peek r with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance r
+    | _ -> continue := false
+  done
+
+let expect r c =
+  match peek r with
+  | Some got when got = c -> advance r
+  | Some got -> raise (Parse_error (Printf.sprintf "expected %C, got %C" c got))
+  | None -> raise (Parse_error (Printf.sprintf "expected %C, got end of input" c))
+
+let parse_literal r word value =
+  String.iter (fun c -> expect r c) word;
+  value
+
+let parse_string_body r =
+  expect r '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek r with
+    | None -> raise (Parse_error "unterminated string")
+    | Some '"' -> advance r
+    | Some '\\' ->
+      advance r;
+      (match peek r with
+      | Some '"' -> Buffer.add_char buf '"'; advance r
+      | Some '\\' -> Buffer.add_char buf '\\'; advance r
+      | Some '/' -> Buffer.add_char buf '/'; advance r
+      | Some 'n' -> Buffer.add_char buf '\n'; advance r
+      | Some 'r' -> Buffer.add_char buf '\r'; advance r
+      | Some 't' -> Buffer.add_char buf '\t'; advance r
+      | Some 'b' -> Buffer.add_char buf '\b'; advance r
+      | Some 'f' -> Buffer.add_char buf '\012'; advance r
+      | Some 'u' ->
+        advance r;
+        if r.pos + 4 > String.length r.text then
+          raise (Parse_error "truncated \\u escape");
+        let hex = String.sub r.text r.pos 4 in
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with _ -> raise (Parse_error ("bad \\u escape " ^ hex))
+        in
+        r.pos <- r.pos + 4;
+        (* The renderer only emits \u for control characters; decode
+           the BMP code point as UTF-8 for completeness. *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+        end
+      | Some c -> raise (Parse_error (Printf.sprintf "bad escape \\%C" c))
+      | None -> raise (Parse_error "unterminated escape"));
+      loop ()
+    | Some c ->
+      advance r;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number r =
+  let start = r.pos in
+  let is_number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek r with Some c -> is_number_char c | None -> false) do
+    advance r
+  done;
+  let text = String.sub r.text start (r.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> raise (Parse_error ("bad number " ^ text)))
+
+let rec parse_value r =
+  skip_ws r;
+  match peek r with
+  | None -> raise (Parse_error "unexpected end of input")
+  | Some 'n' -> parse_literal r "null" Null
+  | Some 't' -> parse_literal r "true" (Bool true)
+  | Some 'f' -> parse_literal r "false" (Bool false)
+  | Some '"' -> String (parse_string_body r)
+  | Some '[' ->
+    advance r;
+    skip_ws r;
+    if peek r = Some ']' then begin
+      advance r;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value r ] in
+      skip_ws r;
+      while peek r = Some ',' do
+        advance r;
+        items := parse_value r :: !items;
+        skip_ws r
+      done;
+      expect r ']';
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance r;
+    skip_ws r;
+    if peek r = Some '}' then begin
+      advance r;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws r;
+        let key = parse_string_body r in
+        skip_ws r;
+        expect r ':';
+        let value = parse_value r in
+        (key, value)
+      in
+      let fields = ref [ field () ] in
+      skip_ws r;
+      while peek r = Some ',' do
+        advance r;
+        fields := field () :: !fields;
+        skip_ws r
+      done;
+      expect r '}';
+      Obj (List.rev !fields)
+    end
+  | Some ('-' | '0' .. '9') -> parse_number r
+  | Some c -> raise (Parse_error (Printf.sprintf "unexpected %C" c))
+
+let of_string text =
+  let r = { text; pos = 0 } in
+  match parse_value r with
+  | value ->
+    skip_ws r;
+    if r.pos <> String.length text then Error "trailing garbage after value"
+    else Ok value
+  | exception Parse_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

@@ -1,0 +1,92 @@
+module Counter = struct
+  type t = int Atomic.t
+
+  let create () = Atomic.make 0
+
+  let incr ?(by = 1) t =
+    if by > 0 && Control.on () then ignore (Atomic.fetch_and_add t by)
+
+  let value = Atomic.get
+
+  let reset t = Atomic.set t 0
+end
+
+module Gauge = struct
+  type t = float Atomic.t
+
+  let create () = Atomic.make 0.
+
+  let set t v = if Control.on () then Atomic.set t v
+
+  let rec add t v =
+    if Control.on () then begin
+      let prev = Atomic.get t in
+      if not (Atomic.compare_and_set t prev (prev +. v)) then add t v
+    end
+
+  let value = Atomic.get
+
+  let reset t = Atomic.set t 0.
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;  (* strictly increasing upper bounds *)
+    counts : int Atomic.t array;  (* one per bound, plus overflow at the end *)
+    total : int Atomic.t;
+    sum : float Atomic.t;
+  }
+
+  let create ~buckets =
+    let n = Array.length buckets in
+    if n = 0 then invalid_arg "Obs histogram: no buckets";
+    for i = 1 to n - 1 do
+      if buckets.(i) <= buckets.(i - 1) then
+        invalid_arg "Obs histogram: bucket bounds must be strictly increasing"
+    done;
+    {
+      bounds = Array.copy buckets;
+      counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
+      total = Atomic.make 0;
+      sum = Atomic.make 0.;
+    }
+
+  let rec add_sum t v =
+    let prev = Atomic.get t.sum in
+    if not (Atomic.compare_and_set t.sum prev (prev +. v)) then add_sum t v
+
+  let bucket_index t v =
+    (* Linear scan: bucket arrays are small (≤ ~12 bounds). *)
+    let n = Array.length t.bounds in
+    let rec find i = if i >= n || v <= t.bounds.(i) then i else find (i + 1) in
+    find 0
+
+  let observe t v =
+    if Control.on () then begin
+      ignore (Atomic.fetch_and_add t.counts.(bucket_index t v) 1);
+      ignore (Atomic.fetch_and_add t.total 1);
+      add_sum t v
+    end
+
+  let count t = Atomic.get t.total
+
+  let sum t = Atomic.get t.sum
+
+  let bucket_counts t =
+    Array.mapi (fun i bound -> (bound, Atomic.get t.counts.(i))) t.bounds
+
+  let overflow t = Atomic.get t.counts.(Array.length t.bounds)
+
+  let bounds t = Array.copy t.bounds
+
+  let reset t =
+    Array.iter (fun c -> Atomic.set c 0) t.counts;
+    Atomic.set t.total 0;
+    Atomic.set t.sum 0.
+end
+
+let default_time_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.; 10. |]
+
+let default_fraction_buckets =
+  [| 0.001; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.0 |]

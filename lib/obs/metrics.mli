@@ -1,0 +1,56 @@
+(** The three instrument kinds.
+
+    All instruments are lock-free (single atomics or CAS loops) and
+    safe to update from concurrent domains. Updates are dropped while
+    observability is disabled ({!Control.on} is [false]), so holding a
+    handle in a hot path costs one atomic load per call when off. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+
+  val incr : ?by:int -> t -> unit
+  (** Monotone increment; [by] must be non-negative (negative
+      increments are dropped rather than corrupting monotonicity). *)
+
+  val value : t -> int
+
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val create : buckets:float array -> t
+  (** [buckets] are strictly increasing upper bounds; an implicit
+      overflow bucket catches everything above the last bound. *)
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+  val sum : t -> float
+
+  val bucket_counts : t -> (float * int) array
+  (** Per-bucket (upper_bound, count) pairs, non-cumulative. *)
+
+  val overflow : t -> int
+  val bounds : t -> float array
+  val reset : t -> unit
+end
+
+val default_time_buckets : float array
+(** Seconds, spanning 1 µs .. 10 s in decade steps. *)
+
+val default_fraction_buckets : float array
+(** Dimensionless 0..1 quantities (clip percentages, savings). *)

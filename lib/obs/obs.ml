@@ -1,0 +1,58 @@
+(* Umbrella module: the public face of the observability layer.
+
+   The layer observes the *simulator* — wall-clock stage timings,
+   packet/frame/scene counts, solver behaviour — which is disjoint
+   from Power.Meter, which accounts *simulated* energy inside the
+   model. Keeping them separate means instrumentation can never leak
+   into the physics (see DESIGN.md). *)
+
+module Json = Json
+module Clock = Clock
+module Metrics = Metrics
+module Registry = Registry
+module Trace = Trace
+module Log = Log
+
+let enable () = Control.set true
+
+let disable () = Control.set false
+
+let enabled () = Control.on ()
+
+let with_enabled f =
+  let was = Control.on () in
+  Control.set true;
+  Fun.protect ~finally:(fun () -> Control.set was) f
+
+(* Shorthands for the common get-or-create calls, so instrumented
+   libraries read [Obs.counter "..." []] instead of the full path. *)
+let counter = Registry.counter ?registry:None
+
+let gauge = Registry.gauge ?registry:None
+
+let histogram = Registry.histogram ?registry:None
+
+let timed h f =
+  if Control.on () then begin
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.Histogram.observe h (Clock.ns_to_s (Clock.elapsed_ns ~since:t0)))
+      f
+  end
+  else f ()
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_chrome_trace ~path =
+  write_file ~path (Json.to_string (Trace.to_chrome_json ()))
+
+let pp_summary ppf () =
+  let snap = Registry.snapshot () in
+  Format.fprintf ppf "@[<v>--- obs metrics ---@,%a@]" Registry.pp_text snap;
+  if Trace.span_count () > 0 then
+    Format.fprintf ppf "@[<v>--- obs spans ---@,%a@]" Trace.pp_flame ()

@@ -1,0 +1,326 @@
+type kind = Counter | Gauge | Histogram
+
+type instrument =
+  | C of Metrics.Counter.t
+  | G of Metrics.Gauge.t
+  | H of Metrics.Histogram.t
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : kind;
+  f_buckets : float array;  (* histograms only *)
+  f_series : ((string * string) list, instrument) Hashtbl.t;
+}
+
+type t = { mutex : Mutex.t; families : (string, family) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); families = Hashtbl.create 32 }
+
+let default = create ()
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let normalise_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* Get-or-create the series for [labels] in family [name]; [make]
+   builds a fresh instrument of the right kind. *)
+let series t ~name ~help ~kind ~buckets ~labels ~make =
+  let labels = normalise_labels labels in
+  with_lock t (fun () ->
+      let family =
+        match Hashtbl.find_opt t.families name with
+        | Some f ->
+          if f.f_kind <> kind then
+            invalid_arg
+              (Printf.sprintf "Obs.Registry: %s is a %s, requested as %s" name
+                 (kind_name f.f_kind) (kind_name kind));
+          f
+        | None ->
+          let f =
+            {
+              f_name = name;
+              f_help = help;
+              f_kind = kind;
+              f_buckets = buckets;
+              f_series = Hashtbl.create 4;
+            }
+          in
+          Hashtbl.add t.families name f;
+          f
+      in
+      match Hashtbl.find_opt family.f_series labels with
+      | Some i -> i
+      | None ->
+        let i = make family in
+        Hashtbl.add family.f_series labels i;
+        i)
+
+let counter ?(registry = default) ?(help = "") name labels =
+  match
+    series registry ~name ~help ~kind:Counter ~buckets:[||] ~labels
+      ~make:(fun _ -> C (Metrics.Counter.create ()))
+  with
+  | C c -> c
+  | _ -> assert false
+
+let gauge ?(registry = default) ?(help = "") name labels =
+  match
+    series registry ~name ~help ~kind:Gauge ~buckets:[||] ~labels
+      ~make:(fun _ -> G (Metrics.Gauge.create ()))
+  with
+  | G g -> g
+  | _ -> assert false
+
+let histogram ?(registry = default) ?(help = "")
+    ?(buckets = Metrics.default_time_buckets) name labels =
+  match
+    series registry ~name ~help ~kind:Histogram ~buckets ~labels
+      ~make:(fun f -> H (Metrics.Histogram.create ~buckets:f.f_buckets))
+  with
+  | H h -> h
+  | _ -> assert false
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      buckets : (float * int) list;
+      overflow : int;
+      count : int;
+      sum : float;
+    }
+
+type series = { labels : (string * string) list; value : value }
+
+type family_snapshot = {
+  family : string;
+  help : string;
+  kind : kind;
+  series : series list;
+}
+
+type snapshot = family_snapshot list
+
+let value_of_instrument = function
+  | C c -> Counter_v (Metrics.Counter.value c)
+  | G g -> Gauge_v (Metrics.Gauge.value g)
+  | H h ->
+    Histogram_v
+      {
+        buckets = Array.to_list (Metrics.Histogram.bucket_counts h);
+        overflow = Metrics.Histogram.overflow h;
+        count = Metrics.Histogram.count h;
+        sum = Metrics.Histogram.sum h;
+      }
+
+let compare_labels a b =
+  compare
+    (List.map (fun (k, v) -> k ^ "\000" ^ v) a)
+    (List.map (fun (k, v) -> k ^ "\000" ^ v) b)
+
+let snapshot ?(registry = default) () =
+  with_lock registry (fun () ->
+      Hashtbl.fold
+        (fun _ f acc ->
+          let series =
+            Hashtbl.fold
+              (fun labels i acc ->
+                { labels; value = value_of_instrument i } :: acc)
+              f.f_series []
+            |> List.sort (fun a b -> compare_labels a.labels b.labels)
+          in
+          { family = f.f_name; help = f.f_help; kind = f.f_kind; series } :: acc)
+        registry.families []
+      |> List.sort (fun a b -> String.compare a.family b.family))
+
+let reset ?(registry = default) () =
+  with_lock registry (fun () ->
+      Hashtbl.iter
+        (fun _ f ->
+          Hashtbl.iter
+            (fun _ i ->
+              match i with
+              | C c -> Metrics.Counter.reset c
+              | G g -> Metrics.Gauge.reset g
+              | H h -> Metrics.Histogram.reset h)
+            f.f_series)
+        registry.families)
+
+let family_count ?(registry = default) () =
+  with_lock registry (fun () -> Hashtbl.length registry.families)
+
+(* --- renderers ----------------------------------------------------------- *)
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+let pp_value ppf = function
+  | Counter_v n -> Format.fprintf ppf "%d" n
+  | Gauge_v v -> Format.fprintf ppf "%.3f" v
+  | Histogram_v { count; sum; _ } ->
+    if count = 0 then Format.fprintf ppf "count=0"
+    else
+      Format.fprintf ppf "count=%d sum=%.6g mean=%.6g" count sum
+        (sum /. float_of_int count)
+
+let pp_text ppf (snap : snapshot) =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun f ->
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "%-52s %a@,"
+            (f.family ^ label_string s.labels)
+            pp_value s.value)
+        f.series)
+    snap;
+  Format.fprintf ppf "@]"
+
+let kind_of_string = function
+  | "counter" -> Ok Counter
+  | "gauge" -> Ok Gauge
+  | "histogram" -> Ok Histogram
+  | other -> Error ("unknown metric kind " ^ other)
+
+let json_of_value = function
+  | Counter_v n -> Json.Obj [ ("counter", Json.Int n) ]
+  | Gauge_v v -> Json.Obj [ ("gauge", Json.Float v) ]
+  | Histogram_v { buckets; overflow; count; sum } ->
+    Json.Obj
+      [
+        ( "histogram",
+          Json.Obj
+            [
+              ( "buckets",
+                Json.List
+                  (List.map
+                     (fun (bound, n) ->
+                       Json.Obj [ ("le", Json.Float bound); ("count", Json.Int n) ])
+                     buckets) );
+              ("overflow", Json.Int overflow);
+              ("count", Json.Int count);
+              ("sum", Json.Float sum);
+            ] );
+      ]
+
+let to_json (snap : snapshot) =
+  Json.List
+    (List.map
+       (fun f ->
+         Json.Obj
+           [
+             ("name", Json.String f.family);
+             ("help", Json.String f.help);
+             ("kind", Json.String (kind_name f.kind));
+             ( "series",
+               Json.List
+                 (List.map
+                    (fun s ->
+                      Json.Obj
+                        [
+                          ( "labels",
+                            Json.Obj
+                              (List.map (fun (k, v) -> (k, Json.String v)) s.labels)
+                          );
+                          ("value", json_of_value s.value);
+                        ])
+                    f.series) );
+           ])
+       snap)
+
+(* A tiny applicative decoding layer keeps of_json readable. *)
+let ( let* ) r f = Result.bind r f
+
+let field name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error ("missing field " ^ name)
+
+let as_string = function
+  | Json.String s -> Ok s
+  | _ -> Error "expected string"
+
+let as_int = function Json.Int i -> Ok i | _ -> Error "expected int"
+
+let as_float = function
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error "expected number"
+
+let as_list = function Json.List l -> Ok l | _ -> Error "expected list"
+
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> (
+      match f x with Ok y -> go (y :: acc) rest | Error _ as e -> e)
+  in
+  go [] l
+
+let value_of_json json =
+  match json with
+  | Json.Obj [ ("counter", Json.Int n) ] -> Ok (Counter_v n)
+  | Json.Obj [ ("gauge", v) ] ->
+    let* v = as_float v in
+    Ok (Gauge_v v)
+  | Json.Obj [ ("histogram", h) ] ->
+    let* buckets = field "buckets" h in
+    let* buckets = as_list buckets in
+    let* buckets =
+      map_result
+        (fun b ->
+          let* le = field "le" b in
+          let* le = as_float le in
+          let* count = field "count" b in
+          let* count = as_int count in
+          Ok (le, count))
+        buckets
+    in
+    let* overflow = Result.bind (field "overflow" h) as_int in
+    let* count = Result.bind (field "count" h) as_int in
+    let* sum = Result.bind (field "sum" h) as_float in
+    Ok (Histogram_v { buckets; overflow; count; sum })
+  | _ -> Error "bad metric value"
+
+let series_of_json json =
+  let* labels = field "labels" json in
+  let* labels =
+    match labels with
+    | Json.Obj fields ->
+      map_result
+        (fun (k, v) ->
+          let* v = as_string v in
+          Ok (k, v))
+        fields
+    | _ -> Error "labels must be an object"
+  in
+  let* value = Result.bind (field "value" json) value_of_json in
+  Ok { labels; value }
+
+let of_json json =
+  let* families = as_list json in
+  map_result
+    (fun f ->
+      let* family = Result.bind (field "name" f) as_string in
+      let* help = Result.bind (field "help" f) as_string in
+      let* kind = Result.bind (Result.bind (field "kind" f) as_string) kind_of_string in
+      let* series = Result.bind (field "series" f) as_list in
+      let* series = map_result series_of_json series in
+      Ok { family; help; kind; series })
+    families

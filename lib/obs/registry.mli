@@ -1,0 +1,73 @@
+(** Process-global metrics registry.
+
+    Instruments are organised into {e families} (one name, one kind,
+    one help string) holding one series per label set — the Prometheus
+    data model. Handle acquisition ([counter] / [gauge] / [histogram])
+    is get-or-create and thread-safe; callers cache the returned
+    handle and update it lock-free. [snapshot] produces an immutable
+    view that the text and JSON renderers (and the tests) consume. *)
+
+type t
+
+val create : unit -> t
+
+val default : t
+(** The process-global registry all library instrumentation uses. *)
+
+val counter :
+  ?registry:t -> ?help:string -> string -> (string * string) list ->
+  Metrics.Counter.t
+(** [counter name labels] returns the counter series for [labels] in
+    family [name], creating family and series as needed. Raises
+    [Invalid_argument] if [name] exists with a different kind. *)
+
+val gauge :
+  ?registry:t -> ?help:string -> string -> (string * string) list ->
+  Metrics.Gauge.t
+
+val histogram :
+  ?registry:t -> ?help:string -> ?buckets:float array -> string ->
+  (string * string) list -> Metrics.Histogram.t
+(** [buckets] applies when the family is created; later calls reuse
+    the family's buckets. Defaults to {!Metrics.default_time_buckets}. *)
+
+(** {1 Snapshots} *)
+
+type kind = Counter | Gauge | Histogram
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      buckets : (float * int) list;  (** (upper bound, count), non-cumulative *)
+      overflow : int;
+      count : int;
+      sum : float;
+    }
+
+type series = { labels : (string * string) list; value : value }
+
+type family_snapshot = {
+  family : string;
+  help : string;
+  kind : kind;
+  series : series list;
+}
+
+type snapshot = family_snapshot list
+
+val snapshot : ?registry:t -> unit -> snapshot
+(** Families sorted by name, series sorted by labels — deterministic. *)
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every series in place. Cached handles stay valid. *)
+
+val family_count : ?registry:t -> unit -> int
+
+val pp_text : Format.formatter -> snapshot -> unit
+(** Human-readable summary table. *)
+
+val to_json : snapshot -> Json.t
+
+val of_json : Json.t -> (snapshot, string) result
+(** Inverse of {!to_json}; [of_json (to_json s) = Ok s]. *)

@@ -1,0 +1,140 @@
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_ns : int64;
+  duration_ns : int64;
+  children : span list;
+}
+
+(* Span under construction: children accumulate in reverse. *)
+type building = {
+  b_name : string;
+  b_attrs : (string * string) list;
+  b_start_ns : int64;
+  mutable b_children : span list;
+}
+
+(* The collector is process-global. The open-span stack is not
+   shared across domains — concurrent instrumented work from several
+   domains is not a workload this simulator has — but the mutex keeps
+   the completed-roots list coherent if it ever happens. *)
+let mutex = Mutex.create ()
+
+let stack : building list ref = ref []
+
+let completed_roots : span list ref = ref []
+
+let recorded = Atomic.make 0
+
+let with_lock f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let finish b =
+  let duration_ns = Clock.elapsed_ns ~since:b.b_start_ns in
+  {
+    name = b.b_name;
+    attrs = b.b_attrs;
+    start_ns = b.b_start_ns;
+    duration_ns;
+    children = List.rev b.b_children;
+  }
+
+let with_span ?(attrs = []) name f =
+  if not (Control.on ()) then f ()
+  else begin
+    let b =
+      { b_name = name; b_attrs = attrs; b_start_ns = Clock.now_ns (); b_children = [] }
+    in
+    with_lock (fun () -> stack := b :: !stack);
+    Fun.protect
+      ~finally:(fun () ->
+        let span = finish b in
+        Atomic.incr recorded;
+        with_lock (fun () ->
+            (match !stack with
+            | top :: rest when top == b -> stack := rest
+            | _ ->
+              (* A span escaped its dynamic extent (effects, exotic
+                 control flow): drop back to the roots rather than
+                 corrupting the stack. *)
+              stack := List.filter (fun s -> not (s == b)) !stack);
+            match !stack with
+            | parent :: _ -> parent.b_children <- span :: parent.b_children
+            | [] -> completed_roots := span :: !completed_roots))
+      f
+  end
+
+let roots () = with_lock (fun () -> List.rev !completed_roots)
+
+let reset () =
+  with_lock (fun () ->
+      stack := [];
+      completed_roots := []);
+  Atomic.set recorded 0
+
+let span_count () = Atomic.get recorded
+
+let rec find name = function
+  | [] -> None
+  | s :: rest ->
+    if s.name = name then Some s
+    else (
+      match find name s.children with
+      | Some _ as hit -> hit
+      | None -> find name rest)
+
+let total_ns name =
+  let rec sum acc spans =
+    List.fold_left
+      (fun acc s ->
+        let acc = if s.name = name then Int64.add acc s.duration_ns else acc in
+        sum acc s.children)
+      acc spans
+  in
+  sum 0L (roots ())
+
+let pp_flame ppf () =
+  let rec pp_span ~indent ~parent_ns s =
+    let ms = Clock.ns_to_s s.duration_ns *. 1e3 in
+    let share =
+      if Int64.compare parent_ns 0L > 0 then
+        Printf.sprintf " (%.0f%%)"
+          (100. *. Int64.to_float s.duration_ns /. Int64.to_float parent_ns)
+      else ""
+    in
+    let attrs =
+      match s.attrs with
+      | [] -> ""
+      | attrs ->
+        " [" ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs) ^ "]"
+    in
+    Format.fprintf ppf "%s%s %.3f ms%s%s@," (String.make indent ' ') s.name ms
+      share attrs;
+    List.iter (pp_span ~indent:(indent + 2) ~parent_ns:s.duration_ns) s.children
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (pp_span ~indent:0 ~parent_ns:0L) (roots ());
+  Format.fprintf ppf "@]"
+
+let to_chrome_json () =
+  let events = ref [] in
+  let rec emit s =
+    events :=
+      Json.Obj
+        [
+          ("name", Json.String s.name);
+          ("cat", Json.String "obs");
+          ("ph", Json.String "X");
+          ("ts", Json.Float (Clock.ns_to_us s.start_ns));
+          ("dur", Json.Float (Clock.ns_to_us s.duration_ns));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ( "args",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.attrs) );
+        ]
+      :: !events;
+    List.iter emit s.children
+  in
+  List.iter emit (roots ());
+  Json.List (List.rev !events)

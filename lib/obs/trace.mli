@@ -1,0 +1,43 @@
+(** Span tracing.
+
+    [with_span] times a region on the monotone clock and records it in
+    a per-run trace tree; nested calls become child spans. When
+    observability is disabled the callback runs directly — no clock
+    reads, no allocation. The accumulated tree renders as a
+    flame-style text dump or exports as Chrome [trace_event] JSON
+    (load the file at chrome://tracing or https://ui.perfetto.dev). *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_ns : int64;
+  duration_ns : int64;
+  children : span list;  (** in start order *)
+}
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Runs the callback inside a new span. Exception-safe: the span is
+    closed and recorded even if the callback raises. *)
+
+val roots : unit -> span list
+(** Completed top-level spans, in start order. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans (start of a fresh run). *)
+
+val span_count : unit -> int
+(** Total spans recorded, including children. *)
+
+val find : string -> span list -> span option
+(** Depth-first search by name. *)
+
+val total_ns : string -> int64
+(** Summed duration of every recorded span with the given name. *)
+
+val pp_flame : Format.formatter -> unit -> unit
+(** Indented tree of the recorded spans with durations and each
+    child's share of its parent. *)
+
+val to_chrome_json : unit -> Json.t
+(** The recorded tree as a Chrome [trace_event] array of complete
+    ("ph":"X") events; attrs become event [args]. *)

@@ -15,7 +15,24 @@ let create ?(sample_rate_hz = 2000.) () =
 
 let sample_rate_hz m = m.sample_rate_hz
 
-let measure m ~duration_s power =
+let obs_readings =
+  Obs.counter ~help:"Meter integrations performed" "power_meter_readings_total" []
+
+let obs_energy component =
+  Obs.gauge ~help:"Last measured energy per accounted component (mJ)"
+    "power_energy_mj"
+    [ ("component", component) ]
+
+let publish ?component reading =
+  if Obs.enabled () then begin
+    Obs.Metrics.Counter.incr obs_readings;
+    match component with
+    | Some c -> Obs.Metrics.Gauge.set (obs_energy c) reading.energy_mj
+    | None -> ()
+  end;
+  reading
+
+let measure ?component m ~duration_s power =
   if duration_s <= 0. then invalid_arg "Meter.measure: duration must be positive";
   let dt = 1. /. m.sample_rate_hz in
   let n = max 1 (int_of_float (duration_s /. dt)) in
@@ -26,16 +43,17 @@ let measure m ~duration_s power =
     if p > !peak then peak := p;
     if p < !low then low := p
   done;
-  {
-    duration_s;
-    samples = n;
-    energy_mj = !energy;
-    average_power_mw = !energy /. (float_of_int n *. dt);
-    peak_power_mw = !peak;
-    min_power_mw = !low;
-  }
+  publish ?component
+    {
+      duration_s;
+      samples = n;
+      energy_mj = !energy;
+      average_power_mw = !energy /. (float_of_int n *. dt);
+      peak_power_mw = !peak;
+      min_power_mw = !low;
+    }
 
-let measure_trace m ~dt_s trace =
+let measure_trace ?component m ~dt_s trace =
   if dt_s <= 0. then invalid_arg "Meter.measure_trace: dt must be positive";
   let frames = Array.length trace in
   if frames = 0 then invalid_arg "Meter.measure_trace: empty trace";
@@ -44,7 +62,7 @@ let measure_trace m ~dt_s trace =
     let i = int_of_float (t /. dt_s) in
     trace.(min (frames - 1) (max 0 i))
   in
-  measure m ~duration_s power
+  measure ?component m ~duration_s power
 
 let savings_vs ~baseline r =
   if baseline.energy_mj <= 0. then invalid_arg "Meter.savings_vs: zero baseline";

@@ -23,16 +23,19 @@ val create : ?sample_rate_hz:float -> unit -> t
 
 val sample_rate_hz : t -> float
 
-val measure : t -> duration_s:float -> (float -> float) -> reading
+val measure : ?component:string -> t -> duration_s:float -> (float -> float) -> reading
 (** [measure meter ~duration_s power] samples [power t] (milliwatts at
     time [t] seconds) over [0, duration_s) and integrates. Duration
-    must be positive. *)
+    must be positive. When [component] is given, the resulting energy
+    is also published to the [power_energy_mj{component=...}]
+    observability gauge. *)
 
-val measure_trace : t -> dt_s:float -> float array -> reading
+val measure_trace : ?component:string -> t -> dt_s:float -> float array -> reading
 (** [measure_trace meter ~dt_s trace] integrates a pre-sampled power
     trace where [trace.(i)] holds the power during
     [[i*dt_s, (i+1)*dt_s)]. The meter resamples it at its own rate
-    (zero-order hold), as the DAQ would see a stepwise real signal. *)
+    (zero-order hold), as the DAQ would see a stepwise real signal.
+    [component] behaves as in {!measure}. *)
 
 val savings_vs : baseline:reading -> reading -> float
 (** [savings_vs ~baseline r] is the fractional energy saving

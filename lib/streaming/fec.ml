@@ -14,6 +14,27 @@ let xor_accumulate acc packet =
       Bytes.set acc i (Char.chr (Char.code (Bytes.get acc i) lxor Char.code c)))
     packet
 
+let obs_packets =
+  let family kind =
+    Obs.counter ~help:"FEC packets built for the annotation side channel"
+      "streaming_fec_packets_total"
+      [ ("kind", kind) ]
+  in
+  let data = family "data" and parity = family "parity" in
+  fun kind -> if kind = `Data then data else parity
+
+let obs_lost =
+  Obs.counter ~help:"FEC packets dropped by the simulated lossy hop"
+    "streaming_fec_lost_total" []
+
+let obs_recoveries =
+  Obs.counter ~help:"Data packets reconstructed from parity"
+    "streaming_fec_recoveries_total" []
+
+let obs_failures =
+  Obs.counter ~help:"FEC groups that lost more than parity could repair"
+    "streaming_fec_failures_total" []
+
 let protect ?(packet_size = 64) ?(group_size = 4) payload =
   if packet_size <= 0 then invalid_arg "Fec.protect: packet size must be positive";
   if group_size <= 0 then invalid_arg "Fec.protect: group size must be positive";
@@ -35,6 +56,8 @@ let protect ?(packet_size = 64) ?(group_size = 4) payload =
         done;
         Bytes.to_string acc)
   in
+  Obs.Metrics.Counter.incr (obs_packets `Data) ~by:data_packets;
+  Obs.Metrics.Counter.incr (obs_packets `Parity) ~by:groups;
   {
     packets = Array.append data parities;
     data_packets;
@@ -83,18 +106,26 @@ let recover t ~present =
         for i = first to last do
           if i <> lone then xor_accumulate acc recovered.(i)
         done;
+        Obs.Metrics.Counter.incr obs_recoveries;
         recovered.(lone) <- Bytes.sub_string acc 0 (data_length t lone))
     | _ :: _ :: _ ->
       if !failure = None then
         failure := Some (Printf.sprintf "group %d lost %d packets" g (List.length !missing))
   done;
   match !failure with
-  | Some msg -> Error msg
+  | Some msg ->
+    Obs.Metrics.Counter.incr obs_failures;
+    Error msg
   | None -> Ok (String.concat "" (Array.to_list recovered))
 
 let transmit t ~rate ~seed =
   if rate < 0. || rate > 1. then invalid_arg "Fec.transmit: bad rate";
   let rng = Image.Prng.create ~seed in
   Array.map
-    (fun packet -> if Image.Prng.float rng 1. < rate then None else Some packet)
+    (fun packet ->
+      if Image.Prng.float rng 1. < rate then begin
+        Obs.Metrics.Counter.incr obs_lost;
+        None
+      end
+      else Some packet)
     t.packets

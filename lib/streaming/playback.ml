@@ -61,25 +61,52 @@ let count_switches registers =
   done;
   !switches
 
+let obs_runs =
+  Obs.counter ~help:"Playback simulations executed" "streaming_playback_runs_total"
+    []
+
+let obs_frames =
+  Obs.counter ~help:"Frames played back" "streaming_frames_played_total" []
+
+let obs_switches =
+  Obs.counter ~help:"Backlight register changes during playback"
+    "streaming_backlight_switches_total" []
+
+let obs_mean_register =
+  Obs.gauge ~help:"Mean backlight register of the last playback run"
+    "streaming_mean_register" []
+
 let run_with_registers ?(options = default_options) ~device ~quality ~clip_name
     ~fps ~annotation_bytes registers =
+  Obs.Trace.with_span "playback.run" ~attrs:[ ("clip", clip_name) ]
+  @@ fun () ->
   let frames = Array.length registers in
   if frames = 0 then invalid_arg "Playback: empty register track";
   if fps <= 0. then invalid_arg "Playback: fps must be positive";
   let dt_s = 1. /. fps in
   let meter = options.meter in
-  let measure trace = Power.Meter.measure_trace meter ~dt_s trace in
+  let measure ~component trace =
+    Power.Meter.measure_trace ~component meter ~dt_s trace
+  in
   let full = Array.make frames 255 in
   let total =
-    measure (power_trace ~device ~cpu_busy_fraction:options.cpu_busy_fraction ~registers)
+    measure ~component:"playback_total"
+      (power_trace ~device ~cpu_busy_fraction:options.cpu_busy_fraction ~registers)
   and total_base =
-    measure
+    measure ~component:"playback_baseline"
       (power_trace ~device ~cpu_busy_fraction:options.cpu_busy_fraction ~registers:full)
-  and backlight = measure (backlight_trace ~device ~registers)
-  and backlight_base = measure (backlight_trace ~device ~registers:full) in
+  and backlight = measure ~component:"backlight" (backlight_trace ~device ~registers)
+  and backlight_base =
+    measure ~component:"backlight_baseline" (backlight_trace ~device ~registers:full)
+  in
+  let switch_count = count_switches registers in
+  Obs.Metrics.Counter.incr obs_runs;
+  Obs.Metrics.Counter.incr obs_frames ~by:frames;
+  Obs.Metrics.Counter.incr obs_switches ~by:switch_count;
   let mean_register =
     float_of_int (Array.fold_left ( + ) 0 registers) /. float_of_int frames
   in
+  Obs.Metrics.Gauge.set obs_mean_register mean_register;
   {
     clip_name;
     device_name = device.Display.Device.name;
@@ -87,7 +114,7 @@ let run_with_registers ?(options = default_options) ~device ~quality ~clip_name
     frames;
     duration_s = float_of_int frames *. dt_s;
     mean_register;
-    switch_count = count_switches registers;
+    switch_count;
     annotation_bytes;
     backlight_energy_mj = backlight.Power.Meter.energy_mj;
     backlight_baseline_mj = backlight_base.Power.Meter.energy_mj;

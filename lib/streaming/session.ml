@@ -58,7 +58,38 @@ let device_energy ~config ~dt_s ~registers ~cpu_energy_mj ~radio_energy_mj =
   in
   backlight +. cpu_energy_mj +. radio_energy_mj +. constant
 
+let obs_sessions =
+  let family outcome =
+    Obs.counter ~help:"End-to-end sessions executed" "streaming_sessions_total"
+      [ ("outcome", outcome) ]
+  in
+  let ok = family "ok" and error = family "error" in
+  fun outcome -> if outcome = `Ok then ok else error
+
+let obs_annotation_outcomes =
+  let family result =
+    Obs.counter ~help:"Annotation side-channel survival over the lossy hop"
+      "streaming_annotation_outcomes_total"
+      [ ("result", result) ]
+  in
+  let recovered = family "recovered" and lost = family "lost" in
+  fun survived -> if survived then recovered else lost
+
+let obs_frame_latency =
+  Obs.histogram ~help:"Simulated per-frame wire transfer time on the link"
+    ~buckets:[| 1e-4; 5e-4; 1e-3; 5e-3; 1e-2; 5e-2; 0.1; 0.5 |]
+    "streaming_frame_latency_seconds" []
+
+let obs_energy component =
+  Obs.gauge ~help:"Last measured energy per accounted component (mJ)"
+    "power_energy_mj"
+    [ ("component", component) ]
+
+let span = Obs.Trace.with_span
+
 let run config clip =
+  span "session.run" ~attrs:[ ("clip", clip.Video.Clip.name) ]
+  @@ fun () ->
   if config.loss_rate < 0. || config.loss_rate > 1. then
     invalid_arg "Session.run: loss rate out of [0, 1]";
   let frames = clip.Video.Clip.frame_count in
@@ -66,29 +97,35 @@ let run config clip =
   let fps = clip.Video.Clip.fps in
   let dt_s = 1. /. fps in
   (* Server side: annotate, encode, protect. *)
-  let profiled = Annot.Annotator.profile clip in
-  let track =
-    match config.mapping with
-    | Negotiation.Server_side ->
-      Annot.Annotator.annotate_profiled ~device:config.device
-        ~quality:config.quality profiled
-    | Negotiation.Client_side ->
-      Annot.Neutral.annotate ~quality:config.quality profiled
-  in
-  let annotation_payload = Annot.Encoding.encode track in
-  let protected_annotations =
-    Fec.protect ~packet_size:24 ~group_size:3 annotation_payload
+  let profiled = span "session.profile" (fun () -> Annot.Annotator.profile clip) in
+  let track, annotation_payload, protected_annotations =
+    span "session.annotate" @@ fun () ->
+    let track =
+      match config.mapping with
+      | Negotiation.Server_side ->
+        Annot.Annotator.annotate_profiled ~device:config.device
+          ~quality:config.quality profiled
+      | Negotiation.Client_side ->
+        Annot.Neutral.annotate ~quality:config.quality profiled
+    in
+    let annotation_payload = Annot.Encoding.encode track in
+    let protected_annotations =
+      Fec.protect ~packet_size:24 ~group_size:3 annotation_payload
+    in
+    (track, annotation_payload, protected_annotations)
   in
   let encoded =
+    span "session.encode" @@ fun () ->
     Codec.Encoder.encode_clip
       ~params:{ Codec.Stream.default_params with gop = config.gop }
       clip
   in
   (* The wireless hop. *)
-  let annotation_arrival =
-    Fec.transmit protected_annotations ~rate:config.loss_rate ~seed:config.seed
-  in
   let annotations_survived, client_track =
+    span "session.transmit" @@ fun () ->
+    let annotation_arrival =
+      Fec.transmit protected_annotations ~rate:config.loss_rate ~seed:config.seed
+    in
     match Fec.recover protected_annotations ~present:annotation_arrival with
     | Ok payload -> (
       match Annot.Encoding.decode payload with
@@ -101,7 +138,9 @@ let run config clip =
       | Error _ -> (false, track))
     | Error _ -> (false, track)
   in
-  Result.bind (Transport.packetize encoded) (fun packetized ->
+  Obs.Metrics.Counter.incr (obs_annotation_outcomes annotations_survived);
+  let result =
+    Result.bind (Transport.packetize encoded) (fun packetized ->
       let lost =
         Transport.bernoulli_loss ~rate:config.loss_rate ~seed:(config.seed + 1)
           ~frames
@@ -114,6 +153,7 @@ let run config clip =
         (fun received ->
           Result.map
             (fun (clean : Codec.Decoder.decoded) ->
+              span "session.playback" @@ fun () ->
               (* Client playback decisions. *)
               let registers =
                 if annotations_survived then begin
@@ -139,6 +179,12 @@ let run config clip =
                 Radio.run ~link:config.link ~fps ~gop:config.gop ~frame_bytes
                   Radio.Annotated_bursts
               in
+              if Obs.enabled () then
+                Array.iter
+                  (fun bytes ->
+                    Obs.Metrics.Histogram.observe obs_frame_latency
+                      (Netsim.transfer_time_s config.link bytes))
+                  frame_bytes;
               let energy registers_arr cpu radio_mj =
                 device_energy ~config ~dt_s ~registers:registers_arr
                   ~cpu_energy_mj:cpu ~radio_energy_mj:radio_mj
@@ -152,6 +198,14 @@ let run config clip =
                   dvfs.Dvfs_playback.baseline_energy_mj
                   radio.Radio.baseline_energy_mj
               in
+              if Obs.enabled () then begin
+                Obs.Metrics.Gauge.set (obs_energy "cpu")
+                  dvfs.Dvfs_playback.cpu_energy_mj;
+                Obs.Metrics.Gauge.set (obs_energy "radio")
+                  radio.Radio.radio_energy_mj;
+                Obs.Metrics.Gauge.set (obs_energy "device_total") optimised;
+                Obs.Metrics.Gauge.set (obs_energy "device_baseline") baseline
+              end;
               let backlight_savings =
                 let p r = Power.Model.backlight_power_mw config.device ~on:true ~register:r in
                 let used = Array.fold_left (fun a r -> a +. p r) 0. registers in
@@ -177,6 +231,11 @@ let run config clip =
                 baseline_energy_mj = baseline;
               })
             (Codec.Decoder.decode encoded.Codec.Encoder.data)))
+  in
+  (match result with
+  | Ok _ -> Obs.Metrics.Counter.incr (obs_sessions `Ok)
+  | Error _ -> Obs.Metrics.Counter.incr (obs_sessions `Error));
+  result
 
 let pp_report ppf r =
   Format.fprintf ppf
@@ -189,3 +248,7 @@ let pp_report ppf r =
     r.video_mean_psnr r.concealed_frames (100. *. r.backlight_savings)
     (100. *. r.cpu_savings) (100. *. r.radio_savings) (100. *. r.device_savings)
     r.device_energy_mj r.baseline_energy_mj
+
+let pp_report_obs ppf r =
+  pp_report ppf r;
+  if Obs.enabled () then Format.fprintf ppf "@\n@\n%a" Obs.pp_summary ()

@@ -54,3 +54,11 @@ val run : config -> Video.Clip.t -> (report, string) result
     lost) or internal stream corruption. *)
 
 val pp_report : Format.formatter -> report -> unit
+(** Prints the report alone. Output is identical whether or not the
+    observability layer is enabled — instrumentation never changes what
+    the simulation says. *)
+
+val pp_report_obs : Format.formatter -> report -> unit
+(** [pp_report] followed by the observability summary (metric families
+    and the span flame) when [Obs.enabled ()]; identical to [pp_report]
+    otherwise. *)

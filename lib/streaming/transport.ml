@@ -21,6 +21,18 @@ let packetize (encoded : Codec.Encoder.encoded) =
       { info; payloads; frame_types = encoded.Codec.Encoder.frame_types })
     (Codec.Decoder.parse_header encoded.Codec.Encoder.data)
 
+let obs_frames_lost =
+  Obs.counter ~help:"Video frames dropped by the simulated lossy hop"
+    "streaming_frames_lost_total" []
+
+let obs_concealed =
+  Obs.counter ~help:"Lost frames replaced by the concealment rule"
+    "streaming_frames_concealed_total" []
+
+let obs_drifted =
+  Obs.counter ~help:"P frames decoded against a damaged prediction chain"
+    "streaming_frames_drifted_total" []
+
 let bernoulli_loss ~rate ~seed ~frames =
   if rate < 0. || rate > 1. then invalid_arg "Transport.bernoulli_loss: bad rate";
   let rng = Image.Prng.create ~seed in
@@ -33,9 +45,15 @@ type received = {
 }
 
 let decode_with_concealment t ~lost =
+  Obs.Trace.with_span "transport.decode"
+    ~attrs:[ ("frames", string_of_int (Array.length t.payloads)) ]
+  @@ fun () ->
   let n = Array.length t.payloads in
   if Array.length lost <> n then
     invalid_arg "Transport.decode_with_concealment: loss mask length mismatch";
+  if Obs.enabled () then
+    Obs.Metrics.Counter.incr obs_frames_lost
+      ~by:(Array.fold_left (fun acc l -> if l then acc + 1 else acc) 0 lost);
   let pictures = Array.make n (Image.Raster.create ~width:1 ~height:1) in
   let reference = ref None in
   let concealed = ref 0 and drifted = ref 0 in
@@ -49,6 +67,7 @@ let decode_with_concealment t ~lost =
          | None -> failwith "first frame lost: nothing to conceal with"
          | Some prev ->
            incr concealed;
+           Obs.Metrics.Counter.incr obs_concealed;
            chain_dirty := true;
            pictures.(i) <-
              Codec.Decoder.raster_of_reference
@@ -66,7 +85,11 @@ let decode_with_concealment t ~lost =
               damage. *)
            (match t.frame_types.(i) with
            | Codec.Stream.I_frame -> chain_dirty := false
-           | Codec.Stream.P_frame -> if !chain_dirty then incr drifted);
+           | Codec.Stream.P_frame ->
+             if !chain_dirty then begin
+               incr drifted;
+               Obs.Metrics.Counter.incr obs_drifted
+             end);
            pictures.(i) <- picture;
            reference := Some new_reference
        end

@@ -1,0 +1,380 @@
+(* Tests for the observability layer: instrument semantics (including
+   concurrent updates), registry snapshots and their JSON round-trip,
+   span nesting and timing, the log ring buffer, and the contract that
+   instrumentation never changes what the simulation reports. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+let flt = Alcotest.float 1e-9
+
+(* Every test that records runs inside [Obs.with_enabled] and uses a
+   fresh registry where possible, so tests stay independent of each
+   other and of the process-global default registry. *)
+
+(* --- counters ----------------------------------------------------------- *)
+
+let test_counter_basic () =
+  Obs.with_enabled @@ fun () ->
+  let c = Obs.Metrics.Counter.create () in
+  Obs.Metrics.Counter.incr c;
+  Obs.Metrics.Counter.incr c ~by:41;
+  check int "accumulated" 42 (Obs.Metrics.Counter.value c);
+  Obs.Metrics.Counter.incr c ~by:(-5);
+  check int "negative increment dropped" 42 (Obs.Metrics.Counter.value c);
+  Obs.Metrics.Counter.reset c;
+  check int "reset" 0 (Obs.Metrics.Counter.value c)
+
+let test_counter_disabled_is_dropped () =
+  Obs.disable ();
+  let c = Obs.Metrics.Counter.create () in
+  Obs.Metrics.Counter.incr c ~by:1000;
+  check int "update dropped while disabled" 0 (Obs.Metrics.Counter.value c)
+
+let test_counter_concurrent () =
+  Obs.with_enabled @@ fun () ->
+  let c = Obs.Metrics.Counter.create () in
+  let per_domain = 10_000 and domains = 4 in
+  let spawned =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Metrics.Counter.incr c
+            done))
+  in
+  List.iter Domain.join spawned;
+  check int "no lost increments" (domains * per_domain)
+    (Obs.Metrics.Counter.value c)
+
+(* --- gauges ------------------------------------------------------------- *)
+
+let test_gauge () =
+  Obs.with_enabled @@ fun () ->
+  let g = Obs.Metrics.Gauge.create () in
+  Obs.Metrics.Gauge.set g 3.5;
+  check flt "set" 3.5 (Obs.Metrics.Gauge.value g);
+  Obs.Metrics.Gauge.add g (-1.25);
+  check flt "add" 2.25 (Obs.Metrics.Gauge.value g);
+  Obs.Metrics.Gauge.reset g;
+  check flt "reset" 0. (Obs.Metrics.Gauge.value g)
+
+let test_gauge_concurrent_add () =
+  Obs.with_enabled @@ fun () ->
+  let g = Obs.Metrics.Gauge.create () in
+  let per_domain = 5_000 and domains = 4 in
+  let spawned =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Obs.Metrics.Gauge.add g 1.
+            done))
+  in
+  List.iter Domain.join spawned;
+  check flt "CAS add loses nothing"
+    (float_of_int (domains * per_domain))
+    (Obs.Metrics.Gauge.value g)
+
+(* --- histograms --------------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  Obs.with_enabled @@ fun () ->
+  let h = Obs.Metrics.Histogram.create ~buckets:[| 1.; 2.; 5. |] in
+  List.iter (Obs.Metrics.Histogram.observe h) [ 0.5; 1.; 1.5; 10. ];
+  check int "count" 4 (Obs.Metrics.Histogram.count h);
+  check flt "sum" 13. (Obs.Metrics.Histogram.sum h);
+  let counts = Obs.Metrics.Histogram.bucket_counts h in
+  (* Bounds are inclusive: 1.0 lands in the <=1 bucket. *)
+  check int "bucket <=1" 2 (snd counts.(0));
+  check int "bucket <=2" 1 (snd counts.(1));
+  check int "bucket <=5" 0 (snd counts.(2));
+  check int "overflow" 1 (Obs.Metrics.Histogram.overflow h);
+  Obs.Metrics.Histogram.reset h;
+  check int "reset count" 0 (Obs.Metrics.Histogram.count h);
+  check flt "reset sum" 0. (Obs.Metrics.Histogram.sum h)
+
+let test_histogram_rejects_bad_buckets () =
+  Alcotest.check_raises "non-increasing bounds"
+    (Invalid_argument "Obs histogram: bucket bounds must be strictly increasing")
+    (fun () -> ignore (Obs.Metrics.Histogram.create ~buckets:[| 1.; 1. |]));
+  Alcotest.check_raises "empty bounds"
+    (Invalid_argument "Obs histogram: no buckets") (fun () ->
+      ignore (Obs.Metrics.Histogram.create ~buckets:[||]))
+
+(* --- registry ----------------------------------------------------------- *)
+
+let test_registry_get_or_create () =
+  Obs.with_enabled @@ fun () ->
+  let r = Obs.Registry.create () in
+  let c1 = Obs.Registry.counter ~registry:r "requests_total" [ ("op", "read") ] in
+  let c2 = Obs.Registry.counter ~registry:r "requests_total" [ ("op", "read") ] in
+  Obs.Metrics.Counter.incr c1;
+  Obs.Metrics.Counter.incr c2;
+  check int "same series behind both handles" 2 (Obs.Metrics.Counter.value c1);
+  ignore (Obs.Registry.counter ~registry:r "requests_total" [ ("op", "write") ]);
+  ignore (Obs.Registry.gauge ~registry:r "depth" []);
+  check int "two families" 2 (Obs.Registry.family_count ~registry:r ())
+
+let test_registry_kind_mismatch () =
+  let r = Obs.Registry.create () in
+  ignore (Obs.Registry.counter ~registry:r "thing" []);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Obs.Registry: thing is a counter, requested as gauge")
+    (fun () -> ignore (Obs.Registry.gauge ~registry:r "thing" []))
+
+let test_registry_snapshot_and_reset () =
+  Obs.with_enabled @@ fun () ->
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter ~registry:r "events_total" [] in
+  let g = Obs.Registry.gauge ~registry:r "level" [] in
+  Obs.Metrics.Counter.incr c ~by:7;
+  Obs.Metrics.Gauge.set g 1.5;
+  (match Obs.Registry.snapshot ~registry:r () with
+  | [ events; level ] ->
+    check string "sorted by family name" "events_total" events.Obs.Registry.family;
+    check string "second family" "level" level.Obs.Registry.family;
+    (match (events.Obs.Registry.series, level.Obs.Registry.series) with
+    | [ { value = Obs.Registry.Counter_v n; _ } ],
+      [ { value = Obs.Registry.Gauge_v v; _ } ] ->
+      check int "counter value" 7 n;
+      check flt "gauge value" 1.5 v
+    | _ -> Alcotest.fail "unexpected series shape")
+  | snap -> Alcotest.failf "expected 2 families, got %d" (List.length snap));
+  Obs.Registry.reset ~registry:r ();
+  check int "counter zeroed in place" 0 (Obs.Metrics.Counter.value c);
+  Obs.Metrics.Counter.incr c;
+  check int "handle still live after reset" 1 (Obs.Metrics.Counter.value c)
+
+let test_registry_json_roundtrip () =
+  Obs.with_enabled @@ fun () ->
+  let r = Obs.Registry.create () in
+  Obs.Metrics.Counter.incr
+    (Obs.Registry.counter ~registry:r ~help:"sessions" "sessions_total"
+       [ ("outcome", "ok") ])
+    ~by:3;
+  Obs.Metrics.Gauge.set (Obs.Registry.gauge ~registry:r "energy_mj" []) 1234.5678;
+  let h =
+    Obs.Registry.histogram ~registry:r ~buckets:[| 0.001; 0.01; 0.1 |]
+      "latency_seconds" []
+  in
+  List.iter (Obs.Metrics.Histogram.observe h) [ 0.0005; 0.05; 2.7 ];
+  let snap = Obs.Registry.snapshot ~registry:r () in
+  (match Obs.Registry.of_json (Obs.Registry.to_json snap) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok decoded -> check bool "snapshot round-trips exactly" true (decoded = snap));
+  (* The rendered text must also be parseable JSON at the string level. *)
+  match Obs.Json.of_string (Obs.Json.to_string (Obs.Registry.to_json snap)) with
+  | Error e -> Alcotest.failf "rendered JSON unparseable: %s" e
+  | Ok reparsed ->
+    check bool "string round-trip" true (reparsed = Obs.Registry.to_json snap)
+
+(* --- spans -------------------------------------------------------------- *)
+
+let test_span_nesting_and_timing () =
+  Obs.with_enabled @@ fun () ->
+  Obs.Trace.reset ();
+  let result =
+    Obs.Trace.with_span "outer" ~attrs:[ ("k", "v") ] (fun () ->
+        Obs.Trace.with_span "inner_a" (fun () -> ignore (Sys.opaque_identity 1));
+        Obs.Trace.with_span "inner_b" (fun () -> 17))
+  in
+  check int "with_span returns callback result" 17 result;
+  match Obs.Trace.roots () with
+  | [ outer ] ->
+    check string "root name" "outer" outer.Obs.Trace.name;
+    check bool "attrs kept" true (outer.Obs.Trace.attrs = [ ("k", "v") ]);
+    (match outer.Obs.Trace.children with
+    | [ a; b ] ->
+      check string "children in start order" "inner_a" a.Obs.Trace.name;
+      check string "second child" "inner_b" b.Obs.Trace.name;
+      let open Int64 in
+      check bool "durations non-negative" true
+        (outer.Obs.Trace.duration_ns >= 0L && a.Obs.Trace.duration_ns >= 0L);
+      check bool "child starts after parent" true
+        (a.Obs.Trace.start_ns >= outer.Obs.Trace.start_ns);
+      check bool "children start in order" true
+        (b.Obs.Trace.start_ns >= a.Obs.Trace.start_ns);
+      check bool "child interval inside parent" true
+        (add b.Obs.Trace.start_ns b.Obs.Trace.duration_ns
+         <= add outer.Obs.Trace.start_ns outer.Obs.Trace.duration_ns)
+    | kids -> Alcotest.failf "expected 2 children, got %d" (List.length kids));
+    check int "span_count counts the whole tree" 3 (Obs.Trace.span_count ())
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots)
+
+let test_span_exception_safe () =
+  Obs.with_enabled @@ fun () ->
+  Obs.Trace.reset ();
+  (try Obs.Trace.with_span "boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  match Obs.Trace.roots () with
+  | [ s ] -> check string "span recorded despite raise" "boom" s.Obs.Trace.name
+  | _ -> Alcotest.fail "raising span was not recorded"
+
+let test_span_disabled_records_nothing () =
+  Obs.disable ();
+  Obs.with_enabled (fun () -> Obs.Trace.reset ());
+  check string "disabled span still runs callback" "x"
+    (Obs.Trace.with_span "ghost" (fun () -> "x"));
+  Obs.with_enabled (fun () ->
+      check int "nothing recorded while disabled" 0 (Obs.Trace.span_count ()))
+
+let test_chrome_export () =
+  Obs.with_enabled @@ fun () ->
+  Obs.Trace.reset ();
+  Obs.Trace.with_span "parent" ~attrs:[ ("clip", "test") ] (fun () ->
+      Obs.Trace.with_span "child" (fun () -> ()));
+  let json = Obs.Trace.to_chrome_json () in
+  (* Must survive a print/parse cycle — what chrome://tracing loads. *)
+  (match Obs.Json.of_string (Obs.Json.to_string json) with
+  | Error e -> Alcotest.failf "chrome trace unparseable: %s" e
+  | Ok reparsed -> check bool "parses back" true (reparsed = json));
+  match json with
+  | Obs.Json.List events ->
+    check int "one event per span" (Obs.Trace.span_count ()) (List.length events);
+    List.iter
+      (fun e ->
+        check bool "complete event" true
+          (Obs.Json.member "ph" e = Some (Obs.Json.String "X"));
+        check bool "has name" true (Obs.Json.member "name" e <> None);
+        check bool "has ts" true (Obs.Json.member "ts" e <> None);
+        check bool "has dur" true (Obs.Json.member "dur" e <> None))
+      events
+  | _ -> Alcotest.fail "chrome trace must be a JSON array"
+
+(* --- logging ------------------------------------------------------------ *)
+
+let test_ring_buffer_ordering () =
+  Obs.with_enabled @@ fun () ->
+  let id, read = Obs.Log.attach_ring ~capacity:3 in
+  Fun.protect ~finally:(fun () -> Obs.Log.detach id) @@ fun () ->
+  for i = 1 to 5 do
+    Obs.Log.emit Obs.Log.Info ~scope:"test" (Printf.sprintf "event %d" i)
+  done;
+  let messages = List.map (fun e -> e.Obs.Log.message) (read ()) in
+  check bool "keeps last capacity events oldest-first" true
+    (messages = [ "event 3"; "event 4"; "event 5" ])
+
+let test_log_level_threshold () =
+  Obs.with_enabled @@ fun () ->
+  let id, read = Obs.Log.attach_ring ~capacity:8 in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.detach id;
+      Obs.Log.set_level Obs.Log.Info)
+  @@ fun () ->
+  Obs.Log.set_level Obs.Log.Warn;
+  let evaluated = ref false in
+  Obs.Log.debug ~scope:"test" (fun () ->
+      evaluated := true;
+      ("below threshold", []));
+  Obs.Log.warn ~scope:"test" (fun () -> ("kept", []));
+  check bool "suppressed closure never runs" false !evaluated;
+  check int "only the warn got through" 1 (List.length (read ()))
+
+let test_log_event_json () =
+  Obs.with_enabled @@ fun () ->
+  let id, read = Obs.Log.attach_ring ~capacity:1 in
+  Fun.protect ~finally:(fun () -> Obs.Log.detach id) @@ fun () ->
+  Obs.Log.emit Obs.Log.Error ~scope:"codec"
+    ~fields:[ ("frame", Obs.Json.Int 12) ]
+    "bad macroblock";
+  match read () with
+  | [ e ] ->
+    let json = Obs.Log.event_to_json e in
+    check bool "level serialised" true
+      (Obs.Json.member "level" json = Some (Obs.Json.String "error"));
+    check bool "fields serialised" true
+      (match Obs.Json.member "fields" json with
+      | Some fields -> Obs.Json.member "frame" fields = Some (Obs.Json.Int 12)
+      | None -> false)
+  | events -> Alcotest.failf "expected 1 event, got %d" (List.length events)
+
+let test_would_log_requires_sink () =
+  Obs.with_enabled @@ fun () ->
+  check bool "no sink, no work" false (Obs.Log.would_log Obs.Log.Error);
+  let id, _ = Obs.Log.attach_ring ~capacity:1 in
+  Fun.protect ~finally:(fun () -> Obs.Log.detach id) @@ fun () ->
+  check bool "sink attached" true (Obs.Log.would_log Obs.Log.Error);
+  Obs.disable ();
+  check bool "disabled wins over sinks" false (Obs.Log.would_log Obs.Log.Error);
+  Obs.enable ()
+
+(* --- behaviour neutrality ----------------------------------------------- *)
+
+(* The whole layer is opt-in: a session must report byte-for-byte the
+   same numbers whether or not observability is recording. This is the
+   contract that lets instrumentation live permanently in the hot
+   path. *)
+let test_session_report_unchanged_by_obs () =
+  let clip =
+    Video.Clip_gen.render ~width:32 ~height:24 ~fps:8.
+      Video.Workloads.officexp
+  in
+  let config =
+    { (Streaming.Session.default_config ~device:Display.Device.ipaq_h5555) with
+      Streaming.Session.loss_rate = 0.05 }
+  in
+  let report_string () =
+    match Streaming.Session.run config clip with
+    | Error e -> Alcotest.failf "session failed: %s" e
+    | Ok r -> Format.asprintf "%a" Streaming.Session.pp_report r
+  in
+  Obs.disable ();
+  let plain = report_string () in
+  let observed = Obs.with_enabled report_string in
+  check string "byte-identical report with obs on" plain observed;
+  Obs.disable ();
+  check string "and again with obs back off" plain (report_string ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "basic semantics" `Quick test_counter_basic;
+          Alcotest.test_case "disabled drops updates" `Quick
+            test_counter_disabled_is_dropped;
+          Alcotest.test_case "concurrent increments" `Quick test_counter_concurrent;
+        ] );
+      ( "gauge",
+        [
+          Alcotest.test_case "set/add/reset" `Quick test_gauge;
+          Alcotest.test_case "concurrent add" `Quick test_gauge_concurrent_add;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket semantics" `Quick test_histogram_buckets;
+          Alcotest.test_case "rejects bad buckets" `Quick
+            test_histogram_rejects_bad_buckets;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "get-or-create" `Quick test_registry_get_or_create;
+          Alcotest.test_case "kind mismatch" `Quick test_registry_kind_mismatch;
+          Alcotest.test_case "snapshot and reset" `Quick
+            test_registry_snapshot_and_reset;
+          Alcotest.test_case "JSON round-trip" `Quick test_registry_json_roundtrip;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and timing" `Quick
+            test_span_nesting_and_timing;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safe;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_span_disabled_records_nothing;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "ring buffer ordering" `Quick
+            test_ring_buffer_ordering;
+          Alcotest.test_case "level threshold" `Quick test_log_level_threshold;
+          Alcotest.test_case "event JSON" `Quick test_log_event_json;
+          Alcotest.test_case "would_log gating" `Quick test_would_log_requires_sink;
+        ] );
+      ( "neutrality",
+        [
+          Alcotest.test_case "session report identical with obs on/off" `Quick
+            test_session_report_unchanged_by_obs;
+        ] );
+    ]
