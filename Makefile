@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench clean slo-smoke
 
 all: build
 
@@ -10,9 +10,16 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate: everything compiles and every suite is green.
+# The tier-1 gate: everything compiles, every suite is green, and a
+# monitored playback run meets the default SLOs.
 check:
-	dune build && dune runtest
+	dune build && dune runtest && $(MAKE) slo-smoke
+
+# End-to-end health gate: monitored playback of a seeded clip against
+# the default SLO file must print a clean report and exit 0.
+slo-smoke:
+	dune exec bin/playback.exe -- -c theincredibles-tlr2 --monitor \
+	  --slo examples/default.slo > /dev/null
 
 bench:
 	dune exec bench/main.exe

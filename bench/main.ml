@@ -1032,6 +1032,73 @@ let list_experiments () =
    (phase timings + full metrics snapshot). *)
 let observed id run = Obs.Trace.with_span ("bench." ^ id) run
 
+(* Percentile columns: sketch-backed quantiles of every histogram
+   family (monitoring is on for the whole bench run). *)
+let quantiles_json () =
+  Obs.Json.List
+    (List.map
+       (fun (qs : Obs.Registry.quantile_series) ->
+         Obs.Json.Obj
+           [
+             ("family", Obs.Json.String qs.Obs.Registry.q_family);
+             ( "labels",
+               Obs.Json.Obj
+                 (List.map
+                    (fun (k, v) -> (k, Obs.Json.String v))
+                    qs.Obs.Registry.q_labels) );
+             ("count", Obs.Json.Int qs.Obs.Registry.q_count);
+             ( "quantiles",
+               Obs.Json.Obj
+                 (List.map
+                    (fun (q, v) ->
+                      (Printf.sprintf "p%g" (q *. 100.), Obs.Json.Float v))
+                    qs.Obs.Registry.q_values) );
+           ])
+       (Obs.Registry.quantiles ()))
+
+(* Exact percentile over a sorted array (nearest-rank). *)
+let pct sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* Per-experiment summary: top-level wall clock plus percentiles over
+   the durations of every span recorded underneath it. *)
+let phase_json (s : Obs.Trace.span) =
+  let durations = ref [] in
+  let rec collect (sp : Obs.Trace.span) =
+    List.iter
+      (fun (c : Obs.Trace.span) ->
+        durations := Obs.Clock.ns_to_s c.Obs.Trace.duration_ns *. 1e3 :: !durations;
+        collect c)
+      sp.Obs.Trace.children
+  in
+  collect s;
+  let sorted = Array.of_list !durations in
+  Array.sort compare sorted;
+  let base =
+    [
+      ("phase", Obs.Json.String s.Obs.Trace.name);
+      ("wall_s", Obs.Json.Float (Obs.Clock.ns_to_s s.Obs.Trace.duration_ns));
+    ]
+  in
+  let spans =
+    if Array.length sorted = 0 then []
+    else
+      [
+        ( "spans",
+          Obs.Json.Obj
+            [
+              ("count", Obs.Json.Int (Array.length sorted));
+              ("p50_ms", Obs.Json.Float (pct sorted 0.5));
+              ("p90_ms", Obs.Json.Float (pct sorted 0.9));
+              ("p99_ms", Obs.Json.Float (pct sorted 0.99));
+              ("max_ms", Obs.Json.Float sorted.(Array.length sorted - 1));
+            ] );
+      ]
+  in
+  Obs.Json.Obj (base @ spans)
+
 let report_obs () =
   let roots = Obs.Trace.roots () in
   if roots <> [] then begin
@@ -1041,30 +1108,34 @@ let report_obs () =
         Printf.printf "  %-24s %10.1f ms\n" s.Obs.Trace.name
           (Obs.Clock.ns_to_s s.Obs.Trace.duration_ns *. 1e3))
       roots;
+    let phases = Obs.Json.List (List.map phase_json roots) in
+    let critical_path = Obs.Trace.hotspots_to_json (Obs.Trace.critical_path ()) in
     let json =
       Obs.Json.Obj
         [
-          ( "phases",
-            Obs.Json.List
-              (List.map
-                 (fun (s : Obs.Trace.span) ->
-                   Obs.Json.Obj
-                     [
-                       ("phase", Obs.Json.String s.Obs.Trace.name);
-                       ( "wall_s",
-                         Obs.Json.Float (Obs.Clock.ns_to_s s.Obs.Trace.duration_ns)
-                       );
-                     ])
-                 roots) );
+          ("phases", phases);
+          ("quantiles", quantiles_json ());
+          ("critical_path", critical_path);
           ("metrics", Obs.Registry.to_json (Obs.Registry.snapshot ()));
         ]
     in
     Obs.write_file ~path:"BENCH_obs.json" (Obs.Json.to_string json);
-    Printf.printf "\nwrote BENCH_obs.json\n"
+    (* The committed, reviewable slice of the same data: wall clock
+       and span percentiles per experiment, no raw metric dump (see
+       EXPERIMENTS.md, "Bench reports"). *)
+    let report =
+      Obs.Json.Obj
+        [ ("phases", phases); ("critical_path", critical_path) ]
+    in
+    Obs.write_file ~path:"BENCH_report.json" (Obs.Json.to_string report);
+    Printf.printf "\nwrote BENCH_obs.json and BENCH_report.json\n"
   end
 
 let () =
   Obs.enable ();
+  (* Monitoring adds the quantile sketches behind the percentile
+     columns in BENCH_obs.json / BENCH_report.json. *)
+  Obs.enable_monitoring ();
   (match Array.to_list Sys.argv with
   | _ :: [] ->
     (* Everything except the micro-benchmarks, which have their own id. *)

@@ -16,8 +16,10 @@ let output_arg =
     & info [ "o"; "output" ] ~docv:"FILE"
         ~doc:"Write the binary annotation track to $(docv).")
 
-let run clip_name device_name device_file quality_percent per_frame output width height fps obs trace_out =
-  Common.with_obs ~obs ~trace_out @@ fun () ->
+let run clip_name device_name device_file quality_percent per_frame output width height fps obs trace_out monitor slo metrics_out =
+  Common.with_instrumentation ~default_quality:(quality_percent /. 100.) ~obs
+    ~trace_out ~monitor ~slo ~metrics_out
+  @@ fun () ->
   let clip =
     Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps)
   in
@@ -49,13 +51,14 @@ let run clip_name device_name device_file quality_percent per_frame output width
         e.Annot.Track.frame_count e.Annot.Track.register e.Annot.Track.effective_max
         e.Annot.Track.compensation)
     (Annot.Track.merge_runs track).Annot.Track.entries;
-  match output with
+  (match output with
   | None -> ()
   | Some path ->
     let oc = open_out_bin path in
     output_string oc encoded;
     close_out oc;
-    Printf.printf "\nwrote %s\n" path
+    Printf.printf "\nwrote %s\n" path);
+  0
 
 let cmd =
   let doc = "profile a video clip and compute its backlight annotations" in
@@ -65,6 +68,7 @@ let cmd =
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ Common.quality_arg $ per_frame_arg $ output_arg $ Common.width_arg
       $ Common.height_arg $ Common.fps_arg $ Common.obs_arg
-      $ Common.trace_out_arg)
+      $ Common.trace_out_arg $ Common.monitor_arg $ Common.slo_arg
+      $ Common.metrics_out_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

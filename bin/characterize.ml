@@ -6,8 +6,9 @@ open Cmdliner
 let steps_arg =
   Arg.(value & opt int 18 & info [ "steps" ] ~docv:"N" ~doc:"Sweep sample count.")
 
-let run device_name device_file steps obs trace_out =
-  Common.with_obs ~obs ~trace_out @@ fun () ->
+let run device_name device_file steps obs trace_out monitor slo metrics_out =
+  Common.with_instrumentation ~obs ~trace_out ~monitor ~slo ~metrics_out
+  @@ fun () ->
   let device =
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
   in
@@ -39,7 +40,8 @@ let run device_name device_file steps obs trace_out =
   Printf.printf "\nrecovered transfer function vs factory curve: max error %.3f\n" err;
   Printf.printf "register needed for half luminance: recovered %d, factory %d\n"
     (Display.Transfer.inverse recovered 0.5)
-    (Display.Device.register_for_gain device 0.5)
+    (Display.Device.register_for_gain device 0.5);
+  0
 
 let cmd =
   let doc = "characterise a device display with the camera rig" in
@@ -47,6 +49,7 @@ let cmd =
     (Cmd.info "characterize" ~doc)
     Term.(
       const run $ Common.device_arg $ Common.device_file_arg $ steps_arg
-      $ Common.obs_arg $ Common.trace_out_arg)
+      $ Common.obs_arg $ Common.trace_out_arg $ Common.monitor_arg
+      $ Common.slo_arg $ Common.metrics_out_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -89,21 +89,89 @@ let trace_out_arg =
           "Write the run's span tree as Chrome trace_event JSON to $(docv) \
            (open with chrome://tracing). Implies $(b,--obs).")
 
-(* Run [f] with observability switched on when requested, then emit the
-   summary and optional trace file. Everything goes to stderr so the
-   tools' stdout stays script-friendly. *)
-let with_obs ~obs ~trace_out f =
-  let enabled = obs || trace_out <> None in
+let monitor_arg =
+  Arg.(
+    value & flag
+    & info [ "monitor" ]
+        ~doc:
+          "Enable health monitoring: sliding-window SLO evaluation and \
+           quantile sketches on every histogram. Prints a health report on \
+           exit and exits with status 3 when an objective is breached. \
+           Implies $(b,--obs).")
+
+let slo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slo" ] ~docv:"FILE"
+        ~doc:
+          "Load SLO rules from $(docv) (one `metric op threshold` per line, \
+           see examples/default.slo) instead of the built-in defaults. \
+           Implies $(b,--monitor).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the final registry snapshot as OpenMetrics/Prometheus text \
+           (quantile summaries and trace critical path included) to $(docv). \
+           Implies $(b,--monitor).")
+
+(* Run [f] (returning an exit code) with observability / monitoring
+   switched on as requested. The obs summary and trace file go to
+   stderr so the tools' stdout stays script-friendly; the health
+   report is the monitoring deliverable and goes to stdout. An SLO
+   breach turns a successful exit into code 3. *)
+let with_instrumentation ?(default_quality = 0.10) ~obs ~trace_out ~monitor ~slo
+    ~metrics_out f =
+  let monitoring = monitor || slo <> None || metrics_out <> None in
+  let enabled = obs || trace_out <> None || monitoring in
   if not enabled then f ()
   else begin
     Obs.enable ();
-    Fun.protect f ~finally:(fun () ->
-        (match trace_out with
-        | None -> ()
-        | Some path -> (
-          try
-            Obs.write_chrome_trace ~path;
-            Printf.eprintf "obs: wrote %s\n%!" path
-          with Sys_error msg -> Printf.eprintf "obs: cannot write trace: %s\n%!" msg));
-        Format.eprintf "%a@." Obs.pp_summary ())
+    let mon =
+      if not monitoring then None
+      else begin
+        let rules =
+          match slo with
+          | None -> Obs.Slo.defaults ~quality:default_quality
+          | Some path -> (
+            match Obs.Slo.load ~path with
+            | Ok rules -> rules
+            | Error msg ->
+              prerr_endline ("error: " ^ path ^ ": " ^ msg);
+              exit 1)
+        in
+        let m = Obs.Monitor.create ~rules () in
+        Obs.Monitor.install m;
+        Some m
+      end
+    in
+    let code =
+      Fun.protect f ~finally:(fun () ->
+          (match trace_out with
+          | None -> ()
+          | Some path -> (
+            try
+              Obs.write_chrome_trace ~path;
+              Printf.eprintf "obs: wrote %s\n%!" path
+            with Sys_error msg ->
+              Printf.eprintf "obs: cannot write trace: %s\n%!" msg));
+          if obs || trace_out <> None then Format.eprintf "%a@." Obs.pp_summary ())
+    in
+    match mon with
+    | None -> code
+    | Some m ->
+      let report = Obs.Monitor.report m in
+      Format.printf "%a@." Obs.Monitor.pp_report report;
+      (match metrics_out with
+      | None -> ()
+      | Some path -> (
+        match Obs.Openmetrics.write_file ~path (Obs.Openmetrics.of_registry ()) with
+        | Ok () -> Printf.eprintf "obs: wrote %s\n%!" path
+        | Error msg -> Printf.eprintf "obs: cannot write metrics: %s\n%!" msg));
+      Obs.Monitor.uninstall ();
+      if code <> 0 then code else if Obs.Monitor.healthy report then 0 else 3
   end

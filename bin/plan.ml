@@ -13,8 +13,9 @@ let capacity_arg =
     value & opt float 4600.
     & info [ "capacity" ] ~docv:"MWH" ~doc:"Battery capacity in milliwatt-hours.")
 
-let run clip_name device_name device_file target_hours capacity_mwh width height fps obs trace_out =
-  Common.with_obs ~obs ~trace_out @@ fun () ->
+let run clip_name device_name device_file target_hours capacity_mwh width height fps obs trace_out monitor slo metrics_out =
+  Common.with_instrumentation ~obs ~trace_out ~monitor ~slo ~metrics_out
+  @@ fun () ->
   let clip = Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps) in
   let device =
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
@@ -50,6 +51,7 @@ let cmd =
     Term.(
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ target_arg $ capacity_arg $ Common.width_arg $ Common.height_arg
-      $ Common.fps_arg $ Common.obs_arg $ Common.trace_out_arg)
+      $ Common.fps_arg $ Common.obs_arg $ Common.trace_out_arg
+      $ Common.monitor_arg $ Common.slo_arg $ Common.metrics_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -63,8 +63,10 @@ let dump_snapshots ~device ~clip ~track prefix =
   Printf.printf "\nwrote %s and %s (frame %d, register %d)\n" ref_path cmp_path
     frame_index entry.Annot.Track.register
 
-let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps obs trace_out =
-  Common.with_obs ~obs ~trace_out @@ fun () ->
+let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps obs trace_out monitor slo metrics_out =
+  Common.with_instrumentation ~default_quality:(quality_percent /. 100.) ~obs
+    ~trace_out ~monitor ~slo ~metrics_out
+  @@ fun () ->
   let clip = Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps) in
   let device =
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
@@ -114,7 +116,8 @@ let run clip_name device_name device_file quality_percent with_camera dump ramp 
         Format.printf "  frame %4d: %a — %s@." i Camera.Quality.pp_verdict verdict
           (if Camera.Quality.acceptable verdict then "ok" else "DEGRADED"))
       (Streaming.Playback.evaluate_quality ~rig ~device ~clip ~track ~sample_every:24)
-  end
+  end;
+  0
 
 let cmd =
   let doc = "simulate annotated playback and report power savings" in
@@ -124,6 +127,7 @@ let cmd =
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ Common.quality_arg $ camera_arg $ dump_arg $ ramp_arg $ Common.width_arg
       $ Common.height_arg $ Common.fps_arg $ Common.obs_arg
-      $ Common.trace_out_arg)
+      $ Common.trace_out_arg $ Common.monitor_arg $ Common.slo_arg
+      $ Common.metrics_out_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -3,3 +3,12 @@ let enabled = Atomic.make false
 let set v = Atomic.set enabled v
 
 let on () = Atomic.get enabled
+
+(* The monitor switch is subordinate to the main one: quantile
+   sketches and windowed series only record when both are on, so a
+   plain --obs run keeps the PR-1 cost profile. *)
+let monitor = Atomic.make false
+
+let set_monitor v = Atomic.set monitor v
+
+let monitor_on () = Atomic.get enabled && Atomic.get monitor

@@ -1,9 +1,19 @@
-(** Global observability switch.
+(** Global observability switches.
 
     Every recording primitive (counter increments, span timing, log
-    emission) checks this single atomic flag first, so a disabled
-    build pays one load-and-branch per instrumentation site and
-    nothing else — the "zero cost when disabled" contract. *)
+    emission) checks the main atomic flag first, so a disabled build
+    pays one load-and-branch per instrumentation site and nothing
+    else — the "zero cost when disabled" contract.
+
+    The monitoring layer (quantile sketches attached to histograms,
+    windowed series, SLO evaluation) has its own flag on top: it only
+    records when {e both} flags are on, so enabling plain metrics
+    never pays the sketch-maintenance cost. *)
 
 val set : bool -> unit
 val on : unit -> bool
+
+val set_monitor : bool -> unit
+
+val monitor_on : unit -> bool
+(** True only when the main switch {e and} the monitor switch are on. *)

@@ -29,12 +29,27 @@ module Gauge = struct
   let reset t = Atomic.set t 0.
 end
 
+(* Samples clamped by the histogram guard below, process-wide. The
+   registry surfaces this as a synthetic [obs_dropped_samples_total]
+   family, so bad clocks show up in every export instead of silently
+   bending a bucket. *)
+let dropped_samples = Atomic.make 0
+
+let dropped_samples_total () = Atomic.get dropped_samples
+
+let reset_dropped_samples () = Atomic.set dropped_samples 0
+
 module Histogram = struct
   type t = {
     bounds : float array;  (* strictly increasing upper bounds *)
     counts : int Atomic.t array;  (* one per bound, plus overflow at the end *)
     total : int Atomic.t;
     sum : float Atomic.t;
+    (* Quantile sketch, maintained only while monitoring is on. The
+       sketch is not lock-free, so it gets its own mutex; the plain
+       bucket path above stays atomic-only. *)
+    sketch : Sketch.t;
+    sketch_mutex : Mutex.t;
   }
 
   let create ~buckets =
@@ -49,6 +64,8 @@ module Histogram = struct
       counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
       total = Atomic.make 0;
       sum = Atomic.make 0.;
+      sketch = Sketch.create ();
+      sketch_mutex = Mutex.create ();
     }
 
   let rec add_sum t v =
@@ -63,9 +80,25 @@ module Histogram = struct
 
   let observe t v =
     if Control.on () then begin
+      (* Guard against clock skew and arithmetic accidents: a NaN or
+         negative sample would land in an arbitrary bucket (NaN
+         compares false everywhere, so it falls through to overflow)
+         or drag [sum] below zero. Clamp to 0 and account the clamp. *)
+      let v =
+        if Float.is_nan v || v < 0. then begin
+          ignore (Atomic.fetch_and_add dropped_samples 1);
+          0.
+        end
+        else v
+      in
       ignore (Atomic.fetch_and_add t.counts.(bucket_index t v) 1);
       ignore (Atomic.fetch_and_add t.total 1);
-      add_sum t v
+      add_sum t v;
+      if Control.monitor_on () then begin
+        Mutex.lock t.sketch_mutex;
+        Sketch.observe t.sketch v;
+        Mutex.unlock t.sketch_mutex
+      end
     end
 
   let count t = Atomic.get t.total
@@ -79,10 +112,25 @@ module Histogram = struct
 
   let bounds t = Array.copy t.bounds
 
+  let quantile t q =
+    Mutex.lock t.sketch_mutex;
+    let result = Sketch.quantile t.sketch q in
+    Mutex.unlock t.sketch_mutex;
+    result
+
+  let sketch_count t =
+    Mutex.lock t.sketch_mutex;
+    let n = Sketch.count t.sketch in
+    Mutex.unlock t.sketch_mutex;
+    n
+
   let reset t =
     Array.iter (fun c -> Atomic.set c 0) t.counts;
     Atomic.set t.total 0;
-    Atomic.set t.sum 0.
+    Atomic.set t.sum 0.;
+    Mutex.lock t.sketch_mutex;
+    Sketch.reset t.sketch;
+    Mutex.unlock t.sketch_mutex
 end
 
 let default_time_buckets =

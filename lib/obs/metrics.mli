@@ -37,9 +37,23 @@ module Histogram : sig
       overflow bucket catches everything above the last bound. *)
 
   val observe : t -> float -> unit
+  (** Records a sample. NaN and negative samples (clock skew, bad
+      subtraction) are clamped to 0 and accounted in
+      {!dropped_samples_total} rather than corrupting the buckets.
+      While monitoring is on ({!Control.monitor_on}), the sample also
+      feeds the histogram's quantile sketch. *)
 
   val count : t -> int
   val sum : t -> float
+
+  val quantile : t -> float -> float option
+  (** Streaming quantile from the attached sketch (ε = the
+      {!Sketch.create} default). [None] until monitoring has fed at
+      least one sample. *)
+
+  val sketch_count : t -> int
+  (** Samples the sketch has seen — differs from {!count} when
+      monitoring was enabled for only part of the run. *)
 
   val bucket_counts : t -> (float * int) array
   (** Per-bucket (upper_bound, count) pairs, non-cumulative. *)
@@ -48,6 +62,13 @@ module Histogram : sig
   val bounds : t -> float array
   val reset : t -> unit
 end
+
+val dropped_samples_total : unit -> int
+(** Process-wide count of histogram samples clamped by the NaN /
+    negative guard. Surfaced by the default registry snapshot as the
+    [obs_dropped_samples_total] family. *)
+
+val reset_dropped_samples : unit -> unit
 
 val default_time_buckets : float array
 (** Seconds, spanning 1 µs .. 10 s in decade steps. *)

@@ -1,0 +1,349 @@
+type breach = { window : int; at_s : float; value : float }
+
+type verdict = {
+  rule : Slo.rule;
+  evaluated : int;
+  breached : int;
+  worst : float option;
+  final : float option;
+  final_breach : bool;
+  breaches : breach list;
+}
+
+type report = {
+  window_s : float;
+  windows : int;
+  duration_s : float;
+  verdicts : verdict list;
+}
+
+let max_breaches = 8
+let frames_series = "frames"
+
+type rule_stats = {
+  mutable evaluated : int;
+  mutable breached : int;
+  mutable worst : float option;
+  mutable breaches_rev : breach list;  (* newest first, capped *)
+}
+
+type t = {
+  window_len : float;
+  history : int;
+  registry : Registry.t;
+  rule_list : Slo.rule list;
+  stats : rule_stats array;
+  series : (string, Window.t) Hashtbl.t;
+  mutable now_s : float;
+  mutable window_start_s : float;
+  mutable window_index : int;
+  mutex : Mutex.t;
+}
+
+let create ?(window_s = 1.0) ?(history = 64) ?(registry = Registry.default)
+    ?(rules = []) () =
+  if window_s <= 0. then
+    invalid_arg "Obs.Monitor.create: window_s must be positive";
+  if history <= 0 then invalid_arg "Obs.Monitor.create: history must be positive";
+  {
+    window_len = window_s;
+    history;
+    registry;
+    rule_list = rules;
+    stats =
+      Array.init (List.length rules) (fun _ ->
+          { evaluated = 0; breached = 0; worst = None; breaches_rev = [] });
+    series = Hashtbl.create 16;
+    now_s = 0.;
+    window_start_s = 0.;
+    window_index = 0;
+    mutex = Mutex.create ();
+  }
+
+let rules t = t.rule_list
+let window_s t = t.window_len
+
+let series t name =
+  match Hashtbl.find_opt t.series name with
+  | Some w -> w
+  | None ->
+    let w = Window.create ~history:t.history () in
+    Hashtbl.add t.series name w;
+    w
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr t ?(by = 1) name =
+  with_lock t (fun () -> Window.add (series t name) (float_of_int by))
+
+let set_gauge t name v = with_lock t (fun () -> Window.set (series t name) v)
+
+(* A window is "worse" the further it moves against the operator: for
+   upper bounds (< / <=) that is the maximum reading, for lower bounds
+   the minimum. *)
+let worse_of op prev v =
+  match prev with
+  | None -> Some v
+  | Some w -> (
+    match op with
+    | Slo.Lt | Slo.Le -> Some (Float.max w v)
+    | Slo.Gt | Slo.Ge -> Some (Float.min w v))
+
+(* Reading of [rule] over the just-finished window, before its series
+   are sealed. [None] means the rule has nothing to say this window. *)
+let window_reading t (rule : Slo.rule) ~duration_s =
+  match rule.stat with
+  | Slo.Quantile q -> Registry.quantile_of_family ~registry:t.registry rule.metric q
+  | Slo.Rate_per_s -> (
+    match Hashtbl.find_opt t.series rule.metric with
+    | None -> Some 0.
+    | Some w -> Some (Window.current w /. duration_s))
+  | Slo.Ratio_per_frame -> (
+    match Hashtbl.find_opt t.series frames_series with
+    | None -> None
+    | Some frames ->
+      let n = Window.current frames in
+      if n <= 0. then None
+      else
+        let c =
+          match Hashtbl.find_opt t.series rule.metric with
+          | None -> 0.
+          | Some w -> Window.current w
+        in
+        Some (c /. n))
+  | Slo.Last -> (
+    match Hashtbl.find_opt t.series rule.metric with
+    | None -> None
+    | Some w -> Window.last_value w)
+
+let evaluate_window t ~at_s ~duration_s =
+  List.iteri
+    (fun i (rule : Slo.rule) ->
+      match window_reading t rule ~duration_s with
+      | None -> ()
+      | Some v ->
+        let s = t.stats.(i) in
+        s.evaluated <- s.evaluated + 1;
+        s.worst <- worse_of rule.op s.worst v;
+        if not (Slo.holds rule.op ~value:v ~threshold:rule.threshold) then begin
+          s.breached <- s.breached + 1;
+          if List.length s.breaches_rev < max_breaches then
+            s.breaches_rev <-
+              { window = t.window_index; at_s; value = v } :: s.breaches_rev
+        end)
+    t.rule_list
+
+let seal_window t ~close_at =
+  let duration_s = close_at -. t.window_start_s in
+  evaluate_window t ~at_s:close_at ~duration_s;
+  Hashtbl.iter
+    (fun _ w ->
+      ignore
+        (Window.close w ~index:t.window_index ~start_s:t.window_start_s
+           ~duration_s))
+    t.series;
+  t.window_index <- t.window_index + 1;
+  t.window_start_s <- close_at
+
+let tick t ~now_s =
+  with_lock t (fun () ->
+      if now_s > t.now_s then t.now_s <- now_s;
+      while t.now_s -. t.window_start_s >= t.window_len do
+        seal_window t ~close_at:(t.window_start_s +. t.window_len)
+      done)
+
+let cut t ~now_s =
+  tick t ~now_s;
+  with_lock t (fun () ->
+      if t.now_s > t.window_start_s then seal_window t ~close_at:t.now_s)
+
+(* End-of-session reading over the whole run, for the FINAL column. *)
+let final_reading t (rule : Slo.rule) ~duration_s =
+  match rule.stat with
+  | Slo.Quantile q -> Registry.quantile_of_family ~registry:t.registry rule.metric q
+  | Slo.Rate_per_s ->
+    if duration_s <= 0. then None
+    else
+      let total =
+        match Hashtbl.find_opt t.series rule.metric with
+        | None -> 0.
+        | Some w -> Window.lifetime_total w
+      in
+      Some (total /. duration_s)
+  | Slo.Ratio_per_frame -> (
+    match Hashtbl.find_opt t.series frames_series with
+    | None -> None
+    | Some frames ->
+      let n = Window.lifetime_total frames in
+      if n <= 0. then None
+      else
+        let c =
+          match Hashtbl.find_opt t.series rule.metric with
+          | None -> 0.
+          | Some w -> Window.lifetime_total w
+        in
+        Some (c /. n))
+  | Slo.Last -> (
+    match Hashtbl.find_opt t.series rule.metric with
+    | None -> None
+    | Some w -> Window.last_value w)
+
+let report t =
+  with_lock t (fun () ->
+      if t.now_s > t.window_start_s then seal_window t ~close_at:t.now_s;
+      let duration_s = t.now_s in
+      let verdicts =
+        List.mapi
+          (fun i rule ->
+            let s = t.stats.(i) in
+            let final = final_reading t rule ~duration_s in
+            let final_breach =
+              match final with
+              | None -> false
+              | Some v ->
+                not (Slo.holds rule.Slo.op ~value:v ~threshold:rule.Slo.threshold)
+            in
+            {
+              rule;
+              evaluated = s.evaluated;
+              breached = s.breached;
+              worst = s.worst;
+              final;
+              final_breach;
+              breaches = List.rev s.breaches_rev;
+            })
+          t.rule_list
+      in
+      { window_s = t.window_len; windows = t.window_index; duration_s; verdicts })
+
+let verdict_ok (v : verdict) = v.breached = 0 && not v.final_breach
+
+let healthy r = List.for_all verdict_ok r.verdicts
+
+let float_str v = Printf.sprintf "%.6g" v
+
+let opt_str = function None -> "-" | Some v -> float_str v
+
+let pp_report ppf r =
+  let open Format in
+  fprintf ppf "@[<v>";
+  fprintf ppf "=== health report ===@,";
+  fprintf ppf "simulated %.6gs covered, %d windows of %.6gs, %d rules@,"
+    r.duration_s r.windows r.window_s (List.length r.verdicts);
+  if r.verdicts = [] then fprintf ppf "(no rules loaded)@,"
+  else begin
+    let rows =
+      List.map
+        (fun v ->
+          ( v.rule.Slo.source,
+            Printf.sprintf "%d/%d" v.breached v.evaluated,
+            opt_str v.worst,
+            opt_str v.final,
+            (if verdict_ok v then "ok" else "BREACH") ))
+        r.verdicts
+    in
+    let w1 =
+      List.fold_left (fun acc (a, _, _, _, _) -> max acc (String.length a)) 4 rows
+    in
+    let w2 =
+      List.fold_left (fun acc (_, b, _, _, _) -> max acc (String.length b)) 7 rows
+    in
+    let w3 =
+      List.fold_left (fun acc (_, _, c, _, _) -> max acc (String.length c)) 5 rows
+    in
+    let w4 =
+      List.fold_left (fun acc (_, _, _, d, _) -> max acc (String.length d)) 5 rows
+    in
+    fprintf ppf "%-*s  %*s  %*s  %*s  %s@," w1 "rule" w2 "breach" w3 "worst" w4
+      "final" "verdict";
+    List.iter
+      (fun (a, b, c, d, e) ->
+        fprintf ppf "%-*s  %*s  %*s  %*s  %s@," w1 a w2 b w3 c w4 d e)
+      rows;
+    List.iter
+      (fun v ->
+        List.iter
+          (fun b ->
+            fprintf ppf "  breach: %s -> %s in window %d @@ %.6gs@,"
+              v.rule.Slo.source (float_str b.value) b.window b.at_s)
+          v.breaches;
+        if v.final_breach then
+          fprintf ppf "  breach: %s -> %s over the whole session@,"
+            v.rule.Slo.source (opt_str v.final))
+      r.verdicts
+  end;
+  if healthy r then fprintf ppf "overall: OK"
+  else
+    fprintf ppf "overall: BREACH (%d of %d rules)"
+      (List.length (List.filter (fun v -> not (verdict_ok v)) r.verdicts))
+      (List.length r.verdicts);
+  fprintf ppf "@]"
+
+let report_to_json r =
+  let fopt = function None -> Json.Null | Some v -> Json.Float v in
+  Json.Obj
+    [
+      ("window_s", Json.Float r.window_s);
+      ("windows", Json.Int r.windows);
+      ("duration_s", Json.Float r.duration_s);
+      ("healthy", Json.Bool (healthy r));
+      ( "rules",
+        Json.List
+          (List.map
+             (fun v ->
+               Json.Obj
+                 [
+                   ("rule", Json.String v.rule.Slo.source);
+                   ("evaluated", Json.Int v.evaluated);
+                   ("breached", Json.Int v.breached);
+                   ("worst", fopt v.worst);
+                   ("final", fopt v.final);
+                   ("ok", Json.Bool (verdict_ok v));
+                   ( "breaches",
+                     Json.List
+                       (List.map
+                          (fun b ->
+                            Json.Obj
+                              [
+                                ("window", Json.Int b.window);
+                                ("at_s", Json.Float b.at_s);
+                                ("value", Json.Float b.value);
+                              ])
+                          v.breaches) );
+                 ])
+             r.verdicts) );
+    ]
+
+let instance : t option Atomic.t = Atomic.make None
+
+let install t =
+  Atomic.set instance (Some t);
+  Control.set_monitor true
+
+let uninstall () =
+  Atomic.set instance None;
+  Control.set_monitor false
+
+let installed () = Atomic.get instance
+
+let count ?by name =
+  if Control.on () then
+    match Atomic.get instance with
+    | Some t -> incr t ?by name
+    | None -> ()
+
+let gauge name v =
+  if Control.on () then
+    match Atomic.get instance with
+    | Some t -> set_gauge t name v
+    | None -> ()
+
+let advance ~now_s =
+  if Control.on () then
+    match Atomic.get instance with Some t -> tick t ~now_s | None -> ()
+
+let scene_cut ~now_s =
+  if Control.on () then
+    match Atomic.get instance with Some t -> cut t ~now_s | None -> ()

@@ -12,12 +12,26 @@ module Metrics = Metrics
 module Registry = Registry
 module Trace = Trace
 module Log = Log
+module Sketch = Sketch
+module Window = Window
+module Slo = Slo
+module Monitor = Monitor
+module Openmetrics = Openmetrics
 
 let enable () = Control.set true
 
 let disable () = Control.set false
 
 let enabled () = Control.on ()
+
+(* Monitoring (quantile sketches + windowed SLO evaluation) is a
+   second switch on top of [enable]: it only takes effect while
+   observability itself is on. *)
+let enable_monitoring () = Control.set_monitor true
+
+let disable_monitoring () = Control.set_monitor false
+
+let monitoring () = Control.monitor_on ()
 
 let with_enabled f =
   let was = Control.on () in

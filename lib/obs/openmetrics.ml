@@ -1,0 +1,165 @@
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let labels_str labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+           labels)
+    ^ "}"
+
+let sample buf name labels v =
+  Buffer.add_string buf name;
+  Buffer.add_string buf (labels_str labels);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (number v);
+  Buffer.add_char buf '\n'
+
+let header buf ~name ~help ~kind =
+  if help <> "" then
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+(* OpenMetrics counters carry the base name in the TYPE header and a
+   [_total] suffix on the sample line. *)
+let counter_names family =
+  match String.ends_with ~suffix:"_total" family with
+  | true -> (String.sub family 0 (String.length family - 6), family)
+  | false -> (family, family ^ "_total")
+
+let render_family buf (f : Registry.family_snapshot) =
+  match f.kind with
+  | Registry.Counter ->
+    let base, sample_name = counter_names f.family in
+    header buf ~name:base ~help:f.help ~kind:"counter";
+    List.iter
+      (fun (s : Registry.series) ->
+        match s.value with
+        | Registry.Counter_v n -> sample buf sample_name s.labels (float_of_int n)
+        | _ -> ())
+      f.series
+  | Registry.Gauge ->
+    header buf ~name:f.family ~help:f.help ~kind:"gauge";
+    List.iter
+      (fun (s : Registry.series) ->
+        match s.value with
+        | Registry.Gauge_v v -> sample buf f.family s.labels v
+        | _ -> ())
+      f.series
+  | Registry.Histogram ->
+    header buf ~name:f.family ~help:f.help ~kind:"histogram";
+    List.iter
+      (fun (s : Registry.series) ->
+        match s.value with
+        | Registry.Histogram_v { buckets; overflow = _; count; sum } ->
+          let cumulative = ref 0 in
+          List.iter
+            (fun (bound, n) ->
+              cumulative := !cumulative + n;
+              sample buf (f.family ^ "_bucket")
+                (s.labels @ [ ("le", number bound) ])
+                (float_of_int !cumulative))
+            buckets;
+          sample buf (f.family ^ "_bucket")
+            (s.labels @ [ ("le", "+Inf") ])
+            (float_of_int count);
+          sample buf (f.family ^ "_sum") s.labels sum;
+          sample buf (f.family ^ "_count") s.labels (float_of_int count)
+        | _ -> ())
+      f.series
+
+let render_quantiles buf (series : Registry.quantile_series list) =
+  (* Group consecutive series of the same family under one header;
+     the input is already sorted by family then labels. *)
+  let last_family = ref "" in
+  List.iter
+    (fun (qs : Registry.quantile_series) ->
+      let name = qs.q_family ^ "_quantiles" in
+      if name <> !last_family then begin
+        header buf ~name
+          ~help:(Printf.sprintf "Streaming quantile sketch over %s" qs.q_family)
+          ~kind:"summary";
+        last_family := name
+      end;
+      List.iter
+        (fun (q, v) ->
+          sample buf name (qs.q_labels @ [ ("quantile", number q) ]) v)
+        qs.q_values;
+      sample buf (name ^ "_count") qs.q_labels (float_of_int qs.q_count))
+    series
+
+let render_critical_path buf (hotspots : Trace.hotspot list) =
+  if hotspots <> [] then begin
+    header buf ~name:"trace_span_seconds"
+      ~help:"Recorded time per trace stage (critical-path summary)"
+      ~kind:"gauge";
+    List.iter
+      (fun (h : Trace.hotspot) ->
+        let secs ns = Clock.ns_to_s ns in
+        sample buf "trace_span_seconds"
+          [ ("span", h.h_name); ("stat", "total") ]
+          (secs h.h_total_ns);
+        sample buf "trace_span_seconds"
+          [ ("span", h.h_name); ("stat", "max") ]
+          (secs h.h_max_ns))
+      hotspots;
+    header buf ~name:"trace_span_count"
+      ~help:"Occurrences per trace stage" ~kind:"gauge";
+    List.iter
+      (fun (h : Trace.hotspot) ->
+        sample buf "trace_span_count" [ ("span", h.h_name) ]
+          (float_of_int h.h_count))
+      hotspots
+  end
+
+let render ?(quantiles = []) ?(critical_path = []) (snap : Registry.snapshot) =
+  let buf = Buffer.create 4096 in
+  List.iter (render_family buf) snap;
+  render_quantiles buf quantiles;
+  render_critical_path buf critical_path;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let of_registry ?registry ?qs ?(trace_top = 10) () =
+  let snap = Registry.snapshot ?registry () in
+  let quantiles = Registry.quantiles ?registry ?qs () in
+  let critical_path =
+    if trace_top <= 0 then [] else Trace.critical_path ~top:trace_top ()
+  in
+  render ~quantiles ~critical_path snap
+
+let write_file ~path text =
+  match
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text)
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,44 @@
+(** OpenMetrics / Prometheus text exposition.
+
+    Renders a registry snapshot in the OpenMetrics text format:
+    [# HELP] / [# TYPE] headers per family, cumulative
+    [_bucket{le="..."}] series plus [_sum] / [_count] for histograms,
+    and a closing [# EOF]. Counter families are exposed under the
+    spec-mandated [_total] sample name (the [# TYPE] line carries the
+    base name).
+
+    Optionally appended to the scrape:
+    - quantile summaries — one [<family>_quantiles] summary family
+      per histogram family with sketch data, series labelled
+      [quantile="0.5"] etc.;
+    - the trace critical path — [trace_span_seconds{span=...,stat=...}]
+      and [trace_span_count{span=...}] gauges, top stages by total
+      recorded time.
+
+    Everything is rendered from deterministic snapshots, so two runs
+    of a seeded session produce byte-identical scrapes (modulo the
+    wall-clock trace section). *)
+
+val render :
+  ?quantiles:Registry.quantile_series list ->
+  ?critical_path:Trace.hotspot list ->
+  Registry.snapshot ->
+  string
+(** Render an existing snapshot (plus optional extras) to a complete
+    exposition ending in [# EOF]. *)
+
+val of_registry :
+  ?registry:Registry.t ->
+  ?qs:float list ->
+  ?trace_top:int ->
+  unit ->
+  string
+(** One-call scrape: snapshots [registry] (default the process-global
+    one), reads its quantile sketches at [qs] (default
+    {!Registry.default_quantiles}) and summarises the trace critical
+    path ([trace_top] stages, default 10; pass [0] to omit the trace
+    section). *)
+
+val write_file : path:string -> string -> (unit, string) result
+(** Write an exposition to [path]; errors carry the [Sys_error]
+    message. *)

@@ -129,6 +129,24 @@ let compare_labels a b =
     (List.map (fun (k, v) -> k ^ "\000" ^ v) a)
     (List.map (fun (k, v) -> k ^ "\000" ^ v) b)
 
+(* The histogram NaN/negative guard counts its clamps in a process
+   global (see Metrics); the default registry surfaces it as a
+   synthetic read-only family so every snapshot and export shows it.
+   It only appears once at least one sample was clamped, keeping
+   snapshots of untouched registries unchanged. *)
+let dropped_family () =
+  let dropped = Metrics.dropped_samples_total () in
+  if dropped = 0 then []
+  else
+    [
+      {
+        family = "obs_dropped_samples_total";
+        help = "Histogram samples clamped to 0 by the NaN/negative guard";
+        kind = Counter;
+        series = [ { labels = []; value = Counter_v dropped } ];
+      };
+    ]
+
 let snapshot ?(registry = default) () =
   with_lock registry (fun () ->
       Hashtbl.fold
@@ -141,11 +159,13 @@ let snapshot ?(registry = default) () =
             |> List.sort (fun a b -> compare_labels a.labels b.labels)
           in
           { family = f.f_name; help = f.f_help; kind = f.f_kind; series } :: acc)
-        registry.families []
+        registry.families
+        (if registry == default then dropped_family () else [])
       |> List.sort (fun a b -> String.compare a.family b.family))
 
 let reset ?(registry = default) () =
   with_lock registry (fun () ->
+      if registry == default then Metrics.reset_dropped_samples ();
       Hashtbl.iter
         (fun _ f ->
           Hashtbl.iter
@@ -156,6 +176,65 @@ let reset ?(registry = default) () =
               | H h -> Metrics.Histogram.reset h)
             f.f_series)
         registry.families)
+
+(* --- quantiles ----------------------------------------------------------- *)
+
+type quantile_series = {
+  q_family : string;
+  q_labels : (string * string) list;
+  q_count : int;
+  q_values : (float * float) list;
+}
+
+let default_quantiles = [ 0.5; 0.9; 0.99 ]
+
+let quantiles ?(registry = default) ?(qs = default_quantiles) () =
+  with_lock registry (fun () ->
+      Hashtbl.fold
+        (fun _ f acc ->
+          if f.f_kind <> Histogram then acc
+          else
+            Hashtbl.fold
+              (fun labels i acc ->
+                match i with
+                | H h when Metrics.Histogram.sketch_count h > 0 ->
+                  let values =
+                    List.filter_map
+                      (fun q ->
+                        Option.map (fun v -> (q, v)) (Metrics.Histogram.quantile h q))
+                      qs
+                  in
+                  {
+                    q_family = f.f_name;
+                    q_labels = labels;
+                    q_count = Metrics.Histogram.sketch_count h;
+                    q_values = values;
+                  }
+                  :: acc
+                | _ -> acc)
+              f.f_series acc)
+        registry.families []
+      |> List.sort (fun a b ->
+             match String.compare a.q_family b.q_family with
+             | 0 -> compare_labels a.q_labels b.q_labels
+             | c -> c))
+
+let quantile_of_family ?(registry = default) name q =
+  let series =
+    with_lock registry (fun () ->
+        match Hashtbl.find_opt registry.families name with
+        | None -> []
+        | Some f -> Hashtbl.fold (fun _ i acc -> i :: acc) f.f_series [])
+  in
+  List.fold_left
+    (fun acc i ->
+      match i with
+      | H h -> (
+        match Metrics.Histogram.quantile h q with
+        | Some v -> Some (match acc with None -> v | Some w -> Float.max v w)
+        | None -> acc)
+      | _ -> acc)
+    None series
 
 let family_count ?(registry = default) () =
   with_lock registry (fun () -> Hashtbl.length registry.families)

@@ -57,12 +57,42 @@ type family_snapshot = {
 type snapshot = family_snapshot list
 
 val snapshot : ?registry:t -> unit -> snapshot
-(** Families sorted by name, series sorted by labels — deterministic. *)
+(** Families sorted by name, series sorted by labels — deterministic.
+    On the default registry the snapshot also carries a synthetic
+    [obs_dropped_samples_total] counter family once any histogram
+    sample has been clamped by the NaN/negative guard. *)
 
 val reset : ?registry:t -> unit -> unit
 (** Zero every series in place. Cached handles stay valid. *)
 
 val family_count : ?registry:t -> unit -> int
+
+(** {1 Quantiles}
+
+    While monitoring is on ({!Control.monitor_on}), every histogram
+    series feeds a streaming quantile sketch alongside its buckets;
+    these accessors read the sketches back. *)
+
+type quantile_series = {
+  q_family : string;
+  q_labels : (string * string) list;
+  q_count : int;  (** samples the sketch has seen *)
+  q_values : (float * float) list;  (** (quantile, value) pairs *)
+}
+
+val default_quantiles : float list
+(** p50 / p90 / p99. *)
+
+val quantiles :
+  ?registry:t -> ?qs:float list -> unit -> quantile_series list
+(** Every histogram series whose sketch has data, sorted by family
+    then labels — deterministic. *)
+
+val quantile_of_family : ?registry:t -> string -> float -> float option
+(** [quantile_of_family name q] is the {e worst} (largest) value of
+    quantile [q] across the series of histogram family [name] — the
+    reading SLO rules gate on, so no labelled series may hide a
+    breach. [None] when the family is missing or has no sketch data. *)
 
 val pp_text : Format.formatter -> snapshot -> unit
 (** Human-readable summary table. *)

@@ -1,0 +1,120 @@
+(* Greenwald–Khanna quantile summary with the CKMS-style simplified
+   band condition: every tuple keeps g (count of samples it absorbs)
+   and delta (rank uncertainty), compress merges a tuple into its
+   right neighbour while g_i + g_{i+1} + delta_{i+1} <= floor(2*eps*n),
+   and interior inserts take delta = floor(2*eps*n). The two
+   endpoints are never merged away, so q = 0 / q = 1 stay exact. *)
+
+type tuple = { v : float; g : int; delta : int }
+
+type t = {
+  epsilon : float;
+  mutable n : int;  (* samples already merged into [tuples] *)
+  mutable tuples : tuple array;  (* sorted ascending by v *)
+  buffer : float array;  (* pending samples, unsorted *)
+  mutable buf_len : int;
+}
+
+let create ?(epsilon = 0.01) () =
+  if not (epsilon > 0. && epsilon < 0.5) then
+    invalid_arg "Obs.Sketch.create: epsilon must be in (0, 0.5)";
+  let cap = max 16 (int_of_float (ceil (1. /. (2. *. epsilon)))) in
+  { epsilon; n = 0; tuples = [||]; buffer = Array.make cap 0.; buf_len = 0 }
+
+let epsilon t = t.epsilon
+
+let count t = t.n + t.buf_len
+
+let band t = int_of_float (2. *. t.epsilon *. float_of_int t.n)
+
+let compress t =
+  let s = Array.length t.tuples in
+  if s > 2 then begin
+    let thr = band t in
+    (* Right-to-left pass writing the survivors into the tail of a
+       scratch array; tuple 0 (the minimum) is excluded from merging. *)
+    let out = Array.make s t.tuples.(0) in
+    let k = ref (s - 1) in
+    out.(!k) <- t.tuples.(s - 1);
+    for i = s - 2 downto 1 do
+      let next = out.(!k) in
+      if t.tuples.(i).g + next.g + next.delta <= thr then
+        out.(!k) <- { next with g = next.g + t.tuples.(i).g }
+      else begin
+        decr k;
+        out.(!k) <- t.tuples.(i)
+      end
+    done;
+    decr k;
+    out.(!k) <- t.tuples.(0);
+    t.tuples <- Array.sub out !k (s - !k)
+  end
+
+let flush t =
+  if t.buf_len > 0 then begin
+    let fresh = Array.sub t.buffer 0 t.buf_len in
+    t.buf_len <- 0;
+    Array.sort Float.compare fresh;
+    let old = t.tuples in
+    let s = Array.length old and b = Array.length fresh in
+    let merged = Array.make (s + b) { v = 0.; g = 0; delta = 0 } in
+    let oi = ref 0 and bi = ref 0 in
+    for k = 0 to s + b - 1 do
+      if !bi >= b || (!oi < s && old.(!oi).v <= fresh.(!bi)) then begin
+        merged.(k) <- old.(!oi);
+        incr oi
+      end
+      else begin
+        t.n <- t.n + 1;
+        (* A sample below the current minimum or above the current
+           maximum has an exactly known rank; interior inserts carry
+           the band's worth of uncertainty. *)
+        let delta = if !oi = 0 || !oi = s then 0 else band t in
+        merged.(k) <- { v = fresh.(!bi); g = 1; delta };
+        incr bi
+      end
+    done;
+    t.tuples <- merged;
+    compress t
+  end
+
+let observe t v =
+  if not (Float.is_nan v) then begin
+    t.buffer.(t.buf_len) <- v;
+    t.buf_len <- t.buf_len + 1;
+    if t.buf_len = Array.length t.buffer then flush t
+  end
+
+let quantile t q =
+  flush t;
+  let s = Array.length t.tuples in
+  if s = 0 then None
+  else if s = 1 then Some t.tuples.(0).v
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let nf = float_of_int t.n in
+    let target = q *. nf in
+    let allowed = t.epsilon *. nf in
+    (* Return the last tuple whose successor could still overshoot the
+       allowed rank window — the standard GK query. *)
+    let rec go i rmin =
+      if i = s - 1 then t.tuples.(s - 1).v
+      else begin
+        let rmin = rmin + t.tuples.(i).g in
+        let next = t.tuples.(i + 1) in
+        if float_of_int (rmin + next.g + next.delta) > target +. allowed then
+          t.tuples.(i).v
+        else go (i + 1) rmin
+      end
+    in
+    Some (go 0 0)
+  end
+
+let tuple_count t =
+  flush t;
+  Array.length t.tuples
+
+let reset t =
+  t.n <- 0;
+  t.tuples <- [||];
+  t.buf_len <- 0

@@ -1,0 +1,41 @@
+(** Streaming quantile sketch (Greenwald–Khanna / CKMS family).
+
+    A bounded-memory summary of a stream of floats answering rank
+    queries with a uniform guarantee: for a stream of [n] samples,
+    [quantile t q] returns an {e observed} sample whose exact rank is
+    within [epsilon * n] of [q * n]. Space is O((1/ε)·log(εn))
+    tuples; inserts are buffered and merged in sorted batches, so the
+    amortised per-sample cost is a comparison sort over a small
+    buffer plus an occasional linear merge.
+
+    The sketch is deterministic: the same observation sequence always
+    yields the same summary and the same answers, which is what lets
+    monitor reports on the simulated clock be reproduced bit-for-bit.
+    It is not thread-safe; callers serialise access (the registry
+    histograms guard theirs with a mutex). *)
+
+type t
+
+val create : ?epsilon:float -> unit -> t
+(** [create ?epsilon ()] — default ε is 0.01 (ranks within 1 % of
+    [n]). Raises [Invalid_argument] unless ε is in (0, 0.5). *)
+
+val epsilon : t -> float
+
+val observe : t -> float -> unit
+(** Add one sample. NaN samples are dropped (they have no rank). *)
+
+val count : t -> int
+(** Samples observed (excluding dropped NaNs). *)
+
+val quantile : t -> float -> float option
+(** [quantile t q] for [q] in [0, 1] (clamped): an observed value
+    whose rank is within [epsilon * count] of [q * count]; [None] on
+    an empty sketch. [quantile t 0.] is the exact minimum and
+    [quantile t 1.] the exact maximum. *)
+
+val tuple_count : t -> int
+(** Summary tuples currently held — the space the sketch actually
+    uses; exposed so tests can pin the compression. *)
+
+val reset : t -> unit

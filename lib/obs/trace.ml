@@ -94,6 +94,49 @@ let total_ns name =
   in
   sum 0L (roots ())
 
+type hotspot = {
+  h_name : string;
+  h_count : int;
+  h_total_ns : int64;
+  h_max_ns : int64;
+}
+
+let critical_path ?(top = 10) () =
+  let tbl : (string, int * int64 * int64) Hashtbl.t = Hashtbl.create 16 in
+  let rec visit s =
+    let c, tot, mx =
+      Option.value (Hashtbl.find_opt tbl s.name) ~default:(0, 0L, 0L)
+    in
+    Hashtbl.replace tbl s.name
+      ( c + 1,
+        Int64.add tot s.duration_ns,
+        if Int64.compare s.duration_ns mx > 0 then s.duration_ns else mx );
+    List.iter visit s.children
+  in
+  List.iter visit (roots ());
+  Hashtbl.fold
+    (fun name (c, tot, mx) acc ->
+      { h_name = name; h_count = c; h_total_ns = tot; h_max_ns = mx } :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         match Int64.compare b.h_total_ns a.h_total_ns with
+         | 0 -> String.compare a.h_name b.h_name
+         | c -> c)
+  |> List.filteri (fun i _ -> i < top)
+
+let hotspots_to_json hotspots =
+  Json.List
+    (List.map
+       (fun h ->
+         Json.Obj
+           [
+             ("span", Json.String h.h_name);
+             ("count", Json.Int h.h_count);
+             ("total_ms", Json.Float (Clock.ns_to_s h.h_total_ns *. 1e3));
+             ("max_ms", Json.Float (Clock.ns_to_s h.h_max_ns *. 1e3));
+           ])
+       hotspots)
+
 let pp_flame ppf () =
   let rec pp_span ~indent ~parent_ns s =
     let ms = Clock.ns_to_s s.duration_ns *. 1e3 in

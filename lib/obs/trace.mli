@@ -34,6 +34,22 @@ val find : string -> span list -> span option
 val total_ns : string -> int64
 (** Summed duration of every recorded span with the given name. *)
 
+(** {1 Critical path} *)
+
+type hotspot = {
+  h_name : string;  (** span / stage name *)
+  h_count : int;  (** occurrences across the trace *)
+  h_total_ns : int64;
+  h_max_ns : int64;  (** slowest single occurrence *)
+}
+
+val critical_path : ?top:int -> unit -> hotspot list
+(** The [top] (default 10) stages by total recorded time, worst
+    first — a per-stage summary of where the run's wall clock went.
+    Ties break on name so the order is deterministic. *)
+
+val hotspots_to_json : hotspot list -> Json.t
+
 val pp_flame : Format.formatter -> unit -> unit
 (** Indented tree of the recorded spans with durations and each
     child's share of its parent. *)

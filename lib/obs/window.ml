@@ -1,0 +1,53 @@
+type slot = {
+  index : int;
+  start_s : float;
+  duration_s : float;
+  total : float;
+  last : float option;
+}
+
+type t = {
+  ring : slot option array;
+  mutable write_pos : int;  (* total slots ever closed *)
+  mutable current : float;
+  mutable last : float option;
+  mutable lifetime : float;
+}
+
+let create ?(history = 64) () =
+  if history <= 0 then invalid_arg "Obs.Window.create: history must be positive";
+  { ring = Array.make history None; write_pos = 0; current = 0.; last = None; lifetime = 0. }
+
+let add t v =
+  t.current <- t.current +. v;
+  t.lifetime <- t.lifetime +. v
+
+let set t v = t.last <- Some v
+
+let current t = t.current
+
+let last_value t = t.last
+
+let lifetime_total t = t.lifetime
+
+let close t ~index ~start_s ~duration_s =
+  if duration_s <= 0. then invalid_arg "Obs.Window.close: duration must be positive";
+  let slot = { index; start_s; duration_s; total = t.current; last = t.last } in
+  let capacity = Array.length t.ring in
+  t.ring.(t.write_pos mod capacity) <- Some slot;
+  t.write_pos <- t.write_pos + 1;
+  t.current <- 0.;
+  slot
+
+let recent t =
+  let capacity = Array.length t.ring in
+  let first = max 0 (t.write_pos - capacity) in
+  let slots = ref [] in
+  for i = t.write_pos - 1 downto first do
+    match t.ring.(i mod capacity) with
+    | Some s -> slots := s :: !slots
+    | None -> ()
+  done;
+  !slots
+
+let closed_count t = t.write_pos

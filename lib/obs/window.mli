@@ -1,0 +1,50 @@
+(** Ring-buffered sliding-window accumulator.
+
+    One windowed series: an open accumulation (sum of added deltas
+    plus the last set value) and a ring of the most recent closed
+    windows. The monitor owns the clock — it decides when a window
+    closes and with what timestamps — so a series knows nothing about
+    time except what it is told, which keeps everything deterministic
+    on the simulated clock. *)
+
+type slot = {
+  index : int;  (** 0-based window number *)
+  start_s : float;
+  duration_s : float;  (** > 0 *)
+  total : float;  (** deltas accumulated during the window *)
+  last : float option;  (** last [set] value as of window close *)
+}
+
+type t
+
+val create : ?history:int -> unit -> t
+(** [history] bounds the ring (default 64); older closed windows are
+    evicted. Raises [Invalid_argument] if not positive. *)
+
+val add : t -> float -> unit
+(** Accumulate into the open window (counter semantics). *)
+
+val set : t -> float -> unit
+(** Record a most-recent value (gauge semantics); carried across
+    windows until overwritten. *)
+
+val current : t -> float
+(** Open-window accumulation so far. *)
+
+val last_value : t -> float option
+(** Most recent [set] value, if any. *)
+
+val lifetime_total : t -> float
+(** Sum of all deltas ever added, open window included. *)
+
+val close : t -> index:int -> start_s:float -> duration_s:float -> slot
+(** Seal the open window into a slot, push it on the ring, zero the
+    open accumulation (the gauge value carries over), and return the
+    slot just closed. Raises [Invalid_argument] on a non-positive
+    duration. *)
+
+val recent : t -> slot list
+(** Closed windows still in the ring, oldest first. *)
+
+val closed_count : t -> int
+(** Windows closed over the series' lifetime (evicted ones included). *)

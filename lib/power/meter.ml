@@ -27,7 +27,11 @@ let publish ?component reading =
   if Obs.enabled () then begin
     Obs.Metrics.Counter.incr obs_readings;
     match component with
-    | Some c -> Obs.Metrics.Gauge.set (obs_energy c) reading.energy_mj
+    | Some c ->
+      Obs.Metrics.Gauge.set (obs_energy c) reading.energy_mj;
+      (* Also feed the health monitor so per-component power-budget
+         rules ([power_<component>_mj < X]) can gate on it. *)
+      Obs.Monitor.gauge ("power_" ^ c ^ "_mj") reading.energy_mj
     | None -> ()
   end;
   reading

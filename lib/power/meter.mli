@@ -28,7 +28,8 @@ val measure : ?component:string -> t -> duration_s:float -> (float -> float) -> 
     time [t] seconds) over [0, duration_s) and integrates. Duration
     must be positive. When [component] is given, the resulting energy
     is also published to the [power_energy_mj{component=...}]
-    observability gauge. *)
+    observability gauge and, when a health monitor is installed, to
+    its [power_<component>_mj] gauge for SLO power budgets. *)
 
 val measure_trace : ?component:string -> t -> dt_s:float -> float array -> reading
 (** [measure_trace meter ~dt_s trace] integrates a pre-sampled power

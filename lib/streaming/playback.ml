@@ -100,6 +100,16 @@ let run_with_registers ?(options = default_options) ~device ~quality ~clip_name
     measure ~component:"backlight_baseline" (backlight_trace ~device ~registers:full)
   in
   let switch_count = count_switches registers in
+  if Obs.enabled () then
+    (* Walk the register track on the simulated clock so the health
+       monitor sees per-window frame and switch rates. *)
+    Array.iteri
+      (fun i _ ->
+        Obs.Monitor.count Obs.Monitor.frames_series;
+        if i > 0 && registers.(i) <> registers.(i - 1) then
+          Obs.Monitor.count "backlight_switches";
+        Obs.Monitor.advance ~now_s:(float_of_int (i + 1) *. dt_s))
+      registers;
   Obs.Metrics.Counter.incr obs_runs;
   Obs.Metrics.Counter.incr obs_frames ~by:frames;
   Obs.Metrics.Counter.incr obs_switches ~by:switch_count;

@@ -80,6 +80,10 @@ let obs_frame_latency =
     ~buckets:[| 1e-4; 5e-4; 1e-3; 5e-3; 1e-2; 5e-2; 0.1; 0.5 |]
     "streaming_frame_latency_seconds" []
 
+let obs_deadline_misses =
+  Obs.counter ~help:"Frames whose wire transfer exceeded the frame period"
+    "streaming_deadline_misses_total" []
+
 let obs_energy component =
   Obs.gauge ~help:"Last measured energy per accounted component (mJ)"
     "power_energy_mj"
@@ -179,12 +183,36 @@ let run config clip =
                 Radio.run ~link:config.link ~fps ~gop:config.gop ~frame_bytes
                   Radio.Annotated_bursts
               in
-              if Obs.enabled () then
+              if Obs.enabled () then begin
+                (* Replay the delivered session frame by frame on the
+                   simulated clock: latency samples, deadline misses
+                   (transfer longer than a frame period) and backlight
+                   switches feed the health monitor, whose windows
+                   close every simulated second and at every scene
+                   cut (annotation-entry boundary). *)
+                let scene_start = Array.make frames false in
                 Array.iter
-                  (fun bytes ->
-                    Obs.Metrics.Histogram.observe obs_frame_latency
-                      (Netsim.transfer_time_s config.link bytes))
-                  frame_bytes;
+                  (fun (e : Annot.Track.entry) ->
+                    if e.first_frame < frames then
+                      scene_start.(e.first_frame) <- true)
+                  client_track.Annot.Track.entries;
+                Array.iteri
+                  (fun i bytes ->
+                    let start_s = float_of_int i *. dt_s in
+                    if i > 0 && scene_start.(i) then
+                      Obs.Monitor.scene_cut ~now_s:start_s;
+                    let transfer = Netsim.transfer_time_s config.link bytes in
+                    Obs.Metrics.Histogram.observe obs_frame_latency transfer;
+                    Obs.Monitor.count Obs.Monitor.frames_series;
+                    if transfer > dt_s then begin
+                      Obs.Metrics.Counter.incr obs_deadline_misses;
+                      Obs.Monitor.count "deadline_miss"
+                    end;
+                    if i > 0 && registers.(i) <> registers.(i - 1) then
+                      Obs.Monitor.count "backlight_switches";
+                    Obs.Monitor.advance ~now_s:(start_s +. dt_s))
+                  frame_bytes
+              end;
               let energy registers_arr cpu radio_mj =
                 device_energy ~config ~dt_s ~registers:registers_arr
                   ~cpu_energy_mj:cpu ~radio_energy_mj:radio_mj
@@ -204,7 +232,10 @@ let run config clip =
                 Obs.Metrics.Gauge.set (obs_energy "radio")
                   radio.Radio.radio_energy_mj;
                 Obs.Metrics.Gauge.set (obs_energy "device_total") optimised;
-                Obs.Metrics.Gauge.set (obs_energy "device_baseline") baseline
+                Obs.Metrics.Gauge.set (obs_energy "device_baseline") baseline;
+                Obs.Monitor.gauge "power_cpu_mj" dvfs.Dvfs_playback.cpu_energy_mj;
+                Obs.Monitor.gauge "power_radio_mj" radio.Radio.radio_energy_mj;
+                Obs.Monitor.gauge "power_device_total_mj" optimised
               end;
               let backlight_savings =
                 let p r = Power.Model.backlight_power_mw config.device ~on:true ~register:r in

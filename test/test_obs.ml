@@ -289,6 +289,80 @@ let test_log_event_json () =
       | None -> false)
   | events -> Alcotest.failf "expected 1 event, got %d" (List.length events)
 
+let test_ring_buffer_multi_wrap () =
+  Obs.with_enabled @@ fun () ->
+  let id, read = Obs.Log.attach_ring ~capacity:3 in
+  Fun.protect ~finally:(fun () -> Obs.Log.detach id) @@ fun () ->
+  (* Several full wraps: ordering must survive arbitrary wrap counts,
+     not just the first. *)
+  for i = 1 to 10 do
+    Obs.Log.emit Obs.Log.Info ~scope:"test" (Printf.sprintf "event %d" i)
+  done;
+  let messages = List.map (fun e -> e.Obs.Log.message) (read ()) in
+  check bool "oldest-first after three wraps" true
+    (messages = [ "event 8"; "event 9"; "event 10" ])
+
+let test_jsonl_escaping () =
+  Obs.with_enabled @@ fun () ->
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  let id = Obs.Log.attach_jsonl ~path in
+  let nasty = "quote \" backslash \\ tab \t newline \n bell \007 end" in
+  Obs.Log.emit Obs.Log.Warn ~scope:"esc"
+    ~fields:[ ("raw", Obs.Json.String nasty) ]
+    nasty;
+  Obs.Log.emit Obs.Log.Info ~scope:"esc" "second line";
+  Obs.Log.detach id;
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Sys.remove path;
+  check int "one JSON object per event" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Obs.Json.of_string line with
+      | Error e -> Alcotest.failf "JSONL line unparseable (%s): %s" e line
+      | Ok _ -> ())
+    lines;
+  (* Control characters and quotes must round-trip exactly. *)
+  match Obs.Json.of_string (List.hd lines) with
+  | Ok json ->
+    check bool "message round-trips control chars" true
+      (Obs.Json.member "message" json = Some (Obs.Json.String nasty));
+    (match Obs.Json.member "fields" json with
+    | Some fields ->
+      check bool "field string round-trips" true
+        (Obs.Json.member "raw" fields = Some (Obs.Json.String nasty))
+    | None -> Alcotest.fail "fields missing")
+  | Error e -> Alcotest.failf "unreachable: %s" e
+
+let test_log_level_filtering_edges () =
+  Obs.with_enabled @@ fun () ->
+  let id, read = Obs.Log.attach_ring ~capacity:16 in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.detach id;
+      Obs.Log.set_level Obs.Log.Info)
+  @@ fun () ->
+  (* Most permissive: everything passes. *)
+  Obs.Log.set_level Obs.Log.Debug;
+  check bool "debug level reported back" true
+    (Obs.Log.get_level () = Obs.Log.Debug);
+  Obs.Log.debug ~scope:"t" (fun () -> ("d", []));
+  Obs.Log.info ~scope:"t" (fun () -> ("i", []));
+  Obs.Log.warn ~scope:"t" (fun () -> ("w", []));
+  Obs.Log.error ~scope:"t" (fun () -> ("e", []));
+  check int "all four levels pass at Debug" 4 (List.length (read ()));
+  (* Most restrictive: only Error survives, and an event exactly at
+     the threshold is kept (>=, not >). *)
+  Obs.Log.set_level Obs.Log.Error;
+  Obs.Log.warn ~scope:"t" (fun () -> ("w2", []));
+  Obs.Log.error ~scope:"t" (fun () -> ("e2", []));
+  let messages = List.map (fun e -> e.Obs.Log.message) (read ()) in
+  check bool "warn suppressed, threshold-level error kept" true
+    (List.mem "e2" messages && not (List.mem "w2" messages))
+
 let test_would_log_requires_sink () =
   Obs.with_enabled @@ fun () ->
   check bool "no sink, no work" false (Obs.Log.would_log Obs.Log.Error);
@@ -368,6 +442,12 @@ let () =
         [
           Alcotest.test_case "ring buffer ordering" `Quick
             test_ring_buffer_ordering;
+          Alcotest.test_case "ring buffer multi-wrap" `Quick
+            test_ring_buffer_multi_wrap;
+          Alcotest.test_case "JSONL escaping round-trip" `Quick
+            test_jsonl_escaping;
+          Alcotest.test_case "level filtering edges" `Quick
+            test_log_level_filtering_edges;
           Alcotest.test_case "level threshold" `Quick test_log_level_threshold;
           Alcotest.test_case "event JSON" `Quick test_log_event_json;
           Alcotest.test_case "would_log gating" `Quick test_would_log_requires_sink;
