@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work.
 
-.PHONY: all build test check bench clean slo-smoke
+.PHONY: all build test check bench clean slo-smoke chaos
 
 all: build
 
@@ -10,16 +10,36 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate: everything compiles, every suite is green, and a
-# monitored playback run meets the default SLOs.
+# The tier-1 gate: everything compiles, every suite is green, a
+# monitored playback run meets the default SLOs, and the CLIs survive
+# hostile fault profiles.
 check:
-	dune build && dune runtest && $(MAKE) slo-smoke
+	dune build && dune runtest && $(MAKE) slo-smoke && $(MAKE) chaos
 
 # End-to-end health gate: monitored playback of a seeded clip against
 # the default SLO file must print a clean report and exit 0.
 slo-smoke:
 	dune exec bin/playback.exe -- -c theincredibles-tlr2 --monitor \
 	  --slo examples/default.slo > /dev/null
+
+# Chaos gate: every CLI must survive the example fault profiles
+# (burst loss, corruption, reorder, jitter, bandwidth collapse)
+# without crashing. Exit codes are asserted, output is discarded —
+# the chaos test suite (test/test_fault.ml) checks the behaviour.
+chaos:
+	dune build
+	dune exec bin/playback.exe -- -c theincredibles-tlr2 \
+	  --fault-profile examples/burst.fault > /dev/null
+	dune exec bin/playback.exe -- -c theincredibles-tlr2 \
+	  --fault-profile examples/chaos.fault > /dev/null
+	dune exec bin/playback.exe -- -c theincredibles-tlr2 \
+	  --loss-model gilbert --loss 0.08 --burst 3 > /dev/null
+	dune exec bin/plan.exe -- -c theincredibles-tlr2 -t 2 \
+	  --fault-profile examples/burst.fault > /dev/null
+	dune exec bin/annotate.exe -- -c theincredibles-tlr2 \
+	  --fault-profile examples/chaos.fault > /dev/null
+	dune exec bin/characterize.exe -- --monitor --slo examples/default.slo \
+	  > /dev/null
 
 bench:
 	dune exec bench/main.exe

@@ -16,7 +16,40 @@ let output_arg =
     & info [ "o"; "output" ] ~docv:"FILE"
         ~doc:"Write the binary annotation track to $(docv).")
 
-let run clip_name device_name device_file quality_percent per_frame output width height fps obs trace_out monitor slo metrics_out =
+(* Simulate the annotation track's own trip over a faulty side
+   channel: FEC, the NACK loop, then a partial decode — the server-side
+   view of what the client will actually be able to use. *)
+let simulate_side_channel ~fault encoded =
+  let protected_ = Streaming.Fec.protect ~packet_size:24 ~group_size:3 encoded in
+  let arrival = Streaming.Fault.apply fault ~seed:1 protected_.Streaming.Fec.packets in
+  let arrival, nack =
+    Streaming.Transport.nack_retransmit ~fault ~link:Streaming.Netsim.wlan_80211b
+      ~budget_s:0.04 ~seed:32 ~packets:protected_.Streaming.Fec.packets arrival
+  in
+  let recovery = Streaming.Fec.recover_detail protected_ ~present:arrival in
+  Format.printf "@.side channel under %a:@." Streaming.Fault.pp fault;
+  Printf.printf "  %d packets shipped, %d retransmitted over %d NACK rounds\n"
+    (Array.length protected_.Streaming.Fec.packets)
+    nack.Streaming.Transport.packets_retransmitted
+    nack.Streaming.Transport.nack_rounds;
+  match
+    Annot.Encoding.decode_partial ~byte_ok:recovery.Streaming.Fec.byte_ok
+      recovery.Streaming.Fec.payload
+  with
+  | Error msg ->
+    Printf.printf "  track unusable (%s): client plays full backlight\n" msg
+  | Ok partial ->
+    let intact =
+      Array.fold_left
+        (fun acc e -> if e = None then acc else acc + 1)
+        0 partial.Annot.Encoding.entries
+    in
+    Printf.printf "  records: %d intact, %d missing, %d corrupt of %d\n" intact
+      partial.Annot.Encoding.missing_records
+      partial.Annot.Encoding.corrupt_records
+      (Array.length partial.Annot.Encoding.entries)
+
+let run clip_name device_name device_file quality_percent per_frame output width height fps fault_profile obs trace_out monitor slo metrics_out =
   Common.with_instrumentation ~default_quality:(quality_percent /. 100.) ~obs
     ~trace_out ~monitor ~slo ~metrics_out
   @@ fun () ->
@@ -41,7 +74,8 @@ let run clip_name device_name device_file quality_percent per_frame output width
   Printf.printf "scenes    : %d entries, %d backlight switches\n"
     (Annot.Track.entry_count track)
     (Annot.Track.switch_count track);
-  Printf.printf "wire size : %d bytes (RLE varint encoding)\n" (String.length encoded);
+  Printf.printf "wire size : %d bytes (v2: varint header + CRC32 records)\n"
+    (String.length encoded);
   Printf.printf "\n%-8s %-8s %-10s %-10s %s\n" "first" "frames" "register" "eff.max"
     "compensation";
   print_endline (String.make 50 '-');
@@ -51,6 +85,11 @@ let run clip_name device_name device_file quality_percent per_frame output width
         e.Annot.Track.frame_count e.Annot.Track.register e.Annot.Track.effective_max
         e.Annot.Track.compensation)
     (Annot.Track.merge_runs track).Annot.Track.entries;
+  (match
+     Common.resolve_fault ~loss_model:None ~loss:0. ~burst:1. ~fault_profile
+   with
+  | None -> ()
+  | Some fault -> simulate_side_channel ~fault encoded);
   (match output with
   | None -> ()
   | Some path ->
@@ -67,7 +106,8 @@ let cmd =
     Term.(
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ Common.quality_arg $ per_frame_arg $ output_arg $ Common.width_arg
-      $ Common.height_arg $ Common.fps_arg $ Common.obs_arg
+      $ Common.height_arg $ Common.fps_arg $ Common.fault_profile_arg
+      $ Common.obs_arg
       $ Common.trace_out_arg $ Common.monitor_arg $ Common.slo_arg
       $ Common.metrics_out_arg)
 

@@ -72,6 +72,60 @@ let or_die = function
     prerr_endline ("error: " ^ msg);
     exit 1
 
+let loss_model_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("bernoulli", `Bernoulli); ("gilbert", `Gilbert) ])) None
+    & info [ "loss-model" ] ~docv:"MODEL"
+        ~doc:
+          "Inject packet loss on the wireless hop: $(b,bernoulli) (i.i.d.) or \
+           $(b,gilbert) (Gilbert-Elliott burst loss). Mean rate comes from \
+           $(b,--loss), burst length from $(b,--burst).")
+
+let loss_rate_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "loss" ] ~docv:"RATE"
+        ~doc:"Mean loss rate in [0, 1] for $(b,--loss-model).")
+
+let burst_arg =
+  Arg.(
+    value & opt float 4.
+    & info [ "burst" ] ~docv:"PACKETS"
+        ~doc:"Mean burst length for $(b,--loss-model) gilbert.")
+
+let fault_profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-profile" ] ~docv:"FILE"
+        ~doc:
+          "Load a fault profile (key = value lines: loss model, corruption, \
+           reorder, jitter, bandwidth collapse — see examples/*.fault). \
+           Overrides $(b,--loss-model).")
+
+(* The fault model the flags describe, if any. *)
+let resolve_fault ~loss_model ~loss ~burst ~fault_profile =
+  match fault_profile with
+  | Some path -> (
+    match Streaming.Fault.load ~path with
+    | Ok f -> Some f
+    | Error msg ->
+      prerr_endline ("error: " ^ path ^ ": " ^ msg);
+      exit 1)
+  | None -> (
+    match loss_model with
+    | None -> None
+    | Some model -> (
+      try
+        match model with
+        | `Bernoulli -> Some (Streaming.Fault.bernoulli ~rate:loss)
+        | `Gilbert ->
+          Some (Streaming.Fault.gilbert ~mean_loss:loss ~burst_length:burst ())
+      with Invalid_argument msg ->
+        prerr_endline ("error: " ^ msg);
+        exit 1))
+
 let obs_arg =
   Arg.(
     value & flag

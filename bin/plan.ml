@@ -13,13 +13,34 @@ let capacity_arg =
     value & opt float 4600.
     & info [ "capacity" ] ~docv:"MWH" ~doc:"Battery capacity in milliwatt-hours.")
 
-let run clip_name device_name device_file target_hours capacity_mwh width height fps obs trace_out monitor slo metrics_out =
+(* Re-validate a chosen plan under a hostile channel: does the quality
+   level's saving survive burst loss and corruption on the annotation
+   side channel, and how many scenes degrade? *)
+let validate_under_fault ~device ~quality ~fault clip =
+  let config =
+    {
+      (Streaming.Session.default_config ~device) with
+      Streaming.Session.quality;
+      fault = Some fault;
+    }
+  in
+  Format.printf "@.validation under fault model %a:@." Streaming.Fault.pp fault;
+  match Streaming.Session.run config clip with
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    1
+  | Ok report ->
+    Format.printf "%a@." Streaming.Session.pp_report report;
+    0
+
+let run clip_name device_name device_file target_hours capacity_mwh width height fps loss_model loss burst fault_profile obs trace_out monitor slo metrics_out =
   Common.with_instrumentation ~obs ~trace_out ~monitor ~slo ~metrics_out
   @@ fun () ->
   let clip = Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps) in
   let device =
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
   in
+  let fault = Common.resolve_fault ~loss_model ~loss ~burst ~fault_profile in
   let battery = Power.Battery.make ~capacity_mwh in
   let profiled = Annot.Annotator.profile clip in
   Printf.printf "clip %s on %s, battery %.0f mWh, target %.1f h\n\n" clip_name
@@ -39,7 +60,11 @@ let run clip_name device_name device_file target_hours capacity_mwh width height
   match Streaming.Planner.plan ~battery ~target_hours ~device profiled with
   | Ok plan ->
     Format.printf "selected: %a@." Streaming.Planner.pp_plan plan;
-    0
+    (match fault with
+    | None -> 0
+    | Some fault ->
+      validate_under_fault ~device ~quality:plan.Streaming.Planner.quality
+        ~fault clip)
   | Error best ->
     Format.printf "target unreachable; best effort: %a@." Streaming.Planner.pp_plan best;
     2
@@ -51,7 +76,9 @@ let cmd =
     Term.(
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ target_arg $ capacity_arg $ Common.width_arg $ Common.height_arg
-      $ Common.fps_arg $ Common.obs_arg $ Common.trace_out_arg
+      $ Common.fps_arg $ Common.loss_model_arg $ Common.loss_rate_arg
+      $ Common.burst_arg $ Common.fault_profile_arg
+      $ Common.obs_arg $ Common.trace_out_arg
       $ Common.monitor_arg $ Common.slo_arg $ Common.metrics_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -63,7 +63,28 @@ let dump_snapshots ~device ~clip ~track prefix =
   Printf.printf "\nwrote %s and %s (frame %d, register %d)\n" ref_path cmp_path
     frame_index entry.Annot.Track.register
 
-let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps obs trace_out monitor slo metrics_out =
+(* Chaos path: run the full end-to-end session (FEC, NACK loop,
+   per-scene degradation) under the requested fault model instead of
+   the clean playback report. *)
+let run_faulty ~device ~quality ~ramp ~fault clip =
+  let config =
+    {
+      (Streaming.Session.default_config ~device) with
+      Streaming.Session.quality;
+      ramp_step = ramp;
+      fault = Some fault;
+    }
+  in
+  Format.printf "fault model: %a@.@." Streaming.Fault.pp fault;
+  match Streaming.Session.run config clip with
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    1
+  | Ok report ->
+    Format.printf "%a@." Streaming.Session.pp_report report;
+    0
+
+let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps loss_model loss burst fault_profile obs trace_out monitor slo metrics_out =
   Common.with_instrumentation ~default_quality:(quality_percent /. 100.) ~obs
     ~trace_out ~monitor ~slo ~metrics_out
   @@ fun () ->
@@ -72,6 +93,9 @@ let run clip_name device_name device_file quality_percent with_camera dump ramp 
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
   in
   let quality = Annot.Quality_level.of_percent quality_percent in
+  match Common.resolve_fault ~loss_model ~loss ~burst ~fault_profile with
+  | Some fault -> run_faulty ~device ~quality ~ramp ~fault clip
+  | None ->
   let profiled = Annot.Annotator.profile clip in
   let track = Annot.Annotator.annotate_profiled ~device ~quality profiled in
   let report =
@@ -126,7 +150,9 @@ let cmd =
     Term.(
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ Common.quality_arg $ camera_arg $ dump_arg $ ramp_arg $ Common.width_arg
-      $ Common.height_arg $ Common.fps_arg $ Common.obs_arg
+      $ Common.height_arg $ Common.fps_arg $ Common.loss_model_arg
+      $ Common.loss_rate_arg $ Common.burst_arg $ Common.fault_profile_arg
+      $ Common.obs_arg
       $ Common.trace_out_arg $ Common.monitor_arg $ Common.slo_arg
       $ Common.metrics_out_arg)
 

@@ -1,8 +1,33 @@
-let version = 1
+let version = 2
 
 let magic = "ANPW"
 
 let gain_fixed_point = 4096.
+
+let record_size = 15
+(* first_frame u24, frame_count u24, register u8, compensation u24,
+   effective u8, crc32 u32 — see the .mli layout. *)
+
+(* --- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) ------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_sub data ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code data.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let crc32 data = crc32_sub data ~pos:0 ~len:(String.length data)
 
 (* --- writing ---------------------------------------------------------- *)
 
@@ -21,6 +46,19 @@ let put_string buf s =
   put_varint buf (String.length s);
   Buffer.add_string buf s
 
+let put_u24 buf n =
+  if n < 0 || n > 0xffffff then
+    invalid_arg (Printf.sprintf "Encoding: %d out of u24 range" n);
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff))
+
+let put_u32 buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
 let quality_permille q =
   int_of_float ((Quality_level.allowed_loss q *. 1000.) +. 0.5)
 
@@ -32,11 +70,50 @@ let obs_track_bytes =
   Obs.counter ~help:"Bytes of serialised annotation tracks"
     "annot_track_bytes_total" []
 
+let obs_corrupt_records =
+  Obs.counter ~help:"Annotation records rejected by their CRC32"
+    "annot_records_corrupt_total" []
+
+let obs_missing_records =
+  Obs.counter ~help:"Annotation records unreadable because their bytes were lost"
+    "annot_records_missing_total" []
+
+let put_header buf track count =
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  put_varint buf (quality_permille track.Track.quality);
+  put_varint buf (int_of_float ((track.Track.fps *. 1000.) +. 0.5));
+  put_varint buf track.Track.total_frames;
+  put_string buf track.Track.clip_name;
+  put_string buf track.Track.device_name;
+  put_varint buf count;
+  put_u32 buf (crc32_sub (Buffer.contents buf) ~pos:0 ~len:(Buffer.length buf))
+
 let encode track =
   let track = Track.merge_runs track in
   let buf = Buffer.create 256 in
+  put_header buf track (Array.length track.Track.entries);
+  let record = Buffer.create record_size in
+  Array.iter
+    (fun (e : Track.entry) ->
+      Buffer.clear record;
+      put_u24 record e.first_frame;
+      put_u24 record e.frame_count;
+      Buffer.add_char record (Char.chr e.register);
+      put_u24 record (int_of_float ((e.compensation *. gain_fixed_point) +. 0.5));
+      Buffer.add_char record (Char.chr e.effective_max);
+      put_u32 record (crc32 (Buffer.contents record));
+      Buffer.add_buffer buf record)
+    track.Track.entries;
+  Obs.Metrics.Counter.incr obs_tracks;
+  Obs.Metrics.Counter.incr obs_track_bytes ~by:(Buffer.length buf);
+  Buffer.contents buf
+
+let encode_v1 track =
+  let track = Track.merge_runs track in
+  let buf = Buffer.create 256 in
   Buffer.add_string buf magic;
-  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr 1);
   put_varint buf (quality_permille track.Track.quality);
   put_varint buf (int_of_float ((track.Track.fps *. 1000.) +. 0.5));
   put_varint buf track.Track.total_frames;
@@ -87,6 +164,20 @@ let get_string c =
   c.pos <- c.pos + n;
   s
 
+let get_u24 c =
+  need c 3;
+  let b i = Char.code c.data.[c.pos + i] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) in
+  c.pos <- c.pos + 3;
+  v
+
+let get_u32 c =
+  need c 4;
+  let b i = Char.code c.data.[c.pos + i] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  c.pos <- c.pos + 4;
+  v
+
 let quality_of_permille p =
   match p with
   | 0 -> Quality_level.Lossless
@@ -96,35 +187,194 @@ let quality_of_permille p =
   | 200 -> Quality_level.Loss_20
   | p -> Quality_level.Custom (float_of_int p /. 1000.)
 
+type header = {
+  h_quality : Quality_level.t;
+  h_fps : float;
+  h_total_frames : int;
+  h_clip_name : string;
+  h_device_name : string;
+  h_count : int;
+  h_version : int;
+}
+
+(* Reads the common header; for v2 also checks the header CRC. The
+   cursor is left at the first entry byte. *)
+let get_header c =
+  need c 4;
+  if String.sub c.data 0 4 <> magic then raise (Parse_error "bad magic");
+  c.pos <- 4;
+  let v = get_byte c in
+  if v <> 1 && v <> version then
+    raise (Parse_error (Printf.sprintf "unsupported version %d" v));
+  let h_quality = quality_of_permille (get_varint c) in
+  let h_fps = float_of_int (get_varint c) /. 1000. in
+  let h_total_frames = get_varint c in
+  let h_clip_name = get_string c in
+  let h_device_name = get_string c in
+  let h_count = get_varint c in
+  if v = version then begin
+    let covered = c.pos in
+    let stored = get_u32 c in
+    if stored <> crc32_sub c.data ~pos:0 ~len:covered then
+      raise (Parse_error "header CRC mismatch")
+  end;
+  { h_quality; h_fps; h_total_frames; h_clip_name; h_device_name; h_count;
+    h_version = v }
+
+let dummy_entry =
+  { Track.first_frame = 0; frame_count = 1; register = 0; compensation = 1.;
+    effective_max = 0 }
+
+let get_entries_v1 c count =
+  let entries = Array.make count dummy_entry in
+  let next = ref 0 in
+  for i = 0 to count - 1 do
+    let frame_count = get_varint c in
+    let register = get_byte c in
+    let compensation = float_of_int (get_varint c) /. gain_fixed_point in
+    let effective_max = get_byte c in
+    entries.(i) <-
+      { Track.first_frame = !next; frame_count; register; compensation; effective_max };
+    next := !next + frame_count
+  done;
+  entries
+
+(* Parses one v2 record body (CRC already verified). *)
+let get_entry_v2 c =
+  let first_frame = get_u24 c in
+  let frame_count = get_u24 c in
+  let register = get_byte c in
+  let compensation = float_of_int (get_u24 c) /. gain_fixed_point in
+  let effective_max = get_byte c in
+  { Track.first_frame; frame_count; register; compensation; effective_max }
+
+let get_entries_v2 c count =
+  let entries = Array.make count dummy_entry in
+  for i = 0 to count - 1 do
+    let body_pos = c.pos in
+    let entry = get_entry_v2 c in
+    let stored = get_u32 c in
+    if stored <> crc32_sub c.data ~pos:body_pos ~len:(record_size - 4) then begin
+      Obs.Metrics.Counter.incr obs_corrupt_records;
+      raise (Parse_error "record CRC mismatch")
+    end;
+    entries.(i) <- entry
+  done;
+  entries
+
 let decode data =
   let c = { data; pos = 0 } in
   try
-    need c 4;
-    if String.sub data 0 4 <> magic then raise (Parse_error "bad magic");
-    c.pos <- 4;
-    let v = get_byte c in
-    if v <> version then raise (Parse_error (Printf.sprintf "unsupported version %d" v));
-    let quality = quality_of_permille (get_varint c) in
-    let fps = float_of_int (get_varint c) /. 1000. in
-    let total_frames = get_varint c in
-    let clip_name = get_string c in
-    let device_name = get_string c in
-    let count = get_varint c in
-    let entries = Array.make count
-        { Track.first_frame = 0; frame_count = 1; register = 0;
-          compensation = 1.; effective_max = 0 } in
-    let next = ref 0 in
-    for i = 0 to count - 1 do
-      let frame_count = get_varint c in
-      let register = get_byte c in
-      let compensation = float_of_int (get_varint c) /. gain_fixed_point in
-      let effective_max = get_byte c in
-      entries.(i) <-
-        { Track.first_frame = !next; frame_count; register; compensation; effective_max };
-      next := !next + frame_count
-    done;
+    let h = get_header c in
+    let entries =
+      if h.h_version = 1 then get_entries_v1 c h.h_count
+      else get_entries_v2 c h.h_count
+    in
     if c.pos <> String.length data then raise (Parse_error "trailing bytes");
     (try
-       Ok (Track.make ~clip_name ~device_name ~quality ~fps ~total_frames entries)
+       Ok
+         (Track.make ~clip_name:h.h_clip_name ~device_name:h.h_device_name
+            ~quality:h.h_quality ~fps:h.h_fps ~total_frames:h.h_total_frames
+            entries)
      with Invalid_argument msg -> Error msg)
+  with Parse_error msg -> Error msg
+
+(* --- partial decode --------------------------------------------------- *)
+
+type partial = {
+  clip_name : string;
+  device_name : string;
+  quality : Quality_level.t;
+  fps : float;
+  total_frames : int;
+  entries : Track.entry option array;
+  corrupt_records : int;
+  missing_records : int;
+}
+
+let span_ok byte_ok ~pos ~len =
+  match byte_ok with
+  | None -> true
+  | Some ok ->
+    let good = ref true in
+    for i = pos to pos + len - 1 do
+      if not ok.(i) then good := false
+    done;
+    !good
+
+let decode_partial ?byte_ok data =
+  (match byte_ok with
+  | Some ok when Array.length ok <> String.length data ->
+    invalid_arg "Encoding.decode_partial: byte_ok length mismatch"
+  | _ -> ());
+  let c = { data; pos = 0 } in
+  try
+    let h = get_header c in
+    if not (span_ok byte_ok ~pos:0 ~len:c.pos) then
+      raise (Parse_error "header bytes lost in transit");
+    if h.h_version = 1 then begin
+      (* v1 has no per-record framing: it is all-or-nothing. *)
+      if not (span_ok byte_ok ~pos:0 ~len:(String.length data)) then
+        raise (Parse_error "v1 payload incomplete");
+      match decode data with
+      | Error msg -> Error msg
+      | Ok track ->
+        Ok
+          {
+            clip_name = track.Track.clip_name;
+            device_name = track.Track.device_name;
+            quality = track.Track.quality;
+            fps = track.Track.fps;
+            total_frames = track.Track.total_frames;
+            entries = Array.map Option.some track.Track.entries;
+            corrupt_records = 0;
+            missing_records = 0;
+          }
+    end
+    else begin
+      if String.length data - c.pos <> h.h_count * record_size then
+        raise (Parse_error "record section length mismatch");
+      let corrupt = ref 0 and missing = ref 0 in
+      let next = ref 0 in
+      let entries = Array.make h.h_count None in
+      for i = 0 to h.h_count - 1 do
+        let pos = c.pos in
+        if not (span_ok byte_ok ~pos ~len:record_size) then begin
+          c.pos <- pos + record_size;
+          incr missing;
+          Obs.Metrics.Counter.incr obs_missing_records
+        end
+        else begin
+          let entry = get_entry_v2 c in
+          let stored = get_u32 c in
+          let valid =
+            stored = crc32_sub data ~pos ~len:(record_size - 4)
+            && entry.Track.frame_count > 0
+            && entry.Track.compensation >= 1.
+            && entry.Track.first_frame >= !next
+            && entry.Track.first_frame + entry.Track.frame_count
+               <= h.h_total_frames
+          in
+          if valid then begin
+            next := entry.Track.first_frame + entry.Track.frame_count;
+            entries.(i) <- Some entry
+          end
+          else begin
+            incr corrupt;
+            Obs.Metrics.Counter.incr obs_corrupt_records
+          end
+        end
+      done;
+      Ok
+        {
+          clip_name = h.h_clip_name;
+          device_name = h.h_device_name;
+          quality = h.h_quality;
+          fps = h.h_fps;
+          total_frames = h.h_total_frames;
+          entries;
+          corrupt_records = !corrupt;
+          missing_records = !missing;
+        }
+    end
   with Parse_error msg -> Error msg

@@ -4,29 +4,75 @@
     minimal, in the order of hundreds of bytes for our video clips
     which are on the order of a few megabytes."
 
-    Layout (all multi-byte integers are LEB128 varints):
+    Version 2 layout (varints are LEB128; u24/u32 little-endian):
 
     {v
     magic   "ANPW"            4 bytes
-    version u8                currently 1
+    version u8                currently 2
     quality varint            allowed loss in permille
     fps     varint            fps * 1000
     frames  varint            total frame count
     names   2 x (len varint, bytes)   clip name, device name
     count   varint            entry count (after run merging)
-    entries count x (frame_count varint, register u8,
-                     compensation varint (gain * 4096), effective u8)
-    v} *)
+    hcrc    u32               CRC32 over every byte above
+    records count x 15 bytes:
+            first_frame u24, frame_count u24, register u8,
+            compensation u24 (gain * 4096), effective u8,
+            crc u32 (CRC32 over the record's first 11 bytes)
+    v}
+
+    Records are fixed-size and self-describing (they carry their own
+    [first_frame]), so a client that loses or corrupts part of the
+    payload can still place every surviving record — see
+    {!decode_partial}. Version 1 (varint-packed entries, no CRCs, no
+    explicit [first_frame]) is still read by {!decode}. *)
 
 val encode : Track.t -> string
-(** [encode track] serialises after {!Track.merge_runs}. *)
+(** [encode track] serialises after {!Track.merge_runs} in the current
+    (v2) format. *)
+
+val encode_v1 : Track.t -> string
+(** Legacy v1 writer, kept so decoder compatibility stays testable and
+    old captures can be regenerated. *)
 
 val decode : string -> (Track.t, string) result
-(** [decode bytes] parses and re-validates; any corruption yields
-    [Error] with a human-readable reason, never an exception. *)
+(** [decode bytes] parses and re-validates; any corruption (including
+    any CRC mismatch in a v2 payload) yields [Error] with a
+    human-readable reason, never an exception. Reads versions 1
+    and 2. *)
+
+type partial = {
+  clip_name : string;
+  device_name : string;
+  quality : Quality_level.t;
+  fps : float;
+  total_frames : int;
+  entries : Track.entry option array;
+      (** one slot per encoded record; [None] where the record was
+          lost or failed its CRC *)
+  corrupt_records : int;  (** records whose bytes arrived but lied *)
+  missing_records : int;  (** records overlapping lost bytes *)
+}
+
+val decode_partial : ?byte_ok:bool array -> string -> (partial, string) result
+(** [decode_partial ?byte_ok bytes] salvages what it can from a
+    damaged v2 payload. [byte_ok.(i) = false] marks byte [i] as lost
+    in transit (e.g. an unrecovered FEC group zero-filled by
+    {!Streaming.Fec}); defaults to all-true. The header must survive
+    intact (else [Error]); each record is then classified
+    independently: missing when it overlaps lost bytes, corrupt when
+    its CRC or sanity checks fail (bad frame span, overlap with an
+    earlier record, compensation below 1), intact otherwise. A v1
+    payload is all-or-nothing: fully intact or [Error]. Raises
+    [Invalid_argument] when [byte_ok] does not match [bytes] in
+    length. *)
 
 val encoded_size : Track.t -> int
 (** [encoded_size track] is [String.length (encode track)] — the
     overhead the bench reports against the encoded video size. *)
+
+val crc32 : string -> int
+(** CRC32 (IEEE 802.3) of a whole string —
+    [crc32 "123456789" = 0xCBF43926]. Exposed for tests and tooling. *)
 
 val version : int

@@ -82,14 +82,19 @@ let set_gauge t name v = with_lock t (fun () -> Window.set (series t name) v)
 
 (* A window is "worse" the further it moves against the operator: for
    upper bounds (< / <=) that is the maximum reading, for lower bounds
-   the minimum. *)
-let worse_of op prev v =
+   the minimum, and for equality the reading furthest from the
+   target. *)
+let worse_of (rule : Slo.rule) prev v =
   match prev with
   | None -> Some v
   | Some w -> (
-    match op with
+    match rule.Slo.op with
     | Slo.Lt | Slo.Le -> Some (Float.max w v)
-    | Slo.Gt | Slo.Ge -> Some (Float.min w v))
+    | Slo.Gt | Slo.Ge -> Some (Float.min w v)
+    | Slo.Eq ->
+      if Float.abs (v -. rule.Slo.threshold) >= Float.abs (w -. rule.Slo.threshold)
+      then Some v
+      else Some w)
 
 (* Reading of [rule] over the just-finished window, before its series
    are sealed. [None] means the rule has nothing to say this window. *)
@@ -126,7 +131,7 @@ let evaluate_window t ~at_s ~duration_s =
       | Some v ->
         let s = t.stats.(i) in
         s.evaluated <- s.evaluated + 1;
-        s.worst <- worse_of rule.op s.worst v;
+        s.worst <- worse_of rule s.worst v;
         if not (Slo.holds rule.op ~value:v ~threshold:rule.threshold) then begin
           s.breached <- s.breached + 1;
           if List.length s.breaches_rev < max_breaches then

@@ -4,7 +4,7 @@ type stat =
   | Ratio_per_frame
   | Last
 
-type op = Lt | Le | Gt | Ge
+type op = Lt | Le | Gt | Ge | Eq
 
 type rule = {
   metric : string;
@@ -14,7 +14,7 @@ type rule = {
   source : string;
 }
 
-let op_name = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+let op_name = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "=="
 
 let holds op ~value ~threshold =
   match op with
@@ -22,6 +22,7 @@ let holds op ~value ~threshold =
   | Le -> value <= threshold
   | Gt -> value > threshold
   | Ge -> value >= threshold
+  | Eq -> value = threshold
 
 let strip_suffix ~suffix s =
   if String.length s > String.length suffix
@@ -73,6 +74,7 @@ let parse_line line =
       | "<=" -> Ok Le
       | ">" -> Ok Gt
       | ">=" -> Ok Ge
+      | "==" | "=" -> Ok Eq
       | other -> Error (Printf.sprintf "unknown operator %S" other)
     in
     match (op, float_of_string_opt threshold) with

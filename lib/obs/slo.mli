@@ -25,8 +25,9 @@
       frames.
     - no suffix — the monitor gauge of that name, most recent value.
 
-    Operators: [<], [<=], [>], [>=]. The rule holds when
-    [reading op threshold] is true. *)
+    Operators: [<], [<=], [>], [>=], [==] (exact equality, for
+    integer-valued counters like [annot_records_corrupt_total == 0]).
+    The rule holds when [reading op threshold] is true. *)
 
 type stat =
   | Quantile of float
@@ -34,7 +35,7 @@ type stat =
   | Ratio_per_frame
   | Last
 
-type op = Lt | Le | Gt | Ge
+type op = Lt | Le | Gt | Ge | Eq
 
 type rule = {
   metric : string;  (** base name, stat suffix stripped *)

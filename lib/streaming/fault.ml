@@ -1,0 +1,273 @@
+type loss_model =
+  | No_loss
+  | Bernoulli of float
+  | Gilbert of {
+      p_enter_bad : float;
+      p_exit_bad : float;
+      loss_good : float;
+      loss_bad : float;
+    }
+
+type collapse = { at_fraction : float; factor : float }
+
+type t = {
+  loss : loss_model;
+  corrupt_rate : float;
+  reorder_rate : float;
+  jitter_s : float;
+  collapse : collapse option;
+}
+
+let none =
+  { loss = No_loss; corrupt_rate = 0.; reorder_rate = 0.; jitter_s = 0.; collapse = None }
+
+let check_prob what p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg (Printf.sprintf "Fault: %s %g out of [0, 1]" what p)
+
+let bernoulli ~rate =
+  check_prob "bernoulli rate" rate;
+  { none with loss = Bernoulli rate }
+
+let gilbert ?(loss_good = 0.) ?(loss_bad = 1.) ~mean_loss ~burst_length () =
+  check_prob "loss_good" loss_good;
+  check_prob "loss_bad" loss_bad;
+  if burst_length < 1. then
+    invalid_arg "Fault.gilbert: burst length must be >= 1 packet";
+  if not (mean_loss > loss_good && mean_loss < loss_bad) then
+    invalid_arg
+      (Printf.sprintf
+         "Fault.gilbert: mean loss %g must lie strictly between loss_good %g \
+          and loss_bad %g" mean_loss loss_good loss_bad);
+  (* Stationary bad-state occupancy pi solves
+     mean_loss = pi * loss_bad + (1 - pi) * loss_good; the mean bad
+     sojourn is 1 / p_exit_bad packets. *)
+  let pi = (mean_loss -. loss_good) /. (loss_bad -. loss_good) in
+  let p_exit_bad = 1. /. burst_length in
+  let p_enter_bad = p_exit_bad *. pi /. (1. -. pi) in
+  if p_enter_bad > 1. then
+    invalid_arg "Fault.gilbert: mean loss too high for this burst length";
+  { none with loss = Gilbert { p_enter_bad; p_exit_bad; loss_good; loss_bad } }
+
+(* Distinct deterministic streams per concern, so adding corruption to
+   a profile never changes which packets the loss model drops. *)
+let salt_loss = 0x1f12f
+let salt_reorder = 0x9e377
+let salt_corrupt = 0x85eb1
+let salt_jitter = 0xc2b2a
+
+let rng ~seed ~salt = Image.Prng.create ~seed:((seed * 0x2545f49) lxor salt)
+
+let obs_lost =
+  let family cause =
+    Obs.counter ~help:"Deliveries killed by the fault injector"
+      "fault_deliveries_lost_total"
+      [ ("cause", cause) ]
+  in
+  let loss = family "loss" and reorder = family "reorder" in
+  fun cause -> if cause = `Loss then loss else reorder
+
+let obs_corrupted_bytes =
+  Obs.counter ~help:"Delivered bytes flipped by the fault injector"
+    "fault_bytes_corrupted_total" []
+
+let loss_mask t ~seed ~n =
+  if n < 0 then invalid_arg "Fault.loss_mask: negative length";
+  match t.loss with
+  | No_loss -> Array.make n false
+  | Bernoulli rate ->
+    let r = rng ~seed ~salt:salt_loss in
+    Array.init n (fun _ -> Image.Prng.float r 1. < rate)
+  | Gilbert g ->
+    let r = rng ~seed ~salt:salt_loss in
+    let pi =
+      let d = g.p_enter_bad +. g.p_exit_bad in
+      if d <= 0. then 0. else g.p_enter_bad /. d
+    in
+    let bad = ref (Image.Prng.float r 1. < pi) in
+    Array.init n (fun _ ->
+        let p = if !bad then g.loss_bad else g.loss_good in
+        let lost = Image.Prng.float r 1. < p in
+        let flip =
+          Image.Prng.float r 1. < (if !bad then g.p_exit_bad else g.p_enter_bad)
+        in
+        if flip then bad := not !bad;
+        lost)
+
+let corrupt_packet r rate packet =
+  let out = ref None in
+  String.iteri
+    (fun i c ->
+      if Image.Prng.float r 1. < rate then begin
+        let bytes =
+          match !out with
+          | Some b -> b
+          | None ->
+            let b = Bytes.of_string packet in
+            out := Some b;
+            b
+        in
+        (* XOR with a non-zero byte: a "corruption" always changes the
+           byte, so the injected rate is the observed flip rate. *)
+        Bytes.set bytes i
+          (Char.chr (Char.code c lxor (1 + Image.Prng.int r 255)));
+        Obs.Metrics.Counter.incr obs_corrupted_bytes
+      end)
+    packet;
+  match !out with None -> packet | Some b -> Bytes.to_string b
+
+let apply t ~seed packets =
+  let n = Array.length packets in
+  let lost = loss_mask t ~seed ~n in
+  let reorder_rng = rng ~seed ~salt:salt_reorder in
+  let corrupt_rng = rng ~seed ~salt:salt_corrupt in
+  Array.init n (fun i ->
+      if lost.(i) then begin
+        Obs.Metrics.Counter.incr (obs_lost `Loss);
+        None
+      end
+      else if t.reorder_rate > 0. && Image.Prng.float reorder_rng 1. < t.reorder_rate
+      then begin
+        (* Displaced past its decode deadline: gone as far as playback
+           is concerned, though a retransmission can still repair it. *)
+        Obs.Metrics.Counter.incr (obs_lost `Reorder);
+        None
+      end
+      else if t.corrupt_rate > 0. then
+        Some (corrupt_packet corrupt_rng t.corrupt_rate packets.(i))
+      else Some packets.(i))
+
+let delay_s t ~seed ~index =
+  if t.jitter_s <= 0. then 0.
+  else
+    let r = rng ~seed:(seed + (index * 0x9e3779b1)) ~salt:salt_jitter in
+    Image.Prng.float r t.jitter_s
+
+let bandwidth_factor t ~progress =
+  match t.collapse with
+  | None -> 1.
+  | Some c -> if progress >= c.at_fraction then c.factor else 1.
+
+(* --- profile format ---------------------------------------------------- *)
+
+exception Bad_profile of string
+
+let parse text =
+  let model = ref `None in
+  let rate = ref None and mean_loss = ref None and burst_length = ref None in
+  let loss_good = ref 0. and loss_bad = ref 1. in
+  let corrupt = ref 0. and reorder = ref 0. and jitter_ms = ref 0. in
+  let collapse_at = ref None and collapse_factor = ref None in
+  let float_of what v =
+    match float_of_string_opt (String.trim v) with
+    | Some f -> f
+    | None -> raise (Bad_profile (Printf.sprintf "%s: bad number %S" what v))
+  in
+  let handle_line n line =
+    let body =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    if String.trim body <> "" then begin
+      match String.index_opt body '=' with
+      | None -> raise (Bad_profile (Printf.sprintf "line %d: expected key = value" n))
+      | Some i ->
+        let key = String.trim (String.sub body 0 i) in
+        let value =
+          String.trim (String.sub body (i + 1) (String.length body - i - 1))
+        in
+        (match key with
+        | "model" -> (
+          match String.lowercase_ascii value with
+          | "none" -> model := `None
+          | "bernoulli" -> model := `Bernoulli
+          | "gilbert" -> model := `Gilbert
+          | other ->
+            raise
+              (Bad_profile
+                 (Printf.sprintf
+                    "line %d: unknown model %S (none, bernoulli, gilbert)" n other)))
+        | "rate" -> rate := Some (float_of key value)
+        | "mean_loss" -> mean_loss := Some (float_of key value)
+        | "burst_length" | "burst" -> burst_length := Some (float_of key value)
+        | "loss_good" -> loss_good := float_of key value
+        | "loss_bad" -> loss_bad := float_of key value
+        | "corrupt" -> corrupt := float_of key value
+        | "reorder" -> reorder := float_of key value
+        | "jitter_ms" -> jitter_ms := float_of key value
+        | "collapse_at" -> collapse_at := Some (float_of key value)
+        | "collapse_factor" -> collapse_factor := Some (float_of key value)
+        | other ->
+          raise (Bad_profile (Printf.sprintf "line %d: unknown key %S" n other)))
+    end
+  in
+  try
+    List.iteri (fun i line -> handle_line (i + 1) line) (String.split_on_char '\n' text);
+    let base =
+      match !model with
+      | `None ->
+        if !rate <> None || !mean_loss <> None then
+          raise (Bad_profile "loss parameters given but model = none (or missing)");
+        none
+      | `Bernoulli -> (
+        match !rate with
+        | None -> raise (Bad_profile "model = bernoulli needs rate")
+        | Some r -> bernoulli ~rate:r)
+      | `Gilbert -> (
+        match (!mean_loss, !burst_length) with
+        | Some m, Some b ->
+          gilbert ~loss_good:!loss_good ~loss_bad:!loss_bad ~mean_loss:m
+            ~burst_length:b ()
+        | _ -> raise (Bad_profile "model = gilbert needs mean_loss and burst_length"))
+    in
+    check_prob "corrupt" !corrupt;
+    check_prob "reorder" !reorder;
+    if !jitter_ms < 0. then raise (Bad_profile "jitter_ms must be >= 0");
+    let collapse =
+      match (!collapse_at, !collapse_factor) with
+      | None, None -> None
+      | Some at, Some factor ->
+        if not (at >= 0. && at <= 1.) then
+          raise (Bad_profile "collapse_at must be in [0, 1]");
+        if not (factor > 0. && factor <= 1.) then
+          raise (Bad_profile "collapse_factor must be in (0, 1]");
+        Some { at_fraction = at; factor }
+      | _ -> raise (Bad_profile "collapse_at and collapse_factor go together")
+    in
+    Ok
+      {
+        base with
+        corrupt_rate = !corrupt;
+        reorder_rate = !reorder;
+        jitter_s = !jitter_ms /. 1000.;
+        collapse;
+      }
+  with
+  | Bad_profile msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let pp ppf t =
+  let open Format in
+  (match t.loss with
+  | No_loss -> pp_print_string ppf "no loss"
+  | Bernoulli r -> fprintf ppf "bernoulli(%.1f%%)" (100. *. r)
+  | Gilbert g ->
+    let pi =
+      let d = g.p_enter_bad +. g.p_exit_bad in
+      if d <= 0. then 0. else g.p_enter_bad /. d
+    in
+    let mean = (pi *. g.loss_bad) +. ((1. -. pi) *. g.loss_good) in
+    fprintf ppf "gilbert(mean %.1f%%, burst %.1f)" (100. *. mean) (1. /. g.p_exit_bad));
+  if t.corrupt_rate > 0. then fprintf ppf " corrupt %g" t.corrupt_rate;
+  if t.reorder_rate > 0. then fprintf ppf " reorder %g" t.reorder_rate;
+  if t.jitter_s > 0. then fprintf ppf " jitter %gms" (1000. *. t.jitter_s);
+  match t.collapse with
+  | None -> ()
+  | Some c ->
+    fprintf ppf " collapse %.0f%%bw@@%.0f%%" (100. *. c.factor) (100. *. c.at_fraction)

@@ -118,6 +118,73 @@ let recover t ~present =
     Error msg
   | None -> Ok (String.concat "" (Array.to_list recovered))
 
+type recovery = {
+  payload : string;
+  byte_ok : bool array;
+  failed_groups : int list;
+  repaired_packets : int;
+}
+
+let recover_detail t ~present =
+  if Array.length present <> Array.length t.packets then
+    invalid_arg "Fec.recover_detail: packet array length mismatch";
+  let groups = (t.data_packets + t.group_size - 1) / t.group_size in
+  let recovered = Array.make t.data_packets None in
+  let failed = ref [] in
+  let repaired = ref 0 in
+  for g = groups - 1 downto 0 do
+    let first = g * t.group_size in
+    let last = min (t.data_packets - 1) (first + t.group_size - 1) in
+    let missing = ref [] in
+    for i = first to last do
+      match present.(i) with
+      | Some packet -> recovered.(i) <- Some packet
+      | None -> missing := i :: !missing
+    done;
+    match !missing with
+    | [] -> ()
+    | [ lone ] -> (
+      match present.(t.data_packets + g) with
+      | None ->
+        Obs.Metrics.Counter.incr obs_failures;
+        failed := g :: !failed
+      | Some parity ->
+        let acc = Bytes.of_string parity in
+        for i = first to last do
+          if i <> lone then
+            match recovered.(i) with
+            | Some p -> xor_accumulate acc p
+            | None -> ()
+        done;
+        Obs.Metrics.Counter.incr obs_recoveries;
+        incr repaired;
+        recovered.(lone) <- Some (Bytes.sub_string acc 0 (data_length t lone)))
+    | _ :: _ :: _ ->
+      Obs.Metrics.Counter.incr obs_failures;
+      failed := g :: !failed
+  done;
+  (* Zero-fill unrecovered spans so the payload keeps its exact length
+     and surviving records stay at their true offsets; [byte_ok] tells
+     the decoder which spans to distrust. *)
+  let byte_ok = Array.make t.payload_length true in
+  let buf = Buffer.create t.payload_length in
+  Array.iteri
+    (fun i packet ->
+      let len = data_length t i in
+      match packet with
+      | Some p -> Buffer.add_string buf p
+      | None ->
+        Buffer.add_string buf (String.make len '\000');
+        let from = i * t.packet_size in
+        Array.fill byte_ok from len false)
+    recovered;
+  {
+    payload = Buffer.contents buf;
+    byte_ok;
+    failed_groups = !failed;
+    repaired_packets = !repaired;
+  }
+
 let transmit t ~rate ~seed =
   if rate < 0. || rate > 1. then invalid_arg "Fec.transmit: bad rate";
   let rng = Image.Prng.create ~seed in

@@ -34,6 +34,25 @@ val recover : protected_payload -> present:string option array -> (string, strin
     [present] array must match [t.packets] in length, and packets that
     did arrive must carry their original content. *)
 
+type recovery = {
+  payload : string;
+      (** reassembled payload at its original length; bytes of
+          unrecovered groups are zero-filled so surviving spans keep
+          their true offsets *)
+  byte_ok : bool array;
+      (** per payload byte: did it arrive (or get repaired)? Length
+          equals [payload_length]. *)
+  failed_groups : int list;  (** ascending group indices parity could not fix *)
+  repaired_packets : int;  (** data packets rebuilt from parity *)
+}
+
+val recover_detail : protected_payload -> present:string option array -> recovery
+(** Like {!recover} but never all-or-nothing: groups that lost more
+    than parity can repair are zero-filled and reported in
+    [failed_groups] instead of failing the whole payload, so the
+    caller can salvage every intact span ({!Annot.Encoding.decode_partial}).
+    Raises [Invalid_argument] on a [present] length mismatch. *)
+
 val transmit :
   protected_payload -> rate:float -> seed:int -> string option array
 (** Bernoulli packet loss over the packet train, for simulations. *)

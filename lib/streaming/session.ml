@@ -1,3 +1,5 @@
+type degradation = Full_backlight | Neighbour_clamp
+
 type config = {
   device : Display.Device.t;
   quality : Annot.Quality_level.t;
@@ -8,6 +10,9 @@ type config = {
   ramp_step : int option;
   cpu_busy_fraction : float;
   seed : int;
+  fault : Fault.t option;
+  nack_budget_s : float;
+  degradation : degradation;
 }
 
 let default_config ~device =
@@ -21,6 +26,9 @@ let default_config ~device =
     ramp_step = None;
     cpu_busy_fraction = 0.6;
     seed = 1;
+    fault = None;
+    nack_budget_s = 0.04;
+    degradation = Full_backlight;
   }
 
 type report = {
@@ -38,6 +46,9 @@ type report = {
   device_savings : float;
   device_energy_mj : float;
   baseline_energy_mj : float;
+  degraded_scenes : int;
+  retransmissions : int;
+  corrupt_records : int;
 }
 
 (* Whole-device energy: per-frame backlight at its register, the DVFS
@@ -89,7 +100,80 @@ let obs_energy component =
     "power_energy_mj"
     [ ("component", component) ]
 
+let obs_forced_first_frame =
+  Obs.counter
+    ~help:"First video frames force-delivered despite the loss model"
+    "forced_first_frame_deliveries_total" []
+
+let obs_degraded_scenes =
+  Obs.counter
+    ~help:"Scenes that fell back to a safe backlight level because their \
+           annotation record was lost or corrupt"
+    "degraded_scenes_total" []
+
 let span = Obs.Trace.with_span
+
+(* Rebuild a full annotation track from a partial decode: every
+   surviving record keeps its scene, every gap is filled with a safe
+   level. Full backlight (register 255, no compensation) risks no
+   quality; when the policy allows it and both intact neighbours of a
+   gap agree on their level, the gap is clamped to that level instead —
+   scene boundaries rarely move, so agreeing neighbours usually bracket
+   a scene that looked like them. Returns the patched track and the
+   number of degraded scenes (records lost or corrupt). *)
+let patch_partial policy (p : Annot.Encoding.partial) =
+  let intact =
+    Array.to_list p.entries |> List.filter_map (fun e -> e)
+  in
+  let degraded =
+    Array.length p.entries - List.length intact
+  in
+  let out = ref [] in
+  let pos = ref 0 in
+  let prev = ref None in
+  let filler ~first ~count ~next_entry =
+    match (policy, !prev, next_entry) with
+    | ( Neighbour_clamp,
+        Some (a : Annot.Track.entry),
+        Some (b : Annot.Track.entry) )
+      when a.register = b.register && a.effective_max = b.effective_max ->
+      {
+        Annot.Track.first_frame = first;
+        frame_count = count;
+        register = a.register;
+        compensation = Float.max a.compensation b.compensation;
+        effective_max = a.effective_max;
+      }
+    | _ ->
+      (* Quality-safe default: never dim on a guessed annotation. *)
+      {
+        Annot.Track.first_frame = first;
+        frame_count = count;
+        register = 255;
+        compensation = 1.;
+        effective_max = 255;
+      }
+  in
+  let fill_gap until next_entry =
+    if until > !pos then begin
+      out := filler ~first:!pos ~count:(until - !pos) ~next_entry :: !out;
+      pos := until
+    end
+  in
+  List.iter
+    (fun (e : Annot.Track.entry) ->
+      fill_gap e.first_frame (Some e);
+      out := e :: !out;
+      pos := e.first_frame + e.frame_count;
+      prev := Some e)
+    intact;
+  fill_gap p.total_frames None;
+  let track =
+    Annot.Track.make ~clip_name:p.clip_name ~device_name:p.device_name
+      ~quality:p.quality ~fps:p.fps ~total_frames:p.total_frames
+      (Array.of_list (List.rev !out))
+  in
+  (track, degraded)
 
 let run config clip =
   span "session.run" ~attrs:[ ("clip", clip.Video.Clip.name) ]
@@ -125,30 +209,88 @@ let run config clip =
       clip
   in
   (* The wireless hop. *)
-  let annotations_survived, client_track =
+  let annotations_survived, client_track, degraded_scenes, retransmissions,
+      corrupt_records =
     span "session.transmit" @@ fun () ->
-    let annotation_arrival =
-      Fec.transmit protected_annotations ~rate:config.loss_rate ~seed:config.seed
-    in
-    match Fec.recover protected_annotations ~present:annotation_arrival with
-    | Ok payload -> (
-      match Annot.Encoding.decode payload with
-      | Ok wire_track -> (
-        ( true,
-          match config.mapping with
-          | Negotiation.Server_side -> wire_track
-          | Negotiation.Client_side ->
-            Annot.Neutral.map_to_device config.device wire_track ))
-      | Error _ -> (false, track))
-    | Error _ -> (false, track)
+    match config.fault with
+    | None -> (
+      (* Legacy Bernoulli path: all-or-nothing recovery, bit-identical
+         to the pre-fault-injection behaviour. *)
+      let annotation_arrival =
+        Fec.transmit protected_annotations ~rate:config.loss_rate
+          ~seed:config.seed
+      in
+      match Fec.recover protected_annotations ~present:annotation_arrival with
+      | Ok payload -> (
+        match Annot.Encoding.decode payload with
+        | Ok wire_track -> (
+          ( true,
+            (match config.mapping with
+            | Negotiation.Server_side -> wire_track
+            | Negotiation.Client_side ->
+              Annot.Neutral.map_to_device config.device wire_track),
+            0, 0, 0 ))
+        | Error _ -> (false, track, 0, 0, 0))
+      | Error _ -> (false, track, 0, 0, 0))
+    | Some fault -> (
+      let arrival =
+        Fault.apply fault ~seed:config.seed protected_annotations.Fec.packets
+      in
+      let arrival, nack =
+        if config.nack_budget_s > 0. then
+          Transport.nack_retransmit ~fault ~link:config.link
+            ~budget_s:config.nack_budget_s ~seed:(config.seed + 31)
+            ~packets:protected_annotations.Fec.packets arrival
+        else (arrival, Transport.no_nack)
+      in
+      let recovery = Fec.recover_detail protected_annotations ~present:arrival in
+      let resent = nack.Transport.packets_retransmitted in
+      match
+        Annot.Encoding.decode_partial ~byte_ok:recovery.Fec.byte_ok
+          recovery.Fec.payload
+      with
+      | Error _ ->
+        (* Header gone (or v1 payload damaged): nothing placeable
+           survived, every scene plays at full backlight. *)
+        (false, track, Array.length track.Annot.Track.entries, resent, 0)
+      | Ok partial ->
+        let intact =
+          Array.fold_left
+            (fun acc e -> if e = None then acc else acc + 1)
+            0 partial.Annot.Encoding.entries
+        in
+        let corrupt = partial.Annot.Encoding.corrupt_records in
+        if intact = 0 then
+          (false, track, Array.length partial.Annot.Encoding.entries, resent,
+           corrupt)
+        else begin
+          let patched, degraded = patch_partial config.degradation partial in
+          let client =
+            match config.mapping with
+            | Negotiation.Server_side -> patched
+            | Negotiation.Client_side ->
+              Annot.Neutral.map_to_device config.device patched
+          in
+          (true, client, degraded, resent, corrupt)
+        end)
   in
   Obs.Metrics.Counter.incr (obs_annotation_outcomes annotations_survived);
+  if degraded_scenes > 0 then
+    Obs.Metrics.Counter.incr obs_degraded_scenes ~by:degraded_scenes;
   let result =
     Result.bind (Transport.packetize encoded) (fun packetized ->
       let lost =
-        Transport.bernoulli_loss ~rate:config.loss_rate ~seed:(config.seed + 1)
-          ~frames
+        match config.fault with
+        | None ->
+          Transport.bernoulli_loss ~rate:config.loss_rate
+            ~seed:(config.seed + 1) ~frames
+        | Some fault -> Fault.loss_mask fault ~seed:(config.seed + 1) ~n:frames
       in
+      (* The first frame is exempt from loss: with nothing decoded yet
+         there is no picture to conceal with, so a real player would
+         stall on ARQ until the stream starts. We model that as a
+         forced delivery and count it instead of failing the run. *)
+      if lost.(0) then Obs.Metrics.Counter.incr obs_forced_first_frame;
       lost.(0) <- false;
       Result.bind
         (Result.map_error
@@ -202,6 +344,15 @@ let run config clip =
                     if i > 0 && scene_start.(i) then
                       Obs.Monitor.scene_cut ~now_s:start_s;
                     let transfer = Netsim.transfer_time_s config.link bytes in
+                    let transfer =
+                      match config.fault with
+                      | None -> transfer
+                      | Some f ->
+                        (transfer
+                        /. Fault.bandwidth_factor f
+                             ~progress:(float_of_int i /. float_of_int frames))
+                        +. Fault.delay_s f ~seed:(config.seed + 17) ~index:i
+                    in
                     Obs.Metrics.Histogram.observe obs_frame_latency transfer;
                     Obs.Monitor.count Obs.Monitor.frames_series;
                     if transfer > dt_s then begin
@@ -235,7 +386,11 @@ let run config clip =
                 Obs.Metrics.Gauge.set (obs_energy "device_baseline") baseline;
                 Obs.Monitor.gauge "power_cpu_mj" dvfs.Dvfs_playback.cpu_energy_mj;
                 Obs.Monitor.gauge "power_radio_mj" radio.Radio.radio_energy_mj;
-                Obs.Monitor.gauge "power_device_total_mj" optimised
+                Obs.Monitor.gauge "power_device_total_mj" optimised;
+                Obs.Monitor.gauge "annot_records_corrupt_total"
+                  (float_of_int corrupt_records);
+                Obs.Monitor.gauge "degraded_scenes_total"
+                  (float_of_int degraded_scenes)
               end;
               let backlight_savings =
                 let p r = Power.Model.backlight_power_mw config.device ~on:true ~register:r in
@@ -260,6 +415,9 @@ let run config clip =
                 device_savings = (baseline -. optimised) /. baseline;
                 device_energy_mj = optimised;
                 baseline_energy_mj = baseline;
+                degraded_scenes;
+                retransmissions;
+                corrupt_records;
               })
             (Codec.Decoder.decode encoded.Codec.Encoder.data)))
   in
@@ -275,10 +433,16 @@ let pp_report ppf r =
      savings: backlight %.1f%%, cpu %.1f%%, radio %.1f%% -> device %.1f%%@,\
      energy %.0f mJ vs %.0f mJ baseline@]"
     r.frames r.duration_s r.video_bytes r.annotation_bytes
-    (if r.annotations_survived then "recovered" else "LOST - full backlight fallback")
+    (if not r.annotations_survived then "LOST - full backlight fallback"
+     else if r.degraded_scenes > 0 then "partially recovered"
+     else "recovered")
     r.video_mean_psnr r.concealed_frames (100. *. r.backlight_savings)
     (100. *. r.cpu_savings) (100. *. r.radio_savings) (100. *. r.device_savings)
-    r.device_energy_mj r.baseline_energy_mj
+    r.device_energy_mj r.baseline_energy_mj;
+  if r.degraded_scenes > 0 || r.retransmissions > 0 || r.corrupt_records > 0 then
+    Format.fprintf ppf
+      "@\nresilience: %d degraded scenes, %d retransmissions, %d corrupt records"
+      r.degraded_scenes r.retransmissions r.corrupt_records
 
 let pp_report_obs ppf r =
   pp_report ppf r;

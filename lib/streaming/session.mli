@@ -10,6 +10,17 @@
     radio always on). This is the API a downstream integrator calls;
     the pieces remain available individually. *)
 
+type degradation =
+  | Full_backlight
+      (** lost or corrupt scenes play at register 255, uncompensated —
+          quality is never risked on a guessed annotation *)
+  | Neighbour_clamp
+      (** like [Full_backlight], except a gap whose two intact
+          neighbour scenes agree on register and effective maximum is
+          clamped to that agreed level — still conservative (the level
+          was provably safe next door), recovering most of the savings
+          for short gaps inside a long scene *)
+
 type config = {
   device : Display.Device.t;
   quality : Annot.Quality_level.t;
@@ -20,11 +31,21 @@ type config = {
   ramp_step : int option;  (** slew-limit dimming when set *)
   cpu_busy_fraction : float;  (** decode duty cycle for the power model *)
   seed : int;
+  fault : Fault.t option;
+      (** richer channel model for both hops; [None] keeps the legacy
+          Bernoulli behaviour driven by [loss_rate], bit-identical to
+          releases without fault injection *)
+  nack_budget_s : float;
+      (** simulated-time budget for the annotation NACK/retransmit
+          loop ({!Transport.nack_retransmit}); [0.] disables it. Only
+          used when [fault] is set. *)
+  degradation : degradation;  (** policy for scenes whose record died *)
 }
 
 val default_config : device:Display.Device.t -> config
 (** 10 % quality, server-side mapping, 802.11b link, no loss, GOP 12,
-    no ramp, 60 % duty cycle. *)
+    no ramp, 60 % duty cycle, no fault injection, 40 ms NACK budget,
+    full-backlight degradation. *)
 
 type report = {
   config : config;
@@ -33,9 +54,13 @@ type report = {
   video_bytes : int;
   annotation_bytes : int;
   annotations_survived : bool;
-      (** whether the FEC-protected side channel was recovered; when it
-          is not, the client falls back to full backlight (quality is
-          never risked on guessed annotations) *)
+      (** whether any of the FEC-protected side channel was usable.
+          Without fault injection this is all-or-nothing recovery; with
+          a [fault] configured it is [true] as soon as one scene's
+          record survived — [degraded_scenes] says how many did not.
+          When [false] the client falls back to full backlight for the
+          whole clip (quality is never risked on guessed
+          annotations) *)
   video_mean_psnr : float;  (** after loss concealment, vs clean decode *)
   concealed_frames : int;
   backlight_savings : float;
@@ -46,12 +71,35 @@ type report = {
           optimisations combined *)
   device_energy_mj : float;
   baseline_energy_mj : float;
+  degraded_scenes : int;
+      (** scenes whose annotation record was lost or corrupt and that
+          therefore play at the degradation policy's safe level *)
+  retransmissions : int;
+      (** annotation packets re-sent by the NACK loop, all rounds *)
+  corrupt_records : int;
+      (** annotation records that arrived but failed their CRC32 (or
+          sanity checks) and were discarded *)
 }
+
+val patch_partial :
+  degradation -> Annot.Encoding.partial -> Annot.Track.t * int
+(** [patch_partial policy partial] rebuilds a full, valid annotation
+    track from a partial decode: surviving records keep their scenes,
+    gaps are filled per [policy] (full backlight, or the neighbours'
+    agreed level). Returns the patched track and the number of
+    degraded scenes. Exposed for tests and downstream clients that run
+    their own transport. *)
 
 val run : config -> Video.Clip.t -> (report, string) result
 (** [run config clip] executes the full session. Fails only on
-    irrecoverable transport conditions (e.g. the first video frame
-    lost) or internal stream corruption. *)
+    internal stream corruption.
+
+    The first video frame is exempt from simulated loss (it is forced
+    delivered and counted in the [forced_first_frame_deliveries_total]
+    counter): with nothing decoded yet there is no previous picture to
+    conceal with, so a real player would block on ARQ for the stream
+    to actually start rather than play nothing — first-frame delivery
+    is a precondition of playback, not a survivable loss. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Prints the report alone. Output is identical whether or not the

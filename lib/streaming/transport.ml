@@ -99,6 +99,101 @@ let decode_with_concealment t ~lost =
     (fun () -> { pictures; concealed = !concealed; drifted = !drifted })
     !result
 
+type nack_stats = {
+  nack_rounds : int;
+  packets_retransmitted : int;
+  packets_repaired : int;
+  nack_time_s : float;
+  budget_exhausted : bool;
+}
+
+let no_nack =
+  {
+    nack_rounds = 0;
+    packets_retransmitted = 0;
+    packets_repaired = 0;
+    nack_time_s = 0.;
+    budget_exhausted = false;
+  }
+
+let obs_retransmissions =
+  Obs.counter ~help:"Annotation packets re-sent after a NACK"
+    "annot_retransmissions_total" []
+
+let obs_nack_rounds =
+  Obs.counter ~help:"NACK/retransmit rounds run for the annotation side channel"
+    "annot_nack_rounds_total" []
+
+let max_nack_rounds = 16
+
+let nack_retransmit ?(backoff_base_s = 0.002) ?(rtt_s = 0.004) ~fault ~link
+    ~budget_s ~seed ~packets present =
+  if Array.length present <> Array.length packets then
+    invalid_arg "Transport.nack_retransmit: packet array length mismatch";
+  let present = Array.copy present in
+  let spent = ref 0. in
+  let rounds = ref 0 in
+  let retransmitted = ref 0 in
+  let repaired = ref 0 in
+  let exhausted = ref false in
+  let missing () =
+    let acc = ref [] in
+    Array.iteri (fun i p -> if p = None then acc := i :: !acc) present;
+    List.rev !acc
+  in
+  let finished = ref false in
+  while not !finished do
+    match missing () with
+    | [] -> finished := true
+    | gaps when !rounds >= max_nack_rounds -> ignore gaps; finished := true
+    | gaps ->
+      (* One round: NACK upstream, wait out the backoff, receive the
+         burst of re-sent packets. Costed on the simulated clock before
+         it is spent, so the loop never blows its deadline budget. *)
+      let backoff = backoff_base_s *. Float.pow 2. (float_of_int !rounds) in
+      let round_seed = seed + ((!rounds + 1) * 7919) in
+      let transfer =
+        List.fold_left
+          (fun acc i ->
+            acc
+            +. Netsim.transfer_time_s link (String.length packets.(i))
+            +. Fault.delay_s fault ~seed:round_seed ~index:i)
+          0. gaps
+      in
+      let cost = rtt_s +. backoff +. transfer in
+      if !spent +. cost > budget_s then begin
+        exhausted := true;
+        finished := true
+      end
+      else begin
+        spent := !spent +. cost;
+        incr rounds;
+        Obs.Metrics.Counter.incr obs_nack_rounds;
+        let resent = Array.of_list (List.map (fun i -> packets.(i)) gaps) in
+        retransmitted := !retransmitted + Array.length resent;
+        Obs.Metrics.Counter.incr obs_retransmissions ~by:(Array.length resent);
+        (* Retransmissions ride the same faulty channel with a fresh
+           deterministic sub-stream. *)
+        let delivered = Fault.apply fault ~seed:round_seed resent in
+        List.iteri
+          (fun k i ->
+            match delivered.(k) with
+            | Some p ->
+              present.(i) <- Some p;
+              incr repaired
+            | None -> ())
+          gaps
+      end
+  done;
+  ( present,
+    {
+      nack_rounds = !rounds;
+      packets_retransmitted = !retransmitted;
+      packets_repaired = !repaired;
+      nack_time_s = !spent;
+      budget_exhausted = !exhausted;
+    } )
+
 let mean_psnr ~reference pictures =
   if Array.length reference <> Array.length pictures || Array.length reference = 0
   then invalid_arg "Transport.mean_psnr: sequence mismatch";

@@ -38,6 +38,43 @@ val decode_with_concealment :
     when nothing displayable exists yet (the very first frame is lost
     before any picture was decoded) or on corrupt payload data. *)
 
+type nack_stats = {
+  nack_rounds : int;
+  packets_retransmitted : int;  (** total re-sends, all rounds *)
+  packets_repaired : int;  (** re-sends that actually arrived *)
+  nack_time_s : float;  (** simulated time the loop consumed *)
+  budget_exhausted : bool;
+      (** the loop stopped because the next round would not fit in the
+          deadline budget, not because everything arrived *)
+}
+
+val no_nack : nack_stats
+(** The all-zero stats of a session that never NACKed. *)
+
+val nack_retransmit :
+  ?backoff_base_s:float ->
+  ?rtt_s:float ->
+  fault:Fault.t ->
+  link:Netsim.t ->
+  budget_s:float ->
+  seed:int ->
+  packets:string array ->
+  string option array ->
+  string option array * nack_stats
+(** [nack_retransmit ~fault ~link ~budget_s ~seed ~packets present]
+    runs a deadline-budgeted NACK/retransmit loop for the annotation
+    side channel: every round NACKs the packets still missing from
+    [present], waits an exponential backoff ([backoff_base_s], default
+    2 ms, doubling per round) plus one [rtt_s] (default 4 ms), and
+    receives the re-sent originals from [packets] through the same
+    fault model (fresh deterministic sub-stream per round — bursts
+    eventually miss a retransmission). A round only runs when its full
+    simulated cost fits in [budget_s]; annotations must arrive before
+    the frames they govern, so the loop gives up rather than stall
+    playback ([budget_exhausted]). [budget_s = 0.] disables
+    retransmission entirely. Returns the augmented arrival array (the
+    input is not mutated) and the loop's statistics. *)
+
 val mean_psnr : reference:Image.Raster.t array -> Image.Raster.t array -> float
 (** Mean PSNR (dB) against a reference frame sequence; [infinity]-free:
     identical frames are capped at 99 dB so the mean stays finite. *)
