@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work.
 
-.PHONY: all build test check bench clean slo-smoke chaos
+.PHONY: all build test check bench clean slo-smoke chaos lint verify-fixtures
 
 all: build
 
@@ -10,11 +10,29 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate: everything compiles, every suite is green, a
-# monitored playback run meets the default SLOs, and the CLIs survive
-# hostile fault profiles.
+# The tier-1 gate: everything compiles, every suite is green, the
+# sources pass the determinism linter, the shipped artifacts verify
+# cleanly, a monitored playback run meets the default SLOs, and the
+# CLIs survive hostile fault profiles.
 check:
-	dune build && dune runtest && $(MAKE) slo-smoke && $(MAKE) chaos
+	dune build && dune runtest && $(MAKE) lint && $(MAKE) verify-fixtures \
+	  && $(MAKE) slo-smoke && $(MAKE) chaos
+
+# Static gate 1: the determinism linter over the library and tool
+# sources (rules L001-L008, see README "Static checks"). Exits 1 on
+# any finding without a reasoned `lint: allow` comment.
+lint:
+	dune exec bin/lint.exe -- sources lib bin
+
+# Static gate 2: the offline artifact verifier over everything the
+# repo ships — the example SLO and fault profiles, plus a freshly
+# encoded annotation track (codes V1xx/V2xx/V3xx).
+verify-fixtures:
+	dune build
+	dune exec bin/annotate.exe -- -c theincredibles-tlr2 \
+	  -o _build/verify-track.bin > /dev/null
+	dune exec bin/lint.exe -- verify _build/verify-track.bin \
+	  examples/default.slo examples/*.fault
 
 # End-to-end health gate: monitored playback of a seeded clip against
 # the default SLO file must print a clean report and exit 0.

@@ -22,7 +22,7 @@ let section title =
 let rule () = print_endline (String.make 78 '-')
 
 (* Workload profiles are rendered and profiled once per run. *)
-let profiled_cache : (string, Annot.Annotator.profiled) Hashtbl.t = Hashtbl.create 16
+let profiled_cache : (string, Annotation.Annotator.profiled) Hashtbl.t = Hashtbl.create 16
 
 let render_workload profile =
   Video.Clip_gen.render ~width:sweep_width ~height:sweep_height ~fps:sweep_fps profile
@@ -32,7 +32,7 @@ let profiled_workload profile =
   match Hashtbl.find_opt profiled_cache name with
   | Some p -> p
   | None ->
-    let p = Annot.Annotator.profile (render_workload profile) in
+    let p = Annotation.Annotator.profile (render_workload profile) in
     Hashtbl.add profiled_cache name p;
     p
 
@@ -84,7 +84,7 @@ let fig4 () =
   let clip = render_workload Video.Workloads.themovie in
   let profiled = profiled_workload Video.Workloads.themovie in
   let track =
-    Annot.Annotator.annotate_profiled ~device ~quality:Annot.Quality_level.Loss_10
+    Annotation.Annotator.annotate_profiled ~device ~quality:Annotation.Quality_level.Loss_10
       profiled
   in
   (* Pick the dimmest *contentful* scene: fades and credits are nearly
@@ -93,30 +93,30 @@ let fig4 () =
   let frame_index =
     let best = ref 0 and best_reg = ref 256 in
     Array.iter
-      (fun (e : Annot.Track.entry) ->
-        if e.Annot.Track.register < !best_reg && e.Annot.Track.effective_max >= 80
+      (fun (e : Annotation.Track.entry) ->
+        if e.Annotation.Track.register < !best_reg && e.Annotation.Track.effective_max >= 80
         then begin
-          best_reg := e.Annot.Track.register;
-          best := e.Annot.Track.first_frame + (e.Annot.Track.frame_count / 2)
+          best_reg := e.Annotation.Track.register;
+          best := e.Annotation.Track.first_frame + (e.Annotation.Track.frame_count / 2)
         end)
-      track.Annot.Track.entries;
+      track.Annotation.Track.entries;
     !best
   in
   let original = clip.Video.Clip.render frame_index in
-  let entry = Annot.Track.lookup track frame_index in
-  let compensated = Annot.Compensate.frame track frame_index original in
+  let entry = Annotation.Track.lookup track frame_index in
+  let compensated = Annotation.Compensate.frame track frame_index original in
   let rig = Camera.Snapshot.default_rig device in
   let reference_snap =
     Camera.Snapshot.capture_histogram rig device ~backlight_register:255 original
   in
   let compensated_snap =
     Camera.Snapshot.capture_histogram rig device
-      ~backlight_register:entry.Annot.Track.register compensated
+      ~backlight_register:entry.Annotation.Track.register compensated
   in
   Printf.printf "frame %d, backlight register %d (%.0f%% of full), compensation x%.2f\n"
-    frame_index entry.Annot.Track.register
-    (100. *. float_of_int entry.Annot.Track.register /. 255.)
-    entry.Annot.Track.compensation;
+    frame_index entry.Annotation.Track.register
+    (100. *. float_of_int entry.Annotation.Track.register /. 255.)
+    entry.Annotation.Track.compensation;
   print_histogram "reference snapshot  " reference_snap;
   print_histogram "compensated snapshot" compensated_snap;
   let verdict =
@@ -135,21 +135,21 @@ let fig5 () =
   (* Merge the whole clip into one histogram for a stable picture. *)
   let hist = Image.Histogram.create () in
   Array.iter (fun h -> Image.Histogram.merge_into ~dst:hist h)
-    profiled.Annot.Annotator.histograms;
+    profiled.Annotation.Annotator.histograms;
   Printf.printf "%-8s %-14s %-12s %-10s %-14s %s\n" "quality" "eff. max lum"
     "clipped px" "register" "compensation" "backlight level";
   rule ();
   List.iter
     (fun q ->
-      let sol = Annot.Backlight_solver.solve ~device ~quality:q hist in
+      let sol = Annotation.Backlight_solver.solve ~device ~quality:q hist in
       Printf.printf "%-8s %-14d %-12s %-10d x%-13.2f %.0f%%\n"
-        (Annot.Quality_level.label q)
-        sol.Annot.Backlight_solver.effective_max
-        (Printf.sprintf "%.2f%%" (100. *. sol.Annot.Backlight_solver.clipped_fraction))
-        sol.Annot.Backlight_solver.register
-        sol.Annot.Backlight_solver.compensation
-        (100. *. float_of_int sol.Annot.Backlight_solver.register /. 255.))
-    Annot.Quality_level.standard_grid
+        (Annotation.Quality_level.label q)
+        sol.Annotation.Backlight_solver.effective_max
+        (Printf.sprintf "%.2f%%" (100. *. sol.Annotation.Backlight_solver.clipped_fraction))
+        sol.Annotation.Backlight_solver.register
+        sol.Annotation.Backlight_solver.compensation
+        (100. *. float_of_int sol.Annotation.Backlight_solver.register /. 255.))
+    Annotation.Quality_level.standard_grid
 
 (* --- Fig 6: scene grouping during playback ----------------------------- *)
 
@@ -159,32 +159,32 @@ let fig6 () =
      luminance, scene max, instantaneous backlight power saved";
   let profiled = profiled_workload Video.Workloads.themovie in
   let track =
-    Annot.Annotator.annotate_profiled ~device ~quality:Annot.Quality_level.Loss_10
+    Annotation.Annotator.annotate_profiled ~device ~quality:Annotation.Quality_level.Loss_10
       profiled
   in
   let savings = Streaming.Playback.instantaneous_backlight_savings ~device track in
   let scene_max =
-    Array.init profiled.Annot.Annotator.total_frames (fun i ->
-        (Annot.Track.lookup track i).Annot.Track.effective_max)
+    Array.init profiled.Annotation.Annotator.total_frames (fun i ->
+        (Annotation.Track.lookup track i).Annotation.Track.effective_max)
   in
   Printf.printf "%-8s %-10s %-16s %-10s %s\n" "time(s)" "max lum" "scene eff. max"
     "register" "power saved";
   rule ();
-  let n = profiled.Annot.Annotator.total_frames in
+  let n = profiled.Annotation.Annotator.total_frames in
   let stride = max 1 (n / 80) in
   let i = ref 0 in
   while !i < n do
     let t = float_of_int !i /. sweep_fps in
     Printf.printf "%-8.2f %-10d %-16d %-10d %5.1f%%\n" t
-      profiled.Annot.Annotator.max_track.(!i)
+      profiled.Annotation.Annotator.max_track.(!i)
       scene_max.(!i)
-      (Annot.Track.lookup track !i).Annot.Track.register
+      (Annotation.Track.lookup track !i).Annotation.Track.register
       (100. *. savings.(!i));
     i := !i + stride
   done;
   Printf.printf "\nscenes: %d, backlight switches: %d, mean power saved: %.1f%%\n"
-    (Annot.Track.entry_count track)
-    (Annot.Track.switch_count track)
+    (Annotation.Track.entry_count track)
+    (Annotation.Track.switch_count track)
     (100. *. Array.fold_left ( +. ) 0. savings /. float_of_int n)
 
 (* --- Fig 7 / Fig 8: display characterisation --------------------------- *)
@@ -247,11 +247,11 @@ let fig8 () =
 
 (* --- Fig 9 / Fig 10: the power-savings sweeps --------------------------- *)
 
-let quality_columns = Annot.Quality_level.standard_grid
+let quality_columns = Annotation.Quality_level.standard_grid
 
 let print_sweep_header () =
   Printf.printf "%-22s" "clip";
-  List.iter (fun q -> Printf.printf "%8s" (Annot.Quality_level.label q)) quality_columns;
+  List.iter (fun q -> Printf.printf "%8s" (Annotation.Quality_level.label q)) quality_columns;
   print_newline ();
   rule ()
 
@@ -306,9 +306,9 @@ let overhead () =
       let clip = Video.Clip_gen.render ~width ~height ~fps:sweep_fps profile in
       let encoded = Codec.Encoder.encode_clip clip in
       let track =
-        Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Loss_10 clip
+        Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Loss_10 clip
       in
-      let annotation_bytes = Annot.Encoding.encoded_size track in
+      let annotation_bytes = Annotation.Encoding.encoded_size track in
       let video_bytes = Codec.Encoder.total_bytes encoded in
       Printf.printf "%-22s %12d %12d %9.4f%% %11.4f%%\n" profile.Video.Profile.name
         video_bytes annotation_bytes
@@ -329,10 +329,10 @@ let ablation_scene () =
     (fun profile ->
       let profiled = profiled_workload profile in
       let run strategy =
-        Baselines.Runner.run ~device ~quality:Annot.Quality_level.Loss_10 profiled
+        Baselines.Runner.run ~device ~quality:Annotation.Quality_level.Loss_10 profiled
           strategy
       in
-      let scene = run (Baselines.Strategy.Annotated Annot.Scene_detect.default_params) in
+      let scene = run (Baselines.Strategy.Annotated Annotation.Scene_detect.default_params) in
       let frame = run Baselines.Strategy.Annotated_per_frame in
       Printf.printf "%-22s %15.1f%% %15.1f%% %10d %10d\n" profile.Video.Profile.name
         (100. *. scene.Baselines.Runner.report.Streaming.Playback.backlight_savings)
@@ -364,7 +364,7 @@ let ablation_baselines () =
       List.iter
         (fun strategy ->
           let o =
-            Baselines.Runner.run ~device ~quality:Annot.Quality_level.Loss_10
+            Baselines.Runner.run ~device ~quality:Annotation.Quality_level.Loss_10
               profiled strategy
           in
           Printf.printf "  %-20s %9.1f%% %9.1f%% %9d %11d %6.1f%% %6dB\n"
@@ -393,20 +393,20 @@ let ablation_operator () =
       let profiled = profiled_workload profile in
       let hist = Image.Histogram.create () in
       Array.iter (fun h -> Image.Histogram.merge_into ~dst:hist h)
-        profiled.Annot.Annotator.histograms;
+        profiled.Annotation.Annotator.histograms;
       let solve op =
-        Annot.Operator.solve ~device ~quality:Annot.Quality_level.Loss_10 op hist
+        Annotation.Operator.solve ~device ~quality:Annotation.Quality_level.Loss_10 op hist
       in
-      let contrast = solve Annot.Operator.Contrast_enhancement in
-      let brightness = solve Annot.Operator.Brightness_compensation in
-      let savings (s : Annot.Operator.solution) =
-        100. *. (1. -. (float_of_int s.Annot.Operator.register /. 255.))
+      let contrast = solve Annotation.Operator.Contrast_enhancement in
+      let brightness = solve Annotation.Operator.Brightness_compensation in
+      let savings (s : Annotation.Operator.solution) =
+        100. *. (1. -. (float_of_int s.Annotation.Operator.register /. 255.))
       in
       Printf.printf "%-22s | %8d %8.1f%% %8.4f | %8d %8.1f%% %8.4f\n"
-        profile.Video.Profile.name contrast.Annot.Operator.register
-        (savings contrast) contrast.Annot.Operator.mean_error
-        brightness.Annot.Operator.register (savings brightness)
-        brightness.Annot.Operator.mean_error)
+        profile.Video.Profile.name contrast.Annotation.Operator.register
+        (savings contrast) contrast.Annotation.Operator.mean_error
+        brightness.Annotation.Operator.register (savings brightness)
+        brightness.Annotation.Operator.mean_error)
     Video.Workloads.all;
   print_endline
     "\n(error = mean perceived-intensity deviation, fraction of full scale;\n\
@@ -500,19 +500,19 @@ let roi () =
   let band =
     Image.Roi.center_band ~width:sweep_width ~height:sweep_height ~fraction:0.6
   in
-  let protected_profile = Annot.Protected.profile ~roi:band clip in
-  let quality = Annot.Quality_level.Loss_10 in
-  let unprotected = Annot.Annotator.annotate ~device ~quality clip in
-  let protected_track = Annot.Protected.annotate ~device ~quality protected_profile in
+  let protected_profile = Annotation.Protected.profile ~roi:band clip in
+  let quality = Annotation.Quality_level.Loss_10 in
+  let unprotected = Annotation.Annotator.annotate ~device ~quality clip in
+  let protected_track = Annotation.Protected.annotate ~device ~quality protected_profile in
   let report track label =
     let r =
       Streaming.Playback.run_with_registers ~device ~quality
         ~clip_name:clip.Video.Clip.name ~fps:sweep_fps
-        ~annotation_bytes:(Annot.Encoding.encoded_size track)
-        (Annot.Track.register_track track)
+        ~annotation_bytes:(Annotation.Encoding.encoded_size track)
+        (Annotation.Track.register_track track)
     in
     let text_clipped =
-      Annot.Protected.roi_clipped_fraction ~device protected_profile track
+      Annotation.Protected.roi_clipped_fraction ~device protected_profile track
     in
     Printf.printf "  %-14s backlight saved %5.1f%%  credit text clipped %5.1f%%\n"
       label
@@ -538,29 +538,29 @@ let live () =
   List.iter
     (fun profile ->
       let profiled = profiled_workload profile in
-      let quality = Annot.Quality_level.Loss_10 in
+      let quality = Annotation.Quality_level.Loss_10 in
       let evaluate label track =
         let report =
           Streaming.Playback.run_with_registers ~device ~quality
             ~clip_name:profile.Video.Profile.name ~fps:sweep_fps
-            ~annotation_bytes:(Annot.Encoding.encoded_size track)
-            (Annot.Track.register_track track)
+            ~annotation_bytes:(Annotation.Encoding.encoded_size track)
+            (Annotation.Track.register_track track)
         in
         Printf.printf "%-22s %-10s %12s %9.1f%% %10d\n" profile.Video.Profile.name
           label
           (match label with
           | "offline" -> "-"
           | _ -> Printf.sprintf "%.1f s"
-                   (Annot.Live.added_latency_s
+                   (Annotation.Live.added_latency_s
                       ~lookahead:(int_of_string label) ~fps:sweep_fps))
           (100. *. report.Streaming.Playback.backlight_savings)
           report.Streaming.Playback.switch_count
       in
-      evaluate "offline" (Annot.Annotator.annotate_profiled ~device ~quality profiled);
+      evaluate "offline" (Annotation.Annotator.annotate_profiled ~device ~quality profiled);
       List.iter
         (fun lookahead ->
           evaluate (string_of_int lookahead)
-            (Annot.Live.annotate ~lookahead ~device ~quality profiled))
+            (Annotation.Live.annotate ~lookahead ~device ~quality profiled))
         [ 36; 12; 6 ])
     [ Video.Workloads.themovie; Video.Workloads.returnoftheking ]
 
@@ -577,9 +577,9 @@ let oled () =
     (fun profile ->
       let clip = Video.Clip_gen.render ~width:96 ~height:72 ~fps:8. profile in
       let track =
-        Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Loss_10 clip
+        Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Loss_10 clip
       in
-      let compensated = Annot.Compensate.clip clip track in
+      let compensated = Annotation.Compensate.clip clip track in
       let original_mj = Power.Oled.clip_energy_mj panel ~fps:8. clip in
       let compensated_mj = Power.Oled.clip_energy_mj panel ~fps:8. compensated in
       Printf.printf "%-22s %14.1f %16.1f %+9.1f%%\n" profile.Video.Profile.name
@@ -644,10 +644,10 @@ let ramp () =
     (fun profile ->
       let profiled = profiled_workload profile in
       let track =
-        Annot.Annotator.annotate_profiled ~device
-          ~quality:Annot.Quality_level.Loss_10 profiled
+        Annotation.Annotator.annotate_profiled ~device
+          ~quality:Annotation.Quality_level.Loss_10 profiled
       in
-      let registers = Annot.Track.register_track track in
+      let registers = Annotation.Track.register_track track in
       let cost = Streaming.Ramp.smoothing_cost ~device ~max_dim_step:8 registers in
       Printf.printf "%-22s %12d %14d %13.2f%%\n" profile.Video.Profile.name
         cost.Streaming.Ramp.original_largest_dim_step
@@ -713,18 +713,18 @@ let gop_plan () =
     "Extension — scene-aligned I-frames from profiling annotations vs fixed GOP";
   let profile = Video.Workloads.shrek2 in
   let clip = Video.Clip_gen.render ~width:96 ~height:72 ~fps:12. profile in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   let scenes =
-    Annot.Scene_detect.segment_with_means Annot.Scene_detect.default_params
-      ~max_track:profiled.Annot.Annotator.max_track
-      ~mean_track:profiled.Annot.Annotator.mean_track
+    Annotation.Scene_detect.segment_with_means Annotation.Scene_detect.default_params
+      ~max_track:profiled.Annotation.Annotator.max_track
+      ~mean_track:profiled.Annotation.Annotator.mean_track
   in
   let planner =
     Codec.Gop_planner.of_scene_intervals ~max_interval:48
       ~frame_count:clip.Video.Clip.frame_count
       (List.map
-         (fun (s : Annot.Scene_detect.scene) ->
-           (s.Annot.Scene_detect.first, s.Annot.Scene_detect.last))
+         (fun (s : Annotation.Scene_detect.scene) ->
+           (s.Annotation.Scene_detect.first, s.Annotation.Scene_detect.last))
          scenes)
   in
   let fixed =
@@ -773,10 +773,10 @@ let fec () =
     "Extension — annotation side-channel survival under packet loss (XOR FEC)";
   let profiled = profiled_workload Video.Workloads.returnoftheking in
   let track =
-    Annot.Annotator.annotate_profiled ~device ~quality:Annot.Quality_level.Loss_10
+    Annotation.Annotator.annotate_profiled ~device ~quality:Annotation.Quality_level.Loss_10
       profiled
   in
-  let payload = Annot.Encoding.encode track in
+  let payload = Annotation.Encoding.encode track in
   (* Small packets so a tiny track still spans a few packets; the
      parity cost remains tens of bytes either way. *)
   let protected_payload = Streaming.Fec.protect ~packet_size:24 ~group_size:3 payload in
@@ -931,7 +931,7 @@ let content_sweep () =
   section
     "Extension — backlight savings vs content brightness (the technique's knee)";
   Printf.printf "%-12s %-12s" "base level" "mean luma";
-  List.iter (fun q -> Printf.printf "%8s" (Annot.Quality_level.label q)) quality_columns;
+  List.iter (fun q -> Printf.printf "%8s" (Annotation.Quality_level.label q)) quality_columns;
   print_newline ();
   rule ();
   List.iter
@@ -940,10 +940,10 @@ let content_sweep () =
         Video.Workloads.parametric ~seconds:6. ~base_level ~highlight_peak:200 ()
       in
       let clip = Video.Clip_gen.render ~width:96 ~height:72 ~fps:8. profile in
-      let profiled = Annot.Annotator.profile clip in
+      let profiled = Annotation.Annotator.profile clip in
       let mean_luma =
-        Array.fold_left ( +. ) 0. profiled.Annot.Annotator.mean_track
-        /. float_of_int profiled.Annot.Annotator.total_frames
+        Array.fold_left ( +. ) 0. profiled.Annotation.Annotator.mean_track
+        /. float_of_int profiled.Annotation.Annotator.total_frames
       in
       Printf.printf "%-12d %-12.0f" base_level mean_luma;
       List.iter
@@ -973,18 +973,18 @@ let hebs () =
       let profiled = profiled_workload profile in
       let hist = Image.Histogram.create () in
       Array.iter (fun h -> Image.Histogram.merge_into ~dst:hist h)
-        profiled.Annot.Annotator.histograms;
+        profiled.Annotation.Annotator.histograms;
       let paper =
-        Annot.Operator.solve ~device ~quality:Annot.Quality_level.Loss_10
-          Annot.Operator.Contrast_enhancement hist
+        Annotation.Operator.solve ~device ~quality:Annotation.Quality_level.Loss_10
+          Annotation.Operator.Contrast_enhancement hist
       in
       let hebs_05 = Baselines.Hebs.solve ~device ~lambda:0.5 hist in
       let hebs_10 = Baselines.Hebs.solve ~device ~lambda:1.0 hist in
       let savings register = 100. *. (1. -. (float_of_int register /. 255.)) in
       Printf.printf "%-22s | %8.1f%% %9.4f | %8.1f%% %9.4f | %8.1f%% %9.4f\n"
         profile.Video.Profile.name
-        (savings paper.Annot.Operator.register)
-        paper.Annot.Operator.mean_error
+        (savings paper.Annotation.Operator.register)
+        paper.Annotation.Operator.mean_error
         (savings hebs_05.Baselines.Hebs.register)
         hebs_05.Baselines.Hebs.mean_error
         (savings hebs_10.Baselines.Hebs.register)
@@ -1063,12 +1063,12 @@ let micro () =
         (Staged.stage (fun () -> ignore (Image.Ops.contrast_enhance ~k:1.7 frame)));
       Test.make ~name:"scene_detect/segment (600 frames)"
         (Staged.stage (fun () ->
-             ignore (Annot.Scene_detect.segment Annot.Scene_detect.default_params max_track)));
+             ignore (Annotation.Scene_detect.segment Annotation.Scene_detect.default_params max_track)));
       Test.make ~name:"solver/solve"
         (Staged.stage (fun () ->
              ignore
-               (Annot.Backlight_solver.solve ~device
-                  ~quality:Annot.Quality_level.Loss_10 hist)));
+               (Annotation.Backlight_solver.solve ~device
+                  ~quality:Annotation.Quality_level.Loss_10 hist)));
       Test.make ~name:"dct/forward+inverse"
         (Staged.stage (fun () -> ignore (Codec.Dct.inverse (Codec.Dct.forward block))));
       Test.make ~name:"transfer/inverse"
@@ -1084,11 +1084,11 @@ let micro () =
       Test.make ~name:"encoding/annotation track"
         (Staged.stage
            (let track =
-              Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Loss_10
+              Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Loss_10
                 (Video.Clip_gen.render ~width:32 ~height:24 ~fps:8.
                    Video.Workloads.officexp)
             in
-            fun () -> ignore (Annot.Encoding.encode track)));
+            fun () -> ignore (Annotation.Encoding.encode track)));
     ]
   in
   let benchmark test =

@@ -33,7 +33,7 @@ let simulate_side_channel ~fault encoded =
     nack.Streaming.Transport.packets_retransmitted
     nack.Streaming.Transport.nack_rounds;
   match
-    Annot.Encoding.decode_partial ~byte_ok:recovery.Streaming.Fec.byte_ok
+    Annotation.Encoding.decode_partial ~byte_ok:recovery.Streaming.Fec.byte_ok
       recovery.Streaming.Fec.payload
   with
   | Error msg ->
@@ -42,12 +42,12 @@ let simulate_side_channel ~fault encoded =
     let intact =
       Array.fold_left
         (fun acc e -> if e = None then acc else acc + 1)
-        0 partial.Annot.Encoding.entries
+        0 partial.Annotation.Encoding.entries
     in
     Printf.printf "  records: %d intact, %d missing, %d corrupt of %d\n" intact
-      partial.Annot.Encoding.missing_records
-      partial.Annot.Encoding.corrupt_records
-      (Array.length partial.Annot.Encoding.entries)
+      partial.Annotation.Encoding.missing_records
+      partial.Annotation.Encoding.corrupt_records
+      (Array.length partial.Annotation.Encoding.entries)
 
 let run clip_name device_name device_file quality_percent per_frame output width height fps fault_profile obs trace_out monitor slo metrics_out =
   Common.with_instrumentation ~default_quality:(quality_percent /. 100.) ~obs
@@ -59,32 +59,32 @@ let run clip_name device_name device_file quality_percent per_frame output width
   let device =
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
   in
-  let quality = Annot.Quality_level.of_percent quality_percent in
+  let quality = Annotation.Quality_level.of_percent quality_percent in
   let scene_params =
-    if per_frame then Annot.Scene_detect.per_frame_params
-    else Annot.Scene_detect.default_params
+    if per_frame then Annotation.Scene_detect.per_frame_params
+    else Annotation.Scene_detect.default_params
   in
-  let track = Annot.Annotator.annotate ~scene_params ~device ~quality clip in
-  let encoded = Annot.Encoding.encode track in
+  let track = Annotation.Annotator.annotate ~scene_params ~device ~quality clip in
+  let encoded = Annotation.Encoding.encode track in
   Printf.printf "clip      : %s (%d frames, %.1f s at %.1f fps, %dx%d)\n"
     clip.Video.Clip.name clip.Video.Clip.frame_count
     (Video.Clip.duration_seconds clip) fps width height;
   Printf.printf "device    : %s\n" device.Display.Device.name;
-  Printf.printf "quality   : %s clipped-pixel budget\n" (Annot.Quality_level.label quality);
+  Printf.printf "quality   : %s clipped-pixel budget\n" (Annotation.Quality_level.label quality);
   Printf.printf "scenes    : %d entries, %d backlight switches\n"
-    (Annot.Track.entry_count track)
-    (Annot.Track.switch_count track);
+    (Annotation.Track.entry_count track)
+    (Annotation.Track.switch_count track);
   Printf.printf "wire size : %d bytes (v2: varint header + CRC32 records)\n"
     (String.length encoded);
   Printf.printf "\n%-8s %-8s %-10s %-10s %s\n" "first" "frames" "register" "eff.max"
     "compensation";
   print_endline (String.make 50 '-');
   Array.iter
-    (fun (e : Annot.Track.entry) ->
-      Printf.printf "%-8d %-8d %-10d %-10d x%.2f\n" e.Annot.Track.first_frame
-        e.Annot.Track.frame_count e.Annot.Track.register e.Annot.Track.effective_max
-        e.Annot.Track.compensation)
-    (Annot.Track.merge_runs track).Annot.Track.entries;
+    (fun (e : Annotation.Track.entry) ->
+      Printf.printf "%-8d %-8d %-10d %-10d x%.2f\n" e.Annotation.Track.first_frame
+        e.Annotation.Track.frame_count e.Annotation.Track.register e.Annotation.Track.effective_max
+        e.Annotation.Track.compensation)
+    (Annotation.Track.merge_runs track).Annotation.Track.entries;
   (match
      Common.resolve_fault ~loss_model:None ~loss:0. ~burst:1. ~fault_profile
    with

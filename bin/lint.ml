@@ -1,0 +1,107 @@
+(* The static gatekeepers. [sources] runs the determinism linter over
+   the OCaml tree; [verify] audits annotation blobs, SLO files and
+   fault profiles at rest. Both speak Check.Diagnostic and exit 1
+   when any error-severity finding survives. *)
+
+open Cmdliner
+module Lint = Check_lint.Lint
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit findings as a JSON array of objects $(b,{file, line, col, \
+           code, severity, message}) instead of the human one-per-line form.")
+
+(* Shared reporting tail: render, summarise, pick the exit code. *)
+let report ~json ~what ~files diags =
+  let diags = List.sort Check.Diagnostic.compare diags in
+  if json then
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.List (List.map Check.Diagnostic.to_json diags)))
+  else begin
+    List.iter (Format.printf "%a@." Check.Diagnostic.pp) diags;
+    let errors = Check.Diagnostic.errors diags in
+    let warnings = Check.Diagnostic.warnings diags in
+    Format.printf "%s: %d file(s), %d error(s), %d warning(s)@." what files
+      errors warnings
+  end;
+  if Check.Diagnostic.errors diags > 0 then 1 else 0
+
+let expand_paths paths =
+  List.concat_map
+    (fun path ->
+      if Sys.is_directory path then Lint.ml_files_under path
+      else [ path ])
+    paths
+
+let sources_cmd =
+  let paths_arg =
+    Arg.(
+      value
+      & pos_all string [ "lib"; "bin" ]
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to lint; directories are walked \
+             recursively for .ml files. Defaults to $(b,lib bin).")
+  in
+  let run json paths =
+    match expand_paths paths with
+    | exception Sys_error msg ->
+      prerr_endline ("error: " ^ msg);
+      2
+    | files ->
+      let diags = List.concat_map Lint.lint_file files in
+      report ~json ~what:"lint" ~files:(List.length files) diags
+  in
+  let doc = "lint the OCaml sources for nondeterminism and hygiene" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses each source with the compiler front end and applies the rule \
+         registry: ambient clocks (L001), ambient randomness (L002), \
+         hash-order iteration feeding output (L003), wildcard exception \
+         swallowing (L004), console output from the library (L005), missing \
+         .mli (L006), float (in)equality (L007), malformed suppressions \
+         (L008). Suppress a finding with an inline comment $(b,(* lint: \
+         allow L00n reason *)) — the reason is mandatory.";
+    ]
+  in
+  Cmd.v (Cmd.info "sources" ~doc ~man) Term.(const run $ json_arg $ paths_arg)
+
+let verify_cmd =
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Artifacts to audit: $(b,.slo) rule files, $(b,.fault) profiles, \
+             anything else is checked as an encoded annotation stream.")
+  in
+  let run json files =
+    let diags = List.concat_map Check.Artifact.check_file files in
+    report ~json ~what:"verify" ~files:(List.length files) diags
+  in
+  let doc = "statically audit annotation artifacts at rest" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Validates artifacts without running a session: annotation streams \
+         (framing, header and record CRCs, varint bounds, scene-index \
+         monotonicity and coverage, backlight range for the named panel — \
+         V1xx), SLO rule files (syntax, metric catalog, contradictions — \
+         V2xx) and fault profiles (V3xx). Exit status 1 if any error-level \
+         finding, 0 otherwise.";
+    ]
+  in
+  Cmd.v (Cmd.info "verify" ~doc ~man) Term.(const run $ json_arg $ files_arg)
+
+let () =
+  let doc = "static verification: source linter and artifact auditor" in
+  let info = Cmd.info "lint" ~version:"1.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ sources_cmd; verify_cmd ]))

@@ -42,7 +42,7 @@ let run clip_name device_name device_file target_hours capacity_mwh width height
   in
   let fault = Common.resolve_fault ~loss_model ~loss ~burst ~fault_profile in
   let battery = Power.Battery.make ~capacity_mwh in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   Printf.printf "clip %s on %s, battery %.0f mWh, target %.1f h\n\n" clip_name
     device_name capacity_mwh target_hours;
   (* Show the whole menu, then the decision. *)
@@ -50,10 +50,10 @@ let run clip_name device_name device_file target_hours capacity_mwh width height
     (fun quality ->
       let power = Streaming.Planner.project ~device ~quality profiled in
       Printf.printf "  %-4s -> %6.0f mW, %5.1f h\n"
-        (Annot.Quality_level.label quality)
+        (Annotation.Quality_level.label quality)
         power
         (Power.Battery.runtime_hours battery ~average_power_mw:power))
-    Annot.Quality_level.standard_grid;
+    Annotation.Quality_level.standard_grid;
   print_newline ();
   (* Return the exit code instead of calling [exit] here, so the obs
      summary in [with_obs]'s cleanup still runs on the failure path. *)

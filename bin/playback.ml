@@ -36,32 +36,32 @@ let dump_snapshots ~device ~clip ~track prefix =
   let frame_index =
     let best = ref 0 and best_reg = ref 256 in
     Array.iter
-      (fun (e : Annot.Track.entry) ->
-        if e.Annot.Track.register < !best_reg && e.Annot.Track.effective_max >= 80
+      (fun (e : Annotation.Track.entry) ->
+        if e.Annotation.Track.register < !best_reg && e.Annotation.Track.effective_max >= 80
         then begin
-          best_reg := e.Annot.Track.register;
-          best := e.Annot.Track.first_frame + (e.Annot.Track.frame_count / 2)
+          best_reg := e.Annotation.Track.register;
+          best := e.Annotation.Track.first_frame + (e.Annotation.Track.frame_count / 2)
         end)
-      track.Annot.Track.entries;
+      track.Annotation.Track.entries;
     !best
   in
   let original = clip.Video.Clip.render frame_index in
-  let entry = Annot.Track.lookup track frame_index in
-  let compensated = Annot.Compensate.frame track frame_index original in
+  let entry = Annotation.Track.lookup track frame_index in
+  let compensated = Annotation.Compensate.frame track frame_index original in
   let rig = Camera.Snapshot.default_rig device in
   let reference_snap =
     Camera.Snapshot.capture rig device ~backlight_register:255 original
   in
   let compensated_snap =
     Camera.Snapshot.capture rig device
-      ~backlight_register:entry.Annot.Track.register compensated
+      ~backlight_register:entry.Annotation.Track.register compensated
   in
   let ref_path = prefix ^ "-reference.ppm" in
   let cmp_path = prefix ^ "-compensated.ppm" in
   Image.Ppm.write ~path:ref_path reference_snap;
   Image.Ppm.write ~path:cmp_path compensated_snap;
   Printf.printf "\nwrote %s and %s (frame %d, register %d)\n" ref_path cmp_path
-    frame_index entry.Annot.Track.register
+    frame_index entry.Annotation.Track.register
 
 (* Chaos path: run the full end-to-end session (FEC, NACK loop,
    per-scene degradation) under the requested fault model instead of
@@ -92,22 +92,22 @@ let run clip_name device_name device_file quality_percent with_camera dump ramp 
   let device =
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
   in
-  let quality = Annot.Quality_level.of_percent quality_percent in
+  let quality = Annotation.Quality_level.of_percent quality_percent in
   match Common.resolve_fault ~loss_model ~loss ~burst ~fault_profile with
   | Some fault -> run_faulty ~device ~quality ~ramp ~fault clip
   | None ->
-  let profiled = Annot.Annotator.profile clip in
-  let track = Annot.Annotator.annotate_profiled ~device ~quality profiled in
+  let profiled = Annotation.Annotator.profile clip in
+  let track = Annotation.Annotator.annotate_profiled ~device ~quality profiled in
   let report =
     match ramp with
     | None -> Streaming.Playback.run_profiled ~device ~quality profiled
     | Some max_dim_step ->
       let registers =
-        Streaming.Ramp.slew_limit ~max_dim_step (Annot.Track.register_track track)
+        Streaming.Ramp.slew_limit ~max_dim_step (Annotation.Track.register_track track)
       in
       Streaming.Playback.run_with_registers ~device ~quality
         ~clip_name:clip.Video.Clip.name ~fps
-        ~annotation_bytes:(Annot.Encoding.encoded_size track)
+        ~annotation_bytes:(Annotation.Encoding.encoded_size track)
         registers
   in
   Format.printf "%a@." Streaming.Playback.pp_report report;

@@ -27,9 +27,9 @@ let () =
   Format.printf "device: %a@." Display.Device.pp device;
 
   let clip = Video.Clip_gen.render ~width:96 ~height:72 ~fps:10. Video.Workloads.i_robot in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   let savings d =
-    (Streaming.Playback.run_profiled ~device:d ~quality:Annot.Quality_level.Loss_10
+    (Streaming.Playback.run_profiled ~device:d ~quality:Annotation.Quality_level.Loss_10
        profiled)
       .Streaming.Playback.backlight_savings
   in
@@ -40,16 +40,16 @@ let () =
      now under-lights every scene. *)
   let aged = Display.Device.with_aged_backlight ~hours:3000. device in
   let stale_track =
-    Annot.Annotator.annotate_profiled ~device ~quality:Annot.Quality_level.Loss_10
+    Annotation.Annotator.annotate_profiled ~device ~quality:Annotation.Quality_level.Loss_10
       profiled
   in
   let worst_underlight =
     Array.fold_left
-      (fun acc (e : Annot.Track.entry) ->
-        let wanted = float_of_int e.Annot.Track.effective_max /. 255. in
-        let got = Display.Device.backlight_gain aged e.Annot.Track.register in
+      (fun acc (e : Annotation.Track.entry) ->
+        let wanted = float_of_int e.Annotation.Track.effective_max /. 255. in
+        let got = Display.Device.backlight_gain aged e.Annotation.Track.register in
         Float.max acc (wanted -. got))
-      0. stale_track.Annot.Track.entries
+      0. stale_track.Annotation.Track.entries
   in
   Printf.printf "after 3000 h, stale curve   : scenes up to %.0f%% dimmer than intended\n"
     (100. *. worst_underlight);

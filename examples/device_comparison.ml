@@ -8,10 +8,10 @@
 
 let () =
   let clip = Video.Clip_gen.render ~width:96 ~height:72 ~fps:10. Video.Workloads.i_robot in
-  let profiled = Annot.Annotator.profile clip in
-  let quality = Annot.Quality_level.Loss_10 in
+  let profiled = Annotation.Annotator.profile clip in
+  let quality = Annotation.Quality_level.Loss_10 in
   Printf.printf "clip %s at %s quality\n\n" clip.Video.Clip.name
-    (Annot.Quality_level.label quality);
+    (Annotation.Quality_level.label quality);
   Printf.printf "%-16s %-14s %-12s %-14s %-12s %s\n" "device" "technology"
     "mean reg" "backlight" "device" "runtime";
   print_endline (String.make 82 '-');

@@ -34,7 +34,7 @@ let () =
   let lookahead = 6 in
   let session =
     Streaming.Proxy.annotate_live ~lookahead ~device
-      ~quality:Annot.Quality_level.Loss_10 clip
+      ~quality:Annotation.Quality_level.Loss_10 clip
   in
   Printf.printf "live annotation: %d bytes, %.2f s added latency\n"
     (String.length session.Streaming.Proxy.annotation_bytes)
@@ -61,9 +61,9 @@ let () =
     (* 3a. Backlight scaling from the live annotations. *)
     let backlight_report =
       Streaming.Playback.run_with_registers ~device
-        ~quality:Annot.Quality_level.Loss_10 ~clip_name:"conference" ~fps
+        ~quality:Annotation.Quality_level.Loss_10 ~clip_name:"conference" ~fps
         ~annotation_bytes:(String.length session.Streaming.Proxy.annotation_bytes)
-        (Annot.Track.register_track session.Streaming.Proxy.track)
+        (Annotation.Track.register_track session.Streaming.Proxy.track)
     in
     Printf.printf "backlight: %.1f%% saved (device: %.1f%%)\n"
       (100. *. backlight_report.Streaming.Playback.backlight_savings)

@@ -28,7 +28,7 @@ let () =
   List.iter
     (fun name ->
       let hello =
-        { Streaming.Negotiation.device; requested_quality = Annot.Quality_level.Loss_10 }
+        { Streaming.Negotiation.device; requested_quality = Annotation.Quality_level.Loss_10 }
       in
       let session =
         match Streaming.Negotiation.negotiate hello with
@@ -58,7 +58,7 @@ let () =
         (Streaming.Netsim.transfer_time_s link (video_bytes + annotation_bytes));
       (* The client decodes the annotations and plays back. *)
       let track =
-        match Annot.Encoding.decode prepared.Streaming.Server.annotation_bytes with
+        match Annotation.Encoding.decode prepared.Streaming.Server.annotation_bytes with
         | Ok t -> t
         | Error e -> failwith e
       in
@@ -66,7 +66,7 @@ let () =
         Streaming.Playback.run_with_registers ~device
           ~quality:session.Streaming.Negotiation.quality ~clip_name:name
           ~fps:10. ~annotation_bytes
-          (Annot.Track.register_track track)
+          (Annotation.Track.register_track track)
       in
       Printf.printf "  backlight saved %.1f%%, device saved %.1f%%, %d switches\n\n"
         (100. *. report.Streaming.Playback.backlight_savings)

@@ -10,14 +10,14 @@ let () =
   let clip =
     Video.Clip_gen.render ~width:96 ~height:72 ~fps:10. Video.Workloads.spiderman2
   in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   let rig = Camera.Snapshot.default_rig device in
   Printf.printf "%-8s %-12s %-12s %-14s %-12s %s\n" "quality" "backlight"
     "device" "mean shift" "EMD" "verdict";
   print_endline (String.make 72 '-');
   List.iter
     (fun quality ->
-      let track = Annot.Annotator.annotate_profiled ~device ~quality profiled in
+      let track = Annotation.Annotator.annotate_profiled ~device ~quality profiled in
       let report = Streaming.Playback.run_profiled ~device ~quality profiled in
       (* Validate the middle of the dimmest contentful scene. *)
       let verdicts =
@@ -31,10 +31,10 @@ let () =
           verdicts
       in
       Printf.printf "%-8s %-12s %-12s %+-14.1f %-12.1f %s\n"
-        (Annot.Quality_level.label quality)
+        (Annotation.Quality_level.label quality)
         (Printf.sprintf "%.1f%%" (100. *. report.Streaming.Playback.backlight_savings))
         (Printf.sprintf "%.1f%%" (100. *. report.Streaming.Playback.total_savings))
         worst.Camera.Quality.mean_shift worst.Camera.Quality.emd
         (if Camera.Quality.acceptable worst then "hardly noticeable" else "visible loss"))
-    (Annot.Quality_level.standard_grid
-    @ [ Annot.Quality_level.Custom 0.3; Annot.Quality_level.Custom 0.5 ])
+    (Annotation.Quality_level.standard_grid
+    @ [ Annotation.Quality_level.Custom 0.3; Annotation.Quality_level.Custom 0.5 ])

@@ -10,13 +10,13 @@ let () =
   (* 2. A target device and a quality level: allow 10 % of the very
      bright pixels to clip. *)
   let device = Display.Device.ipaq_h5555 in
-  let quality = Annot.Quality_level.Loss_10 in
+  let quality = Annotation.Quality_level.Loss_10 in
 
   (* 3. Annotate: one pixel pass over the clip, scene detection, one
      backlight solution per scene. *)
-  let track = Annot.Annotator.annotate ~device ~quality clip in
-  Format.printf "annotation track: %a@." Annot.Track.pp track;
-  Format.printf "wire size: %d bytes@." (Annot.Encoding.encoded_size track);
+  let track = Annotation.Annotator.annotate ~device ~quality clip in
+  Format.printf "annotation track: %a@." Annotation.Track.pp track;
+  Format.printf "wire size: %d bytes@." (Annotation.Encoding.encoded_size track);
 
   (* 4. Play back and compare against full backlight. *)
   let report = Streaming.Playback.run ~device ~quality clip in

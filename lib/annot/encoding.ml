@@ -153,6 +153,7 @@ let get_varint c =
     if shift > 56 then raise (Parse_error "varint too long");
     let b = get_byte c in
     let acc = acc lor ((b land 0x7f) lsl shift) in
+    if acc < 0 then raise (Parse_error "varint overflow");
     if b land 0x80 = 0 then acc else loop (shift + 7) acc
   in
   loop 0 0
@@ -221,6 +222,22 @@ let get_header c =
   { h_quality; h_fps; h_total_frames; h_clip_name; h_device_name; h_count;
     h_version = v }
 
+(* Rejects a header whose declared record count cannot match the bytes
+   that follow, *before* anything walks (or allocates for) the
+   records: a truncated or tampered header must not trigger an
+   unbounded [Array.make] or a CRC walk off the end of the payload.
+   Division keeps the comparison overflow-safe for adversarial
+   counts. *)
+let check_count_fits h c =
+  let remaining = String.length c.data - c.pos in
+  if h.h_version = 1 then begin
+    (* v1 entries are variable-length but at least 4 bytes each. *)
+    if h.h_count > remaining / 4 then
+      raise (Parse_error "record count disagrees with payload length")
+  end
+  else if remaining mod record_size <> 0 || h.h_count <> remaining / record_size
+  then raise (Parse_error "record section length mismatch")
+
 let dummy_entry =
   { Track.first_frame = 0; frame_count = 1; register = 0; compensation = 1.;
     effective_max = 0 }
@@ -266,6 +283,7 @@ let decode data =
   let c = { data; pos = 0 } in
   try
     let h = get_header c in
+    check_count_fits h c;
     let entries =
       if h.h_version = 1 then get_entries_v1 c h.h_count
       else get_entries_v2 c h.h_count
@@ -332,8 +350,7 @@ let decode_partial ?byte_ok data =
           }
     end
     else begin
-      if String.length data - c.pos <> h.h_count * record_size then
-        raise (Parse_error "record section length mismatch");
+      check_count_fits h c;
       let corrupt = ref 0 and missing = ref 0 in
       let next = ref 0 in
       let entries = Array.make h.h_count None in

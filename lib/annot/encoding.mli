@@ -75,4 +75,12 @@ val crc32 : string -> int
 (** CRC32 (IEEE 802.3) of a whole string —
     [crc32 "123456789" = 0xCBF43926]. Exposed for tests and tooling. *)
 
+val crc32_sub : string -> pos:int -> len:int -> int
+(** CRC32 of a substring, without copying — what the offline verifier
+    ({!Check.Artifact}) uses to re-derive header and record checksums
+    at their true offsets. *)
+
+val record_size : int
+(** Size in bytes of one fixed v2 record (currently 15). *)
+
 val version : int

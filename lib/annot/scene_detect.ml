@@ -37,7 +37,7 @@ let segment_general params ~n ~signals =
     let scenes = ref [] in
     let start = ref 0 in
     let departs (value, threshold) i =
-      threshold = 0.
+      threshold <= 0.
       || relative_change (value (i - 1)) (value i) >= threshold
       || relative_change (value !start) (value i) >= threshold
     in

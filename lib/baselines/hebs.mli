@@ -16,7 +16,7 @@ type solution = {
   mean_error : float;
       (** mean perceived-intensity deviation over the histogram,
           normalised to full scale — comparable with
-          {!Annot.Operator.solution.mean_error} *)
+          {!Annotation.Operator.solution.mean_error} *)
 }
 
 val equalisation_map : Image.Histogram.t -> lambda:float -> int array

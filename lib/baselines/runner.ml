@@ -9,16 +9,16 @@ type outcome = {
 }
 
 let solve_register ~device ~quality hist =
-  (Annot.Backlight_solver.solve ~device ~quality hist).Annot.Backlight_solver.register
+  (Annotation.Backlight_solver.solve ~device ~quality hist).Annotation.Backlight_solver.register
 
 let annotated_registers ~device ~quality ~scene_params profiled =
   let track =
-    Annot.Annotator.annotate_profiled ~scene_params ~device ~quality profiled
+    Annotation.Annotator.annotate_profiled ~scene_params ~device ~quality profiled
   in
-  (Annot.Track.register_track track, Annot.Encoding.encoded_size track)
+  (Annotation.Track.register_track track, Annotation.Encoding.encoded_size track)
 
 let history_registers ~device ~quality ~window profiled =
-  let hists = profiled.Annot.Annotator.histograms in
+  let hists = profiled.Annotation.Annotator.histograms in
   let n = Array.length hists in
   Array.init n (fun i ->
       if i = 0 then 255
@@ -35,7 +35,7 @@ let history_registers ~device ~quality ~window profiled =
 
 let qabs_registers ~device ~quality ~max_step profiled =
   if max_step < 1 then invalid_arg "Runner: max_step must be positive";
-  let hists = profiled.Annot.Annotator.histograms in
+  let hists = profiled.Annotation.Annotator.histograms in
   let n = Array.length hists in
   let registers = Array.make n 255 in
   let previous = ref 255 in
@@ -58,14 +58,14 @@ let decide ~device ~quality profiled strategy =
   | Strategy.Annotated_per_frame ->
     fst
       (annotated_registers ~device ~quality
-         ~scene_params:Annot.Scene_detect.per_frame_params profiled)
+         ~scene_params:Annotation.Scene_detect.per_frame_params profiled)
   | Strategy.Full_backlight ->
-    Array.make profiled.Annot.Annotator.total_frames 255
+    Array.make profiled.Annotation.Annotator.total_frames 255
   | Strategy.Static_dim register ->
     if register < 0 || register > 255 then invalid_arg "Runner: register out of range";
-    Array.make profiled.Annot.Annotator.total_frames register
+    Array.make profiled.Annotation.Annotator.total_frames register
   | Strategy.Client_analysis _ ->
-    Array.map (solve_register ~device ~quality) profiled.Annot.Annotator.histograms
+    Array.map (solve_register ~device ~quality) profiled.Annotation.Annotator.histograms
   | Strategy.History_prediction { window } ->
     if window < 1 then invalid_arg "Runner: window must be positive";
     history_registers ~device ~quality ~window profiled
@@ -73,7 +73,7 @@ let decide ~device ~quality profiled strategy =
     qabs_registers ~device ~quality ~max_step profiled
 
 let clipped_fraction_trace ~device profiled registers =
-  let hists = profiled.Annot.Annotator.histograms in
+  let hists = profiled.Annotation.Annotator.histograms in
   if Array.length registers <> Array.length hists then
     invalid_arg "Runner: register track does not match clip";
   Array.mapi
@@ -97,7 +97,7 @@ let annotation_cost ~device ~quality profiled strategy =
   | Strategy.Annotated_per_frame ->
     snd
       (annotated_registers ~device ~quality
-         ~scene_params:Annot.Scene_detect.per_frame_params profiled)
+         ~scene_params:Annotation.Scene_detect.per_frame_params profiled)
   | Strategy.Full_backlight | Strategy.Static_dim _ | Strategy.Client_analysis _
   | Strategy.History_prediction _ | Strategy.Qabs_smoothed _ ->
     0
@@ -116,10 +116,10 @@ let run ?(options = Streaming.Playback.default_options) ~device ~quality profile
   in
   let report =
     Streaming.Playback.run_with_registers ~options ~device ~quality
-      ~clip_name:profiled.Annot.Annotator.clip_name
-      ~fps:profiled.Annot.Annotator.fps ~annotation_bytes registers
+      ~clip_name:profiled.Annotation.Annotator.clip_name
+      ~fps:profiled.Annotation.Annotator.fps ~annotation_bytes registers
   in
-  let budget = Annot.Quality_level.allowed_loss quality in
+  let budget = Annotation.Quality_level.allowed_loss quality in
   let clips = clipped_fraction_trace ~device profiled registers in
   let tolerance = 0.01 in
   let violations = ref 0 and worst = ref 0. in
@@ -134,12 +134,12 @@ let run ?(options = Streaming.Playback.default_options) ~device ~quality profile
   let total_pixels =
     Array.fold_left
       (fun acc h -> acc + Image.Histogram.total h)
-      0 profiled.Annot.Annotator.histograms
+      0 profiled.Annotation.Annotator.histograms
   in
   let clipped_pixels =
     Array.to_list clips
     |> List.mapi (fun i c ->
-           c *. float_of_int (Image.Histogram.total profiled.Annot.Annotator.histograms.(i)))
+           c *. float_of_int (Image.Histogram.total profiled.Annotation.Annotator.histograms.(i)))
     |> List.fold_left ( +. ) 0.
   in
   {
@@ -155,7 +155,7 @@ let run ?(options = Streaming.Playback.default_options) ~device ~quality profile
 
 let standard_lineup =
   [
-    Strategy.Annotated Annot.Scene_detect.default_params;
+    Strategy.Annotated Annotation.Scene_detect.default_params;
     Strategy.Annotated_per_frame;
     Strategy.Full_backlight;
     Strategy.Static_dim 178;

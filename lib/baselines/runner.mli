@@ -26,15 +26,15 @@ type outcome = {
 
 val decide :
   device:Display.Device.t ->
-  quality:Annot.Quality_level.t ->
-  Annot.Annotator.profiled ->
+  quality:Annotation.Quality_level.t ->
+  Annotation.Annotator.profiled ->
   Strategy.t ->
   int array
 (** Per-frame registers the strategy would program. *)
 
 val clipped_fraction_trace :
   device:Display.Device.t ->
-  Annot.Annotator.profiled ->
+  Annotation.Annotator.profiled ->
   int array ->
   float array
 (** Per-frame clipped fraction for a register track. *)
@@ -42,8 +42,8 @@ val clipped_fraction_trace :
 val run :
   ?options:Streaming.Playback.options ->
   device:Display.Device.t ->
-  quality:Annot.Quality_level.t ->
-  Annot.Annotator.profiled ->
+  quality:Annotation.Quality_level.t ->
+  Annotation.Annotator.profiled ->
   Strategy.t ->
   outcome
 (** Full evaluation. The playback options' CPU duty cycle is raised by

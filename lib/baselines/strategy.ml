@@ -1,5 +1,5 @@
 type t =
-  | Annotated of Annot.Scene_detect.params
+  | Annotated of Annotation.Scene_detect.params
   | Annotated_per_frame
   | Full_backlight
   | Static_dim of int

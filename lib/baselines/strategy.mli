@@ -8,7 +8,7 @@
     after decoding it, or the past. *)
 
 type t =
-  | Annotated of Annot.Scene_detect.params
+  | Annotated of Annotation.Scene_detect.params
       (** the paper's approach: offline scene-level annotation *)
   | Annotated_per_frame
       (** ablation A1: offline annotation with per-frame backlight

@@ -47,7 +47,7 @@ let capture rig device ~backlight_register frame =
   let table = level_table rig device ~backlight_register in
   let rng = Image.Prng.create ~seed:rig.seed in
   let noisy v =
-    if rig.noise_sigma = 0. then v
+    if rig.noise_sigma <= 0. then v
     else
       Image.Pixel.clamp_channel
         (v + int_of_float (Image.Prng.gaussian rng ~mu:0. ~sigma:rig.noise_sigma))
@@ -62,7 +62,7 @@ let capture_histogram rig device ~backlight_register frame =
   let hist = Image.Histogram.create () in
   let plane = Image.Raster.luminance_plane frame in
   let noisy v =
-    if rig.noise_sigma = 0. then v
+    if rig.noise_sigma <= 0. then v
     else
       Image.Pixel.clamp_channel
         (v + int_of_float (Image.Prng.gaussian rng ~mu:0. ~sigma:rig.noise_sigma))

@@ -1,0 +1,437 @@
+(* Offline verification of annotation streams, SLO files and fault
+   profiles. Pure byte/text walks: nothing here runs a session, and
+   every finding is a Diagnostic rather than an exception. *)
+
+let err ~file code message =
+  Diagnostic.v ~code ~severity:Diagnostic.Error ~file message
+
+let warn ~file code message =
+  Diagnostic.v ~code ~severity:Diagnostic.Warning ~file message
+
+(* --- known metric catalog ---------------------------------------------- *)
+
+type known_metrics = { histograms : string list; names : string list }
+
+let known_metrics () =
+  let snapshot = Obs.Registry.snapshot () in
+  let histograms =
+    List.filter_map
+      (fun (f : Obs.Registry.family_snapshot) ->
+        if f.Obs.Registry.kind = Obs.Registry.Histogram then
+          Some f.Obs.Registry.family
+        else None)
+      snapshot
+  in
+  let families = List.map (fun f -> f.Obs.Registry.family) snapshot in
+  {
+    histograms;
+    names = List.sort_uniq String.compare (families @ Obs.Monitor.declared_series ());
+  }
+
+(* --- annotation streams ------------------------------------------------ *)
+
+(* The verifier re-walks the wire bytes itself instead of calling
+   [Annotation.Encoding.decode]: the decoder stops at the first problem,
+   an auditor wants all of them, each with its offset. The layout
+   constants (magic, record size, CRC) come from [Annotation.Encoding] so
+   the two can never drift apart silently. *)
+
+type cursor = { data : string; mutable pos : int }
+
+exception Abort of Diagnostic.t
+
+let canonical_permille = [ 0; 50; 100; 150; 200 ]
+let max_name_len = 4096
+let max_frames = 0xffffff (* u24 record spans cannot address more *)
+let max_fps_milli = 1_000_000
+
+let need ~file c n what =
+  if c.pos + n > String.length c.data then
+    raise
+      (Abort
+         (err ~file "V103"
+            (Printf.sprintf
+               "truncated stream: %s at byte %d needs %d byte(s), %d left" what
+               c.pos n
+               (String.length c.data - c.pos))))
+
+let get_byte ~file c what =
+  need ~file c 1 what;
+  let b = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  b
+
+let get_varint ~file c what =
+  let rec loop shift acc =
+    if shift > 56 then
+      raise
+        (Abort
+           (err ~file "V105"
+              (Printf.sprintf "%s: varint longer than 8 bytes at byte %d" what
+                 c.pos)));
+    let b = get_byte ~file c what in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if acc < 0 then
+      raise
+        (Abort
+           (err ~file "V105"
+              (Printf.sprintf "%s: varint overflows at byte %d" what c.pos)));
+    if b land 0x80 = 0 then acc else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let get_u24 ~file c what =
+  need ~file c 3 what;
+  let b i = Char.code c.data.[c.pos + i] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) in
+  c.pos <- c.pos + 3;
+  v
+
+let get_u32 ~file c what =
+  need ~file c 4 what;
+  let b i = Char.code c.data.[c.pos + i] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  c.pos <- c.pos + 4;
+  v
+
+let get_string ~file c what =
+  let n = get_varint ~file c what in
+  if n > max_name_len then
+    raise
+      (Abort
+         (err ~file "V105"
+            (Printf.sprintf "%s: implausible length %d (cap %d)" what n
+               max_name_len)));
+  need ~file c n what;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+(* Per-record semantic checks, shared between v1 and v2. [expected] is
+   the frame the record must start at, [None] once an earlier corrupt
+   record made the running position unknowable. *)
+let check_entry ~file ~add ~levels ~total_frames ~index ~offset ~expected
+    ~first_frame ~frame_count ~register ~comp_fixed =
+  let where = Printf.sprintf "record %d (byte %d)" index offset in
+  if frame_count = 0 then
+    add (err ~file "V110" (Printf.sprintf "%s: zero frame_count" where));
+  (match expected with
+  | Some e when first_frame <> e ->
+    add
+      (err ~file "V109"
+         (Printf.sprintf
+            "%s: first_frame %d breaks scene-index monotonicity (expected %d)"
+            where first_frame e))
+  | _ -> ());
+  if first_frame + frame_count > total_frames then
+    add
+      (err ~file "V110"
+         (Printf.sprintf "%s: span %d+%d exceeds total_frames %d" where
+            first_frame frame_count total_frames));
+  if comp_fixed < 4096 then
+    add
+      (err ~file "V111"
+         (Printf.sprintf "%s: compensation %.4f below 1.0" where
+            (float_of_int comp_fixed /. 4096.)));
+  match levels with
+  | Some levels when register >= levels ->
+    add
+      (err ~file "V112"
+         (Printf.sprintf "%s: backlight register %d outside panel range 0..%d"
+            where register (levels - 1)))
+  | _ -> ()
+
+let check_annotation ?(find_device = Display.Device.find) ~file data =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let c = { data; pos = 0 } in
+  (try
+     if String.length data < 4 || String.sub data 0 4 <> "ANPW" then
+       raise
+         (Abort (err ~file "V101" "bad magic: not an annotation stream"));
+     c.pos <- 4;
+     let version = get_byte ~file c "version" in
+     if version <> 1 && version <> 2 then
+       raise
+         (Abort
+            (err ~file "V102"
+               (Printf.sprintf "unsupported version %d (know 1 and 2)" version)));
+     let permille = get_varint ~file c "quality" in
+     if permille > 1000 then
+       add
+         (err ~file "V105"
+            (Printf.sprintf "quality %d permille exceeds 1000" permille))
+     else if not (List.mem permille canonical_permille) then
+       add
+         (warn ~file "V106"
+            (Printf.sprintf
+               "quality %d permille is off the paper's {0,5,10,15,20}%% grid"
+               permille));
+     let fps_milli = get_varint ~file c "fps" in
+     if fps_milli = 0 then add (err ~file "V105" "fps is zero")
+     else if fps_milli > max_fps_milli then
+       add
+         (err ~file "V105"
+            (Printf.sprintf "fps %.3f is implausible"
+               (float_of_int fps_milli /. 1000.)));
+     let total_frames = get_varint ~file c "total_frames" in
+     if total_frames > max_frames then
+       add
+         (err ~file "V105"
+            (Printf.sprintf "total_frames %d exceeds the u24 span limit %d"
+               total_frames max_frames));
+     let _clip = get_string ~file c "clip name" in
+     let device_name = get_string ~file c "device name" in
+     let count = get_varint ~file c "record count" in
+     if version = Annotation.Encoding.version then begin
+       let covered = c.pos in
+       let stored = get_u32 ~file c "header CRC" in
+       if stored <> Annotation.Encoding.crc32_sub data ~pos:0 ~len:covered then begin
+         add
+           (err ~file "V104"
+              "header CRC mismatch: header fields cannot be trusted");
+         raise Exit
+       end
+     end;
+     let levels =
+       Option.map
+         (fun d -> d.Display.Device.backlight_levels)
+         (find_device device_name)
+     in
+     let remaining = String.length data - c.pos in
+     let rsize = Annotation.Encoding.record_size in
+     if version = Annotation.Encoding.version then begin
+       if remaining mod rsize <> 0 || count <> remaining / rsize then begin
+         add
+           (err ~file "V107"
+              (Printf.sprintf
+                 "declared record count %d disagrees with %d payload byte(s) \
+                  (%d byte records); refusing to walk records"
+                 count remaining rsize));
+         raise Exit
+       end;
+       let expected = ref (Some 0) in
+       let unreliable = ref false in
+       for i = 0 to count - 1 do
+         let offset = c.pos in
+         let stored_crc =
+           let b k = Char.code data.[offset + rsize - 4 + k] in
+           b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+         in
+         if stored_crc <> Annotation.Encoding.crc32_sub data ~pos:offset ~len:(rsize - 4)
+         then begin
+           add
+             (err ~file "V108"
+                (Printf.sprintf "record %d (byte %d): record CRC mismatch" i
+                   offset));
+           unreliable := true;
+           expected := None;
+           c.pos <- offset + rsize
+         end
+         else begin
+           let first_frame = get_u24 ~file c "first_frame" in
+           let frame_count = get_u24 ~file c "frame_count" in
+           let register = get_byte ~file c "register" in
+           let comp_fixed = get_u24 ~file c "compensation" in
+           let _effective = get_byte ~file c "effective max" in
+           c.pos <- c.pos + 4 (* the CRC, already verified *);
+           check_entry ~file ~add ~levels ~total_frames ~index:i ~offset
+             ~expected:!expected ~first_frame ~frame_count ~register
+             ~comp_fixed;
+           expected := Some (first_frame + frame_count)
+         end
+       done;
+       match !expected with
+       | Some covered
+         when (not !unreliable)
+              && covered <> total_frames
+              && List.for_all
+                   (fun (d : Diagnostic.t) -> not (Diagnostic.is_error d))
+                   !diags ->
+         add
+           (err ~file "V114"
+              (Printf.sprintf "records cover %d of %d frames" covered
+                 total_frames))
+       | _ -> ()
+     end
+     else begin
+       (* v1: variable-length entries, no CRCs — structural and
+          semantic checks only. *)
+       if count > remaining / 4 then begin
+         add
+           (err ~file "V107"
+              (Printf.sprintf
+                 "declared record count %d cannot fit in %d payload byte(s); \
+                  refusing to walk records"
+                 count remaining));
+         raise Exit
+       end;
+       let next = ref 0 in
+       for i = 0 to count - 1 do
+         let offset = c.pos in
+         let frame_count = get_varint ~file c "frame_count" in
+         let register = get_byte ~file c "register" in
+         let comp_fixed = get_varint ~file c "compensation" in
+         let _effective = get_byte ~file c "effective max" in
+         check_entry ~file ~add ~levels ~total_frames ~index:i ~offset
+           ~expected:(Some !next) ~first_frame:!next ~frame_count ~register
+           ~comp_fixed;
+         next := !next + frame_count
+       done;
+       if !next <> total_frames
+          && List.for_all
+               (fun (d : Diagnostic.t) -> not (Diagnostic.is_error d))
+               !diags
+       then
+         add
+           (err ~file "V114"
+              (Printf.sprintf "records cover %d of %d frames" !next total_frames));
+       if c.pos <> String.length data then
+         add
+           (err ~file "V113"
+              (Printf.sprintf "%d trailing byte(s) after the last record"
+                 (String.length data - c.pos)))
+     end
+   with
+  | Abort d -> add d
+  | Exit -> ());
+  List.sort Diagnostic.compare !diags
+
+(* --- SLO files --------------------------------------------------------- *)
+
+(* The set of values satisfying [op threshold], as a closed/open
+   interval; two rules on the same selector contradict when their
+   intervals miss each other. *)
+let interval op t =
+  match op with
+  | Obs.Slo.Lt -> (neg_infinity, true, t, false)
+  | Obs.Slo.Le -> (neg_infinity, true, t, true)
+  | Obs.Slo.Gt -> (t, false, infinity, true)
+  | Obs.Slo.Ge -> (t, true, infinity, true)
+  | Obs.Slo.Eq -> (t, true, t, true)
+
+let compatible a b =
+  let lo_a, lo_a_in, hi_a, hi_a_in = interval a.Obs.Slo.op a.Obs.Slo.threshold in
+  let lo_b, lo_b_in, hi_b, hi_b_in = interval b.Obs.Slo.op b.Obs.Slo.threshold in
+  let lo, lo_in =
+    if Float.compare lo_a lo_b > 0 then (lo_a, lo_a_in)
+    else if Float.compare lo_b lo_a > 0 then (lo_b, lo_b_in)
+    else (lo_a, lo_a_in && lo_b_in)
+  in
+  let hi, hi_in =
+    if Float.compare hi_a hi_b < 0 then (hi_a, hi_a_in)
+    else if Float.compare hi_b hi_a < 0 then (hi_b, hi_b_in)
+    else (hi_a, hi_a_in && hi_b_in)
+  in
+  match Float.compare lo hi with
+  | c when c < 0 -> true
+  | 0 -> lo_in && hi_in
+  | _ -> false
+
+let stat_key = function
+  | Obs.Slo.Quantile q -> Printf.sprintf "quantile %g" q
+  | Obs.Slo.Rate_per_s -> "per-second rate"
+  | Obs.Slo.Ratio_per_frame -> "per-frame ratio"
+  | Obs.Slo.Last -> "gauge"
+
+let selector_key (r : Obs.Slo.rule) = (r.Obs.Slo.metric, stat_key r.Obs.Slo.stat)
+
+let check_slo ?known ~file text =
+  let known =
+    match known with Some k -> k | None -> known_metrics ()
+  in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let rules = ref [] in
+  List.iteri
+    (fun i line ->
+      let n = i + 1 in
+      match Obs.Slo.parse_line line with
+      | Error msg ->
+        add
+          (Diagnostic.v ~code:"V201" ~severity:Diagnostic.Error ~file ~line:n
+             msg)
+      | Ok None -> ()
+      | Ok (Some rule) -> rules := (n, rule) :: !rules)
+    (String.split_on_char '\n' text);
+  let rules = List.rev !rules in
+  if rules = [] && !diags = [] then
+    add (warn ~file "V205" "no rules: this SLO file gates nothing");
+  let have_catalog = known.histograms <> [] || known.names <> [] in
+  if have_catalog then
+    List.iter
+      (fun (n, (r : Obs.Slo.rule)) ->
+        let metric = r.Obs.Slo.metric in
+        match r.Obs.Slo.stat with
+        | Obs.Slo.Quantile _ ->
+          if not (List.mem metric known.histograms) then
+            add
+              (Diagnostic.v ~code:"V202" ~severity:Diagnostic.Error ~file
+                 ~line:n
+                 (Printf.sprintf
+                    "no histogram family %S for quantile selector %S" metric
+                    r.Obs.Slo.source))
+        | _ ->
+          if not (List.mem metric known.names) then
+            add
+              (Diagnostic.v ~code:"V202" ~severity:Diagnostic.Error ~file
+                 ~line:n
+                 (Printf.sprintf "unknown metric %S in rule %S" metric
+                    r.Obs.Slo.source)))
+      rules;
+  let rec pairs = function
+    | [] -> ()
+    | (n_a, a) :: rest ->
+      List.iter
+        (fun (n_b, b) ->
+          if selector_key a = selector_key b then
+            if
+              a.Obs.Slo.op = b.Obs.Slo.op
+              && Float.compare a.Obs.Slo.threshold b.Obs.Slo.threshold = 0
+            then
+              add
+                (Diagnostic.v ~code:"V204" ~severity:Diagnostic.Warning ~file
+                   ~line:n_b
+                   (Printf.sprintf "duplicate of line %d: %S" n_a
+                      a.Obs.Slo.source))
+            else if not (compatible a b) then
+              add
+                (Diagnostic.v ~code:"V203" ~severity:Diagnostic.Error ~file
+                   ~line:n_b
+                   (Printf.sprintf
+                      "contradicts line %d: no value satisfies both %S and %S"
+                      n_a a.Obs.Slo.source b.Obs.Slo.source)))
+        rest;
+      pairs rest
+  in
+  pairs rules;
+  List.sort Diagnostic.compare !diags
+
+(* --- fault profiles ---------------------------------------------------- *)
+
+let injects_nothing (t : Streaming.Fault.t) =
+  t.Streaming.Fault.loss = Streaming.Fault.No_loss
+  && t.Streaming.Fault.corrupt_rate <= 0.
+  && t.Streaming.Fault.reorder_rate <= 0.
+  && t.Streaming.Fault.jitter_s <= 0.
+  && t.Streaming.Fault.collapse = None
+
+let check_fault ~file text =
+  match Streaming.Fault.parse text with
+  | Error msg -> [ err ~file "V301" msg ]
+  | Ok t ->
+    if injects_nothing t then
+      [ warn ~file "V302" "profile injects no fault at all; did you mean model = none?" ]
+    else []
+
+(* --- dispatch ---------------------------------------------------------- *)
+
+let check_file ?find_device ?known path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> [ err ~file:path "V001" msg ]
+  | contents ->
+    if Filename.check_suffix path ".slo" then
+      check_slo ?known ~file:path contents
+    else if Filename.check_suffix path ".fault" then
+      check_fault ~file:path contents
+    else check_annotation ?find_device ~file:path contents

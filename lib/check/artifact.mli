@@ -1,0 +1,68 @@
+(** Offline verifier for the artifacts a client is asked to trust.
+
+    The paper's premise is that analysis happens on the server,
+    offline; the client applies annotations it never re-derives. That
+    only works if an artifact can be audited {e at rest} — before a
+    session, without a clip, without running anything. This module
+    does exactly that for the three artifact kinds the pipeline
+    ships:
+
+    - encoded annotation tracks (v1 and v2 wire format) — framing,
+      header and record CRCs, varint bounds, scene-index monotonicity
+      and coverage, backlight register against the target panel's
+      range, canonical quality grid;
+    - [.slo] rule files — syntax, selectors against the known metric
+      catalog, contradictory or duplicate rules;
+    - [.fault] profiles — syntax, probability ranges, Gilbert-channel
+      feasibility.
+
+    Codes (stable, see README "Static checks"): [V001] dispatch,
+    [V1xx] annotation streams, [V2xx] SLO files, [V3xx] fault
+    profiles. Every check emits {!Diagnostic.t}; none of them raises
+    or runs a session. *)
+
+type known_metrics = {
+  histograms : string list;
+      (** registry histogram families — what [_pNN] selectors read *)
+  names : string list;
+      (** every registry family plus every declared monitor window
+          series — what the other selectors read *)
+}
+
+val known_metrics : unit -> known_metrics
+(** Snapshot of the live process: registry families plus
+    {!Obs.Monitor.declared_series}. Complete only in an executable
+    linked with [-linkall] (as [bin/lint] is), since declarations run
+    at module initialisation. *)
+
+val check_annotation :
+  ?find_device:(string -> Display.Device.t option) ->
+  file:string -> string -> Diagnostic.t list
+(** [check_annotation ~file bytes] statically audits an encoded
+    annotation stream. [find_device] (default {!Display.Device.find})
+    resolves the header's device name for the backlight-range check;
+    an unknown device skips that check silently. [file] labels the
+    diagnostics. A pristine {!Annotation.Encoding.encode} (or [encode_v1])
+    output yields []. *)
+
+val check_slo :
+  ?known:known_metrics -> file:string -> string -> Diagnostic.t list
+(** [check_slo ~file text] validates an SLO rule file without a
+    monitor: parse errors ([V201]), selectors naming no known metric
+    ([V202], skipped when [known] — default {!known_metrics} — is
+    empty), pairs of rules on the same selector that no value can
+    satisfy simultaneously ([V203]), exact duplicates ([V204],
+    warning), and an empty rule set ([V205], warning). *)
+
+val check_fault : file:string -> string -> Diagnostic.t list
+(** [check_fault ~file text] validates a fault profile: anything
+    {!Streaming.Fault.parse} rejects becomes a [V301] error, a
+    profile that injects no fault at all is a [V302] warning. *)
+
+val check_file :
+  ?find_device:(string -> Display.Device.t option) ->
+  ?known:known_metrics -> string -> Diagnostic.t list
+(** [check_file path] reads [path] and dispatches on its extension:
+    [.slo] → {!check_slo}, [.fault] → {!check_fault}, anything else →
+    {!check_annotation}. An unreadable file is a single [V001]
+    error. *)

@@ -1,0 +1,333 @@
+module Diagnostic = Check.Diagnostic
+
+type rule = { code : string; title : string; lib_only : bool }
+
+let rules =
+  [
+    { code = "L001"; title = "ambient wall-clock read"; lib_only = false };
+    { code = "L002"; title = "ambient randomness"; lib_only = false };
+    { code = "L003"; title = "hash-order-dependent iteration"; lib_only = false };
+    { code = "L004"; title = "exception swallowed by wildcard"; lib_only = false };
+    { code = "L005"; title = "direct console output"; lib_only = true };
+    { code = "L006"; title = "library module without .mli"; lib_only = true };
+    { code = "L007"; title = "exact float (in)equality"; lib_only = false };
+    { code = "L008"; title = "malformed or bare lint suppression"; lib_only = false };
+  ]
+
+(* --- identifier tables ------------------------------------------------- *)
+
+let clock_idents = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let random_idents =
+  [
+    "Random.self_init"; "Random.int"; "Random.full_int"; "Random.float";
+    "Random.bool"; "Random.bits"; "Random.int32"; "Random.int64";
+    "Random.nativeint";
+  ]
+
+let print_idents =
+  [
+    "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "Format.print_string"; "Format.print_newline"; "print_endline";
+    "print_string"; "print_newline"; "print_char"; "print_int"; "print_float";
+    "print_bytes"; "prerr_endline"; "prerr_string"; "prerr_newline";
+    "prerr_char"; "prerr_int"; "prerr_float"; "prerr_bytes";
+  ]
+
+let hashtbl_iterators = [ "Hashtbl.fold"; "Hashtbl.iter" ]
+
+let sorters =
+  [
+    "List.sort"; "List.sort_uniq"; "List.stable_sort"; "List.fast_sort";
+    "Array.sort"; "Array.stable_sort";
+  ]
+
+let float_arith = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+let float_returning =
+  [
+    "float_of_int"; "Float.of_int"; "Float.abs"; "Float.max"; "Float.min";
+    "Float.pow"; "Float.round"; "Float.rem"; "sqrt"; "exp"; "log"; "log10";
+    "sin"; "cos"; "tan"; "atan"; "atan2"; "floor"; "ceil";
+  ]
+
+(* --- AST helpers ------------------------------------------------------- *)
+
+let rec lid_parts = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> lid_parts l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let ident_name (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> (
+    match lid_parts txt with [] -> None | parts -> Some (String.concat "." parts))
+  | _ -> None
+
+let line_col (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+(* Syntactic evidence that an expression is a float: literal, float
+   arithmetic, or a function everyone knows returns float. A linter
+   without types cannot do better; the rule is documented as a
+   heuristic. *)
+let floatish (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_constant (Parsetree.Pconst_float _) -> true
+  | Parsetree.Pexp_apply (f, _) -> (
+    match ident_name f with
+    | Some op -> List.mem op float_arith || List.mem op float_returning
+    | None -> false)
+  | _ -> false
+
+(* [Hashtbl.fold … |> List.sort …] (or a direct [List.sort … (fold …)])
+   pins the order back down, so iteration inside such an expression is
+   deterministic as far as the caller can see. *)
+let is_sort_context (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_apply (f, args) -> (
+    match ident_name f with
+    | Some name when List.mem name sorters -> true
+    | Some ("|>" | "@@") ->
+      List.exists
+        (fun (_, (arg : Parsetree.expression)) ->
+          match arg.pexp_desc with
+          | Parsetree.Pexp_apply (g, _) -> (
+            match ident_name g with
+            | Some name -> List.mem name sorters
+            | None -> false)
+          | _ -> false)
+        args
+    | _ -> false)
+  | _ -> false
+
+let rec wildcard_pattern (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Parsetree.Ppat_any -> true
+  | Parsetree.Ppat_or (a, b) -> wildcard_pattern a || wildcard_pattern b
+  | Parsetree.Ppat_alias (inner, _) -> wildcard_pattern inner
+  | _ -> false
+
+(* A handler that ends in [raise]/[failwith]/… is not swallowing: the
+   failure still propagates, just renamed. *)
+let rec reraises (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_apply (f, _) -> (
+    match ident_name f with
+    | Some ("raise" | "raise_notrace" | "failwith" | "invalid_arg") -> true
+    | _ -> false)
+  | Parsetree.Pexp_sequence (_, rest) -> reraises rest
+  | Parsetree.Pexp_let (_, _, body) -> reraises body
+  | Parsetree.Pexp_open (_, body) -> reraises body
+  | _ -> false
+
+(* --- the AST pass ------------------------------------------------------ *)
+
+let lint_ast ~in_lib ~file ~emit ast =
+  let diag code loc message =
+    let line, col = line_col loc in
+    emit (Diagnostic.v ~code ~severity:Diagnostic.Error ~file ~line ~col message)
+  in
+  let sorted_depth = ref 0 in
+  let check_expr (e : Parsetree.expression) =
+    (match ident_name e with
+    | Some name when List.mem name clock_idents ->
+      diag "L001" e.pexp_loc
+        (Printf.sprintf
+           "%s reads the ambient clock; go through the Obs.Clock shim so runs \
+            stay replayable" name)
+    | Some name when List.mem name random_idents ->
+      diag "L002" e.pexp_loc
+        (Printf.sprintf
+           "%s draws from the ambient RNG; use seeded Image.Prng or an \
+            explicit Random.State" name)
+    | Some name when in_lib && List.mem name print_idents ->
+      diag "L005" e.pexp_loc
+        (Printf.sprintf
+           "%s writes straight to the console from library code; report \
+            through Obs.Log sinks" name)
+    | _ -> ());
+    match e.pexp_desc with
+    | Parsetree.Pexp_apply (f, args) -> (
+      match ident_name f with
+      | Some name when List.mem name hashtbl_iterators && !sorted_depth = 0 ->
+        diag "L003" f.pexp_loc
+          (Printf.sprintf
+             "%s visits bindings in hash order, which is not stable; sort the \
+              result before it can reach output" name)
+      | Some (("=" | "<>") as op) when List.length args = 2 ->
+        if List.exists (fun (_, a) -> floatish a) args then
+          diag "L007" e.pexp_loc
+            (Printf.sprintf
+               "(%s) on a float compares representations exactly; compare \
+                against a tolerance or use an ordering" op)
+      | _ -> ())
+    | Parsetree.Pexp_try (_, cases) ->
+      List.iter
+        (fun (c : Parsetree.case) ->
+          if wildcard_pattern c.pc_lhs && not (reraises c.pc_rhs) then
+            diag "L004" c.pc_lhs.ppat_loc
+              "wildcard handler swallows every exception, including the ones \
+               nobody meant to catch; match the exceptions this code can \
+               actually raise")
+        cases
+    | _ -> ()
+  in
+  let expr it (e : Parsetree.expression) =
+    let sorted_here = is_sort_context e in
+    if sorted_here then incr sorted_depth;
+    check_expr e;
+    Ast_iterator.default_iterator.expr it e;
+    if sorted_here then decr sorted_depth
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it ast
+
+(* --- lint control comments --------------------------------------------- *)
+
+type suppression = { s_code : string; s_first : int; s_last : int }
+
+let strip_delims text =
+  let text =
+    if String.length text >= 2 && String.sub text 0 2 = "(*" then
+      String.sub text 2 (String.length text - 2)
+    else text
+  in
+  let text =
+    if String.length text >= 2
+       && String.sub text (String.length text - 2) 2 = "*)"
+    then String.sub text 0 (String.length text - 2)
+    else text
+  in
+  String.trim text
+
+let known_code code = List.exists (fun r -> r.code = code) rules
+
+let split_words s =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) s)
+  |> List.filter (fun w -> w <> "")
+
+(* Parses one comment; returns a suppression, an L008 diagnostic, or
+   nothing when the comment is not lint-directed at all. *)
+let classify_comment ~file (text, (loc : Location.t)) =
+  let body = strip_delims text in
+  if not (String.starts_with ~prefix:"lint:" body) then None
+  else
+    let first, _ = line_col loc in
+    let last = loc.Location.loc_end.Lexing.pos_lnum in
+    let l008 message =
+      Some
+        (Either.Right
+           (Diagnostic.v ~code:"L008" ~severity:Diagnostic.Error ~file
+              ~line:first message))
+    in
+    let rest = String.trim (String.sub body 5 (String.length body - 5)) in
+    match split_words rest with
+    | "allow" :: code :: (_ :: _ as reason_words)
+      when known_code code && String.concat "" reason_words <> "" ->
+      Some (Either.Left { s_code = code; s_first = first; s_last = last })
+    | "allow" :: code :: [] when known_code code ->
+      l008
+        (Printf.sprintf
+           "suppressing %s needs a reason: (* lint: allow %s <why> *)" code code)
+    | "allow" :: code :: _ ->
+      l008 (Printf.sprintf "unknown rule code %S in lint comment" code)
+    | _ ->
+      l008 "malformed lint comment; expected (* lint: allow L00n <reason> *)"
+
+(* A suppression covers the comment's own lines and the line right
+   after it, so it works both trailing the finding and on the line
+   above. L008 itself cannot be allowed away. *)
+let suppressed suppressions (d : Diagnostic.t) =
+  d.Diagnostic.code <> "L008"
+  && List.exists
+       (fun s ->
+         s.s_code = d.Diagnostic.code
+         && d.Diagnostic.line >= s.s_first
+         && d.Diagnostic.line <= s.s_last + 1)
+       suppressions
+
+(* --- parsing ----------------------------------------------------------- *)
+
+let parse_structure ~path text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf path;
+  Parse.implementation lexbuf
+
+let scan_comments ~path text =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf path;
+  Lexer.init ();
+  let rec drain () =
+    match Lexer.token lexbuf with Parser.EOF -> () | _ -> drain ()
+  in
+  drain ();
+  Lexer.comments ()
+
+let parse_failure ~file message loc =
+  let line, col = match loc with Some l -> line_col l | None -> (1, 0) in
+  [
+    Diagnostic.v ~code:"L000" ~severity:Diagnostic.Error ~file ~line ~col
+      message;
+  ]
+
+let lint_source ?in_lib ?(has_mli = true) ~path contents =
+  let in_lib =
+    match in_lib with
+    | Some b -> b
+    | None ->
+      let p = String.map (fun c -> if c = '\\' then '/' else c) path in
+      let rec has_lib_seg = function
+        | [] -> false
+        | "lib" :: _ :: _ -> true
+        | _ :: rest -> has_lib_seg rest
+      in
+      has_lib_seg (String.split_on_char '/' p)
+  in
+  match parse_structure ~path contents with
+  | exception Syntaxerr.Error err ->
+    parse_failure ~file:path "syntax error"
+      (Some (Syntaxerr.location_of_error err))
+  | exception Lexer.Error (_, loc) ->
+    parse_failure ~file:path "lexical error" (Some loc)
+  | ast ->
+    let comments = scan_comments ~path contents in
+    let suppressions, comment_diags =
+      List.fold_left
+        (fun (sups, diags) comment ->
+          match classify_comment ~file:path comment with
+          | None -> (sups, diags)
+          | Some (Either.Left s) -> (s :: sups, diags)
+          | Some (Either.Right d) -> (sups, d :: diags))
+        ([], []) comments
+    in
+    let found = ref comment_diags in
+    let emit d = found := d :: !found in
+    lint_ast ~in_lib ~file:path ~emit ast;
+    if in_lib && not has_mli then
+      emit
+        (Diagnostic.v ~code:"L006" ~severity:Diagnostic.Error ~file:path
+           ~line:1
+           "library module has no .mli; every lib/ module states its contract");
+    List.filter (fun d -> not (suppressed suppressions d)) !found
+    |> List.sort Diagnostic.compare
+
+let lint_file ?in_lib path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> parse_failure ~file:path msg None
+  | contents ->
+    let has_mli =
+      Filename.check_suffix path ".ml"
+      && Sys.file_exists (Filename.chop_suffix path ".ml" ^ ".mli")
+    in
+    lint_source ?in_lib ~has_mli ~path contents
+
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if entry = "_build" || String.starts_with ~prefix:"." entry then []
+           else ml_files_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []

@@ -1,0 +1,69 @@
+(** Determinism linter over the repository's own OCaml sources.
+
+    DESIGN.md §8 argues that every run must be a pure function of its
+    inputs — that is what lets a client trust an annotation stream it
+    did not compute. This linter turns that argument from convention
+    into tooling: it parses each source file with the compiler's own
+    front end (no type-checking, so it runs on a lone file in
+    microseconds) and walks the AST for constructs that smuggle
+    nondeterminism, swallow failures, or bypass the observability
+    layer.
+
+    Rules (stable codes, see the README "Static checks" table):
+
+    - [L001] ambient clock read ([Unix.gettimeofday], [Unix.time],
+      [Sys.time]) — all wall-clock access goes through the
+      [Obs.Clock] shim so simulations stay replayable.
+    - [L002] ambient randomness ([Random.self_init] or the global
+      [Random.int]/[float]/[bool]/[bits]) — seeded [Image.Prng] or an
+      explicit [Random.State] only.
+    - [L003] [Hashtbl.fold]/[Hashtbl.iter] whose result is not
+      locally sorted — hash order is seed-dependent and must never
+      reach output. Folds piped into [List.sort]-family calls within
+      the same expression are exempt.
+    - [L004] exception swallowing: a [try … with] case whose pattern
+      is [_] and whose handler does not re-raise.
+    - [L005] direct console output in [lib/] ([Printf.printf],
+      [print_endline], [prerr_*], [Format.printf], …) — library code
+      reports through [Obs.Log] sinks, never a hard-wired channel.
+    - [L006] a [lib/] module without an [.mli] — every library module
+      states its contract.
+    - [L007] [=] or [<>] on operands that are syntactically
+      floating-point (float literal, float arithmetic, a known
+      float-returning function) — exact float equality is
+      representation-dependent.
+    - [L008] a [(* lint: … *)] control comment that is malformed or
+      suppresses without a reason.
+
+    Suppression: [(* lint: allow L00n <reason> *)] on the same line as
+    the finding, or on the line above it, silences that code there.
+    The reason is mandatory — a bare allow is itself an [L008]. [L008]
+    cannot be suppressed. *)
+
+type rule = {
+  code : string;
+  title : string;  (** short name for the README table *)
+  lib_only : bool;  (** enforced only under [lib/] *)
+}
+
+val rules : rule list
+(** Every rule the linter knows, in code order. *)
+
+val lint_source : ?in_lib:bool -> ?has_mli:bool -> path:string -> string ->
+  Check.Diagnostic.t list
+(** [lint_source ~path contents] lints a source text without touching
+    the filesystem. [in_lib] (default: [path] is under a [lib/]
+    directory) gates the lib-only rules; [has_mli] (default [true],
+    so L006 stays quiet) tells the linter whether a sibling interface
+    exists. An unparsable file yields a single [L000] error. Results
+    are sorted with {!Check.Diagnostic.compare}. *)
+
+val lint_file : ?in_lib:bool -> string -> Check.Diagnostic.t list
+(** [lint_file path] reads [path] and lints it; [has_mli] is taken
+    from the filesystem. An unreadable file yields a single [L000]
+    error. *)
+
+val ml_files_under : string -> string list
+(** [ml_files_under path] is [path] itself for a regular [.ml] file,
+    or every [.ml] file below a directory, sorted, skipping [_build]
+    and dot-directories — the file set [lint sources] runs on. *)

@@ -27,7 +27,7 @@ let mse a b =
 
 let psnr a b =
   let e = mse a b in
-  if e = 0. then infinity else 10. *. log10 (255. *. 255. /. e)
+  if e <= 0. then infinity else 10. *. log10 (255. *. 255. /. e)
 
 let mean_absolute_error a b =
   check_dims "Metrics.mean_absolute_error" a b;

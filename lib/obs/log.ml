@@ -65,6 +65,7 @@ let detach_all () =
 
 let attach_stderr () =
   attach (fun e ->
+      (* lint: allow L005 this sink is the console backend the rule points at *)
       Printf.eprintf "[%s] %s: %s%s\n%!" (level_name e.level) e.scope e.message
         (match e.fields with
         | [] -> ""

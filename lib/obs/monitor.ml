@@ -18,7 +18,28 @@ type report = {
 }
 
 let max_breaches = 8
-let frames_series = "frames"
+
+(* Known window-series names, declared by the instrumentation sites
+   that feed them; the offline SLO checker reads this back. *)
+let declared : (string, unit) Hashtbl.t = Hashtbl.create 16
+let declared_mutex = Mutex.create ()
+
+let declare_series name =
+  Mutex.lock declared_mutex;
+  Hashtbl.replace declared name ();
+  Mutex.unlock declared_mutex;
+  name
+
+let declared_series () =
+  Mutex.lock declared_mutex;
+  let names =
+    Hashtbl.fold (fun name () acc -> name :: acc) declared []
+    |> List.sort String.compare
+  in
+  Mutex.unlock declared_mutex;
+  names
+
+let frames_series = declare_series "frames"
 
 type rule_stats = {
   mutable evaluated : int;
@@ -143,6 +164,7 @@ let evaluate_window t ~at_s ~duration_s =
 let seal_window t ~close_at =
   let duration_s = close_at -. t.window_start_s in
   evaluate_window t ~at_s:close_at ~duration_s;
+  (* lint: allow L003 closes every live window; visit order cannot reach output *)
   Hashtbl.iter
     (fun _ w ->
       ignore

@@ -55,6 +55,25 @@ val cut : t -> now_s:float -> unit
 val frames_series : string
 (** ["frames"] — the denominator {!Slo.Ratio_per_frame} rules use. *)
 
+(** {1 Series declarations}
+
+    Instrumentation sites declare the window-series names they feed,
+    at module-initialisation time, so offline tooling
+    ({!Check.Artifact}'s SLO checker) can tell a valid selector from a
+    typo without running a session. *)
+
+val declare_series : string -> string
+(** [declare_series name] registers [name] as a known monitor series
+    and returns it — declare-and-bind in one line:
+    [let s_foo = Obs.Monitor.declare_series "foo"]. Idempotent and
+    thread-safe. *)
+
+val declared_series : unit -> string list
+(** Every declared series name, sorted — the ground truth the SLO
+    checker validates non-quantile selectors against. Only modules
+    linked into the calling executable contribute ([bin/lint] links
+    with [-linkall] for exactly this reason). *)
+
 (** {1 Verdicts} *)
 
 type breach = { window : int; at_s : float; value : float }

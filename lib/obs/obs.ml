@@ -1,3 +1,4 @@
+(* lint: allow L006 umbrella namespace of aliases; contracts live in the member .mlis *)
 (* Umbrella module: the public face of the observability layer.
 
    The layer observes the *simulator* — wall-clock stage timings,

@@ -166,8 +166,10 @@ let snapshot ?(registry = default) () =
 let reset ?(registry = default) () =
   with_lock registry (fun () ->
       if registry == default then Metrics.reset_dropped_samples ();
+      (* lint: allow L003 resets every instrument; visit order is immaterial *)
       Hashtbl.iter
         (fun _ f ->
+          (* lint: allow L003 resets every instrument; visit order is immaterial *)
           Hashtbl.iter
             (fun _ i ->
               match i with
@@ -224,6 +226,7 @@ let quantile_of_family ?(registry = default) name q =
     with_lock registry (fun () ->
         match Hashtbl.find_opt registry.families name with
         | None -> []
+        (* lint: allow L003 folded into a Float.max below, which commutes *)
         | Some f -> Hashtbl.fold (fun _ i acc -> i :: acc) f.f_series [])
   in
   List.fold_left

@@ -30,8 +30,12 @@ let publish ?component reading =
     | Some c ->
       Obs.Metrics.Gauge.set (obs_energy c) reading.energy_mj;
       (* Also feed the health monitor so per-component power-budget
-         rules ([power_<component>_mj < X]) can gate on it. *)
-      Obs.Monitor.gauge ("power_" ^ c ^ "_mj") reading.energy_mj
+         rules ([power_<component>_mj < X]) can gate on it. The name
+         is declared on first use: component names only exist at
+         measurement time. *)
+      Obs.Monitor.gauge
+        (Obs.Monitor.declare_series ("power_" ^ c ^ "_mj"))
+        reading.energy_mj
     | None -> ()
   end;
   reading

@@ -1,7 +1,7 @@
 type step = {
   first_frame : int;
   frame_count : int;
-  quality : Annot.Quality_level.t;
+  quality : Annotation.Quality_level.t;
   energy_mj : float;
 }
 
@@ -19,25 +19,25 @@ let mwh_of_mj mj = mj /. 3600.
 
 let run ?(options = Playback.default_options) ~device ~battery_mwh profiled =
   if battery_mwh <= 0. then invalid_arg "Adaptive.run: battery must be positive";
-  let fps = profiled.Annot.Annotator.fps in
+  let fps = profiled.Annotation.Annotator.fps in
   let dt_s = 1. /. fps in
-  let total_frames = profiled.Annot.Annotator.total_frames in
+  let total_frames = profiled.Annotation.Annotator.total_frames in
   (* Per-quality per-frame device power, annotated once per advertised
      level. *)
   let plans =
     List.map
       (fun quality ->
         let track =
-          Annot.Annotator.annotate_profiled
+          Annotation.Annotator.annotate_profiled
             ~scene_params:options.Playback.scene_params ~device ~quality profiled
         in
         let power =
           Playback.power_trace ~device
             ~cpu_busy_fraction:options.Playback.cpu_busy_fraction
-            ~registers:(Annot.Track.register_track track)
+            ~registers:(Annotation.Track.register_track track)
         in
         (quality, track, power))
-      Annot.Quality_level.standard_grid
+      Annotation.Quality_level.standard_grid
   in
   (* Suffix energy per quality: energy to finish the clip from frame i. *)
   let suffix_energy =
@@ -55,9 +55,9 @@ let run ?(options = Playback.default_options) ~device ~battery_mwh profiled =
   let boundaries =
     match plans with
     | (_, track, _) :: _ ->
-      Array.to_list track.Annot.Track.entries
-      |> List.map (fun (e : Annot.Track.entry) ->
-             (e.Annot.Track.first_frame, e.Annot.Track.frame_count))
+      Array.to_list track.Annotation.Track.entries
+      |> List.map (fun (e : Annotation.Track.entry) ->
+             (e.Annotation.Track.first_frame, e.Annotation.Track.frame_count))
     | [] -> assert false
   in
   let energy_left = ref (mj_of_mwh battery_mwh) in
@@ -71,10 +71,10 @@ let run ?(options = Playback.default_options) ~device ~battery_mwh profiled =
           let fits (_, suffix) = suffix.(first_frame) <= !energy_left in
           match List.find_opt fits suffix_energy with
           | Some (q, _) -> q
-          | None -> Annot.Quality_level.Loss_20
+          | None -> Annotation.Quality_level.Loss_20
         in
         let _, _, power =
-          List.find (fun (q, _, _) -> Annot.Quality_level.compare q quality = 0) plans
+          List.find (fun (q, _, _) -> Annotation.Quality_level.compare q quality = 0) plans
         in
         (* Play the span frame by frame; the battery may die inside. *)
         let spent = ref 0. in
@@ -107,7 +107,7 @@ let run ?(options = Playback.default_options) ~device ~battery_mwh profiled =
       List.fold_left
         (fun acc s ->
           acc
-          +. (float_of_int s.frame_count *. Annot.Quality_level.allowed_loss s.quality))
+          +. (float_of_int s.frame_count *. Annotation.Quality_level.allowed_loss s.quality))
         0. steps
       /. float_of_int frames_played
   in
@@ -128,7 +128,7 @@ let pp_outcome ppf o =
     (fun s ->
       Format.fprintf ppf "  frames %d-%d at %s (%.0f mJ)@," s.first_frame
         (s.first_frame + s.frame_count - 1)
-        (Annot.Quality_level.label s.quality)
+        (Annotation.Quality_level.label s.quality)
         s.energy_mj)
     o.steps;
   Format.fprintf ppf "@]"

@@ -12,7 +12,7 @@
 type step = {
   first_frame : int;
   frame_count : int;
-  quality : Annot.Quality_level.t;
+  quality : Annotation.Quality_level.t;
   energy_mj : float;  (** device energy actually spent on this span *)
 }
 
@@ -29,7 +29,7 @@ val run :
   ?options:Playback.options ->
   device:Display.Device.t ->
   battery_mwh:float ->
-  Annot.Annotator.profiled ->
+  Annotation.Annotator.profiled ->
   outcome
 (** [run ~device ~battery_mwh profiled] plays the clip once, re-planning
     at every scene boundary. Raises [Invalid_argument] on a

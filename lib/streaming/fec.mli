@@ -50,7 +50,7 @@ val recover_detail : protected_payload -> present:string option array -> recover
 (** Like {!recover} but never all-or-nothing: groups that lost more
     than parity can repair are zero-filled and reported in
     [failed_groups] instead of failing the whole payload, so the
-    caller can salvage every intact span ({!Annot.Encoding.decode_partial}).
+    caller can salvage every intact span ({!Annotation.Encoding.decode_partial}).
     Raises [Invalid_argument] on a [present] length mismatch. *)
 
 val transmit :

@@ -2,34 +2,34 @@ type mapping_site = Server_side | Client_side
 
 type client_hello = {
   device : Display.Device.t;
-  requested_quality : Annot.Quality_level.t;
+  requested_quality : Annotation.Quality_level.t;
 }
 
 type session = {
   device : Display.Device.t;
-  quality : Annot.Quality_level.t;
+  quality : Annotation.Quality_level.t;
   mapping : mapping_site;
 }
 
-let offer_qualities = Annot.Quality_level.standard_grid
+let offer_qualities = Annotation.Quality_level.standard_grid
 
 let nearest_offered requested =
-  let loss = Annot.Quality_level.allowed_loss requested in
+  let loss = Annotation.Quality_level.allowed_loss requested in
   let by_distance a b =
     Float.compare
-      (abs_float (Annot.Quality_level.allowed_loss a -. loss))
-      (abs_float (Annot.Quality_level.allowed_loss b -. loss))
+      (abs_float (Annotation.Quality_level.allowed_loss a -. loss))
+      (abs_float (Annotation.Quality_level.allowed_loss b -. loss))
   in
   match List.sort by_distance offer_qualities with
   | best :: _ -> best
   | [] -> assert false
 
 let negotiate ?(prefer = Server_side) hello =
-  match Annot.Quality_level.allowed_loss hello.requested_quality with
+  match Annotation.Quality_level.allowed_loss hello.requested_quality with
   | exception Invalid_argument msg -> Error msg
   | _ ->
     let quality =
-      if List.exists (fun q -> Annot.Quality_level.compare q hello.requested_quality = 0)
+      if List.exists (fun q -> Annotation.Quality_level.compare q hello.requested_quality = 0)
            offer_qualities
       then hello.requested_quality
       else nearest_offered hello.requested_quality
@@ -38,5 +38,5 @@ let negotiate ?(prefer = Server_side) hello =
 
 let pp_session ppf s =
   Format.fprintf ppf "<session %s q=%a %s>" s.device.Display.Device.name
-    Annot.Quality_level.pp s.quality
+    Annotation.Quality_level.pp s.quality
     (match s.mapping with Server_side -> "server-mapped" | Client_side -> "client-mapped")

@@ -15,16 +15,16 @@ type mapping_site =
 
 type client_hello = {
   device : Display.Device.t;
-  requested_quality : Annot.Quality_level.t;
+  requested_quality : Annotation.Quality_level.t;
 }
 
 type session = {
   device : Display.Device.t;
-  quality : Annot.Quality_level.t;
+  quality : Annotation.Quality_level.t;
   mapping : mapping_site;
 }
 
-val offer_qualities : Annot.Quality_level.t list
+val offer_qualities : Annotation.Quality_level.t list
 (** What the server advertises — the paper's five levels. *)
 
 val negotiate :

@@ -1,5 +1,5 @@
 type plan = {
-  quality : Annot.Quality_level.t;
+  quality : Annotation.Quality_level.t;
   average_power_mw : float;
   projected_runtime_hours : float;
 }
@@ -28,9 +28,9 @@ let plan ?options ~battery ~target_hours ~device profiled =
       let p = plan_for quality in
       if p.projected_runtime_hours >= target_hours then Ok p else search rest
   in
-  search Annot.Quality_level.standard_grid
+  search Annotation.Quality_level.standard_grid
 
 let pp_plan ppf p =
   Format.fprintf ppf "quality %s: %.0f mW average, %.1f h runtime"
-    (Annot.Quality_level.label p.quality)
+    (Annotation.Quality_level.label p.quality)
     p.average_power_mw p.projected_runtime_hours

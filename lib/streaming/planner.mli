@@ -8,7 +8,7 @@
     (the same annotations the server already computes). *)
 
 type plan = {
-  quality : Annot.Quality_level.t;
+  quality : Annotation.Quality_level.t;
   average_power_mw : float;
   projected_runtime_hours : float;
 }
@@ -16,8 +16,8 @@ type plan = {
 val project :
   ?options:Playback.options ->
   device:Display.Device.t ->
-  quality:Annot.Quality_level.t ->
-  Annot.Annotator.profiled ->
+  quality:Annotation.Quality_level.t ->
+  Annotation.Annotator.profiled ->
   float
 (** [project ~device ~quality profiled] is the average device power
     (mW) of annotated playback of this content at the given quality. *)
@@ -27,7 +27,7 @@ val plan :
   battery:Power.Battery.t ->
   target_hours:float ->
   device:Display.Device.t ->
-  Annot.Annotator.profiled ->
+  Annotation.Annotator.profiled ->
   (plan, plan) result
 (** [plan ~battery ~target_hours ~device profiled] walks the advertised
     quality grid from lossless upward and returns [Ok] with the first

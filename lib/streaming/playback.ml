@@ -1,12 +1,12 @@
 type options = {
-  scene_params : Annot.Scene_detect.params;
+  scene_params : Annotation.Scene_detect.params;
   cpu_busy_fraction : float;
   meter : Power.Meter.t;
 }
 
 let default_options =
   {
-    scene_params = Annot.Scene_detect.default_params;
+    scene_params = Annotation.Scene_detect.default_params;
     cpu_busy_fraction = 0.6;
     meter = Power.Meter.create ();
   }
@@ -14,7 +14,7 @@ let default_options =
 type report = {
   clip_name : string;
   device_name : string;
-  quality : Annot.Quality_level.t;
+  quality : Annotation.Quality_level.t;
   frames : int;
   duration_s : float;
   mean_register : float;
@@ -76,6 +76,8 @@ let obs_mean_register =
   Obs.gauge ~help:"Mean backlight register of the last playback run"
     "streaming_mean_register" []
 
+let s_backlight_switches = Obs.Monitor.declare_series "backlight_switches"
+
 let run_with_registers ?(options = default_options) ~device ~quality ~clip_name
     ~fps ~annotation_bytes registers =
   Obs.Trace.with_span "playback.run" ~attrs:[ ("clip", clip_name) ]
@@ -107,7 +109,7 @@ let run_with_registers ?(options = default_options) ~device ~quality ~clip_name
       (fun i _ ->
         Obs.Monitor.count Obs.Monitor.frames_series;
         if i > 0 && registers.(i) <> registers.(i - 1) then
-          Obs.Monitor.count "backlight_switches";
+          Obs.Monitor.count s_backlight_switches;
         Obs.Monitor.advance ~now_s:(float_of_int (i + 1) *. dt_s))
       registers;
   Obs.Metrics.Counter.incr obs_runs;
@@ -136,24 +138,24 @@ let run_with_registers ?(options = default_options) ~device ~quality ~clip_name
 
 let run_profiled ?(options = default_options) ~device ~quality profiled =
   let track =
-    Annot.Annotator.annotate_profiled ~scene_params:options.scene_params ~device
+    Annotation.Annotator.annotate_profiled ~scene_params:options.scene_params ~device
       ~quality profiled
   in
   run_with_registers ~options ~device ~quality
-    ~clip_name:profiled.Annot.Annotator.clip_name
-    ~fps:profiled.Annot.Annotator.fps
-    ~annotation_bytes:(Annot.Encoding.encoded_size track)
-    (Annot.Track.register_track track)
+    ~clip_name:profiled.Annotation.Annotator.clip_name
+    ~fps:profiled.Annotation.Annotator.fps
+    ~annotation_bytes:(Annotation.Encoding.encoded_size track)
+    (Annotation.Track.register_track track)
 
 let run ?options ~device ~quality clip =
-  run_profiled ?options ~device ~quality (Annot.Annotator.profile clip)
+  run_profiled ?options ~device ~quality (Annotation.Annotator.profile clip)
 
 let instantaneous_backlight_savings ~device track =
   let full = Power.Model.backlight_power_mw device ~on:true ~register:255 in
   Array.map
     (fun register ->
       1. -. (Power.Model.backlight_power_mw device ~on:true ~register /. full))
-    (Annot.Track.register_track track)
+    (Annotation.Track.register_track track)
 
 let evaluate_quality ~rig ~device ~clip ~track ~sample_every =
   if sample_every <= 0 then invalid_arg "Playback.evaluate_quality: bad stride";
@@ -161,11 +163,11 @@ let evaluate_quality ~rig ~device ~clip ~track ~sample_every =
   let i = ref 0 in
   while !i < clip.Video.Clip.frame_count do
     let original = clip.Video.Clip.render !i in
-    let entry = Annot.Track.lookup track !i in
-    let compensated = Annot.Compensate.frame track !i original in
+    let entry = Annotation.Track.lookup track !i in
+    let compensated = Annotation.Compensate.frame track !i original in
     let verdict =
       Camera.Quality.evaluate ~rig ~device ~original ~compensated
-        ~reduced_register:entry.Annot.Track.register
+        ~reduced_register:entry.Annotation.Track.register
     in
     verdicts := (!i, verdict) :: !verdicts;
     i := !i + sample_every
@@ -176,6 +178,6 @@ let pp_report ppf r =
   Format.fprintf ppf
     "%-22s %-12s q=%-4s backlight %5.1f%%  total %5.1f%%  reg %5.1f  switches %3d  annot %4dB"
     r.clip_name r.device_name
-    (Annot.Quality_level.label r.quality)
+    (Annotation.Quality_level.label r.quality)
     (100. *. r.backlight_savings) (100. *. r.total_savings) r.mean_register
     r.switch_count r.annotation_bytes

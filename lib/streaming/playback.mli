@@ -8,7 +8,7 @@
     at full backlight. *)
 
 type options = {
-  scene_params : Annot.Scene_detect.params;
+  scene_params : Annotation.Scene_detect.params;
   cpu_busy_fraction : float;
       (** fraction of each frame interval spent decoding (CPU busy);
           the rest idles. In [0, 1]. *)
@@ -21,7 +21,7 @@ val default_options : options
 type report = {
   clip_name : string;
   device_name : string;
-  quality : Annot.Quality_level.t;
+  quality : Annotation.Quality_level.t;
   frames : int;
   duration_s : float;
   mean_register : float;
@@ -51,7 +51,7 @@ val backlight_trace :
 val run_with_registers :
   ?options:options ->
   device:Display.Device.t ->
-  quality:Annot.Quality_level.t ->
+  quality:Annotation.Quality_level.t ->
   clip_name:string ->
   fps:float ->
   annotation_bytes:int ->
@@ -64,21 +64,21 @@ val run_with_registers :
 val run_profiled :
   ?options:options ->
   device:Display.Device.t ->
-  quality:Annot.Quality_level.t ->
-  Annot.Annotator.profiled ->
+  quality:Annotation.Quality_level.t ->
+  Annotation.Annotator.profiled ->
   report
 (** Annotates the profiled clip and plays it back. *)
 
 val run :
   ?options:options ->
   device:Display.Device.t ->
-  quality:Annot.Quality_level.t ->
+  quality:Annotation.Quality_level.t ->
   Video.Clip.t ->
   report
 (** Profile, annotate, play back. *)
 
 val instantaneous_backlight_savings :
-  device:Display.Device.t -> Annot.Track.t -> float array
+  device:Display.Device.t -> Annotation.Track.t -> float array
 (** Fig 6's "Backlight Power Saved" series: per frame,
     [1 - P_bl(register) / P_bl(255)]. *)
 
@@ -86,7 +86,7 @@ val evaluate_quality :
   rig:Camera.Snapshot.rig ->
   device:Display.Device.t ->
   clip:Video.Clip.t ->
-  track:Annot.Track.t ->
+  track:Annotation.Track.t ->
   sample_every:int ->
   (int * Camera.Quality.verdict) list
 (** Fig 2 validation along the clip: every [sample_every]-th frame is

@@ -23,17 +23,17 @@ let transcode_for_link ?utilisation ~link encoded =
     (Codec.Decoder.decode encoded.Codec.Encoder.data)
 
 type live_session = {
-  track : Annot.Track.t;
+  track : Annotation.Track.t;
   annotation_bytes : string;
   added_latency_s : float;
 }
 
 let annotate_live ?scene_params ~lookahead ~device ~quality clip =
-  let profiled = Annot.Annotator.profile clip in
-  let track = Annot.Live.annotate ?scene_params ~lookahead ~device ~quality profiled in
+  let profiled = Annotation.Annotator.profile clip in
+  let track = Annotation.Live.annotate ?scene_params ~lookahead ~device ~quality profiled in
   {
     track;
-    annotation_bytes = Annot.Encoding.encode track;
+    annotation_bytes = Annotation.Encoding.encode track;
     added_latency_s =
-      Annot.Live.added_latency_s ~lookahead ~fps:clip.Video.Clip.fps;
+      Annotation.Live.added_latency_s ~lookahead ~fps:clip.Video.Clip.fps;
   }

@@ -24,18 +24,18 @@ val transcode_for_link :
     assigns the proxy. *)
 
 type live_session = {
-  track : Annot.Track.t;
+  track : Annotation.Track.t;
   annotation_bytes : string;
   added_latency_s : float;
 }
 
 val annotate_live :
-  ?scene_params:Annot.Scene_detect.params ->
+  ?scene_params:Annotation.Scene_detect.params ->
   lookahead:int ->
   device:Display.Device.t ->
-  quality:Annot.Quality_level.t ->
+  quality:Annotation.Quality_level.t ->
   Video.Clip.t ->
   live_session
 (** [annotate_live ~lookahead ~device ~quality clip] profiles and
-    annotates with a bounded lookahead window (see {!Annot.Live}),
+    annotates with a bounded lookahead window (see {!Annotation.Live}),
     reporting the buffering latency the proxy adds. *)

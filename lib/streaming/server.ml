@@ -1,13 +1,13 @@
 type stored = {
   clip : Video.Clip.t;
-  mutable profiled : Annot.Annotator.profiled option;
+  mutable profiled : Annotation.Annotator.profiled option;
 }
 
 type t = { catalog : (string, stored) Hashtbl.t }
 
 type prepared = {
   session : Negotiation.session;
-  track : Annot.Track.t;
+  track : Annotation.Track.t;
   annotation_bytes : string;
   compensated : Video.Clip.t;
 }
@@ -31,7 +31,7 @@ let profile t name =
       match stored.profiled with
       | Some p -> p
       | None ->
-        let p = Annot.Annotator.profile stored.clip in
+        let p = Annotation.Annotator.profile stored.clip in
         stored.profiled <- Some p;
         p)
     (find t name)
@@ -43,20 +43,20 @@ let prepare ?scene_params t ~name ~session =
           let track =
             match session.Negotiation.mapping with
             | Negotiation.Server_side ->
-              Annot.Annotator.annotate_profiled ?scene_params
+              Annotation.Annotator.annotate_profiled ?scene_params
                 ~device:session.Negotiation.device
                 ~quality:session.Negotiation.quality profiled
             | Negotiation.Client_side ->
               (* Device-neutral: the client maps gains to registers with
-                 Annot.Neutral.map_to_device after decoding. *)
-              Annot.Neutral.annotate ?scene_params
+                 Annotation.Neutral.map_to_device after decoding. *)
+              Annotation.Neutral.annotate ?scene_params
                 ~quality:session.Negotiation.quality profiled
           in
           {
             session;
             track;
-            annotation_bytes = Annot.Encoding.encode track;
-            compensated = Annot.Compensate.clip stored.clip track;
+            annotation_bytes = Annotation.Encoding.encode track;
+            compensated = Annotation.Compensate.clip stored.clip track;
           })
         (profile t name))
 

@@ -10,7 +10,7 @@ type t
 
 type prepared = {
   session : Negotiation.session;
-  track : Annot.Track.t;
+  track : Annotation.Track.t;
   annotation_bytes : string;  (** encoded annotation side-channel *)
   compensated : Video.Clip.t;
       (** the stream the client will display: frames pre-brightened
@@ -25,11 +25,11 @@ val add_clip : t -> Video.Clip.t -> unit
 
 val clip_names : t -> string list
 
-val profile : t -> string -> (Annot.Annotator.profiled, string) result
+val profile : t -> string -> (Annotation.Annotator.profiled, string) result
 (** Cached single-pass profile of a stored clip. *)
 
 val prepare :
-  ?scene_params:Annot.Scene_detect.params ->
+  ?scene_params:Annotation.Scene_detect.params ->
   t ->
   name:string ->
   session:Negotiation.session ->
@@ -39,7 +39,7 @@ val prepare :
     compensated stream. With [Server_side] mapping the track carries
     final registers for the session's device; with [Client_side] it is
     device-neutral (§4.3) and the client finishes it with
-    {!Annot.Neutral.map_to_device}. Unknown names yield [Error]. *)
+    {!Annotation.Neutral.map_to_device}. Unknown names yield [Error]. *)
 
 val encode_video :
   ?params:Codec.Stream.params -> t -> name:string ->

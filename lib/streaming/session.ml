@@ -2,7 +2,7 @@ type degradation = Full_backlight | Neighbour_clamp
 
 type config = {
   device : Display.Device.t;
-  quality : Annot.Quality_level.t;
+  quality : Annotation.Quality_level.t;
   mapping : Negotiation.mapping_site;
   link : Netsim.t;
   loss_rate : float;
@@ -18,7 +18,7 @@ type config = {
 let default_config ~device =
   {
     device;
-    quality = Annot.Quality_level.Loss_10;
+    quality = Annotation.Quality_level.Loss_10;
     mapping = Negotiation.Server_side;
     link = Netsim.wlan_80211b;
     loss_rate = 0.;
@@ -95,6 +95,19 @@ let obs_deadline_misses =
   Obs.counter ~help:"Frames whose wire transfer exceeded the frame period"
     "streaming_deadline_misses_total" []
 
+(* Window series this module feeds, declared up front so the offline
+   SLO checker knows them without running a session. *)
+let s_deadline_miss = Obs.Monitor.declare_series "deadline_miss"
+let s_backlight_switches = Obs.Monitor.declare_series "backlight_switches"
+let s_power_cpu_mj = Obs.Monitor.declare_series "power_cpu_mj"
+let s_power_radio_mj = Obs.Monitor.declare_series "power_radio_mj"
+let s_power_device_total_mj = Obs.Monitor.declare_series "power_device_total_mj"
+
+let s_records_corrupt =
+  Obs.Monitor.declare_series "annot_records_corrupt_total"
+
+let s_degraded_scenes = Obs.Monitor.declare_series "degraded_scenes_total"
+
 let obs_energy component =
   Obs.gauge ~help:"Last measured energy per accounted component (mJ)"
     "power_energy_mj"
@@ -121,7 +134,7 @@ let span = Obs.Trace.with_span
    scene boundaries rarely move, so agreeing neighbours usually bracket
    a scene that looked like them. Returns the patched track and the
    number of degraded scenes (records lost or corrupt). *)
-let patch_partial policy (p : Annot.Encoding.partial) =
+let patch_partial policy (p : Annotation.Encoding.partial) =
   let intact =
     Array.to_list p.entries |> List.filter_map (fun e -> e)
   in
@@ -134,11 +147,11 @@ let patch_partial policy (p : Annot.Encoding.partial) =
   let filler ~first ~count ~next_entry =
     match (policy, !prev, next_entry) with
     | ( Neighbour_clamp,
-        Some (a : Annot.Track.entry),
-        Some (b : Annot.Track.entry) )
+        Some (a : Annotation.Track.entry),
+        Some (b : Annotation.Track.entry) )
       when a.register = b.register && a.effective_max = b.effective_max ->
       {
-        Annot.Track.first_frame = first;
+        Annotation.Track.first_frame = first;
         frame_count = count;
         register = a.register;
         compensation = Float.max a.compensation b.compensation;
@@ -147,7 +160,7 @@ let patch_partial policy (p : Annot.Encoding.partial) =
     | _ ->
       (* Quality-safe default: never dim on a guessed annotation. *)
       {
-        Annot.Track.first_frame = first;
+        Annotation.Track.first_frame = first;
         frame_count = count;
         register = 255;
         compensation = 1.;
@@ -161,7 +174,7 @@ let patch_partial policy (p : Annot.Encoding.partial) =
     end
   in
   List.iter
-    (fun (e : Annot.Track.entry) ->
+    (fun (e : Annotation.Track.entry) ->
       fill_gap e.first_frame (Some e);
       out := e :: !out;
       pos := e.first_frame + e.frame_count;
@@ -169,7 +182,7 @@ let patch_partial policy (p : Annot.Encoding.partial) =
     intact;
   fill_gap p.total_frames None;
   let track =
-    Annot.Track.make ~clip_name:p.clip_name ~device_name:p.device_name
+    Annotation.Track.make ~clip_name:p.clip_name ~device_name:p.device_name
       ~quality:p.quality ~fps:p.fps ~total_frames:p.total_frames
       (Array.of_list (List.rev !out))
   in
@@ -185,18 +198,18 @@ let run config clip =
   let fps = clip.Video.Clip.fps in
   let dt_s = 1. /. fps in
   (* Server side: annotate, encode, protect. *)
-  let profiled = span "session.profile" (fun () -> Annot.Annotator.profile clip) in
+  let profiled = span "session.profile" (fun () -> Annotation.Annotator.profile clip) in
   let track, annotation_payload, protected_annotations =
     span "session.annotate" @@ fun () ->
     let track =
       match config.mapping with
       | Negotiation.Server_side ->
-        Annot.Annotator.annotate_profiled ~device:config.device
+        Annotation.Annotator.annotate_profiled ~device:config.device
           ~quality:config.quality profiled
       | Negotiation.Client_side ->
-        Annot.Neutral.annotate ~quality:config.quality profiled
+        Annotation.Neutral.annotate ~quality:config.quality profiled
     in
-    let annotation_payload = Annot.Encoding.encode track in
+    let annotation_payload = Annotation.Encoding.encode track in
     let protected_annotations =
       Fec.protect ~packet_size:24 ~group_size:3 annotation_payload
     in
@@ -222,13 +235,13 @@ let run config clip =
       in
       match Fec.recover protected_annotations ~present:annotation_arrival with
       | Ok payload -> (
-        match Annot.Encoding.decode payload with
+        match Annotation.Encoding.decode payload with
         | Ok wire_track -> (
           ( true,
             (match config.mapping with
             | Negotiation.Server_side -> wire_track
             | Negotiation.Client_side ->
-              Annot.Neutral.map_to_device config.device wire_track),
+              Annotation.Neutral.map_to_device config.device wire_track),
             0, 0, 0 ))
         | Error _ -> (false, track, 0, 0, 0))
       | Error _ -> (false, track, 0, 0, 0))
@@ -246,22 +259,22 @@ let run config clip =
       let recovery = Fec.recover_detail protected_annotations ~present:arrival in
       let resent = nack.Transport.packets_retransmitted in
       match
-        Annot.Encoding.decode_partial ~byte_ok:recovery.Fec.byte_ok
+        Annotation.Encoding.decode_partial ~byte_ok:recovery.Fec.byte_ok
           recovery.Fec.payload
       with
       | Error _ ->
         (* Header gone (or v1 payload damaged): nothing placeable
            survived, every scene plays at full backlight. *)
-        (false, track, Array.length track.Annot.Track.entries, resent, 0)
+        (false, track, Array.length track.Annotation.Track.entries, resent, 0)
       | Ok partial ->
         let intact =
           Array.fold_left
             (fun acc e -> if e = None then acc else acc + 1)
-            0 partial.Annot.Encoding.entries
+            0 partial.Annotation.Encoding.entries
         in
-        let corrupt = partial.Annot.Encoding.corrupt_records in
+        let corrupt = partial.Annotation.Encoding.corrupt_records in
         if intact = 0 then
-          (false, track, Array.length partial.Annot.Encoding.entries, resent,
+          (false, track, Array.length partial.Annotation.Encoding.entries, resent,
            corrupt)
         else begin
           let patched, degraded = patch_partial config.degradation partial in
@@ -269,7 +282,7 @@ let run config clip =
             match config.mapping with
             | Negotiation.Server_side -> patched
             | Negotiation.Client_side ->
-              Annot.Neutral.map_to_device config.device patched
+              Annotation.Neutral.map_to_device config.device patched
           in
           (true, client, degraded, resent, corrupt)
         end)
@@ -303,7 +316,7 @@ let run config clip =
               (* Client playback decisions. *)
               let registers =
                 if annotations_survived then begin
-                  let base = Annot.Track.register_track client_track in
+                  let base = Annotation.Track.register_track client_track in
                   match config.ramp_step with
                   | None -> base
                   | Some max_dim_step -> Ramp.slew_limit ~max_dim_step base
@@ -334,10 +347,10 @@ let run config clip =
                    cut (annotation-entry boundary). *)
                 let scene_start = Array.make frames false in
                 Array.iter
-                  (fun (e : Annot.Track.entry) ->
+                  (fun (e : Annotation.Track.entry) ->
                     if e.first_frame < frames then
                       scene_start.(e.first_frame) <- true)
-                  client_track.Annot.Track.entries;
+                  client_track.Annotation.Track.entries;
                 Array.iteri
                   (fun i bytes ->
                     let start_s = float_of_int i *. dt_s in
@@ -357,10 +370,10 @@ let run config clip =
                     Obs.Monitor.count Obs.Monitor.frames_series;
                     if transfer > dt_s then begin
                       Obs.Metrics.Counter.incr obs_deadline_misses;
-                      Obs.Monitor.count "deadline_miss"
+                      Obs.Monitor.count s_deadline_miss
                     end;
                     if i > 0 && registers.(i) <> registers.(i - 1) then
-                      Obs.Monitor.count "backlight_switches";
+                      Obs.Monitor.count s_backlight_switches;
                     Obs.Monitor.advance ~now_s:(start_s +. dt_s))
                   frame_bytes
               end;
@@ -384,12 +397,12 @@ let run config clip =
                   radio.Radio.radio_energy_mj;
                 Obs.Metrics.Gauge.set (obs_energy "device_total") optimised;
                 Obs.Metrics.Gauge.set (obs_energy "device_baseline") baseline;
-                Obs.Monitor.gauge "power_cpu_mj" dvfs.Dvfs_playback.cpu_energy_mj;
-                Obs.Monitor.gauge "power_radio_mj" radio.Radio.radio_energy_mj;
-                Obs.Monitor.gauge "power_device_total_mj" optimised;
-                Obs.Monitor.gauge "annot_records_corrupt_total"
+                Obs.Monitor.gauge s_power_cpu_mj dvfs.Dvfs_playback.cpu_energy_mj;
+                Obs.Monitor.gauge s_power_radio_mj radio.Radio.radio_energy_mj;
+                Obs.Monitor.gauge s_power_device_total_mj optimised;
+                Obs.Monitor.gauge s_records_corrupt
                   (float_of_int corrupt_records);
-                Obs.Monitor.gauge "degraded_scenes_total"
+                Obs.Monitor.gauge s_degraded_scenes
                   (float_of_int degraded_scenes)
               end;
               let backlight_savings =

@@ -23,7 +23,7 @@ type degradation =
 
 type config = {
   device : Display.Device.t;
-  quality : Annot.Quality_level.t;
+  quality : Annotation.Quality_level.t;
   mapping : Negotiation.mapping_site;
   link : Netsim.t;
   loss_rate : float;  (** Bernoulli packet/frame loss on the wireless hop *)
@@ -82,7 +82,7 @@ type report = {
 }
 
 val patch_partial :
-  degradation -> Annot.Encoding.partial -> Annot.Track.t * int
+  degradation -> Annotation.Encoding.partial -> Annotation.Track.t * int
 (** [patch_partial policy partial] rebuilds a full, valid annotation
     track from a partial decode: surviving records keep their scenes,
     gaps are filled per [policy] (full backlight, or the neighbours'

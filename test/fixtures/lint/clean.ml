@@ -1,0 +1,23 @@
+(* Positive fixture: the allowed spellings of everything the linter
+   polices. Must produce zero diagnostics. *)
+
+(* Hash-order fold is fine when the result is sorted in-expression. *)
+let sorted_keys table =
+  Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort compare
+
+(* Catching a *specific* exception is not swallowing. *)
+let lookup table k = try Some (Hashtbl.find table k) with Not_found -> None
+
+(* A wildcard that re-raises is an annotation point, not a swallow. *)
+let logged f =
+  try f ()
+  with e ->
+    ignore e;
+    raise e
+
+(* Float comparison against a tolerance. *)
+let nearly_zero x = Float.abs x < 1e-9
+
+(* A reasoned suppression is honoured. *)
+(* lint: allow L001 fixture demonstrating a well-formed suppression *)
+let stamp () = Unix.gettimeofday ()

@@ -1,0 +1,5 @@
+val sorted_keys : (string, 'a) Hashtbl.t -> string list
+val lookup : ('a, 'b) Hashtbl.t -> 'a -> 'b option
+val logged : (unit -> 'a) -> 'a
+val nearly_zero : float -> bool
+val stamp : unit -> float

@@ -1,0 +1,2 @@
+(* Negative fixture: reads the ambient wall clock directly. *)
+let stamp () = Unix.gettimeofday ()

@@ -1,0 +1,2 @@
+(* Negative fixture: seeds the global PRNG from the environment. *)
+let scramble () = Random.self_init ()

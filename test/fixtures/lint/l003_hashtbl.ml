@@ -1,0 +1,2 @@
+(* Negative fixture: hash-order fold whose result is never sorted. *)
+let keys table = Hashtbl.fold (fun k _ acc -> k :: acc) table []

@@ -1,0 +1,2 @@
+(* Negative fixture: library code writing straight to the console. *)
+let report n = Printf.printf "saw %d frames\n" n

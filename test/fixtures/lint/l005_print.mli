@@ -1,0 +1,2 @@
+(* Interface present so only L005 fires on the implementation. *)
+val report : int -> unit

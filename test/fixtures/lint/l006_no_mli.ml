@@ -1,0 +1,2 @@
+(* Negative fixture: perfectly clean code, but no .mli next to it. *)
+let answer = 42

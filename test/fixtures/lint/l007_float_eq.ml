@@ -1,0 +1,2 @@
+(* Negative fixture: exact equality on a floating-point value. *)
+let is_zero x = x = 0.0

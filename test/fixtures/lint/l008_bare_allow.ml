@@ -1,0 +1,3 @@
+(* Negative fixture: a suppression with no reason attached. *)
+(* lint: allow L003 *)
+let x = 1

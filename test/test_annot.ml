@@ -16,58 +16,58 @@ let histogram_of_levels levels =
 (* --- Quality_level ------------------------------------------------------ *)
 
 let test_quality_grid () =
-  check int "five levels" 5 (List.length Annot.Quality_level.standard_grid);
+  check int "five levels" 5 (List.length Annotation.Quality_level.standard_grid);
   Alcotest.(check (list (float 1e-12)))
     "paper budgets"
     [ 0.; 0.05; 0.10; 0.15; 0.20 ]
-    (List.map Annot.Quality_level.allowed_loss Annot.Quality_level.standard_grid)
+    (List.map Annotation.Quality_level.allowed_loss Annotation.Quality_level.standard_grid)
 
 let test_quality_of_percent () =
   check bool "10 maps to Loss_10" true
-    (Annot.Quality_level.of_percent 10. = Annot.Quality_level.Loss_10);
+    (Annotation.Quality_level.of_percent 10. = Annotation.Quality_level.Loss_10);
   check bool "7 maps to custom" true
-    (match Annot.Quality_level.of_percent 7. with
-    | Annot.Quality_level.Custom f -> abs_float (f -. 0.07) < 1e-12
+    (match Annotation.Quality_level.of_percent 7. with
+    | Annotation.Quality_level.Custom f -> abs_float (f -. 0.07) < 1e-12
     | _ -> false)
 
 let test_quality_labels () =
   Alcotest.(check (list string))
     "labels"
     [ "0%"; "5%"; "10%"; "15%"; "20%" ]
-    (List.map Annot.Quality_level.label Annot.Quality_level.standard_grid)
+    (List.map Annotation.Quality_level.label Annotation.Quality_level.standard_grid)
 
 let test_quality_custom_validation () =
   Alcotest.check_raises "loss above 1"
     (Invalid_argument "Quality_level: custom loss out of [0, 1]") (fun () ->
-      ignore (Annot.Quality_level.allowed_loss (Annot.Quality_level.Custom 1.5)))
+      ignore (Annotation.Quality_level.allowed_loss (Annotation.Quality_level.Custom 1.5)))
 
 (* --- Scene_detect ------------------------------------------------------- *)
 
 let test_scene_single_scene () =
   let track = Array.make 20 100 in
-  let scenes = Annot.Scene_detect.segment Annot.Scene_detect.default_params track in
+  let scenes = Annotation.Scene_detect.segment Annotation.Scene_detect.default_params track in
   check int "one scene" 1 (List.length scenes);
   (match scenes with
   | [ s ] ->
-    check int "starts at 0" 0 s.Annot.Scene_detect.first;
-    check int "ends at last" 19 s.Annot.Scene_detect.last
+    check int "starts at 0" 0 s.Annotation.Scene_detect.first;
+    check int "ends at last" 19 s.Annotation.Scene_detect.last
   | _ -> Alcotest.fail "expected one scene")
 
 let test_scene_detects_cut () =
   (* 10 dark frames then 10 bright frames: one cut. *)
   let track = Array.init 20 (fun i -> if i < 10 then 50 else 200) in
-  let scenes = Annot.Scene_detect.segment Annot.Scene_detect.default_params track in
+  let scenes = Annotation.Scene_detect.segment Annotation.Scene_detect.default_params track in
   check int "two scenes" 2 (List.length scenes);
   (match scenes with
   | [ a; b ] ->
-    check int "cut position" 9 a.Annot.Scene_detect.last;
-    check int "second starts" 10 b.Annot.Scene_detect.first
+    check int "cut position" 9 a.Annotation.Scene_detect.last;
+    check int "second starts" 10 b.Annotation.Scene_detect.first
   | _ -> Alcotest.fail "expected two scenes")
 
 let test_scene_threshold_hysteresis () =
   (* A 5% wobble must not trigger a cut at the 10% threshold. *)
   let track = Array.init 30 (fun i -> if i mod 2 = 0 then 200 else 192) in
-  let scenes = Annot.Scene_detect.segment Annot.Scene_detect.default_params track in
+  let scenes = Annotation.Scene_detect.segment Annotation.Scene_detect.default_params track in
   check int "wobble ignored" 1 (List.length scenes)
 
 let test_scene_min_interval_suppresses_flicker () =
@@ -77,42 +77,42 @@ let test_scene_min_interval_suppresses_flicker () =
   let track = Array.init 24 (fun i -> if i mod 2 = 0 then 20 else 250) in
   let params =
     {
-      Annot.Scene_detect.change_threshold = 0.10;
+      Annotation.Scene_detect.change_threshold = 0.10;
       min_scene_frames = 6;
       mean_change_threshold = infinity;
     }
   in
-  let scenes = Annot.Scene_detect.segment params track in
+  let scenes = Annotation.Scene_detect.segment params track in
   List.iter
     (fun s ->
-      let len = s.Annot.Scene_detect.last - s.Annot.Scene_detect.first + 1 in
+      let len = s.Annotation.Scene_detect.last - s.Annotation.Scene_detect.first + 1 in
       (* The final scene may be a remainder shorter than the interval. *)
-      if s.Annot.Scene_detect.last <> 23 then
+      if s.Annotation.Scene_detect.last <> 23 then
         check bool "scene respects min length" true (len >= 6))
     scenes
 
 let test_scene_per_frame_mode () =
   let track = Array.make 7 123 in
-  let scenes = Annot.Scene_detect.segment Annot.Scene_detect.per_frame_params track in
+  let scenes = Annotation.Scene_detect.segment Annotation.Scene_detect.per_frame_params track in
   check int "every frame its own scene" 7 (List.length scenes);
-  check int "switches" 6 (Annot.Scene_detect.switches scenes)
+  check int "switches" 6 (Annotation.Scene_detect.switches scenes)
 
 let test_scene_empty_track () =
   check int "no scenes for empty track" 0
-    (List.length (Annot.Scene_detect.segment Annot.Scene_detect.default_params [||]))
+    (List.length (Annotation.Scene_detect.segment Annotation.Scene_detect.default_params [||]))
 
 let test_scene_max () =
   let track = [| 10; 50; 30 |] in
-  let s = { Annot.Scene_detect.first = 0; last = 2 } in
-  check int "scene max" 50 (Annot.Scene_detect.scene_max track s)
+  let s = { Annotation.Scene_detect.first = 0; last = 2 } in
+  check int "scene max" 50 (Annotation.Scene_detect.scene_max track s)
 
 let test_scene_params_validation () =
   Alcotest.check_raises "bad min length"
     (Invalid_argument "Scene_detect: min scene length must be at least 1") (fun () ->
       ignore
-        (Annot.Scene_detect.segment
+        (Annotation.Scene_detect.segment
            {
-             Annot.Scene_detect.change_threshold = 0.1;
+             Annotation.Scene_detect.change_threshold = 0.1;
              min_scene_frames = 0;
              mean_change_threshold = infinity;
            }
@@ -127,18 +127,18 @@ let prop_scene_partition =
     (fun (track, (threshold, min_frames)) ->
       let params =
         {
-          Annot.Scene_detect.change_threshold = threshold;
+          Annotation.Scene_detect.change_threshold = threshold;
           min_scene_frames = min_frames;
           mean_change_threshold = infinity;
         }
       in
-      let scenes = Annot.Scene_detect.segment params track in
+      let scenes = Annotation.Scene_detect.segment params track in
       let rec covers expected = function
         | [] -> expected = Array.length track
         | s :: rest ->
-          s.Annot.Scene_detect.first = expected
-          && s.Annot.Scene_detect.last >= s.Annot.Scene_detect.first
-          && covers (s.Annot.Scene_detect.last + 1) rest
+          s.Annotation.Scene_detect.first = expected
+          && s.Annotation.Scene_detect.last >= s.Annotation.Scene_detect.first
+          && covers (s.Annotation.Scene_detect.last + 1) rest
       in
       covers 0 scenes)
 
@@ -146,17 +146,17 @@ let prop_scene_partition =
 
 let test_solver_bright_scene_no_dimming () =
   let hist = histogram_of_levels (List.init 100 (fun _ -> 255)) in
-  let sol = Annot.Backlight_solver.solve ~device ~quality:Annot.Quality_level.Lossless hist in
-  check int "effective max is 255" 255 sol.Annot.Backlight_solver.effective_max;
-  check int "full register" 255 sol.Annot.Backlight_solver.register;
-  check (Alcotest.float 1e-9) "no compensation" 1. sol.Annot.Backlight_solver.compensation
+  let sol = Annotation.Backlight_solver.solve ~device ~quality:Annotation.Quality_level.Lossless hist in
+  check int "effective max is 255" 255 sol.Annotation.Backlight_solver.effective_max;
+  check int "full register" 255 sol.Annotation.Backlight_solver.register;
+  check (Alcotest.float 1e-9) "no compensation" 1. sol.Annotation.Backlight_solver.compensation
 
 let test_solver_dark_scene_dims () =
   let hist = histogram_of_levels (List.init 100 (fun _ -> 60)) in
-  let sol = Annot.Backlight_solver.solve ~device ~quality:Annot.Quality_level.Lossless hist in
-  check int "effective max 60" 60 sol.Annot.Backlight_solver.effective_max;
-  check bool "register well below full" true (sol.Annot.Backlight_solver.register < 128);
-  check bool "compensates upward" true (sol.Annot.Backlight_solver.compensation > 1.)
+  let sol = Annotation.Backlight_solver.solve ~device ~quality:Annotation.Quality_level.Lossless hist in
+  check int "effective max 60" 60 sol.Annotation.Backlight_solver.effective_max;
+  check bool "register well below full" true (sol.Annotation.Backlight_solver.register < 128);
+  check bool "compensates upward" true (sol.Annotation.Backlight_solver.compensation > 1.)
 
 let test_solver_clipping_budget_used () =
   (* 95 pixels at 80, 5 bright outliers at 250. *)
@@ -165,34 +165,34 @@ let test_solver_clipping_budget_used () =
       (List.init 95 (fun _ -> 80) @ List.init 5 (fun _ -> 250))
   in
   let lossless =
-    Annot.Backlight_solver.solve ~device ~quality:Annot.Quality_level.Lossless hist
+    Annotation.Backlight_solver.solve ~device ~quality:Annotation.Quality_level.Lossless hist
   in
   let lossy =
-    Annot.Backlight_solver.solve ~device ~quality:Annot.Quality_level.Loss_5 hist
+    Annotation.Backlight_solver.solve ~device ~quality:Annotation.Quality_level.Loss_5 hist
   in
-  check int "lossless keeps outliers" 250 lossless.Annot.Backlight_solver.effective_max;
-  check int "5%% budget clips outliers" 80 lossy.Annot.Backlight_solver.effective_max;
+  check int "lossless keeps outliers" 250 lossless.Annotation.Backlight_solver.effective_max;
+  check int "5%% budget clips outliers" 80 lossy.Annotation.Backlight_solver.effective_max;
   check bool "budget honoured" true
-    (lossy.Annot.Backlight_solver.clipped_fraction <= 0.05 +. 1e-9);
+    (lossy.Annotation.Backlight_solver.clipped_fraction <= 0.05 +. 1e-9);
   check bool "lossy register lower" true
-    (lossy.Annot.Backlight_solver.register < lossless.Annot.Backlight_solver.register)
+    (lossy.Annotation.Backlight_solver.register < lossless.Annotation.Backlight_solver.register)
 
 let test_solver_black_scene () =
   let hist = histogram_of_levels (List.init 50 (fun _ -> 0)) in
-  let sol = Annot.Backlight_solver.solve ~device ~quality:Annot.Quality_level.Lossless hist in
-  check int "effective max 0" 0 sol.Annot.Backlight_solver.effective_max;
+  let sol = Annotation.Backlight_solver.solve ~device ~quality:Annotation.Quality_level.Lossless hist in
+  check int "effective max 0" 0 sol.Annotation.Backlight_solver.effective_max;
   check (Alcotest.float 1e-9) "no compensation for black" 1.
-    sol.Annot.Backlight_solver.compensation
+    sol.Annotation.Backlight_solver.compensation
 
 let test_solver_realised_gain_covers_desired () =
   let hist = histogram_of_levels [ 10; 90; 130; 200; 200 ] in
   List.iter
     (fun q ->
-      let sol = Annot.Backlight_solver.solve ~device ~quality:q hist in
+      let sol = Annotation.Backlight_solver.solve ~device ~quality:q hist in
       check bool "realised >= desired" true
-        (sol.Annot.Backlight_solver.realised_gain
-         >= sol.Annot.Backlight_solver.desired_gain -. 1e-12))
-    Annot.Quality_level.standard_grid
+        (sol.Annotation.Backlight_solver.realised_gain
+         >= sol.Annotation.Backlight_solver.desired_gain -. 1e-12))
+    Annotation.Quality_level.standard_grid
 
 let test_solver_compensation_never_overclips () =
   (* compensation * realised gain <= 1 + rounding: brightening never
@@ -200,12 +200,12 @@ let test_solver_compensation_never_overclips () =
   let hist = histogram_of_levels [ 40; 80; 120; 160; 230 ] in
   List.iter
     (fun q ->
-      let sol = Annot.Backlight_solver.solve ~device ~quality:q hist in
+      let sol = Annotation.Backlight_solver.solve ~device ~quality:q hist in
       check bool "k * g <= 1" true
-        (sol.Annot.Backlight_solver.compensation
-         *. sol.Annot.Backlight_solver.realised_gain
+        (sol.Annotation.Backlight_solver.compensation
+         *. sol.Annotation.Backlight_solver.realised_gain
          <= 1. +. 1e-9))
-    Annot.Quality_level.standard_grid
+    Annotation.Quality_level.standard_grid
 
 let prop_solver_monotone_in_quality =
   QCheck2.Test.make ~name:"register is non-increasing in allowed loss"
@@ -214,8 +214,8 @@ let prop_solver_monotone_in_quality =
       let hist = histogram_of_levels (Array.to_list levels) in
       let registers =
         List.map
-          (fun q -> (Annot.Backlight_solver.solve ~device ~quality:q hist).Annot.Backlight_solver.register)
-          Annot.Quality_level.standard_grid
+          (fun q -> (Annotation.Backlight_solver.solve ~device ~quality:q hist).Annotation.Backlight_solver.register)
+          Annotation.Quality_level.standard_grid
       in
       let rec non_increasing = function
         | a :: (b :: _ as rest) -> a >= b && non_increasing rest
@@ -228,9 +228,9 @@ let prop_solver_respects_budget =
     QCheck2.Gen.(pair (array_size (10 -- 60) (0 -- 255)) (float_bound_inclusive 0.3))
     (fun (levels, loss) ->
       let hist = histogram_of_levels (Array.to_list levels) in
-      let q = Annot.Quality_level.Custom loss in
-      let sol = Annot.Backlight_solver.solve ~device ~quality:q hist in
-      sol.Annot.Backlight_solver.clipped_fraction <= loss +. 1e-9)
+      let q = Annotation.Quality_level.Custom loss in
+      let sol = Annotation.Backlight_solver.solve ~device ~quality:q hist in
+      sol.Annotation.Backlight_solver.clipped_fraction <= loss +. 1e-9)
 
 (* --- Operator ------------------------------------------------------------ *)
 
@@ -239,50 +239,50 @@ let test_operator_contrast_exact_when_lossless () =
      register rounding. *)
   let hist = histogram_of_levels [ 20; 60; 60; 100; 140 ] in
   let sol =
-    Annot.Operator.solve ~device ~quality:Annot.Quality_level.Lossless
-      Annot.Operator.Contrast_enhancement hist
+    Annotation.Operator.solve ~device ~quality:Annotation.Quality_level.Lossless
+      Annotation.Operator.Contrast_enhancement hist
   in
   check bool
-    (Format.asprintf "error tiny: %a" Annot.Operator.pp sol)
+    (Format.asprintf "error tiny: %a" Annotation.Operator.pp sol)
     true
-    (sol.Annot.Operator.mean_error < 0.01)
+    (sol.Annotation.Operator.mean_error < 0.01)
 
 let test_operator_brightness_has_residual () =
   (* A spread of levels: the additive offset cannot restore them all. *)
   let hist = histogram_of_levels [ 10; 40; 80; 120; 160 ] in
   let contrast =
-    Annot.Operator.solve ~device ~quality:Annot.Quality_level.Lossless
-      Annot.Operator.Contrast_enhancement hist
+    Annotation.Operator.solve ~device ~quality:Annotation.Quality_level.Lossless
+      Annotation.Operator.Contrast_enhancement hist
   in
   let brightness =
-    Annot.Operator.solve ~device ~quality:Annot.Quality_level.Lossless
-      Annot.Operator.Brightness_compensation hist
+    Annotation.Operator.solve ~device ~quality:Annotation.Quality_level.Lossless
+      Annotation.Operator.Brightness_compensation hist
   in
   check bool "contrast strictly more faithful" true
-    (contrast.Annot.Operator.mean_error < brightness.Annot.Operator.mean_error)
+    (contrast.Annotation.Operator.mean_error < brightness.Annotation.Operator.mean_error)
 
 let test_operator_brightness_respects_budget () =
   let hist =
     histogram_of_levels (List.init 95 (fun _ -> 70) @ List.init 5 (fun _ -> 240))
   in
   let sol =
-    Annot.Operator.solve ~device ~quality:Annot.Quality_level.Loss_5
-      Annot.Operator.Brightness_compensation hist
+    Annotation.Operator.solve ~device ~quality:Annotation.Quality_level.Loss_5
+      Annotation.Operator.Brightness_compensation hist
   in
   check bool "clipping within budget" true
-    (sol.Annot.Operator.clipped_fraction <= 0.05 +. 1e-9);
+    (sol.Annotation.Operator.clipped_fraction <= 0.05 +. 1e-9);
   (* delta = 255 - 70: the offset uses the whole budgeted headroom. *)
-  check (Alcotest.float 1e-9) "delta" 185. sol.Annot.Operator.parameter
+  check (Alcotest.float 1e-9) "delta" 185. sol.Annotation.Operator.parameter
 
 let test_operator_apply_matches_ops () =
   let frame = Image.Raster.create ~width:4 ~height:4 in
   Image.Raster.fill frame (Image.Pixel.gray 80);
   let hist = Image.Histogram.of_raster frame in
   let contrast =
-    Annot.Operator.solve ~device ~quality:Annot.Quality_level.Lossless
-      Annot.Operator.Contrast_enhancement hist
+    Annotation.Operator.solve ~device ~quality:Annotation.Quality_level.Lossless
+      Annotation.Operator.Contrast_enhancement hist
   in
-  let applied = Annot.Operator.apply contrast frame in
+  let applied = Annotation.Operator.apply contrast frame in
   check bool "brightened" true
     (Image.Raster.mean_luminance applied > Image.Raster.mean_luminance frame)
 
@@ -290,7 +290,7 @@ let test_operator_apply_matches_ops () =
 
 let entry ~first ~count ~register ~comp ~eff =
   {
-    Annot.Track.first_frame = first;
+    Annotation.Track.first_frame = first;
     frame_count = count;
     register;
     compensation = comp;
@@ -298,8 +298,8 @@ let entry ~first ~count ~register ~comp ~eff =
   }
 
 let sample_track () =
-  Annot.Track.make ~clip_name:"c" ~device_name:"d"
-    ~quality:Annot.Quality_level.Loss_10 ~fps:12. ~total_frames:10
+  Annotation.Track.make ~clip_name:"c" ~device_name:"d"
+    ~quality:Annotation.Quality_level.Loss_10 ~fps:12. ~total_frames:10
     [|
       entry ~first:0 ~count:4 ~register:200 ~comp:1.2 ~eff:210;
       entry ~first:4 ~count:3 ~register:100 ~comp:2.0 ~eff:128;
@@ -308,47 +308,47 @@ let sample_track () =
 
 let test_track_lookup () =
   let t = sample_track () in
-  check int "frame 0" 200 (Annot.Track.lookup t 0).Annot.Track.register;
-  check int "frame 3" 200 (Annot.Track.lookup t 3).Annot.Track.register;
-  check int "frame 4" 100 (Annot.Track.lookup t 4).Annot.Track.register;
-  check int "frame 6" 100 (Annot.Track.lookup t 6).Annot.Track.register;
-  check int "frame 9" 200 (Annot.Track.lookup t 9).Annot.Track.register;
+  check int "frame 0" 200 (Annotation.Track.lookup t 0).Annotation.Track.register;
+  check int "frame 3" 200 (Annotation.Track.lookup t 3).Annotation.Track.register;
+  check int "frame 4" 100 (Annotation.Track.lookup t 4).Annotation.Track.register;
+  check int "frame 6" 100 (Annotation.Track.lookup t 6).Annotation.Track.register;
+  check int "frame 9" 200 (Annotation.Track.lookup t 9).Annotation.Track.register;
   Alcotest.check_raises "out of range"
     (Invalid_argument "Track.lookup: frame out of range") (fun () ->
-      ignore (Annot.Track.lookup t 10))
+      ignore (Annotation.Track.lookup t 10))
 
 let test_track_register_track () =
   let t = sample_track () in
   Alcotest.(check (array int))
     "expanded"
     [| 200; 200; 200; 200; 100; 100; 100; 200; 200; 200 |]
-    (Annot.Track.register_track t)
+    (Annotation.Track.register_track t)
 
 let test_track_switch_count () =
-  check int "two switches" 2 (Annot.Track.switch_count (sample_track ()))
+  check int "two switches" 2 (Annotation.Track.switch_count (sample_track ()))
 
 let test_track_merge_runs () =
   let t =
-    Annot.Track.make ~clip_name:"c" ~device_name:"d"
-      ~quality:Annot.Quality_level.Lossless ~fps:10. ~total_frames:6
+    Annotation.Track.make ~clip_name:"c" ~device_name:"d"
+      ~quality:Annotation.Quality_level.Lossless ~fps:10. ~total_frames:6
       [|
         entry ~first:0 ~count:2 ~register:90 ~comp:1.5 ~eff:128;
         entry ~first:2 ~count:2 ~register:90 ~comp:1.5 ~eff:128;
         entry ~first:4 ~count:2 ~register:30 ~comp:3.0 ~eff:60;
       |]
   in
-  let merged = Annot.Track.merge_runs t in
-  check int "merged entries" 2 (Annot.Track.entry_count merged);
+  let merged = Annotation.Track.merge_runs t in
+  check int "merged entries" 2 (Annotation.Track.entry_count merged);
   Alcotest.(check (array int))
     "same expansion"
-    (Annot.Track.register_track t)
-    (Annot.Track.register_track merged)
+    (Annotation.Track.register_track t)
+    (Annotation.Track.register_track merged)
 
 let test_track_validation () =
   let bad_gap () =
     ignore
-      (Annot.Track.make ~clip_name:"c" ~device_name:"d"
-         ~quality:Annot.Quality_level.Lossless ~fps:10. ~total_frames:4
+      (Annotation.Track.make ~clip_name:"c" ~device_name:"d"
+         ~quality:Annotation.Quality_level.Lossless ~fps:10. ~total_frames:4
          [|
            entry ~first:0 ~count:2 ~register:10 ~comp:1. ~eff:20;
            entry ~first:3 ~count:1 ~register:10 ~comp:1. ~eff:20;
@@ -358,16 +358,16 @@ let test_track_validation () =
     (Invalid_argument "Track.make: entries not contiguous") bad_gap;
   let bad_coverage () =
     ignore
-      (Annot.Track.make ~clip_name:"c" ~device_name:"d"
-         ~quality:Annot.Quality_level.Lossless ~fps:10. ~total_frames:5
+      (Annotation.Track.make ~clip_name:"c" ~device_name:"d"
+         ~quality:Annotation.Quality_level.Lossless ~fps:10. ~total_frames:5
          [| entry ~first:0 ~count:2 ~register:10 ~comp:1. ~eff:20 |])
   in
   Alcotest.check_raises "short coverage rejected"
     (Invalid_argument "Track.make: entries do not cover the clip") bad_coverage;
   let bad_comp () =
     ignore
-      (Annot.Track.make ~clip_name:"c" ~device_name:"d"
-         ~quality:Annot.Quality_level.Lossless ~fps:10. ~total_frames:1
+      (Annotation.Track.make ~clip_name:"c" ~device_name:"d"
+         ~quality:Annotation.Quality_level.Lossless ~fps:10. ~total_frames:1
          [| entry ~first:0 ~count:1 ~register:10 ~comp:0.5 ~eff:20 |])
   in
   Alcotest.check_raises "compensation below 1 rejected"
@@ -375,36 +375,36 @@ let test_track_validation () =
 
 let test_track_empty_clip () =
   let t =
-    Annot.Track.make ~clip_name:"c" ~device_name:"d"
-      ~quality:Annot.Quality_level.Lossless ~fps:10. ~total_frames:0 [||]
+    Annotation.Track.make ~clip_name:"c" ~device_name:"d"
+      ~quality:Annotation.Quality_level.Lossless ~fps:10. ~total_frames:0 [||]
   in
-  check int "no switches" 0 (Annot.Track.switch_count t);
-  Alcotest.(check (array int)) "empty register track" [||] (Annot.Track.register_track t)
+  check int "no switches" 0 (Annotation.Track.switch_count t);
+  Alcotest.(check (array int)) "empty register track" [||] (Annotation.Track.register_track t)
 
 (* --- Encoding ----------------------------------------------------------- *)
 
 let test_encoding_roundtrip () =
   let t = sample_track () in
-  let encoded = Annot.Encoding.encode t in
-  match Annot.Encoding.decode encoded with
+  let encoded = Annotation.Encoding.encode t in
+  match Annotation.Encoding.decode encoded with
   | Error msg -> Alcotest.fail msg
   | Ok t' ->
-    check bool "clip name" true (t'.Annot.Track.clip_name = "c");
-    check bool "device name" true (t'.Annot.Track.device_name = "d");
+    check bool "clip name" true (t'.Annotation.Track.clip_name = "c");
+    check bool "device name" true (t'.Annotation.Track.device_name = "d");
     check bool "quality" true
-      (Annot.Quality_level.compare t'.Annot.Track.quality t.Annot.Track.quality = 0);
-    check (Alcotest.float 1e-6) "fps" 12. t'.Annot.Track.fps;
+      (Annotation.Quality_level.compare t'.Annotation.Track.quality t.Annotation.Track.quality = 0);
+    check (Alcotest.float 1e-6) "fps" 12. t'.Annotation.Track.fps;
     Alcotest.(check (array int))
       "registers preserved"
-      (Annot.Track.register_track t)
-      (Annot.Track.register_track t');
+      (Annotation.Track.register_track t)
+      (Annotation.Track.register_track t');
     Array.iteri
-      (fun i (e : Annot.Track.entry) ->
-        let e' = t'.Annot.Track.entries.(i) in
+      (fun i (e : Annotation.Track.entry) ->
+        let e' = t'.Annotation.Track.entries.(i) in
         check bool "compensation close" true
-          (abs_float (e.Annot.Track.compensation -. e'.Annot.Track.compensation)
+          (abs_float (e.Annotation.Track.compensation -. e'.Annotation.Track.compensation)
            < 0.001))
-      t.Annot.Track.entries
+      t.Annotation.Track.entries
 
 let test_encoding_compact () =
   (* §4.3: annotations are "in the order of hundreds of bytes". A
@@ -416,39 +416,39 @@ let test_encoding_compact () =
           ~eff:(100 + (i * 10)))
   in
   let t =
-    Annot.Track.make ~clip_name:"clip" ~device_name:"ipaq_h5555"
-      ~quality:Annot.Quality_level.Loss_10 ~fps:12. ~total_frames:300 entries
+    Annotation.Track.make ~clip_name:"clip" ~device_name:"ipaq_h5555"
+      ~quality:Annotation.Quality_level.Loss_10 ~fps:12. ~total_frames:300 entries
   in
-  check bool "compact" true (Annot.Encoding.encoded_size t < 200)
+  check bool "compact" true (Annotation.Encoding.encoded_size t < 200)
 
 let test_encoding_rejects_garbage () =
-  check bool "garbage" true (Result.is_error (Annot.Encoding.decode "garbage"));
-  check bool "empty" true (Result.is_error (Annot.Encoding.decode ""));
-  let valid = Annot.Encoding.encode (sample_track ()) in
+  check bool "garbage" true (Result.is_error (Annotation.Encoding.decode "garbage"));
+  check bool "empty" true (Result.is_error (Annotation.Encoding.decode ""));
+  let valid = Annotation.Encoding.encode (sample_track ()) in
   let truncated = String.sub valid 0 (String.length valid - 3) in
-  check bool "truncated" true (Result.is_error (Annot.Encoding.decode truncated));
+  check bool "truncated" true (Result.is_error (Annotation.Encoding.decode truncated));
   let extended = valid ^ "x" in
-  check bool "trailing bytes" true (Result.is_error (Annot.Encoding.decode extended))
+  check bool "trailing bytes" true (Result.is_error (Annotation.Encoding.decode extended))
 
 let test_encoding_mutation_fuzz () =
   (* Corrupted annotation bytes must yield Error, never an exception —
      the client falls back to full backlight on a bad side channel. *)
-  let valid = Annot.Encoding.encode (sample_track ()) in
+  let valid = Annotation.Encoding.encode (sample_track ()) in
   let rng = Image.Prng.create ~seed:77 in
   for _ = 1 to 300 do
     let mutated = Bytes.of_string valid in
     let pos = Image.Prng.int rng (Bytes.length mutated) in
     Bytes.set mutated pos (Char.chr (Image.Prng.int rng 256));
-    match Annot.Encoding.decode (Bytes.to_string mutated) with
+    match Annotation.Encoding.decode (Bytes.to_string mutated) with
     | Ok _ | Error _ -> ()
   done;
   check bool "no escaped exceptions over 300 mutations" true true
 
 let test_encoding_rejects_bad_version () =
-  let valid = Bytes.of_string (Annot.Encoding.encode (sample_track ())) in
+  let valid = Bytes.of_string (Annotation.Encoding.encode (sample_track ())) in
   Bytes.set valid 4 '\xFF';
   check bool "bad version" true
-    (Result.is_error (Annot.Encoding.decode (Bytes.to_string valid)))
+    (Result.is_error (Annotation.Encoding.decode (Bytes.to_string valid)))
 
 let prop_encoding_roundtrip =
   (* Random (but valid) tracks survive encode/decode. *)
@@ -476,18 +476,18 @@ let prop_encoding_roundtrip =
         (0, []) entries
     in
     let entries_arr = Array.of_list (List.rev with_offsets) in
-    let total = Array.fold_left (fun a e -> a + e.Annot.Track.frame_count) 0 entries_arr in
+    let total = Array.fold_left (fun a e -> a + e.Annotation.Track.frame_count) 0 entries_arr in
     return
-      (Annot.Track.make ~clip_name:"gen" ~device_name:"dev"
-         ~quality:Annot.Quality_level.Loss_15 ~fps:12. ~total_frames:total entries_arr)
+      (Annotation.Track.make ~clip_name:"gen" ~device_name:"dev"
+         ~quality:Annotation.Quality_level.Loss_15 ~fps:12. ~total_frames:total entries_arr)
   in
   QCheck2.Test.make ~name:"encoding round-trips arbitrary tracks" track_gen
     (fun t ->
-      match Annot.Encoding.decode (Annot.Encoding.encode t) with
+      match Annotation.Encoding.decode (Annotation.Encoding.encode t) with
       | Error _ -> false
       | Ok t' ->
-        Annot.Track.register_track t = Annot.Track.register_track t'
-        && t'.Annot.Track.total_frames = t.Annot.Track.total_frames)
+        Annotation.Track.register_track t = Annotation.Track.register_track t'
+        && t'.Annotation.Track.total_frames = t.Annotation.Track.total_frames)
 
 (* --- Compensate / Annotator ---------------------------------------------- *)
 
@@ -509,42 +509,42 @@ let dark_bright_clip () =
 let test_annotator_two_scenes () =
   let clip = dark_bright_clip () in
   let track =
-    Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Lossless clip
+    Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Lossless clip
   in
-  check int "two entries" 2 (Annot.Track.entry_count track);
-  let dark = Annot.Track.lookup track 0 and bright = Annot.Track.lookup track 15 in
+  check int "two entries" 2 (Annotation.Track.entry_count track);
+  let dark = Annotation.Track.lookup track 0 and bright = Annotation.Track.lookup track 15 in
   check bool "dark scene dimmed" true
-    (dark.Annot.Track.register < bright.Annot.Track.register);
-  check int "dark effective max" 60 dark.Annot.Track.effective_max;
-  check int "bright effective max" 220 bright.Annot.Track.effective_max
+    (dark.Annotation.Track.register < bright.Annotation.Track.register);
+  check int "dark effective max" 60 dark.Annotation.Track.effective_max;
+  check int "bright effective max" 220 bright.Annotation.Track.effective_max
 
 let test_annotator_perceived_intensity_preserved () =
   (* End-to-end §4.1 check: the compensated frame at the annotated
      register must look like the original at full backlight. *)
   let clip = dark_bright_clip () in
   let track =
-    Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Lossless clip
+    Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Lossless clip
   in
   let original = clip.Video.Clip.render 2 in
-  let compensated = Annot.Compensate.frame track 2 original in
-  let entry = Annot.Track.lookup track 2 in
+  let compensated = Annotation.Compensate.frame track 2 original in
+  let entry = Annotation.Track.lookup track 2 in
   let err =
-    Annot.Compensate.perceived_error ~device ~original ~compensated
-      ~register:entry.Annot.Track.register
+    Annotation.Compensate.perceived_error ~device ~original ~compensated
+      ~register:entry.Annotation.Track.register
   in
   check bool (Printf.sprintf "perceived error %.4f < 2%%" err) true (err < 0.02)
 
 let test_annotator_lossless_never_clips () =
   let clip = dark_bright_clip () in
   let track =
-    Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Lossless clip
+    Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Lossless clip
   in
   (* At lossless quality no pixel may saturate under compensation. *)
   Video.Clip.iter_frames
     (fun i frame ->
-      let entry = Annot.Track.lookup track i in
+      let entry = Annotation.Track.lookup track i in
       let clipped =
-        Image.Ops.clipped_fraction ~k:entry.Annot.Track.compensation frame
+        Image.Ops.clipped_fraction ~k:entry.Annotation.Track.compensation frame
       in
       check (Alcotest.float 1e-9) (Printf.sprintf "frame %d" i) 0. clipped)
     clip
@@ -553,29 +553,29 @@ let test_annotator_quality_budget_on_scenes () =
   (* On scene-stable content the per-frame clipping stays within the
      budget for every quality level. *)
   let clip = dark_bright_clip () in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   List.iter
     (fun q ->
-      let track = Annot.Annotator.annotate_profiled ~device ~quality:q profiled in
+      let track = Annotation.Annotator.annotate_profiled ~device ~quality:q profiled in
       Video.Clip.iter_frames
         (fun i frame ->
-          let entry = Annot.Track.lookup track i in
+          let entry = Annotation.Track.lookup track i in
           let clipped =
-            Image.Ops.clipped_fraction ~k:entry.Annot.Track.compensation frame
+            Image.Ops.clipped_fraction ~k:entry.Annotation.Track.compensation frame
           in
           check bool
-            (Printf.sprintf "%s frame %d clipped %.3f" (Annot.Quality_level.label q) i clipped)
+            (Printf.sprintf "%s frame %d clipped %.3f" (Annotation.Quality_level.label q) i clipped)
             true
-            (clipped <= Annot.Quality_level.allowed_loss q +. 1e-9))
+            (clipped <= Annotation.Quality_level.allowed_loss q +. 1e-9))
         clip)
-    Annot.Quality_level.standard_grid
+    Annotation.Quality_level.standard_grid
 
 let test_annotator_compensated_clip () =
   let clip = dark_bright_clip () in
   let track =
-    Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Lossless clip
+    Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Lossless clip
   in
-  let compensated = Annot.Compensate.clip clip track in
+  let compensated = Annotation.Compensate.clip clip track in
   (* The dark scene is brightened in the stream the client receives. *)
   check bool "stream pre-brightened" true
     (Image.Raster.mean_luminance (compensated.Video.Clip.render 0)
@@ -585,32 +585,32 @@ let test_annotator_compensated_clip () =
 
 let test_annotator_profile_caching_consistency () =
   let clip = dark_bright_clip () in
-  let profiled = Annot.Annotator.profile clip in
-  let direct = Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Loss_10 clip in
+  let profiled = Annotation.Annotator.profile clip in
+  let direct = Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Loss_10 clip in
   let cached =
-    Annot.Annotator.annotate_profiled ~device ~quality:Annot.Quality_level.Loss_10 profiled
+    Annotation.Annotator.annotate_profiled ~device ~quality:Annotation.Quality_level.Loss_10 profiled
   in
   Alcotest.(check (array int))
     "same registers either way"
-    (Annot.Track.register_track direct)
-    (Annot.Track.register_track cached)
+    (Annotation.Track.register_track direct)
+    (Annotation.Track.register_track cached)
 
 let test_annotator_device_specific_registers () =
   (* §2: "Our scheme allows us to tailor the technique to each PDA" —
      the same clip and quality must give different registers on LED vs
      CCFL devices. *)
   let clip = dark_bright_clip () in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   let led =
-    Annot.Annotator.annotate_profiled ~device:Display.Device.ipaq_h5555
-      ~quality:Annot.Quality_level.Lossless profiled
+    Annotation.Annotator.annotate_profiled ~device:Display.Device.ipaq_h5555
+      ~quality:Annotation.Quality_level.Lossless profiled
   in
   let ccfl =
-    Annot.Annotator.annotate_profiled ~device:Display.Device.ipaq_h3650
-      ~quality:Annot.Quality_level.Lossless profiled
+    Annotation.Annotator.annotate_profiled ~device:Display.Device.ipaq_h3650
+      ~quality:Annotation.Quality_level.Lossless profiled
   in
   check bool "registers differ across devices" true
-    (Annot.Track.register_track led <> Annot.Track.register_track ccfl)
+    (Annotation.Track.register_track led <> Annotation.Track.register_track ccfl)
 
 let test_annotator_channel_max_plane_conservative () =
   (* A saturated-red frame: luma profiling under-estimates clipping,
@@ -620,12 +620,12 @@ let test_annotator_channel_max_plane_conservative () =
   Image.Draw.rect frame ~x:0 ~y:0 ~w:8 ~h:12 (Image.Pixel.v 230 30 30);
   let clip = Video.Clip.of_frames ~name:"red" ~fps:8. (Array.make 8 frame) in
   let register plane =
-    let profiled = Annot.Annotator.profile ~plane clip in
+    let profiled = Annotation.Annotator.profile ~plane clip in
     let track =
-      Annot.Annotator.annotate_profiled ~device ~quality:Annot.Quality_level.Lossless
+      Annotation.Annotator.annotate_profiled ~device ~quality:Annotation.Quality_level.Lossless
         profiled
     in
-    (Annot.Track.lookup track 0).Annot.Track.register
+    (Annotation.Track.lookup track 0).Annotation.Track.register
   in
   let luma_register = register `Luma in
   let chan_register = register `Channel_max in
@@ -639,99 +639,99 @@ let test_annotator_channel_max_plane_conservative () =
 
 let test_neutral_track_is_generic () =
   let clip = dark_bright_clip () in
-  let profiled = Annot.Annotator.profile clip in
-  let neutral = Annot.Neutral.annotate ~quality:Annot.Quality_level.Lossless profiled in
+  let profiled = Annotation.Annotator.profile clip in
+  let neutral = Annotation.Neutral.annotate ~quality:Annotation.Quality_level.Lossless profiled in
   check bool "generic device name" true
-    (neutral.Annot.Track.device_name = Annot.Neutral.generic_device_name);
+    (neutral.Annotation.Track.device_name = Annotation.Neutral.generic_device_name);
   (* Neutral "registers" are the effective maxima themselves. *)
   Array.iter
-    (fun (e : Annot.Track.entry) ->
-      check int "wire gain equals effective max" e.Annot.Track.effective_max
-        e.Annot.Track.register)
-    neutral.Annot.Track.entries
+    (fun (e : Annotation.Track.entry) ->
+      check int "wire gain equals effective max" e.Annotation.Track.effective_max
+        e.Annotation.Track.register)
+    neutral.Annotation.Track.entries
 
 let test_neutral_mapping_matches_server_side () =
   (* Client-side mapping of a neutral track lands on the same registers
      as direct server-side annotation for that device. *)
   let clip = dark_bright_clip () in
-  let profiled = Annot.Annotator.profile clip in
-  let neutral = Annot.Neutral.annotate ~quality:Annot.Quality_level.Loss_10 profiled in
+  let profiled = Annotation.Annotator.profile clip in
+  let neutral = Annotation.Neutral.annotate ~quality:Annotation.Quality_level.Loss_10 profiled in
   List.iter
     (fun dev ->
-      let mapped = Annot.Neutral.map_to_device dev neutral in
+      let mapped = Annotation.Neutral.map_to_device dev neutral in
       let direct =
-        Annot.Annotator.annotate_profiled ~device:dev
-          ~quality:Annot.Quality_level.Loss_10 profiled
+        Annotation.Annotator.annotate_profiled ~device:dev
+          ~quality:Annotation.Quality_level.Loss_10 profiled
       in
       check bool (dev.Display.Device.name ^ " name set") true
-        (mapped.Annot.Track.device_name = dev.Display.Device.name);
+        (mapped.Annotation.Track.device_name = dev.Display.Device.name);
       Alcotest.(check (array int))
         (dev.Display.Device.name ^ " registers agree")
-        (Annot.Track.register_track direct)
-        (Annot.Track.register_track mapped))
+        (Annotation.Track.register_track direct)
+        (Annotation.Track.register_track mapped))
     Display.Device.all
 
 let test_neutral_roundtrips_the_wire () =
   let clip = dark_bright_clip () in
-  let profiled = Annot.Annotator.profile clip in
-  let neutral = Annot.Neutral.annotate ~quality:Annot.Quality_level.Loss_10 profiled in
-  match Annot.Encoding.decode (Annot.Encoding.encode neutral) with
+  let profiled = Annotation.Annotator.profile clip in
+  let neutral = Annotation.Neutral.annotate ~quality:Annotation.Quality_level.Loss_10 profiled in
+  match Annotation.Encoding.decode (Annotation.Encoding.encode neutral) with
   | Error e -> Alcotest.fail e
   | Ok wire ->
-    let mapped = Annot.Neutral.map_to_device device wire in
+    let mapped = Annotation.Neutral.map_to_device device wire in
     Alcotest.(check (array int))
       "wire neutral maps identically"
-      (Annot.Track.register_track (Annot.Neutral.map_to_device device neutral))
-      (Annot.Track.register_track mapped)
+      (Annotation.Track.register_track (Annotation.Neutral.map_to_device device neutral))
+      (Annotation.Track.register_track mapped)
 
 (* --- Live (windowed) annotation ------------------------------------------- *)
 
 let test_live_full_window_equals_offline () =
   let clip = dark_bright_clip () in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   let offline =
-    Annot.Annotator.annotate_profiled ~device ~quality:Annot.Quality_level.Loss_10
+    Annotation.Annotator.annotate_profiled ~device ~quality:Annotation.Quality_level.Loss_10
       profiled
   in
   let live =
-    Annot.Live.annotate ~lookahead:clip.Video.Clip.frame_count ~device
-      ~quality:Annot.Quality_level.Loss_10 profiled
+    Annotation.Live.annotate ~lookahead:clip.Video.Clip.frame_count ~device
+      ~quality:Annotation.Quality_level.Loss_10 profiled
   in
   Alcotest.(check (array int))
     "identical registers"
-    (Annot.Track.register_track offline)
-    (Annot.Track.register_track live)
+    (Annotation.Track.register_track offline)
+    (Annotation.Track.register_track live)
 
 let test_live_windows_never_span () =
   let clip = dark_bright_clip () in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   let lookahead = 5 in
   let track =
-    Annot.Live.annotate ~lookahead ~device ~quality:Annot.Quality_level.Loss_10 profiled
+    Annotation.Live.annotate ~lookahead ~device ~quality:Annotation.Quality_level.Loss_10 profiled
   in
   Array.iter
-    (fun (e : Annot.Track.entry) ->
+    (fun (e : Annotation.Track.entry) ->
       let window_of i = i / lookahead in
       check int "entry stays in one window"
-        (window_of e.Annot.Track.first_frame)
-        (window_of (e.Annot.Track.first_frame + e.Annot.Track.frame_count - 1)))
-    track.Annot.Track.entries
+        (window_of e.Annotation.Track.first_frame)
+        (window_of (e.Annotation.Track.first_frame + e.Annotation.Track.frame_count - 1)))
+    track.Annotation.Track.entries
 
 let test_live_savings_close_to_offline () =
   let clip = dark_bright_clip () in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   let mean_reg track =
-    let regs = Annot.Track.register_track track in
+    let regs = Annotation.Track.register_track track in
     float_of_int (Array.fold_left ( + ) 0 regs) /. float_of_int (Array.length regs)
   in
   let offline =
     mean_reg
-      (Annot.Annotator.annotate_profiled ~device ~quality:Annot.Quality_level.Loss_10
+      (Annotation.Annotator.annotate_profiled ~device ~quality:Annotation.Quality_level.Loss_10
          profiled)
   in
   let live =
     mean_reg
-      (Annot.Live.annotate ~lookahead:6 ~device ~quality:Annot.Quality_level.Loss_10
+      (Annotation.Live.annotate ~lookahead:6 ~device ~quality:Annotation.Quality_level.Loss_10
          profiled)
   in
   (* A 6-frame window on a 16-frame clip straddles the cut (the
@@ -743,10 +743,10 @@ let test_live_savings_close_to_offline () =
 
 let test_live_latency () =
   check (Alcotest.float 1e-9) "latency" 3.
-    (Annot.Live.added_latency_s ~lookahead:36 ~fps:12.);
+    (Annotation.Live.added_latency_s ~lookahead:36 ~fps:12.);
   Alcotest.check_raises "bad lookahead"
     (Invalid_argument "Live: lookahead must be positive") (fun () ->
-      ignore (Annot.Live.added_latency_s ~lookahead:0 ~fps:12.))
+      ignore (Annotation.Live.added_latency_s ~lookahead:0 ~fps:12.))
 
 (* --- Protected (ROI) ------------------------------------------------------ *)
 
@@ -766,36 +766,36 @@ let test_protected_solve_scene_respects_roi () =
   let inside = histogram_of_levels [ 230; 230; 10 ] in
   let outside = histogram_of_levels (List.init 100 (fun _ -> 10)) in
   let sol =
-    Annot.Protected.solve_scene ~device ~quality:Annot.Quality_level.Loss_20 ~inside
+    Annotation.Protected.solve_scene ~device ~quality:Annotation.Quality_level.Loss_20 ~inside
       ~outside
   in
-  check int "effective max covers the ROI" 230 sol.Annot.Backlight_solver.effective_max
+  check int "effective max covers the ROI" 230 sol.Annotation.Backlight_solver.effective_max
 
 let test_protected_annotate_zero_roi_clipping () =
   let clip, width, height = credits_like_clip () in
   let roi = Image.Roi.center_band ~width ~height ~fraction:0.4 in
-  let profiled = Annot.Protected.profile ~roi clip in
+  let profiled = Annotation.Protected.profile ~roi clip in
   let track =
-    Annot.Protected.annotate ~device ~quality:Annot.Quality_level.Loss_20 profiled
+    Annotation.Protected.annotate ~device ~quality:Annotation.Quality_level.Loss_20 profiled
   in
   check (Alcotest.float 1e-9) "text never clips" 0.
-    (Annot.Protected.roi_clipped_fraction ~device profiled track)
+    (Annotation.Protected.roi_clipped_fraction ~device profiled track)
 
 let test_protected_vs_unprotected_tradeoff () =
   let clip, width, height = credits_like_clip () in
   let roi = Image.Roi.center_band ~width ~height ~fraction:0.4 in
-  let profiled = Annot.Protected.profile ~roi clip in
+  let profiled = Annotation.Protected.profile ~roi clip in
   let unprotected =
-    Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Loss_20 clip
+    Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Loss_20 clip
   in
   let protected_track =
-    Annot.Protected.annotate ~device ~quality:Annot.Quality_level.Loss_20 profiled
+    Annotation.Protected.annotate ~device ~quality:Annotation.Quality_level.Loss_20 profiled
   in
   (* Unprotected clips the text; protection costs registers. *)
   check bool "unprotected damages text" true
-    (Annot.Protected.roi_clipped_fraction ~device profiled unprotected > 0.01);
+    (Annotation.Protected.roi_clipped_fraction ~device profiled unprotected > 0.01);
   let mean_reg track =
-    let regs = Annot.Track.register_track track in
+    let regs = Annotation.Track.register_track track in
     float_of_int (Array.fold_left ( + ) 0 regs) /. float_of_int (Array.length regs)
   in
   check bool "protection raises the registers" true
@@ -803,17 +803,17 @@ let test_protected_vs_unprotected_tradeoff () =
 
 let test_protected_empty_roi_matches_unprotected () =
   let clip, _, _ = credits_like_clip () in
-  let profiled = Annot.Protected.profile ~roi:Image.Roi.empty clip in
+  let profiled = Annotation.Protected.profile ~roi:Image.Roi.empty clip in
   let protected_track =
-    Annot.Protected.annotate ~device ~quality:Annot.Quality_level.Loss_10 profiled
+    Annotation.Protected.annotate ~device ~quality:Annotation.Quality_level.Loss_10 profiled
   in
   let unprotected =
-    Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Loss_10 clip
+    Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Loss_10 clip
   in
   Alcotest.(check (array int))
     "identical registers with empty region"
-    (Annot.Track.register_track unprotected)
-    (Annot.Track.register_track protected_track)
+    (Annotation.Track.register_track unprotected)
+    (Annotation.Track.register_track protected_track)
 
 (* Random valid tracks for structural properties. *)
 let arbitrary_track_gen =
@@ -833,32 +833,32 @@ let arbitrary_track_gen =
       (0, []) specs
   in
   let entries = Array.of_list (List.rev entries) in
-  let total = Array.fold_left (fun a e -> a + e.Annot.Track.frame_count) 0 entries in
+  let total = Array.fold_left (fun a e -> a + e.Annotation.Track.frame_count) 0 entries in
   return
-    (Annot.Track.make ~clip_name:"prop" ~device_name:"dev"
-       ~quality:Annot.Quality_level.Loss_10 ~fps:10. ~total_frames:total entries)
+    (Annotation.Track.make ~clip_name:"prop" ~device_name:"dev"
+       ~quality:Annotation.Quality_level.Loss_10 ~fps:10. ~total_frames:total entries)
 
 let prop_merge_runs_idempotent =
   QCheck2.Test.make ~name:"merge_runs is idempotent and preserves expansion"
     arbitrary_track_gen (fun track ->
-      let once = Annot.Track.merge_runs track in
-      let twice = Annot.Track.merge_runs once in
-      Annot.Track.entry_count once = Annot.Track.entry_count twice
-      && Annot.Track.register_track track = Annot.Track.register_track once)
+      let once = Annotation.Track.merge_runs track in
+      let twice = Annotation.Track.merge_runs once in
+      Annotation.Track.entry_count once = Annotation.Track.entry_count twice
+      && Annotation.Track.register_track track = Annotation.Track.register_track once)
 
 let prop_switches_bounded_by_entries =
   QCheck2.Test.make ~name:"switch count below entry count" arbitrary_track_gen
     (fun track ->
-      Annot.Track.switch_count track < max 1 (Annot.Track.entry_count track))
+      Annotation.Track.switch_count track < max 1 (Annotation.Track.entry_count track))
 
 let prop_lookup_consistent_with_expansion =
   QCheck2.Test.make ~name:"lookup agrees with the expanded register track"
     arbitrary_track_gen (fun track ->
-      let regs = Annot.Track.register_track track in
+      let regs = Annotation.Track.register_track track in
       let ok = ref true in
       Array.iteri
         (fun i r ->
-          if (Annot.Track.lookup track i).Annot.Track.register <> r then ok := false)
+          if (Annotation.Track.lookup track i).Annotation.Track.register <> r then ok := false)
         regs;
       !ok)
 

@@ -6,7 +6,7 @@ let int = Alcotest.int
 let bool = Alcotest.bool
 
 let device = Display.Device.ipaq_h5555
-let quality = Annot.Quality_level.Loss_10
+let quality = Annotation.Quality_level.Loss_10
 
 (* A clip with a hard scene change: dark first half, bright second —
    the worst case for history prediction. *)
@@ -24,7 +24,7 @@ let cut_clip () =
   in
   Video.Clip_gen.render ~width:24 ~height:18 ~fps:8. profile
 
-let profiled = lazy (Annot.Annotator.profile (cut_clip ()))
+let profiled = lazy (Annotation.Annotator.profile (cut_clip ()))
 
 let run strategy =
   Baselines.Runner.run ~device ~quality (Lazy.force profiled) strategy
@@ -39,7 +39,7 @@ let test_strategy_names_unique () =
 let test_strategy_overheads () =
   check (Alcotest.float 1e-12) "annotated has no client overhead" 0.
     (Baselines.Strategy.cpu_overhead_fraction
-       (Baselines.Strategy.Annotated Annot.Scene_detect.default_params));
+       (Baselines.Strategy.Annotated Annotation.Scene_detect.default_params));
   check bool "client analysis has overhead" true
     (Baselines.Strategy.cpu_overhead_fraction
        (Baselines.Strategy.Client_analysis { cpu_overhead_fraction = 0.2 })
@@ -48,7 +48,7 @@ let test_strategy_overheads () =
 let test_strategy_clairvoyance () =
   check bool "annotated is clairvoyant" true
     (Baselines.Strategy.is_clairvoyant
-       (Baselines.Strategy.Annotated Annot.Scene_detect.default_params));
+       (Baselines.Strategy.Annotated Annotation.Scene_detect.default_params));
   check bool "history is not" false
     (Baselines.Strategy.is_clairvoyant
        (Baselines.Strategy.History_prediction { window = 1 }))
@@ -69,7 +69,7 @@ let test_static_dim_registers () =
   check bool "violations on bright scene" true (o.Baselines.Runner.violations > 0)
 
 let test_annotated_no_violation_on_stable_scenes () =
-  let o = run (Baselines.Strategy.Annotated Annot.Scene_detect.default_params) in
+  let o = run (Baselines.Strategy.Annotated Annotation.Scene_detect.default_params) in
   check int "no violations on crisp scenes" 0 o.Baselines.Runner.violations;
   check bool "saves power" true
     (o.Baselines.Runner.report.Streaming.Playback.backlight_savings > 0.1)
@@ -96,7 +96,7 @@ let test_client_analysis_matches_per_frame_annotation () =
 let test_per_frame_beats_scene_on_power () =
   (* Ablation A1: per-frame annotation saves at least as much backlight
      power as scene-level, at the cost of more switches. *)
-  let scene = run (Baselines.Strategy.Annotated Annot.Scene_detect.default_params) in
+  let scene = run (Baselines.Strategy.Annotated Annotation.Scene_detect.default_params) in
   let frame = run Baselines.Strategy.Annotated_per_frame in
   check bool "per-frame saves at least as much" true
     (frame.Baselines.Runner.report.Streaming.Playback.backlight_savings
@@ -115,14 +115,14 @@ let test_qabs_limits_slew () =
   check int "quality protected (no violations)" 0 o.Baselines.Runner.violations
 
 let test_annotation_bytes_accounting () =
-  let annotated = run (Baselines.Strategy.Annotated Annot.Scene_detect.default_params) in
+  let annotated = run (Baselines.Strategy.Annotated Annotation.Scene_detect.default_params) in
   let client = run (Baselines.Strategy.Client_analysis { cpu_overhead_fraction = 0.2 }) in
   check bool "annotated ships bytes" true (annotated.Baselines.Runner.annotation_bytes > 0);
   check int "client-side ships none" 0 client.Baselines.Runner.annotation_bytes
 
 let test_clipped_fraction_trace_full_backlight_zero () =
   let p = Lazy.force profiled in
-  let regs = Array.make p.Annot.Annotator.total_frames 255 in
+  let regs = Array.make p.Annotation.Annotator.total_frames 255 in
   let trace = Baselines.Runner.clipped_fraction_trace ~device p regs in
   Array.iter (fun c -> check (Alcotest.float 1e-12) "no clipping at 255" 0. c) trace
 
@@ -203,7 +203,7 @@ let prop_all_strategies_cover_clip =
     (QCheck2.Gen.oneofl Baselines.Runner.standard_lineup) (fun s ->
       let p = Lazy.force profiled in
       Array.length (Baselines.Runner.decide ~device ~quality p s)
-      = p.Annot.Annotator.total_frames)
+      = p.Annotation.Annotator.total_frames)
 
 let () =
   Alcotest.run "baselines"

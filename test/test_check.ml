@@ -1,0 +1,405 @@
+(* The static-verification layer: linter rules against their negative
+   fixtures, the diagnostic JSON schema, and the artifact verifier
+   against a corruption corpus built from pristine encodings. *)
+
+module Diagnostic = Check.Diagnostic
+module Lint = Check_lint.Lint
+module Artifact = Check.Artifact
+module Encoding = Annotation.Encoding
+
+let codes ds = List.sort_uniq compare (List.map (fun d -> d.Diagnostic.code) ds)
+let error_codes ds = codes (List.filter Diagnostic.is_error ds)
+
+let check_codes what expected ds =
+  Alcotest.(check (list string)) what expected (codes ds)
+
+(* --- linter fixtures --------------------------------------------------- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let lint_fixture ?in_lib ?has_mli name =
+  let path = Filename.concat "fixtures/lint" name in
+  Lint.lint_source ?in_lib ?has_mli ~path (read_file path)
+
+let test_fixtures_fire_once () =
+  List.iter
+    (fun (name, in_lib, has_mli, code) ->
+      let ds = lint_fixture ~in_lib ~has_mli name in
+      Alcotest.(check int) (name ^ " fires exactly once") 1 (List.length ds);
+      check_codes name [ code ] ds)
+    [
+      ("l001_clock.ml", false, true, "L001");
+      ("l002_random.ml", false, true, "L002");
+      ("l003_hashtbl.ml", false, true, "L003");
+      ("l004_swallow.ml", false, true, "L004");
+      ("l005_print.ml", true, true, "L005");
+      ("l006_no_mli.ml", true, false, "L006");
+      ("l007_float_eq.ml", false, true, "L007");
+      ("l008_bare_allow.ml", false, true, "L008");
+    ]
+
+let test_clean_fixture () =
+  check_codes "clean.ml is clean" [] (lint_fixture ~in_lib:true ~has_mli:true "clean.ml")
+
+let test_every_rule_has_a_fixture () =
+  (* L000 is the parse-failure code, not a rule with a fixture. *)
+  let covered =
+    [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008" ]
+  in
+  Alcotest.(check (list string))
+    "rule registry matches fixture corpus" covered
+    (List.map (fun r -> r.Lint.code) Lint.rules)
+
+let test_unparsable_is_l000 () =
+  check_codes "garbage yields L000" [ "L000" ]
+    (Lint.lint_source ~path:"broken.ml" "let let let = = =")
+
+(* --- diagnostic JSON schema -------------------------------------------- *)
+
+let sample_diags =
+  [
+    Diagnostic.v ~code:"L004" ~severity:Diagnostic.Error ~file:"lib/x.ml"
+      ~line:12 ~col:4 "swallowed";
+    Diagnostic.v ~code:"V106" ~severity:Diagnostic.Warning ~file:"t.bin"
+      "off-grid quality";
+  ]
+
+let test_json_round_trip () =
+  List.iter
+    (fun d ->
+      match Diagnostic.of_json (Diagnostic.to_json d) with
+      | Ok d' -> Alcotest.(check bool) "round trip" true (d = d')
+      | Error msg -> Alcotest.fail msg)
+    sample_diags
+
+let test_json_wire_round_trip () =
+  (* The same path `lint --json` output takes: render to a string,
+     re-parse, decode each element. *)
+  let rendered =
+    Obs.Json.to_string (Obs.Json.List (List.map Diagnostic.to_json sample_diags))
+  in
+  match Obs.Json.of_string rendered with
+  | Error msg -> Alcotest.fail msg
+  | Ok (Obs.Json.List items) ->
+    let decoded =
+      List.map
+        (fun j ->
+          match Diagnostic.of_json j with
+          | Ok d -> d
+          | Error msg -> Alcotest.fail msg)
+        items
+    in
+    Alcotest.(check bool) "wire round trip" true (decoded = sample_diags)
+  | Ok _ -> Alcotest.fail "expected a JSON array"
+
+(* --- annotation corpus ------------------------------------------------- *)
+
+let entry ~first_frame ~frame_count ~register =
+  {
+    Annotation.Track.first_frame;
+    frame_count;
+    register;
+    compensation = 1.25;
+    effective_max = 200;
+  }
+
+(* Three runs with distinct registers so merge_runs keeps all three. *)
+let track =
+  Annotation.Track.make ~clip_name:"clip" ~device_name:"ipaq_h5555"
+    ~quality:Annotation.Quality_level.Loss_10 ~fps:12. ~total_frames:90
+    [|
+      entry ~first_frame:0 ~frame_count:30 ~register:40;
+      entry ~first_frame:30 ~frame_count:30 ~register:200;
+      entry ~first_frame:60 ~frame_count:30 ~register:90;
+    |]
+
+let n_records = 3
+let blob = Encoding.encode track
+let rsize = Encoding.record_size
+let records_offset b = String.length b - (n_records * rsize)
+let hcrc_offset b = records_offset b - 4
+
+let set_u24 b off v =
+  for k = 0 to 2 do
+    Bytes.set_uint8 b (off + k) ((v lsr (8 * k)) land 0xff)
+  done
+
+let set_u32 b off v =
+  for k = 0 to 3 do
+    Bytes.set_uint8 b (off + k) ((v lsr (8 * k)) land 0xff)
+  done
+
+(* Tamper with the blob, then (optionally) recompute the CRCs an
+   attacker in control of the bytes could also recompute — so the
+   *semantic* checks are exercised, not just the checksums. *)
+let patched ?(fix_record = -1) ?(fix_header = false) f =
+  let b = Bytes.of_string blob in
+  f b;
+  if fix_record >= 0 then begin
+    let off = records_offset blob + (fix_record * rsize) in
+    set_u32 b (off + 11)
+      (Encoding.crc32_sub (Bytes.to_string b) ~pos:off ~len:(rsize - 4))
+  end;
+  if fix_header then
+    set_u32 b (hcrc_offset blob)
+      (Encoding.crc32_sub (Bytes.to_string b) ~pos:0 ~len:(hcrc_offset blob));
+  Bytes.to_string b
+
+let check = Artifact.check_annotation ~file:"t.bin"
+
+let test_pristine_v2 () = check_codes "pristine v2" [] (check blob)
+let test_pristine_v1 () =
+  check_codes "pristine v1" [] (check (Encoding.encode_v1 track))
+
+let test_bad_magic () =
+  check_codes "V101" [ "V101" ] (check ("XXXX" ^ String.sub blob 4 (String.length blob - 4)))
+
+let test_bad_version () =
+  let b = patched ~fix_header:true (fun b -> Bytes.set_uint8 b 4 7) in
+  check_codes "V102" [ "V102" ] (check b)
+
+let test_header_truncated () =
+  check_codes "V103" [ "V103" ] (check (String.sub blob 0 8))
+
+let test_header_crc () =
+  (* Flip a clip-name byte without fixing the CRC: framing stays
+     parsable, the checksum catches the lie. *)
+  let b = patched (fun b -> Bytes.set_uint8 b 10 (Bytes.get_uint8 b 10 lxor 0xff)) in
+  check_codes "V104" [ "V104" ] (check b)
+
+let test_record_crc () =
+  let b =
+    patched (fun b ->
+        let off = records_offset blob + rsize + 6 in
+        Bytes.set_uint8 b off (Bytes.get_uint8 b off lxor 0x01))
+  in
+  check_codes "V108" [ "V108" ] (check b)
+
+let test_truncated_records () =
+  check_codes "V107" [ "V107" ]
+    (check (String.sub blob 0 (String.length blob - 7)))
+
+let test_monotonicity () =
+  let b =
+    patched ~fix_record:1 (fun b ->
+        set_u24 b (records_offset blob + rsize) 31)
+  in
+  check_codes "V109" [ "V109" ] (check b)
+
+let test_frame_span () =
+  let b =
+    patched ~fix_record:2 (fun b ->
+        set_u24 b (records_offset blob + (2 * rsize) + 3) 99)
+  in
+  check_codes "V110" [ "V110" ] (check b)
+
+let test_compensation () =
+  let b =
+    patched ~fix_record:0 (fun b -> set_u24 b (records_offset blob + 7) 100)
+  in
+  check_codes "V111" [ "V111" ] (check b)
+
+let test_backlight_range () =
+  let tiny = { Display.Device.ipaq_h5555 with Display.Device.backlight_levels = 8 } in
+  let ds =
+    Artifact.check_annotation ~find_device:(fun _ -> Some tiny) ~file:"t.bin" blob
+  in
+  check_codes "V112" [ "V112" ] ds
+
+let test_trailing_bytes_v1 () =
+  check_codes "V113" [ "V113" ] (check (Encoding.encode_v1 track ^ "xx"))
+
+let test_coverage () =
+  (* Drop the last record and adjust the count; header CRC fixed up,
+     so only the coverage check can object. *)
+  let shorter = String.sub blob 0 (String.length blob - rsize) in
+  let b = Bytes.of_string shorter in
+  Bytes.set_uint8 b (hcrc_offset blob - 1) 2;
+  set_u32 b (hcrc_offset blob)
+    (Encoding.crc32_sub (Bytes.to_string b) ~pos:0 ~len:(hcrc_offset blob));
+  check_codes "V114" [ "V114" ] (check (Bytes.to_string b))
+
+let test_off_grid_quality () =
+  (* Quality permille 100 -> 99: still a 1-byte varint, CRC fixed up;
+     an off-grid but in-range quality is a warning, not an error. *)
+  let b = patched ~fix_header:true (fun b -> Bytes.set_uint8 b 5 99) in
+  let ds = check b in
+  check_codes "V106" [ "V106" ] ds;
+  Alcotest.(check int) "warning only" 0 (Diagnostic.errors ds)
+
+(* Hand-built header declaring 2^40 records over an empty payload,
+   with a *valid* CRC — the case that must be caught by arithmetic,
+   not checksum. *)
+let huge_count_blob =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "ANPW";
+  Buffer.add_char buf '\002';
+  let varint n =
+    let n = ref n in
+    let continue = ref true in
+    while !continue do
+      let b = !n land 0x7f in
+      n := !n lsr 7;
+      if !n = 0 then begin
+        Buffer.add_char buf (Char.chr b);
+        continue := false
+      end
+      else Buffer.add_char buf (Char.chr (b lor 0x80))
+    done
+  in
+  varint 100;
+  varint 12_000;
+  varint 90;
+  varint 4;
+  Buffer.add_string buf "clip";
+  varint 6;
+  Buffer.add_string buf "device";
+  varint (1 lsl 40);
+  let header = Buffer.contents buf in
+  let crc = Encoding.crc32 header in
+  let b = Bytes.create 4 in
+  set_u32 b 0 crc;
+  header ^ Bytes.to_string b
+
+let test_huge_count_flagged () =
+  check_codes "V107 on huge count" [ "V107" ] (check huge_count_blob)
+
+(* --- encoding hardening regressions ------------------------------------ *)
+
+let is_error = function Error _ -> true | Ok _ -> false
+
+let test_decode_rejects_huge_count () =
+  Alcotest.(check bool) "decode returns Error, no exception" true
+    (is_error (Encoding.decode huge_count_blob));
+  Alcotest.(check bool) "decode_partial returns Error, no exception" true
+    (is_error (Encoding.decode_partial huge_count_blob))
+
+let test_decode_rejects_truncation () =
+  let cut = String.sub blob 0 (String.length blob - 7) in
+  Alcotest.(check bool) "decode" true (is_error (Encoding.decode cut));
+  Alcotest.(check bool) "decode_partial" true
+    (is_error (Encoding.decode_partial cut))
+
+let test_decode_rejects_varint_overflow () =
+  let b = "ANPW\002" ^ String.make 9 '\xff' in
+  Alcotest.(check bool) "decode" true (is_error (Encoding.decode b))
+
+(* --- SLO files ---------------------------------------------------------- *)
+
+let known =
+  {
+    Artifact.histograms = [ "streaming_frame_latency_seconds" ];
+    names = [ "frames"; "deadline_miss"; "power_cpu_mj" ];
+  }
+
+let slo = Artifact.check_slo ~known ~file:"t.slo"
+
+let test_slo_valid () =
+  check_codes "valid slo" []
+    (slo
+       "# latency gate\n\
+        streaming_frame_latency_seconds_p99 < 0.25\n\
+        deadline_miss_rate < 0.05\n\
+        power_cpu_mj < 2000\n")
+
+let test_slo_parse_error () =
+  check_codes "V201" [ "V201" ] (slo "power_cpu_mj <\n")
+
+let test_slo_unknown_metric () =
+  check_codes "V202" [ "V202" ] (slo "made_up_series_p99 < 1\n");
+  check_codes "V202 gauge" [ "V202" ] (slo "made_up_gauge < 1\n")
+
+let test_slo_contradiction () =
+  check_codes "V203" [ "V203" ] (slo "power_cpu_mj < 5\npower_cpu_mj > 10\n");
+  check_codes "feasible band is fine" []
+    (slo "power_cpu_mj > 5\npower_cpu_mj < 10\n")
+
+let test_slo_duplicate () =
+  let ds = slo "power_cpu_mj < 5\npower_cpu_mj < 5\n" in
+  check_codes "V204" [ "V204" ] ds;
+  Alcotest.(check int) "warning only" 0 (Diagnostic.errors ds)
+
+let test_slo_empty () =
+  let ds = slo "# nothing here\n" in
+  check_codes "V205" [ "V205" ] ds;
+  Alcotest.(check int) "warning only" 0 (Diagnostic.errors ds)
+
+let test_slo_live_catalog () =
+  (* The defaults shipped in examples/default.slo must validate against
+     the live metric catalog of this very process. *)
+  let ds = Artifact.check_slo ~file:"default.slo" (read_file "../examples/default.slo") in
+  Alcotest.(check (list string)) "examples/default.slo" [] (error_codes ds)
+
+(* --- fault profiles ----------------------------------------------------- *)
+
+let test_fault_valid () =
+  check_codes "gilbert profile" []
+    (Artifact.check_fault ~file:"t.fault"
+       "model = gilbert\nmean_loss = 0.10\nburst_length = 4\n")
+
+let test_fault_parse_error () =
+  check_codes "V301" [ "V301" ]
+    (Artifact.check_fault ~file:"t.fault" "model = banana\n")
+
+let test_fault_noop () =
+  let ds = Artifact.check_fault ~file:"t.fault" "# nothing\n" in
+  check_codes "V302" [ "V302" ] ds;
+  Alcotest.(check int) "warning only" 0 (Diagnostic.errors ds)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "lint rules",
+        [
+          Alcotest.test_case "fixtures fire once" `Quick test_fixtures_fire_once;
+          Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+          Alcotest.test_case "registry covered" `Quick test_every_rule_has_a_fixture;
+          Alcotest.test_case "unparsable" `Quick test_unparsable_is_l000;
+        ] );
+      ( "diagnostic json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "wire round trip" `Quick test_json_wire_round_trip;
+        ] );
+      ( "annotation corpus",
+        [
+          Alcotest.test_case "pristine v2" `Quick test_pristine_v2;
+          Alcotest.test_case "pristine v1" `Quick test_pristine_v1;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "bad version" `Quick test_bad_version;
+          Alcotest.test_case "header truncated" `Quick test_header_truncated;
+          Alcotest.test_case "header crc" `Quick test_header_crc;
+          Alcotest.test_case "record crc" `Quick test_record_crc;
+          Alcotest.test_case "truncated records" `Quick test_truncated_records;
+          Alcotest.test_case "monotonicity" `Quick test_monotonicity;
+          Alcotest.test_case "frame span" `Quick test_frame_span;
+          Alcotest.test_case "compensation" `Quick test_compensation;
+          Alcotest.test_case "backlight range" `Quick test_backlight_range;
+          Alcotest.test_case "trailing bytes v1" `Quick test_trailing_bytes_v1;
+          Alcotest.test_case "coverage" `Quick test_coverage;
+          Alcotest.test_case "off-grid quality" `Quick test_off_grid_quality;
+          Alcotest.test_case "huge count" `Quick test_huge_count_flagged;
+        ] );
+      ( "encoding hardening",
+        [
+          Alcotest.test_case "huge count" `Quick test_decode_rejects_huge_count;
+          Alcotest.test_case "truncation" `Quick test_decode_rejects_truncation;
+          Alcotest.test_case "varint overflow" `Quick test_decode_rejects_varint_overflow;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "valid" `Quick test_slo_valid;
+          Alcotest.test_case "parse error" `Quick test_slo_parse_error;
+          Alcotest.test_case "unknown metric" `Quick test_slo_unknown_metric;
+          Alcotest.test_case "contradiction" `Quick test_slo_contradiction;
+          Alcotest.test_case "duplicate" `Quick test_slo_duplicate;
+          Alcotest.test_case "empty" `Quick test_slo_empty;
+          Alcotest.test_case "live catalog" `Quick test_slo_live_catalog;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "valid" `Quick test_fault_valid;
+          Alcotest.test_case "parse error" `Quick test_fault_parse_error;
+          Alcotest.test_case "no-op" `Quick test_fault_noop;
+        ] );
+    ]

@@ -249,15 +249,15 @@ let test_fec_recover_detail_clean () =
 let sample_track () =
   let entry ~first ~count ~register ~eff =
     {
-      Annot.Track.first_frame = first;
+      Annotation.Track.first_frame = first;
       frame_count = count;
       register;
       compensation = 255. /. float_of_int (max 1 eff);
       effective_max = eff;
     }
   in
-  Annot.Track.make ~clip_name:"chaos" ~device_name:"ipaq_h5555"
-    ~quality:Annot.Quality_level.Loss_10 ~fps:8. ~total_frames:100
+  Annotation.Track.make ~clip_name:"chaos" ~device_name:"ipaq_h5555"
+    ~quality:Annotation.Quality_level.Loss_10 ~fps:8. ~total_frames:100
     [|
       (* Adjacent entries must differ or run-merging fuses them. *)
       entry ~first:0 ~count:20 ~register:120 ~eff:150;
@@ -269,95 +269,95 @@ let sample_track () =
 
 let test_crc32_vector () =
   (* The classic IEEE 802.3 check value. *)
-  check int "crc32(123456789)" 0xCBF43926 (Annot.Encoding.crc32 "123456789")
+  check int "crc32(123456789)" 0xCBF43926 (Annotation.Encoding.crc32 "123456789")
 
 let test_v1_compat () =
   let t = sample_track () in
-  let v1 = Annot.Encoding.encode_v1 t in
+  let v1 = Annotation.Encoding.encode_v1 t in
   check int "v1 marker" 1 (Char.code v1.[4]);
-  (match Annot.Encoding.decode v1 with
+  (match Annotation.Encoding.decode v1 with
   | Error e -> Alcotest.fail e
   | Ok t' ->
     Alcotest.(check (array int))
       "v1 registers survive"
-      (Annot.Track.register_track t)
-      (Annot.Track.register_track t'));
-  let v2 = Annot.Encoding.encode t in
+      (Annotation.Track.register_track t)
+      (Annotation.Track.register_track t'));
+  let v2 = Annotation.Encoding.encode t in
   check int "v2 marker" 2 (Char.code v2.[4]);
   check bool "v2 self-describing records cost more" true
     (String.length v2 > String.length v1)
 
 let test_decode_partial_classification () =
   let t = sample_track () in
-  let data = Annot.Encoding.encode t in
+  let data = Annotation.Encoding.encode t in
   let n = String.length data in
   let record_size = 15 in
   let records_start = n - (5 * record_size) in
   (* Intact payload: every record survives. *)
-  (match Annot.Encoding.decode_partial data with
+  (match Annotation.Encoding.decode_partial data with
   | Error e -> Alcotest.fail e
   | Ok p ->
     check int "all intact" 5
       (Array.fold_left (fun a e -> if e = None then a else a + 1) 0
-         p.Annot.Encoding.entries);
-    check int "no corrupt" 0 p.Annot.Encoding.corrupt_records;
-    check int "no missing" 0 p.Annot.Encoding.missing_records);
+         p.Annotation.Encoding.entries);
+    check int "no corrupt" 0 p.Annotation.Encoding.corrupt_records;
+    check int "no missing" 0 p.Annotation.Encoding.missing_records);
   (* Flip a byte inside record 2: CRC catches it, everything else
      survives. *)
   let mutated = Bytes.of_string data in
   let pos = records_start + (2 * record_size) + 3 in
   Bytes.set mutated pos (Char.chr (Char.code (Bytes.get mutated pos) lxor 0x40));
-  (match Annot.Encoding.decode_partial (Bytes.to_string mutated) with
+  (match Annotation.Encoding.decode_partial (Bytes.to_string mutated) with
   | Error e -> Alcotest.fail e
   | Ok p ->
-    check int "one corrupt" 1 p.Annot.Encoding.corrupt_records;
-    check bool "record 2 dropped" true (p.Annot.Encoding.entries.(2) = None);
-    check bool "record 1 kept" true (p.Annot.Encoding.entries.(1) <> None));
+    check int "one corrupt" 1 p.Annotation.Encoding.corrupt_records;
+    check bool "record 2 dropped" true (p.Annotation.Encoding.entries.(2) = None);
+    check bool "record 1 kept" true (p.Annotation.Encoding.entries.(1) <> None));
   (* Mark record 3's bytes as lost in transit: missing, not corrupt. *)
   let byte_ok = Array.make n true in
   Array.fill byte_ok (records_start + (3 * record_size)) record_size false;
-  (match Annot.Encoding.decode_partial ~byte_ok data with
+  (match Annotation.Encoding.decode_partial ~byte_ok data with
   | Error e -> Alcotest.fail e
   | Ok p ->
-    check int "one missing" 1 p.Annot.Encoding.missing_records;
-    check bool "record 3 dropped" true (p.Annot.Encoding.entries.(3) = None));
+    check int "one missing" 1 p.Annotation.Encoding.missing_records;
+    check bool "record 3 dropped" true (p.Annotation.Encoding.entries.(3) = None));
   (* A lost header is fatal. *)
   let byte_ok = Array.make n true in
   byte_ok.(2) <- false;
   check bool "lost header is an error" true
-    (Result.is_error (Annot.Encoding.decode_partial ~byte_ok data));
+    (Result.is_error (Annotation.Encoding.decode_partial ~byte_ok data));
   (* Strict decode refuses any record corruption outright. *)
   check bool "strict decode rejects mutation" true
-    (Result.is_error (Annot.Encoding.decode (Bytes.to_string mutated)))
+    (Result.is_error (Annotation.Encoding.decode (Bytes.to_string mutated)))
 
 let test_decode_partial_v1_all_or_nothing () =
   let t = sample_track () in
-  let v1 = Annot.Encoding.encode_v1 t in
-  (match Annot.Encoding.decode_partial v1 with
+  let v1 = Annotation.Encoding.encode_v1 t in
+  (match Annotation.Encoding.decode_partial v1 with
   | Error e -> Alcotest.fail e
   | Ok p ->
     check int "v1 fully intact" 5
       (Array.fold_left (fun a e -> if e = None then a else a + 1) 0
-         p.Annot.Encoding.entries));
+         p.Annotation.Encoding.entries));
   let byte_ok = Array.make (String.length v1) true in
   byte_ok.(String.length v1 - 1) <- false;
   check bool "damaged v1 unusable" true
-    (Result.is_error (Annot.Encoding.decode_partial ~byte_ok v1))
+    (Result.is_error (Annotation.Encoding.decode_partial ~byte_ok v1))
 
 (* --- patch_partial: the degradation policy ------------------------------ *)
 
 let partial_of_track ?(drop = []) t =
-  let t = Annot.Track.merge_runs t in
+  let t = Annotation.Track.merge_runs t in
   {
-    Annot.Encoding.clip_name = t.Annot.Track.clip_name;
-    device_name = t.Annot.Track.device_name;
-    quality = t.Annot.Track.quality;
-    fps = t.Annot.Track.fps;
-    total_frames = t.Annot.Track.total_frames;
+    Annotation.Encoding.clip_name = t.Annotation.Track.clip_name;
+    device_name = t.Annotation.Track.device_name;
+    quality = t.Annotation.Track.quality;
+    fps = t.Annotation.Track.fps;
+    total_frames = t.Annotation.Track.total_frames;
     entries =
       Array.mapi
         (fun i e -> if List.mem i drop then None else Some e)
-        t.Annot.Track.entries;
+        t.Annotation.Track.entries;
     corrupt_records = 0;
     missing_records = List.length drop;
   }
@@ -371,10 +371,10 @@ let test_patch_full_backlight () =
   check int "two degraded" 2 degraded;
   check int "frames covered" 100
     (Array.fold_left
-       (fun a (e : Annot.Track.entry) -> a + e.Annot.Track.frame_count)
-       0 patched.Annot.Track.entries);
-  let regs = Annot.Track.register_track patched in
-  let orig = Annot.Track.register_track t in
+       (fun a (e : Annotation.Track.entry) -> a + e.Annotation.Track.frame_count)
+       0 patched.Annotation.Track.entries);
+  let regs = Annotation.Track.register_track patched in
+  let orig = Annotation.Track.register_track t in
   for i = 0 to 99 do
     if i >= 20 && i < 40 then check int "gap at full backlight" 255 regs.(i)
     else if i >= 60 && i < 80 then check int "gap at full backlight" 255 regs.(i)
@@ -392,21 +392,21 @@ let test_patch_neighbour_clamp () =
       (partial_of_track ~drop:[ 3 ] t)
   in
   check int "one degraded" 1 degraded;
-  let regs = Annot.Track.register_track patched in
+  let regs = Annotation.Track.register_track patched in
   for i = 60 to 79 do
     check int "disagreeing neighbours: no guess" 255 regs.(i)
   done;
   (* Drop entry 1 (between two identical 120-register scenes): the
      clamp adopts the agreed level. *)
   let t2 =
-    Annot.Track.make ~clip_name:"c" ~device_name:"d"
-      ~quality:Annot.Quality_level.Loss_10 ~fps:8. ~total_frames:60
+    Annotation.Track.make ~clip_name:"c" ~device_name:"d"
+      ~quality:Annotation.Quality_level.Loss_10 ~fps:8. ~total_frames:60
       [|
-        { Annot.Track.first_frame = 0; frame_count = 20; register = 120;
+        { Annotation.Track.first_frame = 0; frame_count = 20; register = 120;
           compensation = 1.7; effective_max = 150 };
-        { Annot.Track.first_frame = 20; frame_count = 20; register = 30;
+        { Annotation.Track.first_frame = 20; frame_count = 20; register = 30;
           compensation = 2.5; effective_max = 100 };
-        { Annot.Track.first_frame = 40; frame_count = 20; register = 120;
+        { Annotation.Track.first_frame = 40; frame_count = 20; register = 120;
           compensation = 1.7; effective_max = 150 };
       |]
   in
@@ -415,7 +415,7 @@ let test_patch_neighbour_clamp () =
       (partial_of_track ~drop:[ 1 ] t2)
   in
   check int "one degraded" 1 degraded;
-  let regs = Annot.Track.register_track patched in
+  let regs = Annotation.Track.register_track patched in
   for i = 20 to 39 do
     check int "agreeing neighbours clamp the gap" 120 regs.(i)
   done;
@@ -426,13 +426,13 @@ let test_patch_neighbour_clamp () =
       (partial_of_track ~drop:[ 1 ] t2)
   in
   check int "full backlight for comparison" 255
-    (Annot.Track.register_track fb).(25);
+    (Annotation.Track.register_track fb).(25);
   (* Leading and trailing gaps have only one neighbour: never guessed. *)
   let patched, _ =
     Streaming.Session.patch_partial Streaming.Session.Neighbour_clamp
       (partial_of_track ~drop:[ 0; 2 ] t2)
   in
-  let regs = Annot.Track.register_track patched in
+  let regs = Annotation.Track.register_track patched in
   check int "leading gap safe" 255 regs.(0);
   check int "trailing gap safe" 255 regs.(59)
 

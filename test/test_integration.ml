@@ -21,7 +21,7 @@ let test_full_pipeline_end_to_end () =
   let server = Streaming.Server.create () in
   Streaming.Server.add_clip server clip;
   let hello =
-    { Streaming.Negotiation.device; requested_quality = Annot.Quality_level.Loss_10 }
+    { Streaming.Negotiation.device; requested_quality = Annotation.Quality_level.Loss_10 }
   in
   let session =
     match Streaming.Negotiation.negotiate hello with
@@ -35,12 +35,12 @@ let test_full_pipeline_end_to_end () =
   in
   (* The annotation side channel survives the wire. *)
   let wire_track =
-    match Annot.Encoding.decode prepared.Streaming.Server.annotation_bytes with
+    match Annotation.Encoding.decode prepared.Streaming.Server.annotation_bytes with
     | Ok t -> t
     | Error e -> Alcotest.fail e
   in
   (* Client playback using only wire data. *)
-  let registers = Annot.Track.register_track wire_track in
+  let registers = Annotation.Track.register_track wire_track in
   let report =
     Streaming.Playback.run_with_registers ~device
       ~quality:session.Streaming.Negotiation.quality ~clip_name:"themovie"
@@ -54,11 +54,11 @@ let test_full_pipeline_end_to_end () =
   let i = clip.Video.Clip.frame_count / 3 in
   let original = clip.Video.Clip.render i in
   let compensated = prepared.Streaming.Server.compensated.Video.Clip.render i in
-  let entry = Annot.Track.lookup wire_track i in
+  let entry = Annotation.Track.lookup wire_track i in
   let rig = Camera.Snapshot.noiseless_rig device in
   let verdict =
     Camera.Quality.evaluate ~rig ~device ~original ~compensated
-      ~reduced_register:entry.Annot.Track.register
+      ~reduced_register:entry.Annotation.Track.register
   in
   check bool
     (Format.asprintf "camera verdict acceptable: %a" Camera.Quality.pp_verdict verdict)
@@ -69,16 +69,16 @@ let test_codec_carries_compensated_stream () =
   (* Ship the compensated frames through the codec and verify the
      decoded stream still achieves the intended perceived intensity. *)
   let clip = small_clip Video.Workloads.officexp in
-  let track = Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Loss_10 clip in
-  let compensated = Annot.Compensate.clip clip track in
+  let track = Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Loss_10 clip in
+  let compensated = Annotation.Compensate.clip clip track in
   let encoded = Codec.Encoder.encode_clip compensated in
   let decoded = Codec.Decoder.decode_exn encoded.Codec.Encoder.data in
   let i = 4 in
-  let entry = Annot.Track.lookup track i in
+  let entry = Annotation.Track.lookup track i in
   let err =
-    Annot.Compensate.perceived_error ~device ~original:(clip.Video.Clip.render i)
+    Annotation.Compensate.perceived_error ~device ~original:(clip.Video.Clip.render i)
       ~compensated:decoded.Codec.Decoder.frames.(i)
-      ~register:entry.Annot.Track.register
+      ~register:entry.Annotation.Track.register
   in
   check bool (Printf.sprintf "perceived error %.4f small after codec" err) true
     (err < 0.05)
@@ -87,8 +87,8 @@ let test_annotation_overhead_hundreds_of_bytes () =
   (* §4.3's headline: RLE-compressed annotations are hundreds of bytes
      against a multi-megabyte-class video stream. *)
   let clip = small_clip Video.Workloads.spiderman2 in
-  let track = Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Loss_10 clip in
-  let annotation_bytes = Annot.Encoding.encoded_size track in
+  let track = Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Loss_10 clip in
+  let annotation_bytes = Annotation.Encoding.encoded_size track in
   let encoded = Codec.Encoder.encode_clip clip in
   let video_bytes = Codec.Encoder.total_bytes encoded in
   check bool
@@ -102,7 +102,7 @@ let test_dark_clips_beat_bright_clips () =
   (* The Fig 9 ordering on real workloads at 10% quality. *)
   let savings profile =
     let clip = small_clip profile in
-    (Streaming.Playback.run ~device ~quality:Annot.Quality_level.Loss_10 clip)
+    (Streaming.Playback.run ~device ~quality:Annotation.Quality_level.Loss_10 clip)
       .Streaming.Playback.backlight_savings
   in
   let rotk = savings Video.Workloads.returnoftheking in
@@ -114,13 +114,13 @@ let test_dark_clips_beat_bright_clips () =
 
 let test_savings_monotone_in_quality () =
   let clip = small_clip Video.Workloads.catwoman in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   let savings =
     List.map
       (fun q ->
         (Streaming.Playback.run_profiled ~device ~quality:q profiled)
           .Streaming.Playback.backlight_savings)
-      Annot.Quality_level.standard_grid
+      Annotation.Quality_level.standard_grid
   in
   let rec non_decreasing = function
     | a :: (b :: _ as rest) -> a <= b +. 1e-9 && non_decreasing rest
@@ -131,13 +131,13 @@ let test_savings_monotone_in_quality () =
 let test_annotated_beats_history_on_quality () =
   (* A2's point: with equal-ish power, annotations avoid the quality
      violations history prediction incurs at scene changes. *)
-  let profiled = Annot.Annotator.profile (small_clip Video.Workloads.i_robot) in
+  let profiled = Annotation.Annotator.profile (small_clip Video.Workloads.i_robot) in
   let annotated =
-    Baselines.Runner.run ~device ~quality:Annot.Quality_level.Loss_10 profiled
-      (Baselines.Strategy.Annotated Annot.Scene_detect.default_params)
+    Baselines.Runner.run ~device ~quality:Annotation.Quality_level.Loss_10 profiled
+      (Baselines.Strategy.Annotated Annotation.Scene_detect.default_params)
   in
   let history =
-    Baselines.Runner.run ~device ~quality:Annot.Quality_level.Loss_10 profiled
+    Baselines.Runner.run ~device ~quality:Annotation.Quality_level.Loss_10 profiled
       (Baselines.Strategy.History_prediction { window = 6 })
   in
   check bool "history mispredicts more" true
@@ -147,13 +147,13 @@ let test_annotated_beats_client_analysis_on_device_power () =
   (* Same per-frame register policy on both sides; the only difference
      is where the analysis runs, so the client-side CPU tax is the
      whole story (§3). *)
-  let profiled = Annot.Annotator.profile (small_clip Video.Workloads.shrek2) in
+  let profiled = Annotation.Annotator.profile (small_clip Video.Workloads.shrek2) in
   let annotated =
-    Baselines.Runner.run ~device ~quality:Annot.Quality_level.Loss_10 profiled
+    Baselines.Runner.run ~device ~quality:Annotation.Quality_level.Loss_10 profiled
       Baselines.Strategy.Annotated_per_frame
   in
   let client =
-    Baselines.Runner.run ~device ~quality:Annot.Quality_level.Loss_10 profiled
+    Baselines.Runner.run ~device ~quality:Annotation.Quality_level.Loss_10 profiled
       (Baselines.Strategy.Client_analysis { cpu_overhead_fraction = 0.2 })
   in
   check bool "annotation avoids the client CPU tax" true
@@ -162,13 +162,13 @@ let test_annotated_beats_client_analysis_on_device_power () =
 
 let test_per_frame_switches_far_more () =
   (* A1: per-frame annotation flickers; scene-level stays calm. *)
-  let profiled = Annot.Annotator.profile (small_clip Video.Workloads.themovie) in
+  let profiled = Annotation.Annotator.profile (small_clip Video.Workloads.themovie) in
   let scene =
-    Baselines.Runner.run ~device ~quality:Annot.Quality_level.Loss_10 profiled
-      (Baselines.Strategy.Annotated Annot.Scene_detect.default_params)
+    Baselines.Runner.run ~device ~quality:Annotation.Quality_level.Loss_10 profiled
+      (Baselines.Strategy.Annotated Annotation.Scene_detect.default_params)
   in
   let frame =
-    Baselines.Runner.run ~device ~quality:Annot.Quality_level.Loss_10 profiled
+    Baselines.Runner.run ~device ~quality:Annotation.Quality_level.Loss_10 profiled
       Baselines.Strategy.Annotated_per_frame
   in
   check bool "per-frame switches more" true
@@ -192,14 +192,14 @@ let test_recovered_transfer_drives_pipeline () =
     }
   in
   let clip = small_clip Video.Workloads.theincredibles_tlr2 in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   let factory =
-    (Streaming.Playback.run_profiled ~device ~quality:Annot.Quality_level.Loss_10 profiled)
+    (Streaming.Playback.run_profiled ~device ~quality:Annotation.Quality_level.Loss_10 profiled)
       .Streaming.Playback.backlight_savings
   in
   let recovered_savings =
     (Streaming.Playback.run_profiled ~device:recovered_device
-       ~quality:Annot.Quality_level.Loss_10 profiled)
+       ~quality:Annotation.Quality_level.Loss_10 profiled)
       .Streaming.Playback.backlight_savings
   in
   check bool
@@ -209,7 +209,7 @@ let test_recovered_transfer_drives_pipeline () =
 
 let test_battery_life_extension_visible () =
   let clip = small_clip Video.Workloads.returnoftheking in
-  let report = Streaming.Playback.run ~device ~quality:Annot.Quality_level.Loss_10 clip in
+  let report = Streaming.Playback.run ~device ~quality:Annotation.Quality_level.Loss_10 clip in
   let baseline_power =
     report.Streaming.Playback.total_baseline_mj /. report.Streaming.Playback.duration_s
   in
@@ -230,7 +230,7 @@ let test_savings_monotone_in_content_brightness () =
       Video.Workloads.parametric ~seconds:3. ~base_level ~highlight_peak:200 ()
     in
     let clip = Video.Clip_gen.render ~width:48 ~height:36 ~fps:8. profile in
-    (Streaming.Playback.run ~device ~quality:Annot.Quality_level.Loss_10 clip)
+    (Streaming.Playback.run ~device ~quality:Annotation.Quality_level.Loss_10 clip)
       .Streaming.Playback.backlight_savings
   in
   let dark = savings 20 and mid = savings 120 and bright = savings 230 in
@@ -248,7 +248,7 @@ let test_ccfl_savings_bounded_by_floor () =
   in
   let clip = small_clip Video.Workloads.catwoman in
   let report =
-    Streaming.Playback.run ~device:ccfl ~quality:Annot.Quality_level.Loss_20 clip
+    Streaming.Playback.run ~device:ccfl ~quality:Annotation.Quality_level.Loss_20 clip
   in
   check bool "savings below the inverter floor bound" true
     (report.Streaming.Playback.backlight_savings < floor_bound);
@@ -259,12 +259,12 @@ let test_quality_holds_on_every_device () =
   (* The Fig 2 verdict must pass on all three PDAs, not just the
      measurement platform. *)
   let clip = small_clip Video.Workloads.officexp in
-  let profiled = Annot.Annotator.profile clip in
+  let profiled = Annotation.Annotator.profile clip in
   List.iter
     (fun dev ->
       let track =
-        Annot.Annotator.annotate_profiled ~device:dev
-          ~quality:Annot.Quality_level.Loss_5 profiled
+        Annotation.Annotator.annotate_profiled ~device:dev
+          ~quality:Annotation.Quality_level.Loss_5 profiled
       in
       let rig = Camera.Snapshot.noiseless_rig dev in
       List.iter
@@ -291,7 +291,7 @@ let test_all_workloads_produce_valid_reports () =
     (fun profile ->
       let clip = Video.Clip_gen.render ~width:32 ~height:24 ~fps:6. profile in
       let report =
-        Streaming.Playback.run ~device ~quality:Annot.Quality_level.Loss_20 clip
+        Streaming.Playback.run ~device ~quality:Annotation.Quality_level.Loss_20 clip
       in
       let s = report.Streaming.Playback.backlight_savings in
       check bool

@@ -61,14 +61,14 @@ let test_negotiation_accepts_grid_quality () =
   let hello =
     {
       Streaming.Negotiation.device;
-      requested_quality = Annot.Quality_level.Loss_10;
+      requested_quality = Annotation.Quality_level.Loss_10;
     }
   in
   match Streaming.Negotiation.negotiate hello with
   | Error e -> Alcotest.fail e
   | Ok session ->
     check bool "same quality" true
-      (session.Streaming.Negotiation.quality = Annot.Quality_level.Loss_10);
+      (session.Streaming.Negotiation.quality = Annotation.Quality_level.Loss_10);
     check bool "server-side by default" true
       (session.Streaming.Negotiation.mapping = Streaming.Negotiation.Server_side)
 
@@ -76,7 +76,7 @@ let test_negotiation_snaps_custom_quality () =
   let hello =
     {
       Streaming.Negotiation.device;
-      requested_quality = Annot.Quality_level.Custom 0.12;
+      requested_quality = Annotation.Quality_level.Custom 0.12;
     }
   in
   match Streaming.Negotiation.negotiate hello with
@@ -85,14 +85,14 @@ let test_negotiation_snaps_custom_quality () =
     (* 12% snaps to the nearest advertised level (10% or 15%). *)
     check bool "snapped to grid" true
       (List.exists
-         (fun q -> Annot.Quality_level.compare q session.Streaming.Negotiation.quality = 0)
+         (fun q -> Annotation.Quality_level.compare q session.Streaming.Negotiation.quality = 0)
          Streaming.Negotiation.offer_qualities)
 
 let test_negotiation_client_side_mapping () =
   let hello =
     {
       Streaming.Negotiation.device;
-      requested_quality = Annot.Quality_level.Lossless;
+      requested_quality = Annotation.Quality_level.Lossless;
     }
   in
   match
@@ -115,7 +115,7 @@ let test_server_catalog () =
   check bool "unknown clip" true
     (Result.is_error
        (Streaming.Server.prepare server ~name:"nope"
-          ~session:(make_session Annot.Quality_level.Lossless)))
+          ~session:(make_session Annotation.Quality_level.Lossless)))
 
 let test_server_prepare () =
   let server = Streaming.Server.create () in
@@ -123,23 +123,23 @@ let test_server_prepare () =
   Streaming.Server.add_clip server clip;
   match
     Streaming.Server.prepare server ~name:"stream-test"
-      ~session:(make_session Annot.Quality_level.Lossless)
+      ~session:(make_session Annotation.Quality_level.Lossless)
   with
   | Error e -> Alcotest.fail e
   | Ok prepared ->
     check bool "track covers clip" true
-      (prepared.Streaming.Server.track.Annot.Track.total_frames
+      (prepared.Streaming.Server.track.Annotation.Track.total_frames
        = clip.Video.Clip.frame_count);
     check bool "annotations non-empty" true
       (String.length prepared.Streaming.Server.annotation_bytes > 0);
     (* Annotation side-channel decodes back to the same registers. *)
-    (match Annot.Encoding.decode prepared.Streaming.Server.annotation_bytes with
+    (match Annotation.Encoding.decode prepared.Streaming.Server.annotation_bytes with
     | Error e -> Alcotest.fail e
     | Ok decoded ->
       Alcotest.(check (array int))
         "wire track matches"
-        (Annot.Track.register_track prepared.Streaming.Server.track)
-        (Annot.Track.register_track decoded));
+        (Annotation.Track.register_track prepared.Streaming.Server.track)
+        (Annotation.Track.register_track decoded));
     (* The compensated stream brightens the dark scene. *)
     check bool "compensated stream brighter" true
       (Image.Raster.mean_luminance
@@ -152,7 +152,7 @@ let test_server_client_side_mapping () =
   let session =
     {
       Streaming.Negotiation.device;
-      quality = Annot.Quality_level.Loss_10;
+      quality = Annotation.Quality_level.Loss_10;
       mapping = Streaming.Negotiation.Client_side;
     }
   in
@@ -160,25 +160,25 @@ let test_server_client_side_mapping () =
   | Error e -> Alcotest.fail e
   | Ok prepared ->
     check bool "track is device-neutral" true
-      (prepared.Streaming.Server.track.Annot.Track.device_name
-       = Annot.Neutral.generic_device_name);
+      (prepared.Streaming.Server.track.Annotation.Track.device_name
+       = Annotation.Neutral.generic_device_name);
     (* The client finishes the mapping and lands on the same registers
        a server-mapped session would have shipped. *)
     let mapped =
-      Annot.Neutral.map_to_device device prepared.Streaming.Server.track
+      Annotation.Neutral.map_to_device device prepared.Streaming.Server.track
     in
     let server_side =
       match
         Streaming.Server.prepare server ~name:"stream-test"
-          ~session:(make_session Annot.Quality_level.Loss_10)
+          ~session:(make_session Annotation.Quality_level.Loss_10)
       with
       | Ok p -> p.Streaming.Server.track
       | Error e -> Alcotest.fail e
     in
     Alcotest.(check (array int))
       "same registers either way"
-      (Annot.Track.register_track server_side)
-      (Annot.Track.register_track mapped)
+      (Annotation.Track.register_track server_side)
+      (Annotation.Track.register_track mapped)
 
 let test_server_profile_cached () =
   let server = Streaming.Server.create () in
@@ -204,7 +204,7 @@ let test_playback_full_backlight_baseline () =
   let registers = Array.make 16 255 in
   let report =
     Streaming.Playback.run_with_registers ~device
-      ~quality:Annot.Quality_level.Lossless ~clip_name:"c" ~fps:8.
+      ~quality:Annotation.Quality_level.Lossless ~clip_name:"c" ~fps:8.
       ~annotation_bytes:0 registers
   in
   check (Alcotest.float 1e-9) "no backlight savings" 0.
@@ -217,7 +217,7 @@ let test_playback_dimmed_saves () =
   let registers = Array.make 16 64 in
   let report =
     Streaming.Playback.run_with_registers ~device
-      ~quality:Annot.Quality_level.Loss_10 ~clip_name:"c" ~fps:8.
+      ~quality:Annotation.Quality_level.Loss_10 ~clip_name:"c" ~fps:8.
       ~annotation_bytes:0 registers
   in
   check bool "backlight savings positive" true
@@ -233,7 +233,7 @@ let test_playback_total_tracks_backlight_share () =
   let registers = Array.make 16 0 in
   let report =
     Streaming.Playback.run_with_registers ~device
-      ~quality:Annot.Quality_level.Loss_20 ~clip_name:"c" ~fps:8.
+      ~quality:Annotation.Quality_level.Loss_20 ~clip_name:"c" ~fps:8.
       ~annotation_bytes:0 registers
   in
   let share = Power.Model.backlight_share device Power.State.playback_full in
@@ -247,7 +247,7 @@ let test_playback_total_tracks_backlight_share () =
 let test_playback_run_on_clip () =
   let clip = two_scene_clip () in
   let report =
-    Streaming.Playback.run ~device ~quality:Annot.Quality_level.Lossless clip
+    Streaming.Playback.run ~device ~quality:Annotation.Quality_level.Lossless clip
   in
   check int "frames" clip.Video.Clip.frame_count report.Streaming.Playback.frames;
   check bool "savings positive on dark scene" true
@@ -257,7 +257,7 @@ let test_playback_run_on_clip () =
 
 let test_playback_instantaneous_savings () =
   let clip = two_scene_clip () in
-  let track = Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Lossless clip in
+  let track = Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Lossless clip in
   let series = Streaming.Playback.instantaneous_backlight_savings ~device track in
   check int "one value per frame" clip.Video.Clip.frame_count (Array.length series);
   (* Dark scene saves more than bright scene. *)
@@ -266,7 +266,7 @@ let test_playback_instantaneous_savings () =
 
 let test_playback_quality_evaluation () =
   let clip = two_scene_clip () in
-  let track = Annot.Annotator.annotate ~device ~quality:Annot.Quality_level.Lossless clip in
+  let track = Annotation.Annotator.annotate ~device ~quality:Annotation.Quality_level.Lossless clip in
   let rig = Camera.Snapshot.noiseless_rig device in
   let verdicts =
     Streaming.Playback.evaluate_quality ~rig ~device ~clip ~track ~sample_every:4
@@ -285,7 +285,7 @@ let test_playback_empty_rejected () =
     (Invalid_argument "Playback: empty register track") (fun () ->
       ignore
         (Streaming.Playback.run_with_registers ~device
-           ~quality:Annot.Quality_level.Lossless ~clip_name:"c" ~fps:8.
+           ~quality:Annotation.Quality_level.Lossless ~clip_name:"c" ~fps:8.
            ~annotation_bytes:0 [||]))
 
 (* --- Dvfs_playback ------------------------------------------------------- *)
@@ -397,7 +397,7 @@ let adaptive_profiled =
            ];
        }
      in
-     Annot.Annotator.profile (Video.Clip_gen.render ~width:32 ~height:24 ~fps:8. profile))
+     Annotation.Annotator.profile (Video.Clip_gen.render ~width:32 ~height:24 ~fps:8. profile))
 
 let test_adaptive_generous_battery_stays_lossless () =
   let o =
@@ -407,22 +407,22 @@ let test_adaptive_generous_battery_stays_lossless () =
   check (Alcotest.float 1e-12) "no quality lost" 0.
     o.Streaming.Adaptive.mean_quality_loss;
   check int "every frame played"
-    (Lazy.force adaptive_profiled).Annot.Annotator.total_frames
+    (Lazy.force adaptive_profiled).Annotation.Annotator.total_frames
     o.Streaming.Adaptive.frames_played
 
 let test_adaptive_tight_battery_escalates () =
   let profiled = Lazy.force adaptive_profiled in
   (* Battery sized between the lossless and most-aggressive needs. *)
   let energy quality =
-    let track = Annot.Annotator.annotate_profiled ~device ~quality profiled in
+    let track = Annotation.Annotator.annotate_profiled ~device ~quality profiled in
     let power =
       Streaming.Playback.power_trace ~device ~cpu_busy_fraction:0.6
-        ~registers:(Annot.Track.register_track track)
+        ~registers:(Annotation.Track.register_track track)
     in
     Array.fold_left ( +. ) 0. power /. 8. (* dt = 1/8 s *)
   in
-  let lossless_mj = energy Annot.Quality_level.Lossless in
-  let aggressive_mj = energy Annot.Quality_level.Loss_20 in
+  let lossless_mj = energy Annotation.Quality_level.Lossless in
+  let aggressive_mj = energy Annotation.Quality_level.Loss_20 in
   check bool "levels differ on this content" true (aggressive_mj < lossless_mj *. 0.95);
   let battery_mwh = (lossless_mj +. aggressive_mj) /. 2. /. 3600. in
   let o = Streaming.Adaptive.run ~device ~battery_mwh profiled in
@@ -436,7 +436,7 @@ let test_adaptive_impossible_battery_dies () =
   check bool "did not complete" false o.Streaming.Adaptive.completed;
   check bool "partial playback" true
     (o.Streaming.Adaptive.frames_played
-     < (Lazy.force adaptive_profiled).Annot.Annotator.total_frames)
+     < (Lazy.force adaptive_profiled).Annotation.Annotator.total_frames)
 
 let test_adaptive_steps_contiguous () =
   let o =
@@ -724,7 +724,7 @@ let dark_profiled =
            ];
        }
      in
-     Annot.Annotator.profile (Video.Clip_gen.render ~width:32 ~height:24 ~fps:8. profile))
+     Annotation.Annotator.profile (Video.Clip_gen.render ~width:32 ~height:24 ~fps:8. profile))
 
 let test_planner_lossless_when_easy () =
   (* A huge battery or a tiny target: the least lossy level wins. *)
@@ -734,7 +734,7 @@ let test_planner_lossless_when_easy () =
   with
   | Ok p ->
     check bool "lossless suffices" true
-      (p.Streaming.Planner.quality = Annot.Quality_level.Lossless)
+      (p.Streaming.Planner.quality = Annotation.Quality_level.Lossless)
   | Error _ -> Alcotest.fail "plan should succeed"
 
 let test_planner_escalates_quality () =
@@ -746,15 +746,15 @@ let test_planner_escalates_quality () =
     Power.Battery.runtime_hours battery
       ~average_power_mw:(Streaming.Planner.project ~device ~quality profiled)
   in
-  let lossless_h = runtime Annot.Quality_level.Lossless in
-  let aggressive_h = runtime Annot.Quality_level.Loss_20 in
+  let lossless_h = runtime Annotation.Quality_level.Lossless in
+  let aggressive_h = runtime Annotation.Quality_level.Loss_20 in
   check bool "losing quality buys runtime" true (aggressive_h > lossless_h);
   let target = (lossless_h +. aggressive_h) /. 2. in
   match Streaming.Planner.plan ~battery ~target_hours:target ~device profiled with
   | Ok p ->
     check bool "escalated beyond lossless" true
-      (Annot.Quality_level.compare p.Streaming.Planner.quality
-         Annot.Quality_level.Lossless
+      (Annotation.Quality_level.compare p.Streaming.Planner.quality
+         Annotation.Quality_level.Lossless
        > 0);
     check bool "meets target" true
       (p.Streaming.Planner.projected_runtime_hours >= target)
@@ -769,7 +769,7 @@ let test_planner_reports_shortfall () =
   | Ok _ -> Alcotest.fail "impossible target must fail"
   | Error best ->
     check bool "best effort is the most aggressive level" true
-      (best.Streaming.Planner.quality = Annot.Quality_level.Loss_20)
+      (best.Streaming.Planner.quality = Annotation.Quality_level.Loss_20)
 
 let test_planner_validation () =
   Alcotest.check_raises "bad target"
@@ -854,13 +854,13 @@ let test_proxy_live_session () =
   let clip = two_scene_clip () in
   let session =
     Streaming.Proxy.annotate_live ~lookahead:8 ~device
-      ~quality:Annot.Quality_level.Loss_10 clip
+      ~quality:Annotation.Quality_level.Loss_10 clip
   in
   check (Alcotest.float 1e-9) "latency" 1. session.Streaming.Proxy.added_latency_s;
   check bool "annotations decode" true
-    (Result.is_ok (Annot.Encoding.decode session.Streaming.Proxy.annotation_bytes));
+    (Result.is_ok (Annotation.Encoding.decode session.Streaming.Proxy.annotation_bytes));
   check int "track covers clip" clip.Video.Clip.frame_count
-    session.Streaming.Proxy.track.Annot.Track.total_frames
+    session.Streaming.Proxy.track.Annotation.Track.total_frames
 
 (* --- Radio ---------------------------------------------------------------- *)
 
@@ -928,7 +928,7 @@ let qtests =
         (fun (frames, r) ->
           let report reg =
             Streaming.Playback.run_with_registers ~device
-              ~quality:Annot.Quality_level.Lossless ~clip_name:"c" ~fps:8.
+              ~quality:Annotation.Quality_level.Lossless ~clip_name:"c" ~fps:8.
               ~annotation_bytes:0
               (Array.make frames reg)
           in
