@@ -10,16 +10,19 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate: everything compiles, every suite is green, the
+# The tier-1 gate: everything compiles, every suite is green (once
+# sequentially, once with a 4-domain pool — PAR_JOBS feeds the CLIs'
+# --jobs default, and the parallel suites pick it up too), the
 # sources pass the determinism linter, the shipped artifacts verify
 # cleanly, a monitored playback run meets the default SLOs, and the
 # CLIs survive hostile fault profiles.
 check:
-	dune build && dune runtest && $(MAKE) lint && $(MAKE) verify-fixtures \
+	dune build && dune runtest && PAR_JOBS=4 dune runtest --force \
+	  && $(MAKE) lint && $(MAKE) verify-fixtures \
 	  && $(MAKE) slo-smoke && $(MAKE) chaos
 
 # Static gate 1: the determinism linter over the library and tool
-# sources (rules L001-L008, see README "Static checks"). Exits 1 on
+# sources (rules L001-L009, see README "Static checks"). Exits 1 on
 # any finding without a reasoned `lint: allow` comment.
 lint:
 	dune exec bin/lint.exe -- sources lib bin

@@ -925,6 +925,155 @@ let resilience () =
     \ whole-clip fallback would have thrown every scene away; the NACK\n\
     \ budget buys back most of the losses at every burst length)"
 
+(* --- Extension: multicore annotation farm ---------------------------------- *)
+
+(* Largest domain count the [parallel] experiment sweeps; override
+   with [--jobs N] on the bench command line. Speedup above 1x needs a
+   multi-core host — the row records what the host offers so a 1-core
+   CI run is readable as such. *)
+let bench_jobs = ref 4
+
+let parallel_rows : Obs.Json.t list ref = ref []
+
+let parallel () =
+  section
+    "Extension — multicore annotation farm: profile speedup vs domains, \
+     prepared-stream cache";
+  let clip = render_workload Video.Workloads.returnoftheking in
+  (* Best of three keeps scheduler noise out of the speedup column. *)
+  let time_best f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Obs.Clock.now_ns () in
+      let r = f () in
+      let ms = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns ~since:t0) *. 1e3 in
+      if ms < !best then best := ms;
+      result := Some r
+    done;
+    match !result with Some r -> (r, !best) | None -> assert false
+  in
+  let encoded profiled =
+    Annotation.Encoding.encode
+      (Annotation.Annotator.annotate_profiled ~device
+         ~quality:Annotation.Quality_level.Loss_10 profiled)
+  in
+  let seq, seq_ms = time_best (fun () -> Annotation.Annotator.profile clip) in
+  let seq_bytes = encoded seq in
+  let domains =
+    let rec up d acc =
+      if d >= !bench_jobs then List.rev (!bench_jobs :: acc)
+      else up (d * 2) (d :: acc)
+    in
+    up 1 []
+  in
+  Printf.printf
+    "clip %s (%d frames at %dx%d); host offers %d domains, sweeping up to %d\n\n"
+    clip.Video.Clip.name clip.Video.Clip.frame_count sweep_width sweep_height
+    (Par.Pool.recommended ()) !bench_jobs;
+  Printf.printf "%-8s %12s %9s %12s\n" "domains" "profile ms" "speedup"
+    "bytes equal";
+  rule ();
+  let profile_rows =
+    List.map
+      (fun jobs ->
+        let profiled, ms =
+          if jobs = 1 then (seq, seq_ms)
+          else
+            Par.Pool.with_pool ~domains:jobs (fun pool ->
+                time_best (fun () -> Annotation.Annotator.profile ~pool clip))
+        in
+        (* The tentpole invariant: parallelism must not change a byte. *)
+        if not (String.equal (encoded profiled) seq_bytes) then
+          failwith
+            (Printf.sprintf
+               "parallel profiling diverged from sequential at %d domains" jobs);
+        let speedup = seq_ms /. ms in
+        Printf.printf "%-8d %12.2f %8.2fx %12s\n" jobs ms speedup "yes";
+        Obs.Metrics.Gauge.set
+          (Obs.Registry.gauge
+             ~help:"profile-phase speedup over a one-domain run"
+             "bench_parallel_profile_speedup"
+             [ ("domains", string_of_int jobs) ])
+          speedup;
+        Obs.Json.Obj
+          [
+            ("domains", Obs.Json.Int jobs);
+            ("profile_ms", Obs.Json.Float ms);
+            ("speedup_vs_1", Obs.Json.Float speedup);
+            ("bytes_equal", Obs.Json.Bool true);
+          ])
+      domains
+  in
+  (* The prepared-stream cache under a batched fan-out: first batch
+     builds every stream, the rerun is pure cache hits. *)
+  let server = Streaming.Server.create () in
+  let clip2 = render_workload Video.Workloads.themovie in
+  Streaming.Server.add_clip server clip;
+  Streaming.Server.add_clip server clip2;
+  let session quality mapping =
+    { Streaming.Negotiation.device; quality; mapping }
+  in
+  let specs =
+    List.concat_map
+      (fun name ->
+        List.concat_map
+          (fun q ->
+            [
+              (name, session q Streaming.Negotiation.Server_side);
+              (name, session q Streaming.Negotiation.Client_side);
+            ])
+          [ Annotation.Quality_level.Loss_5; Annotation.Quality_level.Loss_10 ])
+      [ clip.Video.Clip.name; clip2.Video.Clip.name ]
+  in
+  let run_batch () =
+    if !bench_jobs = 1 then Streaming.Server.prepare_many server specs
+    else
+      Par.Pool.with_pool ~domains:!bench_jobs (fun pool ->
+          Streaming.Server.prepare_many ~pool server specs)
+  in
+  let annotation_bytes batch =
+    List.map
+      (function
+        | Ok p -> p.Streaming.Server.annotation_bytes
+        | Error e -> failwith ("prepare_many: " ^ e))
+      batch
+  in
+  let first = annotation_bytes (run_batch ()) in
+  let h1, m1 = Streaming.Server.cache_stats server in
+  let rerun = annotation_bytes (run_batch ()) in
+  let h2, m2 = Streaming.Server.cache_stats server in
+  if not (List.equal String.equal first rerun) then
+    failwith "cached prepare returned different annotation bytes";
+  Printf.printf
+    "\nprepared %d (clip x session) specs twice: %d misses then %d hits \
+     (%d streams cached)\n"
+    (List.length specs) m1 (h2 - h1)
+    (Streaming.Server.cache_size server);
+  if m2 <> m1 then failwith "cache rerun was expected to miss nothing";
+  parallel_rows :=
+    [
+      Obs.Json.Obj
+        [
+          ("host_domains", Obs.Json.Int (Par.Pool.recommended ()));
+          ("clip", Obs.Json.String clip.Video.Clip.name);
+          ("frames", Obs.Json.Int clip.Video.Clip.frame_count);
+          ("profile", Obs.Json.List profile_rows);
+          ( "prepared_cache",
+            Obs.Json.Obj
+              [
+                ("specs", Obs.Json.Int (List.length specs));
+                ("first_pass_misses", Obs.Json.Int m1);
+                ("rerun_hits", Obs.Json.Int (h2 - h1));
+                ("cached_streams", Obs.Json.Int (Streaming.Server.cache_size server));
+                ("bytes_equal", Obs.Json.Bool true);
+              ] );
+        ];
+    ];
+  print_endline
+    "\n(the domain pool splits the per-frame histogram pass; chunking is a\n\
+    \ pure function of the frame count, so any domain count produces the\n\
+    \ same track byte for byte — speedup needs a multi-core host)"
+
 (* --- Extension: savings vs content brightness ----------------------------- *)
 
 let content_sweep () =
@@ -1137,6 +1286,7 @@ let experiments =
     ("gop-plan", "scene-aligned I-frame placement", gop_plan);
     ("fec", "annotation side-channel FEC", fec);
     ("resilience", "savings vs burst length under fault injection", resilience);
+    ("parallel", "domain-pool profiling speedup and prepared cache", parallel);
     ("content-sweep", "savings vs content brightness", content_sweep);
     ("hebs", "histogram-equalisation baseline", hebs);
     ("session", "combined full-session savings", session);
@@ -1247,9 +1397,14 @@ let report_obs () =
       if !resilience_rows = [] then []
       else [ ("resilience", Obs.Json.List !resilience_rows) ]
     in
+    let parallel =
+      if !parallel_rows = [] then []
+      else [ ("parallel", Obs.Json.List !parallel_rows) ]
+    in
     let report =
       Obs.Json.Obj
-        ([ ("phases", phases); ("critical_path", critical_path) ] @ resilience)
+        ([ ("phases", phases); ("critical_path", critical_path) ]
+        @ resilience @ parallel)
     in
     Obs.write_file ~path:"BENCH_report.json" (Obs.Json.to_string report);
     Printf.printf "\nwrote BENCH_obs.json and BENCH_report.json\n"
@@ -1260,7 +1415,25 @@ let () =
   (* Monitoring adds the quantile sketches behind the percentile
      columns in BENCH_obs.json / BENCH_report.json. *)
   Obs.enable_monitoring ();
-  (match Array.to_list Sys.argv with
+  (* [--jobs N] bounds the [parallel] experiment's domain sweep; it is
+     a harness flag, not an experiment id, so strip it before
+     dispatch. *)
+  let rec strip_jobs = function
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        bench_jobs := n;
+        strip_jobs rest
+      | Some _ | None ->
+        prerr_endline "bench: --jobs expects a positive integer";
+        exit 1)
+    | [ "--jobs" ] ->
+      prerr_endline "bench: --jobs expects a positive integer";
+      exit 1
+    | arg :: rest -> arg :: strip_jobs rest
+    | [] -> []
+  in
+  (match strip_jobs (Array.to_list Sys.argv) with
   | _ :: [] ->
     (* Everything except the micro-benchmarks, which have their own id. *)
     List.iter (fun (id, _, run) -> observed id run) experiments

@@ -49,10 +49,12 @@ let simulate_side_channel ~fault encoded =
       partial.Annotation.Encoding.corrupt_records
       (Array.length partial.Annotation.Encoding.entries)
 
-let run clip_name device_name device_file quality_percent per_frame output width height fps fault_profile obs trace_out monitor slo metrics_out =
+let run clip_name device_name device_file quality_percent per_frame output width height fps fault_profile jobs obs trace_out monitor slo metrics_out =
   Common.with_instrumentation ~default_quality:(quality_percent /. 100.) ~obs
     ~trace_out ~monitor ~slo ~metrics_out
   @@ fun () ->
+  Common.with_jobs jobs
+  @@ fun pool ->
   let clip =
     Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps)
   in
@@ -64,7 +66,9 @@ let run clip_name device_name device_file quality_percent per_frame output width
     if per_frame then Annotation.Scene_detect.per_frame_params
     else Annotation.Scene_detect.default_params
   in
-  let track = Annotation.Annotator.annotate ~scene_params ~device ~quality clip in
+  let track =
+    Annotation.Annotator.annotate ~scene_params ?pool ~device ~quality clip
+  in
   let encoded = Annotation.Encoding.encode track in
   Printf.printf "clip      : %s (%d frames, %.1f s at %.1f fps, %dx%d)\n"
     clip.Video.Clip.name clip.Video.Clip.frame_count
@@ -107,7 +111,7 @@ let cmd =
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ Common.quality_arg $ per_frame_arg $ output_arg $ Common.width_arg
       $ Common.height_arg $ Common.fps_arg $ Common.fault_profile_arg
-      $ Common.obs_arg
+      $ Common.jobs_arg $ Common.obs_arg
       $ Common.trace_out_arg $ Common.monitor_arg $ Common.slo_arg
       $ Common.metrics_out_arg)
 

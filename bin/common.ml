@@ -126,6 +126,26 @@ let resolve_fault ~loss_model ~loss ~burst ~fault_profile =
         prerr_endline ("error: " ^ msg);
         exit 1))
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Par.Pool.env_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Spread the profiling pass over $(docv) domains. Output is \
+           byte-identical at any $(docv); only wall clock changes. Defaults \
+           to $(b,PAR_JOBS) from the environment, else 1.")
+
+(* [with_jobs jobs f] hands [f] a pool of [jobs] domains (or [None]
+   for a sequential run) and tears the pool down afterwards. *)
+let with_jobs jobs f =
+  if jobs < 1 then begin
+    prerr_endline "error: --jobs must be at least 1";
+    exit 1
+  end;
+  if jobs = 1 then f None
+  else Par.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
+
 let obs_arg =
   Arg.(
     value & flag

@@ -15,12 +15,25 @@ let obs_scenes =
   Obs.counter ~help:"Scenes detected during annotation"
     "annot_scenes_detected_total" []
 
-let profile ?plane clip =
+let profile ?plane ?pool clip =
   Obs.Trace.with_span "annot.profile"
     ~attrs:[ ("clip", clip.Video.Clip.name) ]
   @@ fun () ->
   Obs.Metrics.Counter.incr obs_profiles;
-  let histograms = Video.Clip.histogram_track ?plane clip in
+  let histograms =
+    match pool with
+    | None -> Video.Clip.histogram_track ?plane clip
+    | Some pool ->
+      (* The expensive pass: one render + pixel walk per frame. Each
+         frame writes its own slot, so the memory image — and thus the
+         whole [profiled] record — is bit-identical to the sequential
+         walk at any domain count. *)
+      let n = clip.Video.Clip.frame_count in
+      let histograms = Array.make n (Image.Histogram.create ()) in
+      Par.Pool.parallel_for pool ~lo:0 ~hi:(n - 1) (fun i ->
+          histograms.(i) <- Video.Clip.frame_histogram ?plane clip i);
+      histograms
+  in
   let max_track =
     Array.map
       (fun h -> if Image.Histogram.total h = 0 then 0 else Image.Histogram.max_level h)
@@ -79,5 +92,5 @@ let annotate_profiled ?(scene_params = Scene_detect.default_params) ~device
     ~device_name:device.Display.Device.name ~quality ~fps:profiled.fps
     ~total_frames:profiled.total_frames (Array.of_list entries)
 
-let annotate ?scene_params ~device ~quality clip =
-  annotate_profiled ?scene_params ~device ~quality (profile clip)
+let annotate ?scene_params ?pool ~device ~quality clip =
+  annotate_profiled ?scene_params ~device ~quality (profile ?pool clip)

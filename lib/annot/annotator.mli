@@ -18,11 +18,20 @@ type profiled = {
   mean_track : float array;  (** per-frame mean luminance *)
 }
 
-val profile : ?plane:[ `Luma | `Channel_max ] -> Video.Clip.t -> profiled
+val profile :
+  ?plane:[ `Luma | `Channel_max ] ->
+  ?pool:Par.Pool.t ->
+  Video.Clip.t ->
+  profiled
 (** Single-pass profiling of a clip. The default [`Luma] plane is the
     paper's metric; [`Channel_max] makes the clipping budget exact on
     saturated-colour content at the cost of slightly conservative
-    registers (channel max is at least luma, never below). *)
+    registers (channel max is at least luma, never below).
+
+    With [pool], the per-frame histogram pass is chunked across the
+    pool's domains; every frame still fills its own slot, so the
+    result is bit-identical to the sequential pass — the determinism
+    tests assert [profile ~pool] = [profile] field for field. *)
 
 val annotate_profiled :
   ?scene_params:Scene_detect.params ->
@@ -35,11 +44,13 @@ val annotate_profiled :
 
 val annotate :
   ?scene_params:Scene_detect.params ->
+  ?pool:Par.Pool.t ->
   device:Display.Device.t ->
   quality:Quality_level.t ->
   Video.Clip.t ->
   Track.t
-(** [annotate ~device ~quality clip] = profile then annotate. *)
+(** [annotate ~device ~quality clip] = profile then annotate; [pool]
+    parallelises the profiling pass as in {!profile}. *)
 
 val scene_histogram : profiled -> Scene_detect.scene -> Image.Histogram.t
 (** Merged histogram of all frames in a scene. *)

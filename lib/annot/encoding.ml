@@ -46,12 +46,21 @@ let put_string buf s =
   put_varint buf (String.length s);
   Buffer.add_string buf s
 
-let put_u24 buf n =
+(* Fixed-width fields reject out-of-range values by name instead of
+   wrapping: a clip past ~16.7M frames or a compensation gain
+   overflowing the fixed point must fail the encode loudly — wrapped
+   bytes would still CRC as valid and decode into garbage. *)
+let put_u24 buf ~field n =
   if n < 0 || n > 0xffffff then
-    invalid_arg (Printf.sprintf "Encoding: %d out of u24 range" n);
+    invalid_arg (Printf.sprintf "Encoding: %s %d out of u24 range" field n);
   Buffer.add_char buf (Char.chr (n land 0xff));
   Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
   Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff))
+
+let put_u8 buf ~field n =
+  if n < 0 || n > 0xff then
+    invalid_arg (Printf.sprintf "Encoding: %s %d out of u8 range" field n);
+  Buffer.add_char buf (Char.chr n)
 
 let put_u32 buf n =
   Buffer.add_char buf (Char.chr (n land 0xff));
@@ -97,11 +106,12 @@ let encode track =
   Array.iter
     (fun (e : Track.entry) ->
       Buffer.clear record;
-      put_u24 record e.first_frame;
-      put_u24 record e.frame_count;
-      Buffer.add_char record (Char.chr e.register);
-      put_u24 record (int_of_float ((e.compensation *. gain_fixed_point) +. 0.5));
-      Buffer.add_char record (Char.chr e.effective_max);
+      put_u24 record ~field:"first_frame" e.first_frame;
+      put_u24 record ~field:"frame_count" e.frame_count;
+      put_u8 record ~field:"register" e.register;
+      put_u24 record ~field:"compensation gain"
+        (int_of_float ((e.compensation *. gain_fixed_point) +. 0.5));
+      put_u8 record ~field:"effective_max" e.effective_max;
       put_u32 record (crc32 (Buffer.contents record));
       Buffer.add_buffer buf record)
     track.Track.entries;
@@ -123,9 +133,9 @@ let encode_v1 track =
   Array.iter
     (fun (e : Track.entry) ->
       put_varint buf e.frame_count;
-      Buffer.add_char buf (Char.chr e.register);
+      put_u8 buf ~field:"register" e.register;
       put_varint buf (int_of_float ((e.compensation *. gain_fixed_point) +. 0.5));
-      Buffer.add_char buf (Char.chr e.effective_max))
+      put_u8 buf ~field:"effective_max" e.effective_max)
     track.Track.entries;
   Obs.Metrics.Counter.incr obs_tracks;
   Obs.Metrics.Counter.incr obs_track_bytes ~by:(Buffer.length buf);

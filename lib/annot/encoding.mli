@@ -29,11 +29,16 @@
 
 val encode : Track.t -> string
 (** [encode track] serialises after {!Track.merge_runs} in the current
-    (v2) format. *)
+    (v2) format. Raises [Invalid_argument] naming the field when a
+    value does not fit its fixed-width slot — [first_frame] /
+    [frame_count] past 2^24 - 1 frames (a ~16.7M-frame clip) or a
+    compensation gain overflowing the 12.12 fixed point — rather than
+    wrapping into bytes that would still CRC as valid. *)
 
 val encode_v1 : Track.t -> string
 (** Legacy v1 writer, kept so decoder compatibility stays testable and
-    old captures can be regenerated. *)
+    old captures can be regenerated. Varint-packed, so long clips
+    fit; u8 fields reject out-of-range values like {!encode}. *)
 
 val decode : string -> (Track.t, string) result
 (** [decode bytes] parses and re-validates; any corruption (including

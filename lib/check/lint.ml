@@ -12,6 +12,7 @@ let rules =
     { code = "L006"; title = "library module without .mli"; lib_only = true };
     { code = "L007"; title = "exact float (in)equality"; lib_only = false };
     { code = "L008"; title = "malformed or bare lint suppression"; lib_only = false };
+    { code = "L009"; title = "domain spawned outside lib/par"; lib_only = false };
   ]
 
 (* --- identifier tables ------------------------------------------------- *)
@@ -35,6 +36,11 @@ let print_idents =
   ]
 
 let hashtbl_iterators = [ "Hashtbl.fold"; "Hashtbl.iter" ]
+
+(* Raw parallelism primitives. Only Par.Pool may touch these: ad-hoc
+   domains bypass the pool's deterministic chunking and reduction
+   order, which is the whole byte-identity argument. *)
+let domain_idents = [ "Domain.spawn" ]
 
 let sorters =
   [
@@ -124,7 +130,7 @@ let rec reraises (e : Parsetree.expression) =
 
 (* --- the AST pass ------------------------------------------------------ *)
 
-let lint_ast ~in_lib ~file ~emit ast =
+let lint_ast ~in_lib ~in_par ~file ~emit ast =
   let diag code loc message =
     let line, col = line_col loc in
     emit (Diagnostic.v ~code ~severity:Diagnostic.Error ~file ~line ~col message)
@@ -142,6 +148,11 @@ let lint_ast ~in_lib ~file ~emit ast =
         (Printf.sprintf
            "%s draws from the ambient RNG; use seeded Image.Prng or an \
             explicit Random.State" name)
+    | Some name when (not in_par) && List.mem name domain_idents ->
+      diag "L009" e.pexp_loc
+        (Printf.sprintf
+           "%s outside lib/par spawns an unmanaged domain; go through \
+            Par.Pool, whose chunking keeps results byte-identical" name)
     | Some name when in_lib && List.mem name print_idents ->
       diag "L005" e.pexp_loc
         (Printf.sprintf
@@ -272,18 +283,32 @@ let parse_failure ~file message loc =
       message;
   ]
 
-let lint_source ?in_lib ?(has_mli = true) ~path contents =
+let lint_source ?in_lib ?in_par ?(has_mli = true) ~path contents =
+  let segments =
+    let p = String.map (fun c -> if c = '\\' then '/' else c) path in
+    String.split_on_char '/' p
+  in
   let in_lib =
     match in_lib with
     | Some b -> b
     | None ->
-      let p = String.map (fun c -> if c = '\\' then '/' else c) path in
       let rec has_lib_seg = function
         | [] -> false
         | "lib" :: _ :: _ -> true
         | _ :: rest -> has_lib_seg rest
       in
-      has_lib_seg (String.split_on_char '/' p)
+      has_lib_seg segments
+  in
+  let in_par =
+    match in_par with
+    | Some b -> b
+    | None ->
+      let rec has_par_seg = function
+        | [] -> false
+        | "lib" :: "par" :: _ -> true
+        | _ :: rest -> has_par_seg rest
+      in
+      has_par_seg segments
   in
   match parse_structure ~path contents with
   | exception Syntaxerr.Error err ->
@@ -304,7 +329,7 @@ let lint_source ?in_lib ?(has_mli = true) ~path contents =
     in
     let found = ref comment_diags in
     let emit d = found := d :: !found in
-    lint_ast ~in_lib ~file:path ~emit ast;
+    lint_ast ~in_lib ~in_par ~file:path ~emit ast;
     if in_lib && not has_mli then
       emit
         (Diagnostic.v ~code:"L006" ~severity:Diagnostic.Error ~file:path

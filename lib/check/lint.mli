@@ -34,6 +34,9 @@
       representation-dependent.
     - [L008] a [(* lint: … *)] control comment that is malformed or
       suppresses without a reason.
+    - [L009] [Domain.spawn] anywhere but [lib/par] — ad-hoc domains
+      bypass the pool's deterministic chunking; all parallelism goes
+      through [Par.Pool].
 
     Suppression: [(* lint: allow L00n <reason> *)] on the same line as
     the finding, or on the line above it, silences that code there.
@@ -49,14 +52,16 @@ type rule = {
 val rules : rule list
 (** Every rule the linter knows, in code order. *)
 
-val lint_source : ?in_lib:bool -> ?has_mli:bool -> path:string -> string ->
-  Check.Diagnostic.t list
+val lint_source : ?in_lib:bool -> ?in_par:bool -> ?has_mli:bool ->
+  path:string -> string -> Check.Diagnostic.t list
 (** [lint_source ~path contents] lints a source text without touching
     the filesystem. [in_lib] (default: [path] is under a [lib/]
-    directory) gates the lib-only rules; [has_mli] (default [true],
-    so L006 stays quiet) tells the linter whether a sibling interface
-    exists. An unparsable file yields a single [L000] error. Results
-    are sorted with {!Check.Diagnostic.compare}. *)
+    directory) gates the lib-only rules; [in_par] (default: [path] is
+    under [lib/par]) exempts the pool itself from L009; [has_mli]
+    (default [true], so L006 stays quiet) tells the linter whether a
+    sibling interface exists. An unparsable file yields a single
+    [L000] error. Results are sorted with
+    {!Check.Diagnostic.compare}. *)
 
 val lint_file : ?in_lib:bool -> string -> Check.Diagnostic.t list
 (** [lint_file path] reads [path] and lints it; [has_mli] is taken

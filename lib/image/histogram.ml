@@ -77,9 +77,13 @@ let percentile_level h p =
   if p < 0. || p > 1. then invalid_arg "Histogram.percentile_level: p out of range";
   let n = total h in
   let target = p *. float_of_int n in
+  (* [acc > 0] keeps p = 0 (target 0) from answering an empty bin:
+     the percentile level must contain at least one sample, so the
+     floor of the walk is the lowest populated bin (= min_level). *)
   let rec loop y acc =
     let acc = acc + h.bins.(y) in
-    if float_of_int acc >= target || y = bins_len - 1 then y else loop (y + 1) acc
+    if (acc > 0 && float_of_int acc >= target) || y = bins_len - 1 then y
+    else loop (y + 1) acc
   in
   loop 0 0
 

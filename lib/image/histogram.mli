@@ -63,8 +63,10 @@ val dynamic_range : t -> int
 
 val percentile_level : t -> float -> int
 (** [percentile_level h p] (with [0. <= p <= 1.]) is the smallest
-    luminance level [y] such that at least [p * total h] samples are at
-    or below [y]. [percentile_level h 1.] equals [max_level h]. *)
+    luminance level [y] holding at least one sample such that at least
+    [p * total h] samples are at or below [y] — a percentile level
+    always contains samples, so [percentile_level h 0.] equals
+    [min_level h] and [percentile_level h 1.] equals [max_level h]. *)
 
 val clip_level : t -> allowed_loss:float -> int
 (** [clip_level h ~allowed_loss] is the smallest level [y] such that

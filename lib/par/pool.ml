@@ -1,0 +1,211 @@
+(* Fixed-size domain pool. Workers are spawned once and reused: each
+   parallel operation enlists every worker plus the caller, and the
+   members pull contiguous index chunks off a shared counter until the
+   operation is drained.
+
+   The caller always participates, so an operation completes even when
+   every worker is busy (or when the pool was created with [domains =
+   1] and there are no workers at all). That also makes nested use
+   safe: a chunk body that starts another operation on the same pool
+   drives that inner operation itself; enlisted workers that arrive
+   late find the counter exhausted and leave. *)
+
+type t = {
+  size : int;  (* workers + the calling domain *)
+  tasks : (unit -> unit) Queue.t;
+  mutex : Mutex.t;  (* guards tasks, closed, workers *)
+  work : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let recommended () = Domain.recommended_domain_count ()
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.tasks && not t.closed do
+    Condition.wait t.work t.mutex
+  done;
+  if Queue.is_empty t.tasks then Mutex.unlock t.mutex (* closed: retire *)
+  else begin
+    let task = Queue.pop t.tasks in
+    Mutex.unlock t.mutex;
+    (* Tasks never raise: chunk bodies capture exceptions per chunk
+       (see [run_chunks]), so a worker domain cannot die early. *)
+    task ();
+    worker_loop t
+  end
+
+let create ?domains () =
+  let size =
+    match domains with
+    | None -> recommended ()
+    | Some d ->
+      if d < 1 then invalid_arg "Par.Pool.create: domains must be >= 1";
+      d
+  in
+  let t =
+    {
+      size;
+      tasks = Queue.create ();
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.closed <- true;
+  t.workers <- [];
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let ensure_open t =
+  Mutex.lock t.mutex;
+  let closed = t.closed in
+  Mutex.unlock t.mutex;
+  if closed then invalid_arg "Par.Pool: pool is shut down"
+
+(* Pushes one participant task per worker. Workers that are busy pick
+   it up when they free; the operation does not wait for them. *)
+let enlist_workers t task =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Par.Pool: pool is shut down"
+  end;
+  List.iter (fun _ -> Queue.push task t.tasks) t.workers;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex
+
+(* Runs [f 0 … f (chunks - 1)], each exactly once, across the caller
+   and any workers that join in. Blocks until every chunk completed,
+   then re-raises the exception of the lowest failing chunk (the one a
+   sequential left-to-right run would have hit first). *)
+let run_chunks t ~chunks f =
+  if chunks > 0 then begin
+    if t.size = 1 || chunks = 1 then
+      for c = 0 to chunks - 1 do
+        f c
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let remaining = ref chunks in
+      let op_mutex = Mutex.create () in
+      let op_done = Condition.create () in
+      let first_error = ref None in
+      let participant () =
+        let continue = ref true in
+        while !continue do
+          let c = Atomic.fetch_and_add next 1 in
+          if c >= chunks then continue := false
+          else begin
+            (match f c with
+            | () -> ()
+            | exception e ->
+              Mutex.lock op_mutex;
+              (match !first_error with
+              | Some (j, _) when j <= c -> ()
+              | Some _ | None -> first_error := Some (c, e));
+              Mutex.unlock op_mutex);
+            Mutex.lock op_mutex;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast op_done;
+            Mutex.unlock op_mutex
+          end
+        done
+      in
+      enlist_workers t participant;
+      participant ();
+      Mutex.lock op_mutex;
+      while !remaining > 0 do
+        Condition.wait op_done op_mutex
+      done;
+      Mutex.unlock op_mutex;
+      match !first_error with Some (_, e) -> raise e | None -> ()
+    end
+  end
+
+(* The chunk partition must depend only on the range length — never on
+   the pool size — so a fixed [chunk_size] (or none) gives the same
+   reduction tree at every domain count. At most 64 chunks by default:
+   enough slack for load balancing, cheap enough per chunk. *)
+let resolve_chunk_size ~n = function
+  | None -> max 1 ((n + 63) / 64)
+  | Some c ->
+    if c < 1 then invalid_arg "Par.Pool: chunk_size must be >= 1";
+    c
+
+let parallel_for t ?chunk_size ~lo ~hi body =
+  ensure_open t;
+  let n = hi - lo + 1 in
+  if n > 0 then begin
+    let size = resolve_chunk_size ~n chunk_size in
+    let chunks = (n + size - 1) / size in
+    run_chunks t ~chunks (fun c ->
+        let first = lo + (c * size) in
+        let last = min hi (first + size - 1) in
+        for i = first to last do
+          body i
+        done)
+  end
+
+let map_reduce t ?chunk_size ~lo ~hi ~map ~reduce init =
+  ensure_open t;
+  let n = hi - lo + 1 in
+  if n <= 0 then init
+  else begin
+    let size = resolve_chunk_size ~n chunk_size in
+    let chunks = (n + size - 1) / size in
+    let results = Array.make chunks None in
+    run_chunks t ~chunks (fun c ->
+        let first = lo + (c * size) in
+        let last = min hi (first + size - 1) in
+        let acc = ref (map first) in
+        for i = first + 1 to last do
+          acc := reduce !acc (map i)
+        done;
+        results.(c) <- Some !acc);
+    Array.fold_left
+      (fun acc r ->
+        match r with
+        | Some v -> reduce acc v
+        | None -> assert false (* run_chunks raised if any chunk failed *))
+      init results
+  end
+
+let map_array t ?chunk_size f a =
+  ensure_open t;
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    (* Slot 0 is computed by the caller to seed the result array; the
+       rest fill their own slots in parallel. [f] runs once per
+       element either way. *)
+    let out = Array.make n (f a.(0)) in
+    parallel_for t ?chunk_size ~lo:1 ~hi:(n - 1) (fun i -> out.(i) <- f a.(i));
+    out
+  end
+
+let map_list t ?chunk_size f l =
+  Array.to_list (map_array t ?chunk_size f (Array.of_list l))
+
+let env_jobs ?(default = 1) () =
+  match Sys.getenv_opt "PAR_JOBS" with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> default)

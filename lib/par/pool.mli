@@ -1,0 +1,88 @@
+(** A fixed-size domain pool with deterministic parallel iteration.
+
+    The server side of the paper is where a production deployment
+    spends its CPU: annotation is computed offline "at either the
+    server or proxy node" (§4). This pool lets those offline passes
+    scale with cores while keeping their output bit-identical to a
+    sequential run, which is the property every caller's tests assert.
+
+    Determinism contract:
+
+    - {!parallel_for} applies the body to every index exactly once;
+      bodies that write to distinct slots of a pre-allocated result
+      produce the same memory image regardless of domain count.
+    - {!map_reduce} reduces strictly left-to-right: indices are mapped
+      in chunks, each chunk folds in index order, and chunk results
+      fold in chunk order. The chunk partition depends only on the
+      index range (and an explicit [chunk_size]), never on the domain
+      count, so even a non-associative [reduce] gives one answer for
+      every pool size.
+    - When bodies raise, every chunk still runs to completion (or
+      fails), and the exception of the {e lowest} failing index's
+      chunk is re-raised in the caller — the same exception a
+      sequential left-to-right run would have surfaced first.
+
+    The pool is the only module in the tree allowed to call
+    [Domain.spawn] (lint rule L009): all parallelism flows through
+    here, so the argument above covers every parallel path. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains; the
+    caller of each parallel operation is the remaining member, so
+    [domains = 1] is a pool that runs everything sequentially in the
+    caller (and spawns nothing). Defaults to {!recommended}. Raises
+    [Invalid_argument] when [domains < 1]. *)
+
+val domains : t -> int
+(** Total parallelism, workers plus the calling domain. *)
+
+val recommended : unit -> int
+(** The runtime's [Domain.recommended_domain_count] — what [create]
+    uses when [domains] is omitted. *)
+
+val shutdown : t -> unit
+(** Joins the workers. Idempotent; operations on a shut-down pool
+    raise [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, applies [f], and shuts the pool down
+    whether [f] returns or raises. *)
+
+val parallel_for :
+  t -> ?chunk_size:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for t ~lo ~hi body] runs [body i] for every [lo <= i <=
+    hi] (inclusive, like [for]), exactly once each, spread across the
+    pool in contiguous chunks. An empty range ([hi < lo]) is a no-op.
+    Chunks run concurrently: bodies must only touch disjoint state
+    (distinct array slots, atomics, or guarded structures). *)
+
+val map_reduce :
+  t ->
+  ?chunk_size:int ->
+  lo:int ->
+  hi:int ->
+  map:(int -> 'a) ->
+  reduce:('a -> 'a -> 'a) ->
+  'a ->
+  'a
+(** [map_reduce t ~lo ~hi ~map ~reduce init] is the left-to-right
+    deterministic reduction of [map lo … map hi]: equal to
+    [fold_left reduce init] over the mapped range whenever [reduce]
+    is associative — and, for a fixed [chunk_size], bit-identical
+    across pool sizes even when it is not (the last argument is
+    positional, like a fold's accumulator). Returns [init] on an
+    empty range. *)
+
+val map_array : t -> ?chunk_size:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel [Array.map]. [f] is applied exactly once
+    per element. *)
+
+val map_list : t -> ?chunk_size:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map] (via {!map_array}). *)
+
+val env_jobs : ?default:int -> unit -> int
+(** The [PAR_JOBS] environment variable as a domain count, or
+    [default] (itself defaulting to 1) when unset or unparsable.
+    Lets `make check` re-run the suite with [PAR_JOBS=4]. *)

@@ -4,7 +4,13 @@
     optionally pre-compensated) streams per session. "The annotations
     can be generated and added to the video stream at either the server
     or proxy node, with no changes for the client" (§3) — the proxy
-    case is the same code path invoked on a live clip. *)
+    case is the same code path invoked on a live clip.
+
+    The server is safe to drive from several pool domains at once:
+    the catalog, each clip's cached profile, and the prepared-stream
+    cache are all mutex-guarded, and a clip is profiled exactly once
+    however many sessions race on it. All outputs stay byte-identical
+    to a single-threaded run — parallelism only changes wall clock. *)
 
 type t
 
@@ -21,15 +27,21 @@ val create : unit -> t
 
 val add_clip : t -> Video.Clip.t -> unit
 (** Registers a clip under its own name; re-adding a name replaces the
-    clip and drops its cached profile. *)
+    clip, drops its cached profile and evicts every prepared stream
+    derived from it. *)
 
 val clip_names : t -> string list
 
-val profile : t -> string -> (Annotation.Annotator.profiled, string) result
-(** Cached single-pass profile of a stored clip. *)
+val profile :
+  ?pool:Par.Pool.t -> t -> string -> (Annotation.Annotator.profiled, string) result
+(** Cached single-pass profile of a stored clip, computed at most once
+    per clip (concurrent callers block on the clip's lock and reuse
+    the first result). [pool] parallelises the per-frame histogram
+    pass itself — see {!Annotation.Annotator.profile}. *)
 
 val prepare :
   ?scene_params:Annotation.Scene_detect.params ->
+  ?pool:Par.Pool.t ->
   t ->
   name:string ->
   session:Negotiation.session ->
@@ -39,7 +51,33 @@ val prepare :
     compensated stream. With [Server_side] mapping the track carries
     final registers for the session's device; with [Client_side] it is
     device-neutral (§4.3) and the client finishes it with
-    {!Annotation.Neutral.map_to_device}. Unknown names yield [Error]. *)
+    {!Annotation.Neutral.map_to_device}. Unknown names yield [Error].
+
+    Results are cached by (clip name, quality, device name, mapping):
+    a second session with the same key is served the already-prepared
+    stream. Hits and misses are counted per server ({!cache_stats})
+    and in the obs registry ([server_prepared_cache_hits_total] /
+    [server_prepared_cache_misses_total]). Calls with explicit
+    [scene_params] bypass the cache, since the key does not carry
+    them. *)
+
+val prepare_many :
+  ?scene_params:Annotation.Scene_detect.params ->
+  ?pool:Par.Pool.t ->
+  t ->
+  (string * Negotiation.session) list ->
+  (prepared, string) result list
+(** Batch [prepare]: fans the independent (clip, session) pairs across
+    [pool] (sequentially without one) and returns results in input
+    order. Shared work is not repeated — a clip profiles once, and
+    duplicate keys resolve to one cache entry. Output is the same
+    list [prepare] would build one call at a time. *)
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of the prepared-stream cache since [create]. *)
+
+val cache_size : t -> int
+(** Number of distinct prepared streams currently cached. *)
 
 val encode_video :
   ?params:Codec.Stream.params -> t -> name:string ->

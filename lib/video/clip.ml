@@ -50,11 +50,14 @@ let map_frames ~name f clip =
 let max_luminance_track clip =
   Array.init clip.frame_count (fun i -> Image.Raster.max_luminance (clip.render i))
 
-let histogram_track ?(plane = `Luma) clip =
-  let plane_of frame =
+let frame_histogram ?(plane = `Luma) clip i =
+  let frame = clip.render i in
+  let bytes =
     match plane with
     | `Luma -> Image.Raster.luminance_plane frame
     | `Channel_max -> Image.Raster.channel_max_plane frame
   in
-  Array.init clip.frame_count (fun i ->
-      Image.Histogram.of_luminance_plane (plane_of (clip.render i)))
+  Image.Histogram.of_luminance_plane bytes
+
+let histogram_track ?plane clip =
+  Array.init clip.frame_count (fun i -> frame_histogram ?plane clip i)

@@ -55,6 +55,14 @@ val max_luminance_track : t -> int array
 (** [max_luminance_track clip] is the per-frame maximum luminance — the
     raw signal of Fig 6 ("Max. Luminance"). *)
 
+val frame_histogram :
+  ?plane:[ `Luma | `Channel_max ] -> t -> int -> Image.Histogram.t
+(** [frame_histogram clip i] renders frame [i] and histograms the
+    selected plane. Frames of a generated clip are rendered from
+    frame-local state (see {!Clip_gen}), so distinct indices may be
+    histogrammed concurrently — this is the unit of work the parallel
+    profiler spreads across domains. *)
+
 val histogram_track :
   ?plane:[ `Luma | `Channel_max ] -> t -> Image.Histogram.t array
 (** [histogram_track clip] is the per-frame histogram, the input to the

@@ -1,0 +1,4 @@
+(* Negative fixture: raw Domain.spawn outside lib/par (L009). *)
+let result =
+  let worker = Domain.spawn (fun () -> 6 * 7) in
+  Domain.join worker

@@ -444,6 +444,64 @@ let test_encoding_mutation_fuzz () =
   done;
   check bool "no escaped exceptions over 300 mutations" true true
 
+(* A contiguous track whose later runs start past 2^24 frames — more
+   than the fixed v2 record's u24 slots can hold. Distinct registers
+   keep merge_runs from coalescing the runs away. *)
+let huge_track () =
+  let run = 0x900000 in
+  Annotation.Track.make ~clip_name:"long" ~device_name:"d"
+    ~quality:Annotation.Quality_level.Loss_10 ~fps:12. ~total_frames:(3 * run)
+    [|
+      entry ~first:0 ~count:run ~register:200 ~comp:1.5 ~eff:210;
+      entry ~first:run ~count:run ~register:100 ~comp:1.5 ~eff:128;
+      entry ~first:(2 * run) ~count:run ~register:50 ~comp:1.5 ~eff:90;
+    |]
+
+let test_encode_rejects_u24_overflow () =
+  (* Regression: a first_frame past 2^24 - 1 must raise a field-named
+     Invalid_argument instead of wrapping into bytes that still CRC as
+     valid. *)
+  Alcotest.check_raises "first_frame overflow"
+    (Invalid_argument
+       (Printf.sprintf "Encoding: first_frame %d out of u24 range"
+          (2 * 0x900000)))
+    (fun () -> ignore (Annotation.Encoding.encode (huge_track ())))
+
+let test_encode_rejects_gain_overflow () =
+  (* The 12.12 fixed point carries gains below 4096; a pathological
+     compensation must be rejected, not truncated. *)
+  let t =
+    Annotation.Track.make ~clip_name:"c" ~device_name:"d"
+      ~quality:Annotation.Quality_level.Loss_10 ~fps:12. ~total_frames:4
+      [| entry ~first:0 ~count:4 ~register:10 ~comp:5000. ~eff:255 |]
+  in
+  Alcotest.check_raises "compensation gain overflow"
+    (Invalid_argument
+       (Printf.sprintf "Encoding: compensation gain %d out of u24 range"
+          (int_of_float ((5000. *. 4096.) +. 0.5))))
+    (fun () -> ignore (Annotation.Encoding.encode t))
+
+let test_encode_v1_handles_long_clips () =
+  (* v1 packs varints, so the same >2^24-frame track round-trips — the
+     fixed-slot limit is specific to v2 records. *)
+  let t = huge_track () in
+  match Annotation.Encoding.decode (Annotation.Encoding.encode_v1 t) with
+  | Error msg -> Alcotest.fail msg
+  | Ok t' ->
+    check int "entry count" 3 (Array.length t'.Annotation.Track.entries);
+    check bool "total frames" true
+      (t'.Annotation.Track.total_frames = t.Annotation.Track.total_frames);
+    Array.iteri
+      (fun i (e : Annotation.Track.entry) ->
+        let e' = t'.Annotation.Track.entries.(i) in
+        check int
+          (Printf.sprintf "entry %d first_frame" i)
+          e.Annotation.Track.first_frame e'.Annotation.Track.first_frame;
+        check int
+          (Printf.sprintf "entry %d register" i)
+          e.Annotation.Track.register e'.Annotation.Track.register)
+      t.Annotation.Track.entries
+
 let test_encoding_rejects_bad_version () =
   let valid = Bytes.of_string (Annotation.Encoding.encode (sample_track ())) in
   Bytes.set valid 4 '\xFF';
@@ -930,6 +988,12 @@ let () =
           Alcotest.test_case "compact" `Quick test_encoding_compact;
           Alcotest.test_case "rejects garbage" `Quick test_encoding_rejects_garbage;
           Alcotest.test_case "rejects bad version" `Quick test_encoding_rejects_bad_version;
+          Alcotest.test_case "rejects u24 overflow" `Quick
+            test_encode_rejects_u24_overflow;
+          Alcotest.test_case "rejects gain overflow" `Quick
+            test_encode_rejects_gain_overflow;
+          Alcotest.test_case "v1 carries long clips" `Quick
+            test_encode_v1_handles_long_clips;
           Alcotest.test_case "mutation fuzz" `Quick test_encoding_mutation_fuzz;
         ] );
       ( "annotator",

@@ -36,15 +36,25 @@ let test_fixtures_fire_once () =
       ("l006_no_mli.ml", true, false, "L006");
       ("l007_float_eq.ml", false, true, "L007");
       ("l008_bare_allow.ml", false, true, "L008");
+      ("l009_domain.ml", false, true, "L009");
     ]
 
 let test_clean_fixture () =
   check_codes "clean.ml is clean" [] (lint_fixture ~in_lib:true ~has_mli:true "clean.ml")
 
+let test_l009_pool_exempt () =
+  (* The pool implementation itself is the one sanctioned spawn site;
+     the same source is clean when attributed to lib/par. *)
+  let source = read_file "fixtures/lint/l009_domain.ml" in
+  check_codes "lib/par path is exempt" []
+    (Lint.lint_source ~path:"lib/par/pool.ml" source);
+  check_codes "explicit in_par is exempt" []
+    (Lint.lint_source ~in_par:true ~path:"fixtures/lint/l009_domain.ml" source)
+
 let test_every_rule_has_a_fixture () =
   (* L000 is the parse-failure code, not a rule with a fixture. *)
   let covered =
-    [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008" ]
+    [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008"; "L009" ]
   in
   Alcotest.(check (list string))
     "rule registry matches fixture corpus" covered
@@ -353,6 +363,7 @@ let () =
         [
           Alcotest.test_case "fixtures fire once" `Quick test_fixtures_fire_once;
           Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+          Alcotest.test_case "lib/par exempt from L009" `Quick test_l009_pool_exempt;
           Alcotest.test_case "registry covered" `Quick test_every_rule_has_a_fixture;
           Alcotest.test_case "unparsable" `Quick test_unparsable_is_l000;
         ] );

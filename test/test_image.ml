@@ -250,6 +250,31 @@ let test_histogram_percentile () =
   check int "median" 49 (Image.Histogram.percentile_level h 0.5);
   check int "p100 = max" 99 (Image.Histogram.percentile_level h 1.)
 
+let test_histogram_percentile_edges () =
+  (* Regression: p = 0 used to return bin 0 even when level 0 held no
+     samples; the floor of the distribution is its lowest populated
+     level. *)
+  let h = Image.Histogram.create () in
+  for l = 40 to 99 do
+    Image.Histogram.add_sample h l
+  done;
+  check int "p0 is the lowest populated level" 40
+    (Image.Histogram.percentile_level h 0.);
+  check int "p0 = min_level" (Image.Histogram.min_level h)
+    (Image.Histogram.percentile_level h 0.);
+  check int "p1 = max_level" (Image.Histogram.max_level h)
+    (Image.Histogram.percentile_level h 1.);
+  (* A single-bin histogram answers that bin at every percentile. *)
+  let single = Image.Histogram.create () in
+  Image.Histogram.add_sample single 137;
+  List.iter
+    (fun p ->
+      check int
+        (Printf.sprintf "single bin at p = %g" p)
+        137
+        (Image.Histogram.percentile_level single p))
+    [ 0.; 0.25; 0.5; 1. ]
+
 let test_histogram_of_counts_validation () =
   Alcotest.check_raises "wrong length"
     (Invalid_argument "Histogram.of_counts: need 256 bins") (fun () ->
@@ -677,6 +702,8 @@ let () =
           Alcotest.test_case "distance disjoint" `Quick test_histogram_distance_disjoint;
           Alcotest.test_case "earth mover's distance" `Quick test_histogram_emd;
           Alcotest.test_case "percentile" `Quick test_histogram_percentile;
+          Alcotest.test_case "percentile edges" `Quick
+            test_histogram_percentile_edges;
           Alcotest.test_case "of_counts validation" `Quick test_histogram_of_counts_validation;
         ] );
       ( "ops",

@@ -1,0 +1,334 @@
+(* The domain pool: deterministic iteration, exception propagation,
+   lifecycle — and the tentpole property, [profile ~pool] bit-identical
+   to the sequential pass at every domain count. *)
+
+module Pool = Par.Pool
+
+(* Jobs the determinism properties sweep. 8 oversubscribes any CI
+   host, which is exactly the point: the output must not care. *)
+let job_counts = [ 1; 2; 4; 8 ]
+
+(* --- parallel_for ------------------------------------------------------- *)
+
+let test_parallel_for_covers_range () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          List.iter
+            (fun n ->
+              let hits = Array.make n 0 in
+              Pool.parallel_for pool ~lo:0 ~hi:(n - 1) (fun i ->
+                  hits.(i) <- hits.(i) + 1);
+              Alcotest.(check (array int))
+                (Printf.sprintf "each of %d indices once at %d jobs" n jobs)
+                (Array.make n 1) hits)
+            [ 1; 7; 64; 257 ]))
+    job_counts
+
+let test_parallel_for_empty_range () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let ran = ref false in
+      Pool.parallel_for pool ~lo:3 ~hi:2 (fun _ -> ran := true);
+      Alcotest.(check bool) "empty range is a no-op" false !ran)
+
+let test_parallel_for_distinct_slots () =
+  let n = 500 in
+  let expected = Array.init n (fun i -> i * i) in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          let out = Array.make n 0 in
+          Pool.parallel_for pool ~chunk_size:17 ~lo:0 ~hi:(n - 1) (fun i ->
+              out.(i) <- i * i);
+          Alcotest.(check (array int))
+            (Printf.sprintf "slot writes at %d jobs" jobs)
+            expected out))
+    job_counts
+
+(* --- map_reduce --------------------------------------------------------- *)
+
+let test_map_reduce_matches_fold () =
+  let lo = 2 and hi = 321 in
+  let expected = ref 0 in
+  for i = lo to hi do
+    expected := !expected + (i * 3)
+  done;
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          let got =
+            Pool.map_reduce pool ~lo ~hi ~map:(fun i -> i * 3) ~reduce:( + )
+              0
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "sum at %d jobs" jobs)
+            !expected got))
+    job_counts
+
+let test_map_reduce_non_commutative () =
+  (* String concatenation is non-commutative: only a strict
+     left-to-right reduction over a pool-size-independent chunking
+     yields the sequential answer at every domain count. *)
+  let lo = 0 and hi = 99 in
+  let map i = string_of_int i ^ ";" in
+  let sequential = ref "" in
+  for i = lo to hi do
+    sequential := !sequential ^ map i
+  done;
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          List.iter
+            (fun chunk_size ->
+              let got =
+                Pool.map_reduce pool ~chunk_size ~lo ~hi ~map ~reduce:( ^ )
+                  ""
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "concat at %d jobs, chunk %d" jobs chunk_size)
+                !sequential got)
+            [ 1; 7; 100 ]))
+    job_counts
+
+let test_map_reduce_empty_range () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check int) "empty range returns init" 42
+        (Pool.map_reduce pool ~lo:1 ~hi:0
+           ~map:(fun _ -> failwith "must not map")
+           ~reduce:( + ) 42))
+
+(* --- exception propagation ---------------------------------------------- *)
+
+let test_lowest_failing_index_wins () =
+  (* Indices 3 and 7 both fail; one chunk per index, so the caller
+     must see index 3's exception — what a sequential run hits first —
+     no matter which domain ran it. *)
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          Alcotest.check_raises
+            (Printf.sprintf "lowest failure at %d jobs" jobs)
+            (Failure "body 3")
+            (fun () ->
+              Pool.parallel_for pool ~chunk_size:1 ~lo:0 ~hi:9 (fun i ->
+                  if i = 3 || i = 7 then
+                    failwith (Printf.sprintf "body %d" i)))))
+    job_counts
+
+let test_pool_survives_failure () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      (try
+         Pool.parallel_for pool ~chunk_size:1 ~lo:0 ~hi:7 (fun i ->
+             if i >= 4 then failwith "boom")
+       with Failure _ -> ());
+      (* Every chunk still drained; the pool is reusable. *)
+      let total =
+        Pool.map_reduce pool ~lo:1 ~hi:10 ~map:Fun.id ~reduce:( + ) 0
+      in
+      Alcotest.(check int) "pool still works after a failed op" 55 total)
+
+(* --- map_array / map_list ------------------------------------------------ *)
+
+let test_map_array_order () =
+  let input = Array.init 123 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~domains:jobs (fun pool ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "map_array at %d jobs" jobs)
+            (Array.map (fun x -> (x * 2) + 1) input)
+            (Pool.map_array pool (fun x -> (x * 2) + 1) input)))
+    job_counts;
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check (array int)) "empty array" [||]
+        (Pool.map_array pool (fun x -> x) [||]))
+
+let test_map_array_applies_once () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let calls = Array.make 50 0 in
+      let _ =
+        Pool.map_array pool
+          (fun i ->
+            calls.(i) <- calls.(i) + 1;
+            i)
+          (Array.init 50 (fun i -> i))
+      in
+      Alcotest.(check (array int)) "f once per element" (Array.make 50 1) calls)
+
+let test_map_list_order () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let input = List.init 77 string_of_int in
+      Alcotest.(check (list string))
+        "map_list preserves order" input
+        (Pool.map_list pool Fun.id input);
+      Alcotest.(check (list int)) "empty list" [] (Pool.map_list pool Fun.id []))
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let test_create_validates () =
+  Alcotest.check_raises "domains = 0 rejected"
+    (Invalid_argument "Par.Pool.create: domains must be >= 1") (fun () ->
+      ignore (Pool.create ~domains:0 ()))
+
+let test_domains_reported () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check int) "domains" 3 (Pool.domains pool));
+  Alcotest.(check bool) "recommended is positive" true (Pool.recommended () >= 1)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "ops after shutdown raise"
+    (Invalid_argument "Par.Pool: pool is shut down") (fun () ->
+      Pool.parallel_for pool ~lo:0 ~hi:3 ignore)
+
+let test_env_jobs_default () =
+  (* PAR_JOBS is set by `make check` runs; all we can assert portably
+     is that the parse never yields an invalid domain count. *)
+  Alcotest.(check bool) "env_jobs is a valid count" true
+    (Pool.env_jobs () >= 1);
+  Alcotest.(check bool) "default honoured when sensible" true
+    (Pool.env_jobs ~default:3 () >= 1)
+
+(* --- the tentpole property: parallel profiling is bit-identical ---------- *)
+
+let check_profiled_equal ~what (a : Annotation.Annotator.profiled)
+    (b : Annotation.Annotator.profiled) =
+  Alcotest.(check string) (what ^ ": clip_name") a.Annotation.Annotator.clip_name
+    b.Annotation.Annotator.clip_name;
+  Alcotest.(check (float 0.)) (what ^ ": fps") a.Annotation.Annotator.fps
+    b.Annotation.Annotator.fps;
+  Alcotest.(check int) (what ^ ": total_frames")
+    a.Annotation.Annotator.total_frames b.Annotation.Annotator.total_frames;
+  Alcotest.(check (array int)) (what ^ ": max_track")
+    a.Annotation.Annotator.max_track b.Annotation.Annotator.max_track;
+  Alcotest.(check (array (float 0.))) (what ^ ": mean_track")
+    a.Annotation.Annotator.mean_track b.Annotation.Annotator.mean_track;
+  Alcotest.(check int) (what ^ ": histogram count")
+    (Array.length a.Annotation.Annotator.histograms)
+    (Array.length b.Annotation.Annotator.histograms);
+  Array.iteri
+    (fun i ha ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s: histogram %d" what i)
+        (Image.Histogram.to_array ha)
+        (Image.Histogram.to_array b.Annotation.Annotator.histograms.(i)))
+    a.Annotation.Annotator.histograms
+
+let render profile =
+  Video.Clip_gen.render ~width:32 ~height:24 ~fps:8. profile
+
+let test_profile_jobs_invariant () =
+  List.iter
+    (fun profile ->
+      let clip = render profile in
+      let sequential = Annotation.Annotator.profile clip in
+      List.iter
+        (fun jobs ->
+          if jobs > 1 then
+            Pool.with_pool ~domains:jobs (fun pool ->
+                check_profiled_equal
+                  ~what:
+                    (Printf.sprintf "%s at %d jobs" profile.Video.Profile.name
+                       jobs)
+                  sequential
+                  (Annotation.Annotator.profile ~pool clip)))
+        job_counts)
+    [ Video.Workloads.themovie; Video.Workloads.officexp ]
+
+let test_profile_channel_max_invariant () =
+  let clip = render Video.Workloads.catwoman in
+  let sequential = Annotation.Annotator.profile ~plane:`Channel_max clip in
+  Pool.with_pool ~domains:4 (fun pool ->
+      check_profiled_equal ~what:"channel_max plane" sequential
+        (Annotation.Annotator.profile ~plane:`Channel_max ~pool clip))
+
+let prop_profile_parametric_invariant =
+  QCheck2.Test.make ~count:5
+    ~name:"profile ~pool = profile on generated clips, any domain count"
+    QCheck2.Gen.(
+      triple (0 -- 220) (10 -- 255) (float_range 1.0 3.0))
+    (fun (base_level, highlight_peak, seconds) ->
+      let profile =
+        Video.Workloads.parametric ~seconds ~base_level ~highlight_peak ()
+      in
+      let clip = render profile in
+      let sequential = Annotation.Annotator.profile clip in
+      List.for_all
+        (fun jobs ->
+          Pool.with_pool ~domains:jobs (fun pool ->
+              let par = Annotation.Annotator.profile ~pool clip in
+              sequential.Annotation.Annotator.max_track
+                = par.Annotation.Annotator.max_track
+              && sequential.Annotation.Annotator.mean_track
+                 = par.Annotation.Annotator.mean_track
+              && Array.for_all2
+                   (fun a b ->
+                     Image.Histogram.to_array a = Image.Histogram.to_array b)
+                   sequential.Annotation.Annotator.histograms
+                   par.Annotation.Annotator.histograms))
+        [ 2; 4; 8 ])
+
+let test_annotate_with_pool_identical_track () =
+  let clip = render Video.Workloads.returnoftheking in
+  let device = Display.Device.ipaq_h5555 in
+  let quality = Annotation.Quality_level.Loss_10 in
+  let sequential = Annotation.Annotator.annotate ~device ~quality clip in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par = Annotation.Annotator.annotate ~pool ~device ~quality clip in
+      Alcotest.(check string) "encoded tracks are byte-identical"
+        (Annotation.Encoding.encode sequential)
+        (Annotation.Encoding.encode par))
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "parallel_for",
+        [
+          Alcotest.test_case "covers the range once" `Quick
+            test_parallel_for_covers_range;
+          Alcotest.test_case "empty range" `Quick test_parallel_for_empty_range;
+          Alcotest.test_case "distinct slot writes" `Quick
+            test_parallel_for_distinct_slots;
+        ] );
+      ( "map_reduce",
+        [
+          Alcotest.test_case "matches sequential fold" `Quick
+            test_map_reduce_matches_fold;
+          Alcotest.test_case "non-commutative reduce is stable" `Quick
+            test_map_reduce_non_commutative;
+          Alcotest.test_case "empty range" `Quick test_map_reduce_empty_range;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "lowest failing index wins" `Quick
+            test_lowest_failing_index_wins;
+          Alcotest.test_case "pool survives a failed op" `Quick
+            test_pool_survives_failure;
+        ] );
+      ( "map",
+        [
+          Alcotest.test_case "map_array order" `Quick test_map_array_order;
+          Alcotest.test_case "map_array applies once" `Quick
+            test_map_array_applies_once;
+          Alcotest.test_case "map_list order" `Quick test_map_list_order;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+          Alcotest.test_case "domains reported" `Quick test_domains_reported;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_shutdown_idempotent;
+          Alcotest.test_case "env_jobs" `Quick test_env_jobs_default;
+        ] );
+      ( "profiling determinism",
+        Alcotest.test_case "workload clips, jobs in {1,2,4,8}" `Quick
+          test_profile_jobs_invariant
+        :: Alcotest.test_case "channel-max plane" `Quick
+             test_profile_channel_max_invariant
+        :: Alcotest.test_case "annotate ~pool encodes identically" `Quick
+             test_annotate_with_pool_identical_track
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_profile_parametric_invariant ] );
+    ]

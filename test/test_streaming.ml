@@ -189,6 +189,112 @@ let test_server_profile_cached () =
   | Ok a, Ok b -> check bool "same cached profile" true (a == b)
   | _ -> Alcotest.fail "profiling failed"
 
+let test_server_cache_hit_miss () =
+  let server = Streaming.Server.create () in
+  Streaming.Server.add_clip server (two_scene_clip ());
+  let prepare quality =
+    match
+      Streaming.Server.prepare server ~name:"stream-test"
+        ~session:(make_session quality)
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let first = prepare Annotation.Quality_level.Loss_10 in
+  Alcotest.(check (pair int int)) "first prepare misses" (0, 1)
+    (Streaming.Server.cache_stats server);
+  let again = prepare Annotation.Quality_level.Loss_10 in
+  Alcotest.(check (pair int int)) "identical session hits" (1, 1)
+    (Streaming.Server.cache_stats server);
+  check bool "hit serves the cached stream" true (first == again);
+  ignore (prepare Annotation.Quality_level.Loss_5);
+  Alcotest.(check (pair int int)) "new quality misses" (1, 2)
+    (Streaming.Server.cache_stats server);
+  check int "two distinct streams cached" 2 (Streaming.Server.cache_size server);
+  (* A cached prepare must serve the same bytes a fresh server builds. *)
+  let fresh = Streaming.Server.create () in
+  Streaming.Server.add_clip fresh (two_scene_clip ());
+  (match
+     Streaming.Server.prepare fresh ~name:"stream-test"
+       ~session:(make_session Annotation.Quality_level.Loss_10)
+   with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check string) "cached = fresh annotation bytes"
+      p.Streaming.Server.annotation_bytes
+      again.Streaming.Server.annotation_bytes);
+  (* Replacing the clip evicts its prepared streams. *)
+  Streaming.Server.add_clip server (two_scene_clip ());
+  check int "re-adding the clip evicts" 0 (Streaming.Server.cache_size server)
+
+let test_server_scene_params_bypass_cache () =
+  let server = Streaming.Server.create () in
+  Streaming.Server.add_clip server (two_scene_clip ());
+  (match
+     Streaming.Server.prepare server
+       ~scene_params:Annotation.Scene_detect.per_frame_params
+       ~name:"stream-test"
+       ~session:(make_session Annotation.Quality_level.Loss_10)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (pair int int))
+    "explicit scene_params never touch the cache" (0, 0)
+    (Streaming.Server.cache_stats server);
+  check int "nothing cached" 0 (Streaming.Server.cache_size server)
+
+let test_server_prepare_many_stress () =
+  (* Hammer one clip from four domains: the profile must run exactly
+     once, every result must be Ok, and the streams must be the ones a
+     sequential server would have built. *)
+  Obs.with_enabled @@ fun () ->
+  let profiles = Obs.counter "annot_profiles_total" [] in
+  let before = Obs.Metrics.Counter.value profiles in
+  let server = Streaming.Server.create () in
+  Streaming.Server.add_clip server (two_scene_clip ());
+  let qualities =
+    [
+      Annotation.Quality_level.Lossless;
+      Annotation.Quality_level.Loss_5;
+      Annotation.Quality_level.Loss_10;
+      Annotation.Quality_level.Loss_15;
+    ]
+  in
+  let specs =
+    List.concat_map
+      (fun q -> List.init 8 (fun _ -> ("stream-test", make_session q)))
+      qualities
+  in
+  let results =
+    Par.Pool.with_pool ~domains:4 (fun pool ->
+        Streaming.Server.prepare_many ~pool server specs)
+  in
+  check int "one result per spec" (List.length specs) (List.length results);
+  let bytes_of = function
+    | Ok p -> p.Streaming.Server.annotation_bytes
+    | Error e -> Alcotest.fail e
+  in
+  let results = List.map bytes_of results in
+  check int "clip profiled exactly once under contention" 1
+    (Obs.Metrics.Counter.value profiles - before);
+  let sequential =
+    let fresh = Streaming.Server.create () in
+    Streaming.Server.add_clip fresh (two_scene_clip ());
+    List.map bytes_of (Streaming.Server.prepare_many fresh specs)
+  in
+  check bool "parallel batch = sequential batch" true
+    (List.equal String.equal results sequential);
+  (* Racing sessions on a cold key may each count a miss (the build
+     runs outside the cache lock, first insert wins), so the exact
+     split is load-dependent — but every lookup is counted and the
+     cache converges on one entry per key. *)
+  let hits, misses = Streaming.Server.cache_stats server in
+  check int "every spec counted once" (List.length specs) (hits + misses);
+  check bool "at least one miss per distinct key" true
+    (misses >= List.length qualities);
+  check int "one cached stream per distinct key" (List.length qualities)
+    (Streaming.Server.cache_size server)
+
 let test_server_encode_video () =
   let server = Streaming.Server.create () in
   Streaming.Server.add_clip server (two_scene_clip ());
@@ -968,6 +1074,11 @@ let () =
           Alcotest.test_case "prepare" `Quick test_server_prepare;
           Alcotest.test_case "client-side mapping" `Quick test_server_client_side_mapping;
           Alcotest.test_case "profile cached" `Quick test_server_profile_cached;
+          Alcotest.test_case "cache hit/miss" `Quick test_server_cache_hit_miss;
+          Alcotest.test_case "scene params bypass cache" `Quick
+            test_server_scene_params_bypass_cache;
+          Alcotest.test_case "prepare_many stress" `Quick
+            test_server_prepare_many_stress;
           Alcotest.test_case "encode video" `Quick test_server_encode_video;
         ] );
       ( "playback",
