@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work.
 
-.PHONY: all build test check bench clean slo-smoke chaos lint verify-fixtures
+.PHONY: all build test check bench clean slo-smoke chaos lint verify-fixtures gate baseline
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 check:
 	dune build && dune runtest && PAR_JOBS=4 dune runtest --force \
 	  && $(MAKE) lint && $(MAKE) verify-fixtures \
-	  && $(MAKE) slo-smoke && $(MAKE) chaos
+	  && $(MAKE) slo-smoke && $(MAKE) chaos && $(MAKE) gate
 
 # Static gate 1: the determinism linter over the library and tool
 # sources (rules L001-L009, see README "Static checks"). Exits 1 on
@@ -64,6 +64,33 @@ chaos:
 
 bench:
 	dune exec bench/main.exe
+
+# Energy regression gate: the committed baseline must reproduce within
+# tolerance, and a synthetic 10% energy regression must trip the gate.
+# Runs in _build/gate so the committed BENCH_*.json artifacts are not
+# overwritten by the partial (energy-only) reports these runs produce.
+gate:
+	dune build
+	mkdir -p _build/gate
+	cd _build/gate && ../default/bench/main.exe energy \
+	  --baseline ../../BENCH_baseline.json --gate > /dev/null
+	cd _build/gate && ! ../default/bench/main.exe energy \
+	  --baseline ../../BENCH_baseline.json --gate --inject-regression 10 \
+	  > /dev/null
+	@echo "gate: baseline reproduces; injected 10% regression trips it"
+
+# Regenerate the committed energy baseline. Do this ONLY alongside a
+# reasoned diff in the PR: state what moved, by how much, and why the
+# new numbers are correct — the gate exists to make silent energy
+# drift impossible.
+baseline:
+	dune build
+	mkdir -p _build/gate
+	cd _build/gate && ../default/bench/main.exe energy \
+	  --write-baseline ../../BENCH_baseline.json
+	@echo
+	@echo "BENCH_baseline.json regenerated. Commit it together with a"
+	@echo "reasoned diff (what moved, by how much, why it is correct)."
 
 clean:
 	dune clean

@@ -1259,6 +1259,259 @@ let micro () =
   in
   List.iter benchmark tests
 
+(* --- Extension: E17 energy attribution + regression gate ------------------- *)
+
+(* Rows for the report's "energy" section; the regression gate diffs
+   them against BENCH_baseline.json. *)
+let energy_rows : Obs.Json.t list ref = ref []
+
+(* Synthetic energy regression in percent, injected at reporting time
+   by [--inject-regression] so `make check` can prove the gate trips
+   on drift without touching the simulator. *)
+let inject_regression_pct = ref 0.
+
+let energy () =
+  section "Extension — E17: energy attribution (joules per stage/scene/component)";
+  let profiler = Obs.Profile.create () in
+  Obs.Profile.install profiler;
+  Fun.protect ~finally:Obs.Profile.uninstall @@ fun () ->
+  let clips =
+    [
+      Video.Workloads.themovie;
+      Video.Workloads.returnoftheking;
+      Video.Workloads.ice_age;
+      Video.Workloads.officexp;
+    ]
+  in
+  Printf.printf "%-18s %12s %12s %9s %11s %7s %7s\n" "clip" "device mJ"
+    "baseline mJ" "saved" "backlight" "cpu" "radio";
+  rule ();
+  List.iter
+    (fun profile ->
+      let name = profile.Video.Profile.name in
+      let clip = Video.Clip_gen.render ~width:96 ~height:72 ~fps:12. profile in
+      let before = Obs.Profile.by_component profiler in
+      let report =
+        Obs.Trace.with_span ("clip." ^ name) @@ fun () ->
+        match
+          Streaming.Session.run
+            { (Streaming.Session.default_config ~device) with
+              Streaming.Session.loss_rate = 0.01 }
+            clip
+        with
+        | Ok r -> r
+        | Error e -> failwith e
+      in
+      let after = Obs.Profile.by_component profiler in
+      (* This clip's share of each component: the profiler accumulates
+         across clips, so diff the totals around the run. *)
+      let components =
+        List.map
+          (fun (c, v) ->
+            let v0 =
+              match List.assoc_opt c before with Some v0 -> v0 | None -> 0.
+            in
+            (c, v -. v0))
+          after
+      in
+      (* Joules per pipeline stage, from the attribution hierarchy:
+         group this clip's stacks by their innermost session.* span.
+         Today all metered energy lands under session.playback; the
+         grouping picks up new metered stages automatically. *)
+      let stages =
+        List.filter_map
+          (fun (path, mj) ->
+            if List.mem ("clip." ^ name) path then
+              let stage =
+                List.fold_left
+                  (fun acc seg ->
+                    if String.length seg > 8 && String.sub seg 0 8 = "session." then
+                      seg
+                    else acc)
+                  "(unattributed)" path
+              in
+              Some (stage, mj)
+            else None)
+          (Obs.Profile.stacks profiler)
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.fold_left
+             (fun acc (stage, mj) ->
+               match acc with
+               | (s, v) :: rest when s = stage -> (s, v +. mj) :: rest
+               | _ -> (stage, mj) :: acc)
+             []
+        |> List.rev
+      in
+      let scale = 1. +. (!inject_regression_pct /. 100.) in
+      let device_mj = report.Streaming.Session.device_energy_mj *. scale in
+      let baseline_mj = report.Streaming.Session.baseline_energy_mj in
+      let device_savings_pct = 100. *. (baseline_mj -. device_mj) /. baseline_mj in
+      Printf.printf "%-18s %12.1f %12.1f %8.1f%% %10.1f%% %6.1f%% %6.1f%%\n" name
+        device_mj baseline_mj device_savings_pct
+        (100. *. report.Streaming.Session.backlight_savings)
+        (100. *. report.Streaming.Session.cpu_savings)
+        (100. *. report.Streaming.Session.radio_savings);
+      energy_rows :=
+        !energy_rows
+        @ [
+            Obs.Json.Obj
+              [
+                ("clip", Obs.Json.String name);
+                ("frames", Obs.Json.Int report.Streaming.Session.frames);
+                ("device_energy_mj", Obs.Json.Float device_mj);
+                ("baseline_energy_mj", Obs.Json.Float baseline_mj);
+                ("device_savings_pct", Obs.Json.Float device_savings_pct);
+                ( "backlight_savings_pct",
+                  Obs.Json.Float (100. *. report.Streaming.Session.backlight_savings)
+                );
+                ( "cpu_savings_pct",
+                  Obs.Json.Float (100. *. report.Streaming.Session.cpu_savings) );
+                ( "radio_savings_pct",
+                  Obs.Json.Float (100. *. report.Streaming.Session.radio_savings) );
+                ( "components_mj",
+                  Obs.Json.Obj
+                    (List.map (fun (c, v) -> (c, Obs.Json.Float v)) components) );
+                ( "stages_mj",
+                  Obs.Json.Obj
+                    (List.map (fun (s, v) -> (s, Obs.Json.Float v)) stages) );
+              ];
+          ])
+    clips;
+  Obs.write_file ~path:"BENCH_energy.folded" (Obs.Profile.flamegraph profiler);
+  Printf.printf
+    "\nwrote BENCH_energy.folded (collapsed stacks, microjoules — render \
+     with flamegraph.pl or speedscope)\n";
+  Format.printf "@.%a@." Obs.Profile.pp_summary profiler
+
+(* --- regression gate ------------------------------------------------------- *)
+
+let baseline_comment =
+  "Committed bench baseline for `bench --baseline FILE --gate`. Regenerate \
+   with `make baseline` ONLY alongside a reasoned diff: state in the PR what \
+   moved, by how much, and why the new numbers are correct."
+
+let energy_section () =
+  if !energy_rows = [] then []
+  else [ ("energy", Obs.Json.List !energy_rows) ]
+
+let write_baseline ~path =
+  if !energy_rows = [] then begin
+    prerr_endline
+      "bench: --write-baseline needs the energy experiment in the same run \
+       (e.g. `bench energy --write-baseline FILE`)";
+    exit 1
+  end;
+  Obs.write_file ~path
+    (Obs.Json.to_string
+       (Obs.Json.Obj
+          [
+            ("_comment", Obs.Json.String baseline_comment);
+            ("energy", Obs.Json.List !energy_rows);
+          ]));
+  Printf.printf "wrote %s\n" path
+
+(* Flatten a report row into (metric path, numeric value) pairs;
+   strings identify the row and are not compared. *)
+let rec flatten_metrics prefix json acc =
+  match json with
+  | Obs.Json.Obj fields ->
+    List.fold_left
+      (fun acc (k, v) -> flatten_metrics (prefix ^ "." ^ k) v acc)
+      acc fields
+  | Obs.Json.Float v -> (prefix, `Float v) :: acc
+  | Obs.Json.Int i -> (prefix, `Int i) :: acc
+  | _ -> acc
+
+let flatten_rows rows =
+  List.concat_map
+    (fun row ->
+      let clip =
+        match Obs.Json.member "clip" row with
+        | Some (Obs.Json.String c) -> c
+        | _ -> "?"
+      in
+      flatten_metrics clip row [])
+    rows
+
+(* Per-metric tolerance: percentage columns drift absolutely (half a
+   point), energies and other floats relatively (1%), counts exactly. *)
+let metric_ok name base current =
+  match (base, current) with
+  | `Int a, `Int b -> a = b
+  | _ ->
+    let f = function `Int i -> float_of_int i | `Float v -> v in
+    let a = f base and b = f current in
+    if String.ends_with ~suffix:"_pct" name then Float.abs (a -. b) <= 0.5
+    else Float.abs (a -. b) <= Float.max (0.01 *. Float.abs a) 1e-9
+
+let metric_value = function
+  | `Int i -> string_of_int i
+  | `Float v -> Printf.sprintf "%.6g" v
+
+let gate ~baseline_path =
+  if !energy_rows = [] then begin
+    prerr_endline
+      "bench: --gate needs the energy experiment in the same run \
+       (e.g. `bench energy --baseline FILE --gate`)";
+    exit 1
+  end;
+  let baseline_rows =
+    let parsed =
+      match In_channel.with_open_text baseline_path In_channel.input_all with
+      | text -> Obs.Json.of_string text
+      | exception Sys_error msg -> Error msg
+    in
+    match parsed with
+    | Error msg ->
+      Printf.eprintf "bench: cannot read baseline %s: %s\n" baseline_path msg;
+      exit 1
+    | Ok json -> (
+      match Obs.Json.member "energy" json with
+      | Some (Obs.Json.List rows) -> rows
+      | Some _ | None ->
+        Printf.eprintf "bench: %s has no \"energy\" section\n" baseline_path;
+        exit 1)
+  in
+  let base = flatten_rows baseline_rows in
+  let current = flatten_rows !energy_rows in
+  section (Printf.sprintf "regression gate vs %s" baseline_path);
+  let failures = ref 0 in
+  let total = ref 0 in
+  List.iter
+    (fun (name, bv) ->
+      incr total;
+      match List.assoc_opt name current with
+      | None ->
+        incr failures;
+        Printf.printf "  DRIFT %-52s baseline %s, missing from this run\n" name
+          (metric_value bv)
+      | Some cv ->
+        if not (metric_ok name bv cv) then begin
+          incr failures;
+          Printf.printf "  DRIFT %-52s baseline %s, now %s\n" name
+            (metric_value bv) (metric_value cv)
+        end)
+    base;
+  List.iter
+    (fun (name, cv) ->
+      if List.assoc_opt name base = None then begin
+        incr total;
+        incr failures;
+        Printf.printf
+          "  DRIFT %-52s %s in this run, absent from baseline (regenerate \
+           with `make baseline` + reasoned diff)\n"
+          name (metric_value cv)
+      end)
+    current;
+  if !failures = 0 then begin
+    Printf.printf "  %d metrics within tolerance — gate passed\n" !total;
+    true
+  end
+  else begin
+    Printf.printf "  %d of %d metrics drifted — gate FAILED\n" !failures !total;
+    false
+  end
+
 (* --- driver -------------------------------------------------------------- *)
 
 let experiments =
@@ -1290,6 +1543,7 @@ let experiments =
     ("content-sweep", "savings vs content brightness", content_sweep);
     ("hebs", "histogram-equalisation baseline", hebs);
     ("session", "combined full-session savings", session);
+    ("energy", "attributed joules per stage/scene/component (E17)", energy);
   ]
 
 let list_experiments () =
@@ -1404,7 +1658,7 @@ let report_obs () =
     let report =
       Obs.Json.Obj
         ([ ("phases", phases); ("critical_path", critical_path) ]
-        @ resilience @ parallel)
+        @ resilience @ parallel @ energy_section ())
     in
     Obs.write_file ~path:"BENCH_report.json" (Obs.Json.to_string report);
     Printf.printf "\nwrote BENCH_obs.json and BENCH_report.json\n"
@@ -1415,25 +1669,54 @@ let () =
   (* Monitoring adds the quantile sketches behind the percentile
      columns in BENCH_obs.json / BENCH_report.json. *)
   Obs.enable_monitoring ();
-  (* [--jobs N] bounds the [parallel] experiment's domain sweep; it is
-     a harness flag, not an experiment id, so strip it before
-     dispatch. *)
-  let rec strip_jobs = function
+  (* Harness flags, not experiment ids — strip them before dispatch.
+     [--jobs N] bounds the [parallel] experiment's domain sweep; the
+     baseline/gate flags drive the energy regression gate. *)
+  let baseline_path = ref None in
+  let gate_requested = ref false in
+  let write_baseline_path = ref None in
+  let rec strip_flags = function
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
       | Some n when n >= 1 ->
         bench_jobs := n;
-        strip_jobs rest
+        strip_flags rest
       | Some _ | None ->
         prerr_endline "bench: --jobs expects a positive integer";
         exit 1)
     | [ "--jobs" ] ->
       prerr_endline "bench: --jobs expects a positive integer";
       exit 1
-    | arg :: rest -> arg :: strip_jobs rest
+    | "--baseline" :: path :: rest ->
+      baseline_path := Some path;
+      strip_flags rest
+    | [ "--baseline" ] ->
+      prerr_endline "bench: --baseline expects a file";
+      exit 1
+    | "--gate" :: rest ->
+      gate_requested := true;
+      strip_flags rest
+    | "--write-baseline" :: path :: rest ->
+      write_baseline_path := Some path;
+      strip_flags rest
+    | [ "--write-baseline" ] ->
+      prerr_endline "bench: --write-baseline expects a file";
+      exit 1
+    | "--inject-regression" :: pct :: rest -> (
+      match float_of_string_opt pct with
+      | Some v ->
+        inject_regression_pct := v;
+        strip_flags rest
+      | None ->
+        prerr_endline "bench: --inject-regression expects a percentage";
+        exit 1)
+    | [ "--inject-regression" ] ->
+      prerr_endline "bench: --inject-regression expects a percentage";
+      exit 1
+    | arg :: rest -> arg :: strip_flags rest
     | [] -> []
   in
-  (match strip_jobs (Array.to_list Sys.argv) with
+  (match strip_flags (Array.to_list Sys.argv) with
   | _ :: [] ->
     (* Everything except the micro-benchmarks, which have their own id. *)
     List.iter (fun (id, _, run) -> observed id run) experiments
@@ -1452,4 +1735,14 @@ let () =
             exit 1))
       args
   | [] -> assert false);
-  report_obs ()
+  report_obs ();
+  (match !write_baseline_path with
+  | Some path -> write_baseline ~path
+  | None -> ());
+  if !gate_requested then begin
+    match !baseline_path with
+    | None ->
+      prerr_endline "bench: --gate requires --baseline FILE";
+      exit 1
+    | Some path -> if not (gate ~baseline_path:path) then exit 1
+  end

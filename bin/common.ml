@@ -183,6 +183,18 @@ let slo_arg =
            see examples/default.slo) instead of the built-in defaults. \
            Implies $(b,--monitor).")
 
+let energy_profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "energy-profile" ] ~docv:"FILE"
+        ~doc:
+          "Attribute simulated joules per stage/scene/component with the \
+           energy profiler and write a collapsed-stack energy flame graph \
+           (integer microjoules) to $(docv); feed it to flamegraph.pl or \
+           speedscope. Adds a per-component summary to the obs output and a \
+           counter track to $(b,--trace-out). Implies $(b,--obs).")
+
 let metrics_out_arg =
   Arg.(
     value
@@ -198,13 +210,21 @@ let metrics_out_arg =
    stderr so the tools' stdout stays script-friendly; the health
    report is the monitoring deliverable and goes to stdout. An SLO
    breach turns a successful exit into code 3. *)
-let with_instrumentation ?(default_quality = 0.10) ~obs ~trace_out ~monitor ~slo
-    ~metrics_out f =
+let with_instrumentation ?(default_quality = 0.10) ?(energy_profile = None) ~obs
+    ~trace_out ~monitor ~slo ~metrics_out f =
   let monitoring = monitor || slo <> None || metrics_out <> None in
-  let enabled = obs || trace_out <> None || monitoring in
+  let enabled = obs || trace_out <> None || energy_profile <> None || monitoring in
   if not enabled then f ()
   else begin
     Obs.enable ();
+    let profiler =
+      match energy_profile with
+      | None -> None
+      | Some _ ->
+        let p = Obs.Profile.create () in
+        Obs.Profile.install p;
+        Some p
+    in
     let mon =
       if not monitoring then None
       else begin
@@ -225,6 +245,8 @@ let with_instrumentation ?(default_quality = 0.10) ~obs ~trace_out ~monitor ~slo
     in
     let code =
       Fun.protect f ~finally:(fun () ->
+          (* The trace is written while the profiler is still
+             installed so its counter track rides along. *)
           (match trace_out with
           | None -> ()
           | Some path -> (
@@ -233,6 +255,16 @@ let with_instrumentation ?(default_quality = 0.10) ~obs ~trace_out ~monitor ~slo
               Printf.eprintf "obs: wrote %s\n%!" path
             with Sys_error msg ->
               Printf.eprintf "obs: cannot write trace: %s\n%!" msg));
+          (match (energy_profile, profiler) with
+          | Some path, Some p ->
+            (try
+               Obs.write_file ~path (Obs.Profile.flamegraph p);
+               Printf.eprintf "obs: wrote %s\n%!" path
+             with Sys_error msg ->
+               Printf.eprintf "obs: cannot write energy profile: %s\n%!" msg);
+            Format.eprintf "%a@." Obs.Profile.pp_summary p;
+            Obs.Profile.uninstall ()
+          | _ -> ());
           if obs || trace_out <> None then Format.eprintf "%a@." Obs.pp_summary ())
     in
     match mon with

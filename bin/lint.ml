@@ -66,7 +66,9 @@ let sources_cmd =
          hash-order iteration feeding output (L003), wildcard exception \
          swallowing (L004), console output from the library (L005), missing \
          .mli (L006), float (in)equality (L007), malformed suppressions \
-         (L008). Suppress a finding with an inline comment $(b,(* lint: \
+         (L008), ad-hoc domain spawns outside lib/par (L009), direct \
+         power-meter sampling outside lib/power and lib/obs (L010). \
+         Suppress a finding with an inline comment $(b,(* lint: \
          allow L00n reason *)) — the reason is mandatory.";
     ]
   in

@@ -84,9 +84,9 @@ let run_faulty ~device ~quality ~ramp ~fault clip =
     Format.printf "%a@." Streaming.Session.pp_report report;
     0
 
-let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps loss_model loss burst fault_profile obs trace_out monitor slo metrics_out =
-  Common.with_instrumentation ~default_quality:(quality_percent /. 100.) ~obs
-    ~trace_out ~monitor ~slo ~metrics_out
+let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps loss_model loss burst fault_profile obs trace_out energy_profile monitor slo metrics_out =
+  Common.with_instrumentation ~default_quality:(quality_percent /. 100.)
+    ~energy_profile ~obs ~trace_out ~monitor ~slo ~metrics_out
   @@ fun () ->
   let clip = Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps) in
   let device =
@@ -153,7 +153,7 @@ let cmd =
       $ Common.height_arg $ Common.fps_arg $ Common.loss_model_arg
       $ Common.loss_rate_arg $ Common.burst_arg $ Common.fault_profile_arg
       $ Common.obs_arg
-      $ Common.trace_out_arg $ Common.monitor_arg $ Common.slo_arg
-      $ Common.metrics_out_arg)
+      $ Common.trace_out_arg $ Common.energy_profile_arg $ Common.monitor_arg
+      $ Common.slo_arg $ Common.metrics_out_arg)
 
 let () = exit (Cmd.eval' cmd)

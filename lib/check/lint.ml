@@ -13,6 +13,7 @@ let rules =
     { code = "L007"; title = "exact float (in)equality"; lib_only = false };
     { code = "L008"; title = "malformed or bare lint suppression"; lib_only = false };
     { code = "L009"; title = "domain spawned outside lib/par"; lib_only = false };
+    { code = "L010"; title = "meter sampled outside lib/power"; lib_only = false };
   ]
 
 (* --- identifier tables ------------------------------------------------- *)
@@ -41,6 +42,16 @@ let hashtbl_iterators = [ "Hashtbl.fold"; "Hashtbl.iter" ]
    domains bypass the pool's deterministic chunking and reduction
    order, which is the whole byte-identity argument. *)
 let domain_idents = [ "Domain.spawn" ]
+
+(* Power.Meter sampling entry points. Outside lib/power and lib/obs,
+   ad-hoc metering produces joules the energy profiler never sees —
+   all accounting is supposed to flow through the instrumented sites
+   (the meter's own publish hook, the session attribution block). *)
+let meter_idents =
+  [
+    "Power.Meter.create"; "Power.Meter.measure"; "Power.Meter.measure_trace";
+    "Meter.create"; "Meter.measure"; "Meter.measure_trace";
+  ]
 
 let sorters =
   [
@@ -130,7 +141,7 @@ let rec reraises (e : Parsetree.expression) =
 
 (* --- the AST pass ------------------------------------------------------ *)
 
-let lint_ast ~in_lib ~in_par ~file ~emit ast =
+let lint_ast ~in_lib ~in_par ~in_power ~file ~emit ast =
   let diag code loc message =
     let line, col = line_col loc in
     emit (Diagnostic.v ~code ~severity:Diagnostic.Error ~file ~line ~col message)
@@ -153,6 +164,12 @@ let lint_ast ~in_lib ~in_par ~file ~emit ast =
         (Printf.sprintf
            "%s outside lib/par spawns an unmanaged domain; go through \
             Par.Pool, whose chunking keeps results byte-identical" name)
+    | Some name when (not in_power) && List.mem name meter_idents ->
+      diag "L010" e.pexp_loc
+        (Printf.sprintf
+           "%s samples the power meter outside lib/power; energy accounting \
+            flows through the instrumented meter sites so Obs.Profile \
+            attributes every joule" name)
     | Some name when in_lib && List.mem name print_idents ->
       diag "L005" e.pexp_loc
         (Printf.sprintf
@@ -283,7 +300,7 @@ let parse_failure ~file message loc =
       message;
   ]
 
-let lint_source ?in_lib ?in_par ?(has_mli = true) ~path contents =
+let lint_source ?in_lib ?in_par ?in_power ?(has_mli = true) ~path contents =
   let segments =
     let p = String.map (fun c -> if c = '\\' then '/' else c) path in
     String.split_on_char '/' p
@@ -310,6 +327,19 @@ let lint_source ?in_lib ?in_par ?(has_mli = true) ~path contents =
       in
       has_par_seg segments
   in
+  let in_power =
+    match in_power with
+    | Some b -> b
+    | None ->
+      (* lib/obs is exempt alongside lib/power: the profiler and its
+         tests are part of the accounting machinery itself. *)
+      let rec has_power_seg = function
+        | [] -> false
+        | "lib" :: ("power" | "obs") :: _ -> true
+        | _ :: rest -> has_power_seg rest
+      in
+      has_power_seg segments
+  in
   match parse_structure ~path contents with
   | exception Syntaxerr.Error err ->
     parse_failure ~file:path "syntax error"
@@ -329,7 +359,7 @@ let lint_source ?in_lib ?in_par ?(has_mli = true) ~path contents =
     in
     let found = ref comment_diags in
     let emit d = found := d :: !found in
-    lint_ast ~in_lib ~in_par ~file:path ~emit ast;
+    lint_ast ~in_lib ~in_par ~in_power ~file:path ~emit ast;
     if in_lib && not has_mli then
       emit
         (Diagnostic.v ~code:"L006" ~severity:Diagnostic.Error ~file:path

@@ -37,6 +37,10 @@
     - [L009] [Domain.spawn] anywhere but [lib/par] — ad-hoc domains
       bypass the pool's deterministic chunking; all parallelism goes
       through [Par.Pool].
+    - [L010] [Power.Meter.create]/[measure]/[measure_trace] anywhere
+      but [lib/power] or [lib/obs] — energy accounting flows through
+      the instrumented meter sites so [Obs.Profile] attributes every
+      joule; ad-hoc meters produce readings the profiler never sees.
 
     Suppression: [(* lint: allow L00n <reason> *)] on the same line as
     the finding, or on the line above it, silences that code there.
@@ -52,12 +56,14 @@ type rule = {
 val rules : rule list
 (** Every rule the linter knows, in code order. *)
 
-val lint_source : ?in_lib:bool -> ?in_par:bool -> ?has_mli:bool ->
-  path:string -> string -> Check.Diagnostic.t list
+val lint_source : ?in_lib:bool -> ?in_par:bool -> ?in_power:bool ->
+  ?has_mli:bool -> path:string -> string -> Check.Diagnostic.t list
 (** [lint_source ~path contents] lints a source text without touching
     the filesystem. [in_lib] (default: [path] is under a [lib/]
     directory) gates the lib-only rules; [in_par] (default: [path] is
-    under [lib/par]) exempts the pool itself from L009; [has_mli]
+    under [lib/par]) exempts the pool itself from L009; [in_power]
+    (default: [path] is under [lib/power] or [lib/obs]) exempts the
+    meter and the profiler themselves from L010; [has_mli]
     (default [true], so L006 stays quiet) tells the linter whether a
     sibling interface exists. An unparsable file yields a single
     [L000] error. Results are sorted with

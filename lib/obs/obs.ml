@@ -18,6 +18,8 @@ module Window = Window
 module Slo = Slo
 module Monitor = Monitor
 module Openmetrics = Openmetrics
+module Timeseries = Timeseries
+module Profile = Profile
 
 let enable () = Control.set true
 
@@ -63,8 +65,15 @@ let write_file ~path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
+(* The installed profiler's counter track rides along with the spans,
+   so one Perfetto load shows time and energy on the same timeline. *)
 let write_chrome_trace ~path =
-  write_file ~path (Json.to_string (Trace.to_chrome_json ()))
+  let counters =
+    match Profile.current () with
+    | Some p -> Profile.counter_events p
+    | None -> []
+  in
+  write_file ~path (Json.to_string (Trace.to_chrome_json ~counters ()))
 
 let pp_summary ppf () =
   let snap = Registry.snapshot () in

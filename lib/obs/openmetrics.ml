@@ -22,8 +22,11 @@ let escape_label_value s =
   Buffer.contents buf
 
 let number v =
-  if Float.is_integer v && Float.abs v < 1e15 then
-    Printf.sprintf "%.0f" v
+  (* OpenMetrics spells non-finite values "+Inf" / "-Inf" / "NaN";
+     Printf would render them "inf" / "nan", which parsers reject. *)
+  if Float.is_nan v then "NaN"
+  else if not (Float.is_finite v) then if v > 0. then "+Inf" else "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.12g" v
 
 let labels_str labels =
@@ -44,10 +47,21 @@ let sample buf name labels v =
   Buffer.add_string buf (number v);
   Buffer.add_char buf '\n'
 
+(* Units the repo's metric names carry as suffixes. OpenMetrics
+   requires the UNIT text to be a suffix of the family name, so only
+   names ending in one of these get a UNIT line. *)
+let unit_suffixes = [ "seconds"; "joules"; "mj"; "mw"; "bytes"; "frames" ]
+
+let unit_of_name name =
+  List.find_opt (fun u -> String.ends_with ~suffix:("_" ^ u) name) unit_suffixes
+
 let header buf ~name ~help ~kind =
   if help <> "" then
     Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
-  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind);
+  match unit_of_name name with
+  | Some u -> Buffer.add_string buf (Printf.sprintf "# UNIT %s %s\n" name u)
+  | None -> ()
 
 (* OpenMetrics counters carry the base name in the TYPE header and a
    [_total] suffix on the sample line. *)

@@ -1,11 +1,14 @@
 (** OpenMetrics / Prometheus text exposition.
 
     Renders a registry snapshot in the OpenMetrics text format:
-    [# HELP] / [# TYPE] headers per family, cumulative
+    [# HELP] / [# TYPE] headers per family — plus a [# UNIT] line
+    when the family name ends in a recognised unit suffix
+    ([_seconds], [_mj], [_joules], ...) — cumulative
     [_bucket{le="..."}] series plus [_sum] / [_count] for histograms,
     and a closing [# EOF]. Counter families are exposed under the
     spec-mandated [_total] sample name (the [# TYPE] line carries the
-    base name).
+    base name). Non-finite values render as the spec's [+Inf] /
+    [-Inf] / [NaN] spellings.
 
     Optionally appended to the scrape:
     - quantile summaries — one [<family>_quantiles] summary family

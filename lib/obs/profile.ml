@@ -1,0 +1,176 @@
+(* Energy-attribution profiler.
+
+   Samples arrive as (component, millijoules) pairs from
+   [Power.Meter.publish] and the per-scene attribution hook in the
+   streaming session. Each sample is filed under the attribution path
+   [open span stack ++ scene? ++ component], so the same joule shows
+   up three ways: hierarchically (collapsed-stack flame graph of
+   where energy went), over simulated time ([Timeseries] per
+   component), and cumulatively (registry gauge + Chrome counter
+   track). Purely observational: nothing in here feeds back into
+   control decisions, and with no profiler installed [record] is a
+   single option load. *)
+
+type t = {
+  mutex : Mutex.t;
+  store : Timeseries.t;
+  stacks : (string list, float ref) Hashtbl.t;
+  components : (string, float ref) Hashtbl.t;  (* cumulative mJ *)
+  mutable counters : Trace.counter list;  (* newest first *)
+  mutable samples : int;
+}
+
+let create ?(interval_s = 1.) ?(max_series = 64) () =
+  {
+    mutex = Mutex.create ();
+    store = Timeseries.create ~interval_s ~max_series ();
+    stacks = Hashtbl.create 32;
+    components = Hashtbl.create 8;
+    counters = [];
+    samples = 0;
+  }
+
+let with_lock p f =
+  Mutex.lock p.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.mutex) f
+
+(* --- process-global instance ------------------------------------------- *)
+
+let instance : t option ref = ref None
+
+let install p = instance := Some p
+
+let uninstall () = instance := None
+
+let current () = !instance
+
+let installed () = Option.is_some !instance
+
+(* --- recording ---------------------------------------------------------- *)
+
+let obs_energy component =
+  Registry.gauge ~help:"Cumulative attributed energy per component (mJ)"
+    "profile_energy_mj"
+    [ ("component", component) ]
+
+(* Collapsed-stack segments may not contain the format's own
+   separators. *)
+let clean_segment s =
+  String.map (function ';' | ' ' | '\n' -> '_' | c -> c) s
+
+let bump tbl key mj =
+  match Hashtbl.find_opt tbl key with
+  | Some cell -> cell := !cell +. mj
+  | None -> Hashtbl.add tbl key (ref mj)
+
+let record_in p ?(t_s = 0.) ?scene ~component mj =
+  if Float.is_finite mj then begin
+    let base = Trace.current_path () in
+    let path =
+      base
+      @ (match scene with
+        | Some i -> [ "scene." ^ string_of_int i ]
+        | None -> [])
+      @ [ component ]
+    in
+    let now = Clock.now_ns () in
+    with_lock p (fun () ->
+        p.samples <- p.samples + 1;
+        bump p.stacks path mj;
+        bump p.components component mj;
+        (match
+           Timeseries.series p.store ~merge:Timeseries.Sum "energy_mj"
+             [ ("component", component) ]
+         with
+        | Some se -> Timeseries.observe se ~t_s mj
+        | None -> ());
+        Metrics.Gauge.add (obs_energy component) mj;
+        (* One counter sample per recording, carrying every
+           component's cumulative total: Perfetto stacks the args
+           into an area chart of energy over (wall-clock) time. *)
+        let values =
+          Hashtbl.fold (fun c cell acc -> (c, !cell) :: acc) p.components []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        p.counters <-
+          { Trace.c_name = "energy_mj"; c_ts_ns = now; c_values = values }
+          :: p.counters)
+  end
+
+let record ?t_s ?scene ~component mj =
+  if Control.on () then
+    match !instance with
+    | None -> ()
+    | Some p -> record_in p ?t_s ?scene ~component mj
+
+(* --- readbacks ---------------------------------------------------------- *)
+
+let samples p = with_lock p (fun () -> p.samples)
+
+let compare_paths a b = compare (a : string list) b
+
+let stacks p =
+  with_lock p (fun () ->
+      Hashtbl.fold (fun path cell acc -> (path, !cell) :: acc) p.stacks []
+      |> List.sort (fun (a, _) (b, _) -> compare_paths a b))
+
+let by_component p =
+  with_lock p (fun () ->
+      Hashtbl.fold (fun c cell acc -> (c, !cell) :: acc) p.components []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let total_mj p =
+  List.fold_left (fun acc (_, mj) -> acc +. mj) 0. (by_component p)
+
+let counter_events p = with_lock p (fun () -> List.rev p.counters)
+
+let timeseries p = p.store
+
+(* --- rendering ---------------------------------------------------------- *)
+
+(* Collapsed-stack format: one [seg;seg;... value] line per path,
+   integer values. Joules are tiny at session scale, so the unit is
+   the microjoule — enough resolution that no real stack rounds to
+   zero while flamegraph.pl-style folders still get integers. *)
+let flamegraph p =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (path, mj) ->
+      let uj = int_of_float (Float.round (mj *. 1000.)) in
+      Buffer.add_string buf
+        (String.concat ";" (List.map clean_segment path));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int uj);
+      Buffer.add_char buf '\n')
+    (stacks p);
+  Buffer.contents buf
+
+let to_json p =
+  let components = by_component p in
+  Json.Obj
+    [
+      ("total_mj", Json.Float (total_mj p));
+      ("samples", Json.Int (samples p));
+      ( "components",
+        Json.Obj (List.map (fun (c, mj) -> (c, Json.Float mj)) components) );
+      ( "stacks",
+        Json.List
+          (List.map
+             (fun (path, mj) ->
+               Json.Obj
+                 [
+                   ("path", Json.String (String.concat ";" path));
+                   ("mj", Json.Float mj);
+                 ])
+             (stacks p)) );
+      ("series", Timeseries.to_json p.store);
+    ]
+
+let pp_summary ppf p =
+  let components = by_component p in
+  Format.fprintf ppf "@[<v>energy profile: %.3f mJ over %d samples@,"
+    (total_mj p) (samples p);
+  List.iter
+    (fun (c, mj) -> Format.fprintf ppf "  %-12s %10.3f mJ@," c mj)
+    components;
+  Format.fprintf ppf "@]"

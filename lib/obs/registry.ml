@@ -147,6 +147,22 @@ let dropped_family () =
       };
     ]
 
+(* Same pattern for the time-series cardinality guard: creations the
+   [Timeseries] stores refused show up on the default registry as
+   [obs_series_dropped_total]. *)
+let series_dropped_family () =
+  let dropped = Timeseries.dropped_total () in
+  if dropped = 0 then []
+  else
+    [
+      {
+        family = "obs_series_dropped_total";
+        help = "Time-series creations refused by the cardinality guard";
+        kind = Counter;
+        series = [ { labels = []; value = Counter_v dropped } ];
+      };
+    ]
+
 let snapshot ?(registry = default) () =
   with_lock registry (fun () ->
       Hashtbl.fold
@@ -160,7 +176,8 @@ let snapshot ?(registry = default) () =
           in
           { family = f.f_name; help = f.f_help; kind = f.f_kind; series } :: acc)
         registry.families
-        (if registry == default then dropped_family () else [])
+        (if registry == default then dropped_family () @ series_dropped_family ()
+         else [])
       |> List.sort (fun a b -> String.compare a.family b.family))
 
 let reset ?(registry = default) () =

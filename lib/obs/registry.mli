@@ -58,9 +58,11 @@ type snapshot = family_snapshot list
 
 val snapshot : ?registry:t -> unit -> snapshot
 (** Families sorted by name, series sorted by labels — deterministic.
-    On the default registry the snapshot also carries a synthetic
-    [obs_dropped_samples_total] counter family once any histogram
-    sample has been clamped by the NaN/negative guard. *)
+    On the default registry the snapshot also carries synthetic
+    counter families once their counts are nonzero:
+    [obs_dropped_samples_total] (histogram samples clamped by the
+    NaN/negative guard) and [obs_series_dropped_total] (time-series
+    creations refused by the {!Timeseries} cardinality guard). *)
 
 val reset : ?registry:t -> unit -> unit
 (** Zero every series in place. Cached handles stay valid. *)

@@ -1,0 +1,303 @@
+(* Label-keyed, fixed-interval time series on the *simulated* clock.
+
+   Each series is a bounded array of buckets covering [0, capacity *
+   interval). When an observation lands past the window, adjacent
+   bucket pairs merge and the interval doubles until it fits — the
+   downsample keeps memory constant over arbitrarily long sessions
+   while the stored state stays a pure function of the observation
+   multiset: the per-bucket merge (count/sum/max) is commutative and
+   associative, so neither arrival order nor how the feed was chunked
+   can show in a snapshot. The store refuses new (name, labels) pairs
+   past [max_series] and counts the refusals, so a runaway label set
+   (thousands of fleet sessions, say) degrades into a counter instead
+   of an unbounded registry. *)
+
+type merge = Sum | Avg | Max
+
+let merge_name = function Sum -> "sum" | Avg -> "avg" | Max -> "max"
+
+type point = { p_count : int; p_sum : float; p_max : float }
+
+let empty_point = { p_count = 0; p_sum = 0.; p_max = neg_infinity }
+
+let point_of_sample v = { p_count = 1; p_sum = v; p_max = v }
+
+let merge_points a b =
+  if a.p_count = 0 then b
+  else if b.p_count = 0 then a
+  else
+    {
+      p_count = a.p_count + b.p_count;
+      p_sum = a.p_sum +. b.p_sum;
+      p_max = Float.max a.p_max b.p_max;
+    }
+
+let point_value merge p =
+  if p.p_count = 0 then None
+  else
+    Some
+      (match merge with
+      | Sum -> p.p_sum
+      | Avg -> p.p_sum /. float_of_int p.p_count
+      | Max -> p.p_max)
+
+type series = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_merge : merge;
+  mutable s_interval_s : float;
+  s_buckets : point array;
+  mutable s_downsamples : int;
+}
+
+let series_name s = s.s_name
+
+let series_labels s = s.s_labels
+
+let series_merge s = s.s_merge
+
+let interval_s s = s.s_interval_s
+
+let downsamples s = s.s_downsamples
+
+(* Pairwise merge into the lower half, doubling the interval. The
+   capacity is forced even at creation, so no bucket straddles the
+   fold. *)
+let compact se =
+  let n = Array.length se.s_buckets in
+  for k = 0 to (n / 2) - 1 do
+    se.s_buckets.(k) <- merge_points se.s_buckets.(2 * k) se.s_buckets.((2 * k) + 1)
+  done;
+  for k = n / 2 to n - 1 do
+    se.s_buckets.(k) <- empty_point
+  done;
+  se.s_interval_s <- se.s_interval_s *. 2.;
+  se.s_downsamples <- se.s_downsamples + 1
+
+let rec bucket_index se t =
+  let i = int_of_float (t /. se.s_interval_s) in
+  if i < Array.length se.s_buckets then max 0 i
+  else begin
+    compact se;
+    bucket_index se t
+  end
+
+let observe se ~t_s v =
+  (* Non-finite samples would poison every later merge; drop them, as
+     the histogram NaN guard does. Non-finite timestamps clamp to the
+     origin rather than looping the compactor forever. *)
+  if Float.is_finite v then begin
+    let t = if Float.is_finite t_s then Float.max 0. t_s else 0. in
+    let i = bucket_index se t in
+    se.s_buckets.(i) <- merge_points se.s_buckets.(i) (point_of_sample v)
+  end
+
+(* --- the store --------------------------------------------------------- *)
+
+type t = {
+  mutex : Mutex.t;
+  interval_s : float;
+  capacity : int;
+  max_series : int;
+  tbl : (string * (string * string) list, series) Hashtbl.t;
+  mutable dropped : int;
+}
+
+(* Process-wide refusal count, surfaced by the default registry as the
+   synthetic [obs_series_dropped_total] family so any export shows
+   when a store hit its cardinality guard. *)
+let global_dropped = Atomic.make 0
+
+let dropped_total () = Atomic.get global_dropped
+
+let create ?(max_series = 64) ?(interval_s = 1.) ?(capacity = 256) () =
+  if interval_s <= 0. then invalid_arg "Timeseries.create: interval must be positive";
+  if capacity < 2 then invalid_arg "Timeseries.create: capacity must be at least 2";
+  if max_series < 1 then invalid_arg "Timeseries.create: max_series must be positive";
+  {
+    mutex = Mutex.create ();
+    interval_s;
+    capacity = (capacity + 1) / 2 * 2 (* even, see [compact] *);
+    max_series;
+    tbl = Hashtbl.create 16;
+    dropped = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let normalise_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let series t ?(merge = Sum) name labels =
+  let labels = normalise_labels labels in
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl (name, labels) with
+      | Some se ->
+        if se.s_merge <> merge then
+          invalid_arg
+            (Printf.sprintf "Timeseries: %s is a %s series, requested as %s" name
+               (merge_name se.s_merge) (merge_name merge));
+        Some se
+      | None ->
+        if Hashtbl.length t.tbl >= t.max_series then begin
+          t.dropped <- t.dropped + 1;
+          Atomic.incr global_dropped;
+          None
+        end
+        else begin
+          let se =
+            {
+              s_name = name;
+              s_labels = labels;
+              s_merge = merge;
+              s_interval_s = t.interval_s;
+              s_buckets = Array.make t.capacity empty_point;
+              s_downsamples = 0;
+            }
+          in
+          Hashtbl.add t.tbl (name, labels) se;
+          Some se
+        end)
+
+let dropped t = with_lock t (fun () -> t.dropped)
+
+let series_count t = with_lock t (fun () -> Hashtbl.length t.tbl)
+
+(* --- snapshots ---------------------------------------------------------- *)
+
+type snap_point = { t_s : float; count : int; sum : float; max_v : float }
+
+type snap = {
+  sn_name : string;
+  sn_labels : (string * string) list;
+  sn_merge : merge;
+  sn_interval_s : float;
+  sn_points : snap_point list;  (* non-empty buckets, ascending time *)
+}
+
+let compare_labels a b =
+  compare
+    (List.map (fun (k, v) -> k ^ "\000" ^ v) a)
+    (List.map (fun (k, v) -> k ^ "\000" ^ v) b)
+
+let snapshot_series se =
+  let points = ref [] in
+  let n = Array.length se.s_buckets in
+  for i = n - 1 downto 0 do
+    let p = se.s_buckets.(i) in
+    if p.p_count > 0 then
+      points :=
+        {
+          t_s = float_of_int i *. se.s_interval_s;
+          count = p.p_count;
+          sum = p.p_sum;
+          max_v = p.p_max;
+        }
+        :: !points
+  done;
+  {
+    sn_name = se.s_name;
+    sn_labels = se.s_labels;
+    sn_merge = se.s_merge;
+    sn_interval_s = se.s_interval_s;
+    sn_points = !points;
+  }
+
+let snapshot t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ se acc -> snapshot_series se :: acc) t.tbl []
+      |> List.sort (fun a b ->
+             match String.compare a.sn_name b.sn_name with
+             | 0 -> compare_labels a.sn_labels b.sn_labels
+             | c -> c))
+
+let snap_value merge (p : snap_point) =
+  match
+    point_value merge { p_count = p.count; p_sum = p.sum; p_max = p.max_v }
+  with
+  | Some v -> v
+  | None -> 0.
+
+(* Whole-series roll-up under the series' own merge: total for [Sum],
+   overall mean for [Avg], running max for [Max]. *)
+let total (s : snap) =
+  let folded =
+    List.fold_left
+      (fun acc p ->
+        merge_points acc { p_count = p.count; p_sum = p.sum; p_max = p.max_v })
+      empty_point s.sn_points
+  in
+  match point_value s.sn_merge folded with Some v -> v | None -> 0.
+
+(* --- diff ---------------------------------------------------------------- *)
+
+type change = {
+  c_name : string;
+  c_labels : (string * string) list;
+  c_before : float option;  (* None: series absent on that side *)
+  c_after : float option;
+}
+
+let delta c =
+  Option.value c.c_after ~default:0. -. Option.value c.c_before ~default:0.
+
+let diff ~before ~after =
+  let key (s : snap) = (s.sn_name, s.sn_labels) in
+  let changes = ref [] in
+  List.iter
+    (fun (b : snap) ->
+      let a = List.find_opt (fun a -> key a = key b) after in
+      changes :=
+        {
+          c_name = b.sn_name;
+          c_labels = b.sn_labels;
+          c_before = Some (total b);
+          c_after = Option.map total a;
+        }
+        :: !changes)
+    before;
+  List.iter
+    (fun (a : snap) ->
+      if not (List.exists (fun b -> key b = key a) before) then
+        changes :=
+          {
+            c_name = a.sn_name;
+            c_labels = a.sn_labels;
+            c_before = None;
+            c_after = Some (total a);
+          }
+          :: !changes)
+    after;
+  List.sort
+    (fun a b ->
+      match String.compare a.c_name b.c_name with
+      | 0 -> compare_labels a.c_labels b.c_labels
+      | c -> c)
+    !changes
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let snap_to_json (s : snap) =
+  Json.Obj
+    [
+      ("name", Json.String s.sn_name);
+      ( "labels",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.sn_labels) );
+      ("merge", Json.String (merge_name s.sn_merge));
+      ("interval_s", Json.Float s.sn_interval_s);
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : snap_point) ->
+               Json.Obj
+                 [
+                   ("t_s", Json.Float p.t_s);
+                   ("value", Json.Float (snap_value s.sn_merge p));
+                   ("count", Json.Int p.count);
+                 ])
+             s.sn_points) );
+    ]
+
+let to_json t = Json.List (List.map snap_to_json (snapshot t))

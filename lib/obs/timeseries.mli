@@ -1,0 +1,120 @@
+(** Label-keyed, fixed-interval time series on the simulated clock.
+
+    Built for the energy profiler but generic: each series is a
+    bounded bucket array anchored at t = 0 whose interval doubles
+    (adjacent buckets merging pairwise) whenever an observation lands
+    past the window. The merge state (count/sum/max) is commutative
+    and associative, so snapshots are a pure function of the observed
+    multiset — independent of arrival order and of how the feed was
+    chunked. A cardinality guard bounds the number of (name, labels)
+    pairs per store; refusals are counted locally and in a
+    process-wide total the default registry exposes as
+    [obs_series_dropped_total]. *)
+
+type merge = Sum | Avg | Max
+(** How bucket values are reported (and how the whole-series
+    {!total} rolls up): sum of samples, their mean, or their max. *)
+
+val merge_name : merge -> string
+(** ["sum"], ["avg"] or ["max"]. *)
+
+type point = { p_count : int; p_sum : float; p_max : float }
+(** Raw merge state of one bucket. Exposed so property tests can
+    check the algebra directly. *)
+
+val empty_point : point
+
+val point_of_sample : float -> point
+
+val merge_points : point -> point -> point
+(** Commutative, associative, with {!empty_point} as identity. *)
+
+val point_value : merge -> point -> float option
+(** Reported value of a bucket under a merge mode; [None] if empty. *)
+
+(** {1 Series} *)
+
+type series
+
+val series_name : series -> string
+
+val series_labels : series -> (string * string) list
+(** Labels in canonical (key-sorted) order. *)
+
+val series_merge : series -> merge
+
+val interval_s : series -> float
+(** Current bucket width; grows by doubling as the series downsamples. *)
+
+val downsamples : series -> int
+(** How many interval-doubling compactions have happened. *)
+
+val observe : series -> t_s:float -> float -> unit
+(** [observe se ~t_s v] records sample [v] at simulated time [t_s]
+    seconds. Non-finite [v] is dropped; non-finite or negative [t_s]
+    clamps to the first bucket. Not thread-safe per series — callers
+    serialise (the profiler does). *)
+
+(** {1 Store} *)
+
+type t
+
+val create : ?max_series:int -> ?interval_s:float -> ?capacity:int -> unit -> t
+(** [create ()] — defaults: at most 64 series, 1 s buckets, 256
+    buckets per series (rounded up to even). Raises [Invalid_argument]
+    on non-positive parameters. *)
+
+val series : t -> ?merge:merge -> string -> (string * string) list -> series option
+(** [series t name labels] finds or creates the series keyed by
+    [name] and the key-sorted [labels]. Returns [None] — and bumps the
+    dropped counters — when the store is at [max_series] and the key
+    is new. Raises [Invalid_argument] if the series exists with a
+    different merge mode. *)
+
+val dropped : t -> int
+(** Series-creation refusals in this store. *)
+
+val dropped_total : unit -> int
+(** Process-wide refusal count across all stores, surfaced by the
+    default registry as the [obs_series_dropped_total] family. *)
+
+val series_count : t -> int
+
+(** {1 Snapshots and diffs} *)
+
+type snap_point = { t_s : float; count : int; sum : float; max_v : float }
+
+type snap = {
+  sn_name : string;
+  sn_labels : (string * string) list;
+  sn_merge : merge;
+  sn_interval_s : float;
+  sn_points : snap_point list;  (** non-empty buckets, ascending time *)
+}
+
+val snapshot : t -> snap list
+(** Deterministic: series sorted by (name, labels), points by time. *)
+
+val snap_value : merge -> snap_point -> float
+
+val total : snap -> float
+(** Whole-series roll-up under the series' own merge mode: grand
+    total for [Sum], overall mean for [Avg], running max for [Max]. *)
+
+type change = {
+  c_name : string;
+  c_labels : (string * string) list;
+  c_before : float option;  (** [None]: series absent before *)
+  c_after : float option;  (** [None]: series absent after *)
+}
+
+val delta : change -> float
+(** [after - before], absent sides reading as zero. *)
+
+val diff : before:snap list -> after:snap list -> change list
+(** Totals-based comparison of two snapshots, sorted by (name,
+    labels); series present on either side appear exactly once. *)
+
+val snap_to_json : snap -> Json.t
+
+val to_json : t -> Json.t

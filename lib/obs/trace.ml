@@ -67,6 +67,9 @@ let with_span ?(attrs = []) name f =
 
 let roots () = with_lock (fun () -> List.rev !completed_roots)
 
+let current_path () =
+  with_lock (fun () -> List.rev_map (fun b -> b.b_name) !stack)
+
 let reset () =
   with_lock (fun () ->
       stack := [];
@@ -160,24 +163,56 @@ let pp_flame ppf () =
   List.iter (pp_span ~indent:0 ~parent_ns:0L) (roots ());
   Format.fprintf ppf "@]"
 
-let to_chrome_json () =
+type counter = {
+  c_name : string;
+  c_ts_ns : int64;
+  c_values : (string * float) list;
+}
+
+let to_chrome_json ?(counters = []) () =
+  (* Perfetto tolerates out-of-order "X" events but renders "C"
+     counter tracks against the running timeline, so the combined
+     stream must be in timestamp order. Tag every event with its
+     start and stable-sort at the end — DFS emission order alone only
+     covers the span-only case. *)
   let events = ref [] in
   let rec emit s =
     events :=
-      Json.Obj
-        [
-          ("name", Json.String s.name);
-          ("cat", Json.String "obs");
-          ("ph", Json.String "X");
-          ("ts", Json.Float (Clock.ns_to_us s.start_ns));
-          ("dur", Json.Float (Clock.ns_to_us s.duration_ns));
-          ("pid", Json.Int 1);
-          ("tid", Json.Int 1);
-          ( "args",
-            Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.attrs) );
-        ]
+      ( s.start_ns,
+        Json.Obj
+          [
+            ("name", Json.String s.name);
+            ("cat", Json.String "obs");
+            ("ph", Json.String "X");
+            ("ts", Json.Float (Clock.ns_to_us s.start_ns));
+            ("dur", Json.Float (Clock.ns_to_us s.duration_ns));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+            ( "args",
+              Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.attrs) );
+          ] )
       :: !events;
     List.iter emit s.children
   in
   List.iter emit (roots ());
-  Json.List (List.rev !events)
+  List.iter
+    (fun c ->
+      events :=
+        ( c.c_ts_ns,
+          Json.Obj
+            [
+              ("name", Json.String c.c_name);
+              ("cat", Json.String "obs");
+              ("ph", Json.String "C");
+              ("ts", Json.Float (Clock.ns_to_us c.c_ts_ns));
+              ("pid", Json.Int 1);
+              ( "args",
+                Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) c.c_values)
+              );
+            ] )
+        :: !events)
+    counters;
+  List.rev !events
+  |> List.stable_sort (fun (a, _) (b, _) -> Int64.compare a b)
+  |> List.map snd
+  |> fun sorted -> Json.List sorted

@@ -22,6 +22,11 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 val roots : unit -> span list
 (** Completed top-level spans, in start order. *)
 
+val current_path : unit -> string list
+(** Names of the spans currently open on this domain's stack,
+    outermost first — the attribution prefix the energy profiler
+    files samples under. Empty outside any span. *)
+
 val reset : unit -> unit
 (** Drop all recorded spans (start of a fresh run). *)
 
@@ -54,6 +59,18 @@ val pp_flame : Format.formatter -> unit -> unit
 (** Indented tree of the recorded spans with durations and each
     child's share of its parent. *)
 
-val to_chrome_json : unit -> Json.t
+(** {1 Chrome export} *)
+
+type counter = {
+  c_name : string;  (** counter track name *)
+  c_ts_ns : int64;
+  c_values : (string * float) list;  (** one stacked value per key *)
+}
+(** A Chrome [trace_event] counter ("ph":"C") sample — Perfetto draws
+    each one as a point on a stacked counter track. *)
+
+val to_chrome_json : ?counters:counter list -> unit -> Json.t
 (** The recorded tree as a Chrome [trace_event] array of complete
-    ("ph":"X") events; attrs become event [args]. *)
+    ("ph":"X") events; attrs become event [args]. [counters] are
+    interleaved as "ph":"C" events, and the combined stream is sorted
+    by timestamp so counter tracks render correctly in Perfetto. *)

@@ -35,7 +35,10 @@ let publish ?component reading =
          measurement time. *)
       Obs.Monitor.gauge
         (Obs.Monitor.declare_series ("power_" ^ c ^ "_mj"))
-        reading.energy_mj
+        reading.energy_mj;
+      (* And the energy profiler: every metered joule is attributed
+         under whatever span is open at measurement time. *)
+      Obs.Profile.record ~component:c reading.energy_mj
     | None -> ()
   end;
   reading

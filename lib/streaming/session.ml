@@ -405,6 +405,54 @@ let run config clip =
                 Obs.Monitor.gauge s_degraded_scenes
                   (float_of_int degraded_scenes)
               end;
+              if Obs.enabled () && Obs.Profile.installed () then begin
+                (* Attribute the delivered session's joules scene by
+                   scene to the energy profiler: backlight at the
+                   register actually played (post-patch, post-ramp),
+                   the constant display electronics over each scene's
+                   duration, and the session-level CPU / radio
+                   accounts. Component sums reproduce [optimised]
+                   exactly (modulo float associativity), which the
+                   tests pin to 1e-9 J. Observational only — nothing
+                   below reads the profiler back. *)
+                let d = config.device in
+                let constant_mw =
+                  d.Display.Device.lcd_logic_power_mw
+                  +. d.Display.Device.base_power_mw
+                in
+                let record_scene idx ~first ~count =
+                  let last = min frames (first + count) - 1 in
+                  if count > 0 && first < frames then begin
+                    let t_s = float_of_int first *. dt_s in
+                    let backlight = ref 0. in
+                    for i = first to last do
+                      backlight :=
+                        !backlight
+                        +. Power.Model.backlight_power_mw d ~on:true
+                             ~register:registers.(i)
+                           *. dt_s
+                    done;
+                    let scene_s = float_of_int (last - first + 1) *. dt_s in
+                    Obs.Profile.record ~t_s ~scene:idx ~component:"backlight"
+                      !backlight;
+                    Obs.Profile.record ~t_s ~scene:idx ~component:"display"
+                      (constant_mw *. scene_s)
+                  end
+                in
+                let entries = client_track.Annotation.Track.entries in
+                if Array.length entries = 0 then
+                  record_scene 0 ~first:0 ~count:frames
+                else
+                  Array.iteri
+                    (fun idx (e : Annotation.Track.entry) ->
+                      record_scene idx ~first:e.first_frame
+                        ~count:e.frame_count)
+                    entries;
+                Obs.Profile.record ~component:"decode"
+                  dvfs.Dvfs_playback.cpu_energy_mj;
+                Obs.Profile.record ~component:"radio"
+                  radio.Radio.radio_energy_mj
+              end;
               let backlight_savings =
                 let p r = Power.Model.backlight_power_mw config.device ~on:true ~register:r in
                 let used = Array.fold_left (fun a r -> a +. p r) 0. registers in

@@ -1,0 +1,4 @@
+(* Negative fixture: raw Power.Meter sampling outside lib/power (L010). *)
+let energy =
+  let meter = Power.Meter.create () in
+  meter

@@ -37,6 +37,7 @@ let test_fixtures_fire_once () =
       ("l007_float_eq.ml", false, true, "L007");
       ("l008_bare_allow.ml", false, true, "L008");
       ("l009_domain.ml", false, true, "L009");
+      ("l010_meter.ml", false, true, "L010");
     ]
 
 let test_clean_fixture () =
@@ -51,10 +52,31 @@ let test_l009_pool_exempt () =
   check_codes "explicit in_par is exempt" []
     (Lint.lint_source ~in_par:true ~path:"fixtures/lint/l009_domain.ml" source)
 
+let test_l010_meter_exempt () =
+  (* The meter's own library and the profiler that consumes it are the
+     sanctioned sampling sites; the same source is clean there, and a
+     reasoned allow-comment silences the rule anywhere else. *)
+  let source = read_file "fixtures/lint/l010_meter.ml" in
+  check_codes "lib/power path is exempt" []
+    (Lint.lint_source ~path:"lib/power/calibrate.ml" source);
+  check_codes "lib/obs path is exempt" []
+    (Lint.lint_source ~path:"lib/obs/profile.ml" source);
+  check_codes "explicit in_power is exempt" []
+    (Lint.lint_source ~in_power:true ~path:"fixtures/lint/l010_meter.ml" source);
+  let allowed =
+    "(* lint: allow L010 test rig owns its meter *)\n\
+     let m = Power.Meter.create ()\n"
+  in
+  check_codes "reasoned allow silences L010" []
+    (Lint.lint_source ~path:"lib/streaming/x.ml" allowed)
+
 let test_every_rule_has_a_fixture () =
   (* L000 is the parse-failure code, not a rule with a fixture. *)
   let covered =
-    [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008"; "L009" ]
+    [
+      "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008"; "L009";
+      "L010";
+    ]
   in
   Alcotest.(check (list string))
     "rule registry matches fixture corpus" covered
@@ -364,6 +386,7 @@ let () =
           Alcotest.test_case "fixtures fire once" `Quick test_fixtures_fire_once;
           Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
           Alcotest.test_case "lib/par exempt from L009" `Quick test_l009_pool_exempt;
+          Alcotest.test_case "lib/power exempt from L010" `Quick test_l010_meter_exempt;
           Alcotest.test_case "registry covered" `Quick test_every_rule_has_a_fixture;
           Alcotest.test_case "unparsable" `Quick test_unparsable_is_l000;
         ] );
