@@ -22,19 +22,23 @@ check:
 	  && $(MAKE) slo-smoke && $(MAKE) chaos && $(MAKE) gate
 
 # Static gate 1: the determinism linter over the library and tool
-# sources (rules L001-L009, see README "Static checks"). Exits 1 on
+# sources (rules L001-L011, see README "Static checks"). Exits 1 on
 # any finding without a reasoned `lint: allow` comment.
 lint:
 	dune exec bin/lint.exe -- sources lib bin
 
 # Static gate 2: the offline artifact verifier over everything the
-# repo ships — the example SLO and fault profiles, plus a freshly
-# encoded annotation track (codes V1xx/V2xx/V3xx).
+# repo ships — the example SLO and fault profiles, a freshly encoded
+# annotation track (codes V1xx/V2xx/V3xx), and a freshly recorded
+# decision journal (codes V4xx).
 verify-fixtures:
 	dune build
 	dune exec bin/annotate.exe -- -c theincredibles-tlr2 \
 	  -o _build/verify-track.bin > /dev/null
+	dune exec bin/playback.exe -- -c theincredibles-tlr2 \
+	  --journal _build/verify-session.journal > /dev/null
 	dune exec bin/lint.exe -- verify _build/verify-track.bin \
+	  _build/verify-session.journal \
 	  examples/default.slo examples/*.fault
 
 # End-to-end health gate: monitored playback of a seeded clip against
@@ -74,10 +78,13 @@ gate:
 	mkdir -p _build/gate
 	cd _build/gate && ../default/bench/main.exe energy \
 	  --baseline ../../BENCH_baseline.json --gate > /dev/null
+	cd _build/gate && ../default/bin/lint.exe verify BENCH_session.journal \
+	  > /dev/null
 	cd _build/gate && ! ../default/bench/main.exe energy \
 	  --baseline ../../BENCH_baseline.json --gate --inject-regression 10 \
 	  > /dev/null
-	@echo "gate: baseline reproduces; injected 10% regression trips it"
+	@echo "gate: baseline reproduces; injected 10% regression trips it;"
+	@echo "gate: the bench journal passes the offline V4xx audit"
 
 # Regenerate the committed energy baseline. Do this ONLY alongside a
 # reasoned diff in the PR: state what moved, by how much, and why the

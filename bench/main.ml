@@ -1270,11 +1270,23 @@ let energy_rows : Obs.Json.t list ref = ref []
    on drift without touching the simulator. *)
 let inject_regression_pct = ref 0.
 
+(* Top-level run summary for BENCH_report.json: headline savings and
+   throughput. [savings_pct] is deterministic and gated with the usual
+   half-point tolerance; [frames_per_s] is wall-clock and gated
+   presence-only (see [metric_ok]). *)
+let energy_summary : (string * Obs.Json.t) list ref = ref []
+
 let energy () =
   section "Extension — E17: energy attribution (joules per stage/scene/component)";
   let profiler = Obs.Profile.create () in
   Obs.Profile.install profiler;
   Fun.protect ~finally:Obs.Profile.uninstall @@ fun () ->
+  (* One journal across all four sessions: the sample exercises the
+     per-session timestamp reset the verifier checks (V406), and its
+     size answers "what does the flight recorder cost at rest". *)
+  let journal = Obs.Journal.create () in
+  Obs.Journal.install journal;
+  Fun.protect ~finally:Obs.Journal.uninstall @@ fun () ->
   let clips =
     [
       Video.Workloads.themovie;
@@ -1283,14 +1295,18 @@ let energy () =
       Video.Workloads.officexp;
     ]
   in
-  Printf.printf "%-18s %12s %12s %9s %11s %7s %7s\n" "clip" "device mJ"
-    "baseline mJ" "saved" "backlight" "cpu" "radio";
+  Printf.printf "%-18s %12s %12s %9s %11s %7s %7s %8s %8s\n" "clip" "device mJ"
+    "baseline mJ" "saved" "backlight" "cpu" "radio" "jrnl ev" "jrnl B";
   rule ();
+  let t0 = Obs.Clock.now_ns () in
+  let sum_savings_pct = ref 0. and total_frames = ref 0 in
   List.iter
     (fun profile ->
       let name = profile.Video.Profile.name in
       let clip = Video.Clip_gen.render ~width:96 ~height:72 ~fps:12. profile in
       let before = Obs.Profile.by_component profiler in
+      let journal_ev0 = Obs.Journal.length journal in
+      let journal_b0 = Obs.Journal.size_bytes journal in
       let report =
         Obs.Trace.with_span ("clip." ^ name) @@ fun () ->
         match
@@ -1346,11 +1362,18 @@ let energy () =
       let device_mj = report.Streaming.Session.device_energy_mj *. scale in
       let baseline_mj = report.Streaming.Session.baseline_energy_mj in
       let device_savings_pct = 100. *. (baseline_mj -. device_mj) /. baseline_mj in
-      Printf.printf "%-18s %12.1f %12.1f %8.1f%% %10.1f%% %6.1f%% %6.1f%%\n" name
-        device_mj baseline_mj device_savings_pct
+      (* This clip's share of the shared journal: both counts are pure
+         functions of the session, so the gate compares them exactly. *)
+      let journal_events = Obs.Journal.length journal - journal_ev0 in
+      let journal_bytes = Obs.Journal.size_bytes journal - journal_b0 in
+      sum_savings_pct := !sum_savings_pct +. device_savings_pct;
+      total_frames := !total_frames + report.Streaming.Session.frames;
+      Printf.printf "%-18s %12.1f %12.1f %8.1f%% %10.1f%% %6.1f%% %6.1f%% %8d %8d\n"
+        name device_mj baseline_mj device_savings_pct
         (100. *. report.Streaming.Session.backlight_savings)
         (100. *. report.Streaming.Session.cpu_savings)
-        (100. *. report.Streaming.Session.radio_savings);
+        (100. *. report.Streaming.Session.radio_savings)
+        journal_events journal_bytes;
       energy_rows :=
         !energy_rows
         @ [
@@ -1368,6 +1391,8 @@ let energy () =
                   Obs.Json.Float (100. *. report.Streaming.Session.cpu_savings) );
                 ( "radio_savings_pct",
                   Obs.Json.Float (100. *. report.Streaming.Session.radio_savings) );
+                ("journal_events", Obs.Json.Int journal_events);
+                ("journal_bytes", Obs.Json.Int journal_bytes);
                 ( "components_mj",
                   Obs.Json.Obj
                     (List.map (fun (c, v) -> (c, Obs.Json.Float v)) components) );
@@ -1377,6 +1402,19 @@ let energy () =
               ];
           ])
     clips;
+  let wall_s = Float.max 1e-9 (Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns ~since:t0)) in
+  energy_summary :=
+    [
+      ( "savings_pct",
+        Obs.Json.Float (!sum_savings_pct /. float_of_int (List.length clips)) );
+      ("frames_per_s", Obs.Json.Float (float_of_int !total_frames /. wall_s));
+    ];
+  Obs.Journal.write journal ~path:"BENCH_session.journal";
+  Printf.printf
+    "\nwrote BENCH_session.journal (%d sessions, %d events, %d bytes — read \
+     back with `inspect timeline`, audit with `lint verify`)\n"
+    (List.length clips) (Obs.Journal.length journal)
+    (Obs.Journal.size_bytes journal);
   Obs.write_file ~path:"BENCH_energy.folded" (Obs.Profile.flamegraph profiler);
   Printf.printf
     "\nwrote BENCH_energy.folded (collapsed stacks, microjoules — render \
@@ -1394,6 +1432,10 @@ let energy_section () =
   if !energy_rows = [] then []
   else [ ("energy", Obs.Json.List !energy_rows) ]
 
+let summary_section () =
+  if !energy_summary = [] then []
+  else [ ("summary", Obs.Json.Obj !energy_summary) ]
+
 let write_baseline ~path =
   if !energy_rows = [] then begin
     prerr_endline
@@ -1404,10 +1446,11 @@ let write_baseline ~path =
   Obs.write_file ~path
     (Obs.Json.to_string
        (Obs.Json.Obj
-          [
-            ("_comment", Obs.Json.String baseline_comment);
-            ("energy", Obs.Json.List !energy_rows);
-          ]));
+          ([
+             ("_comment", Obs.Json.String baseline_comment);
+             ("energy", Obs.Json.List !energy_rows);
+           ]
+          @ summary_section ())));
   Printf.printf "wrote %s\n" path
 
 (* Flatten a report row into (metric path, numeric value) pairs;
@@ -1434,9 +1477,15 @@ let flatten_rows rows =
     rows
 
 (* Per-metric tolerance: percentage columns drift absolutely (half a
-   point), energies and other floats relatively (1%), counts exactly. *)
+   point), energies and other floats relatively (1%), counts exactly.
+   Throughput columns ([_per_s]) are wall-clock-dependent and gated
+   presence-only: both sides must exist and be finite, the values are
+   not compared. *)
 let metric_ok name base current =
   match (base, current) with
+  | _ when String.ends_with ~suffix:"_per_s" name ->
+    let f = function `Int i -> float_of_int i | `Float v -> v in
+    Float.is_finite (f base) && Float.is_finite (f current)
   | `Int a, `Int b -> a = b
   | _ ->
     let f = function `Int i -> float_of_int i | `Float v -> v in
@@ -1455,7 +1504,7 @@ let gate ~baseline_path =
        (e.g. `bench energy --baseline FILE --gate`)";
     exit 1
   end;
-  let baseline_rows =
+  let baseline_json =
     let parsed =
       match In_channel.with_open_text baseline_path In_channel.input_all with
       | text -> Obs.Json.of_string text
@@ -1465,15 +1514,32 @@ let gate ~baseline_path =
     | Error msg ->
       Printf.eprintf "bench: cannot read baseline %s: %s\n" baseline_path msg;
       exit 1
-    | Ok json -> (
-      match Obs.Json.member "energy" json with
-      | Some (Obs.Json.List rows) -> rows
-      | Some _ | None ->
-        Printf.eprintf "bench: %s has no \"energy\" section\n" baseline_path;
-        exit 1)
+    | Ok json -> json
   in
-  let base = flatten_rows baseline_rows in
-  let current = flatten_rows !energy_rows in
+  let baseline_rows =
+    match Obs.Json.member "energy" baseline_json with
+    | Some (Obs.Json.List rows) -> rows
+    | Some _ | None ->
+      Printf.eprintf "bench: %s has no \"energy\" section\n" baseline_path;
+      exit 1
+  in
+  (* The top-level summary rides the same comparison, prefixed so its
+     metrics cannot collide with a clip named "summary". *)
+  let flatten_summary = function
+    | Some json -> flatten_metrics "summary" json []
+    | None -> []
+  in
+  let base =
+    flatten_rows baseline_rows
+    @ flatten_summary (Obs.Json.member "summary" baseline_json)
+  in
+  let current =
+    flatten_rows !energy_rows
+    @ flatten_summary
+        (match !energy_summary with
+        | [] -> None
+        | fields -> Some (Obs.Json.Obj fields))
+  in
   section (Printf.sprintf "regression gate vs %s" baseline_path);
   let failures = ref 0 in
   let total = ref 0 in
@@ -1658,7 +1724,7 @@ let report_obs () =
     let report =
       Obs.Json.Obj
         ([ ("phases", phases); ("critical_path", critical_path) ]
-        @ resilience @ parallel @ energy_section ())
+        @ summary_section () @ resilience @ parallel @ energy_section ())
     in
     Obs.write_file ~path:"BENCH_report.json" (Obs.Json.to_string report);
     Printf.printf "\nwrote BENCH_obs.json and BENCH_report.json\n"

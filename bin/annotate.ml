@@ -49,9 +49,9 @@ let simulate_side_channel ~fault encoded =
       partial.Annotation.Encoding.corrupt_records
       (Array.length partial.Annotation.Encoding.entries)
 
-let run clip_name device_name device_file quality_percent per_frame output width height fps fault_profile jobs obs trace_out energy_profile monitor slo metrics_out =
+let run clip_name device_name device_file quality_percent per_frame output width height fps fault_profile jobs obs trace_out energy_profile journal log_out monitor slo metrics_out =
   Common.with_instrumentation ~default_quality:(quality_percent /. 100.)
-    ~energy_profile ~obs ~trace_out ~monitor ~slo ~metrics_out
+    ~energy_profile ~journal ~log_out ~obs ~trace_out ~monitor ~slo ~metrics_out
   @@ fun () ->
   Common.with_jobs jobs
   @@ fun pool ->
@@ -112,7 +112,8 @@ let cmd =
       $ Common.quality_arg $ per_frame_arg $ output_arg $ Common.width_arg
       $ Common.height_arg $ Common.fps_arg $ Common.fault_profile_arg
       $ Common.jobs_arg $ Common.obs_arg
-      $ Common.trace_out_arg $ Common.energy_profile_arg $ Common.monitor_arg
+      $ Common.trace_out_arg $ Common.energy_profile_arg $ Common.journal_arg
+      $ Common.log_out_arg $ Common.monitor_arg
       $ Common.slo_arg $ Common.metrics_out_arg)
 
 let () = exit (Cmd.eval' cmd)

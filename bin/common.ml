@@ -195,6 +195,28 @@ let energy_profile_arg =
            speedscope. Adds a per-component summary to the obs output and a \
            counter track to $(b,--trace-out). Implies $(b,--obs).")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Record every pipeline decision (scene backlight choices, channel \
+           losses, NACK rounds, degradations, DVFS picks, SLO breaches) into \
+           a CRC-framed binary journal at $(docv). Read it back with \
+           $(b,inspect), audit it offline with $(b,lint verify). Implies \
+           $(b,--obs).")
+
+let log_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-out" ] ~docv:"FILE"
+        ~doc:
+          "Attach a JSONL sink to the structured logger: every log event \
+           becomes one JSON object per line in $(docv), flushed as written. \
+           Implies $(b,--obs).")
+
 let metrics_out_arg =
   Arg.(
     value
@@ -210,13 +232,30 @@ let metrics_out_arg =
    stderr so the tools' stdout stays script-friendly; the health
    report is the monitoring deliverable and goes to stdout. An SLO
    breach turns a successful exit into code 3. *)
-let with_instrumentation ?(default_quality = 0.10) ?(energy_profile = None) ~obs
-    ~trace_out ~monitor ~slo ~metrics_out f =
+let with_instrumentation ?(default_quality = 0.10) ?(energy_profile = None)
+    ?(journal = None) ?(log_out = None) ~obs ~trace_out ~monitor ~slo
+    ~metrics_out f =
   let monitoring = monitor || slo <> None || metrics_out <> None in
-  let enabled = obs || trace_out <> None || energy_profile <> None || monitoring in
+  let enabled =
+    obs || trace_out <> None || energy_profile <> None || journal <> None
+    || log_out <> None || monitoring
+  in
   if not enabled then f ()
   else begin
     Obs.enable ();
+    let log_sink =
+      match log_out with
+      | None -> None
+      | Some path -> Some (Obs.Log.attach_jsonl ~path)
+    in
+    let recorder =
+      match journal with
+      | None -> None
+      | Some _ ->
+        let j = Obs.Journal.create () in
+        Obs.Journal.install j;
+        Some j
+    in
     let profiler =
       match energy_profile with
       | None -> None
@@ -267,17 +306,34 @@ let with_instrumentation ?(default_quality = 0.10) ?(energy_profile = None) ~obs
           | _ -> ());
           if obs || trace_out <> None then Format.eprintf "%a@." Obs.pp_summary ())
     in
-    match mon with
-    | None -> code
-    | Some m ->
-      let report = Obs.Monitor.report m in
-      Format.printf "%a@." Obs.Monitor.pp_report report;
-      (match metrics_out with
-      | None -> ()
-      | Some path -> (
-        match Obs.Openmetrics.write_file ~path (Obs.Openmetrics.of_registry ()) with
-        | Ok () -> Printf.eprintf "obs: wrote %s\n%!" path
-        | Error msg -> Printf.eprintf "obs: cannot write metrics: %s\n%!" msg));
-      Obs.Monitor.uninstall ();
-      if code <> 0 then code else if Obs.Monitor.healthy report then 0 else 3
+    let code =
+      match mon with
+      | None -> code
+      | Some m ->
+        let report = Obs.Monitor.report m in
+        Format.printf "%a@." Obs.Monitor.pp_report report;
+        (match metrics_out with
+        | None -> ()
+        | Some path -> (
+          match Obs.Openmetrics.write_file ~path (Obs.Openmetrics.of_registry ()) with
+          | Ok () -> Printf.eprintf "obs: wrote %s\n%!" path
+          | Error msg -> Printf.eprintf "obs: cannot write metrics: %s\n%!" msg));
+        Obs.Monitor.uninstall ();
+        if code <> 0 then code else if Obs.Monitor.healthy report then 0 else 3
+    in
+    (* The journal is sealed last: the monitor's final window closes
+       inside [Obs.Monitor.report] above, and the Slo_breach events it
+       emits belong in the file. *)
+    (match (journal, recorder) with
+    | Some path, Some j ->
+      Obs.Journal.uninstall ();
+      (try
+         Obs.Journal.write j ~path;
+         Printf.eprintf "obs: wrote %s (%d events, %d bytes)\n%!" path
+           (Obs.Journal.length j) (Obs.Journal.size_bytes j)
+       with Sys_error msg ->
+         Printf.eprintf "obs: cannot write journal: %s\n%!" msg)
+    | _ -> ());
+    (match log_sink with None -> () | Some id -> Obs.Log.detach id);
+    code
   end

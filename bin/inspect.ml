@@ -1,0 +1,187 @@
+(* inspect: read decision journals back — timeline, run diff, breach
+   explanation. The journal is written by any tool's --journal flag;
+   this is the operator's side of the flight recorder. *)
+
+open Cmdliner
+
+let journal_pos ~docv ~doc n =
+  Arg.(required & pos n (some string) None & info [] ~docv ~doc)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> Ok contents
+  | exception Sys_error msg -> Error msg
+
+(* Decode for reading back: never raises, never refuses a partially
+   damaged file — [lint verify] is the strict gate; inspect's job is
+   to salvage whatever story the intact frames still tell. *)
+let load_events ~label path =
+  match read_file path with
+  | Error msg ->
+    Printf.eprintf "error: %s: %s\n" label msg;
+    None
+  | Ok data ->
+    let partial = Obs.Journal.decode_partial data in
+    (match partial.Obs.Journal.error with
+    | Some msg ->
+      Printf.eprintf "error: %s: %s\n" label msg;
+      None
+    | None ->
+      if partial.Obs.Journal.corrupt_frames > 0 then
+        Printf.eprintf
+          "warning: %s: skipped %d corrupt frame(s); timeline is partial\n"
+          label partial.Obs.Journal.corrupt_frames;
+      if partial.Obs.Journal.truncated then
+        Printf.eprintf
+          "warning: %s: journal is truncated; timeline stops early\n" label;
+      Some partial.Obs.Journal.events)
+
+(* Surface the offline verifier's findings alongside the readback, so
+   a damaged journal shows *why* its timeline is partial. *)
+let print_verifier_findings path =
+  match Check.Artifact.check_file path with
+  | [] -> ()
+  | diags ->
+    List.iter (Format.eprintf "%a@." Check.Diagnostic.pp) diags
+
+let energy_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "energy" ] ~docv:"FILE"
+        ~doc:
+          "Join per-scene energy context from a collapsed-stack energy flame \
+           graph (the $(b,--energy-profile) output of the same run).")
+
+let timeline journal energy =
+  print_verifier_findings journal;
+  match load_events ~label:journal journal with
+  | None -> 2
+  | Some events ->
+    let scene_energy_uj =
+      match energy with
+      | None -> []
+      | Some path -> (
+        match read_file path with
+        | Ok text -> Obs.Explain.scene_energy_of_folded text
+        | Error msg ->
+          Printf.eprintf "warning: %s: %s; skipping energy join\n" path msg;
+          [])
+    in
+    Format.printf "%a@." (Obs.Explain.pp_timeline ~scene_energy_uj) events;
+    0
+
+let timeline_cmd =
+  let doc = "render a journal as a per-session decision timeline" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Decodes a decision journal and prints every recorded event in \
+         order, grouped by session: scene backlight decisions (with the \
+         candidate registers across the quality grid), channel passes, NACK \
+         rounds, FEC outcomes, degradations, DVFS picks, scene cuts, \
+         deadline misses, backlight switches and SLO breaches.";
+      `P
+        "With $(b,--energy), scene-decision lines are joined with the \
+         microjoules the energy profiler attributed to each scene. A \
+         corrupt or truncated journal yields a partial timeline plus the \
+         offline verifier's V4xx findings on stderr; only an unreadable \
+         header fails the command.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "timeline" ~doc ~man)
+    Term.(
+      const timeline
+      $ journal_pos ~docv:"JOURNAL" ~doc:"Journal file to render." 0
+      $ energy_arg)
+
+let diff a b =
+  match (load_events ~label:a a, load_events ~label:b b) with
+  | None, _ | _, None -> 2
+  | Some left, Some right -> (
+    let d = Obs.Explain.diff left right in
+    Format.printf "%a@." Obs.Explain.pp_diff d;
+    match d with None -> 0 | Some _ -> 1)
+
+let diff_cmd =
+  let doc = "localise the first divergent decision between two journals" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Aligns two journals event for event. The whole pipeline is a pure \
+         function of its inputs, so two runs of the same configuration \
+         produce byte-identical journals; the first mismatching event \
+         between two runs that differ (a changed seed, a different fault \
+         profile, a new code path) is the first decision the change \
+         actually altered — everything before it is provably common.";
+      `P
+        "Prints the divergent event on each side plus a kind histogram of \
+         each causal suffix. Exits 0 when the journals are identical, 1 on \
+         divergence, 2 when either file is unreadable.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc ~man)
+    Term.(
+      const diff
+      $ journal_pos ~docv:"JOURNAL_A" ~doc:"Left journal." 0
+      $ journal_pos ~docv:"JOURNAL_B" ~doc:"Right journal." 1)
+
+let slo_filter_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slo" ] ~docv:"FILE"
+        ~doc:
+          "Only explain breaches of the rules in $(docv) (same format the \
+           $(b,--slo) run flag takes); default: every breach in the \
+           journal.")
+
+let explain journal slo =
+  match load_events ~label:journal journal with
+  | None -> 2
+  | Some events ->
+    let rules =
+      match slo with
+      | None -> None
+      | Some path -> (
+        match Obs.Slo.load ~path with
+        | Ok rules -> Some (List.map (fun r -> r.Obs.Slo.source) rules)
+        | Error msg ->
+          Printf.eprintf "error: %s: %s\n" path msg;
+          exit 2)
+    in
+    Format.printf "%a@."
+      Obs.Explain.pp_explain
+      (Obs.Explain.explain ?rules events);
+    0
+
+let explain_cmd =
+  let doc = "walk back from each SLO breach to its likely causes" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "For every SLO breach the monitor recorded into the journal, lists \
+         the playback decisions that fell inside the breached window and \
+         the session-scope decisions (channel losses, NACK rounds, \
+         degradations, DVFS picks) that preceded it, and ranks likely \
+         causes — in-window coincidence counts double against session-wide \
+         context.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc ~man)
+    Term.(
+      const explain
+      $ journal_pos ~docv:"JOURNAL" ~doc:"Journal file to explain." 0
+      $ slo_filter_arg)
+
+let cmd =
+  let doc = "read decision journals back: timeline, diff, explanation" in
+  Cmd.group (Cmd.info "inspect" ~doc) [ timeline_cmd; diff_cmd; explain_cmd ]
+
+let () = exit (Cmd.eval' cmd)

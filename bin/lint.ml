@@ -67,9 +67,10 @@ let sources_cmd =
          swallowing (L004), console output from the library (L005), missing \
          .mli (L006), float (in)equality (L007), malformed suppressions \
          (L008), ad-hoc domain spawns outside lib/par (L009), direct \
-         power-meter sampling outside lib/power and lib/obs (L010). \
-         Suppress a finding with an inline comment $(b,(* lint: \
-         allow L00n reason *)) — the reason is mandatory.";
+         power-meter sampling outside lib/power and lib/obs (L010), \
+         journal emission outside lib/obs and the sanctioned pipeline \
+         hooks (L011). Suppress a finding with an inline comment \
+         $(b,(* lint: allow L0nn reason *)) — the reason is mandatory.";
     ]
   in
   Cmd.v (Cmd.info "sources" ~doc ~man) Term.(const run $ json_arg $ paths_arg)
@@ -82,7 +83,8 @@ let verify_cmd =
       & info [] ~docv:"FILE"
           ~doc:
             "Artifacts to audit: $(b,.slo) rule files, $(b,.fault) profiles, \
-             anything else is checked as an encoded annotation stream.")
+             $(b,.journal) decision journals; anything else is checked as an \
+             encoded annotation stream.")
   in
   let run json files =
     let diags = List.concat_map Check.Artifact.check_file files in
@@ -97,8 +99,10 @@ let verify_cmd =
          (framing, header and record CRCs, varint bounds, scene-index \
          monotonicity and coverage, backlight range for the named panel — \
          V1xx), SLO rule files (syntax, metric catalog, contradictions — \
-         V2xx) and fault profiles (V3xx). Exit status 1 if any error-level \
-         finding, 0 otherwise.";
+         V2xx), fault profiles (V3xx) and decision journals written by the \
+         tools' $(b,--journal) flag (framing, header and frame CRCs, \
+         per-phase timestamp monotonicity, event schema — V4xx). Exit \
+         status 1 if any error-level finding, 0 otherwise.";
     ]
   in
   Cmd.v (Cmd.info "verify" ~doc ~man) Term.(const run $ json_arg $ files_arg)

@@ -84,9 +84,9 @@ let run_faulty ~device ~quality ~ramp ~fault clip =
     Format.printf "%a@." Streaming.Session.pp_report report;
     0
 
-let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps loss_model loss burst fault_profile obs trace_out energy_profile monitor slo metrics_out =
+let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps loss_model loss burst fault_profile obs trace_out energy_profile journal log_out monitor slo metrics_out =
   Common.with_instrumentation ~default_quality:(quality_percent /. 100.)
-    ~energy_profile ~obs ~trace_out ~monitor ~slo ~metrics_out
+    ~energy_profile ~journal ~log_out ~obs ~trace_out ~monitor ~slo ~metrics_out
   @@ fun () ->
   let clip = Common.or_die (Common.resolve_clip clip_name ~width ~height ~fps) in
   let device =
@@ -97,18 +97,21 @@ let run clip_name device_name device_file quality_percent with_camera dump ramp 
   | Some fault -> run_faulty ~device ~quality ~ramp ~fault clip
   | None ->
   let profiled = Annotation.Annotator.profile clip in
+  (* One annotation pass serves the report, the snapshot dump and the
+     camera sweep — annotating again inside [run_profiled] would both
+     waste the work and journal a second phase-1 decision pass. *)
   let track = Annotation.Annotator.annotate_profiled ~device ~quality profiled in
-  let report =
+  let registers =
     match ramp with
-    | None -> Streaming.Playback.run_profiled ~device ~quality profiled
+    | None -> Annotation.Track.register_track track
     | Some max_dim_step ->
-      let registers =
-        Streaming.Ramp.slew_limit ~max_dim_step (Annotation.Track.register_track track)
-      in
-      Streaming.Playback.run_with_registers ~device ~quality
-        ~clip_name:clip.Video.Clip.name ~fps
-        ~annotation_bytes:(Annotation.Encoding.encoded_size track)
-        registers
+      Streaming.Ramp.slew_limit ~max_dim_step (Annotation.Track.register_track track)
+  in
+  let report =
+    Streaming.Playback.run_with_registers ~device ~quality
+      ~clip_name:clip.Video.Clip.name ~fps
+      ~annotation_bytes:(Annotation.Encoding.encoded_size track)
+      registers
   in
   Format.printf "%a@." Streaming.Playback.pp_report report;
   Printf.printf "\nbacklight energy : %8.1f mJ (baseline %8.1f mJ) -> %.1f%% saved\n"
@@ -153,7 +156,8 @@ let cmd =
       $ Common.height_arg $ Common.fps_arg $ Common.loss_model_arg
       $ Common.loss_rate_arg $ Common.burst_arg $ Common.fault_profile_arg
       $ Common.obs_arg
-      $ Common.trace_out_arg $ Common.energy_profile_arg $ Common.monitor_arg
+      $ Common.trace_out_arg $ Common.energy_profile_arg $ Common.journal_arg
+      $ Common.log_out_arg $ Common.monitor_arg
       $ Common.slo_arg $ Common.metrics_out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -74,11 +74,48 @@ let annotate_profiled ?(scene_params = Scene_detect.default_params) ~device
       ~mean_track:profiled.mean_track
   in
   Obs.Metrics.Counter.incr obs_scenes ~by:(List.length scenes);
+  (* Journaling must not disturb the solver's own observability
+     ([solve] bumps counters), so the per-grid candidate registers are
+     recomputed through the pure clip-level -> register path. *)
+  let journal_decision i (scene : Scene_detect.scene) hist
+      (sol : Backlight_solver.solution) =
+    if Obs.enabled () && Obs.Journal.installed () then begin
+      let pure_register q =
+        let em =
+          Image.Histogram.clip_level hist
+            ~allowed_loss:(Quality_level.allowed_loss q)
+        in
+        Display.Device.register_for_gain device
+          (if em = 0 then 0. else float_of_int em /. 255.)
+      in
+      Obs.Journal.record
+        ~t_s:(float_of_int scene.Scene_detect.first /. profiled.fps)
+        (Obs.Journal.Scene_decision
+           {
+             scene = i;
+             first_frame = scene.Scene_detect.first;
+             frame_count = scene.Scene_detect.last - scene.Scene_detect.first + 1;
+             register = sol.Backlight_solver.register;
+             effective_max = sol.Backlight_solver.effective_max;
+             compensation_fp =
+               int_of_float
+                 (Float.round (sol.Backlight_solver.compensation *. 4096.));
+             clipped_permille =
+               int_of_float
+                 (Float.round (sol.Backlight_solver.clipped_fraction *. 1000.));
+             quality_permille =
+               int_of_float
+                 (Float.round (Quality_level.allowed_loss quality *. 1000.));
+             candidates = List.map pure_register Quality_level.standard_grid;
+           })
+    end
+  in
   let entries =
-    List.map
-      (fun (scene : Scene_detect.scene) ->
+    List.mapi
+      (fun i (scene : Scene_detect.scene) ->
         let hist = scene_histogram profiled scene in
         let sol = Backlight_solver.solve ~device ~quality hist in
+        journal_decision i scene hist sol;
         {
           Track.first_frame = scene.Scene_detect.first;
           frame_count = scene.Scene_detect.last - scene.Scene_detect.first + 1;

@@ -424,6 +424,151 @@ let check_fault ~file text =
       [ warn ~file "V302" "profile injects no fault at all; did you mean model = none?" ]
     else []
 
+(* --- decision journals -------------------------------------------------- *)
+
+(* Mirrors [Obs.Journal.decode_partial]'s walk, but reports every
+   problem it can localise instead of silently skipping: the framing
+   constants and the payload parser come from [Obs.Journal] so the
+   verifier and the decoder cannot drift apart. *)
+
+let max_journal_frame = 65536
+
+let check_journal ~file data =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (try
+     if String.length data < 4 || String.sub data 0 4 <> Obs.Journal.magic
+     then begin
+       add (err ~file "V401" "bad magic: not a decision journal");
+       raise Exit
+     end;
+     if String.length data < 5 then begin
+       add (err ~file "V403" "truncated header: missing version byte");
+       raise Exit
+     end;
+     let version = Char.code data.[4] in
+     if version <> Obs.Journal.version then begin
+       add
+         (err ~file "V402"
+            (Printf.sprintf "unsupported journal version %d (know %d)" version
+               Obs.Journal.version));
+       raise Exit
+     end;
+     if String.length data < 9 then begin
+       add (err ~file "V403" "truncated header: missing header CRC");
+       raise Exit
+     end;
+     let stored_header =
+       let b i = Char.code data.[5 + i] in
+       b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+     in
+     if stored_header <> Obs.Journal.crc32 (String.sub data 0 5) then begin
+       add (err ~file "V404" "header CRC mismatch: header cannot be trusted");
+       raise Exit
+     end;
+     let len_data = String.length data in
+     let pos = ref 9 in
+     let frame = ref 0 in
+     let read_varint what =
+       let rec loop shift acc =
+         if !pos >= len_data then begin
+           add
+             (err ~file "V403"
+                (Printf.sprintf "truncated journal: %s cut off at byte %d" what
+                   !pos));
+           raise Exit
+         end;
+         if shift > 56 then begin
+           add
+             (err ~file "V408"
+                (Printf.sprintf "%s: varint longer than 8 bytes at byte %d"
+                   what !pos));
+           raise Exit
+         end;
+         let b = Char.code data.[!pos] in
+         incr pos;
+         let acc = acc lor ((b land 0x7f) lsl shift) in
+         if acc < 0 then begin
+           add
+             (err ~file "V408"
+                (Printf.sprintf "%s: varint overflows at byte %d" what !pos));
+           raise Exit
+         end;
+         if b land 0x80 = 0 then acc else loop (shift + 7) acc
+       in
+       loop 0 0
+     in
+     (* Three simulated clocks (annotate, transmit, playback) plus the
+        session markers: each pipeline stage replays its own clock, and
+        one process may run a stage several times (a quality sweep
+        annotates once per level), so timestamps are required monotone
+        within each contiguous run of same-phase events; a phase change
+        or a Session_start starts a fresh clock. *)
+     let last_phase = ref (-1) in
+     let last_t = ref (-1) in
+     while !pos < len_data do
+       let offset = !pos in
+       let len = read_varint (Printf.sprintf "frame %d length" !frame) in
+       if len > max_journal_frame then begin
+         add
+           (err ~file "V408"
+              (Printf.sprintf
+                 "frame %d (byte %d): implausible frame length %d (cap %d); \
+                  refusing to walk further"
+                 !frame offset len max_journal_frame));
+         raise Exit
+       end;
+       if !pos + len + 4 > len_data then begin
+         add
+           (err ~file "V403"
+              (Printf.sprintf
+                 "truncated journal: frame %d (byte %d) needs %d byte(s), %d \
+                  left"
+                 !frame offset (len + 4) (len_data - !pos)));
+         raise Exit
+       end;
+       let payload = String.sub data !pos len in
+       pos := !pos + len;
+       let stored =
+         let b i = Char.code data.[!pos + i] in
+         b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+       in
+       pos := !pos + 4;
+       if stored <> Obs.Journal.crc32 payload then
+         add
+           (err ~file "V405"
+              (Printf.sprintf "frame %d (byte %d): frame CRC mismatch" !frame
+                 offset))
+       else begin
+         match Obs.Journal.parse_payload payload with
+         | Error msg ->
+           add
+             (err ~file "V407"
+                (Printf.sprintf "frame %d (byte %d): %s" !frame offset msg))
+         | Ok event ->
+           (match event.Obs.Journal.kind with
+           | Obs.Journal.Session_start _ -> last_phase := -1
+           | _ -> ());
+           let ph = Obs.Journal.phase event.Obs.Journal.kind in
+           let t_us = event.Obs.Journal.t_us in
+           if ph <> !last_phase then begin
+             last_phase := ph;
+             last_t := -1
+           end;
+           if t_us < !last_t then
+             add
+               (err ~file "V406"
+                  (Printf.sprintf
+                     "frame %d (byte %d): timestamp %dus runs backwards \
+                      within phase %d (last %dus)"
+                     !frame offset t_us ph !last_t));
+           if t_us > !last_t then last_t := t_us
+       end;
+       incr frame
+     done
+   with Exit -> ());
+  List.sort Diagnostic.compare !diags
+
 (* --- dispatch ---------------------------------------------------------- *)
 
 let check_file ?find_device ?known path =
@@ -434,4 +579,6 @@ let check_file ?find_device ?known path =
       check_slo ?known ~file:path contents
     else if Filename.check_suffix path ".fault" then
       check_fault ~file:path contents
+    else if Filename.check_suffix path ".journal" then
+      check_journal ~file:path contents
     else check_annotation ?find_device ~file:path contents

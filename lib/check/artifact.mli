@@ -14,12 +14,15 @@
     - [.slo] rule files — syntax, selectors against the known metric
       catalog, contradictory or duplicate rules;
     - [.fault] profiles — syntax, probability ranges, Gilbert-channel
-      feasibility.
+      feasibility;
+    - [.journal] decision journals ({!Obs.Journal}) — header and
+      per-frame CRCs, framing bounds, payload schema, per-phase
+      timestamp monotonicity.
 
     Codes (stable, see README "Static checks"): [V001] dispatch,
     [V1xx] annotation streams, [V2xx] SLO files, [V3xx] fault
-    profiles. Every check emits {!Diagnostic.t}; none of them raises
-    or runs a session. *)
+    profiles, [V4xx] decision journals. Every check emits
+    {!Diagnostic.t}; none of them raises or runs a session. *)
 
 type known_metrics = {
   histograms : string list;
@@ -59,10 +62,23 @@ val check_fault : file:string -> string -> Diagnostic.t list
     {!Streaming.Fault.parse} rejects becomes a [V301] error, a
     profile that injects no fault at all is a [V302] warning. *)
 
+val check_journal : file:string -> string -> Diagnostic.t list
+(** [check_journal ~file bytes] statically audits a decision journal
+    ({!Obs.Journal} wire format): bad magic ([V401]), unknown version
+    ([V402]), truncation mid-header or mid-frame ([V403]), header CRC
+    mismatch ([V404]), per-frame CRC mismatch ([V405], walk
+    continues), timestamps running backwards within a contiguous run
+    of same-phase events ([V406] — each stage replays its own clock,
+    and a stage may run several times per process, so a phase change
+    or session start begins a fresh clock), payload schema violations
+    — unknown kind tags, malformed fields, trailing bytes ([V407]) —
+    and implausible framing lengths ([V408], walk stops). A pristine
+    {!Obs.Journal.write} output yields []. *)
+
 val check_file :
   ?find_device:(string -> Display.Device.t option) ->
   ?known:known_metrics -> string -> Diagnostic.t list
 (** [check_file path] reads [path] and dispatches on its extension:
-    [.slo] → {!check_slo}, [.fault] → {!check_fault}, anything else →
-    {!check_annotation}. An unreadable file is a single [V001]
-    error. *)
+    [.slo] → {!check_slo}, [.fault] → {!check_fault}, [.journal] →
+    {!check_journal}, anything else → {!check_annotation}. An
+    unreadable file is a single [V001] error. *)

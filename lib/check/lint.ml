@@ -14,6 +14,11 @@ let rules =
     { code = "L008"; title = "malformed or bare lint suppression"; lib_only = false };
     { code = "L009"; title = "domain spawned outside lib/par"; lib_only = false };
     { code = "L010"; title = "meter sampled outside lib/power"; lib_only = false };
+    {
+      code = "L011";
+      title = "journal emission outside sanctioned hooks";
+      lib_only = false;
+    };
   ]
 
 (* --- identifier tables ------------------------------------------------- *)
@@ -51,6 +56,25 @@ let meter_idents =
   [
     "Power.Meter.create"; "Power.Meter.measure"; "Power.Meter.measure_trace";
     "Meter.create"; "Meter.measure"; "Meter.measure_trace";
+  ]
+
+(* Decision-journal emission points. The journal's value is that its
+   event stream is a closed vocabulary recorded from audited hook
+   sites (the diff/explain tooling reasons about what each event
+   means); scattering [record] calls around the tree would turn it
+   back into a printf log. *)
+let journal_idents =
+  [
+    "Obs.Journal.record"; "Journal.record"; "Obs.Journal.record_in";
+    "Journal.record_in";
+  ]
+
+(* The sanctioned hook sites outside lib/obs, by path suffix. *)
+let journal_hook_files =
+  [
+    "lib/streaming/session.ml"; "lib/streaming/playback.ml";
+    "lib/streaming/transport.ml"; "lib/streaming/fault.ml";
+    "lib/annot/annotator.ml";
   ]
 
 let sorters =
@@ -141,7 +165,7 @@ let rec reraises (e : Parsetree.expression) =
 
 (* --- the AST pass ------------------------------------------------------ *)
 
-let lint_ast ~in_lib ~in_par ~in_power ~file ~emit ast =
+let lint_ast ~in_lib ~in_par ~in_power ~in_journal ~file ~emit ast =
   let diag code loc message =
     let line, col = line_col loc in
     emit (Diagnostic.v ~code ~severity:Diagnostic.Error ~file ~line ~col message)
@@ -170,6 +194,13 @@ let lint_ast ~in_lib ~in_par ~in_power ~file ~emit ast =
            "%s samples the power meter outside lib/power; energy accounting \
             flows through the instrumented meter sites so Obs.Profile \
             attributes every joule" name)
+    | Some name when (not in_journal) && List.mem name journal_idents ->
+      diag "L011" e.pexp_loc
+        (Printf.sprintf
+           "%s emits a decision-journal event outside lib/obs and the \
+            sanctioned session/playback/transport/annotator hook sites; the \
+            journal's event vocabulary stays auditable only while emission \
+            is confined to reviewed hooks" name)
     | Some name when in_lib && List.mem name print_idents ->
       diag "L005" e.pexp_loc
         (Printf.sprintf
@@ -300,7 +331,8 @@ let parse_failure ~file message loc =
       message;
   ]
 
-let lint_source ?in_lib ?in_par ?in_power ?(has_mli = true) ~path contents =
+let lint_source ?in_lib ?in_par ?in_power ?in_journal ?(has_mli = true) ~path
+    contents =
   let segments =
     let p = String.map (fun c -> if c = '\\' then '/' else c) path in
     String.split_on_char '/' p
@@ -340,6 +372,21 @@ let lint_source ?in_lib ?in_par ?in_power ?(has_mli = true) ~path contents =
       in
       has_power_seg segments
   in
+  let in_journal =
+    match in_journal with
+    | Some b -> b
+    | None ->
+      let rec has_obs_seg = function
+        | [] -> false
+        | "lib" :: "obs" :: _ -> true
+        | _ :: rest -> has_obs_seg rest
+      in
+      let normalized = String.concat "/" segments in
+      has_obs_seg segments
+      || List.exists
+           (fun hook -> String.ends_with ~suffix:hook normalized)
+           journal_hook_files
+  in
   match parse_structure ~path contents with
   | exception Syntaxerr.Error err ->
     parse_failure ~file:path "syntax error"
@@ -359,7 +406,7 @@ let lint_source ?in_lib ?in_par ?in_power ?(has_mli = true) ~path contents =
     in
     let found = ref comment_diags in
     let emit d = found := d :: !found in
-    lint_ast ~in_lib ~in_par ~in_power ~file:path ~emit ast;
+    lint_ast ~in_lib ~in_par ~in_power ~in_journal ~file:path ~emit ast;
     if in_lib && not has_mli then
       emit
         (Diagnostic.v ~code:"L006" ~severity:Diagnostic.Error ~file:path

@@ -1,0 +1,339 @@
+(* Readbacks over the flight recorder: timeline rendering, run
+   diffing, breach explanation. Pure functions of the event list — the
+   [inspect] CLI is a thin shell around this module so the tests can
+   pin its behaviour without spawning processes. *)
+
+let kind_label (kind : Journal.kind) =
+  match kind with
+  | Journal.Session_start _ -> "session-start"
+  | Journal.Scene_decision _ -> "scene-decision"
+  | Journal.Scene_cut _ -> "scene-cut"
+  | Journal.Backlight_switch _ -> "backlight-switch"
+  | Journal.Deadline_miss _ -> "deadline-miss"
+  | Journal.Channel _ -> "channel"
+  | Journal.Nack_round _ -> "nack-round"
+  | Journal.Fec_outcome _ -> "fec-outcome"
+  | Journal.Degradation _ -> "degradation"
+  | Journal.Dvfs_choice _ -> "dvfs-choice"
+  | Journal.Slo_breach _ -> "slo-breach"
+  | Journal.Session_end _ -> "session-end"
+
+let trigger_label (t : Journal.trigger) =
+  match t with
+  | Journal.Record_lost -> "record lost"
+  | Journal.Record_corrupt -> "record corrupt"
+  | Journal.Header_lost -> "header lost"
+
+let seconds t_us = float_of_int t_us /. 1e6
+
+let pp_event ppf ({ Journal.t_us; kind } : Journal.event) =
+  let open Format in
+  fprintf ppf "t=%-9.3f %-16s " (seconds t_us) (kind_label kind);
+  match kind with
+  | Journal.Session_start e ->
+    fprintf ppf "clip=%s device=%s quality=%s frames=%d fps=%.3f" e.clip
+      e.device e.quality e.frames
+      (float_of_int e.fps_milli /. 1000.)
+  | Journal.Scene_decision e ->
+    fprintf ppf
+      "scene %d frames %d+%d -> reg %d (eff-max %d, comp x%.3f, clip %.1f%%, \
+       allow %.1f%%, candidates [%s])"
+      e.scene e.first_frame e.frame_count e.register e.effective_max
+      (float_of_int e.compensation_fp /. 4096.)
+      (float_of_int e.clipped_permille /. 10.)
+      (float_of_int e.quality_permille /. 10.)
+      (String.concat " " (List.map string_of_int e.candidates))
+  | Journal.Scene_cut e -> fprintf ppf "-> scene %d (frame %d)" e.scene e.frame
+  | Journal.Backlight_switch e ->
+    fprintf ppf "%d -> %d (frame %d)" e.from_register e.to_register e.frame
+  | Journal.Deadline_miss e -> fprintf ppf "frame %d (+%dus)" e.frame e.over_us
+  | Journal.Channel e ->
+    fprintf ppf "%d/%d packets delivered" e.delivered e.packets
+  | Journal.Nack_round e ->
+    fprintf ppf "round %d: %d missing, %d repaired" e.round e.missing e.repaired
+  | Journal.Fec_outcome e ->
+    fprintf ppf "%d failed group(s), %d packet(s) repaired" e.failed_groups
+      e.repaired_packets
+  | Journal.Degradation e ->
+    if e.index < 0 then
+      fprintf ppf "whole track (%s) -> %s" (trigger_label e.trigger) e.policy
+    else
+      fprintf ppf "record %d (%s) -> %s" e.index (trigger_label e.trigger)
+        e.policy
+  | Journal.Dvfs_choice e ->
+    fprintf ppf "policy=%s mean %d MHz, %d miss(es)" e.policy e.mean_mhz
+      e.misses
+  | Journal.Slo_breach e ->
+    fprintf ppf "%S -> %.6g in window %d" e.rule
+      (float_of_int e.value_milli /. 1000.)
+      e.window
+  | Journal.Session_end e ->
+    fprintf ppf "%s: %d degraded, %d retransmission(s), %d corrupt record(s)"
+      (if e.survived then "annotations survived" else "annotations lost")
+      e.degraded_scenes e.retransmissions e.corrupt_records
+
+(* --- sessions ----------------------------------------------------------- *)
+
+(* Split the stream at Session_start markers; anything before the
+   first marker (a standalone playback, say) forms a headless leading
+   session. *)
+let sessions events =
+  let flush acc current = List.rev current :: acc in
+  let acc, current =
+    List.fold_left
+      (fun (acc, current) (event : Journal.event) ->
+        match event.Journal.kind with
+        | Journal.Session_start _ when current <> [] ->
+          (flush acc current, [ event ])
+        | _ -> (acc, event :: current))
+      ([], []) events
+  in
+  List.rev (if current = [] then acc else flush acc current)
+
+(* --- timeline ----------------------------------------------------------- *)
+
+let scene_energy_of_folded text =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> ()
+      | Some i -> (
+        let path = String.sub line 0 i in
+        let value = String.sub line (i + 1) (String.length line - i - 1) in
+        match int_of_string_opt value with
+        | None -> ()
+        | Some uj ->
+          List.iter
+            (fun seg ->
+              match
+                if String.starts_with ~prefix:"scene." seg then
+                  int_of_string_opt
+                    (String.sub seg 6 (String.length seg - 6))
+                else None
+              with
+              | None -> ()
+              | Some scene ->
+                Hashtbl.replace tbl scene
+                  (uj
+                  + match Hashtbl.find_opt tbl scene with
+                    | Some v -> v
+                    | None -> 0))
+            (String.split_on_char ';' path)))
+    (String.split_on_char '\n' text);
+  Hashtbl.fold (fun scene uj acc -> (scene, uj) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let pp_timeline ?(scene_energy_uj = []) ppf events =
+  let open Format in
+  fprintf ppf "@[<v>";
+  List.iteri
+    (fun i session ->
+      if i > 0 then fprintf ppf "@,";
+      fprintf ppf "=== session %d (%d events) ===@," (i + 1)
+        (List.length session);
+      List.iter
+        (fun (event : Journal.event) ->
+          fprintf ppf "%a" pp_event event;
+          (match event.Journal.kind with
+          | Journal.Scene_decision e -> (
+            match List.assoc_opt e.scene scene_energy_uj with
+            | Some uj -> fprintf ppf "  energy %d uJ" uj
+            | None -> ())
+          | _ -> ());
+          fprintf ppf "@,")
+        session)
+    (sessions events);
+  fprintf ppf "@]"
+
+(* --- run diff ----------------------------------------------------------- *)
+
+type divergence = {
+  index : int;
+  left : Journal.event option;
+  right : Journal.event option;
+  left_tail : (string * int) list;
+  right_tail : (string * int) list;
+}
+
+let tail_histogram events =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (event : Journal.event) ->
+      let label = kind_label event.Journal.kind in
+      Hashtbl.replace tbl label
+        (1 + match Hashtbl.find_opt tbl label with Some n -> n | None -> 0))
+    events;
+  Hashtbl.fold (fun label n acc -> (label, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let diff left right =
+  let rec walk index left right =
+    match (left, right) with
+    | [], [] -> None
+    | l, r -> (
+      match (l, r) with
+      | a :: l_rest, b :: r_rest when a = b -> walk (index + 1) l_rest r_rest
+      | _ ->
+        let head = function [] -> None | e :: _ -> Some e in
+        Some
+          {
+            index;
+            left = head l;
+            right = head r;
+            left_tail = tail_histogram l;
+            right_tail = tail_histogram r;
+          })
+  in
+  walk 0 left right
+
+let pp_tail ppf tail =
+  if tail = [] then Format.fprintf ppf "(end of journal)"
+  else
+    Format.fprintf ppf "%s"
+      (String.concat ", "
+         (List.map (fun (label, n) -> Printf.sprintf "%d %s" n label) tail))
+
+let pp_diff ppf = function
+  | None -> Format.fprintf ppf "journals are identical"
+  | Some d ->
+    let open Format in
+    let side name = function
+      | None -> fprintf ppf "  %s: (journal ends)@," name
+      | Some e -> fprintf ppf "  %s: %a@," name pp_event e
+    in
+    fprintf ppf "@[<v>first divergent decision at event %d:@," d.index;
+    side "A" d.left;
+    side "B" d.right;
+    fprintf ppf "  suffix A: %a@," pp_tail d.left_tail;
+    fprintf ppf "  suffix B: %a" pp_tail d.right_tail;
+    fprintf ppf "@]"
+
+(* --- breach explanation ------------------------------------------------- *)
+
+type breach_explanation = {
+  b_rule : string;
+  b_window : int;
+  b_at_us : int;
+  b_value_milli : int;
+  b_causes : (string * int) list;
+  b_window_events : Journal.event list;
+  b_session_events : Journal.event list;
+}
+
+(* Session-scope decisions: taken once per session but felt all run
+   long, so every breach in the session lists them as context. *)
+let session_scope (event : Journal.event) =
+  match event.Journal.kind with
+  | Journal.Channel _ | Journal.Nack_round _ | Journal.Fec_outcome _
+  | Journal.Degradation _ | Journal.Dvfs_choice _ ->
+    true
+  | _ -> false
+
+(* Windowed decisions share the playback clock with the breach stamp,
+   so a time comparison against the window span is meaningful. *)
+let windowed (event : Journal.event) =
+  match event.Journal.kind with
+  | Journal.Scene_cut _ | Journal.Backlight_switch _ | Journal.Deadline_miss _
+    ->
+    true
+  | _ -> false
+
+let rank window_events session_events =
+  let tbl = Hashtbl.create 8 in
+  let bump weight (event : Journal.event) =
+    let label = kind_label event.Journal.kind in
+    Hashtbl.replace tbl label
+      (weight + match Hashtbl.find_opt tbl label with Some n -> n | None -> 0)
+  in
+  (* In-window coincidence is stronger evidence than session-wide
+     context: weight 2 vs 1. *)
+  List.iter (bump 2) window_events;
+  List.iter (bump 1) session_events;
+  Hashtbl.fold (fun label n acc -> (label, n) :: acc) tbl []
+  |> List.sort (fun (la, na) (lb, nb) ->
+         if na <> nb then compare (nb : int) na else String.compare la lb)
+
+let explain ?rules events =
+  let wanted rule =
+    match rules with None -> true | Some rs -> List.mem rule rs
+  in
+  List.concat_map
+    (fun session ->
+      List.filter_map
+        (fun (event : Journal.event) ->
+          match event.Journal.kind with
+          | Journal.Slo_breach b when wanted b.rule ->
+            let at = event.Journal.t_us in
+            let from = at - b.window_us in
+            let window_events =
+              List.filter
+                (fun (e : Journal.event) ->
+                  windowed e && e.Journal.t_us >= from && e.Journal.t_us <= at)
+                session
+            in
+            let session_events =
+              (* Journal order: everything recorded before the breach. *)
+              let rec before acc = function
+                | [] -> List.rev acc
+                | e :: _ when e == event -> List.rev acc
+                | e :: rest ->
+                  before (if session_scope e then e :: acc else acc) rest
+              in
+              before [] session
+            in
+            Some
+              {
+                b_rule = b.rule;
+                b_window = b.window;
+                b_at_us = at;
+                b_value_milli = b.value_milli;
+                b_causes = rank window_events session_events;
+                b_window_events = window_events;
+                b_session_events = session_events;
+              }
+          | _ -> None)
+        session)
+    (sessions events)
+
+let max_listed = 12
+
+let pp_listed ppf events =
+  let n = List.length events in
+  List.iteri
+    (fun i event ->
+      if i < max_listed then Format.fprintf ppf "    %a@," pp_event event)
+    events;
+  if n > max_listed then
+    Format.fprintf ppf "    ... and %d more@," (n - max_listed)
+
+let pp_explain ppf explanations =
+  let open Format in
+  fprintf ppf "@[<v>";
+  if explanations = [] then fprintf ppf "no SLO breaches recorded"
+  else
+    List.iteri
+      (fun i e ->
+        if i > 0 then fprintf ppf "@,";
+        fprintf ppf "breach: %S -> %.6g in window %d @@ t=%.3fs@," e.b_rule
+          (float_of_int e.b_value_milli /. 1000.)
+          e.b_window (seconds e.b_at_us);
+        if e.b_causes = [] then
+          fprintf ppf "  no decision events near this breach@,"
+        else begin
+          fprintf ppf "  likely causes (score = 2x in-window + 1x session):@,";
+          List.iteri
+            (fun rank (label, score) ->
+              fprintf ppf "    %d. %s (score %d)@," (rank + 1) label score)
+            e.b_causes
+        end;
+        if e.b_window_events <> [] then begin
+          fprintf ppf "  in the breached window:@,";
+          pp_listed ppf e.b_window_events
+        end;
+        if e.b_session_events <> [] then begin
+          fprintf ppf "  session-scope decisions before the breach:@,";
+          pp_listed ppf e.b_session_events
+        end)
+      explanations;
+  fprintf ppf "@]"

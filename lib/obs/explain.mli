@@ -1,0 +1,85 @@
+(** Turning a decision journal back into a causal story.
+
+    Three pure readbacks over {!Journal.event} lists, shared by the
+    [inspect] CLI and the tests:
+
+    - {!pp_timeline} renders a per-session, per-scene decision
+      timeline, optionally joined with per-scene energy from a
+      {!Profile.flamegraph} collapsed-stack file;
+    - {!diff} aligns two journals index by index (deterministic runs
+      agree event for event until the first divergent decision) and
+      summarises the causal suffix on each side;
+    - {!explain} walks back from every recorded SLO breach to the
+      decision events inside the breached window and ranks likely
+      causes by how often each decision kind fired there.
+
+    Everything here reads events only — nothing feeds back into the
+    pipeline. *)
+
+val kind_label : Journal.kind -> string
+(** Stable short label ("scene-decision", "nack-round", …) used in
+    diffs, cause rankings and tests. *)
+
+val pp_event : Format.formatter -> Journal.event -> unit
+(** One-line human rendering of an event, timestamp included. *)
+
+(** {1 Timeline} *)
+
+val scene_energy_of_folded : string -> (int * int) list
+(** [scene_energy_of_folded text] parses a collapsed-stack energy
+    flame graph (the [--energy-profile] output: [seg;seg;... µJ]
+    lines) and sums the microjoules filed under each [scene.N]
+    segment, sorted by scene. Lines without a scene segment are
+    ignored; malformed lines are skipped. *)
+
+val pp_timeline :
+  ?scene_energy_uj:(int * int) list ->
+  Format.formatter ->
+  Journal.event list ->
+  unit
+(** Sessions in order; per session the scene decisions (with energy
+    context when provided), then the transmit and playback story. *)
+
+(** {1 Run diff} *)
+
+type divergence = {
+  index : int;  (** position of the first differing event *)
+  left : Journal.event option;  (** [None]: the left journal ended here *)
+  right : Journal.event option;
+  left_tail : (string * int) list;
+      (** kind-label histogram of the left suffix from [index] on *)
+  right_tail : (string * int) list;
+}
+
+val diff : Journal.event list -> Journal.event list -> divergence option
+(** [None] when the journals are identical. Deterministic runs align
+    index for index, so the first mismatch *is* the first divergent
+    decision; the tails summarise everything downstream of it. *)
+
+val pp_diff : Format.formatter -> divergence option -> unit
+
+(** {1 Breach explanation} *)
+
+type breach_explanation = {
+  b_rule : string;
+  b_window : int;
+  b_at_us : int;
+  b_value_milli : int;
+  b_causes : (string * int) list;
+      (** decision kinds ranked by occurrence count, likeliest first *)
+  b_window_events : Journal.event list;
+      (** playback decisions inside the breached window *)
+  b_session_events : Journal.event list;
+      (** session-scope decisions (degradations, FEC, NACK, DVFS) that
+          preceded the breach in the same session *)
+}
+
+val explain : ?rules:string list -> Journal.event list -> breach_explanation list
+(** One explanation per recorded [Slo_breach], in journal order.
+    [rules] restricts the walk to breaches of the named rules
+    (sources as written in the SLO file). Causes inside the window
+    count double relative to session-scope context, so a breach that
+    coincides with deadline misses ranks them above a session-wide
+    DVFS choice. *)
+
+val pp_explain : Format.formatter -> breach_explanation list -> unit

@@ -1,0 +1,499 @@
+(* Flight recorder: append-only decision log with the same
+   varint+CRC32 framing discipline as Annotation.Encoding (own copy of
+   the CRC: lib/obs sits below lib/annot and cannot depend on it).
+   Events are integers and short strings only — no floats — so the
+   serialised journal of a deterministic run is itself
+   byte-deterministic. *)
+
+type trigger = Record_lost | Record_corrupt | Header_lost
+
+type kind =
+  | Session_start of {
+      clip : string;
+      device : string;
+      quality : string;
+      frames : int;
+      fps_milli : int;
+    }
+  | Scene_decision of {
+      scene : int;
+      first_frame : int;
+      frame_count : int;
+      register : int;
+      effective_max : int;
+      compensation_fp : int;
+      clipped_permille : int;
+      quality_permille : int;
+      candidates : int list;
+    }
+  | Scene_cut of { scene : int; frame : int }
+  | Backlight_switch of { frame : int; from_register : int; to_register : int }
+  | Deadline_miss of { frame : int; over_us : int }
+  | Channel of { packets : int; delivered : int }
+  | Nack_round of { round : int; missing : int; repaired : int }
+  | Fec_outcome of { failed_groups : int; repaired_packets : int }
+  | Degradation of { index : int; trigger : trigger; policy : string }
+  | Dvfs_choice of { policy : string; mean_mhz : int; misses : int }
+  | Slo_breach of {
+      rule : string;
+      window : int;
+      value_milli : int;
+      window_us : int;
+    }
+  | Session_end of {
+      survived : bool;
+      degraded_scenes : int;
+      retransmissions : int;
+      corrupt_records : int;
+    }
+
+type event = { t_us : int; kind : kind }
+
+let magic = "AJNL"
+
+let version = 1
+
+(* Annotate events replay the clip timeline, transmit events the NACK
+   budget, playback events the playback clock: three independent
+   simulated clocks, so monotonicity only holds per phase (and resets
+   at every Session_start). *)
+let phase = function
+  | Session_start _ -> 0
+  | Scene_decision _ -> 1
+  | Channel _ | Nack_round _ | Fec_outcome _ | Degradation _ -> 2
+  | Scene_cut _ | Backlight_switch _ | Deadline_miss _ | Dvfs_choice _
+  | Slo_breach _ ->
+    3
+  | Session_end _ -> 4
+
+(* --- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) -------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 data =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    data;
+  !c lxor 0xffffffff
+
+(* --- recorder ----------------------------------------------------------- *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable events_rev : event list;
+  mutable count : int;
+}
+
+let create () = { mutex = Mutex.create (); events_rev = []; count = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let record_in t ?(t_s = 0.) kind =
+  let t_us =
+    if Float.is_finite t_s && t_s > 0. then
+      int_of_float (Float.round (t_s *. 1e6))
+    else 0
+  in
+  with_lock t (fun () ->
+      t.events_rev <- { t_us; kind } :: t.events_rev;
+      t.count <- t.count + 1)
+
+let events t = with_lock t (fun () -> List.rev t.events_rev)
+
+let length t = with_lock t (fun () -> t.count)
+
+let instance : t option ref = ref None
+
+let install t = instance := Some t
+
+let uninstall () = instance := None
+
+let current () = !instance
+
+let installed () = Option.is_some !instance
+
+let record ?t_s kind =
+  if Control.on () then
+    match !instance with
+    | None -> ()
+    | Some t -> record_in t ?t_s kind
+
+(* --- writing ------------------------------------------------------------ *)
+
+let put_varint buf n =
+  if n < 0 then invalid_arg "Journal: negative varint";
+  let rec loop n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      loop (n lsr 7)
+    end
+  in
+  loop n
+
+let put_string buf s =
+  put_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let put_u32 buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+(* Signed fields (the SLO breach reading can sit below zero) ride as
+   zigzag varints. *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+let trigger_tag = function
+  | Record_lost -> 0
+  | Record_corrupt -> 1
+  | Header_lost -> 2
+
+let encode_payload buf { t_us; kind } =
+  let tag n = Buffer.add_char buf (Char.chr n) in
+  let v = put_varint buf in
+  let s = put_string buf in
+  (match kind with
+  | Session_start _ -> tag 1
+  | Scene_decision _ -> tag 2
+  | Scene_cut _ -> tag 3
+  | Backlight_switch _ -> tag 4
+  | Deadline_miss _ -> tag 5
+  | Channel _ -> tag 6
+  | Nack_round _ -> tag 7
+  | Fec_outcome _ -> tag 8
+  | Degradation _ -> tag 9
+  | Dvfs_choice _ -> tag 10
+  | Slo_breach _ -> tag 11
+  | Session_end _ -> tag 12);
+  v t_us;
+  match kind with
+  | Session_start e ->
+    s e.clip;
+    s e.device;
+    s e.quality;
+    v e.frames;
+    v e.fps_milli
+  | Scene_decision e ->
+    v e.scene;
+    v e.first_frame;
+    v e.frame_count;
+    v e.register;
+    v e.effective_max;
+    v e.compensation_fp;
+    v e.clipped_permille;
+    v e.quality_permille;
+    v (List.length e.candidates);
+    List.iter v e.candidates
+  | Scene_cut e ->
+    v e.scene;
+    v e.frame
+  | Backlight_switch e ->
+    v e.frame;
+    v e.from_register;
+    v e.to_register
+  | Deadline_miss e ->
+    v e.frame;
+    v e.over_us
+  | Channel e ->
+    v e.packets;
+    v e.delivered
+  | Nack_round e ->
+    v e.round;
+    v e.missing;
+    v e.repaired
+  | Fec_outcome e ->
+    v e.failed_groups;
+    v e.repaired_packets
+  | Degradation e ->
+    if e.index < -1 then invalid_arg "Journal: degradation index below -1";
+    v (e.index + 1);
+    tag (trigger_tag e.trigger);
+    s e.policy
+  | Dvfs_choice e ->
+    s e.policy;
+    v e.mean_mhz;
+    v e.misses
+  | Slo_breach e ->
+    s e.rule;
+    v e.window;
+    v (zigzag e.value_milli);
+    v e.window_us
+  | Session_end e ->
+    tag (if e.survived then 1 else 0);
+    v e.degraded_scenes;
+    v e.retransmissions;
+    v e.corrupt_records
+
+let encode events =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  put_u32 buf (crc32 (Buffer.contents buf));
+  let payload = Buffer.create 64 in
+  List.iter
+    (fun event ->
+      Buffer.clear payload;
+      encode_payload payload event;
+      put_varint buf (Buffer.length payload);
+      Buffer.add_buffer buf payload;
+      put_u32 buf (crc32 (Buffer.contents payload)))
+    events;
+  Buffer.contents buf
+
+let to_string t = encode (events t)
+
+let size_bytes t = String.length (to_string t)
+
+let write t ~path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+(* --- reading ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.data then raise (Parse_error "truncated input")
+
+let get_byte c =
+  need c 1;
+  let b = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  b
+
+let get_varint c =
+  let rec loop shift acc =
+    if shift > 56 then raise (Parse_error "varint too long");
+    let b = get_byte c in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if acc < 0 then raise (Parse_error "varint overflow");
+    if b land 0x80 = 0 then acc else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let max_string_len = 4096
+
+let get_string c =
+  let n = get_varint c in
+  if n > max_string_len then raise (Parse_error "implausible string length");
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_u32 c =
+  need c 4;
+  let b i = Char.code c.data.[c.pos + i] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  c.pos <- c.pos + 4;
+  v
+
+let get_trigger c =
+  match get_byte c with
+  | 0 -> Record_lost
+  | 1 -> Record_corrupt
+  | 2 -> Header_lost
+  | n -> raise (Parse_error (Printf.sprintf "unknown degradation trigger %d" n))
+
+let get_candidates c =
+  let n = get_varint c in
+  if n > 256 then raise (Parse_error "implausible candidate count");
+  (* Explicit loop: the reads must happen left to right. *)
+  let rec loop k acc =
+    if k = 0 then List.rev acc else loop (k - 1) (get_varint c :: acc)
+  in
+  loop n []
+
+let decode_kind c tag =
+  match tag with
+  | 1 ->
+    let clip = get_string c in
+    let device = get_string c in
+    let quality = get_string c in
+    let frames = get_varint c in
+    let fps_milli = get_varint c in
+    Session_start { clip; device; quality; frames; fps_milli }
+  | 2 ->
+    let scene = get_varint c in
+    let first_frame = get_varint c in
+    let frame_count = get_varint c in
+    let register = get_varint c in
+    let effective_max = get_varint c in
+    let compensation_fp = get_varint c in
+    let clipped_permille = get_varint c in
+    let quality_permille = get_varint c in
+    let candidates = get_candidates c in
+    Scene_decision
+      {
+        scene;
+        first_frame;
+        frame_count;
+        register;
+        effective_max;
+        compensation_fp;
+        clipped_permille;
+        quality_permille;
+        candidates;
+      }
+  | 3 ->
+    let scene = get_varint c in
+    let frame = get_varint c in
+    Scene_cut { scene; frame }
+  | 4 ->
+    let frame = get_varint c in
+    let from_register = get_varint c in
+    let to_register = get_varint c in
+    Backlight_switch { frame; from_register; to_register }
+  | 5 ->
+    let frame = get_varint c in
+    let over_us = get_varint c in
+    Deadline_miss { frame; over_us }
+  | 6 ->
+    let packets = get_varint c in
+    let delivered = get_varint c in
+    Channel { packets; delivered }
+  | 7 ->
+    let round = get_varint c in
+    let missing = get_varint c in
+    let repaired = get_varint c in
+    Nack_round { round; missing; repaired }
+  | 8 ->
+    let failed_groups = get_varint c in
+    let repaired_packets = get_varint c in
+    Fec_outcome { failed_groups; repaired_packets }
+  | 9 ->
+    let index = get_varint c - 1 in
+    let trigger = get_trigger c in
+    let policy = get_string c in
+    Degradation { index; trigger; policy }
+  | 10 ->
+    let policy = get_string c in
+    let mean_mhz = get_varint c in
+    let misses = get_varint c in
+    Dvfs_choice { policy; mean_mhz; misses }
+  | 11 ->
+    let rule = get_string c in
+    let window = get_varint c in
+    let value_milli = unzigzag (get_varint c) in
+    let window_us = get_varint c in
+    Slo_breach { rule; window; value_milli; window_us }
+  | 12 ->
+    let survived = get_byte c <> 0 in
+    let degraded_scenes = get_varint c in
+    let retransmissions = get_varint c in
+    let corrupt_records = get_varint c in
+    Session_end { survived; degraded_scenes; retransmissions; corrupt_records }
+  | n -> raise (Parse_error (Printf.sprintf "unknown event kind %d" n))
+
+let parse_payload payload =
+  let c = { data = payload; pos = 0 } in
+  try
+    let tag = get_byte c in
+    let t_us = get_varint c in
+    let kind = decode_kind c tag in
+    if c.pos <> String.length payload then
+      raise (Parse_error "trailing bytes in event payload");
+    Ok { t_us; kind }
+  with Parse_error msg -> Error msg
+
+(* A frame longer than this cannot come from [encode]; treating it as
+   valid would let one flipped length byte swallow the rest of the
+   journal. *)
+let max_frame_len = 65536
+
+let check_header data =
+  let len = String.length data in
+  if len < 4 || String.sub data 0 4 <> magic then
+    Error "bad magic: not a decision journal"
+  else if len < 5 then Error "truncated header"
+  else if Char.code data.[4] <> version then
+    Error (Printf.sprintf "unsupported journal version %d" (Char.code data.[4]))
+  else if len < 9 then Error "truncated header CRC"
+  else
+    let stored =
+      let b i = Char.code data.[5 + i] in
+      b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+    in
+    if stored <> crc32 (String.sub data 0 5) then Error "header CRC mismatch"
+    else Ok ()
+
+let decode data =
+  match check_header data with
+  | Error msg -> Error msg
+  | Ok () -> (
+    let c = { data; pos = 9 } in
+    try
+      let events = ref [] in
+      while c.pos < String.length data do
+        let len = get_varint c in
+        if len > max_frame_len then raise (Parse_error "implausible frame length");
+        need c (len + 4);
+        let payload = String.sub data c.pos len in
+        c.pos <- c.pos + len;
+        let stored = get_u32 c in
+        if stored <> crc32 payload then raise (Parse_error "frame CRC mismatch");
+        match parse_payload payload with
+        | Ok event -> events := event :: !events
+        | Error msg -> raise (Parse_error msg)
+      done;
+      Ok (List.rev !events)
+    with Parse_error msg -> Error msg)
+
+type partial = {
+  events : event list;
+  corrupt_frames : int;
+  truncated : bool;
+  error : string option;
+}
+
+let decode_partial data =
+  match check_header data with
+  | Error msg -> { events = []; corrupt_frames = 0; truncated = false; error = Some msg }
+  | Ok () ->
+    let c = { data; pos = 9 } in
+    let events = ref [] in
+    let corrupt = ref 0 in
+    let truncated = ref false in
+    (try
+       while c.pos < String.length data do
+         let len = get_varint c in
+         if len > max_frame_len then raise (Parse_error "frame length");
+         need c (len + 4);
+         let payload = String.sub data c.pos len in
+         c.pos <- c.pos + len;
+         let stored = get_u32 c in
+         if stored <> crc32 payload then incr corrupt
+         else
+           match parse_payload payload with
+           | Ok event -> events := event :: !events
+           | Error _ -> incr corrupt
+       done
+     with Parse_error _ ->
+       (* A broken length varint means the framing itself cannot be
+          trusted past this point: stop instead of resyncing on noise. *)
+       truncated := true);
+    {
+      events = List.rev !events;
+      corrupt_frames = !corrupt;
+      truncated = !truncated;
+      error = None;
+    }

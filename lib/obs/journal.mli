@@ -1,0 +1,165 @@
+(** Deterministic flight recorder for session decisions.
+
+    The observability layer measures a run (metrics, spans, windows);
+    the journal *explains* it: an append-only log of every decision
+    the pipeline took — which backlight level each scene got and what
+    the candidates were, which packets the channel killed, how many
+    NACK rounds the transport spent, which scenes degraded and why,
+    what the DVFS governor picked, where the monitor saw an SLO
+    breach. Because the whole simulator is a pure function of its
+    inputs (DESIGN.md §8), two journals of the same run are
+    byte-identical, so diffing two journals localises the *first
+    divergent decision* between two configurations — the
+    deterministic-replay debugging primitive {!Explain.diff} and
+    [inspect diff] build on.
+
+    Like {!Profile} and {!Monitor}, the recorder is a process-global
+    installable: with nothing installed (or observability off)
+    {!record} is a single load and the instrumented code paths are
+    byte-identical — asserted in the tests. Events carry only integers
+    and short strings (times in microseconds, ratios in permille,
+    gains in the {!Annotation.Encoding} 4096 fixed point), never
+    floats, so the wire form is trivially reproducible.
+
+    Wire format (audited offline by [lint verify], V4xx): header
+    ["AJNL"], a version byte, and a CRC32 of those five bytes; then
+    one frame per event — varint payload length, payload, payload
+    CRC32. A payload is a kind tag byte, a varint timestamp in
+    microseconds of simulated time, and the kind's fields as varints
+    and length-prefixed strings. Timestamps restart per pipeline phase
+    (annotate, transmit, playback each replay their own clock), per
+    session, and per stage run (one process may annotate several
+    times), so monotonicity is checked within each contiguous run of
+    same-phase events. CRC framing means a corrupt or truncated
+    journal still
+    yields every intact prefix event through {!decode_partial}. *)
+
+type trigger =
+  | Record_lost  (** annotation record bytes never arrived *)
+  | Record_corrupt  (** record arrived but failed its CRC / sanity checks *)
+  | Header_lost  (** stream header unusable: whole track fell back *)
+
+type kind =
+  | Session_start of {
+      clip : string;
+      device : string;
+      quality : string;
+      frames : int;
+      fps_milli : int;
+    }
+  | Scene_decision of {
+      scene : int;
+      first_frame : int;
+      frame_count : int;
+      register : int;  (** chosen backlight level *)
+      effective_max : int;
+      compensation_fp : int;  (** luminance gain, x4096 fixed point *)
+      clipped_permille : int;  (** quality score: clipped-pixel fraction *)
+      quality_permille : int;  (** allowed loss the solver ran at *)
+      candidates : int list;
+          (** registers the solver would pick across the quality grid *)
+    }
+  | Scene_cut of { scene : int; frame : int }
+  | Backlight_switch of { frame : int; from_register : int; to_register : int }
+  | Deadline_miss of { frame : int; over_us : int }
+  | Channel of { packets : int; delivered : int }
+      (** one pass of the fault injector over a packet train *)
+  | Nack_round of { round : int; missing : int; repaired : int }
+  | Fec_outcome of { failed_groups : int; repaired_packets : int }
+  | Degradation of { index : int; trigger : trigger; policy : string }
+      (** annotation record [index] (-1: the whole track) fell back *)
+  | Dvfs_choice of { policy : string; mean_mhz : int; misses : int }
+  | Slo_breach of {
+      rule : string;
+      window : int;
+      value_milli : int;  (** breaching reading, x1000 *)
+      window_us : int;  (** duration of the breached window *)
+    }
+  | Session_end of {
+      survived : bool;
+      degraded_scenes : int;
+      retransmissions : int;
+      corrupt_records : int;
+    }
+
+type event = { t_us : int; kind : kind }
+
+(** {1 Recording} *)
+
+type t
+
+val create : unit -> t
+
+val record_in : t -> ?t_s:float -> kind -> unit
+(** [record_in t ~t_s kind] appends an event stamped [t_s] seconds of
+    simulated time (default 0, clamped at 0). Thread-safe. *)
+
+val events : t -> event list
+(** All events, oldest first. *)
+
+val length : t -> int
+
+(** {1 Process-global instance}
+
+    Mirrors {!Profile}: the instrumented pipeline records into
+    whichever journal is installed, and records nothing — at the cost
+    of one option load — when none is. *)
+
+val install : t -> unit
+
+val uninstall : unit -> unit
+
+val current : unit -> t option
+
+val installed : unit -> bool
+
+val record : ?t_s:float -> kind -> unit
+(** No-op unless observability is enabled and a journal is installed. *)
+
+(** {1 Wire format} *)
+
+val magic : string
+(** ["AJNL"]. *)
+
+val version : int
+
+val crc32 : string -> int
+(** CRC32 (IEEE 802.3, reflected) over a whole string — the checksum
+    both the header and every frame carry. *)
+
+val phase : kind -> int
+(** Pipeline phase the kind belongs to — 0 session-start, 1 annotate,
+    2 transmit, 3 playback, 4 session-end. Timestamps are monotone
+    within each contiguous run of same-phase events, which is what the
+    offline verifier checks (V406). *)
+
+val encode : event list -> string
+
+val to_string : t -> string
+(** [encode (events t)]. *)
+
+val size_bytes : t -> int
+
+val write : t -> path:string -> unit
+(** Raises [Sys_error] like any file write. *)
+
+val parse_payload : string -> (event, string) result
+(** Decodes one frame payload (kind tag, timestamp, fields); rejects
+    unknown tags, malformed fields and trailing bytes. Exposed for the
+    offline verifier, which walks the framing itself. *)
+
+val decode : string -> (event list, string) result
+(** Strict decode: any framing, CRC or schema problem fails the whole
+    journal. *)
+
+type partial = {
+  events : event list;  (** every frame that decoded, oldest first *)
+  corrupt_frames : int;  (** frames skipped over a CRC or schema failure *)
+  truncated : bool;  (** the byte stream ended mid-frame *)
+  error : string option;  (** fatal header-level problem, nothing walked *)
+}
+
+val decode_partial : string -> partial
+(** Never raises: a damaged journal yields every event whose frame
+    still checks out, so [inspect] can render a partial timeline of a
+    run that crashed or a file that was corrupted at rest. *)

@@ -157,7 +157,27 @@ let evaluate_window t ~at_s ~duration_s =
           s.breached <- s.breached + 1;
           if List.length s.breaches_rev < max_breaches then
             s.breaches_rev <-
-              { window = t.window_index; at_s; value = v } :: s.breaches_rev
+              { window = t.window_index; at_s; value = v } :: s.breaches_rev;
+          Journal.record ~t_s:at_s
+            (Journal.Slo_breach
+               {
+                 rule = rule.Slo.source;
+                 window = t.window_index;
+                 value_milli =
+                   (if Float.is_finite v then
+                      int_of_float (Float.round (v *. 1000.))
+                    else 0);
+                 window_us = int_of_float (Float.round (duration_s *. 1e6));
+               });
+          Log.warn ~scope:"monitor" (fun () ->
+              ( "SLO breach: " ^ rule.Slo.source,
+                [
+                  ("rule", Json.String rule.Slo.source);
+                  ("window", Json.Int t.window_index);
+                  ("value", Json.Float v);
+                  ("threshold", Json.Float rule.threshold);
+                  ("at_s", Json.Float at_s);
+                ] ))
         end)
     t.rule_list
 

@@ -20,6 +20,8 @@ module Monitor = Monitor
 module Openmetrics = Openmetrics
 module Timeseries = Timeseries
 module Profile = Profile
+module Journal = Journal
+module Explain = Explain
 
 let enable () = Control.set true
 

@@ -116,26 +116,36 @@ let corrupt_packet r rate packet =
     packet;
   match !out with None -> packet | Some b -> Bytes.to_string b
 
-let apply t ~seed packets =
+let apply ?(t_s = 0.) t ~seed packets =
   let n = Array.length packets in
   let lost = loss_mask t ~seed ~n in
   let reorder_rng = rng ~seed ~salt:salt_reorder in
   let corrupt_rng = rng ~seed ~salt:salt_corrupt in
-  Array.init n (fun i ->
-      if lost.(i) then begin
-        Obs.Metrics.Counter.incr (obs_lost `Loss);
-        None
-      end
-      else if t.reorder_rate > 0. && Image.Prng.float reorder_rng 1. < t.reorder_rate
-      then begin
-        (* Displaced past its decode deadline: gone as far as playback
-           is concerned, though a retransmission can still repair it. *)
-        Obs.Metrics.Counter.incr (obs_lost `Reorder);
-        None
-      end
-      else if t.corrupt_rate > 0. then
-        Some (corrupt_packet corrupt_rng t.corrupt_rate packets.(i))
-      else Some packets.(i))
+  let out =
+    Array.init n (fun i ->
+        if lost.(i) then begin
+          Obs.Metrics.Counter.incr (obs_lost `Loss);
+          None
+        end
+        else if
+          t.reorder_rate > 0. && Image.Prng.float reorder_rng 1. < t.reorder_rate
+        then begin
+          (* Displaced past its decode deadline: gone as far as playback
+             is concerned, though a retransmission can still repair it. *)
+          Obs.Metrics.Counter.incr (obs_lost `Reorder);
+          None
+        end
+        else if t.corrupt_rate > 0. then
+          Some (corrupt_packet corrupt_rng t.corrupt_rate packets.(i))
+        else Some packets.(i))
+  in
+  if Obs.enabled () && Obs.Journal.installed () then begin
+    let delivered =
+      Array.fold_left (fun acc p -> if p = None then acc else acc + 1) 0 out
+    in
+    Obs.Journal.record ~t_s (Obs.Journal.Channel { packets = n; delivered })
+  end;
+  out
 
 let delay_s t ~seed ~index =
   if t.jitter_s <= 0. then 0.

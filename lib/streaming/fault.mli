@@ -67,11 +67,13 @@ val loss_mask : t -> seed:int -> n:int -> bool array
     under [t.loss] alone (no corruption or reorder) — a drop-in for
     {!Transport.bernoulli_loss} on the video path. *)
 
-val apply : t -> seed:int -> string array -> string option array
+val apply : ?t_s:float -> t -> seed:int -> string array -> string option array
 (** [apply t ~seed packets] pushes a packet train through the channel:
     lost and deadline-displaced packets come back [None]; delivered
     packets may have bytes flipped ([corrupt_rate]). Delivered content
-    is shared with the input when untouched. *)
+    is shared with the input when untouched. [t_s] (default 0) stamps
+    the {!Obs.Journal.Channel} event this pass records when a journal
+    is installed — it does not affect the channel itself. *)
 
 val delay_s : t -> seed:int -> index:int -> float
 (** Deterministic jitter for delivery [index], uniform in

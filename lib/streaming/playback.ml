@@ -112,8 +112,17 @@ let run_with_registers ?(options = default_options) ~device ~quality ~clip_name
     Array.iteri
       (fun i _ ->
         Obs.Monitor.count Obs.Monitor.frames_series;
-        if i > 0 && registers.(i) <> registers.(i - 1) then
+        if i > 0 && registers.(i) <> registers.(i - 1) then begin
           Obs.Monitor.count s_backlight_switches;
+          Obs.Journal.record
+            ~t_s:(float_of_int i *. dt_s)
+            (Obs.Journal.Backlight_switch
+               {
+                 frame = i;
+                 from_register = registers.(i - 1);
+                 to_register = registers.(i);
+               })
+        end;
         Obs.Monitor.advance ~now_s:(float_of_int (i + 1) *. dt_s))
       registers;
   Obs.Metrics.Counter.incr obs_runs;
@@ -123,6 +132,14 @@ let run_with_registers ?(options = default_options) ~device ~quality ~clip_name
     float_of_int (Array.fold_left ( + ) 0 registers) /. float_of_int frames
   in
   Obs.Metrics.Gauge.set obs_mean_register mean_register;
+  Obs.Log.info ~scope:"playback" (fun () ->
+      ( "playback complete: " ^ clip_name,
+        [
+          ("clip", Obs.Json.String clip_name);
+          ("frames", Obs.Json.Int frames);
+          ("backlight_switches", Obs.Json.Int switch_count);
+          ("mean_register", Obs.Json.Float mean_register);
+        ] ));
   {
     clip_name;
     device_name = device.Display.Device.name;

@@ -188,6 +188,10 @@ let patch_partial policy (p : Annotation.Encoding.partial) =
   in
   (track, degraded)
 
+let degradation_label = function
+  | Full_backlight -> "full_backlight"
+  | Neighbour_clamp -> "neighbour_clamp"
+
 let run config clip =
   span "session.run" ~attrs:[ ("clip", clip.Video.Clip.name) ]
   @@ fun () ->
@@ -197,6 +201,24 @@ let run config clip =
   if frames = 0 then invalid_arg "Session.run: empty clip";
   let fps = clip.Video.Clip.fps in
   let dt_s = 1. /. fps in
+  Obs.Journal.record ~t_s:0.
+    (Obs.Journal.Session_start
+       {
+         clip = clip.Video.Clip.name;
+         device = config.device.Display.Device.name;
+         quality = Annotation.Quality_level.label config.quality;
+         frames;
+         fps_milli = int_of_float (Float.round (fps *. 1000.));
+       });
+  Obs.Log.info ~scope:"session" (fun () ->
+      ( "session start: " ^ clip.Video.Clip.name,
+        [
+          ("clip", Obs.Json.String clip.Video.Clip.name);
+          ("device", Obs.Json.String config.device.Display.Device.name);
+          ( "quality",
+            Obs.Json.String (Annotation.Quality_level.label config.quality) );
+          ("frames", Obs.Json.Int frames);
+        ] ));
   (* Server side: annotate, encode, protect. *)
   let profiled = span "session.profile" (fun () -> Annotation.Annotator.profile clip) in
   let track, annotation_payload, protected_annotations =
@@ -258,6 +280,60 @@ let run config clip =
       in
       let recovery = Fec.recover_detail protected_annotations ~present:arrival in
       let resent = nack.Transport.packets_retransmitted in
+      let journal_t_s = nack.Transport.nack_time_s in
+      let policy_label = degradation_label config.degradation in
+      Obs.Journal.record ~t_s:journal_t_s
+        (Obs.Journal.Fec_outcome
+           {
+             failed_groups = List.length recovery.Fec.failed_groups;
+             repaired_packets = recovery.Fec.repaired_packets;
+           });
+      (* One Degradation event per annotation record that failed to
+         decode. Record [i] occupies a fixed-size span of the payload
+         right after the header, so the FEC byte map tells lost (bytes
+         never arrived) from corrupt (bytes arrived, checks failed)
+         apart. *)
+      let journal_degradations (partial : Annotation.Encoding.partial) =
+        if Obs.enabled () && Obs.Journal.installed () then begin
+          let entries = partial.Annotation.Encoding.entries in
+          let rs = Annotation.Encoding.record_size in
+          let header_len =
+            String.length recovery.Fec.payload - (Array.length entries * rs)
+          in
+          let byte_ok = recovery.Fec.byte_ok in
+          Array.iteri
+            (fun i e ->
+              if e = None then begin
+                let first = header_len + (i * rs) in
+                let missing = ref false in
+                for b = first to first + rs - 1 do
+                  if b < 0 || b >= Array.length byte_ok || not byte_ok.(b) then
+                    missing := true
+                done;
+                Obs.Journal.record ~t_s:journal_t_s
+                  (Obs.Journal.Degradation
+                     {
+                       index = i;
+                       trigger =
+                         (if !missing then Obs.Journal.Record_lost
+                          else Obs.Journal.Record_corrupt);
+                       policy = policy_label;
+                     });
+                Obs.Log.warn ~scope:"session" (fun () ->
+                    ( Printf.sprintf "annotation record %d %s; degrading scene"
+                        i
+                        (if !missing then "lost" else "corrupt"),
+                      [
+                        ("record", Obs.Json.Int i);
+                        ( "trigger",
+                          Obs.Json.String
+                            (if !missing then "lost" else "corrupt") );
+                        ("policy", Obs.Json.String policy_label);
+                      ] ))
+              end)
+            entries
+        end
+      in
       match
         Annotation.Encoding.decode_partial ~byte_ok:recovery.Fec.byte_ok
           recovery.Fec.payload
@@ -265,6 +341,16 @@ let run config clip =
       | Error _ ->
         (* Header gone (or v1 payload damaged): nothing placeable
            survived, every scene plays at full backlight. *)
+        Obs.Journal.record ~t_s:journal_t_s
+          (Obs.Journal.Degradation
+             {
+               index = -1;
+               trigger = Obs.Journal.Header_lost;
+               policy = policy_label;
+             });
+        Obs.Log.warn ~scope:"session" (fun () ->
+            ( "annotation header lost; whole clip plays at full backlight",
+              [ ("policy", Obs.Json.String policy_label) ] ));
         (false, track, Array.length track.Annotation.Track.entries, resent, 0)
       | Ok partial ->
         let intact =
@@ -273,6 +359,7 @@ let run config clip =
             0 partial.Annotation.Encoding.entries
         in
         let corrupt = partial.Annotation.Encoding.corrupt_records in
+        journal_degradations partial;
         if intact = 0 then
           (false, track, Array.length partial.Annotation.Encoding.entries, resent,
            corrupt)
@@ -329,6 +416,16 @@ let run config clip =
               let dvfs =
                 Dvfs_playback.run ~fps cycles Dvfs_playback.Annotated_workload
               in
+              Obs.Journal.record ~t_s:0.
+                (Obs.Journal.Dvfs_choice
+                   {
+                     policy =
+                       Dvfs_playback.policy_name dvfs.Dvfs_playback.policy;
+                     mean_mhz =
+                       int_of_float
+                         (Float.round dvfs.Dvfs_playback.mean_frequency_mhz);
+                     misses = dvfs.Dvfs_playback.deadline_misses;
+                   });
               let frame_bytes =
                 Array.map
                   (fun bits -> (bits + 7) / 8)
@@ -351,11 +448,16 @@ let run config clip =
                     if e.first_frame < frames then
                       scene_start.(e.first_frame) <- true)
                   client_track.Annotation.Track.entries;
+                let scene_idx = ref 0 in
                 Array.iteri
                   (fun i bytes ->
                     let start_s = float_of_int i *. dt_s in
-                    if i > 0 && scene_start.(i) then
+                    if i > 0 && scene_start.(i) then begin
                       Obs.Monitor.scene_cut ~now_s:start_s;
+                      incr scene_idx;
+                      Obs.Journal.record ~t_s:start_s
+                        (Obs.Journal.Scene_cut { scene = !scene_idx; frame = i })
+                    end;
                     let transfer = Netsim.transfer_time_s config.link bytes in
                     let transfer =
                       match config.fault with
@@ -370,10 +472,26 @@ let run config clip =
                     Obs.Monitor.count Obs.Monitor.frames_series;
                     if transfer > dt_s then begin
                       Obs.Metrics.Counter.incr obs_deadline_misses;
-                      Obs.Monitor.count s_deadline_miss
+                      Obs.Monitor.count s_deadline_miss;
+                      Obs.Journal.record ~t_s:start_s
+                        (Obs.Journal.Deadline_miss
+                           {
+                             frame = i;
+                             over_us =
+                               int_of_float
+                                 (Float.round ((transfer -. dt_s) *. 1e6));
+                           })
                     end;
-                    if i > 0 && registers.(i) <> registers.(i - 1) then
+                    if i > 0 && registers.(i) <> registers.(i - 1) then begin
                       Obs.Monitor.count s_backlight_switches;
+                      Obs.Journal.record ~t_s:start_s
+                        (Obs.Journal.Backlight_switch
+                           {
+                             frame = i;
+                             from_register = registers.(i - 1);
+                             to_register = registers.(i);
+                           })
+                    end;
                     Obs.Monitor.advance ~now_s:(start_s +. dt_s))
                   frame_bytes
               end;
@@ -459,6 +577,23 @@ let run config clip =
                 let full = float_of_int frames *. p 255 in
                 (full -. used) /. full
               in
+              Obs.Journal.record
+                ~t_s:(float_of_int frames *. dt_s)
+                (Obs.Journal.Session_end
+                   {
+                     survived = annotations_survived;
+                     degraded_scenes;
+                     retransmissions;
+                     corrupt_records;
+                   });
+              Obs.Log.info ~scope:"session" (fun () ->
+                  ( "session end: " ^ clip.Video.Clip.name,
+                    [
+                      ("survived", Obs.Json.Bool annotations_survived);
+                      ("degraded_scenes", Obs.Json.Int degraded_scenes);
+                      ("retransmissions", Obs.Json.Int retransmissions);
+                      ("corrupt_records", Obs.Json.Int corrupt_records);
+                    ] ));
               {
                 config;
                 frames;

@@ -174,7 +174,8 @@ let nack_retransmit ?(backoff_base_s = 0.002) ?(rtt_s = 0.004) ~fault ~link
         Obs.Metrics.Counter.incr obs_retransmissions ~by:(Array.length resent);
         (* Retransmissions ride the same faulty channel with a fresh
            deterministic sub-stream. *)
-        let delivered = Fault.apply fault ~seed:round_seed resent in
+        let delivered = Fault.apply ~t_s:!spent fault ~seed:round_seed resent in
+        let repaired_before = !repaired in
         List.iteri
           (fun k i ->
             match delivered.(k) with
@@ -182,7 +183,14 @@ let nack_retransmit ?(backoff_base_s = 0.002) ?(rtt_s = 0.004) ~fault ~link
               present.(i) <- Some p;
               incr repaired
             | None -> ())
-          gaps
+          gaps;
+        Obs.Journal.record ~t_s:!spent
+          (Obs.Journal.Nack_round
+             {
+               round = !rounds;
+               missing = List.length gaps;
+               repaired = !repaired - repaired_before;
+             })
       end
   done;
   ( present,

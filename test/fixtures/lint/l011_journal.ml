@@ -1,0 +1,2 @@
+(* Negative fixture: journal emission outside the sanctioned hooks (L011). *)
+let note () = Obs.Journal.record (Obs.Journal.Scene_cut { scene = 1; frame = 6 })

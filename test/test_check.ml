@@ -38,6 +38,7 @@ let test_fixtures_fire_once () =
       ("l008_bare_allow.ml", false, true, "L008");
       ("l009_domain.ml", false, true, "L009");
       ("l010_meter.ml", false, true, "L010");
+      ("l011_journal.ml", false, true, "L011");
     ]
 
 let test_clean_fixture () =
@@ -70,12 +71,32 @@ let test_l010_meter_exempt () =
   check_codes "reasoned allow silences L010" []
     (Lint.lint_source ~path:"lib/streaming/x.ml" allowed)
 
+let test_l011_journal_exempt () =
+  (* The journal library itself and the five sanctioned pipeline hook
+     files may emit events; everywhere else needs a reasoned allow. *)
+  let source = read_file "fixtures/lint/l011_journal.ml" in
+  check_codes "lib/obs path is exempt" []
+    (Lint.lint_source ~path:"lib/obs/journal.ml" source);
+  check_codes "session hook is exempt" []
+    (Lint.lint_source ~path:"lib/streaming/session.ml" source);
+  check_codes "annotator hook is exempt" []
+    (Lint.lint_source ~path:"lib/annot/annotator.ml" source);
+  check_codes "explicit in_journal is exempt" []
+    (Lint.lint_source ~in_journal:true ~path:"fixtures/lint/l011_journal.ml"
+       source);
+  let allowed =
+    "(* lint: allow L011 bench instruments its own harness *)\n\
+     let () = Obs.Journal.record (Obs.Journal.Scene_cut { scene = 0; frame = 0 })\n"
+  in
+  check_codes "reasoned allow silences L011" []
+    (Lint.lint_source ~path:"lib/streaming/x.ml" allowed)
+
 let test_every_rule_has_a_fixture () =
   (* L000 is the parse-failure code, not a rule with a fixture. *)
   let covered =
     [
       "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008"; "L009";
-      "L010";
+      "L010"; "L011";
     ]
   in
   Alcotest.(check (list string))
@@ -387,6 +408,7 @@ let () =
           Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
           Alcotest.test_case "lib/par exempt from L009" `Quick test_l009_pool_exempt;
           Alcotest.test_case "lib/power exempt from L010" `Quick test_l010_meter_exempt;
+          Alcotest.test_case "hooks exempt from L011" `Quick test_l011_journal_exempt;
           Alcotest.test_case "registry covered" `Quick test_every_rule_has_a_fixture;
           Alcotest.test_case "unparsable" `Quick test_unparsable_is_l000;
         ] );
