@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work.
 
-.PHONY: all build test check bench clean slo-smoke chaos lint verify-fixtures gate baseline
+.PHONY: all build test check bench clean slo-smoke chaos chaos-ladder lint verify-fixtures gate baseline
 
 all: build
 
@@ -19,7 +19,8 @@ test:
 check:
 	dune build && dune runtest && PAR_JOBS=4 dune runtest --force \
 	  && $(MAKE) lint && $(MAKE) verify-fixtures \
-	  && $(MAKE) slo-smoke && $(MAKE) chaos && $(MAKE) gate
+	  && $(MAKE) slo-smoke && $(MAKE) chaos && $(MAKE) chaos-ladder \
+	  && $(MAKE) gate
 
 # Static gate 1: the determinism linter over the library and tool
 # sources (rules L001-L011, see README "Static checks"). Exits 1 on
@@ -39,7 +40,7 @@ verify-fixtures:
 	  --journal _build/verify-session.journal > /dev/null
 	dune exec bin/lint.exe -- verify _build/verify-track.bin \
 	  _build/verify-session.journal \
-	  examples/default.slo examples/*.fault
+	  examples/default.slo examples/*.fault examples/*.resilience
 
 # End-to-end health gate: monitored playback of a seeded clip against
 # the default SLO file must print a clean report and exit 0.
@@ -66,34 +67,58 @@ chaos:
 	dune exec bin/characterize.exe -- --monitor --slo examples/default.slo \
 	  > /dev/null
 
+# Chaos × resilience gate: the same hostile channel with the control
+# plane on. Every CLI must exit 0 under both shipped profiles — a
+# breaker that opens or a ladder that bottoms out degrades the session,
+# it never aborts it. The journaled run is audited offline (V4xx/V5xx
+# behaviour lives in test/test_resilience.ml; this asserts exit codes).
+chaos-ladder:
+	dune build
+	for p in examples/default.resilience examples/aggressive.resilience; do \
+	  dune exec bin/playback.exe -- -c theincredibles-tlr2 \
+	    --fault-profile examples/chaos.fault --resilience $$p \
+	    --journal _build/chaos-ladder.journal > /dev/null || exit 1; \
+	  dune exec bin/lint.exe -- verify _build/chaos-ladder.journal \
+	    > /dev/null || exit 1; \
+	  dune exec bin/plan.exe -- -c theincredibles-tlr2 -t 2 \
+	    --fault-profile examples/chaos.fault --resilience $$p \
+	    > /dev/null || exit 1; \
+	  dune exec bin/annotate.exe -- -c theincredibles-tlr2 \
+	    --fault-profile examples/chaos.fault --resilience $$p \
+	    > /dev/null || exit 1; \
+	  dune exec bin/characterize.exe -- --resilience $$p \
+	    > /dev/null || exit 1; \
+	done
+
 bench:
 	dune exec bench/main.exe
 
-# Energy regression gate: the committed baseline must reproduce within
-# tolerance, and a synthetic 10% energy regression must trip the gate.
+# Energy + resilience regression gate: the committed baseline must
+# reproduce within tolerance (both the energy rows and the chaos-ladder
+# counts), and a synthetic 10% energy regression must trip the gate.
 # Runs in _build/gate so the committed BENCH_*.json artifacts are not
-# overwritten by the partial (energy-only) reports these runs produce.
+# overwritten by the partial reports these runs produce.
 gate:
 	dune build
 	mkdir -p _build/gate
-	cd _build/gate && ../default/bench/main.exe energy \
+	cd _build/gate && ../default/bench/main.exe energy resilience-ladder \
 	  --baseline ../../BENCH_baseline.json --gate > /dev/null
 	cd _build/gate && ../default/bin/lint.exe verify BENCH_session.journal \
-	  > /dev/null
-	cd _build/gate && ! ../default/bench/main.exe energy \
+	  BENCH_ladder.journal > /dev/null
+	cd _build/gate && ! ../default/bench/main.exe energy resilience-ladder \
 	  --baseline ../../BENCH_baseline.json --gate --inject-regression 10 \
 	  > /dev/null
 	@echo "gate: baseline reproduces; injected 10% regression trips it;"
-	@echo "gate: the bench journal passes the offline V4xx audit"
+	@echo "gate: the bench journals pass the offline V4xx audit"
 
-# Regenerate the committed energy baseline. Do this ONLY alongside a
-# reasoned diff in the PR: state what moved, by how much, and why the
-# new numbers are correct — the gate exists to make silent energy
-# drift impossible.
+# Regenerate the committed bench baseline (energy rows + chaos-ladder
+# counts). Do this ONLY alongside a reasoned diff in the PR: state what
+# moved, by how much, and why the new numbers are correct — the gate
+# exists to make silent drift impossible.
 baseline:
 	dune build
 	mkdir -p _build/gate
-	cd _build/gate && ../default/bench/main.exe energy \
+	cd _build/gate && ../default/bench/main.exe energy resilience-ladder \
 	  --write-baseline ../../BENCH_baseline.json
 	@echo
 	@echo "BENCH_baseline.json regenerated. Commit it together with a"

@@ -1421,6 +1421,237 @@ let energy () =
      with flamegraph.pl or speedscope)\n";
   Format.printf "@.%a@." Obs.Profile.pp_summary profiler
 
+(* --- Extension: E19 resilience ladder (chaos sweep) ------------------------ *)
+
+(* Rows for the report's "resilience_ladder" section; the regression
+   gate diffs them against BENCH_baseline.json alongside the energy
+   rows. Every count is a pure function of the seeds, so the gate
+   compares them exactly. *)
+let resilience_ladder_rows : Obs.Json.t list ref = ref []
+
+let resilience_ladder () =
+  section
+    "Extension — E19: degradation ladder under chaos (zero-abort sweep)";
+  (* The two shipped control planes, inline so the bench does not
+     depend on its working directory. Kept equivalent to
+     examples/default.resilience and examples/aggressive.resilience;
+     the gate pins the resulting behaviour either way. *)
+  let parse_profile text =
+    match Resilience.Profile.parse text with
+    | Ok p -> p
+    | Error e -> failwith ("resilience ladder: bad inline profile: " ^ e)
+  in
+  let default_profile =
+    parse_profile
+      "retry_budget_s = 0.04\n\
+       retry_base_s = 0.002\n\
+       retry_multiplier = 2.0\n\
+       retry_jitter = 0.0\n\
+       retry_max_rounds = 16\n\
+       breaker_threshold = 0.5\n\
+       breaker_window = 8\n\
+       breaker_min_samples = 4\n\
+       breaker_cooldown_ms = 10\n\
+       breaker_probes = 2\n\
+       bulkhead_capacity = 2\n\
+       bulkhead_queue = 2\n\
+       ladder = fresh, stale, clamp, full\n\
+       stage_deadline_ms = 40\n"
+  in
+  let aggressive_profile =
+    parse_profile
+      "retry_budget_s = 0.02\n\
+       retry_base_s = 0.001\n\
+       retry_multiplier = 3.0\n\
+       retry_max_rounds = 6\n\
+       breaker_threshold = 0.25\n\
+       breaker_window = 4\n\
+       breaker_min_samples = 2\n\
+       breaker_cooldown_ms = 20\n\
+       breaker_probes = 1\n\
+       bulkhead_capacity = 1\n\
+       bulkhead_queue = 0\n\
+       ladder = fresh, clamp, full\n\
+       stage_deadline_ms = 20\n"
+  in
+  (* examples/chaos.fault, inline: bursty loss, byte corruption, late
+     arrivals, jitter, and a mid-stream bandwidth collapse. *)
+  let fault =
+    {
+      (Streaming.Fault.gilbert ~mean_loss:0.08 ~burst_length:3. ()) with
+      Streaming.Fault.corrupt_rate = 0.002;
+      reorder_rate = 0.02;
+      jitter_s = 0.005;
+      collapse = Some { Streaming.Fault.at_fraction = 0.5; factor = 0.25 };
+    }
+  in
+  let clip_profile =
+    let scene level =
+      Video.Profile.scene ~seconds:0.75 ~noise_sigma:0. (Video.Profile.Flat level)
+    in
+    {
+      Video.Profile.name = "ladder-chaos";
+      seed = 23;
+      scenes = [ scene 45; scene 210; scene 70; scene 190; scene 55; scene 230 ];
+    }
+  in
+  let clip = Video.Clip_gen.render ~width:64 ~height:48 ~fps:8. clip_profile in
+  let seeds = 50 in
+  Printf.printf
+    "%d seeds per profile under gilbert(8%%, burst 3) + corrupt + reorder + \
+     collapse\n\n"
+    seeds;
+  Printf.printf "%-18s %6s %8s %6s %6s %5s %7s %5s %6s %8s\n" "profile" "abort"
+    "survived" "stale" "clamp" "full" "breaker" "wdog" "replay" "savings";
+  rule ();
+  (* One sweep per profile. [with_stale] prepares the same clip through
+     a server at the most conservative quality, guarded by the
+     profile's bulkhead — exactly what the CLIs do for the stale rung;
+     done inside the journal so the admission verdict lands in the
+     artifact. [journal_path] writes the sweep's combined journal. *)
+  let sweep ~label ~profile ~with_stale ~journal_path =
+    let journal = Obs.Journal.create () in
+    Obs.Journal.install journal;
+    let stale = ref None in
+    let aborts = ref 0 and survived = ref 0 in
+    let sum_savings = ref 0. and sum_degraded = ref 0 in
+    let config seed =
+      {
+        (Streaming.Session.default_config ~device) with
+        Streaming.Session.fault = Some fault;
+        nack_budget_s = 0.04;
+        resilience = Some profile;
+        stale_track = !stale;
+        seed;
+      }
+    in
+    Fun.protect ~finally:Obs.Journal.uninstall (fun () ->
+        if with_stale then begin
+          let server = Streaming.Server.create () in
+          Streaming.Server.add_clip server clip;
+          let bulkhead =
+            Option.map
+              (fun cfg ->
+                Resilience.Bulkhead.create ~config:cfg ~name:"prepare" ())
+              profile.Resilience.Profile.bulkhead
+          in
+          match
+            Streaming.Negotiation.negotiate
+              {
+                Streaming.Negotiation.device;
+                requested_quality = Annotation.Quality_level.of_percent 0.;
+              }
+          with
+          | Error e -> failwith e
+          | Ok session -> (
+            match
+              Streaming.Server.prepare ?bulkhead server
+                ~name:clip.Video.Clip.name ~session
+            with
+            | Ok prep -> stale := Some prep.Streaming.Server.track
+            | Error e -> failwith e)
+        end;
+        for seed = 1 to seeds do
+          match Streaming.Session.run (config seed) clip with
+          | Ok r ->
+            if r.Streaming.Session.annotations_survived then incr survived;
+            sum_savings :=
+              !sum_savings +. r.Streaming.Session.backlight_savings;
+            sum_degraded := !sum_degraded + r.Streaming.Session.degraded_scenes
+          | Error e ->
+            incr aborts;
+            Printf.printf "  seed %d ABORTED: %s\n" seed e
+        done);
+    (* Control-plane events the sweep journaled, by kind. *)
+    let stale_steps = ref 0 and clamp_steps = ref 0 and full_steps = ref 0 in
+    let breaker_transitions = ref 0 and watchdog_trips = ref 0 in
+    let bulkhead_sheds = ref 0 in
+    List.iter
+      (fun (e : Obs.Journal.event) ->
+        match e.Obs.Journal.kind with
+        | Obs.Journal.Ladder_step { depth = 1; _ } -> incr stale_steps
+        | Obs.Journal.Ladder_step { depth = 2; _ } -> incr clamp_steps
+        | Obs.Journal.Ladder_step _ -> incr full_steps
+        | Obs.Journal.Breaker_transition _ -> incr breaker_transitions
+        | Obs.Journal.Watchdog_trip _ -> incr watchdog_trips
+        | Obs.Journal.Bulkhead_decision { decision = "shed"; _ } ->
+          incr bulkhead_sheds
+        | _ -> ())
+      (Obs.Journal.events journal);
+    (* Determinism: equal seeds must journal byte-identically. *)
+    let replay_seeds = [ 1; 17; 42 ] in
+    let replay_mismatches = ref 0 in
+    List.iter
+      (fun seed ->
+        let run_once () =
+          let j = Obs.Journal.create () in
+          Obs.Journal.install j;
+          Fun.protect ~finally:Obs.Journal.uninstall (fun () ->
+              match Streaming.Session.run (config seed) clip with
+              | Ok _ -> ()
+              | Error e -> failwith e);
+          Obs.Journal.to_string j
+        in
+        if not (String.equal (run_once ()) (run_once ())) then begin
+          incr replay_mismatches;
+          Printf.printf "  seed %d: equal-seed journals DIVERGED\n" seed
+        end)
+      replay_seeds;
+    (match journal_path with
+    | None -> ()
+    | Some path -> Obs.Journal.write journal ~path);
+    Printf.printf "%-18s %6d %8d %6d %6d %5d %7d %5d %3d/%-2d %7.1f%%\n" label
+      !aborts !survived !stale_steps !clamp_steps !full_steps
+      !breaker_transitions !watchdog_trips
+      (List.length replay_seeds - !replay_mismatches)
+      (List.length replay_seeds)
+      (100. *. !sum_savings /. float_of_int seeds);
+    resilience_ladder_rows :=
+      !resilience_ladder_rows
+      @ [
+          Obs.Json.Obj
+            [
+              ("clip", Obs.Json.String label);
+              ("seeds", Obs.Json.Int seeds);
+              ("aborts", Obs.Json.Int !aborts);
+              ("survived_sessions", Obs.Json.Int !survived);
+              ("ladder_steps_stale", Obs.Json.Int !stale_steps);
+              ("ladder_steps_clamp", Obs.Json.Int !clamp_steps);
+              ("ladder_steps_full", Obs.Json.Int !full_steps);
+              ("breaker_transitions", Obs.Json.Int !breaker_transitions);
+              ("watchdog_trips", Obs.Json.Int !watchdog_trips);
+              ("bulkhead_sheds", Obs.Json.Int !bulkhead_sheds);
+              ("journal_events", Obs.Json.Int (Obs.Journal.length journal));
+              ("journal_bytes", Obs.Json.Int (Obs.Journal.size_bytes journal));
+              ("replay_seeds", Obs.Json.Int (List.length replay_seeds));
+              ("replay_mismatches", Obs.Json.Int !replay_mismatches);
+              ( "mean_backlight_savings_pct",
+                Obs.Json.Float (100. *. !sum_savings /. float_of_int seeds) );
+              ( "mean_degraded_scenes",
+                Obs.Json.Float
+                  (float_of_int !sum_degraded /. float_of_int seeds) );
+            ];
+        ];
+    (Obs.Journal.length journal, Obs.Journal.size_bytes journal)
+  in
+  let events, bytes =
+    sweep ~label:"ladder-default" ~profile:default_profile ~with_stale:true
+      ~journal_path:(Some "BENCH_ladder.journal")
+  in
+  let _ =
+    sweep ~label:"ladder-aggressive" ~profile:aggressive_profile
+      ~with_stale:false ~journal_path:None
+  in
+  Printf.printf
+    "\nwrote BENCH_ladder.journal (%d events, %d bytes — read back with \
+     `inspect timeline`, audit with `lint verify`)\n"
+    events bytes;
+  print_endline
+    "\n(the default plane absorbs chaos at the stale rung — an earlier\n\
+    \ prepared track covers the dead scenes; the aggressive plane skips\n\
+    \ stale, so the same damage walks through clamp to full backlight,\n\
+    \ and its tighter breaker opens on the NACK loop instead of retrying)"
+
 (* --- regression gate ------------------------------------------------------- *)
 
 let baseline_comment =
@@ -1436,6 +1667,10 @@ let summary_section () =
   if !energy_summary = [] then []
   else [ ("summary", Obs.Json.Obj !energy_summary) ]
 
+let ladder_section () =
+  if !resilience_ladder_rows = [] then []
+  else [ ("resilience_ladder", Obs.Json.List !resilience_ladder_rows) ]
+
 let write_baseline ~path =
   if !energy_rows = [] then begin
     prerr_endline
@@ -1450,7 +1685,7 @@ let write_baseline ~path =
              ("_comment", Obs.Json.String baseline_comment);
              ("energy", Obs.Json.List !energy_rows);
            ]
-          @ summary_section ())));
+          @ summary_section () @ ladder_section ())));
   Printf.printf "wrote %s\n" path
 
 (* Flatten a report row into (metric path, numeric value) pairs;
@@ -1529,12 +1764,24 @@ let gate ~baseline_path =
     | Some json -> flatten_metrics "summary" json []
     | None -> []
   in
+  (* The resilience-ladder section rides the same comparison; its rows
+     carry a "clip" field like the energy rows, so the flattened names
+     cannot collide. Absent on either side just means the section's
+     experiment was not in that run — the additive-diff rule for
+     missing/extra metrics then applies as usual. *)
+  let ladder_rows json =
+    match Obs.Json.member "resilience_ladder" json with
+    | Some (Obs.Json.List rows) -> rows
+    | Some _ | None -> []
+  in
   let base =
     flatten_rows baseline_rows
+    @ flatten_rows (ladder_rows baseline_json)
     @ flatten_summary (Obs.Json.member "summary" baseline_json)
   in
   let current =
     flatten_rows !energy_rows
+    @ flatten_rows !resilience_ladder_rows
     @ flatten_summary
         (match !energy_summary with
         | [] -> None
@@ -1605,6 +1852,9 @@ let experiments =
     ("gop-plan", "scene-aligned I-frame placement", gop_plan);
     ("fec", "annotation side-channel FEC", fec);
     ("resilience", "savings vs burst length under fault injection", resilience);
+    ( "resilience-ladder",
+      "chaos ladder: zero-abort sweep under the default profile (E19)",
+      resilience_ladder );
     ("parallel", "domain-pool profiling speedup and prepared cache", parallel);
     ("content-sweep", "savings vs content brightness", content_sweep);
     ("hebs", "histogram-equalisation baseline", hebs);
@@ -1724,7 +1974,8 @@ let report_obs () =
     let report =
       Obs.Json.Obj
         ([ ("phases", phases); ("critical_path", critical_path) ]
-        @ summary_section () @ resilience @ parallel @ energy_section ())
+        @ summary_section () @ resilience @ ladder_section () @ parallel
+        @ energy_section ())
     in
     Obs.write_file ~path:"BENCH_report.json" (Obs.Json.to_string report);
     Printf.printf "\nwrote BENCH_obs.json and BENCH_report.json\n"

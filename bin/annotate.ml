@@ -19,11 +19,21 @@ let output_arg =
 (* Simulate the annotation track's own trip over a faulty side
    channel: FEC, the NACK loop, then a partial decode — the server-side
    view of what the client will actually be able to use. *)
-let simulate_side_channel ~fault encoded =
+let simulate_side_channel ~fault ~resilience encoded =
   let protected_ = Streaming.Fec.protect ~packet_size:24 ~group_size:3 encoded in
   let arrival = Streaming.Fault.apply fault ~seed:1 protected_.Streaming.Fec.packets in
+  let policy =
+    Option.bind resilience (fun p -> p.Resilience.Profile.retry)
+  in
+  let breaker =
+    match resilience with
+    | Some { Resilience.Profile.breaker = Some bc; _ } ->
+      Some (Resilience.Breaker.create ~config:bc ~name:"nack" ())
+    | _ -> None
+  in
   let arrival, nack =
-    Streaming.Transport.nack_retransmit ~fault ~link:Streaming.Netsim.wlan_80211b
+    Streaming.Transport.nack_retransmit ?policy ?breaker ~fault
+      ~link:Streaming.Netsim.wlan_80211b
       ~budget_s:0.04 ~seed:32 ~packets:protected_.Streaming.Fec.packets arrival
   in
   let recovery = Streaming.Fec.recover_detail protected_ ~present:arrival in
@@ -32,6 +42,13 @@ let simulate_side_channel ~fault encoded =
     (Array.length protected_.Streaming.Fec.packets)
     nack.Streaming.Transport.packets_retransmitted
     nack.Streaming.Transport.nack_rounds;
+  (match breaker with
+  | None -> ()
+  | Some b ->
+    Printf.printf "  breaker: %s (%d transition(s), failure rate %.1f%%)\n"
+      (Resilience.Breaker.state_label (Resilience.Breaker.state b))
+      (List.length (Resilience.Breaker.transitions b))
+      (float_of_int (Resilience.Breaker.failure_permille b) /. 10.));
   match
     Annotation.Encoding.decode_partial ~byte_ok:recovery.Streaming.Fec.byte_ok
       recovery.Streaming.Fec.payload
@@ -49,7 +66,7 @@ let simulate_side_channel ~fault encoded =
       partial.Annotation.Encoding.corrupt_records
       (Array.length partial.Annotation.Encoding.entries)
 
-let run clip_name device_name device_file quality_percent per_frame output width height fps fault_profile jobs obs trace_out energy_profile journal log_out monitor slo metrics_out =
+let run clip_name device_name device_file quality_percent per_frame output width height fps fault_profile resilience_file jobs obs trace_out energy_profile journal log_out monitor slo metrics_out =
   Common.with_instrumentation ~default_quality:(quality_percent /. 100.)
     ~energy_profile ~journal ~log_out ~obs ~trace_out ~monitor ~slo ~metrics_out
   @@ fun () ->
@@ -89,11 +106,12 @@ let run clip_name device_name device_file quality_percent per_frame output width
         e.Annotation.Track.frame_count e.Annotation.Track.register e.Annotation.Track.effective_max
         e.Annotation.Track.compensation)
     (Annotation.Track.merge_runs track).Annotation.Track.entries;
+  let resilience = Common.resolve_resilience resilience_file in
   (match
      Common.resolve_fault ~loss_model:None ~loss:0. ~burst:1. ~fault_profile
    with
   | None -> ()
-  | Some fault -> simulate_side_channel ~fault encoded);
+  | Some fault -> simulate_side_channel ~fault ~resilience encoded);
   (match output with
   | None -> ()
   | Some path ->
@@ -111,7 +129,7 @@ let cmd =
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ Common.quality_arg $ per_frame_arg $ output_arg $ Common.width_arg
       $ Common.height_arg $ Common.fps_arg $ Common.fault_profile_arg
-      $ Common.jobs_arg $ Common.obs_arg
+      $ Common.resilience_arg $ Common.jobs_arg $ Common.obs_arg
       $ Common.trace_out_arg $ Common.energy_profile_arg $ Common.journal_arg
       $ Common.log_out_arg $ Common.monitor_arg
       $ Common.slo_arg $ Common.metrics_out_arg)

@@ -6,13 +6,21 @@ open Cmdliner
 let steps_arg =
   Arg.(value & opt int 18 & info [ "steps" ] ~docv:"N" ~doc:"Sweep sample count.")
 
-let run device_name device_file steps obs trace_out energy_profile journal log_out monitor slo metrics_out =
+let run device_name device_file steps resilience_file obs trace_out energy_profile journal log_out monitor slo metrics_out =
   Common.with_instrumentation ~energy_profile ~journal ~log_out ~obs ~trace_out
     ~monitor ~slo ~metrics_out
   @@ fun () ->
   let device =
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
   in
+  (* Characterisation has no streaming stage; the profile is loaded so
+     a sweep can pass every tool the same flags (a malformed one fails
+     fast here too), then announced and otherwise unused. *)
+  (match Common.resolve_resilience resilience_file with
+  | Some p ->
+    Format.printf "resilience: %a (no streaming stage; profile inert)@."
+      Resilience.Profile.pp p
+  | None -> ());
   let rig = Camera.Snapshot.default_rig device in
   let measure = Camera.Snapshot.measure_patch rig device in
   Printf.printf "device: %s\n\n" device.Display.Device.name;
@@ -50,7 +58,7 @@ let cmd =
     (Cmd.info "characterize" ~doc)
     Term.(
       const run $ Common.device_arg $ Common.device_file_arg $ steps_arg
-      $ Common.obs_arg $ Common.trace_out_arg $ Common.energy_profile_arg
+      $ Common.resilience_arg $ Common.obs_arg $ Common.trace_out_arg $ Common.energy_profile_arg
       $ Common.journal_arg $ Common.log_out_arg
       $ Common.monitor_arg $ Common.slo_arg $ Common.metrics_out_arg)
 

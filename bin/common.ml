@@ -126,6 +126,76 @@ let resolve_fault ~loss_model ~loss ~burst ~fault_profile =
         prerr_endline ("error: " ^ msg);
         exit 1))
 
+let resilience_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resilience" ] ~docv:"PROFILE"
+        ~doc:
+          "Load a resilience profile (key = value lines: retry schedule, \
+           circuit breaker, bulkhead, degradation ladder, stage deadline — \
+           see examples/*.resilience). Only takes effect on the faulty path \
+           ($(b,--fault-profile) / $(b,--loss-model)); without it every run \
+           is byte-identical to one without this flag. Audit a profile \
+           offline with $(b,lint verify).")
+
+(* The resilience profile the flag names, if any. A no-op profile is
+   accepted (the verifier's V505 warns about it); a malformed one is
+   fatal, same as a malformed fault profile. *)
+let resolve_resilience = function
+  | None -> None
+  | Some path -> (
+    match Resilience.Profile.load ~path with
+    | Ok p -> Some p
+    | Error msg ->
+      prerr_endline ("error: " ^ path ^ ": " ^ msg);
+      exit 1)
+
+(* The session-config additions a resilience profile implies for an
+   end-to-end faulty run: the profile itself, plus — when its ladder
+   offers the stale rung — a stale annotation track prepared the way
+   an earlier session would have: the same clip through a server at
+   the most conservative quality (0 %), server-side mapping, the
+   profile's bulkhead guarding the build. Deterministic: one prepare,
+   one cache entry, same bytes every run. *)
+let session_resilience ~device clip = function
+  | None -> (None, None)
+  | Some (p : Resilience.Profile.t) ->
+    let wants_stale =
+      match p.Resilience.Profile.ladder with
+      | [] -> true
+      | rungs -> List.mem Resilience.Degrade.Stale_cache rungs
+    in
+    let stale =
+      if not wants_stale then None
+      else begin
+        let server = Streaming.Server.create () in
+        Streaming.Server.add_clip server clip;
+        let bulkhead =
+          Option.map
+            (fun cfg ->
+              Resilience.Bulkhead.create ~config:cfg ~name:"prepare" ())
+            p.Resilience.Profile.bulkhead
+        in
+        match
+          Streaming.Negotiation.negotiate
+            {
+              Streaming.Negotiation.device;
+              requested_quality = Annotation.Quality_level.of_percent 0.;
+            }
+        with
+        | Error _ -> None
+        | Ok session -> (
+          match
+            Streaming.Server.prepare ?bulkhead server
+              ~name:clip.Video.Clip.name ~session
+          with
+          | Ok prep -> Some prep.Streaming.Server.track
+          | Error _ -> None)
+      end
+    in
+    (Some p, stale)
+
 let jobs_arg =
   Arg.(
     value

@@ -69,7 +69,9 @@ let sources_cmd =
          (L008), ad-hoc domain spawns outside lib/par (L009), direct \
          power-meter sampling outside lib/power and lib/obs (L010), \
          journal emission outside lib/obs and the sanctioned pipeline \
-         hooks (L011). Suppress a finding with an inline comment \
+         hooks (L011), breaker/ladder state mutation outside \
+         lib/resilience and the sanctioned streaming integration sites \
+         (L012). Suppress a finding with an inline comment \
          $(b,(* lint: allow L0nn reason *)) — the reason is mandatory.";
     ]
   in
@@ -83,8 +85,8 @@ let verify_cmd =
       & info [] ~docv:"FILE"
           ~doc:
             "Artifacts to audit: $(b,.slo) rule files, $(b,.fault) profiles, \
-             $(b,.journal) decision journals; anything else is checked as an \
-             encoded annotation stream.")
+             $(b,.resilience) profiles, $(b,.journal) decision journals; \
+             anything else is checked as an encoded annotation stream.")
   in
   let run json files =
     let diags = List.concat_map Check.Artifact.check_file files in
@@ -99,10 +101,12 @@ let verify_cmd =
          (framing, header and record CRCs, varint bounds, scene-index \
          monotonicity and coverage, backlight range for the named panel — \
          V1xx), SLO rule files (syntax, metric catalog, contradictions — \
-         V2xx), fault profiles (V3xx) and decision journals written by the \
+         V2xx), fault profiles (V3xx), decision journals written by the \
          tools' $(b,--journal) flag (framing, header and frame CRCs, \
-         per-phase timestamp monotonicity, event schema — V4xx). Exit \
-         status 1 if any error-level finding, 0 otherwise.";
+         per-phase timestamp monotonicity, event schema — V4xx) and \
+         resilience profiles (syntax, positive budgets, ladder rung order, \
+         breaker thresholds in [0,1] — V5xx). Exit status 1 if any \
+         error-level finding, 0 otherwise.";
     ]
   in
   Cmd.v (Cmd.info "verify" ~doc ~man) Term.(const run $ json_arg $ files_arg)

@@ -16,15 +16,23 @@ let capacity_arg =
 (* Re-validate a chosen plan under a hostile channel: does the quality
    level's saving survive burst loss and corruption on the annotation
    side channel, and how many scenes degrade? *)
-let validate_under_fault ~device ~quality ~fault clip =
+let validate_under_fault ~device ~quality ~fault ~resilience clip =
+  let resilience, stale_track =
+    Common.session_resilience ~device clip resilience
+  in
   let config =
     {
       (Streaming.Session.default_config ~device) with
       Streaming.Session.quality;
       fault = Some fault;
+      resilience;
+      stale_track;
     }
   in
   Format.printf "@.validation under fault model %a:@." Streaming.Fault.pp fault;
+  (match resilience with
+  | Some p -> Format.printf "resilience: %a@." Resilience.Profile.pp p
+  | None -> ());
   match Streaming.Session.run config clip with
   | Error msg ->
     prerr_endline ("error: " ^ msg);
@@ -33,7 +41,7 @@ let validate_under_fault ~device ~quality ~fault clip =
     Format.printf "%a@." Streaming.Session.pp_report report;
     0
 
-let run clip_name device_name device_file target_hours capacity_mwh width height fps loss_model loss burst fault_profile obs trace_out energy_profile journal log_out monitor slo metrics_out =
+let run clip_name device_name device_file target_hours capacity_mwh width height fps loss_model loss burst fault_profile resilience_file obs trace_out energy_profile journal log_out monitor slo metrics_out =
   Common.with_instrumentation ~energy_profile ~journal ~log_out ~obs ~trace_out
     ~monitor ~slo ~metrics_out
   @@ fun () ->
@@ -42,6 +50,7 @@ let run clip_name device_name device_file target_hours capacity_mwh width height
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
   in
   let fault = Common.resolve_fault ~loss_model ~loss ~burst ~fault_profile in
+  let resilience = Common.resolve_resilience resilience_file in
   let battery = Power.Battery.make ~capacity_mwh in
   let profiled = Annotation.Annotator.profile clip in
   Printf.printf "clip %s on %s, battery %.0f mWh, target %.1f h\n\n" clip_name
@@ -65,7 +74,7 @@ let run clip_name device_name device_file target_hours capacity_mwh width height
     | None -> 0
     | Some fault ->
       validate_under_fault ~device ~quality:plan.Streaming.Planner.quality
-        ~fault clip)
+        ~fault ~resilience clip)
   | Error best ->
     Format.printf "target unreachable; best effort: %a@." Streaming.Planner.pp_plan best;
     2
@@ -78,7 +87,7 @@ let cmd =
       const run $ Common.clip_arg $ Common.device_arg $ Common.device_file_arg
       $ target_arg $ capacity_arg $ Common.width_arg $ Common.height_arg
       $ Common.fps_arg $ Common.loss_model_arg $ Common.loss_rate_arg
-      $ Common.burst_arg $ Common.fault_profile_arg
+      $ Common.burst_arg $ Common.fault_profile_arg $ Common.resilience_arg
       $ Common.obs_arg $ Common.trace_out_arg $ Common.energy_profile_arg
       $ Common.journal_arg $ Common.log_out_arg
       $ Common.monitor_arg $ Common.slo_arg $ Common.metrics_out_arg)

@@ -65,17 +65,27 @@ let dump_snapshots ~device ~clip ~track prefix =
 
 (* Chaos path: run the full end-to-end session (FEC, NACK loop,
    per-scene degradation) under the requested fault model instead of
-   the clean playback report. *)
-let run_faulty ~device ~quality ~ramp ~fault clip =
+   the clean playback report. A resilience profile adds the control
+   plane: retry schedule, breaker, watchdog and the degradation
+   ladder, with a server-prepared stale track backing the stale rung. *)
+let run_faulty ~device ~quality ~ramp ~fault ~resilience clip =
+  let resilience, stale_track =
+    Common.session_resilience ~device clip resilience
+  in
   let config =
     {
       (Streaming.Session.default_config ~device) with
       Streaming.Session.quality;
       ramp_step = ramp;
       fault = Some fault;
+      resilience;
+      stale_track;
     }
   in
   Format.printf "fault model: %a@.@." Streaming.Fault.pp fault;
+  (match resilience with
+  | Some p -> Format.printf "resilience: %a@.@." Resilience.Profile.pp p
+  | None -> ());
   match Streaming.Session.run config clip with
   | Error msg ->
     prerr_endline ("error: " ^ msg);
@@ -84,7 +94,7 @@ let run_faulty ~device ~quality ~ramp ~fault clip =
     Format.printf "%a@." Streaming.Session.pp_report report;
     0
 
-let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps loss_model loss burst fault_profile obs trace_out energy_profile journal log_out monitor slo metrics_out =
+let run clip_name device_name device_file quality_percent with_camera dump ramp width height fps loss_model loss burst fault_profile resilience_file obs trace_out energy_profile journal log_out monitor slo metrics_out =
   Common.with_instrumentation ~default_quality:(quality_percent /. 100.)
     ~energy_profile ~journal ~log_out ~obs ~trace_out ~monitor ~slo ~metrics_out
   @@ fun () ->
@@ -93,8 +103,9 @@ let run clip_name device_name device_file quality_percent with_camera dump ramp 
     Common.or_die (Common.resolve_device_with_file ~file:device_file device_name)
   in
   let quality = Annotation.Quality_level.of_percent quality_percent in
+  let resilience = Common.resolve_resilience resilience_file in
   match Common.resolve_fault ~loss_model ~loss ~burst ~fault_profile with
-  | Some fault -> run_faulty ~device ~quality ~ramp ~fault clip
+  | Some fault -> run_faulty ~device ~quality ~ramp ~fault ~resilience clip
   | None ->
   let profiled = Annotation.Annotator.profile clip in
   (* One annotation pass serves the report, the snapshot dump and the
@@ -155,7 +166,7 @@ let cmd =
       $ Common.quality_arg $ camera_arg $ dump_arg $ ramp_arg $ Common.width_arg
       $ Common.height_arg $ Common.fps_arg $ Common.loss_model_arg
       $ Common.loss_rate_arg $ Common.burst_arg $ Common.fault_profile_arg
-      $ Common.obs_arg
+      $ Common.resilience_arg $ Common.obs_arg
       $ Common.trace_out_arg $ Common.energy_profile_arg $ Common.journal_arg
       $ Common.log_out_arg $ Common.monitor_arg
       $ Common.slo_arg $ Common.metrics_out_arg)

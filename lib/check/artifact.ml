@@ -424,6 +424,98 @@ let check_fault ~file text =
       [ warn ~file "V302" "profile injects no fault at all; did you mean model = none?" ]
     else []
 
+(* --- resilience profiles ------------------------------------------------ *)
+
+(* The runtime deliberately clamps bad values (a profile must never
+   wedge a session); the verifier is where out-of-range values become
+   findings. Shape errors (unknown keys, bad numbers, unknown rungs)
+   surface as the parser's own message. *)
+let check_resilience ~file text =
+  match Resilience.Profile.parse text with
+  | Error msg -> [ err ~file "V501" msg ]
+  | Ok p ->
+    let diags = ref [] in
+    let add d = diags := d :: !diags in
+    let positive code what v =
+      if v <= 0. then
+        add (err ~file code (Printf.sprintf "%s must be positive, got %g" what v))
+    in
+    let positive_i code what v =
+      if v <= 0 then
+        add (err ~file code (Printf.sprintf "%s must be positive, got %d" what v))
+    in
+    (match p.Resilience.Profile.retry with
+    | None -> ()
+    | Some r ->
+      positive "V502" "retry_budget_s" r.Resilience.Retry.budget_s;
+      positive_i "V502" "retry_max_rounds" r.Resilience.Retry.max_attempts;
+      if r.Resilience.Retry.base_backoff_s < 0. then
+        add
+          (err ~file "V502"
+             (Printf.sprintf "retry_base_s must not be negative, got %g"
+                r.Resilience.Retry.base_backoff_s));
+      if r.Resilience.Retry.jitter < 0. then
+        add
+          (err ~file "V502"
+             (Printf.sprintf "retry_jitter must not be negative, got %g"
+                r.Resilience.Retry.jitter));
+      positive "V502" "retry_multiplier" r.Resilience.Retry.multiplier);
+    (match p.Resilience.Profile.breaker with
+    | None -> ()
+    | Some b ->
+      if
+        b.Resilience.Breaker.failure_threshold < 0.
+        || b.Resilience.Breaker.failure_threshold > 1.
+      then
+        add
+          (err ~file "V504"
+             (Printf.sprintf "breaker_threshold %g outside [0, 1]"
+                b.Resilience.Breaker.failure_threshold));
+      positive_i "V502" "breaker_window" b.Resilience.Breaker.window;
+      positive_i "V502" "breaker_min_samples" b.Resilience.Breaker.min_samples;
+      positive_i "V502" "breaker_probes" b.Resilience.Breaker.probe_quota;
+      if b.Resilience.Breaker.cooldown_s < 0. then
+        add
+          (err ~file "V502"
+             (Printf.sprintf "breaker_cooldown_ms must not be negative, got %g"
+                (1000. *. b.Resilience.Breaker.cooldown_s))));
+    (match p.Resilience.Profile.bulkhead with
+    | None -> ()
+    | Some b ->
+      positive_i "V502" "bulkhead_capacity" b.Resilience.Bulkhead.capacity;
+      if b.Resilience.Bulkhead.queue_limit < 0 then
+        add
+          (err ~file "V502"
+             (Printf.sprintf "bulkhead_queue must not be negative, got %d"
+                b.Resilience.Bulkhead.queue_limit)));
+    (match p.Resilience.Profile.stage_deadline_s with
+    | Some d -> positive "V502" "stage_deadline_ms" (d *. 1000.)
+    | None -> ());
+    (* The ladder must be written shallowest-first with no duplicate
+       rungs: the runtime sorts it anyway, so a mis-ordered file means
+       the author's mental model and the walk disagree. *)
+    let rec check_order = function
+      | a :: (b :: _ as rest) ->
+        let ra = Resilience.Degrade.rank a and rb = Resilience.Degrade.rank b in
+        if ra >= rb then
+          add
+            (err ~file "V503"
+               (Printf.sprintf
+                  "ladder steps out of order: %S before %S (write shallowest \
+                   first: fresh, stale, clamp, full)"
+                  (Resilience.Degrade.label a)
+                  (Resilience.Degrade.label b)));
+        check_order rest
+      | _ -> ()
+    in
+    check_order p.Resilience.Profile.ladder;
+    if Resilience.Profile.is_noop p then
+      add
+        (warn ~file "V505"
+           "profile configures nothing; sessions behave exactly as without \
+            --resilience");
+    List.sort Diagnostic.compare !diags
+
 (* --- decision journals -------------------------------------------------- *)
 
 (* Mirrors [Obs.Journal.decode_partial]'s walk, but reports every
@@ -579,6 +671,8 @@ let check_file ?find_device ?known path =
       check_slo ?known ~file:path contents
     else if Filename.check_suffix path ".fault" then
       check_fault ~file:path contents
+    else if Filename.check_suffix path ".resilience" then
+      check_resilience ~file:path contents
     else if Filename.check_suffix path ".journal" then
       check_journal ~file:path contents
     else check_annotation ?find_device ~file:path contents

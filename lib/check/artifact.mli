@@ -17,12 +17,15 @@
       feasibility;
     - [.journal] decision journals ({!Obs.Journal}) — header and
       per-frame CRCs, framing bounds, payload schema, per-phase
-      timestamp monotonicity.
+      timestamp monotonicity;
+    - [.resilience] profiles ({!Resilience.Profile}) — syntax,
+      positive budgets, ladder rung order, breaker thresholds.
 
     Codes (stable, see README "Static checks"): [V001] dispatch,
     [V1xx] annotation streams, [V2xx] SLO files, [V3xx] fault
-    profiles, [V4xx] decision journals. Every check emits
-    {!Diagnostic.t}; none of them raises or runs a session. *)
+    profiles, [V4xx] decision journals, [V5xx] resilience profiles.
+    Every check emits {!Diagnostic.t}; none of them raises or runs a
+    session. *)
 
 type known_metrics = {
   histograms : string list;
@@ -62,6 +65,16 @@ val check_fault : file:string -> string -> Diagnostic.t list
     {!Streaming.Fault.parse} rejects becomes a [V301] error, a
     profile that injects no fault at all is a [V302] warning. *)
 
+val check_resilience : file:string -> string -> Diagnostic.t list
+(** [check_resilience ~file text] validates a resilience profile:
+    anything {!Resilience.Profile.parse} rejects — unknown keys, bad
+    numbers, unknown ladder rungs — becomes a [V501] error;
+    non-positive budgets, round counts, windows, quotas or deadlines
+    (which the runtime would clamp) are [V502] errors; ladder rungs
+    written out of shallowest-first order (or duplicated) are [V503]
+    errors; a breaker threshold outside [0, 1] is a [V504] error; a
+    profile that configures nothing at all is a [V505] warning. *)
+
 val check_journal : file:string -> string -> Diagnostic.t list
 (** [check_journal ~file bytes] statically audits a decision journal
     ({!Obs.Journal} wire format): bad magic ([V401]), unknown version
@@ -79,6 +92,7 @@ val check_file :
   ?find_device:(string -> Display.Device.t option) ->
   ?known:known_metrics -> string -> Diagnostic.t list
 (** [check_file path] reads [path] and dispatches on its extension:
-    [.slo] → {!check_slo}, [.fault] → {!check_fault}, [.journal] →
-    {!check_journal}, anything else → {!check_annotation}. An
-    unreadable file is a single [V001] error. *)
+    [.slo] → {!check_slo}, [.fault] → {!check_fault}, [.resilience] →
+    {!check_resilience}, [.journal] → {!check_journal}, anything else
+    → {!check_annotation}. An unreadable file is a single [V001]
+    error. *)

@@ -19,6 +19,11 @@ let rules =
       title = "journal emission outside sanctioned hooks";
       lib_only = false;
     };
+    {
+      code = "L012";
+      title = "resilience state mutated outside sanctioned hooks";
+      lib_only = false;
+    };
   ]
 
 (* --- identifier tables ------------------------------------------------- *)
@@ -69,12 +74,37 @@ let journal_idents =
     "Journal.record_in";
   ]
 
-(* The sanctioned hook sites outside lib/obs, by path suffix. *)
+(* The sanctioned hook sites outside lib/obs, by path suffix. The
+   lib/resilience files journal their own decisions (ladder steps,
+   breaker transitions, bulkhead verdicts, watchdog trips) — those
+   events are the subsystem's whole point, so its modules are hook
+   sites too. *)
 let journal_hook_files =
   [
     "lib/streaming/session.ml"; "lib/streaming/playback.ml";
     "lib/streaming/transport.ml"; "lib/streaming/fault.ml";
-    "lib/annot/annotator.ml";
+    "lib/annot/annotator.ml"; "lib/resilience/breaker.ml";
+    "lib/resilience/degrade.ml"; "lib/resilience/bulkhead.ml";
+  ]
+
+(* Resilience state transitions. Breaker trip/probe accounting and
+   ladder-depth notes are control-plane decisions the journal must be
+   able to replay; mutating them from arbitrary code would let a
+   caller bend a breaker open (or mark rungs never actually served)
+   without leaving an auditable trace. Only lib/resilience itself and
+   the reviewed streaming integration points may call these. *)
+let resilience_mut_idents =
+  [
+    "Resilience.Breaker.allow"; "Resilience.Breaker.record";
+    "Breaker.allow"; "Breaker.record"; "Resilience.Degrade.note";
+    "Degrade.note";
+  ]
+
+(* The sanctioned resilience integration sites, by path suffix. *)
+let resilience_hook_files =
+  [
+    "lib/streaming/session.ml"; "lib/streaming/transport.ml";
+    "lib/streaming/server.ml"; "lib/streaming/proxy.ml";
   ]
 
 let sorters =
@@ -165,7 +195,8 @@ let rec reraises (e : Parsetree.expression) =
 
 (* --- the AST pass ------------------------------------------------------ *)
 
-let lint_ast ~in_lib ~in_par ~in_power ~in_journal ~file ~emit ast =
+let lint_ast ~in_lib ~in_par ~in_power ~in_journal ~in_resilience ~file ~emit
+    ast =
   let diag code loc message =
     let line, col = line_col loc in
     emit (Diagnostic.v ~code ~severity:Diagnostic.Error ~file ~line ~col message)
@@ -201,6 +232,14 @@ let lint_ast ~in_lib ~in_par ~in_power ~in_journal ~file ~emit ast =
             sanctioned session/playback/transport/annotator hook sites; the \
             journal's event vocabulary stays auditable only while emission \
             is confined to reviewed hooks" name)
+    | Some name when (not in_resilience) && List.mem name resilience_mut_idents
+      ->
+      diag "L012" e.pexp_loc
+        (Printf.sprintf
+           "%s mutates breaker/ladder state outside lib/resilience and the \
+            sanctioned streaming integration sites; fallback decisions stay \
+            replayable only while their state transitions come from reviewed \
+            hooks" name)
     | Some name when in_lib && List.mem name print_idents ->
       diag "L005" e.pexp_loc
         (Printf.sprintf
@@ -331,8 +370,8 @@ let parse_failure ~file message loc =
       message;
   ]
 
-let lint_source ?in_lib ?in_par ?in_power ?in_journal ?(has_mli = true) ~path
-    contents =
+let lint_source ?in_lib ?in_par ?in_power ?in_journal ?in_resilience
+    ?(has_mli = true) ~path contents =
   let segments =
     let p = String.map (fun c -> if c = '\\' then '/' else c) path in
     String.split_on_char '/' p
@@ -387,6 +426,21 @@ let lint_source ?in_lib ?in_par ?in_power ?in_journal ?(has_mli = true) ~path
            (fun hook -> String.ends_with ~suffix:hook normalized)
            journal_hook_files
   in
+  let in_resilience =
+    match in_resilience with
+    | Some b -> b
+    | None ->
+      let rec has_res_seg = function
+        | [] -> false
+        | "lib" :: "resilience" :: _ -> true
+        | _ :: rest -> has_res_seg rest
+      in
+      let normalized = String.concat "/" segments in
+      has_res_seg segments
+      || List.exists
+           (fun hook -> String.ends_with ~suffix:hook normalized)
+           resilience_hook_files
+  in
   match parse_structure ~path contents with
   | exception Syntaxerr.Error err ->
     parse_failure ~file:path "syntax error"
@@ -406,7 +460,8 @@ let lint_source ?in_lib ?in_par ?in_power ?in_journal ?(has_mli = true) ~path
     in
     let found = ref comment_diags in
     let emit d = found := d :: !found in
-    lint_ast ~in_lib ~in_par ~in_power ~in_journal ~file:path ~emit ast;
+    lint_ast ~in_lib ~in_par ~in_power ~in_journal ~in_resilience ~file:path
+      ~emit ast;
     if in_lib && not has_mli then
       emit
         (Diagnostic.v ~code:"L006" ~severity:Diagnostic.Error ~file:path

@@ -41,12 +41,22 @@
       but [lib/power] or [lib/obs] — energy accounting flows through
       the instrumented meter sites so [Obs.Profile] attributes every
       joule; ad-hoc meters produce readings the profiler never sees.
-    - [L011] [Obs.Journal.record]/[record_in] anywhere but [lib/obs]
-      and the sanctioned hook sites ([lib/streaming/session.ml],
+    - [L011] [Obs.Journal.record]/[record_in] anywhere but [lib/obs],
+      the sanctioned hook sites ([lib/streaming/session.ml],
       [playback.ml], [transport.ml], [fault.ml],
-      [lib/annot/annotator.ml]) — the decision journal is a closed
-      event vocabulary emitted from reviewed hooks; ad-hoc emission
-      would degrade it into an unauditable printf log.
+      [lib/annot/annotator.ml]) and the resilience decision modules
+      ([lib/resilience/breaker.ml], [degrade.ml], [bulkhead.ml]) — the
+      decision journal is a closed event vocabulary emitted from
+      reviewed hooks; ad-hoc emission would degrade it into an
+      unauditable printf log.
+    - [L012] [Resilience.Breaker.allow]/[record] or
+      [Resilience.Degrade.note] anywhere but [lib/resilience] and the
+      sanctioned streaming integration sites
+      ([lib/streaming/session.ml], [transport.ml], [server.ml],
+      [proxy.ml]) — breaker trips and ladder descents are journaled
+      control-plane decisions; mutating their state from arbitrary
+      code would bend a breaker open (or fake a rung) without an
+      auditable trace.
 
     Suppression: [(* lint: allow L00n <reason> *)] on the same line as
     the finding, or on the line above it, silences that code there.
@@ -63,8 +73,8 @@ val rules : rule list
 (** Every rule the linter knows, in code order. *)
 
 val lint_source : ?in_lib:bool -> ?in_par:bool -> ?in_power:bool ->
-  ?in_journal:bool -> ?has_mli:bool -> path:string -> string ->
-  Check.Diagnostic.t list
+  ?in_journal:bool -> ?in_resilience:bool -> ?has_mli:bool -> path:string ->
+  string -> Check.Diagnostic.t list
 (** [lint_source ~path contents] lints a source text without touching
     the filesystem. [in_lib] (default: [path] is under a [lib/]
     directory) gates the lib-only rules; [in_par] (default: [path] is
@@ -73,10 +83,13 @@ val lint_source : ?in_lib:bool -> ?in_par:bool -> ?in_power:bool ->
     meter and the profiler themselves from L010; [in_journal]
     (default: [path] is under [lib/obs] or ends with one of the
     sanctioned hook files) exempts the journal and its reviewed hook
-    sites from L011; [has_mli] (default [true], so L006 stays quiet)
-    tells the linter whether a sibling interface exists. An
-    unparsable file yields a single [L000] error. Results are sorted
-    with {!Check.Diagnostic.compare}. *)
+    sites from L011; [in_resilience] (default: [path] is under
+    [lib/resilience] or ends with one of the sanctioned streaming
+    integration files) exempts the control plane and its reviewed
+    integration sites from L012; [has_mli] (default [true], so L006
+    stays quiet) tells the linter whether a sibling interface exists.
+    An unparsable file yields a single [L000] error. Results are
+    sorted with {!Check.Diagnostic.compare}. *)
 
 val lint_file : ?in_lib:bool -> string -> Check.Diagnostic.t list
 (** [lint_file path] reads [path] and lints it; [has_mli] is taken

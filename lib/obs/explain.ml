@@ -17,6 +17,10 @@ let kind_label (kind : Journal.kind) =
   | Journal.Dvfs_choice _ -> "dvfs-choice"
   | Journal.Slo_breach _ -> "slo-breach"
   | Journal.Session_end _ -> "session-end"
+  | Journal.Ladder_step _ -> "ladder-step"
+  | Journal.Breaker_transition _ -> "breaker-transition"
+  | Journal.Bulkhead_decision _ -> "bulkhead-decision"
+  | Journal.Watchdog_trip _ -> "watchdog-trip"
 
 let trigger_label (t : Journal.trigger) =
   match t with
@@ -71,6 +75,25 @@ let pp_event ppf ({ Journal.t_us; kind } : Journal.event) =
     fprintf ppf "%s: %d degraded, %d retransmission(s), %d corrupt record(s)"
       (if e.survived then "annotations survived" else "annotations lost")
       e.degraded_scenes e.retransmissions e.corrupt_records
+  | Journal.Ladder_step e ->
+    if e.scene < 0 then
+      fprintf ppf "whole track -> %s (depth %d)" e.step e.depth
+    else fprintf ppf "scene %d -> %s (depth %d)" e.scene e.step e.depth
+  | Journal.Breaker_transition e ->
+    let st = function
+      | 0 -> "closed"
+      | 1 -> "half-open"
+      | 2 -> "open"
+      | n -> string_of_int n
+    in
+    fprintf ppf "%s: %s -> %s (failure rate %.1f%%)" e.name (st e.from_state)
+      (st e.to_state)
+      (float_of_int e.failure_permille /. 10.)
+  | Journal.Bulkhead_decision e ->
+    fprintf ppf "%s: %s (%d in flight, %d queued)" e.name e.decision
+      e.in_flight e.queued
+  | Journal.Watchdog_trip e ->
+    fprintf ppf "%s overran %dus budget by %dus" e.stage e.budget_us e.over_us
 
 (* --- sessions ----------------------------------------------------------- *)
 

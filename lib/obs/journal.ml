@@ -46,6 +46,20 @@ type kind =
       retransmissions : int;
       corrupt_records : int;
     }
+  | Ladder_step of { scene : int; depth : int; step : string }
+  | Breaker_transition of {
+      name : string;
+      from_state : int;
+      to_state : int;
+      failure_permille : int;
+    }
+  | Bulkhead_decision of {
+      name : string;
+      decision : string;
+      in_flight : int;
+      queued : int;
+    }
+  | Watchdog_trip of { stage : string; budget_us : int; over_us : int }
 
 type event = { t_us : int; kind : kind }
 
@@ -58,9 +72,11 @@ let version = 1
    simulated clocks, so monotonicity only holds per phase (and resets
    at every Session_start). *)
 let phase = function
-  | Session_start _ -> 0
+  | Session_start _ | Bulkhead_decision _ -> 0
   | Scene_decision _ -> 1
-  | Channel _ | Nack_round _ | Fec_outcome _ | Degradation _ -> 2
+  | Channel _ | Nack_round _ | Fec_outcome _ | Degradation _ | Ladder_step _
+  | Breaker_transition _ | Watchdog_trip _ ->
+    2
   | Scene_cut _ | Backlight_switch _ | Deadline_miss _ | Dvfs_choice _
   | Slo_breach _ ->
     3
@@ -179,7 +195,11 @@ let encode_payload buf { t_us; kind } =
   | Degradation _ -> tag 9
   | Dvfs_choice _ -> tag 10
   | Slo_breach _ -> tag 11
-  | Session_end _ -> tag 12);
+  | Session_end _ -> tag 12
+  | Ladder_step _ -> tag 13
+  | Breaker_transition _ -> tag 14
+  | Bulkhead_decision _ -> tag 15
+  | Watchdog_trip _ -> tag 16);
   v t_us;
   match kind with
   | Session_start e ->
@@ -238,6 +258,25 @@ let encode_payload buf { t_us; kind } =
     v e.degraded_scenes;
     v e.retransmissions;
     v e.corrupt_records
+  | Ladder_step e ->
+    if e.scene < -1 then invalid_arg "Journal: ladder scene below -1";
+    v (e.scene + 1);
+    v e.depth;
+    s e.step
+  | Breaker_transition e ->
+    s e.name;
+    v e.from_state;
+    v e.to_state;
+    v e.failure_permille
+  | Bulkhead_decision e ->
+    s e.name;
+    s e.decision;
+    v e.in_flight;
+    v e.queued
+  | Watchdog_trip e ->
+    s e.stage;
+    v e.budget_us;
+    v e.over_us
 
 let encode events =
   let buf = Buffer.create 1024 in
@@ -402,6 +441,28 @@ let decode_kind c tag =
     let retransmissions = get_varint c in
     let corrupt_records = get_varint c in
     Session_end { survived; degraded_scenes; retransmissions; corrupt_records }
+  | 13 ->
+    let scene = get_varint c - 1 in
+    let depth = get_varint c in
+    let step = get_string c in
+    Ladder_step { scene; depth; step }
+  | 14 ->
+    let name = get_string c in
+    let from_state = get_varint c in
+    let to_state = get_varint c in
+    let failure_permille = get_varint c in
+    Breaker_transition { name; from_state; to_state; failure_permille }
+  | 15 ->
+    let name = get_string c in
+    let decision = get_string c in
+    let in_flight = get_varint c in
+    let queued = get_varint c in
+    Bulkhead_decision { name; decision; in_flight; queued }
+  | 16 ->
+    let stage = get_string c in
+    let budget_us = get_varint c in
+    let over_us = get_varint c in
+    Watchdog_trip { stage; budget_us; over_us }
   | n -> raise (Parse_error (Printf.sprintf "unknown event kind %d" n))
 
 let parse_payload payload =

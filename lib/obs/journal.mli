@@ -81,6 +81,29 @@ type kind =
       retransmissions : int;
       corrupt_records : int;
     }
+  | Ladder_step of { scene : int; depth : int; step : string }
+      (** scene [scene] (-1: the whole track) resolved at degradation
+          rung [step] of depth [depth] (1 stale, 2 clamp, 3 full);
+          fresh resolutions are not journaled *)
+  | Breaker_transition of {
+      name : string;
+      from_state : int;  (** 0 closed, 1 half-open, 2 open *)
+      to_state : int;
+      failure_permille : int;  (** windowed failure rate when it fired *)
+    }
+  | Bulkhead_decision of {
+      name : string;
+      decision : string;  (** ["admitted"], ["queued"] or ["shed"] *)
+      in_flight : int;
+      queued : int;
+    }
+      (** admission verdict of a bulkhead compartment; recorded in the
+          session-start phase at t = 0 because admission precedes any
+          simulated stage clock *)
+  | Watchdog_trip of { stage : string; budget_us : int; over_us : int }
+      (** stage deadline watchdog fired: [stage] overran its budget by
+          [over_us] and the session fell down the degradation ladder
+          instead of raising *)
 
 type event = { t_us : int; kind : kind }
 

@@ -1,0 +1,135 @@
+(* Bulkhead: a concurrency compartment with an explicit queue and an
+   explicit shed decision. The server's prepared-stream cache fill
+   runs inside one so a burst of expensive annotation builds cannot
+   starve everything else — excess work queues up to a limit and is
+   shed (to the degradation ladder) beyond it, and every decision is
+   counted and journaled rather than implied by lock contention. *)
+
+type config = { capacity : int; queue_limit : int }
+
+let default_config = { capacity = 2; queue_limit = 2 }
+
+let clamp (c : config) =
+  { capacity = max 1 c.capacity; queue_limit = max 0 c.queue_limit }
+
+type decision = Admitted | Queued | Shed
+
+let decision_label = function
+  | Admitted -> "admitted"
+  | Queued -> "queued"
+  | Shed -> "shed"
+
+let decision_code = function Admitted -> 0 | Queued -> 1 | Shed -> 2
+
+type t = {
+  name : string;
+  config : config;
+  lock : Mutex.t;
+  can_enter : Condition.t;
+  mutable in_flight : int;
+  mutable waiting : int;
+  mutable admitted_total : int;
+  mutable queued_total : int;
+  mutable shed_total : int;
+}
+
+let obs_decisions =
+  let family d =
+    Obs.counter ~help:"Bulkhead admission decisions"
+      "resilience_bulkhead_decisions_total"
+      [ ("decision", decision_label d) ]
+  in
+  let admitted = family Admitted
+  and queued = family Queued
+  and shed = family Shed in
+  function Admitted -> admitted | Queued -> queued | Shed -> shed
+
+let create ?(config = default_config) ~name () =
+  {
+    name;
+    config = clamp config;
+    lock = Mutex.create ();
+    can_enter = Condition.create ();
+    in_flight = 0;
+    waiting = 0;
+    admitted_total = 0;
+    queued_total = 0;
+    shed_total = 0;
+  }
+
+let name t = t.name
+
+let config t = t.config
+
+(* Bulkhead decisions are journaled at t=0 in the session-start phase:
+   admission happens before any simulated clock is running, and a
+   fixed phase/timestamp keeps repeated server fills from perturbing
+   the per-phase monotonicity audit (V406) of whatever stage runs
+   next. *)
+let journal t decision =
+  Obs.Metrics.Counter.incr (obs_decisions decision);
+  Obs.Journal.record
+    (Obs.Journal.Bulkhead_decision
+       {
+         name = t.name;
+         decision = decision_label decision;
+         in_flight = t.in_flight;
+         queued = t.waiting;
+       })
+
+type outcome = { decision : decision; queued_behind : int }
+
+(* Decide under the lock; block only for Queued. Sequential callers —
+   every deterministic test and chaos path — see a pure function of
+   the call sequence: below capacity admit, below queue_limit queue,
+   otherwise shed. Under a domain pool the counts depend on scheduling
+   and only the *totals* are meaningful; the journal stays
+   deterministic because sequential paths are the only journaled
+   ones that assert byte-equality. *)
+let enter t =
+  Mutex.lock t.lock;
+  let outcome =
+    if t.in_flight < t.config.capacity then begin
+      t.in_flight <- t.in_flight + 1;
+      t.admitted_total <- t.admitted_total + 1;
+      journal t Admitted;
+      { decision = Admitted; queued_behind = 0 }
+    end
+    else if t.waiting < t.config.queue_limit then begin
+      t.waiting <- t.waiting + 1;
+      t.queued_total <- t.queued_total + 1;
+      let behind = t.waiting in
+      journal t Queued;
+      while t.in_flight >= t.config.capacity do
+        Condition.wait t.can_enter t.lock
+      done;
+      t.waiting <- t.waiting - 1;
+      t.in_flight <- t.in_flight + 1;
+      { decision = Queued; queued_behind = behind }
+    end
+    else begin
+      t.shed_total <- t.shed_total + 1;
+      journal t Shed;
+      { decision = Shed; queued_behind = t.waiting }
+    end
+  in
+  Mutex.unlock t.lock;
+  outcome
+
+let release t =
+  Mutex.lock t.lock;
+  t.in_flight <- max 0 (t.in_flight - 1);
+  Condition.signal t.can_enter;
+  Mutex.unlock t.lock
+
+let run t ~shed f =
+  let outcome = enter t in
+  match outcome.decision with
+  | Shed -> shed ()
+  | Admitted | Queued -> Fun.protect ~finally:(fun () -> release t) f
+
+let stats t =
+  Mutex.lock t.lock;
+  let s = (t.admitted_total, t.queued_total, t.shed_total) in
+  Mutex.unlock t.lock;
+  s

@@ -1,0 +1,58 @@
+(** Text resilience profiles ([--resilience FILE], extension
+    [.resilience]).
+
+    Same grammar as fault profiles: one [key = value] per line, [#]
+    comments. Keys, all optional, grouped by the component they
+    configure (a group is instantiated when any of its keys appears):
+
+    {v
+    # retry schedule (Transport NACK loop)
+    retry_budget_s      = 0.04     # deadline budget, seconds
+    retry_base_s        = 0.002    # base backoff, seconds
+    retry_multiplier    = 2.0      # backoff growth per round
+    retry_jitter        = 0.0      # extra backoff fraction, seeded
+    retry_max_rounds    = 16
+    # circuit breaker (per-round repair outcomes)
+    breaker_threshold   = 0.5      # failure rate in [0, 1]
+    breaker_window      = 8        # outcomes per sliding window
+    breaker_min_samples = 4
+    breaker_cooldown_ms = 10
+    breaker_probes      = 2
+    # bulkhead (server prepared-stream cache fill)
+    bulkhead_capacity   = 2
+    bulkhead_queue      = 2
+    # degradation ladder, shallowest first
+    ladder              = fresh, stale, clamp, full
+    # transmit-stage watchdog
+    stage_deadline_ms   = 40
+    v}
+
+    The parse is lenient about values — non-positive budgets,
+    thresholds outside [0,1] and mis-ordered ladders parse fine and
+    are the offline verifier's business (V502–V504); the runtime
+    clamps ({!Breaker.clamp}, {!Bulkhead.clamp}, {!Degrade.create})
+    before use — but strict about shape: unknown keys, bad numbers and
+    unknown ladder rungs are [Error] (V501). *)
+
+type t = {
+  retry : Retry.policy option;
+  breaker : Breaker.config option;
+  bulkhead : Bulkhead.config option;
+  ladder : Degrade.step list;
+      (** rungs in file order, unclamped — empty when the key is
+          absent (meaning: the full default ladder) *)
+  stage_deadline_s : float option;
+}
+
+val empty : t
+(** Everything absent — a no-op profile. *)
+
+val is_noop : t -> bool
+(** No component configured (V505 warns on such a profile). *)
+
+val parse : string -> (t, string) result
+
+val load : path:string -> (t, string) result
+(** [parse] on a file's contents; I/O errors become [Error]. *)
+
+val pp : Format.formatter -> t -> unit

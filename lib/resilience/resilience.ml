@@ -1,0 +1,15 @@
+(* lint: allow L006 umbrella namespace of aliases; contracts live in the member .mlis *)
+(* Umbrella module: the resilience control plane.
+
+   Deterministic failure handling for the streaming stack, all on the
+   simulated clock: budgeted retry schedules, circuit breakers,
+   bulkheads, and the graceful-degradation ladder. Nothing in here
+   reads ambient time or randomness — callers pass seeds and [now_s] —
+   so every decision (a breaker trip, a shed, a fallback rung) is a
+   pure function of the run's inputs, journaled and reproducible. *)
+
+module Retry = Retry
+module Breaker = Breaker
+module Bulkhead = Bulkhead
+module Degrade = Degrade
+module Profile = Profile

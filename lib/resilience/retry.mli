@@ -1,0 +1,73 @@
+(** Budgeted deterministic retry with exponential backoff.
+
+    The generalisation of the transport's NACK loop (DESIGN.md §14):
+    a schedule of attempts where every attempt's backoff, random
+    sub-stream and cost are pure functions of the policy and the
+    caller's seed, and where an attempt only runs if its *full* cost
+    still fits the deadline budget. Two runs of the same schedule are
+    byte-identical; with the {!default} policy the schedule reproduces
+    the historical [Transport.nack_retransmit] loop exactly. *)
+
+type policy = {
+  max_attempts : int;  (** hard cap on executed attempts *)
+  base_backoff_s : float;  (** backoff before attempt 0 *)
+  multiplier : float;  (** backoff growth per attempt (2 = doubling) *)
+  jitter : float;
+      (** extra backoff drawn uniformly from [0, jitter x backoff) with
+          a seeded {!Image.Prng}; [0.] draws nothing at all, keeping
+          jitter-free schedules byte-identical to the historical loop *)
+  budget_s : float;  (** total simulated-time deadline budget *)
+}
+
+val default : policy
+(** The transport's historical constants: 16 rounds, 2 ms base
+    backoff doubling each round, no jitter, 40 ms budget. *)
+
+type attempt = {
+  round : int;  (** 0-based attempt index *)
+  seed : int;  (** deterministic per-round sub-stream seed *)
+  backoff_s : float;  (** backoff charged for this attempt *)
+}
+
+(** Admission verdict for one attempt, from the optional [admit]
+    callback (how a {!Breaker} gates a schedule). *)
+type admission =
+  | Admit  (** run the attempt *)
+  | Wait of float
+      (** spend this much simulated time doing nothing (a breaker
+          cooldown), then ask again; waiting past the budget exhausts
+          the schedule like any other cost *)
+  | Stop  (** abandon the schedule; reported as [denied] *)
+
+type stats = {
+  attempts : int;  (** attempts actually executed *)
+  time_s : float;  (** simulated time spent, waits included *)
+  budget_exhausted : bool;
+      (** the next attempt (or wait) no longer fit the budget *)
+  denied : bool;  (** the admission callback said {!Stop} *)
+}
+
+val round_seed : seed:int -> round:int -> int
+(** [seed + (round + 1) * 7919] — the per-round sub-stream derivation
+    the NACK loop has always used. *)
+
+val backoff_s : policy -> seed:int -> round:int -> float
+(** Backoff charged before attempt [round], jitter included. *)
+
+val run :
+  ?admit:(attempt -> now_s:float -> 's -> admission) ->
+  policy ->
+  seed:int ->
+  init:'s ->
+  pending:('s -> bool) ->
+  cost:(attempt -> 's -> float) ->
+  step:(attempt -> now_s:float -> 's -> 's) ->
+  's * stats
+(** [run policy ~seed ~init ~pending ~cost ~step] folds attempts over
+    state ['s]: while [pending state] and attempts remain, ask [admit]
+    (default: always {!Admit}), price the attempt with [cost] (which
+    must return the attempt's full cost, backoff included — the
+    attempt record carries [backoff_s] for that), and only if the cost
+    fits the remaining budget charge it and run [step] with [now_s]
+    the simulated time after the charge. The first unaffordable
+    attempt sets [budget_exhausted] and ends the schedule. *)

@@ -28,12 +28,52 @@ type live_session = {
   added_latency_s : float;
 }
 
-let annotate_live ?scene_params ~lookahead ~device ~quality clip =
-  let profiled = Annotation.Annotator.profile clip in
-  let track = Annotation.Live.annotate ?scene_params ~lookahead ~device ~quality profiled in
+(* Shed fallback for a live session the bulkhead refuses: a
+   passthrough track (full backlight everywhere) at zero added
+   latency — the proxy stops annotating, it never stops streaming. *)
+let live_passthrough ~device ~quality clip =
+  let frames = clip.Video.Clip.frame_count in
+  let entries =
+    if frames = 0 then [||]
+    else
+      [|
+        {
+          Annotation.Track.first_frame = 0;
+          frame_count = frames;
+          register = 255;
+          compensation = 1.;
+          effective_max = 255;
+        };
+      |]
+  in
+  let track =
+    Annotation.Track.make ~clip_name:clip.Video.Clip.name
+      ~device_name:device.Display.Device.name ~quality
+      ~fps:clip.Video.Clip.fps ~total_frames:frames entries
+  in
   {
     track;
     annotation_bytes = Annotation.Encoding.encode track;
-    added_latency_s =
-      Annotation.Live.added_latency_s ~lookahead ~fps:clip.Video.Clip.fps;
+    added_latency_s = 0.;
   }
+
+let annotate_live ?scene_params ?bulkhead ~lookahead ~device ~quality clip =
+  let annotate () =
+    let profiled = Annotation.Annotator.profile clip in
+    let track =
+      Annotation.Live.annotate ?scene_params ~lookahead ~device ~quality
+        profiled
+    in
+    {
+      track;
+      annotation_bytes = Annotation.Encoding.encode track;
+      added_latency_s =
+        Annotation.Live.added_latency_s ~lookahead ~fps:clip.Video.Clip.fps;
+    }
+  in
+  match bulkhead with
+  | None -> annotate ()
+  | Some b ->
+    Resilience.Bulkhead.run b
+      ~shed:(fun () -> live_passthrough ~device ~quality clip)
+      annotate

@@ -31,6 +31,7 @@ type live_session = {
 
 val annotate_live :
   ?scene_params:Annotation.Scene_detect.params ->
+  ?bulkhead:Resilience.Bulkhead.t ->
   lookahead:int ->
   device:Display.Device.t ->
   quality:Annotation.Quality_level.t ->
@@ -38,4 +39,9 @@ val annotate_live :
   live_session
 (** [annotate_live ~lookahead ~device ~quality clip] profiles and
     annotates with a bounded lookahead window (see {!Annotation.Live}),
-    reporting the buffering latency the proxy adds. *)
+    reporting the buffering latency the proxy adds.
+
+    [bulkhead] puts the profiling + annotation work inside a
+    {!Resilience.Bulkhead} compartment; a shed session gets a
+    passthrough track (full backlight everywhere, zero added latency)
+    — the proxy stops annotating, it never stops streaming. *)

@@ -126,14 +126,61 @@ let build ?scene_params ?pool stored ~session =
     compensated = Annotation.Compensate.clip stored.clip track;
   }
 
-let prepare ?scene_params ?pool t ~name ~session =
+(* Shed fallback: a passthrough stream — original clip, single
+   full-backlight entry covering every frame — that costs nothing to
+   build. The bottom rung of the degradation ladder, served when the
+   bulkhead refuses the annotation build. Not cached: a later
+   admitted prepare must still build the real thing. *)
+let passthrough stored ~session =
+  let clip = stored.clip in
+  let frames = clip.Video.Clip.frame_count in
+  let entries =
+    if frames = 0 then [||]
+    else
+      [|
+        {
+          Annotation.Track.first_frame = 0;
+          frame_count = frames;
+          register = 255;
+          compensation = 1.;
+          effective_max = 255;
+        };
+      |]
+  in
+  let track =
+    Annotation.Track.make ~clip_name:clip.Video.Clip.name
+      ~device_name:session.Negotiation.device.Display.Device.name
+      ~quality:session.Negotiation.quality ~fps:clip.Video.Clip.fps
+      ~total_frames:frames entries
+  in
+  {
+    session;
+    track;
+    annotation_bytes = Annotation.Encoding.encode track;
+    compensated = clip;
+  }
+
+let prepare ?scene_params ?pool ?bulkhead t ~name ~session =
   Result.map
     (fun stored ->
+      (* The expensive annotation build runs inside the bulkhead when
+         one is given; a shed serves the passthrough instead of
+         building, and never enters the cache (a later admitted
+         prepare must still build the real thing). [insert] is what an
+         admitted build does with its result. *)
+      let guarded ~insert () =
+        match bulkhead with
+        | None -> insert (build ?scene_params ?pool stored ~session)
+        | Some b ->
+          Resilience.Bulkhead.run b
+            ~shed:(fun () -> passthrough stored ~session)
+            (fun () -> insert (build ?scene_params ?pool stored ~session))
+      in
       match scene_params with
       | Some _ ->
         (* Non-default scene parameters are not keyed; bypass the
            cache rather than serve a mismatched stream. *)
-        build ?scene_params ?pool stored ~session
+        guarded ~insert:Fun.id ()
       | None -> (
         let key =
           {
@@ -162,14 +209,35 @@ let prepare ?scene_params ?pool t ~name ~session =
              racing sessions may both build — the results are
              deterministic and identical, so first-in wins and the
              duplicate is dropped. *)
-          let p = build ?pool stored ~session in
-          with_lock t.cache_lock (fun () ->
-              match Hashtbl.find_opt t.cache key with
-              | Some existing -> existing
-              | None ->
-                Hashtbl.add t.cache key p;
-                p)))
+          let insert p =
+            with_lock t.cache_lock (fun () ->
+                match Hashtbl.find_opt t.cache key with
+                | Some existing -> existing
+                | None ->
+                  Hashtbl.add t.cache key p;
+                  p)
+          in
+          guarded ~insert ()))
     (find t name)
+
+(* Any prepared track for [clip] on [device], whatever quality or
+   mapping it was built at — the degradation ladder's [stale] rung.
+   Deterministic pick: the smallest matching key (keys order by
+   quality then mapping once clip and device are fixed), so equal
+   cache contents always serve the same stale stream. *)
+let stale_annotation t ~clip ~device =
+  with_lock t.cache_lock (fun () ->
+      (* lint: allow L003 candidates are sorted before the pick below *)
+      Hashtbl.fold
+        (fun key p acc ->
+          if key.k_clip = clip && key.k_device = device then
+            (key, p) :: acc
+          else acc)
+        t.cache [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> function
+  | [] -> None
+  | (_, p) :: _ -> Some p
 
 let prepare_many ?scene_params ?pool t specs =
   let one (name, session) = prepare ?scene_params t ~name ~session in

@@ -42,6 +42,7 @@ val profile :
 val prepare :
   ?scene_params:Annotation.Scene_detect.params ->
   ?pool:Par.Pool.t ->
+  ?bulkhead:Resilience.Bulkhead.t ->
   t ->
   name:string ->
   session:Negotiation.session ->
@@ -59,7 +60,14 @@ val prepare :
     and in the obs registry ([server_prepared_cache_hits_total] /
     [server_prepared_cache_misses_total]). Calls with explicit
     [scene_params] bypass the cache, since the key does not carry
-    them. *)
+    them.
+
+    [bulkhead] puts the expensive annotation build inside a
+    {!Resilience.Bulkhead} compartment: cache hits are always served,
+    but a build the compartment sheds returns a passthrough stream
+    instead — the original clip with a single full-backlight entry —
+    which is never cached, so a later admitted prepare still builds
+    the real thing. *)
 
 val prepare_many :
   ?scene_params:Annotation.Scene_detect.params ->
@@ -75,6 +83,14 @@ val prepare_many :
 
 val cache_stats : t -> int * int
 (** [(hits, misses)] of the prepared-stream cache since [create]. *)
+
+val stale_annotation : t -> clip:string -> device:string -> prepared option
+(** Any cached prepared stream for [clip] on [device], whatever
+    quality or mapping it was built at — the degradation ladder's
+    [stale] rung ({!Resilience.Degrade.Stale_cache}). The pick is
+    deterministic (smallest cache key), so equal cache contents always
+    serve the same stale stream. [None] when nothing matching was ever
+    prepared. *)
 
 val cache_size : t -> int
 (** Number of distinct prepared streams currently cached. *)

@@ -13,6 +13,8 @@ type config = {
   fault : Fault.t option;
   nack_budget_s : float;
   degradation : degradation;
+  resilience : Resilience.Profile.t option;
+  stale_track : Annotation.Track.t option;
 }
 
 let default_config ~device =
@@ -29,6 +31,8 @@ let default_config ~device =
     fault = None;
     nack_budget_s = 0.04;
     degradation = Full_backlight;
+    resilience = None;
+    stale_track = None;
   }
 
 type report = {
@@ -192,6 +196,134 @@ let degradation_label = function
   | Full_backlight -> "full_backlight"
   | Neighbour_clamp -> "neighbour_clamp"
 
+let obs_watchdog_trips =
+  Obs.counter
+    ~help:"Stage-deadline watchdog trips that forced the degradation ladder"
+    "resilience_watchdog_trips_total" []
+
+(* A stale prepared track can stand in for a missing record only when
+   its scene layout matches: same frame coverage, same entry grid.
+   Scene boundaries come from profiling the clip — not from device or
+   quality — so any earlier preparation of the same clip qualifies. *)
+let stale_usable ~stale (p : Annotation.Encoding.partial) =
+  match stale with
+  | Some (st : Annotation.Track.t)
+    when Array.length st.Annotation.Track.entries = Array.length p.entries
+         && st.Annotation.Track.total_frames = p.total_frames ->
+    let aligned = ref true in
+    Array.iteri
+      (fun i entry ->
+        match entry with
+        | Some (e : Annotation.Track.entry) ->
+          let se = st.Annotation.Track.entries.(i) in
+          if
+            se.Annotation.Track.first_frame <> e.first_frame
+            || se.Annotation.Track.frame_count <> e.frame_count
+          then aligned := false
+        | None -> ())
+      p.entries;
+    if !aligned then Some st.Annotation.Track.entries else None
+  | _ -> None
+
+(* Ladder-aware patching: like [patch_partial], but every missing
+   record resolves at the shallowest enabled degradation rung — the
+   stale cached entry for its scene when one exists, the neighbour
+   clamp when both intact neighbours agree, full backlight otherwise —
+   and each non-fresh resolution is journaled as a Ladder_step. *)
+let patch_partial_ladder ladder ~stale ~t_s (p : Annotation.Encoding.partial) =
+  let module D = Resilience.Degrade in
+  let stale_entries =
+    if D.enabled ladder D.Stale_cache then stale_usable ~stale p else None
+  in
+  let out = ref [] in
+  let pos = ref 0 in
+  let prev = ref None in
+  let degraded = ref 0 in
+  let last_fill_step = ref D.Full_backlight in
+  let clamp_enabled = D.enabled ladder D.Neighbour_clamp in
+  let note i step = D.note ladder ~t_s ~scene:i step in
+  let n = Array.length p.entries in
+  (* Next intact entry at or after record [i] — the gap filler's
+     right-hand neighbour. *)
+  let next_intact i =
+    let rec loop j =
+      if j >= n then None
+      else match p.entries.(j) with Some e -> Some e | None -> loop (j + 1)
+    in
+    loop i
+  in
+  let emit (e : Annotation.Track.entry) =
+    out := e :: !out;
+    pos := e.first_frame + e.frame_count;
+    prev := Some e
+  in
+  Array.iteri
+    (fun i entry ->
+      match entry with
+      | Some (e : Annotation.Track.entry) ->
+        note i D.Fresh;
+        emit e
+      | None -> (
+        incr degraded;
+        match stale_entries with
+        | Some st ->
+          note i D.Stale_cache;
+          emit st.(i)
+        | None -> (
+          (* No per-scene stale entry: clamp between agreeing intact
+             neighbours, full backlight otherwise — the same fill rule
+             as [patch_partial], journaled rung by rung. The gap's
+             frame span is recovered from the neighbours. *)
+          let next = next_intact (i + 1) in
+          let until =
+            match next with
+            | Some e -> e.Annotation.Track.first_frame
+            | None -> p.total_frames
+          in
+          (* Consecutive missing records merge into one filler entry;
+             only the first of the run emits it. *)
+          let run_start = !pos in
+          if until > run_start then begin
+            let step, entry =
+              match (!prev, next) with
+              | Some (a : Annotation.Track.entry), Some b
+                when clamp_enabled && a.register = b.register
+                     && a.effective_max = b.effective_max ->
+                ( D.Neighbour_clamp,
+                  {
+                    Annotation.Track.first_frame = run_start;
+                    frame_count = until - run_start;
+                    register = a.register;
+                    compensation = Float.max a.compensation b.compensation;
+                    effective_max = a.effective_max;
+                  } )
+              | _ ->
+                ( D.Full_backlight,
+                  {
+                    Annotation.Track.first_frame = run_start;
+                    frame_count = until - run_start;
+                    register = 255;
+                    compensation = 1.;
+                    effective_max = 255;
+                  } )
+            in
+            note i step;
+            last_fill_step := step;
+            out := entry :: !out;
+            pos := until
+          end
+          else
+            (* A later record of an already-filled run: it resolved at
+               whatever rung the run head picked. *)
+            note i !last_fill_step)))
+    p.entries;
+  let track =
+    Annotation.Track.make ~clip_name:p.clip_name ~device_name:p.device_name
+      ~quality:p.quality ~fps:p.fps ~total_frames:p.total_frames
+      (Array.of_list (List.rev !out))
+  in
+  (track, !degraded)
+
 let run config clip =
   span "session.run" ~attrs:[ ("clip", clip.Video.Clip.name) ]
   @@ fun () ->
@@ -268,13 +400,40 @@ let run config clip =
         | Error _ -> (false, track, 0, 0, 0))
       | Error _ -> (false, track, 0, 0, 0))
     | Some fault -> (
+      (* Resilience control plane, active only when a profile is
+         configured: a retry policy for the NACK schedule, a breaker
+         gating its rounds, and the degradation ladder the patching
+         below walks. With no profile every path reduces to the
+         historical code bit for bit. *)
+      let profile = config.resilience in
+      let ladder =
+        Option.map
+          (fun (p : Resilience.Profile.t) ->
+            Resilience.Degrade.create
+              ?steps:
+                (match p.Resilience.Profile.ladder with
+                | [] -> None
+                | l -> Some l)
+              ())
+          profile
+      in
+      let breaker =
+        match profile with
+        | Some { Resilience.Profile.breaker = Some bc; _ } ->
+          Some (Resilience.Breaker.create ~config:bc ~name:"nack" ())
+        | _ -> None
+      in
+      let retry_policy =
+        Option.bind profile (fun p -> p.Resilience.Profile.retry)
+      in
       let arrival =
         Fault.apply fault ~seed:config.seed protected_annotations.Fec.packets
       in
       let arrival, nack =
         if config.nack_budget_s > 0. then
-          Transport.nack_retransmit ~fault ~link:config.link
-            ~budget_s:config.nack_budget_s ~seed:(config.seed + 31)
+          Transport.nack_retransmit ?policy:retry_policy ?breaker ~fault
+            ~link:config.link ~budget_s:config.nack_budget_s
+            ~seed:(config.seed + 31)
             ~packets:protected_annotations.Fec.packets arrival
         else (arrival, Transport.no_nack)
       in
@@ -282,6 +441,53 @@ let run config clip =
       let resent = nack.Transport.packets_retransmitted in
       let journal_t_s = nack.Transport.nack_time_s in
       let policy_label = degradation_label config.degradation in
+      (* Stage-deadline watchdog: annotations that arrive after the
+         transmit deadline are as good as lost — trip the ladder
+         instead of pretending they were on time. *)
+      let watchdog_tripped =
+        match profile with
+        | Some { Resilience.Profile.stage_deadline_s = Some d; _ }
+          when nack.Transport.nack_time_s > d ->
+          Obs.Metrics.Counter.incr obs_watchdog_trips;
+          Obs.Journal.record ~t_s:journal_t_s
+            (Obs.Journal.Watchdog_trip
+               {
+                 stage = "transmit";
+                 budget_us = int_of_float (Float.round (d *. 1e6));
+                 over_us =
+                   int_of_float
+                     (Float.round ((nack.Transport.nack_time_s -. d) *. 1e6));
+               });
+          true
+        | _ -> false
+      in
+      let mapped t =
+        match config.mapping with
+        | Negotiation.Server_side -> t
+        | Negotiation.Client_side ->
+          Annotation.Neutral.map_to_device config.device t
+      in
+      (* The whole track fell back (header unusable, nothing intact,
+         or the watchdog tripped): with a ladder and a stale cached
+         track the session survives on yesterday's annotations;
+         otherwise everything plays at full backlight. *)
+      let whole_track_fallback ~degraded_count ~corrupt =
+        match (ladder, config.stale_track) with
+        | Some l, Some st
+          when Resilience.Degrade.enabled l Resilience.Degrade.Stale_cache ->
+          Resilience.Degrade.note l ~t_s:journal_t_s ~scene:(-1)
+            Resilience.Degrade.Stale_cache;
+          ( true,
+            mapped st,
+            Array.length st.Annotation.Track.entries,
+            resent,
+            corrupt )
+        | Some l, _ ->
+          Resilience.Degrade.note l ~t_s:journal_t_s ~scene:(-1)
+            Resilience.Degrade.Full_backlight;
+          (false, track, degraded_count, resent, corrupt)
+        | None, _ -> (false, track, degraded_count, resent, corrupt)
+      in
       Obs.Journal.record ~t_s:journal_t_s
         (Obs.Journal.Fec_outcome
            {
@@ -334,45 +540,54 @@ let run config clip =
             entries
         end
       in
-      match
-        Annotation.Encoding.decode_partial ~byte_ok:recovery.Fec.byte_ok
-          recovery.Fec.payload
-      with
-      | Error _ ->
-        (* Header gone (or v1 payload damaged): nothing placeable
-           survived, every scene plays at full backlight. *)
-        Obs.Journal.record ~t_s:journal_t_s
-          (Obs.Journal.Degradation
-             {
-               index = -1;
-               trigger = Obs.Journal.Header_lost;
-               policy = policy_label;
-             });
-        Obs.Log.warn ~scope:"session" (fun () ->
-            ( "annotation header lost; whole clip plays at full backlight",
-              [ ("policy", Obs.Json.String policy_label) ] ));
-        (false, track, Array.length track.Annotation.Track.entries, resent, 0)
-      | Ok partial ->
-        let intact =
-          Array.fold_left
-            (fun acc e -> if e = None then acc else acc + 1)
-            0 partial.Annotation.Encoding.entries
-        in
-        let corrupt = partial.Annotation.Encoding.corrupt_records in
-        journal_degradations partial;
-        if intact = 0 then
-          (false, track, Array.length partial.Annotation.Encoding.entries, resent,
-           corrupt)
-        else begin
-          let patched, degraded = patch_partial config.degradation partial in
-          let client =
-            match config.mapping with
-            | Negotiation.Server_side -> patched
-            | Negotiation.Client_side ->
-              Annotation.Neutral.map_to_device config.device patched
+      if watchdog_tripped then
+        whole_track_fallback
+          ~degraded_count:(Array.length track.Annotation.Track.entries)
+          ~corrupt:0
+      else
+        match
+          Annotation.Encoding.decode_partial ~byte_ok:recovery.Fec.byte_ok
+            recovery.Fec.payload
+        with
+        | Error _ ->
+          (* Header gone (or v1 payload damaged): nothing placeable
+             survived, every scene plays at full backlight — or on the
+             stale cached track when the ladder offers one. *)
+          Obs.Journal.record ~t_s:journal_t_s
+            (Obs.Journal.Degradation
+               {
+                 index = -1;
+                 trigger = Obs.Journal.Header_lost;
+                 policy = policy_label;
+               });
+          Obs.Log.warn ~scope:"session" (fun () ->
+              ( "annotation header lost; whole clip plays at full backlight",
+                [ ("policy", Obs.Json.String policy_label) ] ));
+          whole_track_fallback
+            ~degraded_count:(Array.length track.Annotation.Track.entries)
+            ~corrupt:0
+        | Ok partial ->
+          let intact =
+            Array.fold_left
+              (fun acc e -> if e = None then acc else acc + 1)
+              0 partial.Annotation.Encoding.entries
           in
-          (true, client, degraded, resent, corrupt)
-        end)
+          let corrupt = partial.Annotation.Encoding.corrupt_records in
+          journal_degradations partial;
+          if intact = 0 then
+            whole_track_fallback
+              ~degraded_count:(Array.length partial.Annotation.Encoding.entries)
+              ~corrupt
+          else begin
+            let patched, degraded =
+              match ladder with
+              | Some l ->
+                patch_partial_ladder l ~stale:config.stale_track
+                  ~t_s:journal_t_s partial
+              | None -> patch_partial config.degradation partial
+            in
+            (true, mapped patched, degraded, resent, corrupt)
+          end)
   in
   Obs.Metrics.Counter.incr (obs_annotation_outcomes annotations_survived);
   if degraded_scenes > 0 then

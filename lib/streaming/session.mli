@@ -40,12 +40,24 @@ type config = {
           loop ({!Transport.nack_retransmit}); [0.] disables it. Only
           used when [fault] is set. *)
   degradation : degradation;  (** policy for scenes whose record died *)
+  resilience : Resilience.Profile.t option;
+      (** resilience control plane for the faulty path: retry policy
+          for the NACK schedule, a circuit breaker gating its rounds,
+          a stage-deadline watchdog, and the degradation ladder the
+          patching walks. [None] keeps every path bit-identical to the
+          profile-free behaviour. Only used when [fault] is set. *)
+  stale_track : Annotation.Track.t option;
+      (** a previously prepared annotation track for the same clip
+          (any quality — typically from {!Server}'s cache) that the
+          ladder's [stale] rung falls back to, per scene or for the
+          whole track *)
 }
 
 val default_config : device:Display.Device.t -> config
 (** 10 % quality, server-side mapping, 802.11b link, no loss, GOP 12,
     no ramp, 60 % duty cycle, no fault injection, 40 ms NACK budget,
-    full-backlight degradation. *)
+    full-backlight degradation, no resilience profile, no stale
+    track. *)
 
 type report = {
   config : config;

@@ -124,82 +124,102 @@ let obs_nack_rounds =
   Obs.counter ~help:"NACK/retransmit rounds run for the annotation side channel"
     "annot_nack_rounds_total" []
 
-let max_nack_rounds = 16
-
-let nack_retransmit ?(backoff_base_s = 0.002) ?(rtt_s = 0.004) ~fault ~link
-    ~budget_s ~seed ~packets present =
+(* The NACK loop is a Resilience.Retry schedule: each attempt NACKs the
+   packets still missing, waits out the backoff, and receives the burst
+   of re-sent packets through the same fault model on a fresh
+   deterministic sub-stream. The default policy reproduces the
+   historical hand-rolled loop bit for bit (asserted in the tests); a
+   resilience profile swaps in its own policy, and a circuit breaker
+   can gate rounds — waiting out its cooldown on the simulated clock
+   when the budget still allows. *)
+let nack_retransmit ?(backoff_base_s = 0.002) ?(rtt_s = 0.004) ?policy ?breaker
+    ~fault ~link ~budget_s ~seed ~packets present =
   if Array.length present <> Array.length packets then
     invalid_arg "Transport.nack_retransmit: packet array length mismatch";
+  let policy =
+    match policy with
+    | Some p -> p
+    | None ->
+      {
+        Resilience.Retry.default with
+        Resilience.Retry.base_backoff_s = backoff_base_s;
+        budget_s;
+      }
+  in
   let present = Array.copy present in
-  let spent = ref 0. in
-  let rounds = ref 0 in
   let retransmitted = ref 0 in
   let repaired = ref 0 in
-  let exhausted = ref false in
   let missing () =
     let acc = ref [] in
     Array.iteri (fun i p -> if p = None then acc := i :: !acc) present;
     List.rev !acc
   in
-  let finished = ref false in
-  while not !finished do
-    match missing () with
-    | [] -> finished := true
-    | gaps when !rounds >= max_nack_rounds -> ignore gaps; finished := true
-    | gaps ->
-      (* One round: NACK upstream, wait out the backoff, receive the
-         burst of re-sent packets. Costed on the simulated clock before
-         it is spent, so the loop never blows its deadline budget. *)
-      let backoff = backoff_base_s *. Float.pow 2. (float_of_int !rounds) in
-      let round_seed = seed + ((!rounds + 1) * 7919) in
-      let transfer =
-        List.fold_left
-          (fun acc i ->
-            acc
-            +. Netsim.transfer_time_s link (String.length packets.(i))
-            +. Fault.delay_s fault ~seed:round_seed ~index:i)
-          0. gaps
-      in
-      let cost = rtt_s +. backoff +. transfer in
-      if !spent +. cost > budget_s then begin
-        exhausted := true;
-        finished := true
-      end
-      else begin
-        spent := !spent +. cost;
-        incr rounds;
-        Obs.Metrics.Counter.incr obs_nack_rounds;
-        let resent = Array.of_list (List.map (fun i -> packets.(i)) gaps) in
-        retransmitted := !retransmitted + Array.length resent;
-        Obs.Metrics.Counter.incr obs_retransmissions ~by:(Array.length resent);
-        (* Retransmissions ride the same faulty channel with a fresh
-           deterministic sub-stream. *)
-        let delivered = Fault.apply ~t_s:!spent fault ~seed:round_seed resent in
-        let repaired_before = !repaired in
-        List.iteri
-          (fun k i ->
-            match delivered.(k) with
-            | Some p ->
-              present.(i) <- Some p;
-              incr repaired
-            | None -> ())
-          gaps;
-        Obs.Journal.record ~t_s:!spent
-          (Obs.Journal.Nack_round
-             {
-               round = !rounds;
-               missing = List.length gaps;
-               repaired = !repaired - repaired_before;
-             })
-      end
-  done;
+  let admit _a ~now_s () =
+    match breaker with
+    | None -> Resilience.Retry.Admit
+    | Some b ->
+      if Resilience.Breaker.allow b ~now_s then Resilience.Retry.Admit
+      else (
+        match Resilience.Breaker.cooldown_remaining b ~now_s with
+        | Some w when w > 0. -> Resilience.Retry.Wait w
+        | _ -> Resilience.Retry.Stop)
+  in
+  let cost (a : Resilience.Retry.attempt) () =
+    let transfer =
+      List.fold_left
+        (fun acc i ->
+          acc
+          +. Netsim.transfer_time_s link (String.length packets.(i))
+          +. Fault.delay_s fault ~seed:a.Resilience.Retry.seed ~index:i)
+        0. (missing ())
+    in
+    rtt_s +. a.Resilience.Retry.backoff_s +. transfer
+  in
+  let step (a : Resilience.Retry.attempt) ~now_s () =
+    let gaps = missing () in
+    Obs.Metrics.Counter.incr obs_nack_rounds;
+    let resent = Array.of_list (List.map (fun i -> packets.(i)) gaps) in
+    retransmitted := !retransmitted + Array.length resent;
+    Obs.Metrics.Counter.incr obs_retransmissions ~by:(Array.length resent);
+    let delivered =
+      Fault.apply ~t_s:now_s fault ~seed:a.Resilience.Retry.seed resent
+    in
+    let repaired_before = !repaired in
+    List.iteri
+      (fun k i ->
+        match delivered.(k) with
+        | Some p ->
+          present.(i) <- Some p;
+          incr repaired;
+          Option.iter
+            (fun b -> Resilience.Breaker.record b ~now_s ~ok:true)
+            breaker
+        | None ->
+          Option.iter
+            (fun b -> Resilience.Breaker.record b ~now_s ~ok:false)
+            breaker)
+      gaps;
+    Obs.Journal.record ~t_s:now_s
+      (Obs.Journal.Nack_round
+         {
+           round = a.Resilience.Retry.round + 1;
+           missing = List.length gaps;
+           repaired = !repaired - repaired_before;
+         })
+  in
+  let (), stats =
+    Resilience.Retry.run ~admit policy ~seed ~init:()
+      ~pending:(fun () -> missing () <> [])
+      ~cost
+      ~step:(fun a ~now_s () -> step a ~now_s ())
+  in
   ( present,
     {
-      nack_rounds = !rounds;
+      nack_rounds = stats.Resilience.Retry.attempts;
       packets_retransmitted = !retransmitted;
       packets_repaired = !repaired;
-      nack_time_s = !spent;
-      budget_exhausted = !exhausted;
+      nack_time_s = stats.Resilience.Retry.time_s;
+      budget_exhausted = stats.Resilience.Retry.budget_exhausted;
     } )
 
 let mean_psnr ~reference pictures =

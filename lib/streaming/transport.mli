@@ -54,6 +54,8 @@ val no_nack : nack_stats
 val nack_retransmit :
   ?backoff_base_s:float ->
   ?rtt_s:float ->
+  ?policy:Resilience.Retry.policy ->
+  ?breaker:Resilience.Breaker.t ->
   fault:Fault.t ->
   link:Netsim.t ->
   budget_s:float ->
@@ -73,7 +75,15 @@ val nack_retransmit :
     the frames they govern, so the loop gives up rather than stall
     playback ([budget_exhausted]). [budget_s = 0.] disables
     retransmission entirely. Returns the augmented arrival array (the
-    input is not mutated) and the loop's statistics. *)
+    input is not mutated) and the loop's statistics.
+
+    The loop is a {!Resilience.Retry} schedule. [policy] replaces the
+    historical defaults wholesale — when given, [backoff_base_s] and
+    [budget_s] are ignored in its favour. [breaker] gates each round:
+    every repaired or still-missing packet feeds it as an outcome, a
+    denial while its cooldown runs is waited out on the simulated
+    clock (budget permitting), and a denial with no cooldown left —
+    half-open probe quota exhausted — abandons the schedule. *)
 
 val mean_psnr : reference:Image.Raster.t array -> Image.Raster.t array -> float
 (** Mean PSNR (dB) against a reference frame sequence; [infinity]-free:

@@ -1,0 +1,3 @@
+(* Negative fixture: breaker state mutated outside lib/resilience and
+   the sanctioned streaming integration sites (L012). *)
+let bend breaker = Resilience.Breaker.record breaker ~now_s:0. ~ok:false

@@ -39,6 +39,7 @@ let test_fixtures_fire_once () =
       ("l009_domain.ml", false, true, "L009");
       ("l010_meter.ml", false, true, "L010");
       ("l011_journal.ml", false, true, "L011");
+      ("l012_resilience.ml", false, true, "L012");
     ]
 
 let test_clean_fixture () =
@@ -91,12 +92,33 @@ let test_l011_journal_exempt () =
   check_codes "reasoned allow silences L011" []
     (Lint.lint_source ~path:"lib/streaming/x.ml" allowed)
 
+let test_l012_resilience_exempt () =
+  (* The control plane itself and the four reviewed streaming
+     integration files may flip breaker/ladder state; everywhere else
+     needs a reasoned allow. *)
+  let source = read_file "fixtures/lint/l012_resilience.ml" in
+  check_codes "lib/resilience path is exempt" []
+    (Lint.lint_source ~path:"lib/resilience/breaker.ml" source);
+  check_codes "transport hook is exempt" []
+    (Lint.lint_source ~path:"lib/streaming/transport.ml" source);
+  check_codes "session hook is exempt" []
+    (Lint.lint_source ~path:"lib/streaming/session.ml" source);
+  check_codes "explicit in_resilience is exempt" []
+    (Lint.lint_source ~in_resilience:true
+       ~path:"fixtures/lint/l012_resilience.ml" source);
+  let allowed =
+    "(* lint: allow L012 chaos harness trips breakers on purpose *)\n\
+     let trip b = Resilience.Breaker.record b ~now_s:0. ~ok:false\n"
+  in
+  check_codes "reasoned allow silences L012" []
+    (Lint.lint_source ~path:"bench/chaos.ml" allowed)
+
 let test_every_rule_has_a_fixture () =
   (* L000 is the parse-failure code, not a rule with a fixture. *)
   let covered =
     [
       "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L007"; "L008"; "L009";
-      "L010"; "L011";
+      "L010"; "L011"; "L012";
     ]
   in
   Alcotest.(check (list string))
@@ -399,6 +421,41 @@ let test_fault_noop () =
   check_codes "V302" [ "V302" ] ds;
   Alcotest.(check int) "warning only" 0 (Diagnostic.errors ds)
 
+(* --- resilience profiles ------------------------------------------------- *)
+
+let res = Artifact.check_resilience ~file:"t.resilience"
+
+let test_resilience_shipped_profiles () =
+  check_codes "examples/default.resilience" []
+    (res (read_file "../examples/default.resilience"));
+  check_codes "examples/aggressive.resilience" []
+    (res (read_file "../examples/aggressive.resilience"))
+
+let test_resilience_parse_error () =
+  check_codes "V501 unknown key" [ "V501" ] (res "frobnicate = 1\n");
+  check_codes "V501 unknown rung" [ "V501" ] (res "ladder = fresh, sideways\n");
+  check_codes "V501 bad number" [ "V501" ] (res "retry_budget_s = lots\n")
+
+let test_resilience_nonpositive () =
+  check_codes "V502 retry budget" [ "V502" ] (res "retry_budget_s = 0\n");
+  check_codes "V502 bulkhead capacity" [ "V502" ]
+    (res "bulkhead_capacity = -1\n");
+  check_codes "V502 watchdog" [ "V502" ] (res "stage_deadline_ms = 0\n")
+
+let test_resilience_ladder_order () =
+  (* The rungs parse; the shallowest-first convention is the
+     verifier's: clamp before stale is a walk that would skip back. *)
+  check_codes "V503" [ "V503" ] (res "ladder = fresh, clamp, stale, full\n")
+
+let test_resilience_threshold_range () =
+  check_codes "V504 above one" [ "V504" ] (res "breaker_threshold = 1.5\n");
+  check_codes "V504 negative" [ "V504" ] (res "breaker_threshold = -0.1\n")
+
+let test_resilience_noop () =
+  let ds = res "# nothing configured\n" in
+  check_codes "V505" [ "V505" ] ds;
+  Alcotest.(check int) "warning only" 0 (Diagnostic.errors ds)
+
 let () =
   Alcotest.run "check"
     [
@@ -409,6 +466,7 @@ let () =
           Alcotest.test_case "lib/par exempt from L009" `Quick test_l009_pool_exempt;
           Alcotest.test_case "lib/power exempt from L010" `Quick test_l010_meter_exempt;
           Alcotest.test_case "hooks exempt from L011" `Quick test_l011_journal_exempt;
+          Alcotest.test_case "hooks exempt from L012" `Quick test_l012_resilience_exempt;
           Alcotest.test_case "registry covered" `Quick test_every_rule_has_a_fixture;
           Alcotest.test_case "unparsable" `Quick test_unparsable_is_l000;
         ] );
@@ -457,5 +515,17 @@ let () =
           Alcotest.test_case "valid" `Quick test_fault_valid;
           Alcotest.test_case "parse error" `Quick test_fault_parse_error;
           Alcotest.test_case "no-op" `Quick test_fault_noop;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "shipped profiles" `Quick
+            test_resilience_shipped_profiles;
+          Alcotest.test_case "parse error" `Quick test_resilience_parse_error;
+          Alcotest.test_case "non-positive budgets" `Quick
+            test_resilience_nonpositive;
+          Alcotest.test_case "ladder order" `Quick test_resilience_ladder_order;
+          Alcotest.test_case "threshold range" `Quick
+            test_resilience_threshold_range;
+          Alcotest.test_case "no-op" `Quick test_resilience_noop;
         ] );
     ]

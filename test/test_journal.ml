@@ -75,6 +75,17 @@ let all_kinds_events =
            value_milli = 62;
            window_us = 500_000;
          });
+    e 0
+      (Journal.Bulkhead_decision
+         { name = "prepare"; decision = "shed"; in_flight = 2; queued = 2 });
+    e 2_600 (Journal.Ladder_step { scene = 2; depth = 1; step = "stale" });
+    e 2_700 (Journal.Ladder_step { scene = -1; depth = 3; step = "full" });
+    e 2_800
+      (Journal.Breaker_transition
+         { name = "nack"; from_state = 0; to_state = 2; failure_permille = 625 });
+    e 2_900
+      (Journal.Watchdog_trip
+         { stage = "transmit"; budget_us = 40_000; over_us = 1_250 });
     e 6_000_000
       (Journal.Session_end
          { survived = true; degraded_scenes = 1; retransmissions = 1; corrupt_records = 1 });
