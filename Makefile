@@ -23,10 +23,13 @@ check:
 	  && $(MAKE) gate
 
 # Static gate 1: the determinism linter over the library and tool
-# sources (rules L001-L011, see README "Static checks"). Exits 1 on
-# any finding without a reasoned `lint: allow` comment.
+# sources (rules L001-L012 plus the transitive effect closure, see
+# README "Static checks") and the concurrency-safety analyzer (rules
+# C001-C006 over the cross-module call graph). Exits 1 on any finding
+# without a reasoned `lint: allow` comment.
 lint:
 	dune exec bin/lint.exe -- sources lib bin
+	dune exec bin/lint.exe -- concurrency lib bin
 
 # Static gate 2: the offline artifact verifier over everything the
 # repo ships — the example SLO and fault profiles, a freshly encoded

@@ -147,7 +147,7 @@ let encoded_size track = String.length (encode track)
 
 exception Parse_error of string
 
-type cursor = { data : string; mutable pos : int }
+type cursor = { data : string; mutable pos : int (* owned_by: the decoding call; a cursor never escapes it *) }
 
 let need c n =
   if c.pos + n > String.length c.data then raise (Parse_error "truncated input")

@@ -1,0 +1,680 @@
+module Diagnostic = Check.Diagnostic
+
+(* A node is one top-level (or submodule-level) binding in one file,
+   identified as "path#Qualified.name". Resolution is purely
+   syntactic: no type information, so functors and first-class
+   functions stay unresolved (DESIGN.md §15 states the trade-off). *)
+
+type callee = Internal of string | External of string
+
+type reference = {
+  r_parts : string list;
+  r_line : int;
+  r_col : int;
+  r_opens : string list list;
+}
+
+type def = {
+  d_file : string;
+  d_name : string;
+  d_scope : string list;
+  d_line : int;
+  d_col : int;
+  d_rec : bool;
+  mutable d_id : string;
+  mutable d_refs : reference list;
+  mutable d_callees : (callee * int) list;
+}
+
+type t = {
+  g_defs : def list;
+  g_index : (string * string, def) Hashtbl.t;
+  g_by_id : (string, def) Hashtbl.t;
+  g_by_loc : (string * int, def) Hashtbl.t;
+  g_aliases : (string * string, string list) Hashtbl.t;
+  g_sources : (string, Lint.source) Hashtbl.t;
+}
+
+let node_id file name = file ^ "#" ^ name
+
+(* --- path → library mapping -------------------------------------------- *)
+
+let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
+
+(* dune's dir → public-module mapping; lib/check hosts two libraries
+   (the compiler-libs quarantine), split by unit. *)
+let check_units = [ "Diagnostic"; "Artifact" ]
+let check_lint_units = [ "Lint"; "Callgraph"; "Concurrency" ]
+
+let unit_of_file path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let dir_of_file path = Filename.dirname (normalize path)
+
+let lib_publics_of_dir dir =
+  match Filename.basename dir with
+  | "annot" -> [ "Annotation" ]
+  | "check" -> [ "Check"; "Check_lint" ]
+  | d -> [ String.capitalize_ascii d ]
+
+let unit_in_public ~dir ~public unit =
+  match (Filename.basename dir, public) with
+  | "check", "Check" -> List.mem unit check_units
+  | "check", "Check_lint" -> List.mem unit check_lint_units
+  | _ -> true
+
+(* --- collection -------------------------------------------------------- *)
+
+let rec lid_parts = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> lid_parts l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let line_col (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let rec pat_vars (p : Parsetree.pattern) acc =
+  match p.ppat_desc with
+  | Parsetree.Ppat_var { txt; _ } -> txt :: acc
+  | Parsetree.Ppat_alias (q, { txt; _ }) -> pat_vars q (txt :: acc)
+  | Parsetree.Ppat_tuple ps | Parsetree.Ppat_array ps ->
+    List.fold_left (fun a q -> pat_vars q a) acc ps
+  | Parsetree.Ppat_construct (_, Some (_, q)) -> pat_vars q acc
+  | Parsetree.Ppat_variant (_, Some q) -> pat_vars q acc
+  | Parsetree.Ppat_record (fields, _) ->
+    List.fold_left (fun a (_, q) -> pat_vars q a) acc fields
+  | Parsetree.Ppat_or (a, b) -> pat_vars a (pat_vars b acc)
+  | Parsetree.Ppat_constraint (q, _)
+  | Parsetree.Ppat_lazy q
+  | Parsetree.Ppat_exception q
+  | Parsetree.Ppat_open (_, q) ->
+    pat_vars q acc
+  | _ -> acc
+
+let binding_name (p : Parsetree.pattern) =
+  let rec peel (p : Parsetree.pattern) =
+    match p.ppat_desc with
+    | Parsetree.Ppat_var { txt; _ } -> Some txt
+    | Parsetree.Ppat_constraint (q, _) -> peel q
+    | _ -> None
+  in
+  peel p
+
+let is_operator name =
+  name <> ""
+  &&
+  match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> false | _ -> true
+
+type collector = {
+  c_file : string;
+  mutable c_defs : def list;
+  mutable c_cur : def option;
+  mutable c_scope : string list list;
+  mutable c_opens : string list list;
+  mutable c_file_opens : string list list;
+  mutable c_modpath : string list;
+  c_aliases : (string * string, string list) Hashtbl.t;
+}
+
+let in_local_scope c name =
+  List.exists (fun frame -> List.mem name frame) c.c_scope
+
+let record_head c (f : Parsetree.expression) =
+  match f.pexp_desc with
+  | Parsetree.Pexp_ident { txt; loc } -> (
+    match lid_parts txt with
+    | [] -> ()
+    | [ one ] when is_operator one || in_local_scope c one -> ()
+    | parts -> (
+      match c.c_cur with
+      | None -> ()
+      | Some d ->
+        let line, col = line_col loc in
+        let opens = c.c_opens @ List.rev c.c_file_opens in
+        d.d_refs <-
+          { r_parts = parts; r_line = line; r_col = col; r_opens = opens }
+          :: d.d_refs))
+  | _ -> ()
+
+let positional args =
+  List.filter_map
+    (fun (lbl, a) ->
+      match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+    args
+
+let collect_file file (ast : Parsetree.structure) aliases =
+  let c =
+    {
+      c_file = file;
+      c_defs = [];
+      c_cur = None;
+      c_scope = [];
+      c_opens = [];
+      c_file_opens = [];
+      c_modpath = [];
+      c_aliases = aliases;
+    }
+  in
+  let with_frame frame k =
+    c.c_scope <- frame :: c.c_scope;
+    k ();
+    c.c_scope <- List.tl c.c_scope
+  in
+  let expr it (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Parsetree.Pexp_apply (f, args) ->
+      record_head c f;
+      (match f.pexp_desc with
+      | Parsetree.Pexp_ident { txt = Longident.Lident ("|>" | "@@"); _ } -> (
+        let fn_side =
+          match (f.pexp_desc, positional args) with
+          | Parsetree.Pexp_ident { txt = Longident.Lident "|>"; _ }, [ _; g ]
+            ->
+            Some g
+          | Parsetree.Pexp_ident { txt = Longident.Lident "@@"; _ }, [ g; _ ]
+            ->
+            Some g
+          | _ -> None
+        in
+        match fn_side with Some g -> record_head c g | None -> ())
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e
+    | Parsetree.Pexp_fun (_, default, pat, body) ->
+      Option.iter (it.expr it) default;
+      with_frame (pat_vars pat []) (fun () -> it.expr it body)
+    | Parsetree.Pexp_let (rf, vbs, body) ->
+      let bound =
+        List.concat_map
+          (fun (vb : Parsetree.value_binding) -> pat_vars vb.pvb_pat [])
+          vbs
+      in
+      (match rf with
+      | Asttypes.Recursive ->
+        with_frame bound (fun () ->
+            List.iter
+              (fun (vb : Parsetree.value_binding) -> it.expr it vb.pvb_expr)
+              vbs;
+            it.expr it body)
+      | Asttypes.Nonrecursive ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) -> it.expr it vb.pvb_expr)
+          vbs;
+        with_frame bound (fun () -> it.expr it body))
+    | Parsetree.Pexp_match (scrut, cases) | Parsetree.Pexp_try (scrut, cases)
+      ->
+      it.expr it scrut;
+      List.iter
+        (fun (case : Parsetree.case) ->
+          with_frame (pat_vars case.pc_lhs []) (fun () ->
+              Option.iter (it.expr it) case.pc_guard;
+              it.expr it case.pc_rhs))
+        cases
+    | Parsetree.Pexp_function cases ->
+      List.iter
+        (fun (case : Parsetree.case) ->
+          with_frame (pat_vars case.pc_lhs []) (fun () ->
+              Option.iter (it.expr it) case.pc_guard;
+              it.expr it case.pc_rhs))
+        cases
+    | Parsetree.Pexp_for (pat, e1, e2, _, body) ->
+      it.expr it e1;
+      it.expr it e2;
+      with_frame (pat_vars pat []) (fun () -> it.expr it body)
+    | Parsetree.Pexp_open (od, body) -> (
+      match od.popen_expr.pmod_desc with
+      | Parsetree.Pmod_ident { txt; _ } ->
+        c.c_opens <- lid_parts txt :: c.c_opens;
+        it.expr it body;
+        c.c_opens <- List.tl c.c_opens
+      | _ -> it.expr it body)
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  let add_def ?(rec_ = false) name loc =
+    let line, col = line_col loc in
+    let d =
+      {
+        d_file = file;
+        d_name = String.concat "." (c.c_modpath @ [ name ]);
+        d_scope = c.c_modpath;
+        d_line = line;
+        d_col = col;
+        d_rec = rec_;
+        d_id = "";
+        d_refs = [];
+        d_callees = [];
+      }
+    in
+    c.c_defs <- d :: c.c_defs;
+    d
+  in
+  let rec structure_item (item : Parsetree.structure_item) =
+    match item.pstr_desc with
+    | Parsetree.Pstr_value (rf, vbs) ->
+      let rec_ = rf = Asttypes.Recursive in
+      List.iter
+        (fun (vb : Parsetree.value_binding) ->
+          let name =
+            match binding_name vb.pvb_pat with
+            | Some n -> n
+            | None ->
+              Printf.sprintf "(init:%d)" (fst (line_col vb.pvb_loc))
+          in
+          let d = add_def ~rec_ name vb.pvb_loc in
+          let saved = c.c_cur in
+          c.c_cur <- Some d;
+          it.expr it vb.pvb_expr;
+          c.c_cur <- saved)
+        vbs
+    | Parsetree.Pstr_module mb -> module_binding mb
+    | Parsetree.Pstr_recmodule mbs -> List.iter module_binding mbs
+    | Parsetree.Pstr_open od -> (
+      match od.popen_expr.pmod_desc with
+      | Parsetree.Pmod_ident { txt; _ } ->
+        c.c_file_opens <- lid_parts txt :: c.c_file_opens
+      | _ -> ())
+    | Parsetree.Pstr_eval (e, _) ->
+      let d =
+        add_def (Printf.sprintf "(init:%d)" (fst (line_col item.pstr_loc)))
+          item.pstr_loc
+      in
+      let saved = c.c_cur in
+      c.c_cur <- Some d;
+      it.expr it e;
+      c.c_cur <- saved
+    | _ -> ()
+  and module_binding (mb : Parsetree.module_binding) =
+    let name = match mb.pmb_name.txt with Some n -> n | None -> "_" in
+    let rec peel (me : Parsetree.module_expr) =
+      match me.pmod_desc with
+      | Parsetree.Pmod_constraint (inner, _) -> peel inner
+      | d -> d
+    in
+    match peel mb.pmb_expr with
+    | Parsetree.Pmod_ident { txt; _ } ->
+      let dotted = String.concat "." (c.c_modpath @ [ name ]) in
+      Hashtbl.replace c.c_aliases (file, dotted) (lid_parts txt)
+    | Parsetree.Pmod_structure items ->
+      c.c_modpath <- c.c_modpath @ [ name ];
+      List.iter structure_item items;
+      c.c_modpath <-
+        List.filteri (fun i _ -> i < List.length c.c_modpath - 1) c.c_modpath
+    | _ -> ()
+  in
+  List.iter structure_item ast;
+  List.rev c.c_defs
+
+(* --- resolution -------------------------------------------------------- *)
+
+type index = {
+  ix_units : (string * string, string) Hashtbl.t; (* (dir, Unit) -> file *)
+  ix_dirs : (string, string) Hashtbl.t; (* public lib name -> dir *)
+}
+
+let build_index files =
+  let ix = { ix_units = Hashtbl.create 64; ix_dirs = Hashtbl.create 16 } in
+  List.iter
+    (fun file ->
+      let dir = dir_of_file file in
+      let unit = unit_of_file file in
+      Hashtbl.replace ix.ix_units (dir, unit) file;
+      List.iter
+        (fun public -> Hashtbl.replace ix.ix_dirs public dir)
+        (lib_publics_of_dir dir))
+    files;
+  ix
+
+let scope_prefixes scope =
+  (* innermost first, ending with the file's top level *)
+  let rec inits = function
+    | [] -> [ [] ]
+    | _ :: _ as l ->
+      l :: inits (List.filteri (fun i _ -> i < List.length l - 1) l)
+  in
+  inits scope
+
+let pick_def g file dotted ~ref_line ~self =
+  let candidates = Hashtbl.find_all g.g_index (file, dotted) in
+  let eligible d =
+    match self with
+    | Some s when d == s && not s.d_rec -> false
+    | _ -> true
+  in
+  let best p =
+    List.fold_left
+      (fun acc d ->
+        if not (eligible d && p d) then acc
+        else
+          match acc with
+          | Some b when b.d_line >= d.d_line -> acc
+          | _ -> Some d)
+      None candidates
+  in
+  match ref_line with
+  | Some l -> (
+    match best (fun d -> d.d_line <= l) with
+    | Some d -> Some d
+    | None -> best (fun _ -> true) (* forward refs in mutual recursion *))
+  | None -> best (fun _ -> true)
+
+let umbrella_file ix dir =
+  let unit = String.capitalize_ascii (Filename.basename dir) in
+  Hashtbl.find_opt ix.ix_units (dir, unit)
+
+let rec resolve g ix ~ctx_file ~scope ~opens ~ref_line ~self parts depth =
+  if depth > 10 then External (String.concat "." parts)
+  else
+    let dir = dir_of_file ctx_file in
+    let dotted = String.concat "." parts in
+    let try_prefixes f =
+      List.fold_left
+        (fun acc prefix -> match acc with Some _ -> acc | None -> f prefix)
+        None (scope_prefixes scope)
+    in
+    (* 1. definitions in the same file, innermost enclosing module first *)
+    let same_file =
+      try_prefixes (fun prefix ->
+          let qualified = String.concat "." (prefix @ parts) in
+          match pick_def g ctx_file qualified ~ref_line ~self with
+          | Some d -> Some (Internal d.d_id)
+          | None -> None)
+    in
+    match same_file with
+    | Some r -> r
+    | None -> (
+      (* 2. module aliases in the same file (umbrella redirects) *)
+      let via_alias =
+        match parts with
+        | p1 :: rest ->
+          try_prefixes (fun prefix ->
+              let qualified = String.concat "." (prefix @ [ p1 ]) in
+              match Hashtbl.find_opt g.g_aliases (ctx_file, qualified) with
+              | Some target ->
+                Some
+                  (resolve g ix ~ctx_file ~scope ~opens:[] ~ref_line ~self
+                     (target @ rest) (depth + 1))
+              | None -> None)
+        | [] -> None
+      in
+      match via_alias with
+      | Some r -> r
+      | None -> (
+        (* 3. sibling compilation unit of the same library *)
+        let via_unit =
+          match parts with
+          | p1 :: (_ :: _ as rest) -> (
+            match Hashtbl.find_opt ix.ix_units (dir, p1) with
+            | Some file when file <> ctx_file ->
+              Some
+                (resolve g ix ~ctx_file:file ~scope:[] ~opens:[]
+                   ~ref_line:None ~self:None rest (depth + 1))
+            | _ -> None)
+          | _ -> None
+        in
+        match via_unit with
+        | Some r -> r
+        | None -> (
+          (* 4. public library name, with umbrella fallback *)
+          let via_lib =
+            match parts with
+            | public :: (_ :: _ as rest) -> (
+              match Hashtbl.find_opt ix.ix_dirs public with
+              | Some ldir -> (
+                match rest with
+                | unit :: (_ :: _ as inner)
+                  when Hashtbl.mem ix.ix_units (ldir, unit)
+                       && unit_in_public ~dir:ldir ~public unit ->
+                  let file = Hashtbl.find ix.ix_units (ldir, unit) in
+                  Some
+                    (resolve g ix ~ctx_file:file ~scope:[] ~opens:[]
+                       ~ref_line:None ~self:None inner (depth + 1))
+                | _ -> (
+                  match umbrella_file ix ldir with
+                  | Some file when file <> ctx_file ->
+                    Some
+                      (resolve g ix ~ctx_file:file ~scope:[] ~opens:[]
+                         ~ref_line:None ~self:None rest (depth + 1))
+                  | _ -> None))
+              | None -> None)
+            | _ -> None
+          in
+          match via_lib with
+          | Some r -> r
+          | None -> (
+            (* 5. local and file-level opens *)
+            let via_open =
+              List.fold_left
+                (fun acc o ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> (
+                    match
+                      resolve g ix ~ctx_file ~scope ~opens:[] ~ref_line ~self
+                        (o @ parts) (depth + 1)
+                    with
+                    | Internal _ as r -> Some r
+                    | External _ -> None))
+                None opens
+            in
+            match via_open with Some r -> r | None -> External dotted))))
+
+(* --- construction ------------------------------------------------------ *)
+
+let build (sources : Lint.source list) =
+  let g =
+    {
+      g_defs = [];
+      g_index = Hashtbl.create 512;
+      g_by_id = Hashtbl.create 512;
+      g_by_loc = Hashtbl.create 512;
+      g_aliases = Hashtbl.create 64;
+      g_sources = Hashtbl.create 64;
+    }
+  in
+  let parsed =
+    List.filter_map
+      (fun (s : Lint.source) ->
+        Hashtbl.replace g.g_sources (normalize s.Lint.src_path) s;
+        match s.Lint.src_ast with
+        | Some ast -> Some (normalize s.Lint.src_path, ast)
+        | None -> None)
+      sources
+  in
+  let defs =
+    List.concat_map
+      (fun (file, ast) -> collect_file file ast g.g_aliases)
+      parsed
+  in
+  let g = { g with g_defs = defs } in
+  List.iter (fun d -> Hashtbl.add g.g_index (d.d_file, d.d_name) d) defs;
+  (* A shadowed top-level name yields several defs; only the shadowing
+     ones get a "@line" discriminator, so the common case keeps the
+     readable "file#name" id. *)
+  List.iter
+    (fun d ->
+      let dups = Hashtbl.find_all g.g_index (d.d_file, d.d_name) in
+      let latest =
+        List.fold_left (fun acc o -> max acc o.d_line) d.d_line dups
+      in
+      d.d_id <-
+        (if List.length dups > 1 && d.d_line < latest then
+           Printf.sprintf "%s@%d" (node_id d.d_file d.d_name) d.d_line
+         else node_id d.d_file d.d_name);
+      Hashtbl.replace g.g_by_id d.d_id d;
+      Hashtbl.replace g.g_by_loc (d.d_file, d.d_line) d)
+    defs;
+  let ix = build_index (List.map fst parsed) in
+  List.iter
+    (fun d ->
+      d.d_callees <-
+        List.rev_map
+          (fun r ->
+            ( resolve g ix ~ctx_file:d.d_file ~scope:d.d_scope
+                ~opens:r.r_opens ~ref_line:(Some r.r_line) ~self:(Some d)
+                r.r_parts 0,
+              r.r_line ))
+          d.d_refs
+        |> List.sort_uniq compare)
+    defs;
+  g
+
+(* --- queries ----------------------------------------------------------- *)
+
+let node_ids g =
+  List.map (fun d -> d.d_id) g.g_defs |> List.sort_uniq String.compare
+
+let callees g id =
+  match Hashtbl.find_opt g.g_by_id id with
+  | Some d -> d.d_callees
+  | None -> []
+
+let def_info g id =
+  match Hashtbl.find_opt g.g_by_id id with
+  | Some d -> Some (d.d_file, d.d_name, d.d_line, d.d_col)
+  | None -> None
+
+let def_at g ~file ~line =
+  match Hashtbl.find_opt g.g_by_loc (normalize file, line) with
+  | Some d -> Some d.d_id
+  | None -> None
+
+let display_name id =
+  let tail =
+    match String.index_opt id '#' with
+    | Some i -> String.sub id (i + 1) (String.length id - i - 1)
+    | None -> id
+  in
+  match String.index_opt tail '@' with
+  | Some i -> String.sub tail 0 i
+  | None -> tail
+
+(* [reaches g ~id ~leaves] is the witness chain (display names, leaf
+   last) from [id] to the first reachable external in [leaves], found
+   by depth-first search over internal edges in sorted callee order so
+   the witness is deterministic. *)
+let reaches g ~id ~leaves =
+  let visited = Hashtbl.create 64 in
+  let rec walk id =
+    if Hashtbl.mem visited id then None
+    else begin
+      Hashtbl.replace visited id ();
+      let cs = callees g id in
+      let direct =
+        List.find_map
+          (fun (c, _) ->
+            match c with
+            | External e when List.mem e leaves -> Some e
+            | _ -> None)
+          cs
+      in
+      match direct with
+      | Some leaf -> Some [ leaf ]
+      | None ->
+        List.find_map
+          (fun (c, _) ->
+            match c with
+            | Internal next -> (
+              match walk next with
+              | Some chain -> Some (display_name next :: chain)
+              | None -> None)
+            | External _ -> None)
+          cs
+    end
+  in
+  walk id
+
+(* --- transitive ambient-effect closure --------------------------------- *)
+
+type taint = Clean | Tainted of string list | Direct
+
+let transitive_effects g =
+  let source_of file = Hashtbl.find_opt g.g_sources file in
+  let allowed file code line =
+    match source_of file with
+    | Some src -> Lint.is_allowed src ~code ~line
+    | None -> false
+  in
+  let effect_rules =
+    [
+      ("L001", Lint.clock_idents, "the ambient clock");
+      ("L002", Lint.random_idents, "the ambient RNG");
+    ]
+  in
+  List.concat_map
+    (fun (code, leaves, what) ->
+      let memo : (string, taint) Hashtbl.t = Hashtbl.create 256 in
+      let rec taint id =
+        match Hashtbl.find_opt memo id with
+        | Some t -> t
+        | None ->
+          Hashtbl.replace memo id Clean (* cycle guard *);
+          let t =
+            match def_info g id with
+            | None -> Clean
+            | Some (file, _, line, _) ->
+              if allowed file code line then Clean
+              else
+                let cs = callees g id in
+                let direct_leaf =
+                  List.filter_map
+                    (fun (c, l) ->
+                      match c with
+                      | External e when List.mem e leaves -> Some (e, l)
+                      | _ -> None)
+                    cs
+                in
+                let unallowed =
+                  List.filter
+                    (fun (_, l) -> not (allowed file code l))
+                    direct_leaf
+                in
+                if unallowed <> [] then Direct
+                else if direct_leaf <> [] then Clean
+                else
+                  List.fold_left
+                    (fun acc (c, l) ->
+                      match (acc, c) with
+                      | (Tainted _ | Direct), _ -> acc
+                      | Clean, Internal next ->
+                        if allowed file code l then Clean
+                        else (
+                          match taint next with
+                          | Clean -> Clean
+                          | Tainted chain ->
+                            Tainted (display_name next :: chain)
+                          | Direct -> (
+                            match
+                              reaches g ~id:next ~leaves
+                            with
+                            | Some chain ->
+                              Tainted (display_name next :: chain)
+                            | None -> Tainted [ display_name next ]))
+                      | Clean, External _ -> Clean)
+                    Clean cs
+          in
+          Hashtbl.replace memo id t;
+          t
+      in
+      List.filter_map
+        (fun id ->
+          match taint id with
+          | Clean | Direct -> None
+          | Tainted chain -> (
+            match def_info g id with
+            | None -> None
+            | Some (file, name, line, col) ->
+              Some
+                (Diagnostic.v ~code ~severity:Diagnostic.Error ~file ~line
+                   ~col
+                   (Printf.sprintf
+                      "%s reaches %s through the call chain %s; route \
+                       through the sanctioned shim or add a reasoned allow \
+                       at this boundary"
+                      name what
+                      (String.concat " -> " (name :: chain))))))
+        (node_ids g))
+    effect_rules
+  |> List.sort Diagnostic.compare
+
+let source g file = Hashtbl.find_opt g.g_sources (normalize file)

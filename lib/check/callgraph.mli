@@ -1,0 +1,77 @@
+(** Cross-module call graph over the repository's own sources.
+
+    Built from already-parsed {!Lint.source}s (one parse per file,
+    shared with every other lint pass), the graph records, for each
+    top-level or submodule-level binding, the identifiers it applies.
+    Module-qualified heads are resolved syntactically across the tree:
+    same-file definitions first (innermost enclosing module, latest
+    preceding binding — so top-level shadowing and local rebinding
+    behave like the compiler), then [module X = Y] aliases, then
+    sibling units of the same dune library, then public library names
+    ([Streaming.Server.prepare], with umbrella modules like [Obs]
+    redirected through their aliases), then any [open]s in scope.
+    Anything that survives all of that is an {!External} leaf
+    ([Unix.gettimeofday], [List.map], …).
+
+    The model is deliberately an over-approximation with known blind
+    spots — functors, first-class functions, and method calls are not
+    resolved, and identifiers passed as arguments (rather than
+    applied) do not create edges. DESIGN.md §15 argues why that
+    trade-off (plus reasoned allows) is right for a repo-local gate.
+
+    The graph powers two whole-tree passes: the transitive closure of
+    the L001/L002 ambient-effect rules ({!transitive_effects}) and the
+    blocking-reachability / lock-order analyses in {!Concurrency}. *)
+
+type t
+
+type callee =
+  | Internal of string
+      (** a node id: ["path#Qualified.name"], with ["@line"] appended
+          when a top-level name is shadowed in its file *)
+  | External of string  (** a dotted path the tree does not define *)
+
+val build : Lint.source list -> t
+(** Collect definitions and resolve every application head. Sources
+    that failed to parse contribute no nodes. *)
+
+val node_id : string -> string -> string
+(** [node_id file name] is the id of [name] defined in [file]. *)
+
+val node_ids : t -> string list
+(** Every node id, sorted. *)
+
+val callees : t -> string -> (callee * int) list
+(** Resolved application heads of a node with their call lines,
+    deduplicated and sorted. Unknown ids yield []. *)
+
+val def_info : t -> string -> (string * string * int * int) option
+(** [(file, qualified name, line, col)] of a node's definition. *)
+
+val def_at : t -> file:string -> line:int -> string option
+(** The id of the definition starting on [line] of [file], if any —
+    how {!Concurrency} maps the binding it is walking back to its
+    graph node. *)
+
+val display_name : string -> string
+(** The human-readable name of a node id (the part after ["#"],
+    without any shadowing discriminator). *)
+
+val reaches : t -> id:string -> leaves:string list -> string list option
+(** Deterministic witness chain (display names, external leaf last)
+    from [id] to the first reachable external in [leaves], or [None].
+    Used both by the effect closure and by the concurrency pass's
+    blocking-reachability check. *)
+
+val transitive_effects : t -> Check.Diagnostic.t list
+(** The transitive closure of L001/L002: a function that reaches
+    [Unix.gettimeofday]/[Sys.time] or the global [Random] entry points
+    through any resolved call chain is flagged at its own definition
+    line, with the witness chain in the message. A reasoned
+    [lint: allow] at the leaf call, at an intermediate call site, or
+    on a function's definition line is a trust boundary that stops
+    propagation — the direct-call diagnostics themselves remain the
+    per-file pass's job, so nothing is reported twice. Sorted. *)
+
+val source : t -> string -> Lint.source option
+(** The parsed source for a path, if it was part of {!build}. *)

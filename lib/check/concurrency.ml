@@ -1,0 +1,1151 @@
+module Diagnostic = Check.Diagnostic
+
+(* Static concurrency-safety pass (the C-rules). Works on the shared
+   parsed sources plus the cross-module call graph:
+
+   - C001  module-level mutable state (mutable fields, [ref]/
+           [Hashtbl.t]/[Queue.t]/[Buffer.t] containers) in a
+           par-linked library must be [Atomic.t] or carry a
+           [(* guarded_by: <mutex> *)] / [(* owned_by: <reason> *)]
+           annotation.
+   - C002  a [guarded_by] field accessed in a region that does not
+           hold its mutex (the double-checked-locking gate).
+   - C003  a raw [Mutex.lock] with no matching [Mutex.unlock] in the
+           same top-level binding.
+   - C004  a blocking operation — acquiring another lock, waiting on
+           a foreign condition, [Domain.join], or any call that
+           transitively reaches one — while already holding a lock.
+   - C005  a cycle in the lock-order graph (mutex A held while B is
+           acquired on one path, B held while A is acquired on
+           another).
+   - C006  [Domain]/[Atomic]/[Mutex]/[Condition] primitives outside
+           the sanctioned modules.
+
+   Lock regions are tracked through raw lock/unlock pairs,
+   [Mutex.protect], and per-file lock-helper inference: a top-level
+   function whose body starts with [Mutex.lock] on its first
+   parameter (server-style [with_lock m f]) or on a field of it
+   (registry-style [with_lock t f], which locks [t.mutex]) is a
+   helper, and closures passed to it are walked holding the token.
+   Held-set merging is by intersection over non-diverging branches;
+   a branch that ends in [raise]/[failwith]/[invalid_arg] is excluded
+   (the pool's early-exit unlock pattern). [Condition.wait] on a held
+   mutex is the sanctioned wait idiom and is exempt from C004.
+
+   Everything here is an over-approximation in the same spirit as the
+   L-rules: no types, no aliasing, tokens are the last path component
+   of the mutex expression (file-qualified in the lock-order graph).
+   Findings that reflect a deliberate design (journaling under the
+   admission lock, profiling under the clip lock) carry reasoned
+   [lint: allow] suppressions at the site. *)
+
+type rule = Lint.rule = { code : string; title : string; lib_only : bool }
+
+let rules =
+  [
+    { code = "C001"; title = "unguarded module-level mutable state"; lib_only = true };
+    { code = "C002"; title = "guarded field accessed without its mutex"; lib_only = false };
+    { code = "C003"; title = "lock not released on every path"; lib_only = false };
+    { code = "C004"; title = "blocking operation while holding a lock"; lib_only = false };
+    { code = "C005"; title = "lock-order cycle"; lib_only = false };
+    { code = "C006"; title = "concurrency primitive outside sanctioned modules"; lib_only = false };
+  ]
+
+(* --- scopes ------------------------------------------------------------ *)
+
+let normalize path = String.map (fun c -> if c = '\\' then '/' else c) path
+
+(* Libraries whose code runs on pool domains: the pool itself, the
+   server tier that fans out on it, the annotation pipeline it maps
+   over, and the obs/resilience singletons every domain touches. *)
+let par_linked_dirs =
+  [ "lib/par/"; "lib/streaming/"; "lib/obs/"; "lib/resilience/"; "lib/annot/" ]
+
+(* Where raw Domain/Atomic/Mutex/Condition primitives may appear.
+   Everything else goes through Par.Pool / Obs / Resilience. *)
+let sanctioned_primitive_dirs = [ "lib/par/"; "lib/obs/"; "lib/resilience/" ]
+
+let sanctioned_primitive_files = [ "lib/streaming/server.ml" ]
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let par_linked path =
+  let p = normalize path in
+  List.exists (fun d -> contains ~needle:d p) par_linked_dirs
+
+let primitives_sanctioned path =
+  let p = normalize path in
+  List.exists (fun d -> contains ~needle:d p) sanctioned_primitive_dirs
+  || List.exists
+       (fun f -> String.ends_with ~suffix:f p)
+       sanctioned_primitive_files
+
+let primitive_modules = [ "Domain"; "Atomic"; "Mutex"; "Condition" ]
+
+let mutable_ctors = [ "ref"; "Hashtbl.create"; "Queue.create"; "Buffer.create" ]
+
+let container_types = [ "ref"; "Hashtbl.t"; "Queue.t"; "Buffer.t" ]
+
+let blocking_leaves =
+  [ "Mutex.lock"; "Mutex.protect"; "Condition.wait"; "Domain.join" ]
+
+(* --- small AST helpers ------------------------------------------------- *)
+
+let rec lid_parts = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> lid_parts l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let last = function [] -> "?" | l -> List.nth l (List.length l - 1)
+
+let ident_parts (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> (
+    match lid_parts txt with [] -> None | parts -> Some parts)
+  | _ -> None
+
+let ident_name e = Option.map (String.concat ".") (ident_parts e)
+
+let line_col (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let positional args =
+  List.filter_map
+    (fun (lbl, a) -> match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+    args
+
+(* The last path component of a mutex expression is its token:
+   [stored.lock] and [t.cache_lock] name the mutex well enough for a
+   per-file discipline check. Unknown shapes collapse to "?" — still
+   tracked as "some lock held", never matched by name. *)
+let rec mutex_token (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_ident { txt; _ } -> last (lid_parts txt)
+  | Parsetree.Pexp_field (_, { txt; _ }) -> last (lid_parts txt)
+  | Parsetree.Pexp_constraint (inner, _) | Parsetree.Pexp_open (_, inner) ->
+    mutex_token inner
+  | _ -> "?"
+
+let strip_delims text =
+  let text =
+    if String.length text >= 2 && String.sub text 0 2 = "(*" then
+      String.sub text 2 (String.length text - 2)
+    else text
+  in
+  let text =
+    if String.length text >= 2
+       && String.sub text (String.length text - 2) 2 = "*)"
+    then String.sub text 0 (String.length text - 2)
+    else text
+  in
+  String.trim text
+
+(* --- guarded_by / owned_by annotations --------------------------------- *)
+
+type annot_kind = Guarded of string | Owned
+
+type annot = { n_kind : annot_kind; n_first : int; n_last : int }
+
+(* The token is the leading identifier-ish run: a trailing comma or
+   semicolon in prose ("guarded_by: mutex, newest first") is not part
+   of the mutex name. *)
+let first_word s =
+  let s = String.trim s in
+  let is_ident c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '\'' || c = '.'
+  in
+  let n = String.length s in
+  let rec stop i = if i < n && is_ident s.[i] then stop (i + 1) else i in
+  match stop 0 with 0 -> None | k -> Some (String.sub s 0 k)
+
+let parse_annots (src : Lint.source) =
+  List.filter_map
+    (fun (text, (loc : Location.t)) ->
+      let body = strip_delims text in
+      let first, _ = line_col loc in
+      let n_last = loc.Location.loc_end.Lexing.pos_lnum in
+      if String.starts_with ~prefix:"guarded_by:" body then
+        let rest = String.sub body 11 (String.length body - 11) in
+        Option.map
+          (fun tok -> { n_kind = Guarded tok; n_first = first; n_last })
+          (first_word rest)
+      else if String.starts_with ~prefix:"owned_by:" body then
+        let rest = String.sub body 9 (String.length body - 9) in
+        Option.map
+          (fun _ -> { n_kind = Owned; n_first = first; n_last })
+          (first_word rest)
+      else None)
+    src.Lint.src_comments
+
+(* An annotation attaches to the declaration on its own first line
+   (trailing style), directly below its last line (leading style), or
+   directly above its first line (continuation style) — but a comment
+   that *starts* on some declaration's line belongs to that
+   declaration alone, so a trailing [guarded_by] never bleeds onto
+   the next field. [decl_lines] is the set of lines any field or
+   top-level let starts on. *)
+let annot_covering annots ~decl_lines line =
+  List.find_opt
+    (fun n ->
+      n.n_first = line
+      || ((not (Hashtbl.mem decl_lines n.n_first))
+         && (n.n_last + 1 = line || n.n_first = line + 1)))
+    annots
+
+(* --- module-level state survey (C001) ---------------------------------- *)
+
+let rec type_head (t : Parsetree.core_type) =
+  match t.ptyp_desc with
+  | Parsetree.Ptyp_constr ({ txt; _ }, _) ->
+    Some (String.concat "." (lid_parts txt))
+  | Parsetree.Ptyp_alias (inner, _) -> type_head inner
+  | _ -> None
+
+let is_atomic t = type_head t = Some "Atomic.t"
+
+let is_container t =
+  match type_head t with
+  | Some h -> List.mem h container_types
+  | None -> false
+
+type field_info = {
+  fi_name : string;
+  fi_line : int;
+  fi_col : int;
+  fi_offending : bool;
+}
+
+type record_info = { ri_header : int; ri_fields : field_info list }
+
+let record_infos ast =
+  let records = ref [] in
+  let typ (decl : Parsetree.type_declaration) =
+    match decl.ptype_kind with
+    | Parsetree.Ptype_record labels ->
+      let header, _ = line_col decl.ptype_loc in
+      let fields =
+        List.map
+          (fun (l : Parsetree.label_declaration) ->
+            let line, col = line_col l.pld_loc in
+            {
+              fi_name = l.pld_name.txt;
+              fi_line = line;
+              fi_col = col;
+              fi_offending =
+                (not (is_atomic l.pld_type))
+                && (l.pld_mutable = Asttypes.Mutable
+                   || is_container l.pld_type);
+            })
+          labels
+      in
+      records := { ri_header = header; ri_fields = fields } :: !records
+    | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration = (fun _ decl -> typ decl);
+    }
+  in
+  it.structure it ast;
+  List.rev !records
+
+(* Top-level (structure-level, including submodules) lets whose RHS is
+   a mutable container constructor. *)
+type toplet_info = { tl_name : string; tl_line : int; tl_col : int }
+
+let toplet_infos ast =
+  let lets = ref [] in
+  let rec rhs_is_mutable (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Parsetree.Pexp_apply (f, _) -> (
+      match ident_name f with
+      | Some n -> List.mem n mutable_ctors
+      | None -> false)
+    | Parsetree.Pexp_constraint (inner, _) -> rhs_is_mutable inner
+    | _ -> false
+  in
+  let rec item (i : Parsetree.structure_item) =
+    match i.pstr_desc with
+    | Parsetree.Pstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : Parsetree.value_binding) ->
+          match vb.pvb_pat.ppat_desc with
+          | Parsetree.Ppat_var { txt; _ } when rhs_is_mutable vb.pvb_expr ->
+            let line, col = line_col vb.pvb_loc in
+            lets := { tl_name = txt; tl_line = line; tl_col = col } :: !lets
+          | _ -> ())
+        vbs
+    | Parsetree.Pstr_module mb -> module_binding mb
+    | Parsetree.Pstr_recmodule mbs -> List.iter module_binding mbs
+    | _ -> ()
+  and module_binding (mb : Parsetree.module_binding) =
+    let rec peel (me : Parsetree.module_expr) =
+      match me.pmod_desc with
+      | Parsetree.Pmod_constraint (inner, _) -> peel inner
+      | d -> d
+    in
+    match peel mb.pmb_expr with
+    | Parsetree.Pmod_structure items -> List.iter item items
+    | _ -> ()
+  in
+  List.iter item ast;
+  List.rev !lets
+
+(* --- lock-helper inference --------------------------------------------- *)
+
+type helper =
+  | Arg_mutex  (** [with_lock m f]: locks its first parameter *)
+  | Field_mutex of string  (** [with_lock t f]: locks a field of it *)
+  | Global_mutex of string  (** [with_lock f]: locks a module-level mutex *)
+
+let rec peel_funs (e : Parsetree.expression) params =
+  match e.pexp_desc with
+  | Parsetree.Pexp_fun (_, _, pat, body) -> (
+    match pat.ppat_desc with
+    | Parsetree.Ppat_var { txt; _ } -> peel_funs body (txt :: params)
+    | _ -> peel_funs body ("_" :: params))
+  | _ -> (List.rev params, e)
+
+let infer_helpers ast =
+  let helpers = Hashtbl.create 4 in
+  let rec item (i : Parsetree.structure_item) =
+    match i.pstr_desc with
+    | Parsetree.Pstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : Parsetree.value_binding) ->
+          match vb.pvb_pat.ppat_desc with
+          | Parsetree.Ppat_var { txt = name; _ } -> (
+            let params, body = peel_funs vb.pvb_expr [] in
+            match (params, body.pexp_desc) with
+            | ( p0 :: rest,
+                Parsetree.Pexp_sequence ({ pexp_desc = Parsetree.Pexp_apply (f, args); _ }, _) )
+              when ident_name f = Some "Mutex.lock" -> (
+              match positional args with
+              | [ { pexp_desc = Parsetree.Pexp_ident { txt = Longident.Lident p; _ }; _ } ]
+                when p = p0 && rest <> [] ->
+                Hashtbl.replace helpers name Arg_mutex
+              | [
+               {
+                 pexp_desc =
+                   Parsetree.Pexp_field
+                     ( { pexp_desc = Parsetree.Pexp_ident { txt = Longident.Lident p; _ }; _ },
+                       { txt = fld; _ } );
+                 _;
+               };
+              ]
+                when p = p0 && rest <> [] ->
+                Hashtbl.replace helpers name (Field_mutex (last (lid_parts fld)))
+              | [ m ] when not (List.mem (mutex_token m) (p0 :: rest)) ->
+                Hashtbl.replace helpers name (Global_mutex (mutex_token m))
+              | _ -> ())
+            | _ -> ())
+          | _ -> ())
+        vbs
+    | Parsetree.Pstr_module mb -> module_binding mb
+    | Parsetree.Pstr_recmodule mbs -> List.iter module_binding mbs
+    | _ -> ()
+  and module_binding (mb : Parsetree.module_binding) =
+    let rec peel (me : Parsetree.module_expr) =
+      match me.pmod_desc with
+      | Parsetree.Pmod_constraint (inner, _) -> peel inner
+      | d -> d
+    in
+    match peel mb.pmb_expr with
+    | Parsetree.Pmod_structure items -> List.iter item items
+    | _ -> ()
+  in
+  List.iter item ast;
+  helpers
+
+(* --- the per-def walk -------------------------------------------------- *)
+
+type pending = {
+  p_def : string;  (* node id of the holder *)
+  p_held : (string * string) list;  (* (file, token) held at the call *)
+  p_target : string;  (* node id of the callee *)
+  p_display : string;
+  p_line : int;
+  p_col : int;
+  p_file : string;
+}
+
+type state = {
+  st_graph : Callgraph.t;
+  st_diags : Diagnostic.t list ref;
+  st_pending : pending list ref;
+  st_acquires : (string, (string * string) list ref) Hashtbl.t;
+  st_edges :
+    ((string * string) * (string * string) * (string * int)) list ref;
+      (* (held, acquired, site) *)
+}
+
+let emit st ~code ~file ~line ~col message =
+  st.st_diags :=
+    Diagnostic.v ~code ~severity:Diagnostic.Error ~file ~line ~col message
+    :: !(st.st_diags)
+
+let add_acquire st def_id tok =
+  match Hashtbl.find_opt st.st_acquires def_id with
+  | Some l -> if not (List.mem tok !l) then l := tok :: !l
+  | None -> Hashtbl.add st.st_acquires def_id (ref [ tok ])
+
+let intersect a b = List.filter (fun x -> List.mem x b) a
+
+let diverging_ident = function
+  | Some ("raise" | "raise_notrace" | "failwith" | "invalid_arg") -> true
+  | _ -> false
+
+type defctx = {
+  dc_state : state;
+  dc_file : string;
+  dc_id : string;
+  dc_is_helper : bool;
+  dc_helpers : (string, helper) Hashtbl.t;
+  dc_guarded : (string, string) Hashtbl.t;  (* field name -> token *)
+  dc_guarded_lets : (string, string) Hashtbl.t;  (* top-level let -> token *)
+  dc_seen : (string, unit) Hashtbl.t;  (* per-def dedup keys *)
+  dc_locks : (string, int ref * int ref * (int * int)) Hashtbl.t;
+}
+
+let once dc key f = if not (Hashtbl.mem dc.dc_seen key) then begin
+    Hashtbl.add dc.dc_seen key ();
+    f ()
+  end
+
+let prim_check dc name (loc : Location.t) =
+  match String.index_opt name '.' with
+  | Some i
+    when List.mem (String.sub name 0 i) primitive_modules
+         && not (primitives_sanctioned dc.dc_file) ->
+    let line, col = line_col loc in
+    emit dc.dc_state ~code:"C006" ~file:dc.dc_file ~line ~col
+      (Printf.sprintf
+         "%s is a raw concurrency primitive outside the sanctioned modules \
+          (lib/par, lib/obs, lib/resilience, the server); route through \
+          Par.Pool or the obs/resilience wrappers"
+         name)
+  | _ -> ()
+
+let guarded_check_in dc table held name (loc : Location.t) =
+  match Hashtbl.find_opt table name with
+  | Some tok when not (List.mem tok held) ->
+    once dc ("C002:" ^ name) (fun () ->
+        let line, col = line_col loc in
+        emit dc.dc_state ~code:"C002" ~file:dc.dc_file ~line ~col
+          (Printf.sprintf
+             "%s is declared guarded_by %s but is accessed here without \
+              holding it; take the mutex (or move the access inside the \
+              locked region)"
+             name tok))
+  | _ -> ()
+
+(* Field accesses check the field table; bare identifiers check only
+   the top-level-let table — a bare ident that happens to share a
+   guarded field's name is a shadowing local or parameter, not the
+   field. *)
+let guarded_check dc held name loc = guarded_check_in dc dc.dc_guarded held name loc
+
+let guarded_let_check dc held name loc =
+  guarded_check_in dc dc.dc_guarded_lets held name loc
+
+let count_lock dc tok (loc : Location.t) =
+  let site = line_col loc in
+  match Hashtbl.find_opt dc.dc_locks tok with
+  | Some (l, _, _) -> incr l
+  | None -> Hashtbl.add dc.dc_locks tok (ref 1, ref 0, site)
+
+let count_unlock dc tok =
+  match Hashtbl.find_opt dc.dc_locks tok with
+  | Some (_, u, _) -> incr u
+  | None -> Hashtbl.add dc.dc_locks tok (ref 0, ref 1, (0, 0))
+
+let acquire_while_held dc held tok (loc : Location.t) =
+  let line, col = line_col loc in
+  if held <> [] then begin
+    once dc ("C004:acq:" ^ tok) (fun () ->
+        emit dc.dc_state ~code:"C004" ~file:dc.dc_file ~line ~col
+          (Printf.sprintf
+             "acquires %s while already holding %s; nested acquisition \
+              blocks and risks lock-order inversion — narrow the outer \
+              region or document the ordering with an allow"
+             tok
+             (String.concat ", " held)));
+    List.iter
+      (fun h ->
+        dc.dc_state.st_edges :=
+          ( (dc.dc_file, h),
+            (dc.dc_file, tok),
+            (dc.dc_file, line) )
+          :: !(dc.dc_state.st_edges))
+      held
+  end;
+  if not dc.dc_is_helper then add_acquire dc.dc_state dc.dc_id (dc.dc_file, tok)
+
+let internal_target dc parts (loc : Location.t) =
+  let line = fst (line_col loc) in
+  let callee_last = last parts in
+  Callgraph.callees dc.dc_state.st_graph dc.dc_id
+  |> List.find_map (fun (c, l) ->
+         match c with
+         | Callgraph.Internal id when l = line ->
+           let dn = Callgraph.display_name id in
+           let dn_last = last (String.split_on_char '.' dn) in
+           if dn_last = callee_last then Some id else None
+         | _ -> None)
+
+let closure_body (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_fun (_, _, _, body) -> Some body
+  | Parsetree.Pexp_function _ -> Some e
+  | _ -> None
+
+(* walk returns (held-after, diverges). [held] is a list of short
+   tokens; the enclosing file qualifies them in the lock-order
+   graph. *)
+let rec walk dc held (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_ident { txt; loc } ->
+    let name = String.concat "." (lid_parts txt) in
+    prim_check dc name loc;
+    (match lid_parts txt with
+    | [ one ] -> guarded_let_check dc held one loc
+    | _ -> ());
+    (held, false)
+  | Parsetree.Pexp_field (inner, { txt; loc }) ->
+    guarded_check dc held (last (lid_parts txt)) loc;
+    let held, _ = walk dc held inner in
+    (held, false)
+  | Parsetree.Pexp_setfield (inner, { txt; loc }, value) ->
+    guarded_check dc held (last (lid_parts txt)) loc;
+    let held, _ = walk dc held inner in
+    let held, _ = walk dc held value in
+    (held, false)
+  | Parsetree.Pexp_apply (f, args) -> walk_apply dc held e f args
+  | Parsetree.Pexp_sequence (a, b) ->
+    let held, da = walk dc held a in
+    let held, db = walk dc held b in
+    (held, da || db)
+  | Parsetree.Pexp_let (rf, vbs, body) ->
+    ignore rf;
+    let held =
+      List.fold_left
+        (fun h (vb : Parsetree.value_binding) -> fst (walk dc h vb.pvb_expr))
+        held vbs
+    in
+    walk dc held body
+  | Parsetree.Pexp_ifthenelse (cond, then_, else_) ->
+    let held, _ = walk dc held cond in
+    let ht, dt = walk dc held then_ in
+    let he, de =
+      match else_ with Some e -> walk dc held e | None -> (held, false)
+    in
+    if dt && de then (held, true)
+    else if dt then (he, false)
+    else if de then (ht, false)
+    else (intersect ht he, false)
+  | Parsetree.Pexp_match (scrut, cases) | Parsetree.Pexp_try (scrut, cases) ->
+    let held, _ = walk dc held scrut in
+    let results =
+      List.map
+        (fun (case : Parsetree.case) ->
+          (match case.pc_guard with
+          | Some g -> ignore (walk dc held g)
+          | None -> ());
+          walk dc held case.pc_rhs)
+        cases
+    in
+    let live = List.filter (fun (_, d) -> not d) results in
+    if live = [] then (held, cases <> [])
+    else
+      ( List.fold_left (fun acc (h, _) -> intersect acc h) (fst (List.hd live)) (List.tl live),
+        false )
+  | Parsetree.Pexp_function cases ->
+    List.iter
+      (fun (case : Parsetree.case) ->
+        (match case.pc_guard with
+        | Some g -> ignore (walk dc held g)
+        | None -> ());
+        ignore (walk dc held case.pc_rhs))
+      cases;
+    (held, false)
+  | Parsetree.Pexp_fun (_, default, _, body) ->
+    Option.iter (fun d -> ignore (walk dc held d)) default;
+    ignore (walk dc held body);
+    (held, false)
+  | Parsetree.Pexp_while (cond, body) ->
+    ignore (walk dc held cond);
+    ignore (walk dc held body);
+    (held, false)
+  | Parsetree.Pexp_for (_, e1, e2, _, body) ->
+    ignore (walk dc held e1);
+    ignore (walk dc held e2);
+    ignore (walk dc held body);
+    (held, false)
+  | Parsetree.Pexp_constraint (inner, _)
+  | Parsetree.Pexp_open (_, inner)
+  | Parsetree.Pexp_letmodule (_, _, inner) ->
+    walk dc held inner
+  | Parsetree.Pexp_assert { pexp_desc = Parsetree.Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ } ->
+    (held, true)
+  | _ ->
+    (* Shallow default: walk immediate subexpressions with the current
+       held set; their lock effects do not escape. *)
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr = (fun _ child -> ignore (walk dc held child));
+      }
+    in
+    Ast_iterator.default_iterator.expr it e;
+    (held, false)
+
+and walk_apply dc held e f args =
+  let name = ident_name f in
+  let pos = positional args in
+  let walk_all held exprs =
+    List.fold_left (fun h a -> fst (walk dc h a)) held exprs
+  in
+  let walk_labelled_only () =
+    List.iter
+      (fun (lbl, a) ->
+        match lbl with
+        | Asttypes.Nolabel -> ()
+        | _ -> ignore (walk dc held a))
+      args
+  in
+  ignore walk_labelled_only;
+  match name with
+  | Some n when diverging_ident name ->
+    ignore n;
+    ignore (walk_all held pos);
+    (held, true)
+  | Some "Mutex.lock" -> (
+    prim_check dc "Mutex.lock" f.pexp_loc;
+    match pos with
+    | m :: _ ->
+      let tok = mutex_token m in
+      ignore (walk dc held m);
+      acquire_while_held dc held tok e.pexp_loc;
+      count_lock dc tok e.pexp_loc;
+      ((if List.mem tok held then held else tok :: held), false)
+    | [] -> (held, false))
+  | Some "Mutex.unlock" -> (
+    prim_check dc "Mutex.unlock" f.pexp_loc;
+    match pos with
+    | m :: _ ->
+      let tok = mutex_token m in
+      ignore (walk dc held m);
+      count_unlock dc tok;
+      (List.filter (fun t -> t <> tok) held, false)
+    | [] -> (held, false))
+  | Some "Mutex.protect" -> (
+    prim_check dc "Mutex.protect" f.pexp_loc;
+    match pos with
+    | m :: rest ->
+      let tok = mutex_token m in
+      ignore (walk dc held m);
+      acquire_while_held dc held tok e.pexp_loc;
+      List.iter
+        (fun arg ->
+          match closure_body arg with
+          | Some body -> ignore (walk dc (tok :: held) body)
+          | None -> ignore (walk dc held arg))
+        rest;
+      (held, false)
+    | [] -> (held, false))
+  | Some "Condition.wait" ->
+    prim_check dc "Condition.wait" f.pexp_loc;
+    (match pos with
+    | [ _; m ] ->
+      let tok = mutex_token m in
+      if (not (List.mem tok held)) && held <> [] then
+        once dc ("C004:wait:" ^ tok) (fun () ->
+            let line, col = line_col e.pexp_loc in
+            emit dc.dc_state ~code:"C004" ~file:dc.dc_file ~line ~col
+              (Printf.sprintf
+                 "Condition.wait on %s while holding %s; waiting releases \
+                  only its own mutex, so the held lock blocks every peer \
+                  until the wait returns"
+                 tok
+                 (String.concat ", " held)))
+    | _ -> ());
+    ignore (walk_all held pos);
+    (held, false)
+  | Some "Domain.join" ->
+    prim_check dc "Domain.join" f.pexp_loc;
+    if held <> [] then
+      once dc "C004:join" (fun () ->
+          let line, col = line_col e.pexp_loc in
+          emit dc.dc_state ~code:"C004" ~file:dc.dc_file ~line ~col
+            (Printf.sprintf
+               "Domain.join while holding %s blocks the lock for the \
+                joined domain's entire remaining runtime"
+               (String.concat ", " held)));
+    ignore (walk_all held pos);
+    (held, false)
+  | Some n when (match ident_parts f with Some [ h ] -> Hashtbl.mem dc.dc_helpers h | _ -> false) -> (
+    let helper =
+      match ident_parts f with
+      | Some [ h ] -> Hashtbl.find dc.dc_helpers h
+      | _ -> assert false
+    in
+    ignore n;
+    match helper with
+    | Global_mutex tok ->
+      acquire_while_held dc held tok e.pexp_loc;
+      List.iter
+        (fun arg ->
+          match closure_body arg with
+          | Some body -> ignore (walk dc (tok :: held) body)
+          | None -> ignore (walk dc held arg))
+        pos;
+      (held, false)
+    | Arg_mutex | Field_mutex _ -> (
+      match pos with
+      | m :: rest ->
+        let tok =
+          match helper with
+          | Arg_mutex -> mutex_token m
+          | Field_mutex fld -> fld
+          | Global_mutex _ -> assert false
+        in
+        ignore (walk dc held m);
+        acquire_while_held dc held tok e.pexp_loc;
+        List.iter
+          (fun arg ->
+            match closure_body arg with
+            | Some body -> ignore (walk dc (tok :: held) body)
+            | None -> ignore (walk dc held arg))
+          rest;
+        (held, false)
+      | [] -> (held, false)))
+  | Some n ->
+    prim_check dc n f.pexp_loc;
+    (match ident_parts f with
+    | Some [ one ] -> guarded_let_check dc held one f.pexp_loc
+    | _ -> ());
+    (* Pipe operators apply their function-side argument. *)
+    (match (n, pos) with
+    | "|>", [ _; g ] | "@@", [ g; _ ] -> (
+      match ident_parts g with
+      | Some gparts when held <> [] ->
+        record_pending dc held gparts g.pexp_loc
+      | _ -> ())
+    | _ -> ());
+    (match ident_parts f with
+    | Some parts when held <> [] -> record_pending dc held parts f.pexp_loc
+    | _ -> ());
+    (* Arguments, including closures, are walked with the current held
+       set (a lambda passed under a lock runs under that lock for all
+       this pass can tell). *)
+    ignore (walk_all held (List.map snd args));
+    (held, false)
+  | None ->
+    ignore (walk dc held f);
+    List.iter (fun (_, a) -> ignore (walk dc held a)) args;
+    (held, false)
+
+and record_pending dc held parts (loc : Location.t) =
+  match internal_target dc parts loc with
+  | Some target ->
+    let line, col = line_col loc in
+    dc.dc_state.st_pending :=
+      {
+        p_def = dc.dc_id;
+        p_held = List.map (fun t -> (dc.dc_file, t)) held;
+        p_target = target;
+        p_display = String.concat "." parts;
+        p_line = line;
+        p_col = col;
+        p_file = dc.dc_file;
+      }
+      :: !(dc.dc_state.st_pending)
+  | None -> ()
+
+(* --- per-source analysis ----------------------------------------------- *)
+
+let rec binding_name (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Parsetree.Ppat_var { txt; _ } -> Some txt
+  | Parsetree.Ppat_constraint (inner, _) -> binding_name inner
+  | _ -> None
+
+(* A field name maps to its mutex only when every guarded declaration
+   of that name in the file agrees on the token and no other record
+   declares the same name unguarded — name-keyed matching must not
+   cross records with clashing vocabularies. *)
+(* Every line on which a field or module-level container declaration
+   starts: the annotation-attachment rules use it to keep a trailing
+   comment from bleeding onto the next declaration. *)
+let decl_lines_of records toplets =
+  let lines = Hashtbl.create 16 in
+  List.iter
+    (fun r -> List.iter (fun fi -> Hashtbl.replace lines fi.fi_line ()) r.ri_fields)
+    records;
+  List.iter (fun tl -> Hashtbl.replace lines tl.tl_line ()) toplets;
+  lines
+
+let resolve_votes votes =
+  let map = Hashtbl.create 8 in
+  (* lint: allow L003 table-to-table seed, order-insensitive *)
+  Hashtbl.iter
+    (fun name entries ->
+      match entries with
+      | Some tok :: rest when List.for_all (fun e -> e = Some tok) rest ->
+        Hashtbl.replace map name tok
+      | _ -> ())
+    votes;
+  map
+
+(* Two guard tables: record fields and top-level lets are looked up
+   from different expression shapes, so a name maps to its mutex only
+   within its own kind — and only when every guarded declaration of
+   that name in the file agrees on the token and no declaration of the
+   same name is unguarded. Name-keyed matching must not cross records
+   with clashing vocabularies. *)
+let guarded_maps annots ~decl_lines records toplets =
+  let field_votes = Hashtbl.create 8 and let_votes = Hashtbl.create 8 in
+  let vote votes name entry =
+    let prev = Option.value (Hashtbl.find_opt votes name) ~default:[] in
+    Hashtbl.replace votes name (entry :: prev)
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun fi ->
+          match annot_covering annots ~decl_lines fi.fi_line with
+          | Some { n_kind = Guarded tok; _ } -> vote field_votes fi.fi_name (Some tok)
+          | Some { n_kind = Owned; _ } -> vote field_votes fi.fi_name None
+          | None -> if fi.fi_offending then vote field_votes fi.fi_name None)
+        r.ri_fields)
+    records;
+  List.iter
+    (fun tl ->
+      match annot_covering annots ~decl_lines tl.tl_line with
+      | Some { n_kind = Guarded tok; _ } -> vote let_votes tl.tl_name (Some tok)
+      | _ -> vote let_votes tl.tl_name None)
+    toplets;
+  (resolve_votes field_votes, resolve_votes let_votes)
+
+let survey_state st (src : Lint.source) annots ~decl_lines records toplets =
+  if par_linked src.Lint.src_path then begin
+    List.iter
+      (fun r ->
+        List.iter
+          (fun fi ->
+            if fi.fi_offending && annot_covering annots ~decl_lines fi.fi_line = None
+            then
+              emit st ~code:"C001" ~file:src.Lint.src_path ~line:fi.fi_line
+                ~col:fi.fi_col
+                (Printf.sprintf
+                   "mutable field %s in a par-linked library has no \
+                    concurrency story; make it Atomic.t, or annotate it \
+                    (* guarded_by: <mutex> *) / (* owned_by: <reason> *)"
+                   fi.fi_name))
+          r.ri_fields)
+      records;
+    List.iter
+      (fun tl ->
+        if annot_covering annots ~decl_lines tl.tl_line = None then
+          emit st ~code:"C001" ~file:src.Lint.src_path ~line:tl.tl_line
+            ~col:tl.tl_col
+            (Printf.sprintf
+               "module-level mutable container %s in a par-linked library \
+                has no concurrency story; make it Atomic.t, or annotate it \
+                (* guarded_by: <mutex> *) / (* owned_by: <reason> *)"
+               tl.tl_name))
+      toplets
+  end
+
+let report_unbalanced dc =
+  Hashtbl.fold (fun tok v acc -> (tok, v) :: acc) dc.dc_locks []
+  |> List.sort compare
+  |> List.iter (fun (tok, (locks, unlocks, (line, col))) ->
+         if !locks > !unlocks && line > 0 then
+           emit dc.dc_state ~code:"C003" ~file:dc.dc_file ~line ~col
+             (Printf.sprintf
+                "%s is locked %d time(s) but unlocked %d in this binding; \
+                 release it on every path (Fun.protect, or unlock in each \
+                 branch)"
+                tok !locks !unlocks))
+
+let analyze_source st (src : Lint.source) =
+  match src.Lint.src_ast with
+  | None -> ()
+  | Some ast ->
+    let file = normalize src.Lint.src_path in
+    let annots = parse_annots src in
+    let records = record_infos ast in
+    let toplets = toplet_infos ast in
+    let decl_lines = decl_lines_of records toplets in
+    survey_state st src annots ~decl_lines records toplets;
+    let helpers = infer_helpers ast in
+    let guarded, guarded_lets = guarded_maps annots ~decl_lines records toplets in
+    let walk_def name (vb : Parsetree.value_binding) =
+      let line, _ = line_col vb.pvb_loc in
+      let id =
+        match Callgraph.def_at st.st_graph ~file ~line with
+        | Some id -> id
+        | None -> Callgraph.node_id file (Option.value name ~default:"(init)")
+      in
+      let dc =
+        {
+          dc_state = st;
+          dc_file = file;
+          dc_id = id;
+          dc_is_helper =
+            (match name with
+            | Some n -> Hashtbl.mem helpers n
+            | None -> false);
+          dc_helpers = helpers;
+          dc_guarded = guarded;
+          dc_guarded_lets = guarded_lets;
+          dc_seen = Hashtbl.create 8;
+          dc_locks = Hashtbl.create 4;
+        }
+      in
+      ignore (walk dc [] vb.pvb_expr);
+      report_unbalanced dc
+    in
+    let rec item (i : Parsetree.structure_item) =
+      match i.pstr_desc with
+      | Parsetree.Pstr_value (_, vbs) ->
+        List.iter (fun vb -> walk_def (binding_name vb.Parsetree.pvb_pat) vb) vbs
+      | Parsetree.Pstr_eval (e, _) ->
+        let line, _ = line_col i.pstr_loc in
+        let id =
+          match Callgraph.def_at st.st_graph ~file ~line with
+          | Some id -> id
+          | None -> Callgraph.node_id file (Printf.sprintf "(init:%d)" line)
+        in
+        let dc =
+          {
+            dc_state = st;
+            dc_file = file;
+            dc_id = id;
+            dc_is_helper = false;
+            dc_helpers = helpers;
+            dc_guarded = guarded;
+            dc_guarded_lets = guarded_lets;
+            dc_seen = Hashtbl.create 8;
+            dc_locks = Hashtbl.create 4;
+          }
+        in
+        ignore (walk dc [] e);
+        report_unbalanced dc
+      | Parsetree.Pstr_module mb -> module_binding mb
+      | Parsetree.Pstr_recmodule mbs -> List.iter module_binding mbs
+      | _ -> ()
+    and module_binding (mb : Parsetree.module_binding) =
+      let rec peel (me : Parsetree.module_expr) =
+        match me.pmod_desc with
+        | Parsetree.Pmod_constraint (inner, _) -> peel inner
+        | d -> d
+      in
+      match peel mb.pmb_expr with
+      | Parsetree.Pmod_structure items -> List.iter item items
+      | _ -> ()
+    in
+    List.iter item ast
+
+(* --- blocked calls while holding a lock (C004 transitive) -------------- *)
+
+let process_pending st =
+  (* Fixpoint: the set of (file, token) locks a node acquires itself
+     or through any internal call chain. Helper defs contributed no
+     direct acquires (their tokens are parameter names), so only real
+     acquisition sites flow. *)
+  let ids = Callgraph.node_ids st.st_graph in
+  let trans : (string, (string * string) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* lint: allow L003 table-to-table seed, order-insensitive *)
+  Hashtbl.iter (fun id l -> Hashtbl.replace trans id !l) st.st_acquires;
+  let get id = Option.value (Hashtbl.find_opt trans id) ~default:[] in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        let cur = get id in
+        let merged =
+          List.fold_left
+            (fun acc (c, _) ->
+              match c with
+              | Callgraph.Internal cid ->
+                List.fold_left
+                  (fun acc t -> if List.mem t acc then acc else t :: acc)
+                  acc (get cid)
+              | Callgraph.External _ -> acc)
+            cur
+            (Callgraph.callees st.st_graph id)
+        in
+        if List.length merged <> List.length cur then begin
+          Hashtbl.replace trans id merged;
+          changed := true
+        end)
+      ids
+  done;
+  let pendings =
+    List.sort
+      (fun a b ->
+        compare
+          (a.p_file, a.p_line, a.p_col, a.p_target)
+          (b.p_file, b.p_line, b.p_col, b.p_target))
+      !(st.st_pending)
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let key = p.p_def ^ "|" ^ p.p_target in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        let acquired =
+          get p.p_target
+          |> List.filter (fun ((_, tok) as t) ->
+                 tok <> "?" && not (List.mem t p.p_held))
+          |> List.sort compare
+        in
+        let held_names = List.map snd p.p_held |> List.sort_uniq compare in
+        if acquired <> [] then begin
+          emit st ~code:"C004" ~file:p.p_file ~line:p.p_line ~col:p.p_col
+            (Printf.sprintf
+               "calls %s, which acquires %s, while holding %s; the callee \
+                can block (or invert lock order) under the held lock — \
+                hoist the call out of the region or add a reasoned allow"
+               p.p_display
+               (String.concat ", " (List.sort_uniq compare (List.map snd acquired)))
+               (String.concat ", " held_names));
+          List.iter
+            (fun h ->
+              List.iter
+                (fun a ->
+                  st.st_edges :=
+                    (h, a, (p.p_file, p.p_line)) :: !(st.st_edges))
+                acquired)
+            p.p_held
+        end
+        else
+          match
+            Callgraph.reaches st.st_graph ~id:p.p_target
+              ~leaves:blocking_leaves
+          with
+          | Some chain ->
+            emit st ~code:"C004" ~file:p.p_file ~line:p.p_line ~col:p.p_col
+              (Printf.sprintf
+                 "calls %s while holding %s; the callee reaches the \
+                  blocking operation %s via %s — hoist the call out of \
+                  the region or add a reasoned allow"
+                 p.p_display
+                 (String.concat ", " held_names)
+                 (List.nth chain (List.length chain - 1))
+                 (String.concat " -> " chain))
+          | None -> ()
+      end)
+    pendings
+
+(* --- lock-order cycles (C005) ------------------------------------------ *)
+
+let cycles st =
+  let edges =
+    !(st.st_edges)
+    |> List.filter (fun ((_, a), (_, b), _) -> a <> "?" && b <> "?")
+    |> List.filter (fun (a, b, _) -> a <> b)
+    |> List.sort_uniq compare
+  in
+  if edges <> [] then begin
+    let succs n =
+      List.filter_map (fun (a, b, _) -> if a = n then Some b else None) edges
+    in
+    let nodes =
+      List.concat_map (fun (a, b, _) -> [ a; b ]) edges
+      |> List.sort_uniq compare
+    in
+    let reaches_tbl = Hashtbl.create 16 in
+    let reach a b =
+      match Hashtbl.find_opt reaches_tbl (a, b) with
+      | Some r -> r
+      | None ->
+        let visited = Hashtbl.create 8 in
+        let rec go n =
+          if Hashtbl.mem visited n then false
+          else begin
+            Hashtbl.add visited n ();
+            List.exists (fun s -> s = b || go s) (succs n)
+          end
+        in
+        let r = go a in
+        Hashtbl.replace reaches_tbl (a, b) r;
+        r
+    in
+    (* SCCs by mutual reachability: small graphs, quadratic is fine. *)
+    let in_cycle = List.filter (fun n -> reach n n) nodes in
+    let sccs =
+      List.fold_left
+        (fun groups n ->
+          match
+            List.partition (fun g -> reach n (List.hd g) && reach (List.hd g) n) groups
+          with
+          | [ g ], rest -> (n :: g) :: rest
+          | _, rest -> [ n ] :: rest)
+        [] in_cycle
+    in
+    List.iter
+      (fun scc ->
+        let scc = List.sort compare scc in
+        let internal (a, b) = List.mem a scc && List.mem b scc in
+        let sites =
+          List.filter_map
+            (fun (a, b, site) -> if internal (a, b) then Some site else None)
+            edges
+        in
+        match List.sort compare sites with
+        | [] -> ()
+        | (file, line) :: _ ->
+          let names =
+            List.map (fun (f, tok) -> Printf.sprintf "%s (%s)" tok f) scc
+          in
+          emit st ~code:"C005" ~file ~line ~col:0
+            (Printf.sprintf
+               "lock-order cycle between %s; two regions acquire these \
+                mutexes in opposite orders, which deadlocks under \
+                contention — pick one global order"
+               (String.concat " and " names)))
+      (List.sort compare sccs)
+  end
+
+(* --- entry point -------------------------------------------------------- *)
+
+let check graph sources =
+  let st =
+    {
+      st_graph = graph;
+      st_diags = ref [];
+      st_pending = ref [];
+      st_acquires = Hashtbl.create 64;
+      st_edges = ref [];
+    }
+  in
+  List.iter (analyze_source st) sources;
+  process_pending st;
+  cycles st;
+  let by_path = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Lint.source) ->
+      Hashtbl.replace by_path (normalize s.Lint.src_path) s)
+    sources;
+  !(st.st_diags)
+  |> List.filter (fun (d : Diagnostic.t) ->
+         match Hashtbl.find_opt by_path (normalize d.Diagnostic.file) with
+         | Some src ->
+           not (Lint.is_allowed src ~code:d.Diagnostic.code ~line:d.Diagnostic.line)
+         | None -> true)
+  |> List.sort_uniq Diagnostic.compare

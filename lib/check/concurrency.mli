@@ -1,0 +1,68 @@
+(** Static concurrency-safety analyzer (the C-rules).
+
+    The L-rules keep single runs deterministic; the C-rules keep the
+    parallel tier honest about shared state. The pass runs over the
+    same parsed {!Lint.source}s as everything else plus the
+    {!Callgraph}, and reports in the same {!Check.Diagnostic}
+    currency with the same reasoned [lint: allow] suppression
+    grammar.
+
+    Rules (stable codes, see the README "Static checks" table):
+
+    - [C001] module-level mutable state (a [mutable] record field or
+      a top-level [ref]/[Hashtbl.t]/[Queue.t]/[Buffer.t]) in a
+      par-linked library ([lib/par], [lib/streaming], [lib/obs],
+      [lib/resilience], [lib/annot]) with no concurrency story:
+      either make it [Atomic.t], or annotate the declaration with
+      [(* guarded_by: <mutex> *)] (accessed only under that mutex) or
+      [(* owned_by: <reason> *)] (confined to one domain — say why).
+    - [C002] a [guarded_by] field read or written in a region that
+      does not hold the named mutex — the rule that catches a
+      double-checked-locking "fast path" reading state outside the
+      lock.
+    - [C003] a raw [Mutex.lock] with fewer [Mutex.unlock]s in the
+      same top-level binding — a path exists that leaves the lock
+      held.
+    - [C004] a blocking operation while holding a lock: acquiring
+      another mutex (directly, via [Mutex.protect], or via a lock
+      helper), [Condition.wait] on a {e different} mutex,
+      [Domain.join], or a call whose callee transitively reaches any
+      of those through the call graph. [Condition.wait] on the held
+      mutex is the sanctioned wait idiom and exempt.
+    - [C005] a cycle in the lock-order graph: one region acquires A
+      then B, another B then A. Edges come from both direct nested
+      acquisitions and the transitive [C004] analysis; each cycle is
+      reported once, at its earliest acquisition site.
+    - [C006] raw [Domain]/[Atomic]/[Mutex]/[Condition] primitives
+      outside the sanctioned modules ([lib/par], [lib/obs],
+      [lib/resilience], and the streaming server) — everyone else
+      goes through [Par.Pool] and the obs/resilience wrappers.
+
+    Lock regions are inferred syntactically: raw lock/unlock pairs,
+    [Mutex.protect], and per-file lock helpers (a function whose body
+    starts with [Mutex.lock] on its first parameter, or on a field of
+    it — the server's and the registry's [with_lock] shapes). Held
+    sets merge by intersection across branches, excluding branches
+    that diverge ([raise]/[failwith]/[invalid_arg]), so the pool's
+    early-exit unlock idiom is not a false positive. Closures are
+    walked with the held set of the point where they appear.
+
+    Everything is a deliberate over-approximation: tokens are the
+    last path component of the mutex expression, matching is by name
+    within a file, and guarded-field names shared by records with
+    different disciplines are dropped rather than guessed. Real
+    designs that trip a rule on purpose (journaling under the
+    admission lock, profiling a clip under its own lock) carry
+    reasoned allows at the site — the suppression is the audit
+    trail. *)
+
+type rule = Lint.rule = { code : string; title : string; lib_only : bool }
+
+val rules : rule list
+(** Every C-rule, in code order. *)
+
+val check : Callgraph.t -> Lint.source list -> Check.Diagnostic.t list
+(** Run all C-rules over [sources] (which must be the sources the
+    graph was built from, or a subset). Findings covered by a
+    reasoned [lint: allow C00n] on the finding line or the line above
+    are dropped; output is sorted with {!Check.Diagnostic.compare}. *)

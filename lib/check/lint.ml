@@ -284,7 +284,12 @@ let lint_ast ~in_lib ~in_par ~in_power ~in_journal ~in_resilience ~file ~emit
 
 (* --- lint control comments --------------------------------------------- *)
 
-type suppression = { s_code : string; s_first : int; s_last : int }
+type suppression = {
+  s_code : string;
+  s_first : int;
+  s_last : int;
+  s_reason : string;
+}
 
 let strip_delims text =
   let text =
@@ -300,7 +305,15 @@ let strip_delims text =
   in
   String.trim text
 
-let known_code code = List.exists (fun r -> r.code = code) rules
+(* The concurrency pass (Check_lint.Concurrency) owns C-rule semantics,
+   but the suppression grammar is parsed here, so the code registry
+   must know both families. *)
+let concurrency_codes =
+  [ "C001"; "C002"; "C003"; "C004"; "C005"; "C006" ]
+
+let known_code code =
+  List.exists (fun r -> r.code = code) rules
+  || List.mem code concurrency_codes
 
 let split_words s =
   String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) s)
@@ -324,7 +337,14 @@ let classify_comment ~file (text, (loc : Location.t)) =
     match split_words rest with
     | "allow" :: code :: (_ :: _ as reason_words)
       when known_code code && String.concat "" reason_words <> "" ->
-      Some (Either.Left { s_code = code; s_first = first; s_last = last })
+      Some
+        (Either.Left
+           {
+             s_code = code;
+             s_first = first;
+             s_last = last;
+             s_reason = String.concat " " reason_words;
+           })
     | "allow" :: code :: [] when known_code code ->
       l008
         (Printf.sprintf
@@ -370,7 +390,24 @@ let parse_failure ~file message loc =
       message;
   ]
 
-let lint_source ?in_lib ?in_par ?in_power ?in_journal ?in_resilience
+(* --- sources: parse once, lint many ------------------------------------ *)
+
+type source = {
+  src_path : string;
+  src_in_lib : bool;
+  src_in_par : bool;
+  src_in_power : bool;
+  src_in_journal : bool;
+  src_in_resilience : bool;
+  src_has_mli : bool;
+  src_ast : Parsetree.structure option;
+  src_comments : (string * Location.t) list;
+  src_suppressions : suppression list;
+  src_comment_diags : Diagnostic.t list;
+  src_parse_diags : Diagnostic.t list;
+}
+
+let of_string ?in_lib ?in_par ?in_power ?in_journal ?in_resilience
     ?(has_mli = true) ~path contents =
   let segments =
     let p = String.map (fun c -> if c = '\\' then '/' else c) path in
@@ -441,12 +478,32 @@ let lint_source ?in_lib ?in_par ?in_power ?in_journal ?in_resilience
            (fun hook -> String.ends_with ~suffix:hook normalized)
            resilience_hook_files
   in
+  let base =
+    {
+      src_path = path;
+      src_in_lib = in_lib;
+      src_in_par = in_par;
+      src_in_power = in_power;
+      src_in_journal = in_journal;
+      src_in_resilience = in_resilience;
+      src_has_mli = has_mli;
+      src_ast = None;
+      src_comments = [];
+      src_suppressions = [];
+      src_comment_diags = [];
+      src_parse_diags = [];
+    }
+  in
   match parse_structure ~path contents with
   | exception Syntaxerr.Error err ->
-    parse_failure ~file:path "syntax error"
-      (Some (Syntaxerr.location_of_error err))
+    {
+      base with
+      src_parse_diags =
+        parse_failure ~file:path "syntax error"
+          (Some (Syntaxerr.location_of_error err));
+    }
   | exception Lexer.Error (_, loc) ->
-    parse_failure ~file:path "lexical error" (Some loc)
+    { base with src_parse_diags = parse_failure ~file:path "lexical error" (Some loc) }
   | ast ->
     let comments = scan_comments ~path contents in
     let suppressions, comment_diags =
@@ -458,27 +515,78 @@ let lint_source ?in_lib ?in_par ?in_power ?in_journal ?in_resilience
           | Some (Either.Right d) -> (sups, d :: diags))
         ([], []) comments
     in
-    let found = ref comment_diags in
-    let emit d = found := d :: !found in
-    lint_ast ~in_lib ~in_par ~in_power ~in_journal ~in_resilience ~file:path
-      ~emit ast;
-    if in_lib && not has_mli then
-      emit
-        (Diagnostic.v ~code:"L006" ~severity:Diagnostic.Error ~file:path
-           ~line:1
-           "library module has no .mli; every lib/ module states its contract");
-    List.filter (fun d -> not (suppressed suppressions d)) !found
-    |> List.sort Diagnostic.compare
+    {
+      base with
+      src_ast = Some ast;
+      src_comments = comments;
+      src_suppressions = suppressions;
+      src_comment_diags = comment_diags;
+    }
 
-let lint_file ?in_lib path =
+let load_file ?in_lib path =
   match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error msg -> parse_failure ~file:path msg None
+  | exception Sys_error msg ->
+    let src = of_string ?in_lib ~path "" in
+    { src with src_ast = None; src_parse_diags = parse_failure ~file:path msg None }
   | contents ->
     let has_mli =
       Filename.check_suffix path ".ml"
       && Sys.file_exists (Filename.chop_suffix path ".ml" ^ ".mli")
     in
-    lint_source ?in_lib ~has_mli ~path contents
+    of_string ?in_lib ~has_mli ~path contents
+
+let is_allowed src ~code ~line =
+  code <> "L008"
+  && List.exists
+       (fun s -> s.s_code = code && line >= s.s_first && line <= s.s_last + 1)
+       src.src_suppressions
+
+type allow = {
+  a_code : string;
+  a_file : string;
+  a_line : int;
+  a_reason : string;
+}
+
+let allows src =
+  List.map
+    (fun s ->
+      {
+        a_code = s.s_code;
+        a_file = src.src_path;
+        a_line = s.s_first;
+        a_reason = s.s_reason;
+      })
+    src.src_suppressions
+  |> List.sort compare
+
+let filter_suppressed src diags =
+  List.filter (fun d -> not (suppressed src.src_suppressions d)) diags
+  |> List.sort Diagnostic.compare
+
+let lint_parsed src =
+  match src.src_ast with
+  | None -> src.src_parse_diags
+  | Some ast ->
+    let found = ref src.src_comment_diags in
+    let emit d = found := d :: !found in
+    lint_ast ~in_lib:src.src_in_lib ~in_par:src.src_in_par
+      ~in_power:src.src_in_power ~in_journal:src.src_in_journal
+      ~in_resilience:src.src_in_resilience ~file:src.src_path ~emit ast;
+    if src.src_in_lib && not src.src_has_mli then
+      emit
+        (Diagnostic.v ~code:"L006" ~severity:Diagnostic.Error
+           ~file:src.src_path ~line:1
+           "library module has no .mli; every lib/ module states its contract");
+    filter_suppressed src !found
+
+let lint_source ?in_lib ?in_par ?in_power ?in_journal ?in_resilience ?has_mli
+    ~path contents =
+  lint_parsed
+    (of_string ?in_lib ?in_par ?in_power ?in_journal ?in_resilience ?has_mli
+       ~path contents)
+
+let lint_file ?in_lib path = lint_parsed (load_file ?in_lib path)
 
 let rec ml_files_under path =
   if Sys.is_directory path then

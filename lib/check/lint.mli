@@ -72,6 +72,87 @@ type rule = {
 val rules : rule list
 (** Every rule the linter knows, in code order. *)
 
+val concurrency_codes : string list
+(** The C-rule codes owned by {!Concurrency}. Listed here because the
+    [lint: allow] grammar is parsed by this module and must accept
+    both families. *)
+
+val clock_idents : string list
+(** The ambient-clock entry points L001 flags; {!Callgraph} reuses the
+    list for the transitive closure. *)
+
+val random_idents : string list
+(** The ambient-RNG entry points L002 flags; {!Callgraph} reuses the
+    list for the transitive closure. *)
+
+(** {1 Parsed sources}
+
+    Every lint pass (per-file rules, call graph, concurrency) shares
+    one parse per file: [load_file]/[of_string] builds a {!source}
+    carrying the AST, the comments, and the parsed suppression
+    comments; the passes consume it without re-lexing. *)
+
+type suppression = {
+  s_code : string;  (** rule being allowed *)
+  s_first : int;  (** first line the suppression covers *)
+  s_last : int;  (** last comment line; coverage extends one further *)
+  s_reason : string;  (** mandatory justification text *)
+}
+
+type source = {
+  src_path : string;
+  src_in_lib : bool;
+  src_in_par : bool;
+  src_in_power : bool;
+  src_in_journal : bool;
+  src_in_resilience : bool;
+  src_has_mli : bool;
+  src_ast : Parsetree.structure option;
+      (** [None] when the file failed to parse *)
+  src_comments : (string * Location.t) list;
+  src_suppressions : suppression list;
+  src_comment_diags : Check.Diagnostic.t list;  (** L008 findings *)
+  src_parse_diags : Check.Diagnostic.t list;  (** L000 findings *)
+}
+
+val of_string : ?in_lib:bool -> ?in_par:bool -> ?in_power:bool ->
+  ?in_journal:bool -> ?in_resilience:bool -> ?has_mli:bool -> path:string ->
+  string -> source
+(** Parse a source text into a {!source} without touching the
+    filesystem. The optional flags default from [path] exactly as in
+    {!lint_source}. *)
+
+val load_file : ?in_lib:bool -> string -> source
+(** Read and parse [path]; [has_mli] is taken from the filesystem. An
+    unreadable file yields a source whose [src_parse_diags] carry a
+    single [L000]. *)
+
+val lint_parsed : source -> Check.Diagnostic.t list
+(** Run the per-file rules (the L-family) over an already-parsed
+    source: AST pass, L006, comment diagnostics, suppression
+    filtering, sorted output. *)
+
+val is_allowed : source -> code:string -> line:int -> bool
+(** Whether a reasoned [lint: allow code] suppression covers [line].
+    [L008] is never allowed. Cross-pass rules (transitive effects,
+    C-rules) use this to honor the same grammar. *)
+
+type allow = {
+  a_code : string;
+  a_file : string;
+  a_line : int;
+  a_reason : string;
+}
+
+val allows : source -> allow list
+(** Every reasoned suppression in the file, sorted — the audit feed
+    behind [lint sources --list-allows]. *)
+
+val filter_suppressed : source -> Check.Diagnostic.t list ->
+  Check.Diagnostic.t list
+(** Drop diagnostics covered by the file's suppressions and sort the
+    remainder with {!Check.Diagnostic.compare}. *)
+
 val lint_source : ?in_lib:bool -> ?in_par:bool -> ?in_power:bool ->
   ?in_journal:bool -> ?in_resilience:bool -> ?has_mli:bool -> path:string ->
   string -> Check.Diagnostic.t list

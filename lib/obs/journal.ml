@@ -105,8 +105,8 @@ let crc32 data =
 
 type t = {
   mutex : Mutex.t;
-  mutable events_rev : event list;
-  mutable count : int;
+  mutable events_rev : event list;  (* guarded_by: mutex *)
+  mutable count : int;  (* guarded_by: mutex *)
 }
 
 let create () = { mutex = Mutex.create (); events_rev = []; count = 0 }
@@ -129,19 +129,23 @@ let events t = with_lock t (fun () -> List.rev t.events_rev)
 
 let length t = with_lock t (fun () -> t.count)
 
-let instance : t option ref = ref None
+(* Atomic rather than a plain ref: [record] races with
+   [install]/[uninstall] when pool domains journal while the driver
+   swaps recorders, and a torn option read would be undefined
+   behaviour under the memory model. *)
+let instance : t option Atomic.t = Atomic.make None
 
-let install t = instance := Some t
+let install t = Atomic.set instance (Some t)
 
-let uninstall () = instance := None
+let uninstall () = Atomic.set instance None
 
-let current () = !instance
+let current () = Atomic.get instance
 
-let installed () = Option.is_some !instance
+let installed () = Option.is_some (Atomic.get instance)
 
 let record ?t_s kind =
   if Control.on () then
-    match !instance with
+    match Atomic.get instance with
     | None -> ()
     | Some t -> record_in t ?t_s kind
 
@@ -308,7 +312,7 @@ let write t ~path =
 
 exception Parse_error of string
 
-type cursor = { data : string; mutable pos : int }
+type cursor = { data : string; mutable pos : int (* owned_by: the decoding call; a cursor never escapes it *) }
 
 let need c n =
   if c.pos + n > String.length c.data then raise (Parse_error "truncated input")

@@ -77,7 +77,7 @@ let pp ppf json = Format.pp_print_string ppf (to_string json)
 
 exception Parse_error of string
 
-type reader = { text : string; mutable pos : int }
+type reader = { text : string; mutable pos : int (* owned_by: the parsing call; a reader never escapes it *) }
 
 let peek r = if r.pos < String.length r.text then Some r.text.[r.pos] else None
 

@@ -32,8 +32,10 @@ type sink = { id : sink_id; write : event -> unit; close : unit -> unit }
 
 let mutex = Mutex.create ()
 
+(* guarded_by: mutex *)
 let sinks : sink list ref = ref []
 
+(* guarded_by: mutex *)
 let next_id = ref 0
 
 let threshold = Atomic.make (severity Info)
@@ -118,6 +120,9 @@ let get_level () =
 let would_log level =
   Control.on ()
   && severity level >= Atomic.get threshold
+  (* lint: allow C002 racy fast-path by design: a stale read only skips
+     (or needlessly formats) one message; dispatch re-snapshots the sink
+     list under the lock before writing *)
   && !sinks <> []
 
 let dispatch e =

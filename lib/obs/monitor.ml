@@ -21,6 +21,7 @@ let max_breaches = 8
 
 (* Known window-series names, declared by the instrumentation sites
    that feed them; the offline SLO checker reads this back. *)
+(* guarded_by: declared_mutex *)
 let declared : (string, unit) Hashtbl.t = Hashtbl.create 16
 let declared_mutex = Mutex.create ()
 
@@ -41,11 +42,18 @@ let declared_series () =
 
 let frames_series = declare_series "frames"
 
+(* The monitor mutex is held across every mutation below, but by the
+   *public* entry points (tick/cut/report/incr/set_gauge): the
+   internal helpers (window_reading, evaluate_window, seal_window)
+   are lock-required functions, so the fields are declared owned
+   rather than guarded — the ownership argument is the call
+   discipline, not a per-access lock witness. *)
 type rule_stats = {
-  mutable evaluated : int;
-  mutable breached : int;
-  mutable worst : float option;
-  mutable breaches_rev : breach list;  (* newest first, capped *)
+  mutable evaluated : int;  (* owned_by: lock-required helpers under t.mutex *)
+  mutable breached : int;  (* owned_by: lock-required helpers under t.mutex *)
+  mutable worst : float option;  (* owned_by: lock-required helpers under t.mutex *)
+  mutable breaches_rev : breach list;
+      (* owned_by: lock-required helpers under t.mutex; newest first, capped *)
 }
 
 type t = {
@@ -54,10 +62,10 @@ type t = {
   registry : Registry.t;
   rule_list : Slo.rule list;
   stats : rule_stats array;
-  series : (string, Window.t) Hashtbl.t;
-  mutable now_s : float;
-  mutable window_start_s : float;
-  mutable window_index : int;
+  series : (string, Window.t) Hashtbl.t;  (* owned_by: lock-required helpers under t.mutex *)
+  mutable now_s : float;  (* owned_by: lock-required helpers under t.mutex *)
+  mutable window_start_s : float;  (* owned_by: lock-required helpers under t.mutex *)
+  mutable window_index : int;  (* owned_by: lock-required helpers under t.mutex *)
   mutex : Mutex.t;
 }
 
@@ -198,12 +206,15 @@ let tick t ~now_s =
   with_lock t (fun () ->
       if now_s > t.now_s then t.now_s <- now_s;
       while t.now_s -. t.window_start_s >= t.window_len do
+        (* lint: allow C004 sealing must be atomic with window rotation;
+           the registry/journal/log mutexes it reaches are leaf locks *)
         seal_window t ~close_at:(t.window_start_s +. t.window_len)
       done)
 
 let cut t ~now_s =
   tick t ~now_s;
   with_lock t (fun () ->
+      (* lint: allow C004 sealing must be atomic with window rotation; the locks it reaches are leaf locks *)
       if t.now_s > t.window_start_s then seal_window t ~close_at:t.now_s)
 
 (* End-of-session reading over the whole run, for the FINAL column. *)
@@ -239,12 +250,14 @@ let final_reading t (rule : Slo.rule) ~duration_s =
 
 let report t =
   with_lock t (fun () ->
+      (* lint: allow C004 sealing must be atomic with window rotation; the locks it reaches are leaf locks *)
       if t.now_s > t.window_start_s then seal_window t ~close_at:t.now_s;
       let duration_s = t.now_s in
       let verdicts =
         List.mapi
           (fun i rule ->
             let s = t.stats.(i) in
+            (* lint: allow C004 whole-run reading under the report lock: the registry mutex it takes is a leaf lock *)
             let final = final_reading t rule ~duration_s in
             let final_breach =
               match final with

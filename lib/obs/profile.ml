@@ -14,10 +14,10 @@
 type t = {
   mutex : Mutex.t;
   store : Timeseries.t;
-  stacks : (string list, float ref) Hashtbl.t;
-  components : (string, float ref) Hashtbl.t;  (* cumulative mJ *)
-  mutable counters : Trace.counter list;  (* newest first *)
-  mutable samples : int;
+  stacks : (string list, float ref) Hashtbl.t;  (* guarded_by: mutex *)
+  components : (string, float ref) Hashtbl.t;  (* guarded_by: mutex, cumulative mJ *)
+  mutable counters : Trace.counter list;  (* guarded_by: mutex, newest first *)
+  mutable samples : int;  (* guarded_by: mutex *)
 }
 
 let create ?(interval_s = 1.) ?(max_series = 64) () =
@@ -36,15 +36,18 @@ let with_lock p f =
 
 (* --- process-global instance ------------------------------------------- *)
 
-let instance : t option ref = ref None
+(* Atomic rather than a plain ref: [record] races with
+   [install]/[uninstall] when pool domains attribute energy while the
+   driver swaps profilers. *)
+let instance : t option Atomic.t = Atomic.make None
 
-let install p = instance := Some p
+let install p = Atomic.set instance (Some p)
 
-let uninstall () = instance := None
+let uninstall () = Atomic.set instance None
 
-let current () = !instance
+let current () = Atomic.get instance
 
-let installed () = Option.is_some !instance
+let installed () = Option.is_some (Atomic.get instance)
 
 (* --- recording ---------------------------------------------------------- *)
 
@@ -74,17 +77,22 @@ let record_in p ?(t_s = 0.) ?scene ~component mj =
       @ [ component ]
     in
     let now = Clock.now_ns () in
+    (* Resolved before taking the profile lock: the gauge lookup takes
+       the registry mutex, and nothing here needs both at once. *)
+    let energy_gauge = obs_energy component in
     with_lock p (fun () ->
         p.samples <- p.samples + 1;
         bump p.stacks path mj;
         bump p.components component mj;
         (match
+           (* lint: allow C004 the store mutex is a leaf lock below the
+              profile mutex; the order is global *)
            Timeseries.series p.store ~merge:Timeseries.Sum "energy_mj"
              [ ("component", component) ]
          with
         | Some se -> Timeseries.observe se ~t_s mj
         | None -> ());
-        Metrics.Gauge.add (obs_energy component) mj;
+        Metrics.Gauge.add energy_gauge mj;
         (* One counter sample per recording, carrying every
            component's cumulative total: Perfetto stacks the args
            into an area chart of energy over (wall-clock) time. *)
@@ -99,7 +107,7 @@ let record_in p ?(t_s = 0.) ?scene ~component mj =
 
 let record ?t_s ?scene ~component mj =
   if Control.on () then
-    match !instance with
+    match Atomic.get instance with
     | None -> ()
     | Some p -> record_in p ?t_s ?scene ~component mj
 

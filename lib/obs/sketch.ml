@@ -7,12 +7,14 @@
 
 type tuple = { v : float; g : int; delta : int }
 
+(* A sketch never synchronizes itself: each one is a private member
+   of a histogram, which serialises access through its sketch_mutex. *)
 type t = {
   epsilon : float;
-  mutable n : int;  (* samples already merged into [tuples] *)
-  mutable tuples : tuple array;  (* sorted ascending by v *)
+  mutable n : int;  (* owned_by: Histogram via sketch_mutex; samples already merged *)
+  mutable tuples : tuple array;  (* owned_by: Histogram via sketch_mutex; sorted ascending by v *)
   buffer : float array;  (* pending samples, unsorted *)
-  mutable buf_len : int;
+  mutable buf_len : int;  (* owned_by: Histogram via sketch_mutex *)
 }
 
 let create ?(epsilon = 0.01) () =

@@ -46,8 +46,10 @@ type series = {
   s_labels : (string * string) list;
   s_merge : merge;
   mutable s_interval_s : float;
+      (* owned_by: the series' owner; observe/compact run under the
+         owner's lock (the profiler's mutex), never concurrently *)
   s_buckets : point array;
-  mutable s_downsamples : int;
+  mutable s_downsamples : int;  (* owned_by: same discipline as s_interval_s *)
 }
 
 let series_name s = s.s_name
@@ -99,8 +101,8 @@ type t = {
   interval_s : float;
   capacity : int;
   max_series : int;
-  tbl : (string * (string * string) list, series) Hashtbl.t;
-  mutable dropped : int;
+  tbl : (string * (string * string) list, series) Hashtbl.t;  (* guarded_by: mutex *)
+  mutable dropped : int;  (* guarded_by: mutex *)
 }
 
 (* Process-wide refusal count, surfaced by the default registry as the

@@ -12,6 +12,8 @@ type building = {
   b_attrs : (string * string) list;
   b_start_ns : int64;
   mutable b_children : span list;
+      (* owned_by: the domain building the span; the open-span stack is
+         domain-confined (see below) *)
 }
 
 (* The collector is process-global. The open-span stack is not
@@ -20,8 +22,11 @@ type building = {
    the completed-roots list coherent if it ever happens. *)
 let mutex = Mutex.create ()
 
+(* owned_by: the instrumenting domain; the open-span stack is not
+   shared across domains (see the note above) *)
 let stack : building list ref = ref []
 
+(* guarded_by: mutex *)
 let completed_roots : span list ref = ref []
 
 let recorded = Atomic.make 0

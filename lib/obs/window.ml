@@ -6,12 +6,15 @@ type slot = {
   last : float option;
 }
 
+(* A window never synchronizes itself: every instance is a private
+   member of a monitor or breaker and is mutated under that owner's
+   lock (or its single-threaded control plane). *)
 type t = {
   ring : slot option array;
-  mutable write_pos : int;  (* total slots ever closed *)
-  mutable current : float;
-  mutable last : float option;
-  mutable lifetime : float;
+  mutable write_pos : int;  (* owned_by: the enclosing monitor/breaker; total slots ever closed *)
+  mutable current : float;  (* owned_by: the enclosing monitor/breaker *)
+  mutable last : float option;  (* owned_by: the enclosing monitor/breaker *)
+  mutable lifetime : float;  (* owned_by: the enclosing monitor/breaker *)
 }
 
 let create ?(history = 64) () =

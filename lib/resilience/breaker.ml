@@ -55,13 +55,13 @@ type t = {
   name : string;
   config : config;
   failures : Obs.Window.t;  (* open accumulation = failures this window *)
-  mutable seen : int;  (* outcomes in the open window *)
-  mutable window_started_s : float;
-  mutable state : state;
-  mutable opened_at_s : float;
-  mutable probes_issued : int;
-  mutable probes_ok : int;
-  mutable transitions : transition list;  (* newest first *)
+  mutable seen : int;  (* owned_by: the session control plane, single-threaded (L012 gates every mutator) *)
+  mutable window_started_s : float;  (* owned_by: session control plane *)
+  mutable state : state;  (* owned_by: session control plane *)
+  mutable opened_at_s : float;  (* owned_by: session control plane *)
+  mutable probes_issued : int;  (* owned_by: session control plane *)
+  mutable probes_ok : int;  (* owned_by: session control plane *)
+  mutable transitions : transition list;  (* owned_by: session control plane; newest first *)
 }
 
 let obs_transitions =

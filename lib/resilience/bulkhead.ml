@@ -26,11 +26,11 @@ type t = {
   config : config;
   lock : Mutex.t;
   can_enter : Condition.t;
-  mutable in_flight : int;
-  mutable waiting : int;
-  mutable admitted_total : int;
-  mutable queued_total : int;
-  mutable shed_total : int;
+  mutable in_flight : int;  (* guarded_by: lock *)
+  mutable waiting : int;  (* guarded_by: lock *)
+  mutable admitted_total : int;  (* guarded_by: lock *)
+  mutable queued_total : int;  (* guarded_by: lock *)
+  mutable shed_total : int;  (* guarded_by: lock *)
 }
 
 let obs_decisions =
@@ -66,16 +66,14 @@ let config t = t.config
    fixed phase/timestamp keeps repeated server fills from perturbing
    the per-phase monotonicity audit (V406) of whatever stage runs
    next. *)
-let journal t decision =
+(* The counter values travel as plain arguments: the caller snapshots
+   them inside its locked region, and this function touches no
+   guarded state itself. *)
+let journal t decision ~in_flight ~queued =
   Obs.Metrics.Counter.incr (obs_decisions decision);
   Obs.Journal.record
     (Obs.Journal.Bulkhead_decision
-       {
-         name = t.name;
-         decision = decision_label decision;
-         in_flight = t.in_flight;
-         queued = t.waiting;
-       })
+       { name = t.name; decision = decision_label decision; in_flight; queued })
 
 type outcome = { decision : decision; queued_behind : int }
 
@@ -92,14 +90,17 @@ let enter t =
     if t.in_flight < t.config.capacity then begin
       t.in_flight <- t.in_flight + 1;
       t.admitted_total <- t.admitted_total + 1;
-      journal t Admitted;
+      (* lint: allow C004 journaling the decision inside the admission
+         region is the design: the journal mutex is a leaf lock, never
+         held while taking this one *)
+      journal t Admitted ~in_flight:t.in_flight ~queued:t.waiting;
       { decision = Admitted; queued_behind = 0 }
     end
     else if t.waiting < t.config.queue_limit then begin
       t.waiting <- t.waiting + 1;
       t.queued_total <- t.queued_total + 1;
       let behind = t.waiting in
-      journal t Queued;
+      journal t Queued ~in_flight:t.in_flight ~queued:t.waiting;
       while t.in_flight >= t.config.capacity do
         Condition.wait t.can_enter t.lock
       done;
@@ -109,7 +110,7 @@ let enter t =
     end
     else begin
       t.shed_total <- t.shed_total + 1;
-      journal t Shed;
+      journal t Shed ~in_flight:t.in_flight ~queued:t.waiting;
       { decision = Shed; queued_behind = t.waiting }
     end
   in

@@ -32,6 +32,8 @@ let default_steps = all
 type t = {
   steps : step list;  (* sorted by rank, deduplicated *)
   mutable max_depth : int;
+      (* owned_by: the session control plane, single-threaded (L012
+         gates every mutator) *)
   counts : int array;  (* indexed by rank *)
 }
 

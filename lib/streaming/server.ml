@@ -8,7 +8,7 @@
 type stored = {
   clip : Video.Clip.t;
   lock : Mutex.t;
-  mutable profiled : Annotation.Annotator.profiled option;
+  mutable profiled : Annotation.Annotator.profiled option;  (* guarded_by: lock *)
 }
 
 (* What makes two sessions interchangeable: same clip, same quality
@@ -30,12 +30,12 @@ type prepared = {
 }
 
 type t = {
-  catalog : (string, stored) Hashtbl.t;
+  catalog : (string, stored) Hashtbl.t;  (* guarded_by: catalog_lock *)
   catalog_lock : Mutex.t;
-  cache : (cache_key, prepared) Hashtbl.t;
+  cache : (cache_key, prepared) Hashtbl.t;  (* guarded_by: cache_lock *)
   cache_lock : Mutex.t;
-  mutable hits : int;  (* guarded by cache_lock *)
-  mutable misses : int;  (* guarded by cache_lock *)
+  mutable hits : int;  (* guarded_by: cache_lock *)
+  mutable misses : int;  (* guarded_by: cache_lock *)
 }
 
 let obs_cache_hits =
@@ -95,6 +95,9 @@ let profile_stored ?pool stored =
       match stored.profiled with
       | Some p -> p
       | None ->
+        (* lint: allow C004 profile-once by design: the clip's own leaf
+           lock serialises its first profile; no other lock is ever
+           taken while holding it *)
         let p = Annotation.Annotator.profile ?pool stored.clip in
         stored.profiled <- Some p;
         p)
@@ -239,8 +242,8 @@ let stale_annotation t ~clip ~device =
   | [] -> None
   | (_, p) :: _ -> Some p
 
-let prepare_many ?scene_params ?pool t specs =
-  let one (name, session) = prepare ?scene_params t ~name ~session in
+let prepare_many ?scene_params ?pool ?bulkhead t specs =
+  let one (name, session) = prepare ?scene_params ?bulkhead t ~name ~session in
   match pool with
   | None -> List.map one specs
   | Some pool ->

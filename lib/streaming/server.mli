@@ -72,13 +72,17 @@ val prepare :
 val prepare_many :
   ?scene_params:Annotation.Scene_detect.params ->
   ?pool:Par.Pool.t ->
+  ?bulkhead:Resilience.Bulkhead.t ->
   t ->
   (string * Negotiation.session) list ->
   (prepared, string) result list
 (** Batch [prepare]: fans the independent (clip, session) pairs across
     [pool] (sequentially without one) and returns results in input
     order. Shared work is not repeated — a clip profiles once, and
-    duplicate keys resolve to one cache entry. Output is the same
+    duplicate keys resolve to one cache entry. When [bulkhead] is
+    given, each expensive build runs through it exactly as in
+    [prepare]: cache hits are always served, a shed build serves the
+    passthrough stream and never enters the cache. Output is the same
     list [prepare] would build one call at a time. *)
 
 val cache_stats : t -> int * int

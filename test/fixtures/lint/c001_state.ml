@@ -1,0 +1,21 @@
+(* Negative fixture for C001: module-level mutable state in a
+   par-linked library with no concurrency story. Linted under the
+   pretend path [lib/par/c001_state.ml]. *)
+
+type t = {
+  name : string;
+  mutable count : int;
+}
+
+(* Annotated and atomic state does not fire. *)
+type guarded = {
+  lock : Mutex.t;
+  mutable hits : int;  (* guarded_by: lock *)
+  mutable scratch : int list;  (* owned_by: the domain that created it *)
+}
+
+let total = Atomic.make 0
+
+let make name = { name; count = 0 }
+
+let observe t = (t.name, t.count, Atomic.get total)

@@ -1,0 +1,22 @@
+(* Negative fixture for C002: Server.prepare's cache shape with the
+   locked fast path removed — the unlocked probe races the guarded
+   insert. Linted under the pretend path [lib/par/c002_cache.ml]. *)
+
+type t = {
+  cache_lock : Mutex.t;
+  cache : (string, int) Hashtbl.t;  (* guarded_by: cache_lock *)
+  build : string -> int;
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let prepare t name =
+  (* double-checked locking with the locked check removed *)
+  match Hashtbl.find_opt t.cache name with
+  | Some v -> v
+  | None ->
+    let v = t.build name in
+    with_lock t.cache_lock (fun () -> Hashtbl.replace t.cache name v);
+    v

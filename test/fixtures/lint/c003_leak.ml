@@ -1,0 +1,16 @@
+(* Negative fixture for C003: a mutex locked but never released in
+   the same binding. Linted under the pretend path
+   [lib/par/c003_leak.ml]. *)
+
+let m = Mutex.create ()
+
+let bump cell =
+  Mutex.lock m;
+  incr cell
+
+(* A balanced sibling does not fire. *)
+let read cell =
+  Mutex.lock m;
+  let v = !cell in
+  Mutex.unlock m;
+  v

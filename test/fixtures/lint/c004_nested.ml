@@ -1,0 +1,19 @@
+(* Negative fixture for C004: taking a second mutex while one is
+   already held. Linted under the pretend path
+   [lib/par/c004_nested.ml]. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let nested () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+(* Sequential (non-nested) use does not fire. *)
+let sequential () =
+  Mutex.lock a;
+  Mutex.unlock a;
+  Mutex.lock b;
+  Mutex.unlock b

@@ -1,0 +1,21 @@
+(* Negative fixture for C005: two bindings acquire the same two
+   mutexes in opposite orders. The nested acquisitions themselves
+   carry reasoned C004 allows so only the cycle fires. Linted under
+   the pretend path [lib/par/c005_cycle.ml]. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let ab () =
+  Mutex.lock a;
+  (* lint: allow C004 fixture exercises the cycle rule, not nesting *)
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+let ba () =
+  Mutex.lock b;
+  (* lint: allow C004 fixture exercises the cycle rule, not nesting *)
+  Mutex.lock a;
+  Mutex.unlock a;
+  Mutex.unlock b

@@ -1,0 +1,6 @@
+(* Negative fixture for C006: a raw concurrency primitive outside the
+   sanctioned modules. Linted under the pretend path
+   [lib/annot/c006_primitive.ml] — par-linked, but not a sanctioned
+   home for Domain/Mutex/Condition. *)
+
+let spawn_worker f = Domain.spawn f

@@ -1,0 +1,21 @@
+(* Clean concurrency fixture: annotated guarded state, a lock helper
+   that releases on every path, accesses only under the helper. Linted
+   under the pretend path [lib/par/c_clean.ml] — zero findings. *)
+
+type t = {
+  lock : Mutex.t;
+  mutable hits : int;  (* guarded_by: lock *)
+  mutable scratch : int list;  (* owned_by: the caller until publish *)
+}
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let create () = { lock = Mutex.create (); hits = 0; scratch = [] }
+
+let hit t = with_lock t.lock (fun () -> t.hits <- t.hits + 1)
+
+let hits t = with_lock t.lock (fun () -> t.hits)
+
+let stash t v = with_lock t.lock (fun () -> t.scratch <- v :: t.scratch)

@@ -129,6 +129,196 @@ let test_unparsable_is_l000 () =
   check_codes "garbage yields L000" [ "L000" ]
     (Lint.lint_source ~path:"broken.ml" "let let let = = =")
 
+(* --- concurrency fixtures ---------------------------------------------- *)
+
+module Callgraph = Check_lint.Callgraph
+module Concurrency = Check_lint.Concurrency
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let conc_source name ~path =
+  Lint.of_string ~path (read_file (Filename.concat "fixtures/lint" name))
+
+let conc_fixture name ~path =
+  let src = conc_source name ~path in
+  let g = Callgraph.build [ src ] in
+  Concurrency.check g [ src ]
+
+let test_c_fixtures_fire_once () =
+  List.iter
+    (fun (name, path, code) ->
+      let ds = conc_fixture name ~path in
+      Alcotest.(check int) (name ^ " fires exactly once") 1 (List.length ds);
+      check_codes name [ code ] ds)
+    [
+      ("c001_state.ml", "lib/par/c001_state.ml", "C001");
+      ("c002_cache.ml", "lib/par/c002_cache.ml", "C002");
+      ("c003_leak.ml", "lib/par/c003_leak.ml", "C003");
+      ("c004_nested.ml", "lib/par/c004_nested.ml", "C004");
+      ("c005_cycle.ml", "lib/par/c005_cycle.ml", "C005");
+      ("c006_primitive.ml", "lib/annot/c006_primitive.ml", "C006");
+    ]
+
+let test_c_clean_fixture () =
+  check_codes "c_clean.ml is clean" []
+    (conc_fixture "c_clean.ml" ~path:"lib/par/c_clean.ml")
+
+let test_c001_scope () =
+  (* The same mutable state is quiet outside the par-linked tree
+     (though the raw Atomic use still needs a sanctioned home). *)
+  Alcotest.(check bool) "no C001 on a bench path" true
+    (not
+       (List.mem "C001"
+          (codes (conc_fixture "c001_state.ml" ~path:"bench/c001_state.ml"))))
+
+let test_every_c_rule_has_a_fixture () =
+  Alcotest.(check (list string))
+    "concurrency registry matches fixture corpus"
+    [ "C001"; "C002"; "C003"; "C004"; "C005"; "C006" ]
+    (List.map (fun r -> r.Lint.code) Concurrency.rules)
+
+let test_c_deterministic_order () =
+  (* Same diagnostics, same order, whatever order the sources arrive
+     in — the contract `lint --json` relies on. *)
+  let s1 = conc_source "c001_state.ml" ~path:"lib/par/c001_state.ml" in
+  let s2 = conc_source "c003_leak.ml" ~path:"lib/par/c003_leak.ml" in
+  let run srcs = Concurrency.check (Callgraph.build srcs) srcs in
+  let a = run [ s1; s2 ] and b = run [ s2; s1 ] in
+  Alcotest.(check bool) "order-insensitive" true (a = b);
+  Alcotest.(check bool) "sorted" true (List.sort Diagnostic.compare a = a)
+
+(* --- call graph -------------------------------------------------------- *)
+
+let graph_of sources =
+  Callgraph.build (List.map (fun (path, text) -> Lint.of_string ~path text) sources)
+
+let internal_callee g ~def ~target =
+  List.exists
+    (fun (c, _) -> c = Callgraph.Internal target)
+    (Callgraph.callees g def)
+
+let test_callgraph_cross_module () =
+  (* Sibling units of the same library resolve through the module
+     name; another library resolves through its public name. *)
+  let g =
+    graph_of
+      [
+        ("lib/x/a.ml", "let tick () = 1\n");
+        ("lib/x/b.ml", "let run () = A.tick ()\n");
+        ("lib/streaming/server.ml", "let prepare () = 2\n");
+        ("lib/y/c.ml", "let go () = Streaming.Server.prepare ()\n");
+      ]
+  in
+  Alcotest.(check bool) "sibling unit" true
+    (internal_callee g
+       ~def:(Callgraph.node_id "lib/x/b.ml" "run")
+       ~target:(Callgraph.node_id "lib/x/a.ml" "tick"));
+  Alcotest.(check bool) "library-qualified" true
+    (internal_callee g
+       ~def:(Callgraph.node_id "lib/y/c.ml" "go")
+       ~target:(Callgraph.node_id "lib/streaming/server.ml" "prepare"))
+
+let test_callgraph_shadowing () =
+  let g =
+    graph_of
+      [
+        ( "lib/x/s.ml",
+          "let f () = 1\nlet g () = f ()\nlet f () = 2\nlet h () = f ()\n" );
+      ]
+  in
+  let callee_of name =
+    match Callgraph.callees g (Callgraph.node_id "lib/x/s.ml" name) with
+    | [ (Callgraph.Internal id, _) ] -> id
+    | _ -> Alcotest.fail ("unexpected callees for " ^ name)
+  in
+  Alcotest.(check bool) "g and h bind different f's" true
+    (callee_of "g" <> callee_of "h")
+
+let test_callgraph_local_shadowing () =
+  (* A locally rebound name must not create an edge to the top-level
+     binding it shadows. *)
+  let g =
+    graph_of
+      [ ("lib/x/l.ml", "let f () = 1\n\nlet s x =\n  let f y = y in\n  f x\n") ]
+  in
+  let cs = Callgraph.callees g (Callgraph.node_id "lib/x/l.ml" "s") in
+  Alcotest.(check bool) "local f suppresses the edge" true
+    (not
+       (List.exists
+          (fun (c, _) ->
+            match c with
+            | Callgraph.Internal id -> Callgraph.display_name id = "f"
+            | Callgraph.External _ -> false)
+          cs))
+
+let test_callgraph_local_open () =
+  let g =
+    graph_of
+      [
+        ( "lib/x/o.ml",
+          "module M = struct\n  let inner () = 7\nend\n\n\
+           let use () =\n  let open M in\n  inner ()\n" );
+      ]
+  in
+  Alcotest.(check bool) "let open resolves inner" true
+    (internal_callee g
+       ~def:(Callgraph.node_id "lib/x/o.ml" "use")
+       ~target:(Callgraph.node_id "lib/x/o.ml" "M.inner"))
+
+let test_transitive_effects () =
+  (* The entry point is flagged with a witness chain; the direct
+     caller is the per-file pass's finding, not repeated here. *)
+  let g =
+    graph_of
+      [
+        ("lib/x/clock.ml", "let tick () = Unix.gettimeofday ()\n");
+        ("lib/x/entry.ml", "let run () = Clock.tick ()\n");
+      ]
+  in
+  match Callgraph.transitive_effects g with
+  | [ d ] ->
+    Alcotest.(check string) "code" "L001" d.Diagnostic.code;
+    Alcotest.(check string) "flagged at the entry" "lib/x/entry.ml"
+      d.Diagnostic.file;
+    Alcotest.(check bool) "witness names the chain" true
+      (contains d.Diagnostic.message "tick"
+      && contains d.Diagnostic.message "Unix.gettimeofday")
+  | ds ->
+    Alcotest.fail
+      (Printf.sprintf "expected exactly one transitive finding, got %d"
+         (List.length ds))
+
+let test_transitive_effects_allow_cut () =
+  (* A reasoned allow at the intermediate call site is a trust
+     boundary: propagation stops there. *)
+  let g =
+    graph_of
+      [
+        ("lib/x/clock.ml", "let tick () = Unix.gettimeofday ()\n");
+        ( "lib/x/entry.ml",
+          "let run () =\n\
+           \  (* lint: allow L001 replay harness reads the wall clock *)\n\
+           \  Clock.tick ()\n" );
+      ]
+  in
+  check_codes "allow cuts the chain" [] (Callgraph.transitive_effects g)
+
+let test_allows_listing () =
+  let src =
+    Lint.of_string ~path:"lib/x/a.ml"
+      "(* lint: allow L001 bench rig owns its clock *)\n\
+       let t () = Unix.gettimeofday ()\n"
+  in
+  match Lint.allows src with
+  | [ a ] ->
+    Alcotest.(check string) "code" "L001" a.Lint.a_code;
+    Alcotest.(check string) "reason" "bench rig owns its clock" a.Lint.a_reason
+  | l ->
+    Alcotest.fail (Printf.sprintf "expected one allow, got %d" (List.length l))
+
 (* --- diagnostic JSON schema -------------------------------------------- *)
 
 let sample_diags =
@@ -469,6 +659,28 @@ let () =
           Alcotest.test_case "hooks exempt from L012" `Quick test_l012_resilience_exempt;
           Alcotest.test_case "registry covered" `Quick test_every_rule_has_a_fixture;
           Alcotest.test_case "unparsable" `Quick test_unparsable_is_l000;
+        ] );
+      ( "concurrency rules",
+        [
+          Alcotest.test_case "fixtures fire once" `Quick test_c_fixtures_fire_once;
+          Alcotest.test_case "clean fixture" `Quick test_c_clean_fixture;
+          Alcotest.test_case "scoped to par-linked" `Quick test_c001_scope;
+          Alcotest.test_case "registry covered" `Quick
+            test_every_c_rule_has_a_fixture;
+          Alcotest.test_case "deterministic order" `Quick
+            test_c_deterministic_order;
+        ] );
+      ( "call graph",
+        [
+          Alcotest.test_case "cross-module" `Quick test_callgraph_cross_module;
+          Alcotest.test_case "shadowing" `Quick test_callgraph_shadowing;
+          Alcotest.test_case "local shadowing" `Quick
+            test_callgraph_local_shadowing;
+          Alcotest.test_case "local open" `Quick test_callgraph_local_open;
+          Alcotest.test_case "transitive effects" `Quick test_transitive_effects;
+          Alcotest.test_case "allow cuts the chain" `Quick
+            test_transitive_effects_allow_cut;
+          Alcotest.test_case "allows listing" `Quick test_allows_listing;
         ] );
       ( "diagnostic json",
         [

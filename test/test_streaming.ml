@@ -295,6 +295,93 @@ let test_server_prepare_many_stress () =
   check int "one cached stream per distinct key" (List.length qualities)
     (Streaming.Server.cache_size server)
 
+let test_server_prepare_many_bulkhead_stress () =
+  (* 64 racing sessions from eight domains through a saturated
+     bulkhead: cache hits are served regardless, every cold build is
+     shed to the passthrough and never cached, and the clip is still
+     profiled exactly once. Saturating the compartment by hand (one
+     un-released admission, queue limit 0) makes the shed decisions
+     deterministic — a racing batch alone could in principle never
+     overlap. *)
+  Obs.with_enabled @@ fun () ->
+  let profiles = Obs.counter "annot_profiles_total" [] in
+  let before = Obs.Metrics.Counter.value profiles in
+  let server = Streaming.Server.create () in
+  let clip = two_scene_clip () in
+  Streaming.Server.add_clip server clip;
+  (* Pre-warm one key so the batch mixes hits with shed misses. *)
+  (match
+     Streaming.Server.prepare server ~name:"stream-test"
+       ~session:(make_session Annotation.Quality_level.Loss_10)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let bulkhead =
+    Resilience.Bulkhead.create
+      ~config:{ Resilience.Bulkhead.capacity = 1; queue_limit = 0 }
+      ~name:"test-prepare" ()
+  in
+  let occupied = Resilience.Bulkhead.enter bulkhead in
+  Alcotest.(check bool) "saturating admission admitted" true
+    (occupied.Resilience.Bulkhead.decision = Resilience.Bulkhead.Admitted);
+  let qualities =
+    [
+      Annotation.Quality_level.Lossless;
+      Annotation.Quality_level.Loss_5;
+      Annotation.Quality_level.Loss_10;
+      Annotation.Quality_level.Loss_15;
+    ]
+  in
+  let specs =
+    List.concat_map
+      (fun q -> List.init 16 (fun _ -> ("stream-test", make_session q)))
+      qualities
+  in
+  let results =
+    Par.Pool.with_pool ~domains:8 (fun pool ->
+        Streaming.Server.prepare_many ~pool ~bulkhead server specs)
+  in
+  check int "one result per spec" (List.length specs) (List.length results);
+  let ok =
+    List.map (function Ok p -> p | Error e -> Alcotest.fail e) results
+  in
+  (* A passthrough shares the stored clip; a real build compensates a
+     copy. The pre-warmed quality is served from the cache even though
+     the compartment is full; every other quality is shed. *)
+  let shed, served =
+    List.partition (fun p -> p.Streaming.Server.compensated == clip) ok
+  in
+  check int "48 cold builds shed" 48 (List.length shed);
+  check int "16 warm lookups served from cache" 16 (List.length served);
+  List.iter
+    (fun p ->
+      check bool "served results are the pre-warmed quality" true
+        (p.Streaming.Server.session.Streaming.Negotiation.quality
+        = Annotation.Quality_level.Loss_10))
+    served;
+  check int "shed results never cached" 1 (Streaming.Server.cache_size server);
+  check int "profiled exactly once (the pre-warm)" 1
+    (Obs.Metrics.Counter.value profiles - before);
+  let hits, misses = Streaming.Server.cache_stats server in
+  check int "every lookup counted" 65 (hits + misses);
+  check int "warm lookups hit" 16 (hits - 0);
+  (* Free the compartment: the next prepare is admitted, builds for
+     real and enters the cache. *)
+  Resilience.Bulkhead.release bulkhead;
+  (match
+     Streaming.Server.prepare server ~bulkhead ~name:"stream-test"
+       ~session:(make_session Annotation.Quality_level.Loss_5)
+   with
+  | Ok p ->
+    check bool "admitted build is a real stream" true
+      (not (p.Streaming.Server.compensated == clip))
+  | Error e -> Alcotest.fail e);
+  check int "admitted build is cached" 2 (Streaming.Server.cache_size server);
+  let admitted, queued, shed_total = Resilience.Bulkhead.stats bulkhead in
+  check int "one saturating + one final admission" 2 admitted;
+  check int "nothing ever queued" 0 queued;
+  check int "48 sheds counted" 48 shed_total
+
 let test_server_encode_video () =
   let server = Streaming.Server.create () in
   Streaming.Server.add_clip server (two_scene_clip ());
@@ -1079,6 +1166,8 @@ let () =
             test_server_scene_params_bypass_cache;
           Alcotest.test_case "prepare_many stress" `Quick
             test_server_prepare_many_stress;
+          Alcotest.test_case "prepare_many bulkhead stress" `Quick
+            test_server_prepare_many_bulkhead_stress;
           Alcotest.test_case "encode video" `Quick test_server_encode_video;
         ] );
       ( "playback",
