@@ -1,6 +1,6 @@
 # Convenience targets; dune does the real work.
 
-.PHONY: all build test check bench clean slo-smoke chaos chaos-ladder lint verify-fixtures gate baseline
+.PHONY: all build test check bench clean slo-smoke fleet-smoke chaos chaos-ladder lint verify-fixtures gate baseline
 
 all: build
 
@@ -19,7 +19,8 @@ test:
 check:
 	dune build && dune runtest && PAR_JOBS=4 dune runtest --force \
 	  && $(MAKE) lint && $(MAKE) verify-fixtures \
-	  && $(MAKE) slo-smoke && $(MAKE) chaos && $(MAKE) chaos-ladder \
+	  && $(MAKE) slo-smoke && $(MAKE) fleet-smoke \
+	  && $(MAKE) chaos && $(MAKE) chaos-ladder \
 	  && $(MAKE) gate
 
 # Static gate 1: the determinism linter over the library and tool
@@ -50,6 +51,15 @@ verify-fixtures:
 slo-smoke:
 	dune exec bin/playback.exe -- -c theincredibles-tlr2 --monitor \
 	  --slo examples/default.slo > /dev/null
+
+# Fleet health gate: a small fleet through the shard scheduler CLI
+# must meet the fleet SLOs (no failed sessions, non-negative savings)
+# and leave a decision journal that passes the offline V4xx audit.
+fleet-smoke:
+	dune build
+	dune exec bin/fleet_cli.exe -- --sessions 150 --width 16 --height 12 \
+	  --monitor --journal _build/fleet-smoke.journal -j 4 > /dev/null
+	dune exec bin/lint.exe -- verify _build/fleet-smoke.journal > /dev/null
 
 # Chaos gate: every CLI must survive the example fault profiles
 # (burst loss, corruption, reorder, jitter, bandwidth collapse)
@@ -96,33 +106,35 @@ chaos-ladder:
 bench:
 	dune exec bench/main.exe
 
-# Energy + resilience regression gate: the committed baseline must
-# reproduce within tolerance (both the energy rows and the chaos-ladder
-# counts), and a synthetic 10% energy regression must trip the gate.
-# Runs in _build/gate so the committed BENCH_*.json artifacts are not
-# overwritten by the partial reports these runs produce.
+# Energy + resilience + fleet regression gate: the committed baseline
+# must reproduce within tolerance (the energy rows, the chaos-ladder
+# counts and the fleet scheduler counts), and a synthetic 10% energy
+# regression must trip the gate. Runs in _build/gate so the committed
+# BENCH_*.json artifacts are not overwritten by the partial reports
+# these runs produce.
 gate:
 	dune build
 	mkdir -p _build/gate
 	cd _build/gate && ../default/bench/main.exe energy resilience-ladder \
-	  --baseline ../../BENCH_baseline.json --gate > /dev/null
+	  fleet --baseline ../../BENCH_baseline.json --gate > /dev/null
 	cd _build/gate && ../default/bin/lint.exe verify BENCH_session.journal \
-	  BENCH_ladder.journal > /dev/null
+	  BENCH_ladder.journal BENCH_fleet.journal > /dev/null
 	cd _build/gate && ! ../default/bench/main.exe energy resilience-ladder \
-	  --baseline ../../BENCH_baseline.json --gate --inject-regression 10 \
-	  > /dev/null
+	  fleet --baseline ../../BENCH_baseline.json --gate \
+	  --inject-regression 10 > /dev/null
 	@echo "gate: baseline reproduces; injected 10% regression trips it;"
 	@echo "gate: the bench journals pass the offline V4xx audit"
 
-# Regenerate the committed bench baseline (energy rows + chaos-ladder
-# counts). Do this ONLY alongside a reasoned diff in the PR: state what
-# moved, by how much, and why the new numbers are correct — the gate
-# exists to make silent drift impossible.
+# Regenerate the committed bench baseline (energy rows, chaos-ladder
+# counts, fleet scheduler counts). Do this ONLY alongside a reasoned
+# diff in the PR: state what moved, by how much, and why the new
+# numbers are correct — the gate exists to make silent drift
+# impossible.
 baseline:
 	dune build
 	mkdir -p _build/gate
 	cd _build/gate && ../default/bench/main.exe energy resilience-ladder \
-	  --write-baseline ../../BENCH_baseline.json
+	  fleet --write-baseline ../../BENCH_baseline.json
 	@echo
 	@echo "BENCH_baseline.json regenerated. Commit it together with a"
 	@echo "reasoned diff (what moved, by how much, why it is correct)."

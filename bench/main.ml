@@ -1652,6 +1652,146 @@ let resilience_ladder () =
     \ stale, so the same damage walks through clamp to full backlight,\n\
     \ and its tighter breaker opens on the NACK loop instead of retrying)"
 
+(* --- Extension: E20 fleet-scale scheduler ---------------------------------- *)
+
+(* Rows for the report's "fleet" section; everything except the
+   wall-clock throughput column is a pure function of the seeds, so
+   the gate compares it exactly. *)
+let fleet_rows : Obs.Json.t list ref = ref []
+
+let fleet_bench () =
+  section "Extension — E20: fleet-scale streaming fabric (shard scheduler)";
+  (* Catalog: sixteen tiny parametric clips. Fleet throughput comes
+     from interleaving thousands of sessions, not from frame sizes —
+     one simulated second at 8 fps keeps 10,000 sessions inside a
+     bench budget while every session still walks the full pipeline.
+     Sixteen distinct names (vs the ring's 4 shards) keeps the
+     consistent-hash assignment from leaving any shard idle. *)
+  let clips =
+    Array.init 16 (fun i ->
+        Video.Clip_gen.render ~width:16 ~height:12 ~fps:8.
+          (Video.Workloads.parametric ~seconds:1.0
+             ~base_level:(30 + (12 * i))
+             ~highlight_peak:(140 + (5 * i))
+             ()))
+  in
+  let session_config = Streaming.Session.default_config ~device in
+  (* Open loop with every load feature on: Zipf popularity, a diurnal
+     swing, and a flash crowd that overruns the admission queues so
+     the shed path is exercised deterministically. *)
+  let load =
+    {
+      Fleet.Load.default with
+      Fleet.Load.sessions = 10_000;
+      rate_per_s = 150.;
+      diurnal_amplitude = 0.3;
+      diurnal_period_s = 40.;
+      spike_at_s = Some 30.;
+      spike_factor = 4.;
+      spike_width_s = 10.;
+    }
+  in
+  (* Sized so the steady state (including the hottest shard's share of
+     the Zipf-skewed traffic) fits under [capacity], while the x4
+     flash crowd overruns capacity and queue on the hot shards — the
+     shed path must show up in the gated counts. *)
+  let config =
+    {
+      Fleet.Scheduler.default_config with
+      Fleet.Scheduler.shards = 4;
+      capacity = 96;
+      queue_limit = 64;
+    }
+  in
+  let domains = !bench_jobs in
+  let run_fleet ~domains load =
+    if domains = 1 then
+      Fleet.Scheduler.run config ~session_config ~clips ~load
+    else
+      Par.Pool.with_pool ~domains (fun pool ->
+          Fleet.Scheduler.run ~pool config ~session_config ~clips ~load)
+  in
+  let t0 = Obs.Clock.now_ns () in
+  let report = run_fleet ~domains load in
+  let wall_s = Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns ~since:t0) in
+  let sessions_per_domain_per_s =
+    float_of_int report.Fleet.Scheduler.completed
+    /. wall_s /. float_of_int domains
+  in
+  Printf.printf "%d domains, %d shards:\n%s\n\n" domains
+    config.Fleet.Scheduler.shards
+    (Format.asprintf "%a" Fleet.Scheduler.pp_report
+       { report with Fleet.Scheduler.shard_reports = [||] });
+  Printf.printf "%-8s %9s %10s %9s %6s %8s %11s\n" "shard" "assigned"
+    "completed" "degraded" "shed" "peak" "cache h/m";
+  rule ();
+  Array.iter
+    (fun (sr : Fleet.Scheduler.shard_report) ->
+      Printf.printf "%-8d %9d %10d %9d %6d %8d %6d/%-4d\n"
+        sr.Fleet.Scheduler.shard sr.Fleet.Scheduler.assigned
+        sr.Fleet.Scheduler.completed sr.Fleet.Scheduler.degraded
+        sr.Fleet.Scheduler.shed sr.Fleet.Scheduler.peak_in_flight
+        sr.Fleet.Scheduler.cache_hits sr.Fleet.Scheduler.cache_misses)
+    report.Fleet.Scheduler.shard_reports;
+  Printf.printf
+    "\nwall %.2f s — %.0f sessions/s/domain (wall), %.1f sessions per \
+     simulated second\n"
+    wall_s sessions_per_domain_per_s
+    report.Fleet.Scheduler.sessions_per_sim_second;
+  (* Determinism: the shard loops share no state, so the journal and
+     every report number must be byte-identical at any domain count —
+     checked on a smaller fleet so the bench stays fast. *)
+  let replay_load = { load with Fleet.Load.sessions = 1_500 } in
+  let j1 = Fleet.Scheduler.journal (run_fleet ~domains:1 replay_load) in
+  let j2 = Fleet.Scheduler.journal (run_fleet ~domains:2 replay_load) in
+  let j1' = Fleet.Scheduler.journal (run_fleet ~domains:1 replay_load) in
+  let replay_mismatches =
+    (if String.equal j1 j2 then 0 else 1)
+    + if String.equal j1 j1' then 0 else 1
+  in
+  if replay_mismatches > 0 then
+    Printf.printf "  fleet journals DIVERGED across domain counts\n";
+  Printf.printf "replay: %d mismatch(es) across 1/2-domain runs and a rerun\n"
+    replay_mismatches;
+  let journal_bytes = Fleet.Scheduler.journal report in
+  Obs.write_file ~path:"BENCH_fleet.journal" journal_bytes;
+  Printf.printf
+    "wrote BENCH_fleet.journal (%d events, %d bytes — read back with \
+     `inspect timeline`, audit with `lint verify`)\n"
+    (List.length report.Fleet.Scheduler.journal_events)
+    (String.length journal_bytes);
+  let healthy = Obs.Monitor.healthy report.Fleet.Scheduler.monitor in
+  Printf.printf "fleet SLO rollup: %s\n" (if healthy then "OK" else "BREACHED");
+  fleet_rows :=
+    !fleet_rows
+    @ [
+        Obs.Json.Obj
+          [
+            ("clip", Obs.Json.String "fleet-10k");
+            ("sessions", Obs.Json.Int report.Fleet.Scheduler.sessions);
+            ("completed", Obs.Json.Int report.Fleet.Scheduler.completed);
+            ("degraded", Obs.Json.Int report.Fleet.Scheduler.degraded);
+            ("failed", Obs.Json.Int report.Fleet.Scheduler.failed);
+            ("shed", Obs.Json.Int report.Fleet.Scheduler.shed);
+            ("machine_ticks", Obs.Json.Int report.Fleet.Scheduler.ticks);
+            ( "journal_events",
+              Obs.Json.Int (List.length report.Fleet.Scheduler.journal_events)
+            );
+            ("journal_bytes", Obs.Json.Int (String.length journal_bytes));
+            ( "sim_duration_s",
+              Obs.Json.Float report.Fleet.Scheduler.sim_duration_s );
+            ( "sessions_per_sim_second",
+              Obs.Json.Float report.Fleet.Scheduler.sessions_per_sim_second );
+            ( "mean_device_savings_pct",
+              Obs.Json.Float
+                (100. *. report.Fleet.Scheduler.mean_device_savings) );
+            ("monitor_healthy", Obs.Json.Int (if healthy then 1 else 0));
+            ("replay_mismatches", Obs.Json.Int replay_mismatches);
+            ( "sessions_per_domain_per_s",
+              Obs.Json.Float sessions_per_domain_per_s );
+          ];
+      ]
+
 (* --- regression gate ------------------------------------------------------- *)
 
 let baseline_comment =
@@ -1671,6 +1811,9 @@ let ladder_section () =
   if !resilience_ladder_rows = [] then []
   else [ ("resilience_ladder", Obs.Json.List !resilience_ladder_rows) ]
 
+let fleet_section () =
+  if !fleet_rows = [] then [] else [ ("fleet", Obs.Json.List !fleet_rows) ]
+
 let write_baseline ~path =
   if !energy_rows = [] then begin
     prerr_endline
@@ -1685,7 +1828,7 @@ let write_baseline ~path =
              ("_comment", Obs.Json.String baseline_comment);
              ("energy", Obs.Json.List !energy_rows);
            ]
-          @ summary_section () @ ladder_section ())));
+          @ summary_section () @ ladder_section () @ fleet_section ())));
   Printf.printf "wrote %s\n" path
 
 (* Flatten a report row into (metric path, numeric value) pairs;
@@ -1774,14 +1917,23 @@ let gate ~baseline_path =
     | Some (Obs.Json.List rows) -> rows
     | Some _ | None -> []
   in
+  (* The fleet section rides the same comparison under the same
+     additive-diff rule; its single row is keyed "fleet-10k". *)
+  let baseline_fleet_rows json =
+    match Obs.Json.member "fleet" json with
+    | Some (Obs.Json.List rows) -> rows
+    | Some _ | None -> []
+  in
   let base =
     flatten_rows baseline_rows
     @ flatten_rows (ladder_rows baseline_json)
+    @ flatten_rows (baseline_fleet_rows baseline_json)
     @ flatten_summary (Obs.Json.member "summary" baseline_json)
   in
   let current =
     flatten_rows !energy_rows
     @ flatten_rows !resilience_ladder_rows
+    @ flatten_rows !fleet_rows
     @ flatten_summary
         (match !energy_summary with
         | [] -> None
@@ -1855,6 +2007,9 @@ let experiments =
     ( "resilience-ladder",
       "chaos ladder: zero-abort sweep under the default profile (E19)",
       resilience_ladder );
+    ( "fleet",
+      "fleet-scale shard scheduler: 10k interleaved sessions (E20)",
+      fleet_bench );
     ("parallel", "domain-pool profiling speedup and prepared cache", parallel);
     ("content-sweep", "savings vs content brightness", content_sweep);
     ("hebs", "histogram-equalisation baseline", hebs);
@@ -1974,8 +2129,8 @@ let report_obs () =
     let report =
       Obs.Json.Obj
         ([ ("phases", phases); ("critical_path", critical_path) ]
-        @ summary_section () @ resilience @ ladder_section () @ parallel
-        @ energy_section ())
+        @ summary_section () @ resilience @ ladder_section () @ fleet_section ()
+        @ parallel @ energy_section ())
     in
     Obs.write_file ~path:"BENCH_report.json" (Obs.Json.to_string report);
     Printf.printf "\nwrote BENCH_obs.json and BENCH_report.json\n"
@@ -1995,14 +2150,14 @@ let () =
   let rec strip_flags = function
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
-      | Some n when n >= 1 ->
-        bench_jobs := n;
+      | Some n ->
+        bench_jobs := Par.Pool.normalize_jobs n;
         strip_flags rest
-      | Some _ | None ->
-        prerr_endline "bench: --jobs expects a positive integer";
+      | None ->
+        prerr_endline "bench: --jobs expects an integer";
         exit 1)
     | [ "--jobs" ] ->
-      prerr_endline "bench: --jobs expects a positive integer";
+      prerr_endline "bench: --jobs expects an integer";
       exit 1
     | "--baseline" :: path :: rest ->
       baseline_path := Some path;

@@ -207,12 +207,13 @@ let jobs_arg =
            to $(b,PAR_JOBS) from the environment, else 1.")
 
 (* [with_jobs jobs f] hands [f] a pool of [jobs] domains (or [None]
-   for a sequential run) and tears the pool down afterwards. *)
+   for a sequential run) and tears the pool down afterwards. The
+   count is normalized, not validated: 0, negative and oversized
+   requests clamp (Par.Pool.normalize_jobs) instead of erroring,
+   because the domain count is a performance knob that never changes
+   results. *)
 let with_jobs jobs f =
-  if jobs < 1 then begin
-    prerr_endline "error: --jobs must be at least 1";
-    exit 1
-  end;
+  let jobs = Par.Pool.normalize_jobs jobs in
   if jobs = 1 then f None
   else Par.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
 

@@ -639,7 +639,8 @@ let check_journal ~file data =
                 (Printf.sprintf "frame %d (byte %d): %s" !frame offset msg))
          | Ok event ->
            (match event.Obs.Journal.kind with
-           | Obs.Journal.Session_start _ -> last_phase := -1
+           | Obs.Journal.Session_start _ | Obs.Journal.Fleet_shard_start _ ->
+             last_phase := -1
            | _ -> ());
            let ph = Obs.Journal.phase event.Obs.Journal.kind in
            let t_us = event.Obs.Journal.t_us in

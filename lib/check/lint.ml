@@ -85,6 +85,7 @@ let journal_hook_files =
     "lib/streaming/transport.ml"; "lib/streaming/fault.ml";
     "lib/annot/annotator.ml"; "lib/resilience/breaker.ml";
     "lib/resilience/degrade.ml"; "lib/resilience/bulkhead.ml";
+    "lib/fleet/scheduler.ml";
   ]
 
 (* Resilience state transitions. Breaker trip/probe accounting and

@@ -1,0 +1,25 @@
+(** Consistent-hash ring over shards.
+
+    The fleet scheduler routes every session to the shard owning its
+    clip, so each shard's prepared-stream cache only ever holds the
+    clips hashed to it. A consistent ring (virtual nodes on FNV-1a
+    64-bit points) keeps that ownership stable as the fleet is
+    re-provisioned: growing from [n] to [n + 1] shards moves only
+    about [1 / (n + 1)] of the keys — a modulo assignment would move
+    almost all of them and cold-start every cache at once. Hashing is
+    seedless and platform-independent, so a key's owner is a pure
+    function of [(key, shards, vnodes)] — reproducible across runs,
+    which the fleet's determinism tests rely on. *)
+
+type t
+
+val create : ?vnodes:int -> shards:int -> unit -> t
+(** [create ~shards ()] builds a ring of [shards * vnodes] points
+    ([vnodes] defaults to 64 — enough for a few percent of assignment
+    imbalance). Raises [Invalid_argument] when either count is below
+    one. *)
+
+val lookup : t -> string -> int
+(** [lookup t key] is the owning shard, in [0, shards). *)
+
+val shards : t -> int

@@ -1,0 +1,204 @@
+type arrival = Open_loop | Closed_loop
+
+type t = {
+  arrival : arrival;
+  sessions : int;
+  rate_per_s : float;
+  concurrency : int;
+  zipf_s : float;
+  diurnal_amplitude : float;
+  diurnal_period_s : float;
+  spike_at_s : float option;
+  spike_factor : float;
+  spike_width_s : float;
+  seed : int;
+}
+
+let default =
+  {
+    arrival = Open_loop;
+    sessions = 1000;
+    rate_per_s = 100.;
+    concurrency = 32;
+    zipf_s = 1.1;
+    diurnal_amplitude = 0.;
+    diurnal_period_s = 86400.;
+    spike_at_s = None;
+    spike_factor = 1.;
+    spike_width_s = 0.;
+    seed = 7;
+  }
+
+exception Bad_profile of string
+
+let validate t =
+  if t.sessions < 1 then raise (Bad_profile "sessions must be >= 1");
+  if not (t.rate_per_s > 0.) then raise (Bad_profile "rate_per_s must be > 0");
+  if t.concurrency < 1 then raise (Bad_profile "concurrency must be >= 1");
+  if not (t.zipf_s >= 0.) then raise (Bad_profile "zipf_s must be >= 0");
+  if not (t.diurnal_amplitude >= 0. && t.diurnal_amplitude < 1.) then
+    raise (Bad_profile "diurnal_amplitude must be in [0, 1)");
+  if not (t.diurnal_period_s > 0.) then
+    raise (Bad_profile "diurnal_period_s must be > 0");
+  if not (t.spike_factor > 0.) then
+    raise (Bad_profile "spike_factor must be > 0");
+  if not (t.spike_width_s >= 0.) then
+    raise (Bad_profile "spike_width_s must be >= 0");
+  (match t.spike_at_s with
+  | Some at when not (at >= 0.) -> raise (Bad_profile "spike_at_s must be >= 0")
+  | _ -> ());
+  t
+
+let parse text =
+  let p = ref default in
+  let float_of what v =
+    match float_of_string_opt (String.trim v) with
+    | Some f -> f
+    | None -> raise (Bad_profile (Printf.sprintf "%s: bad number %S" what v))
+  in
+  let int_of what v =
+    match int_of_string_opt (String.trim v) with
+    | Some i -> i
+    | None -> raise (Bad_profile (Printf.sprintf "%s: bad integer %S" what v))
+  in
+  let handle_line n line =
+    let body =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    if String.trim body <> "" then begin
+      match String.index_opt body '=' with
+      | None ->
+        raise (Bad_profile (Printf.sprintf "line %d: expected key = value" n))
+      | Some i ->
+        let key = String.trim (String.sub body 0 i) in
+        let value =
+          String.trim (String.sub body (i + 1) (String.length body - i - 1))
+        in
+        (match key with
+        | "arrival" -> (
+          match String.lowercase_ascii value with
+          | "open" -> p := { !p with arrival = Open_loop }
+          | "closed" -> p := { !p with arrival = Closed_loop }
+          | other ->
+            raise
+              (Bad_profile
+                 (Printf.sprintf "line %d: unknown arrival %S (open, closed)" n
+                    other)))
+        | "sessions" -> p := { !p with sessions = int_of key value }
+        | "rate_per_s" -> p := { !p with rate_per_s = float_of key value }
+        | "concurrency" -> p := { !p with concurrency = int_of key value }
+        | "zipf_s" -> p := { !p with zipf_s = float_of key value }
+        | "diurnal_amplitude" ->
+          p := { !p with diurnal_amplitude = float_of key value }
+        | "diurnal_period_s" ->
+          p := { !p with diurnal_period_s = float_of key value }
+        | "spike_at_s" -> p := { !p with spike_at_s = Some (float_of key value) }
+        | "spike_factor" -> p := { !p with spike_factor = float_of key value }
+        | "spike_width_s" ->
+          p := { !p with spike_width_s = float_of key value }
+        | "seed" -> p := { !p with seed = int_of key value }
+        | other ->
+          raise (Bad_profile (Printf.sprintf "line %d: unknown key %S" n other)))
+    end
+  in
+  try
+    List.iteri
+      (fun i line -> handle_line (i + 1) line)
+      (String.split_on_char '\n' text);
+    Ok (validate !p)
+  with Bad_profile msg -> Error msg
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+(* Instantaneous arrival rate: the configured mean, modulated by the
+   diurnal sine and the flash-crowd window. Floored well above zero so
+   a deep diurnal trough can only stretch interarrival gaps, never
+   stall the generator. *)
+let rate_at t now_s =
+  let diurnal =
+    1.
+    +. t.diurnal_amplitude
+       *. sin (2. *. Float.pi *. now_s /. t.diurnal_period_s)
+  in
+  let spike =
+    match t.spike_at_s with
+    | Some at
+      when now_s >= at -. (t.spike_width_s /. 2.)
+           && now_s <= at +. (t.spike_width_s /. 2.) ->
+      t.spike_factor
+    | _ -> 1.
+  in
+  Float.max 1e-6 (t.rate_per_s *. diurnal *. spike)
+
+type plan = { clip_of : int array; arrival_s : float array }
+
+(* Distinct deterministic streams per concern (same idiom as
+   Fault): changing the arrival process never changes which clip a
+   session plays, so shard ownership is stable across load shapes. *)
+let salt_clip = 0x3c6ef
+let salt_arrival = 0x1b873
+
+let plan t ~catalog =
+  if catalog < 1 then invalid_arg "Fleet.Load.plan: catalog must be >= 1";
+  (* Zipf(s) over catalog ranks by inverse CDF: rank k gets weight
+     1 / (k + 1)^s, so rank 0 is the head of the popularity curve. *)
+  let cumulative = Array.make catalog 0. in
+  let total = ref 0. in
+  for k = 0 to catalog - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (k + 1)) t.zipf_s);
+    cumulative.(k) <- !total
+  done;
+  let pick_clip u =
+    let target = u *. !total in
+    let lo = ref 0 and hi = ref (catalog - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cumulative.(mid) < target then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let r_clip = Image.Prng.create ~seed:((t.seed * 0x2545f49) lxor salt_clip) in
+  let clip_of =
+    Array.init t.sessions (fun _ -> pick_clip (Image.Prng.float r_clip 1.))
+  in
+  let arrival_s =
+    match t.arrival with
+    | Closed_loop ->
+      (* The scheduler starts closed-loop sessions as slots free up;
+         there is no exogenous arrival time. *)
+      Array.make t.sessions 0.
+    | Open_loop ->
+      let r =
+        Image.Prng.create ~seed:((t.seed * 0x2545f49) lxor salt_arrival)
+      in
+      let now = ref 0. in
+      Array.init t.sessions (fun _ ->
+          let u = Float.max (Image.Prng.float r 1.) 1e-12 in
+          now := !now +. (-.log u /. rate_at t !now);
+          !now)
+  in
+  { clip_of; arrival_s }
+
+let pp ppf t =
+  let open Format in
+  fprintf ppf "%s loop, %d sessions"
+    (match t.arrival with Open_loop -> "open" | Closed_loop -> "closed")
+    t.sessions;
+  (match t.arrival with
+  | Open_loop -> fprintf ppf ", %.1f/s" t.rate_per_s
+  | Closed_loop -> fprintf ppf ", concurrency %d" t.concurrency);
+  fprintf ppf ", zipf %.2f" t.zipf_s;
+  if t.diurnal_amplitude > 0. then
+    fprintf ppf ", diurnal %.0f%% over %.0fs" (100. *. t.diurnal_amplitude)
+      t.diurnal_period_s;
+  (match t.spike_at_s with
+  | Some at ->
+    fprintf ppf ", spike x%.1f at %.0fs (+/-%.0fs)" t.spike_factor at
+      (t.spike_width_s /. 2.)
+  | None -> ());
+  fprintf ppf ", seed %d" t.seed

@@ -21,6 +21,10 @@ let kind_label (kind : Journal.kind) =
   | Journal.Breaker_transition _ -> "breaker-transition"
   | Journal.Bulkhead_decision _ -> "bulkhead-decision"
   | Journal.Watchdog_trip _ -> "watchdog-trip"
+  | Journal.Fleet_shard_start _ -> "fleet-shard-start"
+  | Journal.Fleet_arrival _ -> "fleet-arrival"
+  | Journal.Fleet_admission _ -> "fleet-admission"
+  | Journal.Fleet_session_end _ -> "fleet-session-end"
 
 let trigger_label (t : Journal.trigger) =
   match t with
@@ -94,6 +98,15 @@ let pp_event ppf ({ Journal.t_us; kind } : Journal.event) =
       e.in_flight e.queued
   | Journal.Watchdog_trip e ->
     fprintf ppf "%s overran %dus budget by %dus" e.stage e.budget_us e.over_us
+  | Journal.Fleet_shard_start e ->
+    fprintf ppf "shard %d/%d: %d sessions" e.shard e.shards e.sessions
+  | Journal.Fleet_arrival e -> fprintf ppf "session %d: %s" e.session e.clip
+  | Journal.Fleet_admission e ->
+    fprintf ppf "session %d: %s (%d in flight, %d queued)" e.session e.decision
+      e.in_flight e.queued
+  | Journal.Fleet_session_end e ->
+    fprintf ppf "session %d: %s (%d degraded scenes)" e.session e.outcome
+      e.degraded_scenes
 
 (* --- sessions ----------------------------------------------------------- *)
 

@@ -60,6 +60,19 @@ type kind =
       queued : int;
     }
   | Watchdog_trip of { stage : string; budget_us : int; over_us : int }
+  | Fleet_shard_start of { shard : int; shards : int; sessions : int }
+  | Fleet_arrival of { session : int; clip : string }
+  | Fleet_admission of {
+      session : int;
+      decision : string;
+      in_flight : int;
+      queued : int;
+    }
+  | Fleet_session_end of {
+      session : int;
+      outcome : string;
+      degraded_scenes : int;
+    }
 
 type event = { t_us : int; kind : kind }
 
@@ -68,11 +81,14 @@ let magic = "AJNL"
 let version = 1
 
 (* Annotate events replay the clip timeline, transmit events the NACK
-   budget, playback events the playback clock: three independent
-   simulated clocks, so monotonicity only holds per phase (and resets
-   at every Session_start). *)
+   budget, playback events the playback clock, fleet events the
+   scheduler's arrival clock: independent simulated clocks, so
+   monotonicity only holds per phase (and resets at every
+   Session_start — and at every Fleet_shard_start, whose phase-0
+   marker lets per-shard journals concatenate into one fleet journal
+   without tripping the per-phase monotonicity audit). *)
 let phase = function
-  | Session_start _ | Bulkhead_decision _ -> 0
+  | Session_start _ | Bulkhead_decision _ | Fleet_shard_start _ -> 0
   | Scene_decision _ -> 1
   | Channel _ | Nack_round _ | Fec_outcome _ | Degradation _ | Ladder_step _
   | Breaker_transition _ | Watchdog_trip _ ->
@@ -81,6 +97,7 @@ let phase = function
   | Slo_breach _ ->
     3
   | Session_end _ -> 4
+  | Fleet_arrival _ | Fleet_admission _ | Fleet_session_end _ -> 5
 
 (* --- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) -------------------- *)
 
@@ -203,7 +220,11 @@ let encode_payload buf { t_us; kind } =
   | Ladder_step _ -> tag 13
   | Breaker_transition _ -> tag 14
   | Bulkhead_decision _ -> tag 15
-  | Watchdog_trip _ -> tag 16);
+  | Watchdog_trip _ -> tag 16
+  | Fleet_shard_start _ -> tag 17
+  | Fleet_arrival _ -> tag 18
+  | Fleet_admission _ -> tag 19
+  | Fleet_session_end _ -> tag 20);
   v t_us;
   match kind with
   | Session_start e ->
@@ -281,6 +302,22 @@ let encode_payload buf { t_us; kind } =
     s e.stage;
     v e.budget_us;
     v e.over_us
+  | Fleet_shard_start e ->
+    v e.shard;
+    v e.shards;
+    v e.sessions
+  | Fleet_arrival e ->
+    v e.session;
+    s e.clip
+  | Fleet_admission e ->
+    v e.session;
+    s e.decision;
+    v e.in_flight;
+    v e.queued
+  | Fleet_session_end e ->
+    v e.session;
+    s e.outcome;
+    v e.degraded_scenes
 
 let encode events =
   let buf = Buffer.create 1024 in
@@ -467,6 +504,26 @@ let decode_kind c tag =
     let budget_us = get_varint c in
     let over_us = get_varint c in
     Watchdog_trip { stage; budget_us; over_us }
+  | 17 ->
+    let shard = get_varint c in
+    let shards = get_varint c in
+    let sessions = get_varint c in
+    Fleet_shard_start { shard; shards; sessions }
+  | 18 ->
+    let session = get_varint c in
+    let clip = get_string c in
+    Fleet_arrival { session; clip }
+  | 19 ->
+    let session = get_varint c in
+    let decision = get_string c in
+    let in_flight = get_varint c in
+    let queued = get_varint c in
+    Fleet_admission { session; decision; in_flight; queued }
+  | 20 ->
+    let session = get_varint c in
+    let outcome = get_string c in
+    let degraded_scenes = get_varint c in
+    Fleet_session_end { session; outcome; degraded_scenes }
   | n -> raise (Parse_error (Printf.sprintf "unknown event kind %d" n))
 
 let parse_payload payload =

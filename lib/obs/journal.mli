@@ -104,6 +104,31 @@ type kind =
       (** stage deadline watchdog fired: [stage] overran its budget by
           [over_us] and the session fell down the degradation ladder
           instead of raising *)
+  | Fleet_shard_start of { shard : int; shards : int; sessions : int }
+      (** one fleet shard's journal begins: shard [shard] of [shards]
+          was assigned [sessions] sessions. Recorded at t = 0 in the
+          session-start phase, so per-shard journals concatenate into
+          one fleet journal without tripping the per-phase
+          monotonicity audit (V406) *)
+  | Fleet_arrival of { session : int; clip : string }
+      (** the load generator delivered session [session] (fleet-wide
+          id) for [clip] to this shard at the event's simulated time *)
+  | Fleet_admission of {
+      session : int;
+      decision : string;
+      in_flight : int;
+      queued : int;
+    }
+      (** the shard-boundary admission verdict ("admitted", "queued"
+          or "shed") with the shard occupancy at decision time *)
+  | Fleet_session_end of {
+      session : int;
+      outcome : string;
+      degraded_scenes : int;
+    }
+      (** a scheduled session left the shard: [outcome] is "ok",
+          "degraded" (annotations lost or scenes degraded) or
+          "error" *)
 
 type event = { t_us : int; kind : kind }
 

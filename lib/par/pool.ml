@@ -204,10 +204,22 @@ let map_array t ?chunk_size f a =
 let map_list t ?chunk_size f l =
   Array.to_list (map_array t ?chunk_size f (Array.of_list l))
 
+(* The single normalization point for every user-supplied domain
+   count (PAR_JOBS, --jobs flags, fleet --domains): zero and negative
+   requests mean "at least do the work" (one domain), oversized
+   requests are capped at the host's recommendation — more domains
+   than cores only adds scheduling noise, and the deterministic chunk
+   plans make the count a performance knob, never a results knob. *)
+let normalize_jobs ?host requested =
+  let host =
+    match host with Some h when h >= 1 -> h | Some _ | None -> recommended ()
+  in
+  max 1 (min requested host)
+
 let env_jobs ?(default = 1) () =
   match Sys.getenv_opt "PAR_JOBS" with
-  | None -> default
+  | None -> normalize_jobs default
   | Some s -> (
     match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> default)
+    | Some n -> normalize_jobs n
+    | None -> normalize_jobs default)

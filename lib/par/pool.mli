@@ -82,7 +82,17 @@ val map_array : t -> ?chunk_size:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : t -> ?chunk_size:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel [List.map] (via {!map_array}). *)
 
+val normalize_jobs : ?host:int -> int -> int
+(** [normalize_jobs requested] is [max 1 (min requested host)] — the
+    single normalization point for every user-supplied domain count
+    ([PAR_JOBS], the CLIs' [--jobs], the fleet scheduler's
+    [--domains]). Zero and negative requests clamp to one domain,
+    oversized requests cap at the host's parallelism. [?host] defaults
+    to {!recommended} (values below 1 are ignored); pass it explicitly
+    only to make the clamp reproducible in tests. *)
+
 val env_jobs : ?default:int -> unit -> int
 (** The [PAR_JOBS] environment variable as a domain count, or
-    [default] (itself defaulting to 1) when unset or unparsable.
-    Lets `make check` re-run the suite with [PAR_JOBS=4]. *)
+    [default] (itself defaulting to 1) when unset or unparsable —
+    either way passed through {!normalize_jobs}. Lets `make check`
+    re-run the suite with [PAR_JOBS=4]. *)

@@ -22,24 +22,34 @@ let largest_dim_step registers =
 
 type cost = {
   extra_energy_fraction : float;
+  extra_energy_mj : float;
   smoothed_largest_dim_step : int;
   original_largest_dim_step : int;
 }
 
-let backlight_energy device registers =
+let backlight_power_sum device registers =
   Array.fold_left
     (fun acc register ->
       acc +. Power.Model.backlight_power_mw device ~on:true ~register)
     0. registers
 
-let smoothing_cost ~device ~max_dim_step registers =
+let smoothing_cost ?(fps = 12.) ~device ~max_dim_step registers =
+  if not (Float.is_finite fps) || fps <= 0. then
+    invalid_arg "Ramp.smoothing_cost: fps must be positive";
   let smoothed = slew_limit ~max_dim_step registers in
-  let original_energy = backlight_energy device registers in
-  let smoothed_energy = backlight_energy device smoothed in
+  let original_power = backlight_power_sum device registers in
+  let smoothed_power = backlight_power_sum device smoothed in
+  let extra_power_mw = smoothed_power -. original_power in
   {
+    (* A zero-energy original track must not silence the signal: if
+       smoothing spent energy on top of nothing, the relative cost is
+       infinite, not zero. The absolute account below carries the
+       magnitude either way. *)
     extra_energy_fraction =
-      (if original_energy > 0. then (smoothed_energy -. original_energy) /. original_energy
+      (if original_power > 0. then extra_power_mw /. original_power
+       else if extra_power_mw > 0. then infinity
        else 0.);
+    extra_energy_mj = extra_power_mw /. fps;
     smoothed_largest_dim_step = largest_dim_step smoothed;
     original_largest_dim_step = largest_dim_step registers;
   }

@@ -23,12 +23,23 @@ val largest_dim_step : int array -> int
 type cost = {
   extra_energy_fraction : float;
       (** additional backlight energy the smoothing spends, relative to
-          the unsmoothed track, on the register-proportional power law *)
+          the unsmoothed track, on the register-proportional power law.
+          [infinity] when the unsmoothed track spends nothing and the
+          smoothed one does (a relative cost over a zero base has no
+          finite value — reporting 0 there would mask the spend); [0.]
+          when both spend nothing *)
+  extra_energy_mj : float;
+      (** the same spend as an absolute account in millijoules at the
+          given frame rate — meaningful even when the relative fraction
+          degenerates *)
   smoothed_largest_dim_step : int;
   original_largest_dim_step : int;
 }
 
 val smoothing_cost :
-  device:Display.Device.t -> max_dim_step:int -> int array -> cost
+  ?fps:float -> device:Display.Device.t -> max_dim_step:int -> int array -> cost
 (** [smoothing_cost ~device ~max_dim_step registers] quantifies the
-    smoothness/energy trade on a register track. *)
+    smoothness/energy trade on a register track. [?fps] (default 12.,
+    the {!Video.Clip_gen} default) converts per-frame backlight power
+    into the absolute [extra_energy_mj]; raises [Invalid_argument] when
+    not finite and positive. *)

@@ -102,6 +102,77 @@ val patch_partial :
     degraded scenes. Exposed for tests and downstream clients that run
     their own transport. *)
 
+(** {1 Poll-able session machine}
+
+    A session as an explicit state machine: [create] validates and
+    allocates, each [step] advances exactly one stage — session start,
+    transmit, decode/playback setup, then one simulated frame per call,
+    then finalisation — and [result] reads the outcome once [step]
+    returns [`Done]. Every observable effect (journal entries, logs,
+    metrics, monitor feeds, profiler attribution) fires in exactly the
+    order the historical run-to-completion implementation produced
+    them, so a machine driven to completion is indistinguishable from
+    {!run} — which is now implemented as exactly that loop. The fleet
+    scheduler interleaves thousands of machines on the simulated clock
+    by stepping each one as its next frame falls due. *)
+
+type machine
+(** One in-flight session. Not domain-safe: a machine belongs to the
+    caller driving it. *)
+
+type prepared_input = {
+  track : Annotation.Track.t;
+  annotation_payload : string;
+  protected : Fec.protected_payload;
+  encoded : Codec.Encoder.encoded;
+  clean : Codec.Decoder.decoded option;
+      (** reference decode of [encoded] for the PSNR account; [None]
+          makes the machine decode it itself, as {!run} always did *)
+}
+(** The server-side artifacts a prepared-stream cache can inject into
+    {!create}: everything computed before the transmission seed
+    matters, shareable between every session playing the same clip at
+    the same quality. *)
+
+type progress =
+  [ `Setup  (** server-side stages and the wireless hop still to run *)
+  | `Frame of int  (** the next [step] replays this frame *)
+  | `Finalize  (** all frames played; energy accounting remains *)
+  | `Complete  (** [result] is available *) ]
+
+val prepare_input :
+  ?track:Annotation.Track.t -> config -> Video.Clip.t -> prepared_input
+(** [prepare_input config clip] runs the server-side pipeline
+    (annotate, encode, FEC-protect, reference-decode) once, outside
+    any session: un-spanned and un-journaled, because cache fills are
+    the cache owner's work, not any one session's. [?track] reuses an
+    annotation track that already came out of {!Server.prepare} (with
+    its bulkhead and cache wiring) instead of re-annotating. *)
+
+val create : ?prepared:prepared_input -> config -> Video.Clip.t -> machine
+(** [create config clip] validates the configuration ([loss_rate]
+    within [0, 1], non-empty clip — same exceptions as {!run}) and
+    returns a machine at its start state. No simulation effects happen
+    until the first [step]. *)
+
+val step : machine -> [ `Running | `Done ]
+(** Advance one stage (one simulated frame, once playing). Idempotent
+    after [`Done]. *)
+
+val result : machine -> (report, string) result option
+(** [None] until [step] has returned [`Done]. *)
+
+val progress : machine -> progress
+(** What the next [step] will do — the hook a scheduler keys its event
+    clock on ([`Frame i] falls due at [i *. dt_s] on the session's
+    local timeline). *)
+
+val frames : machine -> int
+(** Total frame count of the clip being played. *)
+
+val dt_s : machine -> float
+(** Simulated seconds per frame ([1 / fps]). *)
+
 val run : config -> Video.Clip.t -> (report, string) result
 (** [run config clip] executes the full session. Fails only on
     internal stream corruption.

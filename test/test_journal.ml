@@ -89,6 +89,16 @@ let all_kinds_events =
     e 6_000_000
       (Journal.Session_end
          { survived = true; degraded_scenes = 1; retransmissions = 1; corrupt_records = 1 });
+    (* A fleet shard block: Fleet_shard_start resets the verifier's
+       clock the same way Session_start does. *)
+    e 0 (Journal.Fleet_shard_start { shard = 1; shards = 4; sessions = 2 });
+    e 1_000 (Journal.Fleet_arrival { session = 7; clip = "clip" });
+    e 1_000
+      (Journal.Fleet_admission
+         { session = 7; decision = "admitted"; in_flight = 3; queued = 0 });
+    e 2_000_000
+      (Journal.Fleet_session_end
+         { session = 7; outcome = "degraded"; degraded_scenes = 1 });
   ]
 
 let blob = Journal.encode all_kinds_events

@@ -191,6 +191,28 @@ let test_env_jobs_default () =
   Alcotest.(check bool) "default honoured when sensible" true
     (Pool.env_jobs ~default:3 () >= 1)
 
+let test_normalize_jobs_boundaries () =
+  (* The single normalization point every CLI/env/scheduler path
+     funnels through: clamp into [1, host], never error. *)
+  let host = 4 in
+  Alcotest.(check int) "zero clamps to 1" 1 (Pool.normalize_jobs ~host 0);
+  Alcotest.(check int) "negative clamps to 1" 1 (Pool.normalize_jobs ~host (-7));
+  Alcotest.(check int) "min_int clamps to 1" 1
+    (Pool.normalize_jobs ~host min_int);
+  Alcotest.(check int) "one passes through" 1 (Pool.normalize_jobs ~host 1);
+  Alcotest.(check int) "in-range passes through" 3 (Pool.normalize_jobs ~host 3);
+  Alcotest.(check int) "host boundary passes through" host
+    (Pool.normalize_jobs ~host host);
+  Alcotest.(check int) "oversized caps at host" host
+    (Pool.normalize_jobs ~host 4096);
+  Alcotest.(check int) "max_int caps at host" host
+    (Pool.normalize_jobs ~host max_int);
+  (* A nonsensical host hint falls back to the recommended count. *)
+  Alcotest.(check bool) "invalid host ignored" true
+    (Pool.normalize_jobs ~host:0 9 >= 1);
+  Alcotest.(check bool) "default host is recommended" true
+    (Pool.normalize_jobs max_int = Pool.normalize_jobs ~host:(Pool.recommended ()) max_int)
+
 (* --- the tentpole property: parallel profiling is bit-identical ---------- *)
 
 let check_profiled_equal ~what (a : Annotation.Annotator.profiled)
@@ -321,6 +343,8 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick
             test_shutdown_idempotent;
           Alcotest.test_case "env_jobs" `Quick test_env_jobs_default;
+          Alcotest.test_case "normalize_jobs boundaries" `Quick
+            test_normalize_jobs_boundaries;
         ] );
       ( "profiling determinism",
         Alcotest.test_case "workload clips, jobs in {1,2,4,8}" `Quick

@@ -1135,6 +1135,182 @@ let qtests =
           Streaming.Netsim.wire_bytes link lo <= Streaming.Netsim.wire_bytes link hi);
     ]
 
+(* --- Session tick machine ------------------------------------------------- *)
+
+(* [Session.run] is reimplemented on the poll-able machine; these pin
+   the equivalence the refactor promised — stepping by hand produces
+   the same printed report and the same decision journal, byte for
+   byte, as the one-shot entry point. *)
+
+let with_session_journal f =
+  Obs.enable ();
+  let j = Obs.Journal.create () in
+  Obs.Journal.install j;
+  let r = Fun.protect ~finally:Obs.Journal.uninstall f in
+  (r, Obs.Journal.to_string j, Obs.Journal.events j)
+
+let test_session_machine_equals_run () =
+  let clip = moving_clip () in
+  let config =
+    {
+      (Streaming.Session.default_config ~device) with
+      Streaming.Session.loss_rate = 0.03;
+    }
+  in
+  let run_report, run_journal, _ =
+    with_session_journal (fun () -> Streaming.Session.run config clip)
+  in
+  let machine_report, machine_journal, _ =
+    with_session_journal (fun () ->
+        let m = Streaming.Session.create config clip in
+        let steps = ref 0 in
+        let rec drive () =
+          incr steps;
+          match Streaming.Session.step m with `Running -> drive () | `Done -> ()
+        in
+        drive ();
+        check bool "a tick per frame plus setup and finalize" true
+          (!steps >= Streaming.Session.frames m + 2);
+        match Streaming.Session.result m with
+        | Some r -> r
+        | None -> Alcotest.fail "machine reported `Done without a result")
+  in
+  (match (run_report, machine_report) with
+  | Ok a, Ok b ->
+    check Alcotest.string "byte-identical printed reports"
+      (Format.asprintf "%a" Streaming.Session.pp_report a)
+      (Format.asprintf "%a" Streaming.Session.pp_report b)
+  | Error e, _ | _, Error e -> Alcotest.fail e);
+  check Alcotest.string "byte-identical journals" run_journal machine_journal
+
+let test_session_machine_progress_order () =
+  let clip = two_scene_clip () in
+  let m = Streaming.Session.create (Streaming.Session.default_config ~device) clip in
+  check bool "starts in setup" true
+    (match Streaming.Session.progress m with `Setup -> true | _ -> false);
+  let saw_frame = ref false and saw_finalize = ref false in
+  let rec drive () =
+    (match Streaming.Session.progress m with
+    | `Frame _ -> saw_frame := true
+    | `Finalize -> saw_finalize := true
+    | `Setup | `Complete -> ());
+    match Streaming.Session.step m with `Running -> drive () | `Done -> ()
+  in
+  drive ();
+  check bool "visited the frame loop" true !saw_frame;
+  check bool "visited finalize" true !saw_finalize;
+  check bool "complete at the end" true
+    (match Streaming.Session.progress m with `Complete -> true | _ -> false);
+  check bool "result available" true (Streaming.Session.result m <> None)
+
+(* The clamp regressions: hostile numeric inputs (fps 0, fps nan, a
+   negative stage deadline) must journal as clamped non-negative
+   integers instead of crashing int_of_float on nan/overflow. *)
+
+let session_start_fps_milli clip =
+  let config = Streaming.Session.default_config ~device in
+  (* Downstream stages may legitimately reject a degenerate fps
+     (Track.make raises on 0.); the clamp under test is at the
+     journaling site, which records Session_start first. *)
+  let _, _, events =
+    with_session_journal (fun () ->
+        try ignore (Streaming.Session.run config clip)
+        with Invalid_argument _ -> ())
+  in
+  match
+    List.find_map
+      (fun (e : Obs.Journal.event) ->
+        match e.Obs.Journal.kind with
+        | Obs.Journal.Session_start { fps_milli; _ } -> Some fps_milli
+        | _ -> None)
+      events
+  with
+  | Some v -> v
+  | None -> Alcotest.fail "no Session_start event journaled"
+
+let test_session_fps_zero_clamps () =
+  let clip = { (two_scene_clip ()) with Video.Clip.fps = 0. } in
+  check int "fps 0 journals as 0" 0 (session_start_fps_milli clip)
+
+let test_session_fps_nan_clamps () =
+  let clip = { (two_scene_clip ()) with Video.Clip.fps = Float.nan } in
+  check int "fps nan journals as 0" 0 (session_start_fps_milli clip)
+
+let test_session_negative_deadline_clamps () =
+  let clip = two_scene_clip () in
+  let profile =
+    {
+      Resilience.Profile.empty with
+      Resilience.Profile.stage_deadline_s = Some (-0.01);
+    }
+  in
+  let config =
+    {
+      (Streaming.Session.default_config ~device) with
+      Streaming.Session.fault = Some (Streaming.Fault.bernoulli ~rate:0.3);
+      resilience = Some profile;
+    }
+  in
+  let report, _, events =
+    with_session_journal (fun () -> Streaming.Session.run config clip)
+  in
+  (match report with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("session aborted: " ^ e));
+  match
+    List.find_map
+      (fun (e : Obs.Journal.event) ->
+        match e.Obs.Journal.kind with
+        | Obs.Journal.Watchdog_trip { budget_us; over_us; _ } ->
+          Some (budget_us, over_us)
+        | _ -> None)
+      events
+  with
+  | None ->
+    Alcotest.fail "negative deadline never tripped the watchdog"
+  | Some (budget_us, over_us) ->
+    check int "negative budget clamps to 0" 0 budget_us;
+    check bool "overrun is non-negative" true (over_us >= 0)
+
+(* --- Ramp zero-denominator cost ------------------------------------------- *)
+
+let test_ramp_cost_all_off_zero_floor () =
+  (* A backlight that truly draws nothing when fully off: the old
+     fraction-only cost divided by zero here. *)
+  let zero_floor =
+    { device with Display.Device.backlight_power_floor_mw = 0. }
+  in
+  let cost =
+    Streaming.Ramp.smoothing_cost ~device:zero_floor ~max_dim_step:8
+      (Array.make 48 0)
+  in
+  check (Alcotest.float 0.) "fraction is exactly zero, not nan" 0.
+    cost.Streaming.Ramp.extra_energy_fraction;
+  check (Alcotest.float 0.) "no absolute extra energy" 0.
+    cost.Streaming.Ramp.extra_energy_mj
+
+let test_ramp_cost_absolute_energy () =
+  let registers = Array.init 96 (fun i -> if i < 48 then 230 else 40) in
+  let cost = Streaming.Ramp.smoothing_cost ~device ~max_dim_step:4 registers in
+  check bool "smoothing costs absolute energy" true
+    (Float.is_finite cost.Streaming.Ramp.extra_energy_mj
+    && cost.Streaming.Ramp.extra_energy_mj > 0.);
+  check bool "fraction finite alongside" true
+    (Float.is_finite cost.Streaming.Ramp.extra_energy_fraction
+    && cost.Streaming.Ramp.extra_energy_fraction > 0.)
+
+let test_ramp_cost_fps_validation () =
+  Alcotest.check_raises "nan fps"
+    (Invalid_argument "Ramp.smoothing_cost: fps must be positive") (fun () ->
+      ignore
+        (Streaming.Ramp.smoothing_cost ~fps:Float.nan ~device ~max_dim_step:8
+           (Array.make 8 100)));
+  Alcotest.check_raises "zero fps"
+    (Invalid_argument "Ramp.smoothing_cost: fps must be positive") (fun () ->
+      ignore
+        (Streaming.Ramp.smoothing_cost ~fps:0. ~device ~max_dim_step:8
+           (Array.make 8 100)))
+
 let () =
   Alcotest.run "streaming"
     [
@@ -1203,6 +1379,19 @@ let () =
             test_session_client_mapping_equivalent;
           Alcotest.test_case "ramp option" `Quick test_session_ramp_option;
         ] );
+      ( "session machine",
+        [
+          Alcotest.test_case "run equals stepped machine" `Quick
+            test_session_machine_equals_run;
+          Alcotest.test_case "progress order" `Quick
+            test_session_machine_progress_order;
+          Alcotest.test_case "fps 0 clamps in journal" `Quick
+            test_session_fps_zero_clamps;
+          Alcotest.test_case "fps nan clamps in journal" `Quick
+            test_session_fps_nan_clamps;
+          Alcotest.test_case "negative stage deadline clamps" `Quick
+            test_session_negative_deadline_clamps;
+        ] );
       ( "fec",
         [
           Alcotest.test_case "no loss roundtrip" `Quick test_fec_no_loss_roundtrip;
@@ -1241,6 +1430,12 @@ let () =
           Alcotest.test_case "never below target" `Quick test_ramp_never_below_target;
           Alcotest.test_case "cost small" `Quick test_ramp_cost_small;
           Alcotest.test_case "validation" `Quick test_ramp_validation;
+          Alcotest.test_case "all-off zero-floor cost" `Quick
+            test_ramp_cost_all_off_zero_floor;
+          Alcotest.test_case "absolute extra energy" `Quick
+            test_ramp_cost_absolute_energy;
+          Alcotest.test_case "fps validation" `Quick
+            test_ramp_cost_fps_validation;
         ] );
       ( "proxy",
         [
